@@ -1,0 +1,41 @@
+//! Fig. 10 — packet rate for L2 switching over MAC tables of size 1, 10, 100
+//! and 1K entries, as the active flow set grows.
+//!
+//! Expected shape (paper): ESWITCH stays flat near the platform limit for
+//! every table size; OVS starts comparable but loses roughly half its rate by
+//! ~100 active flows and keeps degrading as the flow set outgrows its caches.
+
+use bench_harness::{
+    flow_sweep, measure::rate_sweep, packets_per_point, print_header, render_series_table,
+    warmup_packets, SwitchKind,
+};
+use workloads::l2::{self, L2Config};
+
+fn main() {
+    print_header(
+        "Figure 10",
+        "L2 switching packet rate vs active flows (table sizes 1/10/100/1K)",
+    );
+    let kinds = [SwitchKind::Eswitch, SwitchKind::Ovs];
+    let sweep = flow_sweep(false);
+    let mut all_series = Vec::new();
+    for table_size in [1usize, 10, 100, 1_000] {
+        let config = L2Config {
+            table_size,
+            ports: 4,
+            seed: 0x10 + table_size as u64,
+        };
+        let series = rate_sweep(
+            &format!("{table_size}"),
+            &kinds,
+            &sweep,
+            || l2::build_pipeline(&config),
+            |flows| l2::build_traffic(&config, flows),
+            warmup_packets(),
+            packets_per_point(),
+        );
+        all_series.extend(series);
+    }
+    println!("packet rate [pps]\n");
+    println!("{}", render_series_table("active flows", &all_series));
+}

@@ -1,0 +1,41 @@
+//! Fig. 11 — packet rate for L3 routing over 1, 10 and 1K IP prefixes, as the
+//! active flow set grows.
+//!
+//! Expected shape (paper): ESWITCH compiles the routing table into the LPM
+//! template and stays flat; OVS degrades with the active flow count because
+//! its megaflow cache cannot express longest-prefix aggregates compactly.
+
+use bench_harness::{
+    flow_sweep, measure::rate_sweep, packets_per_point, print_header, render_series_table,
+    warmup_packets, SwitchKind,
+};
+use workloads::l3::{self, L3Config};
+
+fn main() {
+    print_header(
+        "Figure 11",
+        "L3 routing packet rate vs active flows (1/10/1K prefixes)",
+    );
+    let kinds = [SwitchKind::Eswitch, SwitchKind::Ovs];
+    let sweep = flow_sweep(false);
+    let mut all_series = Vec::new();
+    for prefixes in [1usize, 10, 1_000] {
+        let config = L3Config {
+            prefixes,
+            next_hops: 8,
+            seed: 0x11 + prefixes as u64,
+        };
+        let series = rate_sweep(
+            &format!("{prefixes}"),
+            &kinds,
+            &sweep,
+            || l3::build_pipeline(&config),
+            |flows| l3::build_traffic(&config, flows),
+            warmup_packets(),
+            packets_per_point(),
+        );
+        all_series.extend(series);
+    }
+    println!("packet rate [pps]\n");
+    println!("{}", render_series_table("active flows", &all_series));
+}

@@ -1,0 +1,58 @@
+//! Fig. 13 — packet rate for the access-gateway use case (10 CEs, 20
+//! users/CE, 10K prefixes) as the active flow set grows to 1M, together with
+//! the analytic model's lower and upper bounds.
+//!
+//! Expected shape (paper): ESWITCH stays above ~9 Mpps-equivalent across the
+//! whole sweep and sits between the model bounds; OVS collapses by roughly
+//! two orders of magnitude once the flow set overwhelms its caches.
+
+use bench_harness::{
+    flow_sweep, measure::rate_sweep, packets_per_point, print_header, render_series_table,
+    warmup_packets, Series, SwitchKind,
+};
+use eswitch::perfmodel::{CacheLevelCosts, PerformanceModel};
+use eswitch::runtime::EswitchRuntime;
+use workloads::gateway::{self, GatewayConfig};
+
+fn main() {
+    print_header(
+        "Figure 13",
+        "gateway packet rate vs active flows, with model-lb/model-ub bounds",
+    );
+    let config = GatewayConfig::default();
+    let sweep = flow_sweep(true);
+
+    // Measured series for both architectures.
+    let mut all_series = rate_sweep(
+        "gateway",
+        &[SwitchKind::Eswitch, SwitchKind::Ovs],
+        &sweep,
+        || gateway::build_pipeline(&config),
+        |flows| gateway::build_traffic(&config, flows),
+        warmup_packets(),
+        packets_per_point(),
+    );
+
+    // Analytic bounds from the performance model over the compiled datapath,
+    // along the user→network walk (table 0 → per-CE table → routing table).
+    let runtime = EswitchRuntime::compile(gateway::build_pipeline(&config)).expect("compiles");
+    let datapath = runtime.datapath();
+    let model = PerformanceModel::new();
+    let walk = [0, gateway::ce_table(0), gateway::ROUTING_TABLE];
+    let estimate = model.estimate_walk(&datapath, &walk);
+    let costs = CacheLevelCosts::default();
+    let (ub, lb) = estimate.rate_bounds(&costs);
+    let mut ub_series = Series::new("ES(model-ub)");
+    let mut lb_series = Series::new("ES(model-lb)");
+    for &flows in &sweep {
+        ub_series.push(flows as f64, ub);
+        lb_series.push(flows as f64, lb);
+    }
+    all_series.insert(0, ub_series);
+    all_series.push(lb_series);
+
+    println!("packet rate [pps]\n");
+    println!("{}", render_series_table("active flows", &all_series));
+    println!("model walk: table 0 -> per-CE NAT -> routing table (user-to-network direction)");
+    println!("{}", estimate.render_table());
+}

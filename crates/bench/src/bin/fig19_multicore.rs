@@ -1,0 +1,55 @@
+//! Fig. 19 — packet rate as the number of packet-processing cores grows
+//! (1–5), L3 routing over 2K prefixes, with 100 / 10K / 500K active flows.
+//!
+//! Expected shape (paper): both architectures scale close to linearly with
+//! cores (per-core datapath state, no shared locks on the fast path), ESWITCH
+//! roughly 5× above OVS, and the gap widening as the active flow set grows
+//! because OVS's per-core caches thrash while the compiled LPM does not care.
+
+use bench_harness::{
+    measure_multicore_throughput, print_header, quick_mode, render_series_table, AnySwitch, Series,
+    SwitchKind,
+};
+use workloads::l3::{self, L3Config};
+
+fn main() {
+    print_header(
+        "Figure 19",
+        "packet rate vs CPU cores (L3 routing, 2K prefixes, 100/10K/500K flows)",
+    );
+    let config = L3Config {
+        prefixes: 2_000,
+        next_hops: 8,
+        seed: 0x19,
+    };
+    let flow_counts: Vec<usize> = if quick_mode() {
+        vec![100, 10_000]
+    } else {
+        vec![100, 10_000, 500_000]
+    };
+    let cores_sweep: Vec<usize> = (1..=5).collect();
+    let duration_ms = if quick_mode() { 150 } else { 600 };
+    let warmup = if quick_mode() { 5_000 } else { 30_000 };
+
+    let mut series = Vec::new();
+    for kind in [SwitchKind::Eswitch, SwitchKind::Ovs] {
+        for &flows in &flow_counts {
+            let traffic = l3::build_traffic(&config, flows);
+            let mut s = Series::new(format!("{}({} flows)", kind.label(), flows));
+            for &cores in &cores_sweep {
+                let rate = measure_multicore_throughput(
+                    || AnySwitch::build(kind, l3::build_pipeline(&config)),
+                    &traffic,
+                    cores,
+                    warmup,
+                    duration_ms,
+                );
+                s.push(cores as f64, rate);
+            }
+            series.push(s);
+        }
+    }
+
+    println!("aggregate packet rate [pps]\n");
+    println!("{}", render_series_table("CPU cores", &series));
+}

@@ -1,0 +1,44 @@
+//! Fig. 20 — the per-stage cycle model for the gateway use case, plus the
+//! derived best/typical/worst-case throughput estimates of §4.4.
+
+use bench_harness::print_header;
+use eswitch::perfmodel::{CacheAssumption, CacheLevelCosts, PerformanceModel};
+use eswitch::runtime::EswitchRuntime;
+use workloads::gateway::{self, GatewayConfig};
+
+fn main() {
+    print_header(
+        "Figure 20",
+        "per-stage cycle model for the gateway pipeline (user-to-network walk)",
+    );
+    let config = GatewayConfig::default();
+    let runtime = EswitchRuntime::compile(gateway::build_pipeline(&config)).expect("compiles");
+    let datapath = runtime.datapath();
+
+    println!("compiled templates per table:");
+    for (id, kind) in datapath.template_kinds() {
+        let entries = datapath.slot(id).map(|s| s.table.read().len()).unwrap_or(0);
+        println!("  table {id:>3}: {kind:?} ({entries} entries)");
+    }
+
+    let model = PerformanceModel::new();
+    let estimate = model.estimate_walk(
+        &datapath,
+        &[0, gateway::ce_table(0), gateway::ROUTING_TABLE],
+    );
+    println!("\n{}", estimate.render_table());
+
+    let costs = CacheLevelCosts::default();
+    for (label, assumption) in [
+        ("all accesses from L1 (optimistic upper bound)", CacheAssumption::AllL1),
+        ("all accesses from L2 (~1K active flows)", CacheAssumption::AllL2),
+        ("all accesses from L3 (pessimistic lower bound)", CacheAssumption::AllL3),
+    ] {
+        println!(
+            "{label}: {:.0} cycles/packet -> {:.2} Mpps",
+            estimate.cycles_per_packet(&costs, assumption),
+            estimate.packet_rate(&costs, assumption) / 1e6
+        );
+    }
+    println!("\npaper reference: 178 cycles / 11.2 Mpps, 202 cycles / 9.9 Mpps, 253 cycles / 7.9 Mpps");
+}

@@ -1,0 +1,151 @@
+//! A uniform front over the three switch architectures under test.
+
+use eswitch::analysis::CompilerConfig;
+use eswitch::runtime::EswitchRuntime;
+use openflow::{DirectDatapath, FlowMod, NullController, Pipeline, Verdict};
+use ovsdp::{OvsConfig, OvsDatapath};
+use pkt::Packet;
+
+/// Which switch architecture a measurement runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchKind {
+    /// ESWITCH: the compiled, specialized datapath (this paper).
+    Eswitch,
+    /// ESWITCH with the table-decomposition pass enabled.
+    EswitchDecomposed,
+    /// The OVS-architecture flow-caching datapath.
+    Ovs,
+    /// The direct (uncached, uncompiled) reference datapath.
+    Direct,
+}
+
+impl SwitchKind {
+    /// Short label used in series names ("ES", "OVS", ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SwitchKind::Eswitch => "ES",
+            SwitchKind::EswitchDecomposed => "ES(decomposed)",
+            SwitchKind::Ovs => "OVS",
+            SwitchKind::Direct => "direct",
+        }
+    }
+}
+
+/// A switch instance of any architecture, processing packets one at a time.
+pub enum AnySwitch {
+    /// Compiled ESWITCH runtime.
+    Eswitch(EswitchRuntime),
+    /// OVS-style caching datapath.
+    Ovs(OvsDatapath),
+    /// Direct reference datapath.
+    Direct(DirectDatapath),
+}
+
+impl AnySwitch {
+    /// Instantiates the requested architecture over a pipeline.
+    pub fn build(kind: SwitchKind, pipeline: Pipeline) -> Self {
+        match kind {
+            SwitchKind::Eswitch => {
+                AnySwitch::Eswitch(EswitchRuntime::compile(pipeline).expect("pipeline compiles"))
+            }
+            SwitchKind::EswitchDecomposed => AnySwitch::Eswitch(
+                EswitchRuntime::with_config(
+                    pipeline,
+                    CompilerConfig {
+                        enable_decomposition: true,
+                        ..CompilerConfig::default()
+                    },
+                    Box::new(NullController::new()),
+                )
+                .expect("pipeline compiles"),
+            ),
+            SwitchKind::Ovs => AnySwitch::Ovs(OvsDatapath::new(pipeline)),
+            SwitchKind::Direct => AnySwitch::Direct(DirectDatapath::new(pipeline)),
+        }
+    }
+
+    /// Instantiates an OVS datapath with an explicit cache configuration.
+    pub fn ovs_with_config(pipeline: Pipeline, config: OvsConfig) -> Self {
+        AnySwitch::Ovs(OvsDatapath::with_config(
+            pipeline,
+            config,
+            Box::new(NullController::new()),
+        ))
+    }
+
+    /// Processes one packet.
+    #[inline]
+    pub fn process(&self, packet: &mut Packet) -> Verdict {
+        match self {
+            AnySwitch::Eswitch(s) => s.process(packet),
+            AnySwitch::Ovs(s) => s.process(packet),
+            AnySwitch::Direct(s) => s.process(packet),
+        }
+    }
+
+    /// Applies a flow-mod (used by the update experiments).
+    pub fn flow_mod(&self, fm: &FlowMod) {
+        match self {
+            AnySwitch::Eswitch(s) => {
+                let _ = s.flow_mod(fm);
+            }
+            AnySwitch::Ovs(s) => {
+                let _ = s.flow_mod(fm);
+            }
+            AnySwitch::Direct(s) => {
+                let _ = s.flow_mod(fm);
+            }
+        }
+    }
+
+    /// The ESWITCH runtime, if this is one (for template/update statistics).
+    pub fn as_eswitch(&self) -> Option<&EswitchRuntime> {
+        match self {
+            AnySwitch::Eswitch(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The OVS datapath, if this is one (for cache statistics).
+    pub fn as_ovs(&self) -> Option<&OvsDatapath> {
+        match self {
+            AnySwitch::Ovs(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::l2::{self, L2Config};
+
+    #[test]
+    fn all_architectures_agree_on_l2() {
+        let config = L2Config {
+            table_size: 32,
+            ports: 4,
+            seed: 4,
+        };
+        let traffic = l2::build_traffic(&config, 64);
+        let switches: Vec<AnySwitch> = [
+            SwitchKind::Eswitch,
+            SwitchKind::EswitchDecomposed,
+            SwitchKind::Ovs,
+            SwitchKind::Direct,
+        ]
+        .iter()
+        .map(|k| AnySwitch::build(*k, l2::build_pipeline(&config)))
+        .collect();
+        for i in 0..128 {
+            let reference = {
+                let mut p = traffic.packet(i);
+                switches[3].process(&mut p).decision()
+            };
+            for sw in &switches[..3] {
+                let mut p = traffic.packet(i);
+                assert_eq!(sw.process(&mut p).decision(), reference, "packet {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Plain-text series/table rendering shared by the figure binaries.
+
+/// One data series of a figure: a label plus (x, y) points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label, e.g. `ES(1K)` or `OVS(100)`.
+    pub label: String,
+    /// Data points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(label: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The y value at a given x, if present.
+    pub fn y_at(&self, x: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(px, _)| (*px - x).abs() < f64::EPSILON)
+            .map(|(_, y)| *y)
+    }
+}
+
+/// Formats a number compactly (12.3M, 456K, 7.89).
+pub fn human(value: f64) -> String {
+    let abs = value.abs();
+    if abs >= 1e9 {
+        format!("{:.2}G", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2}M", value / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.1}K", value / 1e3)
+    } else if abs >= 1.0 {
+        format!("{value:.2}")
+    } else {
+        format!("{value:.4}")
+    }
+}
+
+/// Renders a set of series sharing the same x values as an aligned text
+/// table: one row per x, one column per series. This is the "same rows/series
+/// the paper reports" output of every figure binary.
+pub fn render_series_table(x_label: &str, series: &[Series]) -> String {
+    let mut xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+        .collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("x values are finite"));
+    xs.dedup();
+
+    let mut out = String::new();
+    out.push_str(&format!("{:<14}", x_label));
+    for s in series {
+        out.push_str(&format!("{:>16}", s.label));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(14 + 16 * series.len()));
+    out.push('\n');
+    for x in xs {
+        out.push_str(&format!("{:<14}", human(x)));
+        for s in series {
+            match s.y_at(x) {
+                Some(y) => out.push_str(&format!("{:>16}", human(y))),
+                None => out.push_str(&format!("{:>16}", "-")),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_formatting() {
+        assert_eq!(human(12_300_000.0), "12.30M");
+        assert_eq!(human(4_560.0), "4.6K");
+        assert_eq!(human(7.891), "7.89");
+        assert_eq!(human(0.125), "0.1250");
+        assert_eq!(human(2.5e9), "2.50G");
+    }
+
+    #[test]
+    fn table_rendering_aligns_series() {
+        let mut a = Series::new("ES(1)");
+        let mut b = Series::new("OVS(1)");
+        for x in [1.0, 10.0, 100.0] {
+            a.push(x, 14.0e6);
+            b.push(x, x * 1e5);
+        }
+        b.push(1000.0, 5.0);
+        let table = render_series_table("active flows", &[a.clone(), b]);
+        assert!(table.contains("ES(1)"));
+        assert!(table.contains("OVS(1)"));
+        assert!(table.contains("14.00M"));
+        // The x=1000 row exists and the missing ES value renders as '-'.
+        assert!(table.lines().any(|l| l.starts_with("1.0K") && l.contains('-')));
+        assert_eq!(a.y_at(10.0), Some(14.0e6));
+        assert_eq!(a.y_at(99.0), None);
+    }
+}

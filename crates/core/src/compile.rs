@@ -1,0 +1,713 @@
+//! Template specialization & linking: turning a declarative [`Pipeline`] into
+//! a [`CompiledDatapath`].
+//!
+//! This is §3.3 of the paper. The compiler walks every flow table, selects a
+//! template ([`crate::analysis`]), patches the flow keys into matcher/table
+//! templates, interns action sets so identical ones are shared, and links
+//! `goto_table` references through per-table *trampolines* — here a
+//! `parking_lot::RwLock` slot per table — so that a single table can later be
+//! rebuilt side-by-side and swapped in atomically while packets keep flowing.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use netdev::Counters;
+use openflow::instruction::Instruction;
+use openflow::pipeline::TableId;
+use openflow::table::TableMissBehavior;
+use openflow::{Action, Field, FieldValue, FlowEntry, FlowTable, Pipeline, PipelineError, Verdict};
+use pkt::Packet;
+
+use crate::analysis::{compound_hash_shape, lpm_shape, select_template, CompilerConfig, TemplateKind};
+use crate::templates::action::{ActionStore, CompiledAction, CompiledActionSet};
+use crate::templates::matcher::{CompiledMatcher, Regs};
+use crate::templates::parser::ParserTemplate;
+use crate::templates::table::{
+    CompiledEntry, CompiledInstrs, CompiledTable, CompoundHashTable, DirectCodeTable,
+    LinkedListTable, LpmTable,
+};
+
+/// Errors raised during compilation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pipeline itself is malformed (dangling or backward goto).
+    InvalidPipeline(PipelineError),
+    /// A table satisfied no template at all (cannot happen in practice since
+    /// the linked list accepts everything; kept for API completeness).
+    NoTemplate(TableId),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidPipeline(e) => write!(f, "invalid pipeline: {e}"),
+            CompileError::NoTemplate(t) => write!(f, "no template applies to table {t}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<PipelineError> for CompileError {
+    fn from(e: PipelineError) -> Self {
+        CompileError::InvalidPipeline(e)
+    }
+}
+
+/// One compiled table behind its trampoline slot.
+pub struct TableSlot {
+    /// OpenFlow table id.
+    pub id: TableId,
+    /// Miss behaviour of the table.
+    pub miss: TableMissBehavior,
+    /// The compiled template. The `RwLock` is the trampoline: rebuilding a
+    /// table writes a fresh template into the slot in one atomic step.
+    pub table: RwLock<CompiledTable>,
+    /// Packets looked up in this table.
+    pub lookups: Counters,
+}
+
+/// Statistics of a compiled datapath.
+#[derive(Debug, Default)]
+pub struct DatapathStats {
+    /// Packets processed.
+    pub processed: Counters,
+    /// Packets punted to the controller.
+    pub punted: Counters,
+}
+
+/// A fully compiled, executable datapath.
+pub struct CompiledDatapath {
+    parser: ParserTemplate,
+    slots: Vec<TableSlot>,
+    index_of: HashMap<TableId, usize>,
+    config: CompilerConfig,
+    /// Runtime statistics.
+    pub stats: DatapathStats,
+}
+
+impl CompiledDatapath {
+    /// The parser template the compiler selected.
+    pub fn parser(&self) -> &ParserTemplate {
+        &self.parser
+    }
+
+    /// The compiled tables in pipeline order.
+    pub fn slots(&self) -> &[TableSlot] {
+        &self.slots
+    }
+
+    /// The compiler configuration used.
+    pub fn config(&self) -> &CompilerConfig {
+        &self.config
+    }
+
+    /// Looks up the slot backing an OpenFlow table id.
+    pub fn slot(&self, id: TableId) -> Option<&TableSlot> {
+        self.index_of.get(&id).map(|i| &self.slots[*i])
+    }
+
+    /// Template kinds per table, for statistics dumps and tests.
+    pub fn template_kinds(&self) -> Vec<(TableId, TemplateKind)> {
+        self.slots
+            .iter()
+            .map(|s| (s.id, s.table.read().kind()))
+            .collect()
+    }
+
+    /// Total data-structure footprint of all compiled tables, feeding the
+    /// working-set estimate of the cache model.
+    pub fn memory_footprint(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.table.read().memory_footprint())
+            .sum()
+    }
+
+    /// Renders the whole compiled datapath as a pseudo-assembly listing.
+    pub fn disassemble(&self) -> String {
+        let mut out = self.parser.disassemble();
+        for slot in &self.slots {
+            out.push_str(&format!("\n; ===== table {} ({:?}) =====\n", slot.id, slot.table.read().kind()));
+            out.push_str(&slot.table.read().disassemble());
+        }
+        out
+    }
+
+    /// Processes one packet through the compiled fast path.
+    pub fn process(&self, packet: &mut Packet) -> Verdict {
+        self.stats.processed.record(packet.len());
+        let mut verdict = Verdict::default();
+        let mut regs = Regs {
+            in_port: packet.in_port,
+            ..Default::default()
+        };
+        let mut headers = self.parser.parse(packet.data());
+        let mut write_sets: Vec<Arc<CompiledActionSet>> = Vec::new();
+
+        let Some(mut index) = self.index_of.get(&0).copied() else {
+            return verdict;
+        };
+        loop {
+            let slot = &self.slots[index];
+            slot.lookups.record(0);
+            verdict.tables_visited += 1;
+            let table = slot.table.read();
+            let hit = table.lookup(packet.data(), &headers, &regs).cloned();
+            drop(table);
+            match hit {
+                Some(instrs) => {
+                    if instrs.clear_set {
+                        write_sets.clear();
+                    }
+                    if let Some(apply) = &instrs.apply {
+                        let layout_sensitive = apply
+                            .actions()
+                            .iter()
+                            .any(|a| matches!(a, CompiledAction::PushVlan(_) | CompiledAction::PopVlan));
+                        apply.execute(packet, &headers, &mut verdict);
+                        if layout_sensitive {
+                            headers = self.parser.parse(packet.data());
+                        }
+                    }
+                    if let Some(set) = &instrs.write_set {
+                        write_sets.push(Arc::clone(set));
+                    }
+                    if let Some((value, mask)) = instrs.metadata {
+                        regs.metadata = (regs.metadata & !mask) | (value & mask);
+                    }
+                    if instrs.to_controller {
+                        verdict.to_controller = true;
+                    }
+                    match instrs.goto.and_then(|t| self.index_of.get(&t)).copied() {
+                        Some(next) => index = next,
+                        None => break,
+                    }
+                }
+                None => match slot.miss {
+                    TableMissBehavior::Drop => break,
+                    TableMissBehavior::ToController => {
+                        verdict.to_controller = true;
+                        break;
+                    }
+                    TableMissBehavior::Continue => {
+                        if index + 1 < self.slots.len() {
+                            index += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                },
+            }
+        }
+
+        // Execute the accumulated write-action sets: modifiers in order, then
+        // the last forwarding decision (OpenFlow action-set semantics).
+        if !write_sets.is_empty() {
+            for set in &write_sets {
+                set.execute_modifiers(packet, &headers);
+            }
+            if let Some(out) = write_sets.iter().rev().find_map(|s| s.output_action()) {
+                match out {
+                    CompiledAction::Output(p) => verdict.outputs.push(*p),
+                    CompiledAction::Flood => verdict.flood = true,
+                    CompiledAction::ToController => verdict.to_controller = true,
+                    _ => {}
+                }
+            }
+        }
+        if verdict.to_controller {
+            self.stats.punted.record(packet.len());
+        }
+        verdict
+    }
+}
+
+/// Compiles an entry's instructions into a [`CompiledInstrs`] block, interning
+/// action sets in `store`.
+fn compile_instructions(entry: &FlowEntry, store: &mut ActionStore) -> Arc<CompiledInstrs> {
+    let mut instrs = CompiledInstrs::default();
+    let mut apply: Vec<Action> = Vec::new();
+    let mut write: Vec<Action> = Vec::new();
+    for instruction in &entry.instructions {
+        match instruction {
+            Instruction::ApplyActions(actions) => apply.extend(actions.iter().cloned()),
+            Instruction::WriteActions(actions) => write.extend(actions.iter().cloned()),
+            Instruction::ClearActions => instrs.clear_set = true,
+            Instruction::WriteMetadata { value, mask } => instrs.metadata = Some((*value, *mask)),
+            Instruction::GotoTable(t) => instrs.goto = Some(*t),
+            Instruction::Meter(_) => {}
+        }
+    }
+    if apply.iter().any(|a| matches!(a, Action::ToController)) {
+        instrs.to_controller = true;
+    }
+    if !apply.is_empty() {
+        instrs.apply = Some(store.intern(&apply));
+    }
+    if !write.is_empty() {
+        instrs.write_set = Some(store.intern(&write));
+    }
+    Arc::new(instrs)
+}
+
+/// Builds a [`CompiledEntry`] from a flow entry (direct-code / linked-list
+/// path): one specialised matcher per matched field.
+fn compile_entry(entry: &FlowEntry, store: &mut ActionStore) -> CompiledEntry {
+    let matchers = entry
+        .flow_match
+        .fields()
+        .iter()
+        .map(|mf| CompiledMatcher::new(mf.field, mf.value, mf.mask))
+        .collect();
+    CompiledEntry::new(matchers, compile_instructions(entry, store))
+}
+
+/// Compiles a single flow table into the best applicable template.
+pub fn compile_table(
+    table: &FlowTable,
+    config: &CompilerConfig,
+    store: &mut ActionStore,
+) -> CompiledTable {
+    match select_template(table, config) {
+        TemplateKind::DirectCode => CompiledTable::DirectCode(DirectCodeTable::new(
+            table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+        )),
+        TemplateKind::CompoundHash => {
+            let shape = compound_hash_shape(table).expect("selected template checked prerequisite");
+            match build_hash(table, &shape, store) {
+                Ok(t) => CompiledTable::CompoundHash(t),
+                Err(_) => CompiledTable::LinkedList(LinkedListTable::new(
+                    table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+                )),
+            }
+        }
+        TemplateKind::Lpm => {
+            let field = lpm_shape(table).expect("selected template checked prerequisite");
+            match build_lpm(table, field, store) {
+                Ok(t) => CompiledTable::Lpm(t),
+                Err(_) => CompiledTable::LinkedList(LinkedListTable::new(
+                    table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+                )),
+            }
+        }
+        TemplateKind::LinkedList => CompiledTable::LinkedList(LinkedListTable::new(
+            table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+        )),
+    }
+}
+
+fn build_hash(
+    table: &FlowTable,
+    shape: &[(Field, FieldValue)],
+    store: &mut ActionStore,
+) -> Result<CompoundHashTable, crate::templates::table::TemplateError> {
+    let (body, catch_all) = crate::analysis::split_catch_all(table);
+    let keys = body
+        .iter()
+        .map(|entry| {
+            let values: Vec<FieldValue> = shape
+                .iter()
+                .map(|(field, _)| {
+                    entry
+                        .flow_match
+                        .field(*field)
+                        .map(|mf| mf.value)
+                        .unwrap_or_default()
+                })
+                .collect();
+            (values, compile_instructions(entry, store))
+        })
+        .collect();
+    CompoundHashTable::new(
+        shape.to_vec(),
+        keys,
+        catch_all.map(|e| compile_instructions(e, store)),
+    )
+}
+
+fn build_lpm(
+    table: &FlowTable,
+    field: Field,
+    store: &mut ActionStore,
+) -> Result<LpmTable, crate::templates::table::TemplateError> {
+    let (body, catch_all) = crate::analysis::split_catch_all(table);
+    let rules = body
+        .iter()
+        .map(|entry| {
+            let mf = entry.flow_match.fields()[0];
+            let len = mf.prefix_len().expect("lpm shape checked") as u8;
+            (mf.value as u32, len, compile_instructions(entry, store))
+        })
+        .collect();
+    LpmTable::new(field, rules, catch_all.map(|e| compile_instructions(e, store)))
+}
+
+/// Compiles a whole pipeline.
+pub fn compile(pipeline: &Pipeline, config: &CompilerConfig) -> Result<CompiledDatapath, CompileError> {
+    pipeline.validate()?;
+    let mut store = ActionStore::new();
+
+    // Parser template: as deep as the deepest matched field, unless the
+    // prototype-style override forces a combined parser.
+    let parser = match config.parser_depth_override {
+        Some(depth) => ParserTemplate::with_depth(depth),
+        None => ParserTemplate::for_fields(
+            pipeline
+                .tables()
+                .iter()
+                .flat_map(|t| t.entries())
+                .flat_map(|e| e.flow_match.fields().iter().map(|mf| mf.field)),
+        ),
+    };
+
+    let mut slots = Vec::with_capacity(pipeline.table_count());
+    let mut index_of = HashMap::new();
+    for table in pipeline.tables() {
+        let compiled = compile_table(table, config, &mut store);
+        index_of.insert(table.id, slots.len());
+        slots.push(TableSlot {
+            id: table.id,
+            miss: table.miss,
+            table: RwLock::new(compiled),
+            lookups: Counters::new(),
+        });
+    }
+
+    Ok(CompiledDatapath {
+        parser,
+        slots,
+        index_of,
+        config: *config,
+        stats: DatapathStats::default(),
+    })
+}
+
+/// Convenience wrapper: compile with the default configuration.
+pub fn compile_default(pipeline: &Pipeline) -> Result<CompiledDatapath, CompileError> {
+    compile(pipeline, &CompilerConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::flow_match::FlowMatch;
+    use openflow::instruction::{actions_then_goto, terminal_actions};
+    use pkt::builder::PacketBuilder;
+    use pkt::parser::ParseDepth;
+    use rand::prelude::*;
+
+    /// Compares the compiled datapath against the reference interpreter on a
+    /// set of packets — the master semantic-equivalence check.
+    fn assert_equivalent(pipeline: &Pipeline, packets: &[Packet]) {
+        let dp = compile_default(pipeline).unwrap();
+        for (i, packet) in packets.iter().enumerate() {
+            let mut a = packet.clone();
+            let mut b = packet.clone();
+            let compiled = dp.process(&mut a);
+            let reference = pipeline.process(&mut b);
+            assert_eq!(
+                compiled.decision(),
+                reference.decision(),
+                "packet {i} diverged"
+            );
+            assert_eq!(a.data(), b.data(), "packet {i} rewritten differently");
+        }
+    }
+
+    fn l2_pipeline(n: u64) -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        for i in 0..n {
+            t.insert(FlowEntry::new(
+                FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0000 + i)),
+                10,
+                terminal_actions(vec![Action::Output((i % 4) as u32)]),
+            ));
+        }
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    #[test]
+    fn l2_table_compiles_to_hash_and_matches_reference() {
+        let pipeline = l2_pipeline(64);
+        let dp = compile_default(&pipeline).unwrap();
+        assert_eq!(dp.template_kinds(), vec![(0, TemplateKind::CompoundHash)]);
+        assert_eq!(dp.parser().depth(), ParseDepth::L2);
+
+        let mut rng = StdRng::seed_from_u64(1);
+        let packets: Vec<Packet> = (0..200)
+            .map(|_| {
+                let mac = 0x0200_0000_0000u64 + rng.gen_range(0..80);
+                PacketBuilder::udp()
+                    .eth_dst(pkt::MacAddr::from_u64(mac).octets())
+                    .build()
+            })
+            .collect();
+        assert_equivalent(&pipeline, &packets);
+    }
+
+    #[test]
+    fn small_table_compiles_direct_and_matches_reference() {
+        let pipeline = l2_pipeline(3);
+        let dp = compile_default(&pipeline).unwrap();
+        assert_eq!(dp.template_kinds(), vec![(0, TemplateKind::DirectCode)]);
+        let packets: Vec<Packet> = (0..8)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .eth_dst(pkt::MacAddr::from_u64(0x0200_0000_0000 + i).octets())
+                    .build()
+            })
+            .collect();
+        assert_equivalent(&pipeline, &packets);
+    }
+
+    fn l3_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        let prefixes = [
+            ([10u8, 0, 0, 0], 8u32, 1u32),
+            ([10, 1, 0, 0], 16, 2),
+            ([10, 1, 2, 0], 24, 3),
+            ([192, 0, 2, 0], 24, 4),
+            ([198, 51, 100, 0], 24, 5),
+            ([203, 0, 113, 0], 24, 6),
+        ];
+        for (addr, len, port) in prefixes {
+            t.insert(FlowEntry::new(
+                FlowMatch::any().with_prefix(Field::Ipv4Dst, u128::from(u32::from_be_bytes(addr)), len),
+                (len + 10) as u16,
+                terminal_actions(vec![Action::DecNwTtl, Action::Output(port)]),
+            ));
+        }
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    #[test]
+    fn l3_table_compiles_to_lpm_and_matches_reference() {
+        let pipeline = l3_pipeline();
+        let dp = compile_default(&pipeline).unwrap();
+        assert_eq!(dp.template_kinds(), vec![(0, TemplateKind::Lpm)]);
+        assert_eq!(dp.parser().depth(), ParseDepth::L3);
+
+        let packets: Vec<Packet> = [
+            [10u8, 0, 5, 5],
+            [10, 1, 5, 5],
+            [10, 1, 2, 5],
+            [192, 0, 2, 200],
+            [8, 8, 8, 8],
+            [203, 0, 113, 1],
+        ]
+        .iter()
+        .map(|dst| PacketBuilder::udp().ipv4_dst(*dst).build())
+        .collect();
+        assert_equivalent(&pipeline, &packets);
+    }
+
+    /// The two-stage firewall of Fig. 1b.
+    fn firewall_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(2);
+        {
+            let t0 = p.table_mut(0).unwrap();
+            t0.insert(FlowEntry::new(
+                FlowMatch::any().with_exact(Field::InPort, 1),
+                300,
+                terminal_actions(vec![Action::Output(0)]),
+            ));
+            t0.insert(FlowEntry::new(
+                FlowMatch::any().with_exact(Field::InPort, 0),
+                200,
+                vec![Instruction::GotoTable(1)],
+            ));
+        }
+        {
+            let t1 = p.table_mut(1).unwrap();
+            t1.insert(FlowEntry::new(
+                FlowMatch::any()
+                    .with_exact(Field::Ipv4Dst, u128::from(0xc0000201u32))
+                    .with_exact(Field::TcpDst, 80),
+                100,
+                terminal_actions(vec![Action::Output(1)]),
+            ));
+            t1.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        }
+        p
+    }
+
+    #[test]
+    fn multi_stage_firewall_equivalence_and_goto_linking() {
+        let pipeline = firewall_pipeline();
+        let dp = compile_default(&pipeline).unwrap();
+        assert_eq!(dp.template_kinds().len(), 2);
+
+        let packets: Vec<Packet> = vec![
+            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(0).build(),
+            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(22).in_port(0).build(),
+            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 9]).tcp_dst(80).in_port(0).build(),
+            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(1).build(),
+            PacketBuilder::udp().in_port(1).build(),
+        ];
+        assert_equivalent(&pipeline, &packets);
+
+        // The compiled fast path visits both tables for admitted web traffic.
+        let mut web = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(0).build();
+        assert_eq!(dp.process(&mut web).tables_visited, 2);
+    }
+
+    #[test]
+    fn nat_rewrite_pipeline_equivalence() {
+        // Table 0 rewrites the source address (NAT) and forwards to an LPM
+        // table matching the *destination*, as the gateway use case does.
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::Ipv4Src, u128::from(0x0a000001u32)),
+            10,
+            actions_then_goto(vec![Action::SetField(Field::Ipv4Src, 0xcb007101)], 1),
+        ));
+        p.table_mut(0).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        let t1 = p.table_mut(1).unwrap();
+        t1.insert(FlowEntry::new(
+            FlowMatch::any().with_prefix(Field::Ipv4Dst, u128::from(0xc6336400u32), 24),
+            20,
+            terminal_actions(vec![Action::Output(7)]),
+        ));
+        t1.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+
+        let packets = vec![
+            PacketBuilder::udp().ipv4_src([10, 0, 0, 1]).ipv4_dst([198, 51, 100, 9]).build(),
+            PacketBuilder::udp().ipv4_src([10, 0, 0, 2]).ipv4_dst([198, 51, 100, 9]).build(),
+            PacketBuilder::udp().ipv4_src([10, 0, 0, 1]).ipv4_dst([8, 8, 8, 8]).build(),
+        ];
+        assert_equivalent(&p, &packets);
+    }
+
+    #[test]
+    fn write_actions_last_output_wins() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::WriteActions(vec![Action::Output(3)]),
+                Instruction::GotoTable(1),
+            ],
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            10,
+            vec![Instruction::WriteActions(vec![Action::Output(5)])],
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+
+        let dp = compile_default(&p).unwrap();
+        let mut http = PacketBuilder::tcp().tcp_dst(80).build();
+        assert_eq!(dp.process(&mut http).outputs, vec![5]);
+        let mut other = PacketBuilder::tcp().tcp_dst(22).build();
+        assert_eq!(dp.process(&mut other).outputs, vec![3]);
+    }
+
+    #[test]
+    fn metadata_and_clear_actions() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::WriteActions(vec![Action::Output(3)]),
+                Instruction::WriteMetadata { value: 0x7, mask: 0xf },
+                Instruction::GotoTable(1),
+            ],
+        ));
+        let t1 = p.table_mut(1).unwrap();
+        t1.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::Metadata, 0x7),
+            10,
+            vec![
+                Instruction::ClearActions,
+                Instruction::ApplyActions(vec![Action::Output(9)]),
+            ],
+        ));
+        t1.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+
+        let dp = compile_default(&p).unwrap();
+        let mut pkt = PacketBuilder::udp().build();
+        let verdict = dp.process(&mut pkt);
+        assert_eq!(verdict.outputs, vec![9]);
+    }
+
+    #[test]
+    fn miss_behaviours() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().miss = TableMissBehavior::Continue;
+        p.table_mut(1).unwrap().miss = TableMissBehavior::ToController;
+        let dp = compile_default(&p).unwrap();
+        let mut pkt = PacketBuilder::udp().build();
+        let verdict = dp.process(&mut pkt);
+        assert!(verdict.to_controller);
+        assert_eq!(dp.stats.punted.packets(), 1);
+
+        let empty = Pipeline::new();
+        let dp = compile_default(&empty).unwrap();
+        let mut pkt = PacketBuilder::udp().build();
+        assert!(dp.process(&mut pkt).is_drop());
+    }
+
+    #[test]
+    fn action_sets_are_shared_across_flows() {
+        // 64 MAC entries all forwarding to the same 4 ports: at most 5
+        // distinct compiled action sets (4 outputs + none for the catch-all).
+        let pipeline = l2_pipeline(64);
+        let mut store = ActionStore::new();
+        let table = pipeline.table(0).unwrap();
+        let _ = compile_table(table, &CompilerConfig::default(), &mut store);
+        assert!(store.len() <= 4, "action sets not shared: {}", store.len());
+    }
+
+    #[test]
+    fn invalid_pipeline_rejected() {
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            1,
+            vec![Instruction::GotoTable(9)],
+        ));
+        assert!(matches!(
+            compile_default(&p),
+            Err(CompileError::InvalidPipeline(_))
+        ));
+    }
+
+    #[test]
+    fn disassembly_covers_all_tables() {
+        let dp = compile_default(&firewall_pipeline()).unwrap();
+        let listing = dp.disassemble();
+        assert!(listing.contains("table 0"));
+        assert!(listing.contains("table 1"));
+        assert!(listing.contains("L2_PARSER"));
+        assert!(dp.memory_footprint() > 0);
+    }
+
+    #[test]
+    fn vlan_pop_pipeline_equivalence() {
+        // Match on the VLAN tag, pop it, forward — the gateway's downstream
+        // direction in miniature.
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::VlanVid, 7),
+            10,
+            terminal_actions(vec![Action::PopVlan, Action::Output(2)]),
+        ));
+        p.table_mut(0).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        let packets = vec![
+            PacketBuilder::udp().vlan(7).build(),
+            PacketBuilder::udp().vlan(8).build(),
+            PacketBuilder::udp().build(),
+        ];
+        assert_equivalent(&p, &packets);
+    }
+}

@@ -1,0 +1,321 @@
+//! Matcher templates: one per OpenFlow match field.
+//!
+//! A matcher template is the paper's
+//! `mov eax,[r13+0x10]; xor eax,ADDR; and eax,MASK; jne next` fragment: load
+//! the field straight from the frame at the offset the parser template
+//! recorded, compare against the key that was *patched into the code* at
+//! specialization time, and fall through to the next flow entry on mismatch.
+//! The crucial difference from the flow-cache architecture is that only the
+//! fields the installed rules actually match on are ever loaded.
+
+use openflow::field::{Field, FieldValue};
+use pkt::parser::{ParsedHeaders, ProtoMask};
+
+/// Per-packet register state that is not part of the frame: the ingress port
+/// and the pipeline metadata register (the paper keeps these in CPU
+/// registers, hence the name).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Regs {
+    /// Ingress port of the packet.
+    pub in_port: u32,
+    /// OpenFlow metadata register, written by `WriteMetadata`.
+    pub metadata: u64,
+    /// Tunnel id metadata.
+    pub tunnel_id: u64,
+}
+
+/// Protocol-presence bits a match on `field` requires, used to build the
+/// per-entry prologue check (`mov eax,IP|TCP; or eax,r15d; cmp eax,r15d`).
+pub fn required_protocols(field: Field) -> ProtoMask {
+    match field {
+        Field::InPort | Field::InPhyPort | Field::Metadata | Field::TunnelId => ProtoMask::NONE,
+        Field::EthDst | Field::EthSrc | Field::EthType => ProtoMask::ETH,
+        Field::VlanVid | Field::VlanPcp => ProtoMask::VLAN,
+        Field::IpDscp | Field::IpEcn | Field::IpProto | Field::Ipv4Src | Field::Ipv4Dst => {
+            ProtoMask::IPV4
+        }
+        Field::Ipv6Src | Field::Ipv6Dst | Field::Ipv6Flabel | Field::Ipv6Exthdr
+        | Field::Ipv6NdTarget | Field::Ipv6NdSll | Field::Ipv6NdTll => ProtoMask::IPV6,
+        Field::ArpOp | Field::ArpSpa | Field::ArpTpa | Field::ArpSha | Field::ArpTha => {
+            ProtoMask::ARP
+        }
+        Field::TcpSrc | Field::TcpDst => ProtoMask::TCP,
+        Field::UdpSrc | Field::UdpDst => ProtoMask::UDP,
+        Field::SctpSrc | Field::SctpDst => ProtoMask::NONE,
+        Field::Icmpv4Type | Field::Icmpv4Code => ProtoMask::ICMP,
+        Field::Icmpv6Type | Field::Icmpv6Code => ProtoMask::IPV6,
+        Field::MplsLabel | Field::MplsTc | Field::MplsBos | Field::PbbIsid => ProtoMask::ETH,
+    }
+}
+
+/// Loads the raw value of `field` from the frame (or the register file),
+/// using the offsets recorded by the parser template. Returns `None` when the
+/// field's protocol layer is absent — the caller's prologue check normally
+/// prevents that, but table templates also use this for key construction.
+#[inline]
+pub fn load_field(
+    field: Field,
+    frame: &[u8],
+    headers: &ParsedHeaders,
+    regs: &Regs,
+) -> Option<FieldValue> {
+    let l2 = usize::from(headers.l2_offset);
+    let l3 = usize::from(headers.l3_offset);
+    let l4 = usize::from(headers.l4_offset);
+    match field {
+        Field::InPort | Field::InPhyPort => Some(FieldValue::from(regs.in_port)),
+        Field::Metadata => Some(FieldValue::from(regs.metadata)),
+        Field::TunnelId => Some(FieldValue::from(regs.tunnel_id)),
+        Field::EthDst => read_bytes(frame, l2, 6),
+        Field::EthSrc => read_bytes(frame, l2 + 6, 6),
+        Field::EthType => Some(FieldValue::from(headers.ethertype)),
+        Field::VlanVid => headers
+            .mask
+            .contains(ProtoMask::VLAN)
+            .then_some(FieldValue::from(headers.vlan_vid)),
+        Field::VlanPcp => headers
+            .mask
+            .contains(ProtoMask::VLAN)
+            .then_some(FieldValue::from(headers.vlan_pcp)),
+        Field::IpDscp => {
+            headers.has_ipv4().then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b >> 2)))?
+        }
+        Field::IpEcn => {
+            headers.has_ipv4().then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b & 3)))?
+        }
+        Field::IpProto => (headers.has_ipv4() || headers.mask.contains(ProtoMask::IPV6))
+            .then_some(FieldValue::from(headers.ip_proto)),
+        Field::Ipv4Src => headers.has_ipv4().then(|| read_bytes(frame, l3 + 12, 4))?,
+        Field::Ipv4Dst => headers.has_ipv4().then(|| read_bytes(frame, l3 + 16, 4))?,
+        Field::Ipv6Src => headers
+            .mask
+            .contains(ProtoMask::IPV6)
+            .then(|| read_bytes(frame, l3 + 8, 16))?,
+        Field::Ipv6Dst => headers
+            .mask
+            .contains(ProtoMask::IPV6)
+            .then(|| read_bytes(frame, l3 + 24, 16))?,
+        Field::TcpSrc => headers.has_tcp().then(|| read_bytes(frame, l4, 2))?,
+        Field::TcpDst => headers.has_tcp().then(|| read_bytes(frame, l4 + 2, 2))?,
+        Field::UdpSrc => headers.has_udp().then(|| read_bytes(frame, l4, 2))?,
+        Field::UdpDst => headers.has_udp().then(|| read_bytes(frame, l4 + 2, 2))?,
+        Field::Icmpv4Type => headers
+            .mask
+            .contains(ProtoMask::ICMP)
+            .then(|| read_bytes(frame, l4, 1))?,
+        Field::Icmpv4Code => headers
+            .mask
+            .contains(ProtoMask::ICMP)
+            .then(|| read_bytes(frame, l4 + 1, 1))?,
+        Field::ArpOp => headers
+            .mask
+            .contains(ProtoMask::ARP)
+            .then(|| read_bytes(frame, l3 + 6, 2))?,
+        Field::ArpSha => headers
+            .mask
+            .contains(ProtoMask::ARP)
+            .then(|| read_bytes(frame, l3 + 8, 6))?,
+        Field::ArpSpa => headers
+            .mask
+            .contains(ProtoMask::ARP)
+            .then(|| read_bytes(frame, l3 + 14, 4))?,
+        Field::ArpTha => headers
+            .mask
+            .contains(ProtoMask::ARP)
+            .then(|| read_bytes(frame, l3 + 18, 6))?,
+        Field::ArpTpa => headers
+            .mask
+            .contains(ProtoMask::ARP)
+            .then(|| read_bytes(frame, l3 + 24, 4))?,
+        // Fields the prototype does not model in the frame.
+        Field::MplsLabel
+        | Field::MplsTc
+        | Field::MplsBos
+        | Field::PbbIsid
+        | Field::Ipv6Flabel
+        | Field::Ipv6NdTarget
+        | Field::Ipv6NdSll
+        | Field::Ipv6NdTll
+        | Field::Ipv6Exthdr
+        | Field::SctpSrc
+        | Field::SctpDst
+        | Field::Icmpv6Type
+        | Field::Icmpv6Code => None,
+    }
+}
+
+/// Reads `len` big-endian bytes at `offset` into the low bits of a value.
+#[inline]
+fn read_bytes(frame: &[u8], offset: usize, len: usize) -> Option<FieldValue> {
+    let bytes = frame.get(offset..offset + len)?;
+    let mut v: FieldValue = 0;
+    for b in bytes {
+        v = (v << 8) | FieldValue::from(*b);
+    }
+    Some(v)
+}
+
+/// A specialised matcher: the field to load plus the key and mask that were
+/// patched in at template-specialization time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledMatcher {
+    /// Field the matcher loads.
+    pub field: Field,
+    /// Patched key (pre-masked).
+    pub key: FieldValue,
+    /// Patched mask.
+    pub mask: FieldValue,
+}
+
+impl CompiledMatcher {
+    /// Specialises a matcher template with a key and mask.
+    pub fn new(field: Field, key: FieldValue, mask: FieldValue) -> Self {
+        CompiledMatcher {
+            field,
+            key: key & mask,
+            mask,
+        }
+    }
+
+    /// Runs the matcher against a packet.
+    #[inline]
+    pub fn matches(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> bool {
+        match load_field(self.field, frame, headers, regs) {
+            Some(value) => value & self.mask == self.key,
+            None => false,
+        }
+    }
+
+    /// Renders the matcher in the paper's macro notation, e.g.
+    /// `IP_DST_ADDR_MATCHER(0xc0000201, 0xffffff00)`.
+    pub fn disassemble(&self) -> String {
+        let name = format!("{:?}", self.field)
+            .chars()
+            .flat_map(|c| {
+                if c.is_uppercase() {
+                    vec!['_', c]
+                } else {
+                    vec![c.to_ascii_uppercase()]
+                }
+            })
+            .collect::<String>()
+            .trim_start_matches('_')
+            .to_string();
+        if self.mask == self.field.full_mask() {
+            format!("    {name}_MATCHER({:#x})", self.key)
+        } else {
+            format!("    {name}_MATCHER({:#x}, {:#x})", self.key, self.mask)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+    use pkt::parser::{parse, ParseDepth};
+
+    fn packet_headers_regs(
+        pkt: &pkt::Packet,
+    ) -> (ParsedHeaders, Regs) {
+        let headers = parse(pkt.data(), ParseDepth::L4);
+        let regs = Regs {
+            in_port: pkt.in_port,
+            ..Default::default()
+        };
+        (headers, regs)
+    }
+
+    #[test]
+    fn load_field_agrees_with_flow_key_extraction() {
+        let pkt = PacketBuilder::tcp()
+            .eth_src([2, 0, 0, 0, 0, 7])
+            .ipv4_src([10, 1, 2, 3])
+            .ipv4_dst([192, 0, 2, 9])
+            .tcp_src(4000)
+            .tcp_dst(443)
+            .in_port(5)
+            .build();
+        let key = openflow::FlowKey::extract(&pkt);
+        let (headers, regs) = packet_headers_regs(&pkt);
+        for field in [
+            Field::InPort,
+            Field::EthDst,
+            Field::EthSrc,
+            Field::EthType,
+            Field::IpProto,
+            Field::Ipv4Src,
+            Field::Ipv4Dst,
+            Field::TcpSrc,
+            Field::TcpDst,
+        ] {
+            assert_eq!(
+                load_field(field, pkt.data(), &headers, &regs),
+                key.get(field),
+                "field {field:?}"
+            );
+        }
+        // Fields absent from a TCP packet.
+        assert_eq!(load_field(Field::UdpDst, pkt.data(), &headers, &regs), None);
+        assert_eq!(load_field(Field::VlanVid, pkt.data(), &headers, &regs), None);
+        assert_eq!(load_field(Field::ArpOp, pkt.data(), &headers, &regs), None);
+    }
+
+    #[test]
+    fn vlan_and_arp_loads() {
+        let tagged = PacketBuilder::udp().vlan(42).udp_dst(53).build();
+        let (headers, regs) = packet_headers_regs(&tagged);
+        assert_eq!(load_field(Field::VlanVid, tagged.data(), &headers, &regs), Some(42));
+        assert_eq!(load_field(Field::UdpDst, tagged.data(), &headers, &regs), Some(53));
+
+        let arp = PacketBuilder::arp_request(
+            pkt::MacAddr::new([2, 0, 0, 0, 0, 1]),
+            pkt::Ipv4Addr4::new(10, 0, 0, 1),
+            pkt::Ipv4Addr4::new(10, 0, 0, 2),
+        );
+        let headers = parse(arp.data(), ParseDepth::L3);
+        let regs = Regs::default();
+        assert_eq!(load_field(Field::ArpOp, arp.data(), &headers, &regs), Some(1));
+        assert_eq!(
+            load_field(Field::ArpTpa, arp.data(), &headers, &regs),
+            Some(FieldValue::from(pkt::Ipv4Addr4::new(10, 0, 0, 2).to_u32()))
+        );
+    }
+
+    #[test]
+    fn matcher_exact_and_masked() {
+        let pkt = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 77]).tcp_dst(80).build();
+        let (headers, regs) = packet_headers_regs(&pkt);
+
+        let exact = CompiledMatcher::new(Field::TcpDst, 80, Field::TcpDst.full_mask());
+        assert!(exact.matches(pkt.data(), &headers, &regs));
+        let wrong = CompiledMatcher::new(Field::TcpDst, 81, Field::TcpDst.full_mask());
+        assert!(!wrong.matches(pkt.data(), &headers, &regs));
+
+        let prefix = CompiledMatcher::new(Field::Ipv4Dst, 0xc000_0200, 0xffff_ff00);
+        assert!(prefix.matches(pkt.data(), &headers, &regs));
+        let other_net = CompiledMatcher::new(Field::Ipv4Dst, 0xc000_0300, 0xffff_ff00);
+        assert!(!other_net.matches(pkt.data(), &headers, &regs));
+
+        // Matching a UDP field on a TCP packet fails rather than panics.
+        let udp = CompiledMatcher::new(Field::UdpDst, 80, Field::UdpDst.full_mask());
+        assert!(!udp.matches(pkt.data(), &headers, &regs));
+    }
+
+    #[test]
+    fn required_protocol_masks() {
+        assert_eq!(required_protocols(Field::TcpDst), ProtoMask::TCP);
+        assert_eq!(required_protocols(Field::Ipv4Dst), ProtoMask::IPV4);
+        assert_eq!(required_protocols(Field::InPort), ProtoMask::NONE);
+        assert_eq!(required_protocols(Field::VlanVid), ProtoMask::VLAN);
+    }
+
+    #[test]
+    fn disassembly_shows_patched_keys() {
+        let m = CompiledMatcher::new(Field::Ipv4Dst, 0xc0000201, 0xffffff00);
+        let text = m.disassemble();
+        assert!(text.contains("IPV4_DST_MATCHER"), "{text}");
+        assert!(text.contains("0xc0000200"));
+        assert!(text.contains("0xffffff00"));
+    }
+}

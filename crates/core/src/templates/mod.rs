@@ -1,0 +1,33 @@
+//! The ESWITCH template library (§3.1 of the paper).
+//!
+//! A *template* is a unit of common OpenFlow packet-processing behaviour that
+//! admits a simple, composable, specialised implementation. The paper ships
+//! them as pre-compiled object-code fragments into which flow keys are
+//! patched at specialization time; here each template is a small Rust
+//! structure carrying its patched keys, with a monomorphic `lookup`/`execute`
+//! path and a [`disassemble`](table::CompiledTable::disassemble) method that
+//! renders the pseudo-assembly listing the paper shows.
+//!
+//! Four template families exist:
+//!
+//! * [`parser`] — L2/L3/L4 packet parser templates (incremental: the L4
+//!   parser composes the L3 parser composes the L2 parser),
+//! * [`matcher`] — one per OpenFlow match field: load the field from the
+//!   frame, XOR with the patched key, mask, conditional jump,
+//! * [`table`] — the four flow-table templates of Fig. 4: direct code,
+//!   compound hash, LPM and linked list,
+//! * [`action`] — one per action type; identical action sets are shared
+//!   across flows.
+
+pub mod action;
+pub mod matcher;
+pub mod parser;
+pub mod table;
+
+pub use action::{ActionStore, CompiledAction, CompiledActionSet};
+pub use matcher::{load_field, required_protocols, CompiledMatcher, Regs};
+pub use parser::ParserTemplate;
+pub use table::{
+    CompiledEntry, CompiledInstrs, CompiledTable, CompoundHashTable, DirectCodeTable,
+    LinkedListTable, LpmTable,
+};

@@ -1,0 +1,114 @@
+//! Packet parser templates.
+//!
+//! "ESWITCH separates header parsing at layer boundaries: it includes a
+//! separate L2, L3, and L4 parser. The motivation is to save on parsing for
+//! layers that do not participate in flow formation." The compiler inspects
+//! every field matched anywhere in the pipeline and emits the shallowest
+//! parser that covers them all.
+
+use openflow::field::{Field, FieldLayer};
+use pkt::parser::{parse, ParseDepth, ParsedHeaders};
+
+/// A specialised parser: parse exactly as deep as the pipeline needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserTemplate {
+    depth: ParseDepth,
+}
+
+impl ParserTemplate {
+    /// Builds the parser template covering every field in `fields`.
+    /// An empty field set (a pipeline that matches on nothing but metadata)
+    /// still parses L2 so that the Ethernet header is available to actions.
+    pub fn for_fields(fields: impl IntoIterator<Item = Field>) -> Self {
+        let mut depth = ParseDepth::L2;
+        for field in fields {
+            let required = match field.layer() {
+                FieldLayer::Meta => ParseDepth::L2,
+                FieldLayer::L2 => ParseDepth::L2,
+                FieldLayer::L3 => ParseDepth::L3,
+                FieldLayer::L4 => ParseDepth::L4,
+            };
+            if required > depth {
+                depth = required;
+            }
+        }
+        ParserTemplate { depth }
+    }
+
+    /// A parser with an explicit depth (used by tests and by the prototype's
+    /// default combined L2–L4 parser mode).
+    pub fn with_depth(depth: ParseDepth) -> Self {
+        ParserTemplate { depth }
+    }
+
+    /// The parse depth this template reaches.
+    pub fn depth(&self) -> ParseDepth {
+        self.depth
+    }
+
+    /// Runs the parser over a frame.
+    #[inline]
+    pub fn parse(&self, frame: &[u8]) -> ParsedHeaders {
+        parse(frame, self.depth)
+    }
+
+    /// Renders the pseudo-assembly listing of the composed parser, in the
+    /// style of the paper's `PROTOCOL_PARSER` fragment.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::from("PROTOCOL_PARSER: <set protocol bitmask in r15>\n");
+        out.push_str("L2_PARSER:  mov r12, <pointer to L2 header>\n");
+        if self.depth >= ParseDepth::L3 {
+            out.push_str("L3_PARSER:  mov r13, <pointer to L3 header>\n");
+        }
+        if self.depth >= ParseDepth::L4 {
+            out.push_str("L4_PARSER:  mov r14, <pointer to L4 header>\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn depth_follows_deepest_field() {
+        assert_eq!(
+            ParserTemplate::for_fields([Field::EthDst, Field::VlanVid]).depth(),
+            ParseDepth::L2
+        );
+        assert_eq!(
+            ParserTemplate::for_fields([Field::EthDst, Field::Ipv4Dst]).depth(),
+            ParseDepth::L3
+        );
+        assert_eq!(
+            ParserTemplate::for_fields([Field::Ipv4Dst, Field::TcpDst]).depth(),
+            ParseDepth::L4
+        );
+        assert_eq!(ParserTemplate::for_fields([]).depth(), ParseDepth::L2);
+        assert_eq!(
+            ParserTemplate::for_fields([Field::InPort]).depth(),
+            ParseDepth::L2
+        );
+    }
+
+    #[test]
+    fn l2_parser_skips_upper_layers() {
+        let p = ParserTemplate::for_fields([Field::EthDst]);
+        let pkt = PacketBuilder::tcp().tcp_dst(80).build();
+        let headers = p.parse(pkt.data());
+        assert!(!headers.has_tcp(), "L2 parser must not touch L4");
+        let p4 = ParserTemplate::for_fields([Field::TcpDst]);
+        assert!(p4.parse(pkt.data()).has_tcp());
+    }
+
+    #[test]
+    fn disassembly_lists_composed_layers() {
+        let l2 = ParserTemplate::with_depth(ParseDepth::L2).disassemble();
+        assert!(l2.contains("L2_PARSER"));
+        assert!(!l2.contains("L4_PARSER"));
+        let l4 = ParserTemplate::with_depth(ParseDepth::L4).disassemble();
+        assert!(l4.contains("L3_PARSER") && l4.contains("L4_PARSER"));
+    }
+}

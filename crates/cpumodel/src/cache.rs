@@ -1,0 +1,212 @@
+//! Working-set → cache-residency estimation and per-packet access accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::SystemProfile;
+
+/// A level of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheLevel {
+    /// L1 data cache.
+    L1,
+    /// L2 cache.
+    L2,
+    /// Last-level cache.
+    L3,
+    /// Main memory (an LLC miss).
+    Dram,
+}
+
+/// The per-packet memory-access profile of a datapath run: how many accesses
+/// were served from each level.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AccessProfile {
+    /// Accesses served from L1.
+    pub l1: f64,
+    /// Accesses served from L2.
+    pub l2: f64,
+    /// Accesses served from L3.
+    pub l3: f64,
+    /// Accesses that missed the LLC (DRAM references).
+    pub dram: f64,
+}
+
+impl AccessProfile {
+    /// Total accesses per packet.
+    pub fn total(&self) -> f64 {
+        self.l1 + self.l2 + self.l3 + self.dram
+    }
+
+    /// LLC misses per packet — the Fig. 15 metric.
+    pub fn llc_misses(&self) -> f64 {
+        self.dram
+    }
+
+    /// Cycles spent in memory accesses per packet on `profile`.
+    pub fn cycles(&self, profile: &SystemProfile) -> f64 {
+        self.l1 * profile.l1_latency
+            + self.l2 * profile.l2_latency
+            + self.l3 * profile.l3_latency
+            + self.dram * profile.dram_latency
+    }
+
+    /// Adds another profile (e.g. accumulate per-stage accesses).
+    pub fn add(&mut self, other: &AccessProfile) {
+        self.l1 += other.l1;
+        self.l2 += other.l2;
+        self.l3 += other.l3;
+        self.dram += other.dram;
+    }
+}
+
+/// The cache hierarchy model: given the resident working set touched per
+/// packet, estimate where accesses are served from.
+///
+/// The estimator follows the paper's reasoning in §4.4: as the active flow
+/// set (and therefore the slice of lookup structures and per-flow state that
+/// is actually exercised) grows, accesses shift from L1 to L2 to L3 and
+/// finally start missing the LLC. The split is proportional: a working set
+/// `w` and a cache of capacity `c` serve `min(1, c/w)` of accesses from that
+/// level, the remainder spilling to the next.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    profile: SystemProfile,
+}
+
+impl CacheHierarchy {
+    /// Builds the model for a hardware profile.
+    pub fn new(profile: SystemProfile) -> Self {
+        CacheHierarchy { profile }
+    }
+
+    /// The hardware profile used.
+    pub fn profile(&self) -> &SystemProfile {
+        &self.profile
+    }
+
+    /// Splits `accesses_per_packet` uniformly distributed accesses over a
+    /// working set of `working_set_bytes` across the hierarchy.
+    pub fn distribute(&self, accesses_per_packet: f64, working_set_bytes: usize) -> AccessProfile {
+        let ws = working_set_bytes.max(1) as f64;
+        let frac = |capacity: usize| -> f64 {
+            if capacity == 0 {
+                0.0
+            } else {
+                (capacity as f64 / ws).min(1.0)
+            }
+        };
+        // Fraction of the working set resident in each successive level
+        // (inclusive caches: L1 ⊂ L2 ⊂ L3).
+        let f1 = frac(self.profile.l1_bytes);
+        let f2 = frac(self.profile.l2_bytes).max(f1);
+        let f3 = frac(self.profile.l3_bytes).max(f2);
+        AccessProfile {
+            l1: accesses_per_packet * f1,
+            l2: accesses_per_packet * (f2 - f1),
+            l3: accesses_per_packet * (f3 - f2),
+            dram: accesses_per_packet * (1.0 - f3),
+        }
+    }
+
+    /// Estimates the level a working set of this size is effectively served
+    /// from (the dominant level), used for coarse reporting.
+    pub fn dominant_level(&self, working_set_bytes: usize) -> CacheLevel {
+        let p = self.distribute(1.0, working_set_bytes);
+        let mut best = (CacheLevel::L1, p.l1);
+        for (level, frac) in [
+            (CacheLevel::L2, p.l2),
+            (CacheLevel::L3, p.l3),
+            (CacheLevel::Dram, p.dram),
+        ] {
+            if frac > best.1 {
+                best = (level, frac);
+            }
+        }
+        best.0
+    }
+
+    /// Convenience: LLC misses per packet for a datapath making
+    /// `accesses_per_packet` data-structure accesses over the given working
+    /// set (Fig. 15's y-axis).
+    pub fn llc_misses_per_packet(&self, accesses_per_packet: f64, working_set_bytes: usize) -> f64 {
+        self.distribute(accesses_per_packet, working_set_bytes).llc_misses()
+    }
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        CacheHierarchy::new(SystemProfile::paper_sut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_working_set_stays_in_l1() {
+        let h = CacheHierarchy::default();
+        let p = h.distribute(4.0, 8 * 1024);
+        assert!((p.l1 - 4.0).abs() < 1e-9);
+        assert_eq!(p.llc_misses(), 0.0);
+        assert_eq!(h.dominant_level(8 * 1024), CacheLevel::L1);
+    }
+
+    #[test]
+    fn growing_working_set_shifts_down_the_hierarchy() {
+        let h = CacheHierarchy::default();
+        let small = h.distribute(3.0, 16 * 1024);
+        let medium = h.distribute(3.0, 128 * 1024);
+        let large = h.distribute(3.0, 4 * 1024 * 1024);
+        let huge = h.distribute(3.0, 256 * 1024 * 1024);
+
+        // Cycle cost is monotone in working-set size.
+        let prof = SystemProfile::paper_sut();
+        assert!(small.cycles(&prof) < medium.cycles(&prof));
+        assert!(medium.cycles(&prof) < large.cycles(&prof));
+        assert!(large.cycles(&prof) < huge.cycles(&prof));
+
+        // Only the huge working set produces LLC misses.
+        assert_eq!(large.llc_misses(), 0.0);
+        assert!(huge.llc_misses() > 0.0);
+        assert_eq!(h.dominant_level(256 * 1024 * 1024), CacheLevel::Dram);
+        assert_eq!(h.dominant_level(4 * 1024 * 1024), CacheLevel::L3);
+    }
+
+    #[test]
+    fn access_totals_preserved() {
+        let h = CacheHierarchy::default();
+        for ws in [1usize, 10_000, 1_000_000, 100_000_000] {
+            let p = h.distribute(5.0, ws);
+            assert!((p.total() - 5.0).abs() < 1e-9, "ws {ws}");
+        }
+    }
+
+    #[test]
+    fn profile_accumulation() {
+        let mut a = AccessProfile {
+            l1: 1.0,
+            l2: 0.5,
+            l3: 0.0,
+            dram: 0.1,
+        };
+        let b = AccessProfile {
+            l1: 2.0,
+            l2: 0.0,
+            l3: 1.0,
+            dram: 0.0,
+        };
+        a.add(&b);
+        assert!((a.total() - 4.6).abs() < 1e-9);
+        assert!((a.llc_misses() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atom_profile_without_l3() {
+        let h = CacheHierarchy::new(SystemProfile::paper_atom());
+        let p = h.distribute(2.0, 64 * 1024 * 1024);
+        // With no L3 the spill goes straight to DRAM.
+        assert!(p.dram > 0.0);
+        assert!((p.total() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,26 @@
+//! # cpumodel — CPU cache hierarchy and cycle accounting
+//!
+//! The paper's evaluation leans on two hardware-level observables that a
+//! portable reproduction cannot measure directly: last-level-cache misses per
+//! packet (`perf` counters, Fig. 15) and the cycle budget split between fixed
+//! work and cache accesses (Figs. 16 and 20, the model-lb/ub bounds of
+//! Fig. 13). This crate provides the substitute: a parameterised description
+//! of the memory hierarchy ([`SystemProfile`], defaulting to Table 1's Sandy
+//! Bridge machine), a working-set → cache-residency estimator
+//! ([`CacheHierarchy`]), and a per-packet cycle/miss accountant
+//! ([`AccessProfile`]).
+//!
+//! The model is deliberately coarse — the paper itself stresses that "such
+//! models can never aim to be comprehensive" — but it reproduces the two
+//! effects the figures rely on:
+//!
+//! * a datapath whose working set fits a cache level pays that level's
+//!   latency per access and effectively never misses the LLC,
+//! * once the working set outgrows the LLC, a fraction of accesses become
+//!   DRAM references and show up as LLC misses per packet.
+
+pub mod cache;
+pub mod profile;
+
+pub use cache::{AccessProfile, CacheHierarchy, CacheLevel};
+pub use profile::SystemProfile;

@@ -1,0 +1,117 @@
+//! Hardware profile: the Table 1 datasheet as data.
+
+use serde::{Deserialize, Serialize};
+
+/// Description of the system under test, mirroring Table 1 of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemProfile {
+    /// Human-readable CPU model string.
+    pub cpu_model: String,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// L1 data cache size in bytes (per core).
+    pub l1_bytes: usize,
+    /// L2 cache size in bytes (per core).
+    pub l2_bytes: usize,
+    /// L3 (LLC) size in bytes (shared).
+    pub l3_bytes: usize,
+    /// L1 load-to-use latency in cycles.
+    pub l1_latency: f64,
+    /// L2 latency in cycles.
+    pub l2_latency: f64,
+    /// L3 latency in cycles.
+    pub l3_latency: f64,
+    /// DRAM latency in cycles (not listed in Table 1; a conventional value
+    /// for the platform).
+    pub dram_latency: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+}
+
+impl SystemProfile {
+    /// The paper's system under test: Intel Xeon E5-2620 (Sandy Bridge),
+    /// 32 KB L1d, 256 KB L2, 15 MB L3, latencies 4/12/29 cycles, 2.0 GHz.
+    pub fn paper_sut() -> Self {
+        SystemProfile {
+            cpu_model: "Intel Xeon E5-2620 @ 2.00GHz (Sandy Bridge)".to_string(),
+            clock_hz: 2.0e9,
+            l1_bytes: 32 * 1024,
+            l2_bytes: 256 * 1024,
+            l3_bytes: 15 * 1024 * 1024,
+            l1_latency: 4.0,
+            l2_latency: 12.0,
+            l3_latency: 29.0,
+            dram_latency: 180.0,
+            line_bytes: 64,
+        }
+    }
+
+    /// The slower Atom platform the paper switches to for the multi-core
+    /// experiment of Fig. 19 (2.4 GHz, smaller caches).
+    pub fn paper_atom() -> Self {
+        SystemProfile {
+            cpu_model: "Intel Atom @ 2.40GHz".to_string(),
+            clock_hz: 2.4e9,
+            l1_bytes: 24 * 1024,
+            l2_bytes: 1024 * 1024,
+            l3_bytes: 0,
+            l1_latency: 3.0,
+            l2_latency: 15.0,
+            l3_latency: 15.0,
+            dram_latency: 200.0,
+            line_bytes: 64,
+        }
+    }
+
+    /// Converts cycles per packet into packets per second on this profile.
+    pub fn packets_per_second(&self, cycles_per_packet: f64) -> f64 {
+        if cycles_per_packet <= 0.0 {
+            return 0.0;
+        }
+        self.clock_hz / cycles_per_packet
+    }
+
+    /// Renders a Table 1-style datasheet block for harness output headers.
+    pub fn render_datasheet(&self) -> String {
+        format!(
+            "CPU: {}\nCaches: {}k L1d, {}k L2, {}M L3\nCache latency: L1 = {} cycles, L2 = {} cycles, L3 = {} cycles\nClock: {:.2} GHz",
+            self.cpu_model,
+            self.l1_bytes / 1024,
+            self.l2_bytes / 1024,
+            self.l3_bytes / (1024 * 1024),
+            self.l1_latency,
+            self.l2_latency,
+            self.l3_latency,
+            self.clock_hz / 1e9
+        )
+    }
+}
+
+impl Default for SystemProfile {
+    fn default() -> Self {
+        Self::paper_sut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sut_matches_table1() {
+        let p = SystemProfile::paper_sut();
+        assert_eq!(p.l1_latency, 4.0);
+        assert_eq!(p.l2_latency, 12.0);
+        assert_eq!(p.l3_latency, 29.0);
+        assert_eq!(p.l3_bytes, 15 * 1024 * 1024);
+        assert!(p.render_datasheet().contains("E5-2620"));
+    }
+
+    #[test]
+    fn rate_conversion() {
+        let p = SystemProfile::paper_sut();
+        // 200 cycles/packet at 2 GHz = 10 Mpps.
+        assert!((p.packets_per_second(200.0) - 10.0e6).abs() < 1.0);
+        assert_eq!(p.packets_per_second(0.0), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Packet batches.
+//!
+//! DPDK applications process packets in bursts (typically 32) to amortise
+//! per-call overheads and keep the working set in cache; both datapaths in
+//! this workspace do the same.
+
+use pkt::Packet;
+
+/// Default burst size, matching DPDK's conventional `rx_burst` of 32.
+pub const BURST_SIZE: usize = 32;
+
+/// A batch of packets moving through a datapath together.
+///
+/// Thin, explicit wrapper around a `Vec<Packet>` so that code passing batches
+/// around documents intent and gets the couple of helpers (drain splitting by
+/// verdict, byte accounting) the harnesses need.
+#[derive(Debug, Default, Clone)]
+pub struct PacketBatch {
+    packets: Vec<Packet>,
+}
+
+impl PacketBatch {
+    /// Creates an empty batch with the default burst capacity.
+    pub fn new() -> Self {
+        PacketBatch {
+            packets: Vec::with_capacity(BURST_SIZE),
+        }
+    }
+
+    /// Creates an empty batch with the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PacketBatch {
+            packets: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Builds a batch from existing packets.
+    pub fn from_packets(packets: Vec<Packet>) -> Self {
+        PacketBatch { packets }
+    }
+
+    /// Adds a packet to the batch.
+    pub fn push(&mut self, packet: Packet) {
+        self.packets.push(packet);
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total frame bytes in the batch.
+    pub fn bytes(&self) -> usize {
+        self.packets.iter().map(Packet::len).sum()
+    }
+
+    /// Read-only view of the packets.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Mutable view of the packets (for in-place header rewrites).
+    pub fn packets_mut(&mut self) -> &mut [Packet] {
+        &mut self.packets
+    }
+
+    /// Removes and returns all packets, leaving the batch empty but with its
+    /// capacity intact so it can be reused for the next burst.
+    pub fn drain(&mut self) -> Vec<Packet> {
+        std::mem::take(&mut self.packets)
+    }
+
+    /// Iterates over the packets.
+    pub fn iter(&self) -> std::slice::Iter<'_, Packet> {
+        self.packets.iter()
+    }
+}
+
+impl IntoIterator for PacketBatch {
+    type Item = Packet;
+    type IntoIter = std::vec::IntoIter<Packet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.packets.into_iter()
+    }
+}
+
+impl FromIterator<Packet> for PacketBatch {
+    fn from_iter<I: IntoIterator<Item = Packet>>(iter: I) -> Self {
+        PacketBatch {
+            packets: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn push_len_bytes() {
+        let mut batch = PacketBatch::new();
+        assert!(batch.is_empty());
+        batch.push(PacketBuilder::udp().build());
+        batch.push(PacketBuilder::tcp().pad_to(100).build());
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.bytes(), 60 + 100);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_reusable() {
+        let mut batch: PacketBatch = (0..5).map(|_| PacketBuilder::udp().build()).collect();
+        let taken = batch.drain();
+        assert_eq!(taken.len(), 5);
+        assert!(batch.is_empty());
+        batch.push(PacketBuilder::tcp().build());
+        assert_eq!(batch.len(), 1);
+    }
+
+    #[test]
+    fn iteration() {
+        let batch: PacketBatch = (0..3)
+            .map(|i| PacketBuilder::udp().in_port(i).build())
+            .collect();
+        let ports: Vec<u32> = batch.iter().map(|p| p.in_port).collect();
+        assert_eq!(ports, vec![0, 1, 2]);
+        let owned: Vec<Packet> = batch.into_iter().collect();
+        assert_eq!(owned.len(), 3);
+    }
+}

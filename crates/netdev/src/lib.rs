@@ -1,0 +1,35 @@
+//! # netdev — DPDK-analogue substrate
+//!
+//! The ESWITCH prototype of the paper runs on top of the Intel DataPlane
+//! Development Kit: poll-mode ports, burst RX/TX, the `rte_lpm` DIR-24-8
+//! longest-prefix-match library and assorted lock-free rings. None of that is
+//! available (or wanted) in a portable reproduction, so this crate provides
+//! the equivalent in-process substrate the datapaths and benchmarks run on:
+//!
+//! * [`ring`] — bounded single-producer/single-consumer and multi-producer
+//!   rings used to back ports and inter-core queues (the `rte_ring` analogue),
+//! * [`port`] — polled ports with burst receive/transmit and per-port
+//!   statistics (the `rte_ethdev` analogue),
+//! * [`batch`] — fixed-burst packet batches (DPDK's `rx_burst` of 32),
+//! * [`lpm`] — a DIR-24-8 longest-prefix-match table, the same layout as
+//!   `rte_lpm`, backing the ESWITCH LPM table template,
+//! * [`perfect_hash`] — a collision-free hash with constant-time lookup,
+//!   backing the compound-hash table template,
+//! * [`stats`] — shared atomic packet/byte/drop counters.
+//!
+//! See DESIGN.md §1 for why this substitution preserves the behaviours the
+//! evaluation depends on.
+
+pub mod batch;
+pub mod lpm;
+pub mod perfect_hash;
+pub mod port;
+pub mod ring;
+pub mod stats;
+
+pub use batch::{PacketBatch, BURST_SIZE};
+pub use lpm::{Lpm, LpmError};
+pub use perfect_hash::PerfectHash;
+pub use port::{Port, PortId, PortStats};
+pub use ring::{MpmcRing, SpscRing};
+pub use stats::Counters;

@@ -1,0 +1,485 @@
+//! DIR-24-8 longest-prefix-match table — the `rte_lpm` analogue.
+//!
+//! The ESWITCH LPM table template of the paper is backed by DPDK's built-in
+//! `rte_lpm` library, which uses the DIR-24-8 layout: a directly indexed
+//! table covering the first 24 address bits (`tbl24`) plus on-demand groups
+//! of 256 entries covering the last 8 bits (`tbl8`) for prefixes longer than
+//! /24. A lookup is one memory access for prefixes up to /24 and exactly two
+//! for longer ones — the "13 + 2·Lx cycles, assuming two memory accesses" of
+//! the paper's Fig. 20 performance model.
+//!
+//! Next hops are `u16` (up to 65 534 distinct values), which comfortably
+//! covers the shared-action-set indices the switch stores in them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use pkt::ipv4::{prefix_mask, Ipv4Addr4};
+
+/// Entry layout shared by `tbl24` and `tbl8` slots.
+///
+/// Bit 31: valid. Bit 30: "extended" — the payload is a tbl8 group index
+/// rather than a next hop (only meaningful in `tbl24`). Bits 0..=15: payload.
+/// Bits 16..=23: depth of the owning prefix (used for make-before-break
+/// updates, exactly as `rte_lpm` stores it).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+struct Slot(u32);
+
+impl Slot {
+    const VALID: u32 = 1 << 31;
+    const EXTENDED: u32 = 1 << 30;
+
+    fn invalid() -> Self {
+        Slot(0)
+    }
+
+    fn next_hop(depth: u8, hop: u16) -> Self {
+        Slot(Self::VALID | (u32::from(depth) << 16) | u32::from(hop))
+    }
+
+    fn group(group_index: u16) -> Self {
+        Slot(Self::VALID | Self::EXTENDED | u32::from(group_index))
+    }
+
+    fn is_valid(self) -> bool {
+        self.0 & Self::VALID != 0
+    }
+
+    fn is_group(self) -> bool {
+        self.0 & Self::EXTENDED != 0
+    }
+
+    fn payload(self) -> u16 {
+        (self.0 & 0xffff) as u16
+    }
+
+    fn depth(self) -> u8 {
+        ((self.0 >> 16) & 0xff) as u8
+    }
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_valid() {
+            write!(f, "Slot(invalid)")
+        } else if self.is_group() {
+            write!(f, "Slot(group {})", self.payload())
+        } else {
+            write!(f, "Slot(hop {} depth {})", self.payload(), self.depth())
+        }
+    }
+}
+
+/// Errors returned by [`Lpm`] mutators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpmError {
+    /// Prefix length greater than 32.
+    InvalidDepth(u8),
+    /// All tbl8 groups are in use (too many long prefixes for the configured
+    /// capacity).
+    Tbl8Exhausted,
+    /// The (prefix, depth) pair is not present (delete of unknown rule).
+    NotFound,
+}
+
+impl fmt::Display for LpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpmError::InvalidDepth(d) => write!(f, "invalid prefix length {d}"),
+            LpmError::Tbl8Exhausted => write!(f, "out of tbl8 groups"),
+            LpmError::NotFound => write!(f, "rule not found"),
+        }
+    }
+}
+
+impl std::error::Error for LpmError {}
+
+const TBL24_SIZE: usize = 1 << 24;
+const TBL8_GROUP_SIZE: usize = 256;
+
+/// A DIR-24-8 longest-prefix-match table over IPv4 destinations.
+///
+/// Rules are also mirrored in a sorted rule store (`rules`) so that deletes
+/// can recompute the covering shorter prefix, exactly as `rte_lpm` keeps its
+/// rule list next to the lookup structure.
+pub struct Lpm {
+    // Fields below; see the manual Debug impl (the 16M-slot tbl24 must not be
+    // dumped element by element).
+    tbl24: Box<[Slot]>,
+    tbl8: Vec<[Slot; TBL8_GROUP_SIZE]>,
+    free_tbl8: Vec<u16>,
+    /// (depth, masked prefix) → next hop. BTreeMap keeps deterministic
+    /// iteration for rebuilds and covering-prefix searches.
+    rules: BTreeMap<(u8, u32), u16>,
+}
+
+impl Lpm {
+    /// Default number of tbl8 groups (DPDK's default is 256; we allow more so
+    /// the 10K-prefix gateway table never runs out).
+    pub const DEFAULT_TBL8_GROUPS: usize = 1024;
+
+    /// Creates an empty table with the default tbl8 capacity.
+    pub fn new() -> Self {
+        Self::with_tbl8_groups(Self::DEFAULT_TBL8_GROUPS)
+    }
+
+    /// Creates an empty table with room for `groups` tbl8 groups.
+    pub fn with_tbl8_groups(groups: usize) -> Self {
+        Lpm {
+            tbl24: vec![Slot::invalid(); TBL24_SIZE].into_boxed_slice(),
+            tbl8: Vec::new(),
+            free_tbl8: Vec::new(),
+            rules: BTreeMap::new(),
+            // tbl8 groups are allocated lazily up to `groups`.
+        }
+        .with_capacity_hint(groups)
+    }
+
+    fn with_capacity_hint(mut self, groups: usize) -> Self {
+        self.tbl8.reserve(groups);
+        self
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Adds (or replaces) the rule `prefix/depth → next_hop`.
+    pub fn add(&mut self, prefix: Ipv4Addr4, depth: u8, next_hop: u16) -> Result<(), LpmError> {
+        if depth > 32 {
+            return Err(LpmError::InvalidDepth(depth));
+        }
+        let masked = prefix.to_u32() & prefix_mask(depth);
+        self.rules.insert((depth, masked), next_hop);
+        self.install(masked, depth, next_hop)
+    }
+
+    /// Deletes the rule `prefix/depth`. Slots owned by the rule are
+    /// re-covered by the longest shorter prefix that still matches, or
+    /// invalidated if none exists.
+    pub fn delete(&mut self, prefix: Ipv4Addr4, depth: u8) -> Result<(), LpmError> {
+        if depth > 32 {
+            return Err(LpmError::InvalidDepth(depth));
+        }
+        let masked = prefix.to_u32() & prefix_mask(depth);
+        if self.rules.remove(&(depth, masked)).is_none() {
+            return Err(LpmError::NotFound);
+        }
+        // Find the covering rule (longest prefix shorter than `depth` that
+        // contains this prefix) and re-install it over the freed range; if
+        // none, clear the range.
+        let cover = self
+            .rules
+            .iter()
+            .filter(|((d, p), _)| *d < depth && masked & prefix_mask(*d) == *p)
+            .max_by_key(|((d, _), _)| *d)
+            .map(|((d, _), hop)| (*d, *hop));
+        match cover {
+            Some((cover_depth, hop)) => self.overwrite(masked, depth, cover_depth, hop),
+            None => self.clear(masked, depth),
+        }
+        Ok(())
+    }
+
+    /// Looks up the next hop for `addr`: at most one `tbl24` access plus one
+    /// `tbl8` access.
+    #[inline]
+    pub fn lookup(&self, addr: Ipv4Addr4) -> Option<u16> {
+        let ip = addr.to_u32();
+        let slot = self.tbl24[(ip >> 8) as usize];
+        if !slot.is_valid() {
+            return None;
+        }
+        if !slot.is_group() {
+            return Some(slot.payload());
+        }
+        let group = &self.tbl8[slot.payload() as usize];
+        let slot = group[(ip & 0xff) as usize];
+        slot.is_valid().then(|| slot.payload())
+    }
+
+    /// Number of memory accesses the last-level structure needs for `addr`
+    /// (1 for /24-covered addresses, 2 when a tbl8 group is consulted).
+    /// Used by the performance model.
+    pub fn lookup_depth(&self, addr: Ipv4Addr4) -> u8 {
+        let slot = self.tbl24[(addr.to_u32() >> 8) as usize];
+        if slot.is_valid() && slot.is_group() {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn install(&mut self, prefix: u32, depth: u8, hop: u16) -> Result<(), LpmError> {
+        if depth <= 24 {
+            let start = (prefix >> 8) as usize;
+            let count = 1usize << (24 - depth);
+            for idx in start..start + count {
+                let slot = self.tbl24[idx];
+                if slot.is_valid() && slot.is_group() {
+                    // Propagate into the existing tbl8 group where we are the
+                    // better (longer or equal) prefix.
+                    let group = &mut self.tbl8[slot.payload() as usize];
+                    for s in group.iter_mut() {
+                        if !s.is_valid() || s.depth() <= depth {
+                            *s = Slot::next_hop(depth, hop);
+                        }
+                    }
+                } else if !slot.is_valid() || slot.depth() <= depth {
+                    self.tbl24[idx] = Slot::next_hop(depth, hop);
+                }
+            }
+            Ok(())
+        } else {
+            let idx = (prefix >> 8) as usize;
+            let slot = self.tbl24[idx];
+            let group_index = if slot.is_valid() && slot.is_group() {
+                slot.payload()
+            } else {
+                // Allocate a new group, seeding it with the previous /<=24
+                // covering entry so shorter prefixes keep matching.
+                let group_index = self.alloc_tbl8()?;
+                let seed = if slot.is_valid() {
+                    Slot::next_hop(slot.depth(), slot.payload())
+                } else {
+                    Slot::invalid()
+                };
+                self.tbl8[group_index as usize] = [seed; TBL8_GROUP_SIZE];
+                self.tbl24[idx] = Slot::group(group_index);
+                group_index
+            };
+            let group = &mut self.tbl8[group_index as usize];
+            let start = (prefix & 0xff) as usize;
+            let count = 1usize << (32 - depth);
+            for s in group[start..start + count].iter_mut() {
+                if !s.is_valid() || s.depth() <= depth {
+                    *s = Slot::next_hop(depth, hop);
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// Overwrites every slot still owned by `depth` (i.e. whose recorded depth
+    /// equals `depth`) inside `prefix/depth` with the covering rule.
+    fn overwrite(&mut self, prefix: u32, depth: u8, cover_depth: u8, hop: u16) {
+        self.for_each_owned_slot(prefix, depth, |slot| {
+            *slot = Slot::next_hop(cover_depth, hop);
+        });
+    }
+
+    /// Clears every slot still owned by `depth` inside `prefix/depth`.
+    fn clear(&mut self, prefix: u32, depth: u8) {
+        self.for_each_owned_slot(prefix, depth, |slot| {
+            *slot = Slot::invalid();
+        });
+    }
+
+    fn for_each_owned_slot(&mut self, prefix: u32, depth: u8, mut f: impl FnMut(&mut Slot)) {
+        if depth <= 24 {
+            let start = (prefix >> 8) as usize;
+            let count = 1usize << (24 - depth);
+            for idx in start..start + count {
+                let slot = self.tbl24[idx];
+                if slot.is_valid() && slot.is_group() {
+                    let group = &mut self.tbl8[slot.payload() as usize];
+                    for s in group.iter_mut() {
+                        if s.is_valid() && !s.is_group() && s.depth() == depth {
+                            f(s);
+                        }
+                    }
+                } else if slot.is_valid() && slot.depth() == depth {
+                    f(&mut self.tbl24[idx]);
+                }
+            }
+        } else {
+            let idx = (prefix >> 8) as usize;
+            let slot = self.tbl24[idx];
+            if slot.is_valid() && slot.is_group() {
+                let group = &mut self.tbl8[slot.payload() as usize];
+                let start = (prefix & 0xff) as usize;
+                let count = 1usize << (32 - depth);
+                for s in group[start..start + count].iter_mut() {
+                    if s.is_valid() && s.depth() == depth {
+                        f(s);
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc_tbl8(&mut self) -> Result<u16, LpmError> {
+        if let Some(free) = self.free_tbl8.pop() {
+            return Ok(free);
+        }
+        if self.tbl8.len() >= usize::from(u16::MAX) {
+            return Err(LpmError::Tbl8Exhausted);
+        }
+        self.tbl8.push([Slot::invalid(); TBL8_GROUP_SIZE]);
+        Ok((self.tbl8.len() - 1) as u16)
+    }
+
+    /// Approximate resident size of the lookup structure in bytes; feeds the
+    /// working-set estimate of the cache model.
+    pub fn memory_footprint(&self) -> usize {
+        TBL24_SIZE * std::mem::size_of::<Slot>()
+            + self.tbl8.len() * TBL8_GROUP_SIZE * std::mem::size_of::<Slot>()
+    }
+}
+
+impl Default for Lpm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Lpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Lpm")
+            .field("rules", &self.rules.len())
+            .field("tbl8_groups", &self.tbl8.len())
+            .field("footprint_bytes", &self.memory_footprint())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr4 {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut lpm = Lpm::new();
+        lpm.add(ip("10.0.0.0"), 8, 1).unwrap();
+        lpm.add(ip("10.1.0.0"), 16, 2).unwrap();
+        lpm.add(ip("10.1.2.0"), 24, 3).unwrap();
+        lpm.add(ip("10.1.2.128"), 25, 4).unwrap();
+        assert_eq!(lpm.lookup(ip("10.9.9.9")), Some(1));
+        assert_eq!(lpm.lookup(ip("10.1.9.9")), Some(2));
+        assert_eq!(lpm.lookup(ip("10.1.2.9")), Some(3));
+        assert_eq!(lpm.lookup(ip("10.1.2.200")), Some(4));
+        assert_eq!(lpm.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = Lpm::new();
+        a.add(ip("192.0.2.0"), 24, 10).unwrap();
+        a.add(ip("192.0.0.0"), 16, 20).unwrap();
+        let mut b = Lpm::new();
+        b.add(ip("192.0.0.0"), 16, 20).unwrap();
+        b.add(ip("192.0.2.0"), 24, 10).unwrap();
+        for last in [1u8, 77, 200] {
+            let addr = Ipv4Addr4::new(192, 0, 2, last);
+            assert_eq!(a.lookup(addr), b.lookup(addr));
+            let other = Ipv4Addr4::new(192, 0, 7, last);
+            assert_eq!(a.lookup(other), Some(20));
+            assert_eq!(b.lookup(other), Some(20));
+        }
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut lpm = Lpm::new();
+        lpm.add(Ipv4Addr4::UNSPECIFIED, 0, 99).unwrap();
+        assert_eq!(lpm.lookup(ip("1.2.3.4")), Some(99));
+        assert_eq!(lpm.lookup(ip("255.255.255.255")), Some(99));
+        lpm.add(ip("198.51.100.0"), 24, 5).unwrap();
+        assert_eq!(lpm.lookup(ip("198.51.100.77")), Some(5));
+        assert_eq!(lpm.lookup(ip("198.51.101.77")), Some(99));
+    }
+
+    #[test]
+    fn host_route_via_tbl8() {
+        let mut lpm = Lpm::new();
+        lpm.add(ip("203.0.113.0"), 24, 1).unwrap();
+        lpm.add(ip("203.0.113.7"), 32, 2).unwrap();
+        assert_eq!(lpm.lookup(ip("203.0.113.7")), Some(2));
+        assert_eq!(lpm.lookup(ip("203.0.113.8")), Some(1));
+        assert_eq!(lpm.lookup_depth(ip("203.0.113.8")), 2);
+        assert_eq!(lpm.lookup_depth(ip("8.8.8.8")), 1);
+    }
+
+    #[test]
+    fn delete_restores_covering_prefix() {
+        let mut lpm = Lpm::new();
+        lpm.add(ip("10.0.0.0"), 8, 1).unwrap();
+        lpm.add(ip("10.1.0.0"), 16, 2).unwrap();
+        assert_eq!(lpm.lookup(ip("10.1.5.5")), Some(2));
+        lpm.delete(ip("10.1.0.0"), 16).unwrap();
+        assert_eq!(lpm.lookup(ip("10.1.5.5")), Some(1));
+        lpm.delete(ip("10.0.0.0"), 8).unwrap();
+        assert_eq!(lpm.lookup(ip("10.1.5.5")), None);
+        assert!(lpm.is_empty());
+    }
+
+    #[test]
+    fn delete_long_prefix_restores_cover_in_group() {
+        let mut lpm = Lpm::new();
+        lpm.add(ip("203.0.113.0"), 24, 1).unwrap();
+        lpm.add(ip("203.0.113.64"), 26, 2).unwrap();
+        assert_eq!(lpm.lookup(ip("203.0.113.70")), Some(2));
+        lpm.delete(ip("203.0.113.64"), 26).unwrap();
+        assert_eq!(lpm.lookup(ip("203.0.113.70")), Some(1));
+    }
+
+    #[test]
+    fn delete_unknown_is_error() {
+        let mut lpm = Lpm::new();
+        assert_eq!(lpm.delete(ip("10.0.0.0"), 8), Err(LpmError::NotFound));
+        assert_eq!(lpm.add(ip("10.0.0.0"), 40, 1), Err(LpmError::InvalidDepth(40)));
+    }
+
+    #[test]
+    fn replace_existing_rule_updates_hop() {
+        let mut lpm = Lpm::new();
+        lpm.add(ip("10.0.0.0"), 8, 1).unwrap();
+        lpm.add(ip("10.0.0.0"), 8, 7).unwrap();
+        assert_eq!(lpm.lookup(ip("10.3.4.5")), Some(7));
+        assert_eq!(lpm.len(), 1);
+    }
+
+    #[test]
+    fn many_prefixes_consistent_with_linear_scan() {
+        use rand::prelude::*;
+        use std::collections::BTreeMap;
+        let mut rng = StdRng::seed_from_u64(7);
+        // Later rules replace earlier ones at the same (prefix, depth), which
+        // is exactly what add() does, so a map keyed that way is the oracle.
+        let mut rules: BTreeMap<(u8, u32), u16> = BTreeMap::new();
+        let mut lpm = Lpm::new();
+        for hop in 0..500u16 {
+            let depth = rng.gen_range(8..=32);
+            let prefix = rng.gen::<u32>() & prefix_mask(depth);
+            rules.insert((depth, prefix), hop);
+            lpm.add(Ipv4Addr4::from_u32(prefix), depth, hop).unwrap();
+        }
+        for _ in 0..2000 {
+            let addr = rng.gen::<u32>();
+            let expected = rules
+                .iter()
+                .filter(|((d, p), _)| addr & prefix_mask(*d) == *p)
+                .max_by_key(|((d, _), _)| *d)
+                .map(|(_, h)| *h);
+            assert_eq!(lpm.lookup(Ipv4Addr4::from_u32(addr)), expected, "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn footprint_grows_with_tbl8_groups() {
+        let mut lpm = Lpm::new();
+        let base = lpm.memory_footprint();
+        lpm.add(ip("10.0.0.1"), 32, 1).unwrap();
+        assert!(lpm.memory_footprint() > base);
+    }
+}

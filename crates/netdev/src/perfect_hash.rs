@@ -1,0 +1,402 @@
+//! Collision-free hash table — the backing store of the compound-hash
+//! table template.
+//!
+//! The paper (§3.1): *"Our implementation uses a collision free hash; even
+//! though it requires more memory and more time to build, it supports fast
+//! constant time lookups, a key to a robust datapath performance."*
+//!
+//! The implementation is the classic FKS two-level scheme: a first-level hash
+//! splits the keys into buckets, and each bucket with `k` keys gets its own
+//! second-level table of `k²` slots whose seed is chosen so the bucket's keys
+//! collide nowhere. Lookups are therefore exactly two hash computations and
+//! one slot probe — constant time, no chains — while the structure stays
+//! linear in total size. Incremental inserts go to a small overflow vector; a
+//! rebuild (triggered automatically when the overflow grows, or explicitly by
+//! the caller — the paper rebuilds the hash template "periodically") folds
+//! them back into the collision-free tables.
+
+/// Keys are the compound match keys of the flow table, packed into 128 bits
+/// (destination MAC = 48 bits, VLAN ‖ IP source = 44 bits, IP dst ‖ TCP dst =
+/// 48 bits, and so on — every use case of the paper fits comfortably).
+pub type Key = u128;
+
+/// Maximum overflow entries tolerated before an automatic rebuild.
+const MAX_OVERFLOW: usize = 16;
+/// Seeds tried per second-level bucket before growing it.
+const SEED_ATTEMPTS: u64 = 64;
+
+/// Multiplicative mixer with a seed (SplitMix64-style finalisation over the
+/// two key halves).
+#[inline]
+fn mix(key: Key, seed: u64) -> u64 {
+    let mut h = (key as u64) ^ ((key >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A second-level bucket: a small table with a per-bucket seed under which
+/// its keys are collision free.
+#[derive(Debug, Clone)]
+struct Bucket<V> {
+    seed: u64,
+    /// Power-of-two slot count (0 for an empty bucket).
+    slots: Vec<Option<(Key, V)>>,
+}
+
+impl<V> Default for Bucket<V> {
+    fn default() -> Self {
+        Bucket {
+            seed: 0,
+            slots: Vec::new(),
+        }
+    }
+}
+
+impl<V: Clone> Bucket<V> {
+    fn build(entries: &[(Key, V)]) -> Self {
+        if entries.is_empty() {
+            return Bucket {
+                seed: 0,
+                slots: Vec::new(),
+            };
+        }
+        // k² slots (rounded to a power of two) make a collision-free seed
+        // easy to find; grow further in the unlucky case.
+        let mut capacity = (entries.len() * entries.len()).next_power_of_two().max(2);
+        loop {
+            'seed: for attempt in 1..=SEED_ATTEMPTS {
+                let seed = attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (capacity as u64);
+                let mask = (capacity - 1) as u64;
+                let mut slots: Vec<Option<(Key, V)>> = vec![None; capacity];
+                for (k, v) in entries {
+                    let idx = (mix(*k, seed) & mask) as usize;
+                    if slots[idx].is_some() {
+                        continue 'seed;
+                    }
+                    slots[idx] = Some((*k, v.clone()));
+                }
+                return Bucket { seed, slots };
+            }
+            capacity *= 2;
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: Key) -> Option<&V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let idx = (mix(key, self.seed) as usize) & (self.slots.len() - 1);
+        match &self.slots[idx] {
+            Some((k, v)) if *k == key => Some(v),
+            _ => None,
+        }
+    }
+
+    fn get_mut(&mut self, key: Key) -> Option<&mut (Key, V)> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let idx = (mix(key, self.seed) as usize) & (self.slots.len() - 1);
+        match &mut self.slots[idx] {
+            Some(entry) if entry.0 == key => Some(entry),
+            _ => None,
+        }
+    }
+
+    fn take(&mut self, key: Key) -> Option<V> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let idx = (mix(key, self.seed) as usize) & (self.slots.len() - 1);
+        match &self.slots[idx] {
+            Some((k, _)) if *k == key => self.slots[idx].take().map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn footprint(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<Option<(Key, V)>>()
+    }
+}
+
+/// A collision-free (FKS two-level) hash map from packed compound keys to
+/// values.
+#[derive(Debug, Clone)]
+pub struct PerfectHash<V> {
+    first_seed: u64,
+    buckets: Vec<Bucket<V>>,
+    len: usize,
+    overflow: Vec<(Key, V)>,
+    rebuilds: u64,
+}
+
+impl<V: Clone> PerfectHash<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        PerfectHash {
+            first_seed: 0x5851_f42d_4c95_7f2d,
+            buckets: vec![Bucket::default()],
+            len: 0,
+            overflow: Vec::new(),
+            rebuilds: 0,
+        }
+    }
+
+    /// Builds a map from a list of key/value pairs in one shot.
+    /// Later duplicates of a key replace earlier ones.
+    pub fn build(entries: impl IntoIterator<Item = (Key, V)>) -> Self {
+        let mut map = Self::new();
+        let mut all: Vec<(Key, V)> = Vec::new();
+        for (k, v) in entries {
+            if let Some(slot) = all.iter_mut().find(|(ek, _)| *ek == k) {
+                slot.1 = v;
+            } else {
+                all.push((k, v));
+            }
+        }
+        map.rebuild_with(all);
+        map
+    }
+
+    /// Number of entries stored.
+    pub fn len(&self) -> usize {
+        self.len + self.overflow.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of collision-free rebuilds performed so far (exposed so the
+    /// update benchmarks can report rebuild overhead).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    #[inline]
+    fn bucket_index(&self, key: Key) -> usize {
+        (mix(key, self.first_seed) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Constant-time lookup: two hashes, one slot compare, plus (rarely) a
+    /// scan of the small overflow vector holding not-yet-integrated inserts.
+    #[inline]
+    pub fn get(&self, key: Key) -> Option<&V> {
+        let bucket = &self.buckets[self.bucket_index(key)];
+        if let Some(v) = bucket.get(key) {
+            return Some(v);
+        }
+        self.overflow.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// True if the main (collision-free) structure answers `key`, i.e. the
+    /// lookup never touches the overflow vector. Used by the performance
+    /// model and the update benchmarks.
+    pub fn is_fast_path(&self, key: Key) -> bool {
+        self.buckets[self.bucket_index(key)].get(key).is_some()
+    }
+
+    /// Inserts or replaces an entry. New keys go to the overflow vector and
+    /// trigger an automatic rebuild when the overflow exceeds its bound, so
+    /// amortised insert stays cheap while lookups stay collision free.
+    pub fn insert(&mut self, key: Key, value: V) {
+        let bucket_index = self.bucket_index(key);
+        if let Some(entry) = self.buckets[bucket_index].get_mut(key) {
+            entry.1 = value;
+            return;
+        }
+        if let Some(slot) = self.overflow.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+            return;
+        }
+        self.overflow.push((key, value));
+        if self.overflow.len() > MAX_OVERFLOW {
+            self.rebuild();
+        }
+    }
+
+    /// Removes an entry, returning its value if present.
+    pub fn remove(&mut self, key: Key) -> Option<V> {
+        let bucket_index = self.bucket_index(key);
+        if let Some(v) = self.buckets[bucket_index].take(key) {
+            self.len -= 1;
+            return Some(v);
+        }
+        if let Some(pos) = self.overflow.iter().position(|(k, _)| *k == key) {
+            return Some(self.overflow.swap_remove(pos).1);
+        }
+        None
+    }
+
+    /// Folds overflow entries back into a fresh collision-free structure.
+    /// The paper rebuilds the hash template periodically for the same reason.
+    pub fn rebuild(&mut self) {
+        let mut all: Vec<(Key, V)> = Vec::with_capacity(self.len());
+        for bucket in &mut self.buckets {
+            for slot in bucket.slots.drain(..) {
+                if let Some(entry) = slot {
+                    all.push(entry);
+                }
+            }
+        }
+        all.append(&mut self.overflow);
+        self.rebuild_with(all);
+    }
+
+    fn rebuild_with(&mut self, entries: Vec<(Key, V)>) {
+        self.rebuilds += 1;
+        self.len = entries.len();
+        self.overflow = Vec::new();
+        self.first_seed = self
+            .first_seed
+            .wrapping_mul(0x5851_f42d_4c95_7f2d)
+            .wrapping_add(self.rebuilds);
+        let bucket_count = entries.len().next_power_of_two().max(1);
+        let mut groups: Vec<Vec<(Key, V)>> = vec![Vec::new(); bucket_count];
+        for (k, v) in entries {
+            let idx = (mix(k, self.first_seed) as usize) & (bucket_count - 1);
+            groups[idx].push((k, v));
+        }
+        self.buckets = groups.iter().map(|g| Bucket::build(g)).collect();
+    }
+
+    /// Iterates over all entries (main structure plus overflow), in no
+    /// particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &V)> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.slots.iter().filter_map(|s| s.as_ref()))
+            .chain(self.overflow.iter())
+            .map(|(k, v)| (k, v))
+    }
+
+    /// Approximate resident size in bytes; feeds the cache model's
+    /// working-set estimate.
+    pub fn memory_footprint(&self) -> usize {
+        self.buckets.iter().map(Bucket::footprint).sum::<usize>()
+            + self.buckets.capacity() * std::mem::size_of::<Bucket<V>>()
+            + self.overflow.capacity() * std::mem::size_of::<(Key, V)>()
+    }
+}
+
+impl<V: Clone> Default for PerfectHash<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let map = PerfectHash::build((0..100u128).map(|k| (k * 7, k as u32)));
+        assert_eq!(map.len(), 100);
+        for k in 0..100u128 {
+            assert_eq!(map.get(k * 7), Some(&(k as u32)));
+            assert!(map.is_fast_path(k * 7));
+        }
+        assert_eq!(map.get(3), None);
+    }
+
+    #[test]
+    fn build_deduplicates_keys() {
+        let map = PerfectHash::build(vec![(1u128, 1u32), (2, 2), (1, 10)]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(1), Some(&10));
+    }
+
+    #[test]
+    fn insert_replace_remove() {
+        let mut map = PerfectHash::new();
+        map.insert(42, "a");
+        map.insert(43, "b");
+        map.insert(42, "c");
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(42), Some(&"c"));
+        assert_eq!(map.remove(42), Some("c"));
+        assert_eq!(map.get(42), None);
+        assert_eq!(map.remove(42), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn overflow_triggers_rebuild_and_stays_correct() {
+        let mut map = PerfectHash::build((0..16u128).map(|k| (k, k)));
+        let rebuilds_before = map.rebuilds();
+        for k in 1000..1200u128 {
+            map.insert(k, k);
+        }
+        assert!(map.rebuilds() > rebuilds_before);
+        for k in (0..16u128).chain(1000..1200) {
+            assert_eq!(map.get(k), Some(&k), "key {k}");
+        }
+        assert_eq!(map.len(), 216);
+    }
+
+    #[test]
+    fn explicit_rebuild_moves_everything_to_fast_path() {
+        let mut map = PerfectHash::build((0..64u128).map(|k| (k, k)));
+        for k in 64..80u128 {
+            map.insert(k, k);
+        }
+        map.rebuild();
+        for k in 0..80u128 {
+            assert!(map.is_fast_path(k), "key {k} not on fast path after rebuild");
+        }
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut map = PerfectHash::build((0..20u128).map(|k| (k, k * 2)));
+        map.insert(100, 200);
+        let mut keys: Vec<u128> = map.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        let mut expected: Vec<u128> = (0..20).collect();
+        expected.push(100);
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn large_build_is_collision_free() {
+        let map = PerfectHash::build((0..50_000u128).map(|k| (k.wrapping_mul(0x9e3779b9), k)));
+        assert_eq!(map.len(), 50_000);
+        for k in (0..50_000u128).step_by(97) {
+            let key = k.wrapping_mul(0x9e3779b9);
+            assert_eq!(map.get(key), Some(&k));
+            assert!(map.is_fast_path(key));
+        }
+        // Linear total size: far below the quadratic a single-level
+        // collision-free table would need.
+        assert!(map.memory_footprint() < 50_000 * 40 * 16);
+    }
+
+    #[test]
+    fn removed_then_reinserted_key_found() {
+        let mut map = PerfectHash::build((0..32u128).map(|k| (k, k)));
+        assert_eq!(map.remove(5), Some(5));
+        assert_eq!(map.get(5), None);
+        map.insert(5, 99);
+        assert_eq!(map.get(5), Some(&99));
+        map.rebuild();
+        assert_eq!(map.get(5), Some(&99));
+        assert_eq!(map.len(), 32);
+    }
+
+    #[test]
+    fn empty_map_behaves() {
+        let map: PerfectHash<u32> = PerfectHash::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get(0), None);
+        assert!(map.memory_footprint() > 0);
+        let empty_build: PerfectHash<u32> = PerfectHash::build(std::iter::empty());
+        assert!(empty_build.is_empty());
+        assert_eq!(empty_build.get(42), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Polled switch ports — the `rte_ethdev` analogue.
+//!
+//! A [`Port`] is a pair of bounded queues (RX towards the switch, TX away
+//! from it) plus statistics. The traffic generator or a peer switch pushes
+//! frames into the RX side; the datapath polls them out in bursts, classifies
+//! them and pushes the results into the TX side of the chosen output port.
+//! Port 0xffff_fffd and friends are reserved, mirroring OpenFlow's reserved
+//! port numbers.
+
+use std::sync::Arc;
+
+use pkt::Packet;
+
+use crate::ring::MpmcRing;
+use crate::stats::Counters;
+use crate::BURST_SIZE;
+
+/// Numeric port identifier (OpenFlow port numbers are 32 bit).
+pub type PortId = u32;
+
+/// OpenFlow reserved port: send to the controller.
+pub const PORT_CONTROLLER: PortId = 0xffff_fffd;
+/// OpenFlow reserved port: flood to all ports except ingress.
+pub const PORT_FLOOD: PortId = 0xffff_fffb;
+/// OpenFlow reserved port: process in the ingress port's "normal" L2 path.
+pub const PORT_IN_PORT: PortId = 0xffff_fff8;
+/// Sentinel for "drop" used internally by the datapaths (not a wire value).
+pub const PORT_DROP: PortId = 0xffff_ffff;
+
+/// Per-port statistics (RX and TX sides).
+#[derive(Debug, Default)]
+pub struct PortStats {
+    /// Frames received into the RX queue.
+    pub rx: Counters,
+    /// Frames transmitted out of the TX queue.
+    pub tx: Counters,
+}
+
+/// A switch port backed by bounded RX and TX rings.
+pub struct Port {
+    id: PortId,
+    rx: MpmcRing<Packet>,
+    tx: MpmcRing<Packet>,
+    stats: Arc<PortStats>,
+}
+
+impl Port {
+    /// Default queue depth per direction.
+    pub const DEFAULT_QUEUE_DEPTH: usize = 4096;
+
+    /// Creates a port with the default queue depth.
+    pub fn new(id: PortId) -> Self {
+        Self::with_depth(id, Self::DEFAULT_QUEUE_DEPTH)
+    }
+
+    /// Creates a port with the given queue depth per direction.
+    pub fn with_depth(id: PortId, depth: usize) -> Self {
+        Port {
+            id,
+            rx: MpmcRing::new(depth),
+            tx: MpmcRing::new(depth),
+            stats: Arc::new(PortStats::default()),
+        }
+    }
+
+    /// The port's identifier.
+    pub fn id(&self) -> PortId {
+        self.id
+    }
+
+    /// Shared handle to the port statistics.
+    pub fn stats(&self) -> Arc<PortStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Injects a frame on the wire side (as the traffic generator / peer does).
+    /// The packet's `in_port` is stamped with this port's id. Returns `false`
+    /// and drops the frame if the RX queue is full.
+    pub fn inject(&self, mut packet: Packet) -> bool {
+        packet.in_port = self.id;
+        let bytes = packet.len();
+        match self.rx.push(packet) {
+            Ok(()) => {
+                self.stats.rx.record(bytes);
+                true
+            }
+            Err(_) => {
+                self.stats.rx.record_drop();
+                false
+            }
+        }
+    }
+
+    /// Receives up to `max` frames from the RX queue (datapath side).
+    pub fn rx_burst(&self, max: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(max.min(BURST_SIZE));
+        while out.len() < max {
+            match self.rx.pop() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Transmits one frame out of this port (datapath side). Returns `false`
+    /// and drops the frame if the TX queue is full.
+    pub fn tx(&self, packet: Packet) -> bool {
+        let bytes = packet.len();
+        match self.tx.push(packet) {
+            Ok(()) => {
+                self.stats.tx.record(bytes);
+                true
+            }
+            Err(_) => {
+                self.stats.tx.record_drop();
+                false
+            }
+        }
+    }
+
+    /// Drains up to `max` frames from the TX queue (wire side), e.g. to loop
+    /// them back into a peer port or to let the harness verify outputs.
+    pub fn tx_drain(&self, max: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(max.min(BURST_SIZE));
+        while out.len() < max {
+            match self.tx.pop() {
+                Some(p) => out.push(p),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Number of frames waiting in the RX queue.
+    pub fn rx_pending(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Number of frames waiting in the TX queue.
+    pub fn tx_pending(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+/// A set of ports indexed by [`PortId`], as owned by one switch instance.
+#[derive(Default)]
+pub struct PortSet {
+    ports: Vec<Arc<Port>>,
+}
+
+impl PortSet {
+    /// Creates an empty port set.
+    pub fn new() -> Self {
+        PortSet::default()
+    }
+
+    /// Creates a set of `count` ports numbered `0..count`.
+    pub fn with_ports(count: u32) -> Self {
+        let mut set = PortSet::new();
+        for id in 0..count {
+            set.add(Port::new(id));
+        }
+        set
+    }
+
+    /// Adds a port to the set.
+    ///
+    /// # Panics
+    /// Panics if a port with the same id is already present.
+    pub fn add(&mut self, port: Port) -> Arc<Port> {
+        assert!(
+            self.get(port.id()).is_none(),
+            "duplicate port id {}",
+            port.id()
+        );
+        let port = Arc::new(port);
+        self.ports.push(Arc::clone(&port));
+        port
+    }
+
+    /// Looks up a port by id.
+    pub fn get(&self, id: PortId) -> Option<&Arc<Port>> {
+        self.ports.iter().find(|p| p.id() == id)
+    }
+
+    /// All ports in the set.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Port>> {
+        self.ports.iter()
+    }
+
+    /// Number of ports in the set.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// True when the set contains no ports.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn inject_rx_tx_drain_cycle() {
+        let port = Port::new(3);
+        assert!(port.inject(PacketBuilder::udp().in_port(99).build()));
+        assert_eq!(port.rx_pending(), 1);
+        let got = port.rx_burst(32);
+        assert_eq!(got.len(), 1);
+        // in_port rewritten to the receiving port id
+        assert_eq!(got[0].in_port, 3);
+        assert!(port.tx(got.into_iter().next().unwrap()));
+        assert_eq!(port.tx_pending(), 1);
+        assert_eq!(port.tx_drain(32).len(), 1);
+        assert_eq!(port.stats().rx.packets(), 1);
+        assert_eq!(port.stats().tx.packets(), 1);
+    }
+
+    #[test]
+    fn full_rx_queue_drops() {
+        let port = Port::with_depth(0, 2);
+        assert!(port.inject(PacketBuilder::udp().build()));
+        assert!(port.inject(PacketBuilder::udp().build()));
+        assert!(!port.inject(PacketBuilder::udp().build()));
+        assert_eq!(port.stats().rx.drops(), 1);
+        assert_eq!(port.stats().rx.packets(), 2);
+    }
+
+    #[test]
+    fn burst_respects_max() {
+        let port = Port::new(0);
+        for _ in 0..10 {
+            port.inject(PacketBuilder::udp().build());
+        }
+        assert_eq!(port.rx_burst(4).len(), 4);
+        assert_eq!(port.rx_burst(100).len(), 6);
+    }
+
+    #[test]
+    fn port_set_lookup() {
+        let set = PortSet::with_ports(4);
+        assert_eq!(set.len(), 4);
+        assert!(set.get(3).is_some());
+        assert!(set.get(4).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate port id")]
+    fn duplicate_port_rejected() {
+        let mut set = PortSet::with_ports(2);
+        set.add(Port::new(1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Bounded rings — the `rte_ring` analogue.
+//!
+//! Two flavours are provided: a lock-free single-producer/single-consumer
+//! ring built directly on atomics (the common port-queue case, one RX core
+//! and one TX core), and a multi-producer/multi-consumer ring wrapping
+//! `crossbeam`'s `ArrayQueue` for the cases where several worker cores feed
+//! one port (Fig. 19's multi-core runs).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::queue::ArrayQueue;
+
+/// A bounded lock-free single-producer/single-consumer ring.
+///
+/// Capacity is rounded up to a power of two so index masking stays a single
+/// AND, matching `rte_ring`'s layout. The ring owns its slots; `push` fails
+/// (returning the rejected item) when full, `pop` returns `None` when empty.
+///
+/// # Safety discipline
+/// Exactly one thread may call [`SpscRing::push`] and exactly one thread may
+/// call [`SpscRing::pop`] concurrently. The type is `Sync` under that
+/// contract; the public constructors hand out the ring inside an `Arc` so the
+/// two sides can live on different threads.
+pub struct SpscRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    head: AtomicUsize, // next slot to pop
+    tail: AtomicUsize, // next slot to push
+}
+
+// SAFETY: the SPSC contract (one pusher, one popper) serialises access to
+// each slot: a slot is written only by the producer before publishing via
+// `tail`, and read only by the consumer after observing that publication.
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+unsafe impl<T: Send> Send for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring able to hold at least `capacity` items.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be non-zero");
+        let cap = capacity.next_power_of_two();
+        let mut buf = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            buf.push(UnsafeCell::new(MaybeUninit::uninit()));
+        }
+        SpscRing {
+            buf: buf.into_boxed_slice(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Usable capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to enqueue `item`; returns it back if the ring is full.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail - head == self.buf.len() {
+            return Err(item);
+        }
+        let slot = &self.buf[tail & self.mask];
+        // SAFETY: SPSC contract — only this producer writes unpublished slots.
+        unsafe { (*slot.get()).write(item) };
+        self.tail.store(tail + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Attempts to dequeue one item.
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &self.buf[head & self.mask];
+        // SAFETY: the producer published this slot (head < tail), and only
+        // this consumer reads published-but-unconsumed slots.
+        let item = unsafe { (*slot.get()).assume_init_read() };
+        self.head.store(head + 1, Ordering::Release);
+        Some(item)
+    }
+
+    /// Dequeues up to `out.capacity() - out.len()` items into `out`, returning
+    /// how many were moved — the burst-dequeue used by port RX.
+    pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut n = 0;
+        while n < max {
+            match self.pop() {
+                Some(item) => {
+                    out.push(item);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        n
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining items so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+/// A bounded multi-producer/multi-consumer ring (thin wrapper over
+/// `crossbeam::queue::ArrayQueue`, which already has the semantics we need).
+pub struct MpmcRing<T> {
+    queue: ArrayQueue<T>,
+}
+
+impl<T> MpmcRing<T> {
+    /// Creates a ring able to hold `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        MpmcRing {
+            queue: ArrayQueue::new(capacity.max(1)),
+        }
+    }
+
+    /// Attempts to enqueue `item`; returns it back if the ring is full.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        self.queue.push(item)
+    }
+
+    /// Attempts to dequeue one item.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.pop()
+    }
+
+    /// Number of items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Usable capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spsc_fifo_order() {
+        let ring = SpscRing::new(8);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        assert_eq!(ring.len(), 5);
+        for i in 0..5 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+        assert!(ring.pop().is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn spsc_full_rejects() {
+        let ring = SpscRing::new(2); // rounds to capacity 2
+        assert_eq!(ring.capacity(), 2);
+        ring.push(1).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(ring.push(3), Err(3));
+        assert_eq!(ring.pop(), Some(1));
+        ring.push(3).unwrap();
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), Some(3));
+    }
+
+    #[test]
+    fn spsc_burst_pop() {
+        let ring = SpscRing::new(16);
+        for i in 0..10 {
+            ring.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(ring.pop_burst(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(ring.pop_burst(&mut out, 100), 6);
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn spsc_cross_thread() {
+        let ring = Arc::new(SpscRing::new(1024));
+        let producer = Arc::clone(&ring);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100_000u64 {
+                loop {
+                    if producer.push(i).is_ok() {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        });
+        let mut expected = 0u64;
+        while expected < 100_000 {
+            if let Some(v) = ring.pop() {
+                assert_eq!(v, expected);
+                expected += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn spsc_drop_drains_items() {
+        let item = Arc::new(());
+        {
+            let ring = SpscRing::new(4);
+            ring.push(Arc::clone(&item)).unwrap();
+            ring.push(Arc::clone(&item)).unwrap();
+            assert_eq!(Arc::strong_count(&item), 3);
+        }
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    #[test]
+    fn mpmc_basics() {
+        let ring = MpmcRing::new(4);
+        assert!(ring.is_empty());
+        ring.push(1).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.pop(), Some(1));
+        assert_eq!(ring.pop(), Some(2));
+        assert_eq!(ring.pop(), None);
+    }
+}

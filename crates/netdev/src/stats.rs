@@ -1,0 +1,124 @@
+//! Shared packet/byte/drop counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A set of atomic traffic counters.
+///
+/// OpenFlow requires per-flow-entry and per-table counters; ports need RX/TX
+/// accounting; and the benchmark harnesses read totals from another thread
+/// while workers keep counting. All of those use this type. Counters use
+/// relaxed ordering: they are statistics, not synchronisation.
+#[derive(Debug, Default)]
+pub struct Counters {
+    packets: AtomicU64,
+    bytes: AtomicU64,
+    drops: AtomicU64,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet of `bytes` bytes.
+    pub fn record(&self, bytes: usize) {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Records `packets` packets totalling `bytes` bytes in one shot
+    /// (batch accounting).
+    pub fn record_batch(&self, packets: u64, bytes: u64) {
+        self.packets.fetch_add(packets, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one dropped packet.
+    pub fn record_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Packets counted so far.
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed)
+    }
+
+    /// Bytes counted so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Drops counted so far.
+    pub fn drops(&self) -> u64 {
+        self.drops.load(Ordering::Relaxed)
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.packets.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.drops.store(0, Ordering::Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the counter values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            packets: self.packets(),
+            bytes: self.bytes(),
+            drops: self.drops(),
+        }
+    }
+}
+
+/// Plain-data copy of [`Counters`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Packets counted.
+    pub packets: u64,
+    /// Bytes counted.
+    pub bytes: u64,
+    /// Drops counted.
+    pub drops: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = Counters::new();
+        c.record(64);
+        c.record(128);
+        c.record_drop();
+        c.record_batch(10, 640);
+        let snap = c.snapshot();
+        assert_eq!(snap.packets, 12);
+        assert_eq!(snap.bytes, 64 + 128 + 640);
+        assert_eq!(snap.drops, 1);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_counting() {
+        use std::sync::Arc;
+        let c = Arc::new(Counters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.record(64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.packets(), 40_000);
+        assert_eq!(c.bytes(), 40_000 * 64);
+    }
+}

@@ -1,0 +1,196 @@
+//! The direct datapath: a switch runtime that classifies every packet
+//! directly on the flow tables.
+//!
+//! This is the reference-switch strategy of §2.1 of the paper ("a direct
+//! datapath in the worst case loops through all flow entries in all flow
+//! tables"). It is deliberately naive — its value is as ground truth and as
+//! the lower baseline: the OVS caches (`ovsdp`) and the compiled templates
+//! (`eswitch`) must agree with it packet-for-packet while doing far less work.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use netdev::Counters;
+use pkt::Packet;
+
+use crate::controller::{Controller, ControllerDecision, NullController};
+use crate::flow_mod::{apply_flow_mod, FlowMod, FlowModEffect, FlowModError};
+use crate::key::FlowKey;
+use crate::messages::{PacketIn, PacketInReason};
+use crate::pipeline::{Pipeline, Verdict};
+
+/// A switch built around direct (uncached, uncompiled) pipeline lookup.
+pub struct DirectDatapath {
+    pipeline: Arc<RwLock<Pipeline>>,
+    controller: Mutex<Box<dyn Controller>>,
+    /// Packets processed.
+    pub processed: Counters,
+    /// Packets punted to the controller.
+    pub punted: Counters,
+}
+
+impl DirectDatapath {
+    /// Creates a datapath over the given pipeline with a drop-all controller.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self::with_controller(pipeline, Box::new(NullController::new()))
+    }
+
+    /// Creates a datapath with an explicit controller application.
+    pub fn with_controller(pipeline: Pipeline, controller: Box<dyn Controller>) -> Self {
+        DirectDatapath {
+            pipeline: Arc::new(RwLock::new(pipeline)),
+            controller: Mutex::new(controller),
+            processed: Counters::new(),
+            punted: Counters::new(),
+        }
+    }
+
+    /// Shared handle to the pipeline (read-mostly).
+    pub fn pipeline(&self) -> Arc<RwLock<Pipeline>> {
+        Arc::clone(&self.pipeline)
+    }
+
+    /// Applies a flow-mod to the pipeline.
+    pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
+        apply_flow_mod(&mut self.pipeline.write(), fm)
+    }
+
+    /// Processes a single packet and returns the forwarding verdict.
+    ///
+    /// Packets punted to the controller are handed to the controller
+    /// application synchronously; any flow-mods it returns are applied before
+    /// this call returns (reactive provisioning).
+    pub fn process(&self, packet: &mut Packet) -> Verdict {
+        self.processed.record(packet.len());
+        let verdict = {
+            let pipeline = self.pipeline.read();
+            pipeline.process(packet)
+        };
+        if verdict.to_controller {
+            self.punted.record(packet.len());
+            self.handle_packet_in(packet.clone(), PacketInReason::NoMatch);
+        }
+        verdict
+    }
+
+    /// Processes a batch of packets, returning per-packet verdicts.
+    pub fn process_batch(&self, packets: &mut [Packet]) -> Vec<Verdict> {
+        packets.iter_mut().map(|p| self.process(p)).collect()
+    }
+
+    /// Runs the controller application for a punted packet.
+    fn handle_packet_in(&self, packet: Packet, reason: PacketInReason) {
+        let decisions = {
+            let mut controller = self.controller.lock();
+            controller.packet_in(PacketIn {
+                packet,
+                reason,
+                table_id: 0,
+            })
+        };
+        for decision in decisions {
+            match decision {
+                ControllerDecision::FlowMod(fm) => {
+                    let _ = self.flow_mod(&fm);
+                }
+                ControllerDecision::PacketOut(mut po) => {
+                    // Re-inject: apply the action list directly.
+                    let mut key = FlowKey::extract(&po.packet);
+                    let _ = crate::action::apply_action_list(&po.actions, &mut po.packet, &mut key);
+                }
+                ControllerDecision::Drop => {}
+            }
+        }
+    }
+
+    /// Number of packet-in events the controller has handled.
+    pub fn controller_packet_ins(&self) -> u64 {
+        self.controller.lock().packet_in_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::controller::FnController;
+    use crate::field::Field;
+    use crate::flow_match::FlowMatch;
+    use crate::instruction::terminal_actions;
+    use crate::table::TableMissBehavior;
+    use pkt::builder::PacketBuilder;
+
+    fn l2_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        t.miss = TableMissBehavior::ToController;
+        t.insert(crate::entry::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::EthDst, 0x0200_0000_0001),
+            10,
+            terminal_actions(vec![Action::Output(1)]),
+        ));
+        p
+    }
+
+    #[test]
+    fn known_mac_is_forwarded() {
+        let dp = DirectDatapath::new(l2_pipeline());
+        let mut pkt = PacketBuilder::udp().eth_dst([2, 0, 0, 0, 0, 1]).build();
+        let verdict = dp.process(&mut pkt);
+        assert_eq!(verdict.outputs, vec![1]);
+        assert_eq!(dp.processed.packets(), 1);
+        assert_eq!(dp.punted.packets(), 0);
+    }
+
+    #[test]
+    fn unknown_mac_punted_to_controller() {
+        let dp = DirectDatapath::new(l2_pipeline());
+        let mut pkt = PacketBuilder::udp().eth_dst([2, 0, 0, 0, 0, 9]).build();
+        let verdict = dp.process(&mut pkt);
+        assert!(verdict.to_controller);
+        assert_eq!(dp.punted.packets(), 1);
+        assert_eq!(dp.controller_packet_ins(), 1);
+    }
+
+    #[test]
+    fn reactive_controller_installs_rules() {
+        // The controller installs a forwarding rule for every punted MAC, so
+        // the second packet to the same destination is switched in the fast
+        // path without controller involvement.
+        let controller = FnController::new(|pi| {
+            let key = FlowKey::extract(&pi.packet);
+            vec![ControllerDecision::FlowMod(FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
+                10,
+                terminal_actions(vec![Action::Output(2)]),
+            ))]
+        });
+        let dp = DirectDatapath::with_controller(l2_pipeline(), Box::new(controller));
+
+        let mut first = PacketBuilder::udp().eth_dst([2, 0, 0, 0, 0, 9]).build();
+        assert!(dp.process(&mut first).to_controller);
+
+        let mut second = PacketBuilder::udp().eth_dst([2, 0, 0, 0, 0, 9]).build();
+        let verdict = dp.process(&mut second);
+        assert_eq!(verdict.outputs, vec![2]);
+        assert!(!verdict.to_controller);
+        assert_eq!(dp.controller_packet_ins(), 1);
+    }
+
+    #[test]
+    fn batch_processing_matches_single() {
+        let dp = DirectDatapath::new(l2_pipeline());
+        let mut packets: Vec<Packet> = (0..10)
+            .map(|i| {
+                PacketBuilder::udp()
+                    .eth_dst([2, 0, 0, 0, 0, u8::from(i % 2 == 0)])
+                    .build()
+            })
+            .collect();
+        let verdicts = dp.process_batch(&mut packets);
+        assert_eq!(verdicts.len(), 10);
+        assert_eq!(verdicts.iter().filter(|v| v.outputs == vec![1]).count(), 5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Flow entries.
+
+use std::sync::Arc;
+
+use netdev::Counters;
+
+use crate::flow_match::FlowMatch;
+use crate::instruction::Instruction;
+use crate::pipeline::TableId;
+
+/// A single flow entry: rule + priority + instructions + counters.
+///
+/// Counters are shared (`Arc`) and atomic so that a datapath holding a
+/// read-only view of the pipeline can still account packets/bytes, exactly as
+/// hardware and OVS do.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// Matching rule.
+    pub flow_match: FlowMatch,
+    /// Priority; higher wins. Entries with equal priority are matched in
+    /// insertion order.
+    pub priority: u16,
+    /// Instructions executed on match.
+    pub instructions: Vec<Instruction>,
+    /// Opaque controller cookie (used for bulk delete filtering).
+    pub cookie: u64,
+    /// Idle timeout in seconds (0 = none). Kept for API completeness; the
+    /// datapaths do not expire entries on their own.
+    pub idle_timeout: u16,
+    /// Hard timeout in seconds (0 = none).
+    pub hard_timeout: u16,
+    /// Packet/byte counters.
+    pub counters: Arc<Counters>,
+}
+
+impl FlowEntry {
+    /// Creates an entry with the given match, priority and instructions.
+    pub fn new(flow_match: FlowMatch, priority: u16, instructions: Vec<Instruction>) -> Self {
+        FlowEntry {
+            flow_match,
+            priority,
+            instructions,
+            cookie: 0,
+            idle_timeout: 0,
+            hard_timeout: 0,
+            counters: Arc::new(Counters::new()),
+        }
+    }
+
+    /// Builder-style cookie setter.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = cookie;
+        self
+    }
+
+    /// The goto-table target of this entry, if it has one.
+    pub fn goto_target(&self) -> Option<TableId> {
+        self.instructions.iter().find_map(Instruction::goto_target)
+    }
+
+    /// Records one matched packet of `bytes` bytes.
+    pub fn record(&self, bytes: usize) {
+        self.counters.record(bytes);
+    }
+}
+
+impl PartialEq for FlowEntry {
+    /// Entries compare by specification (match, priority, instructions,
+    /// cookie); counters are runtime state and do not participate.
+    fn eq(&self, other: &Self) -> bool {
+        self.flow_match == other.flow_match
+            && self.priority == other.priority
+            && self.instructions == other.instructions
+            && self.cookie == other.cookie
+    }
+}
+
+impl Eq for FlowEntry {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::field::Field;
+
+    #[test]
+    fn goto_target_found() {
+        let e = FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::ApplyActions(vec![Action::Output(1)]),
+                Instruction::GotoTable(5),
+            ],
+        );
+        assert_eq!(e.goto_target(), Some(5));
+        let term = FlowEntry::new(FlowMatch::any(), 10, vec![]);
+        assert_eq!(term.goto_target(), None);
+    }
+
+    #[test]
+    fn equality_ignores_counters() {
+        let m = FlowMatch::any().with_exact(Field::TcpDst, 80);
+        let a = FlowEntry::new(m.clone(), 1, vec![]);
+        let b = FlowEntry::new(m, 1, vec![]);
+        a.record(100);
+        assert_eq!(a, b);
+        assert_eq!(a.counters.packets(), 1);
+        assert_eq!(b.counters.packets(), 0);
+    }
+}

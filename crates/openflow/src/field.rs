@@ -1,0 +1,277 @@
+//! OpenFlow match fields (the OXM field set).
+//!
+//! OpenFlow 1.4 defines 40+ matchable header fields spanning L1 metadata
+//! (ingress port), L2 (MACs, EtherType, VLAN), L3 (IPv4/IPv6 addresses,
+//! DSCP/ECN, protocol) and L4 (TCP/UDP/SCTP ports, ICMP type/code), plus
+//! pipeline metadata and tunnel IDs. The paper's point that "excessive packet
+//! classification" over this broad field set is what makes OpenFlow expensive
+//! starts here: every field an entry matches on is a load + compare the fast
+//! path must somehow pay for.
+
+use serde::{Deserialize, Serialize};
+
+/// Uniform container for a field value.
+///
+/// Every OXM field value fits in 128 bits (the widest are the IPv6
+/// addresses), so a single `u128` keeps match arithmetic, masking and
+/// hashing branch-free and allocation-free.
+pub type FieldValue = u128;
+
+/// Identifier of a matchable field (OXM `ofb_match_fields`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // names mirror the OpenFlow spec directly
+pub enum Field {
+    // Pipeline / metadata
+    InPort,
+    InPhyPort,
+    Metadata,
+    TunnelId,
+    // L2
+    EthDst,
+    EthSrc,
+    EthType,
+    VlanVid,
+    VlanPcp,
+    // L2.5
+    MplsLabel,
+    MplsTc,
+    MplsBos,
+    PbbIsid,
+    // L3 — IPv4/IPv6 common
+    IpDscp,
+    IpEcn,
+    IpProto,
+    Ipv4Src,
+    Ipv4Dst,
+    Ipv6Src,
+    Ipv6Dst,
+    Ipv6Flabel,
+    Ipv6NdTarget,
+    Ipv6NdSll,
+    Ipv6NdTll,
+    Ipv6Exthdr,
+    // ARP
+    ArpOp,
+    ArpSpa,
+    ArpTpa,
+    ArpSha,
+    ArpTha,
+    // L4
+    TcpSrc,
+    TcpDst,
+    UdpSrc,
+    UdpDst,
+    SctpSrc,
+    SctpDst,
+    Icmpv4Type,
+    Icmpv4Code,
+    Icmpv6Type,
+    Icmpv6Code,
+}
+
+/// Protocol layer a field belongs to; drives the incremental parser-template
+/// selection (§3.1: "save on parsing for layers that do not participate in
+/// flow formation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FieldLayer {
+    /// Switch metadata — available without touching the frame.
+    Meta,
+    /// Ethernet / VLAN / MPLS.
+    L2,
+    /// IPv4 / IPv6 / ARP.
+    L3,
+    /// TCP / UDP / SCTP / ICMP.
+    L4,
+}
+
+impl Field {
+    /// All fields, in OXM order. Handy for iteration in tests and generators.
+    pub const ALL: [Field; 40] = [
+        Field::InPort,
+        Field::InPhyPort,
+        Field::Metadata,
+        Field::TunnelId,
+        Field::EthDst,
+        Field::EthSrc,
+        Field::EthType,
+        Field::VlanVid,
+        Field::VlanPcp,
+        Field::MplsLabel,
+        Field::MplsTc,
+        Field::MplsBos,
+        Field::PbbIsid,
+        Field::IpDscp,
+        Field::IpEcn,
+        Field::IpProto,
+        Field::Ipv4Src,
+        Field::Ipv4Dst,
+        Field::Ipv6Src,
+        Field::Ipv6Dst,
+        Field::Ipv6Flabel,
+        Field::Ipv6NdTarget,
+        Field::Ipv6NdSll,
+        Field::Ipv6NdTll,
+        Field::Ipv6Exthdr,
+        Field::ArpOp,
+        Field::ArpSpa,
+        Field::ArpTpa,
+        Field::ArpSha,
+        Field::ArpTha,
+        Field::TcpSrc,
+        Field::TcpDst,
+        Field::UdpSrc,
+        Field::UdpDst,
+        Field::SctpSrc,
+        Field::SctpDst,
+        Field::Icmpv4Type,
+        Field::Icmpv4Code,
+        Field::Icmpv6Type,
+        Field::Icmpv6Code,
+    ];
+
+    /// Width of the field in bits.
+    pub const fn width_bits(self) -> u32 {
+        match self {
+            Field::InPort | Field::InPhyPort | Field::MplsLabel | Field::Ipv6Flabel => 32,
+            Field::Metadata | Field::TunnelId => 64,
+            Field::EthDst
+            | Field::EthSrc
+            | Field::ArpSha
+            | Field::ArpTha
+            | Field::Ipv6NdSll
+            | Field::Ipv6NdTll => 48,
+            Field::EthType
+            | Field::VlanVid
+            | Field::ArpOp
+            | Field::TcpSrc
+            | Field::TcpDst
+            | Field::UdpSrc
+            | Field::UdpDst
+            | Field::SctpSrc
+            | Field::SctpDst
+            | Field::Ipv6Exthdr => 16,
+            Field::VlanPcp
+            | Field::MplsTc
+            | Field::MplsBos
+            | Field::IpDscp
+            | Field::IpEcn
+            | Field::IpProto
+            | Field::Icmpv4Type
+            | Field::Icmpv4Code
+            | Field::Icmpv6Type
+            | Field::Icmpv6Code => 8,
+            Field::PbbIsid => 24,
+            Field::Ipv4Src | Field::Ipv4Dst | Field::ArpSpa | Field::ArpTpa => 32,
+            Field::Ipv6Src | Field::Ipv6Dst | Field::Ipv6NdTarget => 128,
+        }
+    }
+
+    /// The all-ones mask for this field's width.
+    pub const fn full_mask(self) -> FieldValue {
+        let bits = self.width_bits();
+        if bits >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << bits) - 1
+        }
+    }
+
+    /// Layer the field lives in.
+    pub const fn layer(self) -> FieldLayer {
+        match self {
+            Field::InPort | Field::InPhyPort | Field::Metadata | Field::TunnelId => FieldLayer::Meta,
+            Field::EthDst
+            | Field::EthSrc
+            | Field::EthType
+            | Field::VlanVid
+            | Field::VlanPcp
+            | Field::MplsLabel
+            | Field::MplsTc
+            | Field::MplsBos
+            | Field::PbbIsid => FieldLayer::L2,
+            Field::IpDscp
+            | Field::IpEcn
+            | Field::IpProto
+            | Field::Ipv4Src
+            | Field::Ipv4Dst
+            | Field::Ipv6Src
+            | Field::Ipv6Dst
+            | Field::Ipv6Flabel
+            | Field::Ipv6NdTarget
+            | Field::Ipv6NdSll
+            | Field::Ipv6NdTll
+            | Field::Ipv6Exthdr
+            | Field::ArpOp
+            | Field::ArpSpa
+            | Field::ArpTpa
+            | Field::ArpSha
+            | Field::ArpTha => FieldLayer::L3,
+            Field::TcpSrc
+            | Field::TcpDst
+            | Field::UdpSrc
+            | Field::UdpDst
+            | Field::SctpSrc
+            | Field::SctpDst
+            | Field::Icmpv4Type
+            | Field::Icmpv4Code
+            | Field::Icmpv6Type
+            | Field::Icmpv6Code => FieldLayer::L4,
+        }
+    }
+
+    /// True if a mask can be a prefix mask on this field (the LPM template
+    /// prerequisite only ever applies to address-like fields).
+    pub const fn supports_prefix(self) -> bool {
+        matches!(
+            self,
+            Field::Ipv4Src
+                | Field::Ipv4Dst
+                | Field::Ipv6Src
+                | Field::Ipv6Dst
+                | Field::ArpSpa
+                | Field::ArpTpa
+                | Field::Metadata
+                | Field::TunnelId
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_are_sane() {
+        assert_eq!(Field::EthDst.width_bits(), 48);
+        assert_eq!(Field::Ipv4Dst.width_bits(), 32);
+        assert_eq!(Field::TcpDst.width_bits(), 16);
+        assert_eq!(Field::Ipv6Src.width_bits(), 128);
+        assert_eq!(Field::IpProto.width_bits(), 8);
+    }
+
+    #[test]
+    fn full_mask_matches_width() {
+        assert_eq!(Field::TcpDst.full_mask(), 0xffff);
+        assert_eq!(Field::EthSrc.full_mask(), 0xffff_ffff_ffff);
+        assert_eq!(Field::Ipv6Dst.full_mask(), u128::MAX);
+        assert_eq!(Field::VlanPcp.full_mask(), 0xff);
+    }
+
+    #[test]
+    fn layers_partition_fields() {
+        assert_eq!(Field::InPort.layer(), FieldLayer::Meta);
+        assert_eq!(Field::EthType.layer(), FieldLayer::L2);
+        assert_eq!(Field::Ipv4Dst.layer(), FieldLayer::L3);
+        assert_eq!(Field::UdpDst.layer(), FieldLayer::L4);
+        assert!(FieldLayer::Meta < FieldLayer::L2);
+        assert!(FieldLayer::L2 < FieldLayer::L4);
+    }
+
+    #[test]
+    fn prefix_support_only_on_address_like_fields() {
+        assert!(Field::Ipv4Dst.supports_prefix());
+        assert!(Field::Ipv6Src.supports_prefix());
+        assert!(!Field::TcpDst.supports_prefix());
+        assert!(!Field::EthDst.supports_prefix());
+    }
+}

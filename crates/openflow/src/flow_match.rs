@@ -1,0 +1,395 @@
+//! Match specifications: sets of (field, value, mask) triples.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::field::{Field, FieldValue};
+use crate::key::FlowKey;
+
+/// One matched field: the packet's value for `field`, ANDed with `mask`, must
+/// equal `value & mask`.
+///
+/// This is exactly the operation the ESWITCH matcher template compiles to
+/// (`xor eax,ADDR; and eax,MASK; jne next`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MatchField {
+    /// Field to match on.
+    pub field: Field,
+    /// Expected value (already masked by constructors).
+    pub value: FieldValue,
+    /// Bits of the field that participate in the comparison.
+    pub mask: FieldValue,
+}
+
+impl MatchField {
+    /// Exact match on the field's full width.
+    pub fn exact(field: Field, value: FieldValue) -> Self {
+        let mask = field.full_mask();
+        MatchField {
+            field,
+            value: value & mask,
+            mask,
+        }
+    }
+
+    /// Masked match.
+    pub fn masked(field: Field, value: FieldValue, mask: FieldValue) -> Self {
+        let mask = mask & field.full_mask();
+        MatchField {
+            field,
+            value: value & mask,
+            mask,
+        }
+    }
+
+    /// Prefix match on an address-like field: the top `prefix_len` bits of the
+    /// field participate.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len` exceeds the field width.
+    pub fn prefix(field: Field, value: FieldValue, prefix_len: u32) -> Self {
+        let width = field.width_bits();
+        assert!(prefix_len <= width, "prefix length exceeds field width");
+        let mask = if prefix_len == 0 {
+            0
+        } else {
+            field.full_mask() & !((1u128 << (width - prefix_len)) - 1)
+        };
+        MatchField {
+            field,
+            value: value & mask,
+            mask,
+        }
+    }
+
+    /// True if the mask covers the field's full width.
+    pub fn is_exact(&self) -> bool {
+        self.mask == self.field.full_mask()
+    }
+
+    /// Prefix length if the mask is a prefix mask (contiguous ones from the
+    /// top of the field), else `None`. A full mask counts as width-length
+    /// prefix; an empty mask counts as /0.
+    pub fn prefix_len(&self) -> Option<u32> {
+        let width = self.field.width_bits();
+        let full = self.field.full_mask();
+        if self.mask == full {
+            return Some(width);
+        }
+        if self.mask == 0 {
+            return Some(0);
+        }
+        // A prefix mask, shifted down by its trailing zero count, must be all
+        // ones and must reach the top bit of the field.
+        let tz = self.mask.trailing_zeros();
+        let shifted = self.mask >> tz;
+        if shifted.count_ones() + tz == width && shifted & (shifted + 1) == 0 {
+            Some(width - tz)
+        } else {
+            None
+        }
+    }
+
+    /// Does `packet_value` satisfy this match?
+    #[inline]
+    pub fn matches_value(&self, packet_value: FieldValue) -> bool {
+        packet_value & self.mask == self.value
+    }
+}
+
+impl fmt::Display for MatchField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_exact() {
+            write!(f, "{:?}={:#x}", self.field, self.value)
+        } else if let Some(len) = self.prefix_len() {
+            write!(f, "{:?}={:#x}/{}", self.field, self.value, len)
+        } else {
+            write!(f, "{:?}={:#x}&{:#x}", self.field, self.value, self.mask)
+        }
+    }
+}
+
+/// A full match specification: the conjunction of per-field matches.
+/// An empty `FlowMatch` matches every packet (the catch-all rule).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FlowMatch {
+    fields: Vec<MatchField>,
+}
+
+impl FlowMatch {
+    /// The match-everything specification.
+    pub fn any() -> Self {
+        FlowMatch::default()
+    }
+
+    /// Builds a match from a list of per-field matches. Later entries on the
+    /// same field replace earlier ones. Fields are kept sorted so equal
+    /// matches compare equal regardless of construction order.
+    pub fn new(fields: impl IntoIterator<Item = MatchField>) -> Self {
+        let mut m = FlowMatch::default();
+        for f in fields {
+            m.push(f);
+        }
+        m
+    }
+
+    /// Adds (or replaces) a per-field match.
+    pub fn push(&mut self, field: MatchField) {
+        match self.fields.binary_search_by_key(&field.field, |f| f.field) {
+            Ok(i) => self.fields[i] = field,
+            Err(i) => self.fields.insert(i, field),
+        }
+    }
+
+    /// Builder-style [`FlowMatch::push`].
+    pub fn with(mut self, field: MatchField) -> Self {
+        self.push(field);
+        self
+    }
+
+    /// Convenience: add an exact match.
+    pub fn with_exact(self, field: Field, value: FieldValue) -> Self {
+        self.with(MatchField::exact(field, value))
+    }
+
+    /// Convenience: add a prefix match.
+    pub fn with_prefix(self, field: Field, value: FieldValue, len: u32) -> Self {
+        self.with(MatchField::prefix(field, value, len))
+    }
+
+    /// The per-field matches, sorted by field.
+    pub fn fields(&self) -> &[MatchField] {
+        &self.fields
+    }
+
+    /// The match on `field`, if any.
+    pub fn field(&self, field: Field) -> Option<&MatchField> {
+        self.fields
+            .binary_search_by_key(&field, |f| f.field)
+            .ok()
+            .map(|i| &self.fields[i])
+    }
+
+    /// Removes the match on `field`, returning it if present. Used by the
+    /// flow-table decomposition algorithm when stripping a column.
+    pub fn remove_field(&mut self, field: Field) -> Option<MatchField> {
+        match self.fields.binary_search_by_key(&field, |f| f.field) {
+            Ok(i) => Some(self.fields.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of matched fields (0 for the catch-all).
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for the catch-all match.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// True when every matched field is an exact match.
+    pub fn is_all_exact(&self) -> bool {
+        self.fields.iter().all(MatchField::is_exact)
+    }
+
+    /// Evaluates the match against an extracted flow key.
+    ///
+    /// A match on a field the packet does not carry fails, which implements
+    /// OpenFlow's prerequisite semantics well enough for the pipeline model
+    /// (e.g. `tcp_dst=80` cannot match a UDP packet).
+    pub fn matches(&self, key: &FlowKey) -> bool {
+        self.fields.iter().all(|f| match key.get(f.field) {
+            Some(v) => f.matches_value(v),
+            None => false,
+        })
+    }
+
+    /// True if every packet matched by `self` is also matched by `pattern` —
+    /// i.e. `self` is equal to or more specific than `pattern`. This is the
+    /// filter semantics OpenFlow non-strict delete/modify use: `pattern` must
+    /// be satisfied, field by field, by the entry's own match.
+    pub fn is_more_specific_than(&self, pattern: &FlowMatch) -> bool {
+        pattern.fields.iter().all(|pf| match self.field(pf.field) {
+            Some(ef) => ef.mask & pf.mask == pf.mask && ef.value & pf.mask == pf.value,
+            None => false,
+        })
+    }
+
+    /// True if `self` and `other` could both match some packet — a
+    /// conservative overlap check used by strict flow-mod deletes and by the
+    /// decomposition pass: two matches are disjoint exactly when they
+    /// disagree on a commonly-masked bit of some field.
+    pub fn overlaps(&self, other: &FlowMatch) -> bool {
+        for f in &self.fields {
+            if let Some(g) = other.field(f.field) {
+                let common = f.mask & g.mask;
+                if f.value & common != g.value & common {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for FlowMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fields.is_empty() {
+            return write!(f, "*");
+        }
+        let parts: Vec<String> = self.fields.iter().map(|m| m.to_string()).collect();
+        write!(f, "{}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn exact_and_masked_matching() {
+        let m = MatchField::exact(Field::TcpDst, 80);
+        assert!(m.is_exact());
+        assert!(m.matches_value(80));
+        assert!(!m.matches_value(81));
+
+        let masked = MatchField::masked(Field::TcpDst, 0x0050, 0x00f0);
+        assert!(!masked.is_exact());
+        assert!(masked.matches_value(0x0050));
+        assert!(masked.matches_value(0x1f5f)); // only bits 4..8 compared
+        assert!(!masked.matches_value(0x0060));
+    }
+
+    #[test]
+    fn prefix_masks() {
+        let p = MatchField::prefix(Field::Ipv4Dst, 0xc000_0200, 24);
+        assert_eq!(p.mask, 0xffff_ff00);
+        assert_eq!(p.prefix_len(), Some(24));
+        assert!(p.matches_value(0xc000_02aa));
+        assert!(!p.matches_value(0xc000_03aa));
+
+        let full = MatchField::exact(Field::Ipv4Dst, 1);
+        assert_eq!(full.prefix_len(), Some(32));
+        let zero = MatchField::prefix(Field::Ipv4Dst, 0, 0);
+        assert_eq!(zero.prefix_len(), Some(0));
+        let non_prefix = MatchField::masked(Field::Ipv4Dst, 0, 0x00ff_ff00);
+        assert_eq!(non_prefix.prefix_len(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix length exceeds field width")]
+    fn oversized_prefix_panics() {
+        let _ = MatchField::prefix(Field::Ipv4Dst, 0, 33);
+    }
+
+    #[test]
+    fn flow_match_ordering_independent_equality() {
+        let a = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_exact(Field::Ipv4Dst, 0x0a000001);
+        let b = FlowMatch::any()
+            .with_exact(Field::Ipv4Dst, 0x0a000001)
+            .with_exact(Field::TcpDst, 80);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn replace_field_on_push() {
+        let m = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_exact(Field::TcpDst, 443);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.field(Field::TcpDst).unwrap().value, 443);
+    }
+
+    #[test]
+    fn matching_against_packets() {
+        let pkt = PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_dst(80)
+            .in_port(1)
+            .build();
+        let key = FlowKey::extract(&pkt);
+
+        let m = FlowMatch::any()
+            .with_exact(Field::InPort, 1)
+            .with_prefix(Field::Ipv4Dst, u128::from(0xc0000201u32), 24)
+            .with_exact(Field::TcpDst, 80);
+        assert!(m.matches(&key));
+
+        let wrong_port = FlowMatch::any().with_exact(Field::TcpDst, 443);
+        assert!(!wrong_port.matches(&key));
+
+        // Match on a field the packet does not have fails.
+        let udp_match = FlowMatch::any().with_exact(Field::UdpDst, 80);
+        assert!(!udp_match.matches(&key));
+
+        // The catch-all matches everything.
+        assert!(FlowMatch::any().matches(&key));
+    }
+
+    #[test]
+    fn specificity_filter_semantics() {
+        let pattern = FlowMatch::any().with_exact(Field::TcpDst, 80);
+        let exact = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_exact(Field::Ipv4Dst, 1);
+        let broader = FlowMatch::any();
+        let other_port = FlowMatch::any().with_exact(Field::TcpDst, 443);
+        assert!(exact.is_more_specific_than(&pattern));
+        assert!(pattern.is_more_specific_than(&pattern));
+        assert!(!broader.is_more_specific_than(&pattern));
+        assert!(!other_port.is_more_specific_than(&pattern));
+        // Everything is more specific than the catch-all pattern.
+        assert!(broader.is_more_specific_than(&FlowMatch::any()));
+        assert!(exact.is_more_specific_than(&FlowMatch::any()));
+        // Prefix pattern: a /32 inside the /24 qualifies, one outside doesn't.
+        let prefix = FlowMatch::any().with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        let inside = FlowMatch::any().with_exact(Field::Ipv4Dst, 0xc0000205);
+        let outside = FlowMatch::any().with_exact(Field::Ipv4Dst, 0xc0000305);
+        assert!(inside.is_more_specific_than(&prefix));
+        assert!(!outside.is_more_specific_than(&prefix));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = FlowMatch::any().with_exact(Field::TcpDst, 80);
+        let b = FlowMatch::any().with_exact(Field::TcpDst, 443);
+        let c = FlowMatch::any().with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        let d = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c)); // disjoint fields can both match
+        assert!(a.overlaps(&d));
+        assert!(!b.overlaps(&d));
+        assert!(FlowMatch::any().overlaps(&a));
+    }
+
+    #[test]
+    fn remove_field_strips_column() {
+        let mut m = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_exact(Field::InPort, 1);
+        let removed = m.remove_field(Field::TcpDst).unwrap();
+        assert_eq!(removed.value, 80);
+        assert_eq!(m.len(), 1);
+        assert!(m.remove_field(Field::TcpDst).is_none());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = FlowMatch::any()
+            .with_exact(Field::TcpDst, 80)
+            .with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        let text = m.to_string();
+        assert!(text.contains("TcpDst=0x50"));
+        assert!(text.contains("/24"));
+        assert_eq!(FlowMatch::any().to_string(), "*");
+    }
+}

@@ -1,0 +1,341 @@
+//! Flow-mod handling: the controller-to-switch messages that install, modify
+//! and delete flow entries.
+
+use std::fmt;
+
+use crate::entry::FlowEntry;
+use crate::flow_match::FlowMatch;
+use crate::instruction::Instruction;
+use crate::pipeline::{Pipeline, TableId};
+
+/// The flow-mod command (OpenFlow `ofp_flow_mod_command`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModCommand {
+    /// Install a new entry (replacing an identical match+priority entry).
+    Add,
+    /// Modify the instructions of all entries overlapping the match.
+    Modify,
+    /// Modify the instructions of the entry with exactly this match+priority.
+    ModifyStrict,
+    /// Delete all entries overlapping the match (optionally cookie-filtered).
+    Delete,
+    /// Delete the entry with exactly this match+priority.
+    DeleteStrict,
+}
+
+/// A flow-mod message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowMod {
+    /// Command.
+    pub command: FlowModCommand,
+    /// Target table. `None` with a delete command means "all tables".
+    pub table_id: Option<TableId>,
+    /// Match of the affected entries.
+    pub flow_match: FlowMatch,
+    /// Priority (meaningful for Add and the strict commands).
+    pub priority: u16,
+    /// New instructions (Add/Modify commands).
+    pub instructions: Vec<Instruction>,
+    /// Cookie attached to added entries / used to filter deletes.
+    pub cookie: Option<u64>,
+}
+
+impl FlowMod {
+    /// Convenience constructor for an Add.
+    pub fn add(
+        table_id: TableId,
+        flow_match: FlowMatch,
+        priority: u16,
+        instructions: Vec<Instruction>,
+    ) -> Self {
+        FlowMod {
+            command: FlowModCommand::Add,
+            table_id: Some(table_id),
+            flow_match,
+            priority,
+            instructions,
+            cookie: None,
+        }
+    }
+
+    /// Convenience constructor for a strict delete.
+    pub fn delete_strict(table_id: TableId, flow_match: FlowMatch, priority: u16) -> Self {
+        FlowMod {
+            command: FlowModCommand::DeleteStrict,
+            table_id: Some(table_id),
+            flow_match,
+            priority,
+            instructions: Vec::new(),
+            cookie: None,
+        }
+    }
+
+    /// Convenience constructor for a non-strict delete over one table
+    /// (an empty match deletes everything in the table).
+    pub fn delete(table_id: TableId, flow_match: FlowMatch) -> Self {
+        FlowMod {
+            command: FlowModCommand::Delete,
+            table_id: Some(table_id),
+            flow_match,
+            priority: 0,
+            instructions: Vec::new(),
+            cookie: None,
+        }
+    }
+
+    /// Builder-style cookie setter.
+    pub fn with_cookie(mut self, cookie: u64) -> Self {
+        self.cookie = Some(cookie);
+        self
+    }
+}
+
+/// Errors raised while applying a flow-mod to a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowModError {
+    /// Add/Modify targeted a table id that is required but missing
+    /// (Adds create tables implicitly; strict modifies do not).
+    NoSuchTable(TableId),
+    /// A strict modify/delete matched no entry.
+    NoSuchEntry,
+    /// Add/Modify without a table id.
+    TableRequired,
+}
+
+impl fmt::Display for FlowModError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowModError::NoSuchTable(t) => write!(f, "no such table {t}"),
+            FlowModError::NoSuchEntry => write!(f, "no matching entry"),
+            FlowModError::TableRequired => write!(f, "flow-mod requires a table id"),
+        }
+    }
+}
+
+impl std::error::Error for FlowModError {}
+
+/// Summary of what a flow-mod changed, returned so datapaths layered on top
+/// of the pipeline (flow caches, compiled templates) know what to invalidate
+/// or recompile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowModEffect {
+    /// Tables whose entry list changed.
+    pub tables_touched: Vec<TableId>,
+    /// Number of entries added.
+    pub added: usize,
+    /// Number of entries modified in place.
+    pub modified: usize,
+    /// Number of entries removed.
+    pub removed: usize,
+}
+
+/// Applies a flow-mod to a pipeline.
+pub fn apply_flow_mod(pipeline: &mut Pipeline, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
+    match fm.command {
+        FlowModCommand::Add => {
+            let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
+            let table = pipeline.table_mut_or_create(table_id);
+            let mut entry = FlowEntry::new(fm.flow_match.clone(), fm.priority, fm.instructions.clone());
+            if let Some(cookie) = fm.cookie {
+                entry = entry.with_cookie(cookie);
+            }
+            table.insert(entry);
+            Ok(FlowModEffect {
+                tables_touched: vec![table_id],
+                added: 1,
+                modified: 0,
+                removed: 0,
+            })
+        }
+        FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
+            let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
+            let strict = fm.command == FlowModCommand::ModifyStrict;
+            let table = pipeline
+                .table_mut(table_id)
+                .ok_or(FlowModError::NoSuchTable(table_id))?;
+            let mut modified = 0;
+            let existing = table.entries().to_vec();
+            let mut replacement = Vec::with_capacity(existing.len());
+            for mut e in existing {
+                let hit = if strict {
+                    e.priority == fm.priority && e.flow_match == fm.flow_match
+                } else {
+                    e.flow_match.is_more_specific_than(&fm.flow_match)
+                        && fm.cookie.map(|c| e.cookie == c).unwrap_or(true)
+                };
+                if hit {
+                    e.instructions = fm.instructions.clone();
+                    modified += 1;
+                }
+                replacement.push(e);
+            }
+            if modified == 0 && strict {
+                return Err(FlowModError::NoSuchEntry);
+            }
+            table.set_entries(replacement);
+            Ok(FlowModEffect {
+                tables_touched: vec![table_id],
+                added: 0,
+                modified,
+                removed: 0,
+            })
+        }
+        FlowModCommand::Delete => {
+            let mut touched = Vec::new();
+            let mut removed = 0;
+            let target_tables: Vec<TableId> = match fm.table_id {
+                Some(id) => vec![id],
+                None => pipeline.tables().iter().map(|t| t.id).collect(),
+            };
+            for id in target_tables {
+                if let Some(table) = pipeline.table_mut(id) {
+                    let n = table.remove_overlapping(&fm.flow_match, fm.cookie);
+                    if n > 0 {
+                        touched.push(id);
+                        removed += n;
+                    }
+                }
+            }
+            Ok(FlowModEffect {
+                tables_touched: touched,
+                added: 0,
+                modified: 0,
+                removed,
+            })
+        }
+        FlowModCommand::DeleteStrict => {
+            let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
+            let table = pipeline
+                .table_mut(table_id)
+                .ok_or(FlowModError::NoSuchTable(table_id))?;
+            if table.remove_strict(&fm.flow_match, fm.priority) {
+                Ok(FlowModEffect {
+                    tables_touched: vec![table_id],
+                    added: 0,
+                    modified: 0,
+                    removed: 1,
+                })
+            } else {
+                Err(FlowModError::NoSuchEntry)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::field::Field;
+    use crate::instruction::terminal_actions;
+
+    fn add(port: u16, priority: u16, out: u32) -> FlowMod {
+        FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::TcpDst, u128::from(port)),
+            priority,
+            terminal_actions(vec![Action::Output(out)]),
+        )
+    }
+
+    #[test]
+    fn add_creates_table_and_entry() {
+        let mut p = Pipeline::new();
+        let effect = apply_flow_mod(&mut p, &add(80, 10, 1)).unwrap();
+        assert_eq!(effect.added, 1);
+        assert_eq!(p.table(0).unwrap().len(), 1);
+        // Adding the same match+priority replaces.
+        apply_flow_mod(&mut p, &add(80, 10, 2)).unwrap();
+        assert_eq!(p.table(0).unwrap().len(), 1);
+        assert_eq!(
+            p.table(0).unwrap().entries()[0].instructions,
+            terminal_actions(vec![Action::Output(2)])
+        );
+    }
+
+    #[test]
+    fn strict_modify_and_delete() {
+        let mut p = Pipeline::new();
+        apply_flow_mod(&mut p, &add(80, 10, 1)).unwrap();
+        apply_flow_mod(&mut p, &add(443, 10, 2)).unwrap();
+
+        let modify = FlowMod {
+            command: FlowModCommand::ModifyStrict,
+            table_id: Some(0),
+            flow_match: FlowMatch::any().with_exact(Field::TcpDst, 80),
+            priority: 10,
+            instructions: terminal_actions(vec![Action::Output(9)]),
+            cookie: None,
+        };
+        let effect = apply_flow_mod(&mut p, &modify).unwrap();
+        assert_eq!(effect.modified, 1);
+
+        let missing = FlowMod {
+            priority: 99,
+            ..modify.clone()
+        };
+        assert_eq!(apply_flow_mod(&mut p, &missing), Err(FlowModError::NoSuchEntry));
+
+        let del = FlowMod::delete_strict(0, FlowMatch::any().with_exact(Field::TcpDst, 443), 10);
+        assert_eq!(apply_flow_mod(&mut p, &del).unwrap().removed, 1);
+        assert_eq!(p.table(0).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_all_tables_with_none_table_id() {
+        let mut p = Pipeline::new();
+        apply_flow_mod(&mut p, &add(80, 10, 1)).unwrap();
+        let mut fm = add(22, 10, 1);
+        fm.table_id = Some(3);
+        apply_flow_mod(&mut p, &fm).unwrap();
+
+        let wipe = FlowMod {
+            command: FlowModCommand::Delete,
+            table_id: None,
+            flow_match: FlowMatch::any(),
+            priority: 0,
+            instructions: vec![],
+            cookie: None,
+        };
+        let effect = apply_flow_mod(&mut p, &wipe).unwrap();
+        assert_eq!(effect.removed, 2);
+        assert_eq!(effect.tables_touched.len(), 2);
+        assert_eq!(p.entry_count(), 0);
+    }
+
+    #[test]
+    fn cookie_filtered_delete() {
+        let mut p = Pipeline::new();
+        apply_flow_mod(&mut p, &add(80, 10, 1).with_cookie(0xaa)).unwrap();
+        apply_flow_mod(&mut p, &add(443, 10, 1).with_cookie(0xbb)).unwrap();
+        let del = FlowMod::delete(0, FlowMatch::any()).with_cookie(0xaa);
+        assert_eq!(apply_flow_mod(&mut p, &del).unwrap().removed, 1);
+        assert_eq!(p.table(0).unwrap().entries()[0].cookie, 0xbb);
+    }
+
+    #[test]
+    fn errors_on_missing_targets() {
+        let mut p = Pipeline::new();
+        let modify = FlowMod {
+            command: FlowModCommand::Modify,
+            table_id: Some(5),
+            flow_match: FlowMatch::any(),
+            priority: 0,
+            instructions: vec![],
+            cookie: None,
+        };
+        assert_eq!(apply_flow_mod(&mut p, &modify), Err(FlowModError::NoSuchTable(5)));
+        let add_no_table = FlowMod {
+            command: FlowModCommand::Add,
+            table_id: None,
+            flow_match: FlowMatch::any(),
+            priority: 0,
+            instructions: vec![],
+            cookie: None,
+        };
+        assert_eq!(
+            apply_flow_mod(&mut p, &add_no_table),
+            Err(FlowModError::TableRequired)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! OpenFlow instructions.
+
+use crate::action::Action;
+use crate::pipeline::TableId;
+
+/// An instruction attached to a flow entry.
+///
+/// Instructions control what happens when an entry matches: actions can be
+/// applied immediately, merged into the packet's action set for execution at
+/// pipeline exit, the metadata register can be rewritten, and processing can
+/// be directed to a later table (`goto_table`), which is what builds
+/// multi-stage pipelines (Fig. 1b of the paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Apply the listed actions immediately, in order.
+    ApplyActions(Vec<Action>),
+    /// Merge the listed actions into the action set.
+    WriteActions(Vec<Action>),
+    /// Clear the action set.
+    ClearActions,
+    /// `metadata = (metadata & !mask) | (value & mask)`.
+    WriteMetadata {
+        /// Value to write.
+        value: u64,
+        /// Bits of the metadata register affected.
+        mask: u64,
+    },
+    /// Continue processing at the given (strictly later) table.
+    GotoTable(TableId),
+    /// Attach a meter (modelled as a no-op; none of the use cases meter).
+    Meter(u32),
+}
+
+impl Instruction {
+    /// Convenience constructor: apply a single action.
+    pub fn apply(action: Action) -> Self {
+        Instruction::ApplyActions(vec![action])
+    }
+
+    /// Convenience constructor: write a single action into the action set.
+    pub fn write(action: Action) -> Self {
+        Instruction::WriteActions(vec![action])
+    }
+
+    /// The goto target, if this is a goto-table instruction.
+    pub fn goto_target(&self) -> Option<TableId> {
+        match self {
+            Instruction::GotoTable(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Helper: builds the common "apply these actions and stop" instruction list.
+pub fn terminal_actions(actions: Vec<Action>) -> Vec<Instruction> {
+    vec![Instruction::ApplyActions(actions)]
+}
+
+/// Helper: builds the common "apply these actions, then continue at `table`"
+/// instruction list.
+pub fn actions_then_goto(actions: Vec<Action>, table: TableId) -> Vec<Instruction> {
+    vec![Instruction::ApplyActions(actions), Instruction::GotoTable(table)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goto_target_extraction() {
+        assert_eq!(Instruction::GotoTable(7).goto_target(), Some(7));
+        assert_eq!(Instruction::ClearActions.goto_target(), None);
+    }
+
+    #[test]
+    fn helpers_build_expected_lists() {
+        let t = terminal_actions(vec![Action::Output(1)]);
+        assert_eq!(t, vec![Instruction::ApplyActions(vec![Action::Output(1)])]);
+        let g = actions_then_goto(vec![Action::PopVlan], 3);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[1], Instruction::GotoTable(3));
+    }
+}

@@ -1,0 +1,297 @@
+//! Flow keys — the fully extracted header-field tuple of one packet.
+//!
+//! The slow-path classifiers (the direct datapath here and the OVS
+//! `vswitchd`-style classifier in `ovsdp`) do not rummage through the raw
+//! frame for every rule; they extract all interesting fields once into a
+//! [`FlowKey`] (OVS calls the equivalent structure `struct flow` /
+//! `miniflow`) and then match rules against that. The ESWITCH compiled
+//! datapath deliberately does *not* use this type — its matcher templates
+//! load only the fields the installed rules actually need, straight from the
+//! frame — which is one of the sources of its speed advantage.
+
+use pkt::parser::{parse, ParseDepth, ParsedHeaders, ProtoMask};
+use pkt::Packet;
+
+use crate::field::{Field, FieldValue};
+
+/// Every match-relevant field of one packet, extracted eagerly.
+///
+/// Fields that are absent from the packet (e.g. TCP ports of an ARP frame)
+/// are represented as `None`; a match on such a field simply fails, per the
+/// OpenFlow prerequisite rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct FlowKey {
+    /// Ingress port.
+    pub in_port: u32,
+    /// Pipeline metadata register (written by `WriteMetadata`).
+    pub metadata: u64,
+    /// Tunnel id metadata.
+    pub tunnel_id: u64,
+    /// Destination MAC (48 bits).
+    pub eth_dst: u64,
+    /// Source MAC (48 bits).
+    pub eth_src: u64,
+    /// EtherType after any VLAN tags.
+    pub eth_type: u16,
+    /// VLAN VID, or `None` if untagged.
+    pub vlan_vid: Option<u16>,
+    /// VLAN PCP, or `None` if untagged.
+    pub vlan_pcp: Option<u8>,
+    /// IPv4/IPv6 DSCP.
+    pub ip_dscp: Option<u8>,
+    /// IPv4/IPv6 ECN.
+    pub ip_ecn: Option<u8>,
+    /// IP protocol / next header.
+    pub ip_proto: Option<u8>,
+    /// IPv4 source address.
+    pub ipv4_src: Option<u32>,
+    /// IPv4 destination address.
+    pub ipv4_dst: Option<u32>,
+    /// IPv6 source address.
+    pub ipv6_src: Option<u128>,
+    /// IPv6 destination address.
+    pub ipv6_dst: Option<u128>,
+    /// TCP source port.
+    pub tcp_src: Option<u16>,
+    /// TCP destination port.
+    pub tcp_dst: Option<u16>,
+    /// UDP source port.
+    pub udp_src: Option<u16>,
+    /// UDP destination port.
+    pub udp_dst: Option<u16>,
+    /// ICMPv4 type.
+    pub icmpv4_type: Option<u8>,
+    /// ICMPv4 code.
+    pub icmpv4_code: Option<u8>,
+    /// ARP opcode.
+    pub arp_op: Option<u16>,
+    /// ARP sender protocol address.
+    pub arp_spa: Option<u32>,
+    /// ARP target protocol address.
+    pub arp_tpa: Option<u32>,
+    /// ARP sender hardware address.
+    pub arp_sha: Option<u64>,
+    /// ARP target hardware address.
+    pub arp_tha: Option<u64>,
+}
+
+impl FlowKey {
+    /// Extracts a key from a packet, parsing as deep as L4.
+    pub fn extract(packet: &Packet) -> Self {
+        let headers = parse(packet.data(), ParseDepth::L4);
+        Self::from_parsed(packet, &headers)
+    }
+
+    /// Extracts a key from a packet using an existing parse result.
+    pub fn from_parsed(packet: &Packet, headers: &ParsedHeaders) -> Self {
+        let frame = packet.data();
+        let mut key = FlowKey {
+            in_port: packet.in_port,
+            ..Default::default()
+        };
+        if let Some(mac) = headers.eth_dst(frame) {
+            key.eth_dst = mac.to_u64();
+        }
+        if let Some(mac) = headers.eth_src(frame) {
+            key.eth_src = mac.to_u64();
+        }
+        key.eth_type = headers.ethertype;
+        if headers.has_vlan() {
+            key.vlan_vid = Some(headers.vlan_vid);
+            key.vlan_pcp = Some(headers.vlan_pcp);
+        }
+        if headers.has_ipv4() {
+            let l3 = usize::from(headers.l3_offset);
+            key.ip_proto = Some(headers.ip_proto);
+            key.ip_dscp = frame.get(l3 + 1).map(|b| b >> 2);
+            key.ip_ecn = frame.get(l3 + 1).map(|b| b & 0x03);
+            key.ipv4_src = headers.ipv4_src(frame).map(|a| a.to_u32());
+            key.ipv4_dst = headers.ipv4_dst(frame).map(|a| a.to_u32());
+        } else if headers.mask.contains(ProtoMask::IPV6) {
+            let l3 = usize::from(headers.l3_offset);
+            key.ip_proto = Some(headers.ip_proto);
+            if let Some(hdr) = frame.get(l3..l3 + 40) {
+                key.ip_dscp = Some(((hdr[0] << 4) | (hdr[1] >> 4)) >> 2);
+                key.ip_ecn = Some(((hdr[0] << 4) | (hdr[1] >> 4)) & 0x03);
+                key.ipv6_src = Some(u128::from_be_bytes(hdr[8..24].try_into().expect("16 bytes")));
+                key.ipv6_dst = Some(u128::from_be_bytes(hdr[24..40].try_into().expect("16 bytes")));
+            }
+        } else if headers.mask.contains(ProtoMask::ARP) {
+            let l3 = usize::from(headers.l3_offset);
+            if let Some(arp) = pkt::arp::ArpPacket::parse(&frame[l3..]) {
+                key.arp_op = Some(arp.op.to_u16());
+                key.arp_spa = Some(arp.sender_ip.to_u32());
+                key.arp_tpa = Some(arp.target_ip.to_u32());
+                key.arp_sha = Some(arp.sender_mac.to_u64());
+                key.arp_tha = Some(arp.target_mac.to_u64());
+            }
+        }
+        if headers.has_tcp() {
+            key.tcp_src = headers.tcp_src(frame);
+            key.tcp_dst = headers.tcp_dst(frame);
+        } else if headers.has_udp() {
+            key.udp_src = headers.udp_src(frame);
+            key.udp_dst = headers.udp_dst(frame);
+        } else if headers.mask.contains(ProtoMask::ICMP) {
+            let l4 = usize::from(headers.l4_offset);
+            key.icmpv4_type = frame.get(l4).copied();
+            key.icmpv4_code = frame.get(l4 + 1).copied();
+        }
+        key
+    }
+
+    /// Reads the value of `field` from the key, or `None` if the packet does
+    /// not carry the field.
+    pub fn get(&self, field: Field) -> Option<FieldValue> {
+        match field {
+            Field::InPort | Field::InPhyPort => Some(FieldValue::from(self.in_port)),
+            Field::Metadata => Some(FieldValue::from(self.metadata)),
+            Field::TunnelId => Some(FieldValue::from(self.tunnel_id)),
+            Field::EthDst => Some(FieldValue::from(self.eth_dst)),
+            Field::EthSrc => Some(FieldValue::from(self.eth_src)),
+            Field::EthType => Some(FieldValue::from(self.eth_type)),
+            Field::VlanVid => self.vlan_vid.map(FieldValue::from),
+            Field::VlanPcp => self.vlan_pcp.map(FieldValue::from),
+            Field::IpDscp => self.ip_dscp.map(FieldValue::from),
+            Field::IpEcn => self.ip_ecn.map(FieldValue::from),
+            Field::IpProto => self.ip_proto.map(FieldValue::from),
+            Field::Ipv4Src => self.ipv4_src.map(FieldValue::from),
+            Field::Ipv4Dst => self.ipv4_dst.map(FieldValue::from),
+            Field::Ipv6Src => self.ipv6_src,
+            Field::Ipv6Dst => self.ipv6_dst,
+            Field::TcpSrc => self.tcp_src.map(FieldValue::from),
+            Field::TcpDst => self.tcp_dst.map(FieldValue::from),
+            Field::UdpSrc => self.udp_src.map(FieldValue::from),
+            Field::UdpDst => self.udp_dst.map(FieldValue::from),
+            Field::Icmpv4Type => self.icmpv4_type.map(FieldValue::from),
+            Field::Icmpv4Code => self.icmpv4_code.map(FieldValue::from),
+            Field::ArpOp => self.arp_op.map(FieldValue::from),
+            Field::ArpSpa => self.arp_spa.map(FieldValue::from),
+            Field::ArpTpa => self.arp_tpa.map(FieldValue::from),
+            Field::ArpSha => self.arp_sha.map(FieldValue::from),
+            Field::ArpTha => self.arp_tha.map(FieldValue::from),
+            // Fields not modelled in the key (MPLS, PBB, IPv6 ND/exthdr,
+            // SCTP, ICMPv6): absent.
+            _ => None,
+        }
+    }
+
+    /// Writes `value` into the key-side view of `field`. Used by the
+    /// pipeline to keep the key consistent after a set-field action so that
+    /// later tables match on the rewritten value, and by `WriteMetadata`.
+    pub fn set(&mut self, field: Field, value: FieldValue) {
+        match field {
+            Field::InPort | Field::InPhyPort => self.in_port = value as u32,
+            Field::Metadata => self.metadata = value as u64,
+            Field::TunnelId => self.tunnel_id = value as u64,
+            Field::EthDst => self.eth_dst = value as u64 & 0xffff_ffff_ffff,
+            Field::EthSrc => self.eth_src = value as u64 & 0xffff_ffff_ffff,
+            Field::EthType => self.eth_type = value as u16,
+            Field::VlanVid => self.vlan_vid = Some(value as u16 & 0x0fff),
+            Field::VlanPcp => self.vlan_pcp = Some(value as u8 & 0x07),
+            Field::IpDscp => self.ip_dscp = Some(value as u8 & 0x3f),
+            Field::IpEcn => self.ip_ecn = Some(value as u8 & 0x03),
+            Field::IpProto => self.ip_proto = Some(value as u8),
+            Field::Ipv4Src => self.ipv4_src = Some(value as u32),
+            Field::Ipv4Dst => self.ipv4_dst = Some(value as u32),
+            Field::Ipv6Src => self.ipv6_src = Some(value),
+            Field::Ipv6Dst => self.ipv6_dst = Some(value),
+            Field::TcpSrc => self.tcp_src = Some(value as u16),
+            Field::TcpDst => self.tcp_dst = Some(value as u16),
+            Field::UdpSrc => self.udp_src = Some(value as u16),
+            Field::UdpDst => self.udp_dst = Some(value as u16),
+            Field::Icmpv4Type => self.icmpv4_type = Some(value as u8),
+            Field::Icmpv4Code => self.icmpv4_code = Some(value as u8),
+            Field::ArpOp => self.arp_op = Some(value as u16),
+            Field::ArpSpa => self.arp_spa = Some(value as u32),
+            Field::ArpTpa => self.arp_tpa = Some(value as u32),
+            Field::ArpSha => self.arp_sha = Some(value as u64),
+            Field::ArpTha => self.arp_tha = Some(value as u64),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+    use pkt::ipv4::Ipv4Addr4;
+    use pkt::mac::MacAddr;
+
+    #[test]
+    fn tcp_packet_key() {
+        let pkt = PacketBuilder::tcp()
+            .eth_src([2, 0, 0, 0, 0, 1])
+            .eth_dst([2, 0, 0, 0, 0, 2])
+            .ipv4_src([10, 1, 1, 1])
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_src(5000)
+            .tcp_dst(80)
+            .in_port(3)
+            .build();
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.in_port, 3);
+        assert_eq!(key.eth_src, MacAddr::new([2, 0, 0, 0, 0, 1]).to_u64());
+        assert_eq!(key.eth_type, 0x0800);
+        assert_eq!(key.ipv4_dst, Some(Ipv4Addr4::new(192, 0, 2, 1).to_u32()));
+        assert_eq!(key.tcp_dst, Some(80));
+        assert_eq!(key.udp_dst, None);
+        assert_eq!(key.vlan_vid, None);
+        assert_eq!(key.get(Field::TcpDst), Some(80));
+        assert_eq!(key.get(Field::UdpDst), None);
+        assert_eq!(key.get(Field::InPort), Some(3));
+    }
+
+    #[test]
+    fn vlan_udp_key() {
+        let pkt = PacketBuilder::udp().vlan(7).udp_dst(53).build();
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.vlan_vid, Some(7));
+        assert_eq!(key.udp_dst, Some(53));
+        assert_eq!(key.get(Field::VlanVid), Some(7));
+    }
+
+    #[test]
+    fn arp_key() {
+        let pkt = PacketBuilder::arp_request(
+            MacAddr::new([2, 0, 0, 0, 0, 9]),
+            Ipv4Addr4::new(10, 0, 0, 9),
+            Ipv4Addr4::new(10, 0, 0, 1),
+        );
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.eth_type, 0x0806);
+        assert_eq!(key.arp_op, Some(1));
+        assert_eq!(key.arp_tpa, Some(Ipv4Addr4::new(10, 0, 0, 1).to_u32()));
+        assert_eq!(key.ipv4_src, None);
+    }
+
+    #[test]
+    fn icmp_key() {
+        let pkt = PacketBuilder::icmp().build();
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.ip_proto, Some(1));
+        assert_eq!(key.icmpv4_type, Some(8));
+        assert_eq!(key.icmpv4_code, Some(0));
+    }
+
+    #[test]
+    fn set_updates_view() {
+        let pkt = PacketBuilder::tcp().build();
+        let mut key = FlowKey::extract(&pkt);
+        key.set(Field::Ipv4Src, u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32()));
+        key.set(Field::Metadata, 0xdead);
+        assert_eq!(key.get(Field::Ipv4Src), Some(u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32())));
+        assert_eq!(key.metadata, 0xdead);
+        key.set(Field::VlanVid, 0x1fff);
+        assert_eq!(key.vlan_vid, Some(0x0fff)); // masked to 12 bits
+    }
+
+    #[test]
+    fn dscp_and_ecn_extracted() {
+        let pkt = PacketBuilder::udp().dscp(46).build();
+        let key = FlowKey::extract(&pkt);
+        assert_eq!(key.ip_dscp, Some(46));
+        assert_eq!(key.ip_ecn, Some(0));
+    }
+}

@@ -1,0 +1,57 @@
+//! Controller-channel messages (the subset the reproduction needs).
+
+use pkt::Packet;
+
+use crate::action::Action;
+use crate::pipeline::TableId;
+
+/// Why a packet was sent to the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketInReason {
+    /// A table-miss entry or miss behaviour punted the packet.
+    NoMatch,
+    /// An explicit output-to-controller action.
+    Action,
+}
+
+/// A packet-in message: a packet handed up to the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketIn {
+    /// The packet (full frame; no buffering/miss-len modelling).
+    pub packet: Packet,
+    /// Why the packet was punted.
+    pub reason: PacketInReason,
+    /// Table at which the decision to punt was taken.
+    pub table_id: TableId,
+}
+
+/// A packet-out message: the controller injects a packet into the dataplane
+/// with an explicit action list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketOut {
+    /// The packet to inject.
+    pub packet: Packet,
+    /// Actions to apply (typically a single `Output`).
+    pub actions: Vec<Action>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn message_construction() {
+        let pi = PacketIn {
+            packet: PacketBuilder::udp().build(),
+            reason: PacketInReason::NoMatch,
+            table_id: 2,
+        };
+        assert_eq!(pi.reason, PacketInReason::NoMatch);
+        let po = PacketOut {
+            packet: pi.packet.clone(),
+            actions: vec![Action::Output(1)],
+        };
+        assert_eq!(po.actions.len(), 1);
+    }
+}

@@ -1,0 +1,551 @@
+//! The OpenFlow pipeline: a linked hierarchy of flow tables, plus the
+//! reference processing semantics every datapath must agree with.
+
+use std::fmt;
+
+use pkt::Packet;
+
+use crate::action::{apply_action_list, ActionSet, OutputKind};
+use crate::entry::FlowEntry;
+use crate::instruction::Instruction;
+use crate::key::FlowKey;
+use crate::table::{FlowTable, TableMissBehavior};
+
+/// Identifier of a flow table within a pipeline.
+///
+/// OpenFlow limits the wire-visible table space to 255 tables; the internal
+/// decomposition pass of ESWITCH may create more ("we are not restricted by
+/// OpenFlow's limit on maximum flow table number here, since decomposition is
+/// internal"), so table ids are a full `u32` internally.
+pub type TableId = u32;
+
+/// Errors raised while building or walking a pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A `goto_table` instruction referenced a table that does not exist.
+    NoSuchTable(TableId),
+    /// A `goto_table` instruction pointed backwards (or to the same table),
+    /// which OpenFlow forbids because it could loop forever.
+    BackwardGoto {
+        /// Table containing the offending instruction.
+        from: TableId,
+        /// Referenced table.
+        to: TableId,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoSuchTable(t) => write!(f, "goto_table references missing table {t}"),
+            PipelineError::BackwardGoto { from, to } => {
+                write!(f, "goto_table from table {from} to non-later table {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// The forwarding decision for one packet after pipeline processing.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Verdict {
+    /// Ports the (possibly rewritten) packet must be transmitted on.
+    pub outputs: Vec<u32>,
+    /// True if the packet must be flooded on all ports but the ingress one.
+    pub flood: bool,
+    /// True if the packet (or a copy) must be sent to the controller.
+    pub to_controller: bool,
+    /// Number of flow tables the packet traversed.
+    pub tables_visited: u32,
+    /// Total number of flow entries examined across all tables — the "work"
+    /// metric of the direct datapath.
+    pub entries_examined: u32,
+}
+
+impl Verdict {
+    /// True when the packet is dropped (no output, no flood, no controller).
+    pub fn is_drop(&self) -> bool {
+        self.outputs.is_empty() && !self.flood && !self.to_controller
+    }
+
+    /// Convenience constructor used by caches: forward to a single port.
+    pub fn output(port: u32) -> Self {
+        Verdict {
+            outputs: vec![port],
+            ..Default::default()
+        }
+    }
+
+    /// Convenience constructor used by caches: drop.
+    pub fn drop() -> Self {
+        Verdict::default()
+    }
+
+    /// Merges an [`OutputKind`] into the verdict.
+    pub fn add(&mut self, out: OutputKind) {
+        match out {
+            OutputKind::Port(p) => self.outputs.push(p),
+            OutputKind::Flood => self.flood = true,
+            OutputKind::Controller => self.to_controller = true,
+            OutputKind::Drop => {}
+        }
+    }
+
+    /// The forwarding decision without the work accounting — what flow caches
+    /// store, and what semantic-equivalence tests compare.
+    pub fn decision(&self) -> (Vec<u32>, bool, bool) {
+        (self.outputs.clone(), self.flood, self.to_controller)
+    }
+}
+
+/// A complete OpenFlow pipeline: tables indexed by id, starting at table 0.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    tables: Vec<FlowTable>,
+}
+
+impl Pipeline {
+    /// Creates an empty pipeline (packets are dropped until a table 0 exists).
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Creates a pipeline with `count` empty tables numbered `0..count`.
+    pub fn with_tables(count: u32) -> Self {
+        let mut p = Pipeline::new();
+        for id in 0..count {
+            p.add_table(FlowTable::new(id));
+        }
+        p
+    }
+
+    /// Adds a table.
+    ///
+    /// # Panics
+    /// Panics if a table with the same id already exists.
+    pub fn add_table(&mut self, table: FlowTable) -> &mut FlowTable {
+        assert!(
+            self.table(table.id).is_none(),
+            "duplicate table id {}",
+            table.id
+        );
+        let id = table.id;
+        self.tables.push(table);
+        self.tables.sort_by_key(|t| t.id);
+        self.table_mut(id).expect("just inserted")
+    }
+
+    /// Ensures a table with this id exists and returns it mutably.
+    pub fn table_mut_or_create(&mut self, id: TableId) -> &mut FlowTable {
+        if self.table(id).is_none() {
+            self.tables.push(FlowTable::new(id));
+            self.tables.sort_by_key(|t| t.id);
+        }
+        self.table_mut(id).expect("just created")
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: TableId) -> Option<&FlowTable> {
+        self.tables.iter().find(|t| t.id == id)
+    }
+
+    /// Looks up a table by id, mutably.
+    pub fn table_mut(&mut self, id: TableId) -> Option<&mut FlowTable> {
+        self.tables.iter_mut().find(|t| t.id == id)
+    }
+
+    /// All tables in ascending id order.
+    pub fn tables(&self) -> &[FlowTable] {
+        &self.tables
+    }
+
+    /// All tables, mutably.
+    pub fn tables_mut(&mut self) -> &mut [FlowTable] {
+        &mut self.tables
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Total number of flow entries across all tables.
+    pub fn entry_count(&self) -> usize {
+        self.tables.iter().map(FlowTable::len).sum()
+    }
+
+    /// Validates every `goto_table` reference (target exists and is a later
+    /// table). Datapath compilers call this before accepting a pipeline.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        for table in &self.tables {
+            for entry in table.entries() {
+                if let Some(target) = entry.goto_target() {
+                    if target <= table.id {
+                        return Err(PipelineError::BackwardGoto {
+                            from: table.id,
+                            to: target,
+                        });
+                    }
+                    if self.table(target).is_none() {
+                        return Err(PipelineError::NoSuchTable(target));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference pipeline processing ("direct datapath" semantics, §2.1).
+    ///
+    /// The packet is matched starting at table 0; instructions of the matched
+    /// entry are executed; processing continues at the goto target, if any,
+    /// otherwise the accumulated action set runs and the verdict is returned.
+    /// The packet is modified in place by apply-actions and by the final
+    /// action set.
+    pub fn process(&self, packet: &mut Packet) -> Verdict {
+        let mut key = FlowKey::extract(packet);
+        self.process_with_key(packet, &mut key)
+    }
+
+    /// Like [`Pipeline::process`] but reusing an already-extracted key
+    /// (the slow-path classifier of `ovsdp` extracts the key once and needs
+    /// it afterwards to build the megaflow).
+    pub fn process_with_key(&self, packet: &mut Packet, key: &mut FlowKey) -> Verdict {
+        let mut verdict = Verdict::default();
+        let mut action_set = ActionSet::new();
+        let mut table_id: TableId = 0;
+        loop {
+            let Some(table) = self.table(table_id) else {
+                // Missing table: treat as drop.
+                return verdict;
+            };
+            verdict.tables_visited += 1;
+            let (hit, examined) = table.lookup_counted(key);
+            verdict.entries_examined += examined as u32;
+            match hit {
+                Some(entry) => {
+                    entry.record(packet.len());
+                    match execute_instructions(entry, packet, key, &mut action_set, &mut verdict) {
+                        Some(next) => {
+                            table_id = next;
+                        }
+                        None => {
+                            finish(&action_set, packet, key, &mut verdict);
+                            return verdict;
+                        }
+                    }
+                }
+                None => match table.miss {
+                    TableMissBehavior::Drop => return verdict,
+                    TableMissBehavior::ToController => {
+                        verdict.to_controller = true;
+                        return verdict;
+                    }
+                    TableMissBehavior::Continue => {
+                        // Continue at the next-numbered table, if any.
+                        match self.tables.iter().map(|t| t.id).find(|id| *id > table_id) {
+                            Some(next) => table_id = next,
+                            None => return verdict,
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Executes a matched entry's instructions. Returns the goto target if the
+/// pipeline continues, `None` if it terminates here.
+fn execute_instructions(
+    entry: &FlowEntry,
+    packet: &mut Packet,
+    key: &mut FlowKey,
+    action_set: &mut ActionSet,
+    verdict: &mut Verdict,
+) -> Option<TableId> {
+    let mut next = None;
+    for instruction in &entry.instructions {
+        match instruction {
+            Instruction::ApplyActions(actions) => {
+                for out in apply_action_list(actions, packet, key) {
+                    verdict.add(out);
+                }
+            }
+            Instruction::WriteActions(actions) => {
+                for a in actions {
+                    action_set.write(a.clone());
+                }
+            }
+            Instruction::ClearActions => action_set.clear(),
+            Instruction::WriteMetadata { value, mask } => {
+                key.metadata = (key.metadata & !mask) | (value & mask);
+            }
+            Instruction::GotoTable(t) => next = Some(*t),
+            Instruction::Meter(_) => {}
+        }
+    }
+    next
+}
+
+/// Runs the accumulated action set at pipeline exit.
+fn finish(action_set: &ActionSet, packet: &mut Packet, key: &mut FlowKey, verdict: &mut Verdict) {
+    if action_set.is_empty() {
+        return;
+    }
+    let list = action_set.to_action_list();
+    for out in apply_action_list(&list, packet, key) {
+        verdict.add(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::field::Field;
+    use crate::flow_match::FlowMatch;
+    use crate::instruction::{actions_then_goto, terminal_actions};
+    use pkt::builder::PacketBuilder;
+
+    /// The single-table firewall of Fig. 1a.
+    fn firewall_single_stage() -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        // internal port = 1, external port = 0; web server at 192.0.2.1.
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::InPort, 1),
+            300,
+            terminal_actions(vec![Action::Output(0)]),
+        ));
+        t.insert(FlowEntry::new(
+            FlowMatch::any()
+                .with_exact(Field::InPort, 0)
+                .with_exact(Field::Ipv4Dst, u128::from(0xc0000201u32))
+                .with_exact(Field::TcpDst, 80),
+            200,
+            terminal_actions(vec![Action::Output(1)]),
+        ));
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    /// The equivalent two-stage firewall of Fig. 1b.
+    fn firewall_multi_stage() -> Pipeline {
+        let mut p = Pipeline::with_tables(2);
+        {
+            let t0 = p.table_mut(0).unwrap();
+            t0.insert(FlowEntry::new(
+                FlowMatch::any().with_exact(Field::InPort, 1),
+                300,
+                terminal_actions(vec![Action::Output(0)]),
+            ));
+            t0.insert(FlowEntry::new(
+                FlowMatch::any().with_exact(Field::InPort, 0),
+                200,
+                vec![Instruction::GotoTable(1)],
+            ));
+        }
+        {
+            let t1 = p.table_mut(1).unwrap();
+            t1.insert(FlowEntry::new(
+                FlowMatch::any()
+                    .with_exact(Field::Ipv4Dst, u128::from(0xc0000201u32))
+                    .with_exact(Field::TcpDst, 80),
+                100,
+                terminal_actions(vec![Action::Output(1)]),
+            ));
+            t1.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        }
+        p
+    }
+
+    fn web_packet(in_port: u32, dst_port: u16) -> Packet {
+        PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_dst(dst_port)
+            .in_port(in_port)
+            .build()
+    }
+
+    #[test]
+    fn firewall_semantics_single_stage() {
+        let p = firewall_single_stage();
+        p.validate().unwrap();
+
+        let mut from_inside = web_packet(1, 12345);
+        assert_eq!(p.process(&mut from_inside).outputs, vec![0]);
+
+        let mut http_in = web_packet(0, 80);
+        assert_eq!(p.process(&mut http_in).outputs, vec![1]);
+
+        let mut ssh_in = web_packet(0, 22);
+        assert!(p.process(&mut ssh_in).is_drop());
+    }
+
+    #[test]
+    fn multi_stage_firewall_is_equivalent() {
+        let single = firewall_single_stage();
+        let multi = firewall_multi_stage();
+        multi.validate().unwrap();
+        for (in_port, dst_port) in [(1u32, 443u16), (0, 80), (0, 22), (1, 80), (0, 443)] {
+            let mut a = web_packet(in_port, dst_port);
+            let mut b = a.clone();
+            assert_eq!(
+                single.process(&mut a).decision(),
+                multi.process(&mut b).decision(),
+                "in_port={in_port} dst_port={dst_port}"
+            );
+        }
+        // The multi-stage pipeline visits two tables for external traffic.
+        let mut http_in = web_packet(0, 80);
+        assert_eq!(multi.process(&mut http_in).tables_visited, 2);
+    }
+
+    #[test]
+    fn apply_actions_rewrite_then_goto() {
+        // Table 0 rewrites the destination IP then sends to table 1, which
+        // matches on the rewritten value.
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            actions_then_goto(
+                vec![Action::SetField(Field::Ipv4Dst, 0x0a00_0001)],
+                1,
+            ),
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::Ipv4Dst, 0x0a00_0001),
+            10,
+            terminal_actions(vec![Action::Output(7)]),
+        ));
+        let mut pkt = web_packet(0, 80);
+        let verdict = p.process(&mut pkt);
+        assert_eq!(verdict.outputs, vec![7]);
+        assert_eq!(FlowKey::extract(&pkt).ipv4_dst, Some(0x0a00_0001));
+    }
+
+    #[test]
+    fn write_actions_execute_at_pipeline_exit() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::WriteActions(vec![Action::Output(3)]),
+                Instruction::GotoTable(1),
+            ],
+        ));
+        // Table 1: the matched entry overrides the output in the action set.
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            10,
+            vec![Instruction::WriteActions(vec![Action::Output(5)])],
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+
+        let mut http = web_packet(0, 80);
+        assert_eq!(p.process(&mut http).outputs, vec![5]);
+        let mut other = web_packet(0, 22);
+        assert_eq!(p.process(&mut other).outputs, vec![3]);
+    }
+
+    #[test]
+    fn clear_actions_drops_accumulated_set() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::WriteActions(vec![Action::Output(3)]),
+                Instruction::GotoTable(1),
+            ],
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![Instruction::ClearActions],
+        ));
+        let mut pkt = web_packet(0, 80);
+        assert!(p.process(&mut pkt).is_drop());
+    }
+
+    #[test]
+    fn metadata_written_and_matched() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            vec![
+                Instruction::WriteMetadata { value: 0x5, mask: 0xf },
+                Instruction::GotoTable(1),
+            ],
+        ));
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::Metadata, 0x5),
+            10,
+            terminal_actions(vec![Action::Output(9)]),
+        ));
+        let mut pkt = web_packet(0, 80);
+        assert_eq!(p.process(&mut pkt).outputs, vec![9]);
+    }
+
+    #[test]
+    fn table_miss_behaviours() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().miss = TableMissBehavior::Continue;
+        p.table_mut(1).unwrap().miss = TableMissBehavior::ToController;
+        let mut pkt = web_packet(0, 80);
+        let verdict = p.process(&mut pkt);
+        assert!(verdict.to_controller);
+        assert_eq!(verdict.tables_visited, 2);
+
+        let mut drop_pipeline = Pipeline::with_tables(1);
+        drop_pipeline.table_mut(0).unwrap().miss = TableMissBehavior::Drop;
+        let mut pkt = web_packet(0, 80);
+        assert!(drop_pipeline.process(&mut pkt).is_drop());
+    }
+
+    #[test]
+    fn validation_rejects_bad_gotos() {
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(1).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            1,
+            vec![Instruction::GotoTable(0)],
+        ));
+        assert_eq!(
+            p.validate(),
+            Err(PipelineError::BackwardGoto { from: 1, to: 0 })
+        );
+
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any(),
+            1,
+            vec![Instruction::GotoTable(9)],
+        ));
+        assert_eq!(p.validate(), Err(PipelineError::NoSuchTable(9)));
+    }
+
+    #[test]
+    fn entry_counters_updated() {
+        let p = firewall_single_stage();
+        let mut pkt = web_packet(0, 80);
+        p.process(&mut pkt);
+        let table = p.table(0).unwrap();
+        let http_entry = &table.entries()[1];
+        assert_eq!(http_entry.counters.packets(), 1);
+        assert_eq!(table.lookups.packets(), 1);
+    }
+
+    #[test]
+    fn work_accounting_grows_with_entries_examined() {
+        let p = firewall_single_stage();
+        let mut ssh = web_packet(0, 22);
+        let verdict = p.process(&mut ssh);
+        // Examined all three entries of the single table.
+        assert_eq!(verdict.entries_examined, 3);
+    }
+}

@@ -1,0 +1,269 @@
+//! Flow tables.
+
+use netdev::Counters;
+use std::sync::Arc;
+
+use crate::entry::FlowEntry;
+use crate::flow_match::FlowMatch;
+use crate::key::FlowKey;
+use crate::pipeline::TableId;
+
+/// What to do with a packet that matches no entry in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TableMissBehavior {
+    /// Drop the packet (OpenFlow 1.3 default).
+    #[default]
+    Drop,
+    /// Send the packet to the controller.
+    ToController,
+    /// Continue processing at the next table.
+    Continue,
+}
+
+/// One stage of the OpenFlow pipeline: a priority-ordered list of entries.
+///
+/// Entries are kept sorted by descending priority (ties broken by insertion
+/// order, matching the paper's convention that "flow entries are listed in
+/// decreasing order of priority"). Lookup is a linear scan in that order —
+/// this *is* the direct-datapath strategy; faster structures are exactly what
+/// the OVS caches and the ESWITCH templates provide on top.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    /// Table identifier within the pipeline.
+    pub id: TableId,
+    /// Human-readable name (handy in dumps of decomposed pipelines).
+    pub name: String,
+    /// Miss behaviour.
+    pub miss: TableMissBehavior,
+    entries: Vec<FlowEntry>,
+    /// Packets looked up in this table (hit or miss).
+    pub lookups: Arc<Counters>,
+    /// Packets that matched some entry.
+    pub matches: Arc<Counters>,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new(id: TableId) -> Self {
+        FlowTable {
+            id,
+            name: format!("table{id}"),
+            miss: TableMissBehavior::default(),
+            entries: Vec::new(),
+            lookups: Arc::new(Counters::new()),
+            matches: Arc::new(Counters::new()),
+        }
+    }
+
+    /// Creates an empty table with a name.
+    pub fn named(id: TableId, name: impl Into<String>) -> Self {
+        let mut t = Self::new(id);
+        t.name = name.into();
+        t
+    }
+
+    /// Builder-style miss behaviour setter.
+    pub fn with_miss(mut self, miss: TableMissBehavior) -> Self {
+        self.miss = miss;
+        self
+    }
+
+    /// Inserts an entry, keeping the priority order. An entry with an
+    /// identical match and priority replaces the old one (OpenFlow add
+    /// semantics).
+    pub fn insert(&mut self, entry: FlowEntry) {
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == entry.priority && e.flow_match == entry.flow_match)
+        {
+            *existing = entry;
+            return;
+        }
+        // Insert after all entries with priority >= the new one, preserving
+        // insertion order among equal priorities.
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+    }
+
+    /// Removes entries matching the (non-strict) OpenFlow delete semantics:
+    /// every entry whose match is equal to or more specific than `pattern`,
+    /// and whose cookie matches if a cookie filter is given. Returns the
+    /// number of removed entries.
+    pub fn remove_overlapping(&mut self, pattern: &FlowMatch, cookie: Option<u64>) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| {
+            let cookie_ok = cookie.map(|c| e.cookie == c).unwrap_or(true);
+            !(cookie_ok && e.flow_match.is_more_specific_than(pattern))
+        });
+        before - self.entries.len()
+    }
+
+    /// Removes the entry with exactly this match and priority (strict delete).
+    /// Returns true if an entry was removed.
+    pub fn remove_strict(&mut self, pattern: &FlowMatch, priority: u16) -> bool {
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.priority == priority && e.flow_match == *pattern));
+        before != self.entries.len()
+    }
+
+    /// The entries, in match order (descending priority).
+    pub fn entries(&self) -> &[FlowEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replaces all entries at once (used by pipeline builders and by the
+    /// decomposition pass).
+    pub fn set_entries(&mut self, mut entries: Vec<FlowEntry>) {
+        entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+        self.entries = entries;
+    }
+
+    /// Looks up the highest-priority matching entry for `key`, recording
+    /// table statistics.
+    pub fn lookup(&self, key: &FlowKey) -> Option<&FlowEntry> {
+        self.lookups.record(0);
+        let hit = self.entries.iter().find(|e| e.flow_match.matches(key));
+        if hit.is_some() {
+            self.matches.record(0);
+        }
+        hit
+    }
+
+    /// Like [`FlowTable::lookup`] but also reports how many entries were
+    /// examined before the decision — the work metric the direct datapath
+    /// pays and the caching/compiled datapaths avoid.
+    pub fn lookup_counted(&self, key: &FlowKey) -> (Option<&FlowEntry>, usize) {
+        self.lookups.record(0);
+        let mut examined = 0;
+        for e in &self.entries {
+            examined += 1;
+            if e.flow_match.matches(key) {
+                self.matches.record(0);
+                return (Some(e), examined);
+            }
+        }
+        (None, examined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::field::Field;
+    use crate::instruction::terminal_actions;
+    use pkt::builder::PacketBuilder;
+
+    fn entry(priority: u16, port: u16, out: u32) -> FlowEntry {
+        FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, u128::from(port)),
+            priority,
+            terminal_actions(vec![Action::Output(out)]),
+        )
+    }
+
+    fn key_for_port(port: u16) -> FlowKey {
+        FlowKey::extract(&PacketBuilder::tcp().tcp_dst(port).build())
+    }
+
+    #[test]
+    fn priority_ordering_and_lookup() {
+        let mut t = FlowTable::new(0);
+        t.insert(entry(10, 80, 1));
+        t.insert(entry(100, 80, 2)); // higher priority inserted later
+        t.insert(entry(50, 443, 3));
+        assert_eq!(t.len(), 3);
+        // Entries sorted by descending priority.
+        let prios: Vec<u16> = t.entries().iter().map(|e| e.priority).collect();
+        assert_eq!(prios, vec![100, 50, 10]);
+        let hit = t.lookup(&key_for_port(80)).unwrap();
+        assert_eq!(hit.priority, 100);
+        assert!(t.lookup(&key_for_port(22)).is_none());
+        assert_eq!(t.lookups.packets(), 2);
+        assert_eq!(t.matches.packets(), 1);
+    }
+
+    #[test]
+    fn equal_priority_keeps_insertion_order() {
+        let mut t = FlowTable::new(0);
+        t.insert(entry(10, 80, 1));
+        t.insert(
+            FlowEntry::new(FlowMatch::any(), 10, terminal_actions(vec![Action::Output(9)])),
+        );
+        // The port-80 entry was inserted first, so it still wins for port 80.
+        assert_eq!(
+            t.lookup(&key_for_port(80)).unwrap().instructions,
+            terminal_actions(vec![Action::Output(1)])
+        );
+        // The catch-all handles everything else.
+        assert!(t.lookup(&key_for_port(22)).is_some());
+    }
+
+    #[test]
+    fn insert_replaces_identical_match_and_priority() {
+        let mut t = FlowTable::new(0);
+        t.insert(entry(10, 80, 1));
+        t.insert(entry(10, 80, 7));
+        assert_eq!(t.len(), 1);
+        assert_eq!(
+            t.lookup(&key_for_port(80)).unwrap().instructions,
+            terminal_actions(vec![Action::Output(7)])
+        );
+    }
+
+    #[test]
+    fn strict_and_overlapping_removal() {
+        let mut t = FlowTable::new(0);
+        t.insert(entry(10, 80, 1));
+        t.insert(entry(20, 443, 2));
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+
+        assert!(!t.remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 99));
+        assert!(t.remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 10));
+        assert_eq!(t.len(), 2);
+
+        // Non-strict delete with an empty pattern clears everything.
+        assert_eq!(t.remove_overlapping(&FlowMatch::any(), None), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn cookie_filtered_removal() {
+        let mut t = FlowTable::new(0);
+        t.insert(entry(10, 80, 1).with_cookie(0xaa));
+        t.insert(entry(10, 443, 2).with_cookie(0xbb));
+        assert_eq!(t.remove_overlapping(&FlowMatch::any(), Some(0xaa)), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries()[0].cookie, 0xbb);
+    }
+
+    #[test]
+    fn lookup_counted_reports_examined_entries() {
+        let mut t = FlowTable::new(0);
+        for (i, port) in [1000u16, 1001, 1002, 80].iter().enumerate() {
+            t.insert(entry(100 - i as u16, *port, 1));
+        }
+        let (hit, examined) = t.lookup_counted(&key_for_port(80));
+        assert!(hit.is_some());
+        assert_eq!(examined, 4);
+        let (miss, examined) = t.lookup_counted(&key_for_port(9999));
+        assert!(miss.is_none());
+        assert_eq!(examined, 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! The four-level OVS-architecture datapath.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use netdev::Counters;
+use openflow::action::{apply_action_list, OutputKind};
+use openflow::{
+    Action, Controller, ControllerDecision, FlowKey, FlowMod, NullController, PacketIn,
+    PacketInReason, Pipeline, Verdict,
+};
+use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
+use pkt::Packet;
+
+use crate::megaflow::MegaflowCache;
+use crate::microflow::MicroflowCache;
+use crate::slowpath::{SlowPath, SlowPathConfig};
+
+/// Which level of the hierarchy answered a packet. Mirrors Fig. 14's series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLevel {
+    /// The exact-match microflow cache.
+    Microflow,
+    /// The wildcard megaflow cache.
+    Megaflow,
+    /// The full pipeline in `vswitchd`.
+    SlowPath,
+}
+
+/// Per-level hit statistics.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Packets answered by the microflow cache.
+    pub microflow_hits: Counters,
+    /// Packets answered by the megaflow cache.
+    pub megaflow_hits: Counters,
+    /// Packets that required slow-path classification.
+    pub slowpath_hits: Counters,
+    /// Packets additionally punted to the controller.
+    pub controller_punts: Counters,
+}
+
+impl CacheStats {
+    /// Total packets processed.
+    pub fn total(&self) -> u64 {
+        self.microflow_hits.packets() + self.megaflow_hits.packets() + self.slowpath_hits.packets()
+    }
+
+    /// Fraction of packets answered at each level, as
+    /// `(microflow, megaflow, slowpath)`; the series of Fig. 14.
+    pub fn hit_fractions(&self) -> (f64, f64, f64) {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.microflow_hits.packets() as f64 / total,
+            self.megaflow_hits.packets() as f64 / total,
+            self.slowpath_hits.packets() as f64 / total,
+        )
+    }
+}
+
+/// Configuration of the cache hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct OvsConfig {
+    /// Microflow (EMC) capacity in entries.
+    pub microflow_entries: usize,
+    /// Megaflow cache capacity in entries.
+    pub megaflow_entries: usize,
+    /// Slow-path classifier configuration.
+    pub slowpath: SlowPathConfig,
+    /// If false, the microflow cache is bypassed entirely (useful for
+    /// isolating megaflow behaviour in tests and ablations).
+    pub use_microflow: bool,
+}
+
+impl Default for OvsConfig {
+    fn default() -> Self {
+        OvsConfig {
+            microflow_entries: MicroflowCache::DEFAULT_ENTRIES,
+            megaflow_entries: MegaflowCache::DEFAULT_MAX_ENTRIES,
+            slowpath: SlowPathConfig::default(),
+            use_microflow: true,
+        }
+    }
+}
+
+/// The flow-caching datapath: microflow cache → megaflow cache → slow path →
+/// controller.
+pub struct OvsDatapath {
+    pipeline: Arc<RwLock<Pipeline>>,
+    microflow: Mutex<MicroflowCache>,
+    megaflow: Mutex<MegaflowCache>,
+    slowpath: SlowPath,
+    controller: Mutex<Box<dyn Controller>>,
+    config: OvsConfig,
+    /// Per-level hit statistics.
+    pub stats: CacheStats,
+}
+
+impl OvsDatapath {
+    /// Creates a datapath over `pipeline` with default configuration and a
+    /// drop-all controller.
+    pub fn new(pipeline: Pipeline) -> Self {
+        Self::with_config(pipeline, OvsConfig::default(), Box::new(NullController::new()))
+    }
+
+    /// Creates a datapath with explicit configuration and controller.
+    pub fn with_config(pipeline: Pipeline, config: OvsConfig, controller: Box<dyn Controller>) -> Self {
+        OvsDatapath {
+            pipeline: Arc::new(RwLock::new(pipeline)),
+            microflow: Mutex::new(MicroflowCache::with_capacity(config.microflow_entries)),
+            megaflow: Mutex::new(MegaflowCache::with_capacity(config.megaflow_entries)),
+            slowpath: SlowPath::with_config(config.slowpath),
+            controller: Mutex::new(controller),
+            config,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Shared handle to the pipeline.
+    pub fn pipeline(&self) -> Arc<RwLock<Pipeline>> {
+        Arc::clone(&self.pipeline)
+    }
+
+    /// Applies a flow-mod and invalidates both caches — OVS's brute-force
+    /// strategy ("invalidate the entire cache after essentially all changes").
+    pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
+        let effect = apply_flow_mod(&mut self.pipeline.write(), fm)?;
+        self.invalidate_caches();
+        Ok(effect)
+    }
+
+    /// Invalidates the microflow and megaflow caches.
+    pub fn invalidate_caches(&self) {
+        self.microflow.lock().invalidate();
+        self.megaflow.lock().invalidate();
+    }
+
+    /// Number of megaflows currently cached.
+    pub fn megaflow_count(&self) -> usize {
+        self.megaflow.lock().len()
+    }
+
+    /// Number of live microflow entries currently cached.
+    pub fn microflow_count(&self) -> usize {
+        self.microflow.lock().live_entries()
+    }
+
+    /// Processes one packet, returning the verdict and the level that
+    /// answered it.
+    pub fn process_traced(&self, packet: &mut Packet) -> (Verdict, CacheLevel) {
+        // Level 0 cost every packet pays in OVS: full key extraction. The
+        // caches are keyed on this *original* key: the slow path may rewrite
+        // the packet (and its working key) while classifying, but later
+        // packets of the same flow arrive un-rewritten and must still hit.
+        let mut key = FlowKey::extract(packet);
+        let original_key = key;
+
+        // 1. Microflow cache.
+        if self.config.use_microflow {
+            let cached = self.microflow.lock().lookup(&key);
+            if let Some(actions) = cached {
+                self.stats.microflow_hits.record(packet.len());
+                let verdict = replay(&actions, packet, &mut key);
+                return (verdict, CacheLevel::Microflow);
+            }
+        }
+
+        // 2. Megaflow cache.
+        let cached = self.megaflow.lock().lookup(&key);
+        if let Some(actions) = cached {
+            self.stats.megaflow_hits.record(packet.len());
+            if self.config.use_microflow {
+                self.microflow.lock().insert(original_key, Arc::clone(&actions));
+            }
+            let verdict = replay(&actions, packet, &mut key);
+            return (verdict, CacheLevel::Megaflow);
+        }
+
+        // 3. Slow path: classify on the real pipeline, install the megaflow.
+        self.stats.slowpath_hits.record(packet.len());
+        let result = {
+            let pipeline = self.pipeline.read();
+            self.slowpath.classify(&pipeline, packet, &mut key)
+        };
+        self.megaflow
+            .lock()
+            .insert(&original_key, result.mask.clone(), Arc::clone(&result.actions));
+        if self.config.use_microflow {
+            self.microflow
+                .lock()
+                .insert(original_key, Arc::clone(&result.actions));
+        }
+
+        // 4. Controller, if the pipeline punted.
+        if result.verdict.to_controller {
+            self.stats.controller_punts.record(packet.len());
+            self.handle_packet_in(packet.clone());
+        }
+        (result.verdict, CacheLevel::SlowPath)
+    }
+
+    /// Processes one packet, returning only the verdict.
+    pub fn process(&self, packet: &mut Packet) -> Verdict {
+        self.process_traced(packet).0
+    }
+
+    /// Processes a batch of packets.
+    pub fn process_batch(&self, packets: &mut [Packet]) -> Vec<Verdict> {
+        packets.iter_mut().map(|p| self.process(p)).collect()
+    }
+
+    fn handle_packet_in(&self, packet: Packet) {
+        let decisions = {
+            let mut controller = self.controller.lock();
+            controller.packet_in(PacketIn {
+                packet,
+                reason: PacketInReason::NoMatch,
+                table_id: 0,
+            })
+        };
+        for decision in decisions {
+            match decision {
+                ControllerDecision::FlowMod(fm) => {
+                    let _ = self.flow_mod(&fm);
+                }
+                ControllerDecision::PacketOut(mut po) => {
+                    let mut key = FlowKey::extract(&po.packet);
+                    let _ = apply_action_list(&po.actions, &mut po.packet, &mut key);
+                }
+                ControllerDecision::Drop => {}
+            }
+        }
+    }
+
+    /// Number of packet-ins the controller has handled.
+    pub fn controller_packet_ins(&self) -> u64 {
+        self.controller.lock().packet_in_count()
+    }
+}
+
+/// Replays a cached action program on a packet and converts the outputs into
+/// a [`Verdict`].
+fn replay(actions: &[Action], packet: &mut Packet, key: &mut FlowKey) -> Verdict {
+    let mut verdict = Verdict::default();
+    for out in apply_action_list(actions, packet, key) {
+        match out {
+            OutputKind::Port(p) => verdict.outputs.push(p),
+            OutputKind::Flood => verdict.flood = true,
+            OutputKind::Controller => verdict.to_controller = true,
+            OutputKind::Drop => {}
+        }
+    }
+    verdict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::flow_match::FlowMatch;
+    use openflow::instruction::terminal_actions;
+    use openflow::Field;
+    use pkt::builder::PacketBuilder;
+
+    fn port_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        t.insert(openflow::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            100,
+            terminal_actions(vec![Action::Output(1)]),
+        ));
+        t.insert(openflow::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 443),
+            90,
+            terminal_actions(vec![Action::Output(2)]),
+        ));
+        t.insert(openflow::FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    fn pkt(port: u16, src: u16) -> Packet {
+        PacketBuilder::tcp().tcp_dst(port).tcp_src(src).build()
+    }
+
+    #[test]
+    fn hierarchy_progression_slowpath_then_megaflow_then_microflow() {
+        let dp = OvsDatapath::new(port_pipeline());
+
+        // First packet of a flow: slow path.
+        let (v1, l1) = dp.process_traced(&mut pkt(80, 1000));
+        assert_eq!(v1.outputs, vec![1]);
+        assert_eq!(l1, CacheLevel::SlowPath);
+
+        // Same megaflow but a different transport connection: megaflow hit.
+        let (v2, l2) = dp.process_traced(&mut pkt(80, 2000));
+        assert_eq!(v2.outputs, vec![1]);
+        assert_eq!(l2, CacheLevel::Megaflow);
+
+        // Same exact connection again: microflow hit.
+        let (v3, l3) = dp.process_traced(&mut pkt(80, 2000));
+        assert_eq!(v3.outputs, vec![1]);
+        assert_eq!(l3, CacheLevel::Microflow);
+
+        assert_eq!(dp.stats.total(), 3);
+        let (micro, mega, slow) = dp.stats.hit_fractions();
+        assert!((micro - 1.0 / 3.0).abs() < 1e-9);
+        assert!((mega - 1.0 / 3.0).abs() < 1e-9);
+        assert!((slow - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn verdicts_agree_with_reference_interpreter() {
+        let dp = OvsDatapath::new(port_pipeline());
+        let reference = port_pipeline();
+        for (dst, src) in [(80u16, 1u16), (443, 2), (22, 3), (80, 4), (443, 2)] {
+            let mut a = pkt(dst, src);
+            let mut b = a.clone();
+            assert_eq!(
+                dp.process(&mut a).decision(),
+                reference.process(&mut b).decision(),
+                "dst {dst} src {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn flow_mod_invalidates_caches_and_changes_behaviour() {
+        let dp = OvsDatapath::new(port_pipeline());
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
+        assert!(dp.megaflow_count() > 0);
+
+        // Redirect port 80 traffic to port 9.
+        dp.flow_mod(&FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            100,
+            terminal_actions(vec![Action::Output(9)]),
+        ))
+        .unwrap();
+        assert_eq!(dp.megaflow_count(), 0, "megaflow cache must be flushed");
+        assert_eq!(dp.microflow_count(), 0, "microflow cache must be flushed");
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![9]);
+    }
+
+    #[test]
+    fn megaflow_aggregates_across_connections() {
+        let dp = OvsDatapath::new(port_pipeline());
+        for src in 0..100u16 {
+            dp.process(&mut pkt(80, 40000 + src));
+        }
+        // All 100 connections are covered by a single megaflow: the port-80
+        // rule plus the rules examined above it only pin tcp_dst bits.
+        assert_eq!(dp.stats.slowpath_hits.packets(), 1);
+        assert!(dp.megaflow_count() <= 2);
+    }
+
+    #[test]
+    fn controller_punts_counted() {
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().miss = openflow::TableMissBehavior::ToController;
+        let dp = OvsDatapath::new(p);
+        let (v, level) = dp.process_traced(&mut pkt(80, 1));
+        assert!(v.to_controller);
+        assert_eq!(level, CacheLevel::SlowPath);
+        assert_eq!(dp.stats.controller_punts.packets(), 1);
+        assert_eq!(dp.controller_packet_ins(), 1);
+    }
+
+    #[test]
+    fn microflow_can_be_disabled() {
+        let config = OvsConfig {
+            use_microflow: false,
+            ..OvsConfig::default()
+        };
+        let dp = OvsDatapath::with_config(port_pipeline(), config, Box::new(NullController::new()));
+        dp.process(&mut pkt(80, 7));
+        dp.process(&mut pkt(80, 7));
+        assert_eq!(dp.stats.microflow_hits.packets(), 0);
+        assert_eq!(dp.stats.megaflow_hits.packets(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # ovsdp — the flow-caching (Open vSwitch architecture) baseline
+//!
+//! The paper evaluates ESWITCH against Open vSwitch, "the flagship OpenFlow
+//! softswitch", whose datapath is a four-level cache hierarchy (Fig. 2):
+//!
+//! 1. **microflow cache** — a per-transport-connection exact-match store,
+//! 2. **megaflow cache** — a wildcard-match store searched with tuple space
+//!    search, holding traffic aggregates computed by the slow path,
+//! 3. **`vswitchd`** — the full OpenFlow pipeline, consulted on megaflow
+//!    misses; besides deciding the packet's fate it *un-wildcards* every
+//!    field (and, with prefix tracking, every bit) it consulted, and installs
+//!    the resulting megaflow,
+//! 4. **the controller** — the last resort for packets the pipeline punts.
+//!
+//! This crate re-implements that architecture over the same `openflow`
+//! pipeline model the ESWITCH compiler consumes, so the two datapaths can be
+//! compared on identical workloads. The behaviours the paper attributes
+//! OVS's performance regressions to are reproduced deliberately:
+//!
+//! * megaflow masks depend on which rules the slow path had to examine, so
+//!   the cache contents depend on packet arrival order (Fig. 3),
+//! * the caches are bounded and evict, so large active-flow sets push
+//!   processing down the hierarchy (Fig. 14) and throughput collapses to the
+//!   slow-path rate (Fig. 13),
+//! * any flow-table change invalidates the entire megaflow + microflow cache
+//!   (§2.3, footnote 2), which is what hurts update-intensive workloads
+//!   (Fig. 18).
+
+pub mod datapath;
+pub mod mask;
+pub mod megaflow;
+pub mod microflow;
+pub mod slowpath;
+
+pub use datapath::{CacheLevel, CacheStats, OvsConfig, OvsDatapath};
+pub use mask::{FieldMask, MaskedKey};
+pub use megaflow::{MegaflowCache, MegaflowEntry};
+pub use microflow::MicroflowCache;
+pub use slowpath::{SlowPath, SlowPathResult};

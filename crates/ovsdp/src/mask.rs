@@ -1,0 +1,174 @@
+//! Megaflow masks: which fields (and which bits of them) a cached megaflow
+//! matches on.
+
+use std::collections::BTreeMap;
+
+use openflow::{Field, FieldValue, FlowKey};
+
+/// A per-field wildcard mask, accumulated by the slow path while it decides a
+/// packet's fate.
+///
+/// A field absent from the map is fully wildcarded; a field present with mask
+/// `m` participates in the megaflow with exactly the bits of `m`. The OVS
+/// term for building this up is *un-wildcarding*.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FieldMask {
+    bits: BTreeMap<Field, FieldValue>,
+}
+
+impl FieldMask {
+    /// The fully wildcarded mask (matches everything).
+    pub fn wildcard_all() -> Self {
+        FieldMask::default()
+    }
+
+    /// Un-wildcards `mask` bits of `field` (ORs into any existing mask).
+    pub fn unwildcard(&mut self, field: Field, mask: FieldValue) {
+        if mask == 0 {
+            return;
+        }
+        *self.bits.entry(field).or_insert(0) |= mask & field.full_mask();
+    }
+
+    /// Un-wildcards the full width of `field`.
+    pub fn unwildcard_exact(&mut self, field: Field) {
+        self.unwildcard(field, field.full_mask());
+    }
+
+    /// Merges another mask into this one.
+    pub fn merge(&mut self, other: &FieldMask) {
+        for (field, mask) in &other.bits {
+            self.unwildcard(*field, *mask);
+        }
+    }
+
+    /// The per-field masks, sorted by field.
+    pub fn fields(&self) -> impl Iterator<Item = (Field, FieldValue)> + '_ {
+        self.bits.iter().map(|(f, m)| (*f, *m))
+    }
+
+    /// The mask on one field (0 = fully wildcarded).
+    pub fn mask_of(&self, field: Field) -> FieldValue {
+        self.bits.get(&field).copied().unwrap_or(0)
+    }
+
+    /// Number of fields with at least one un-wildcarded bit.
+    pub fn field_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True when nothing is un-wildcarded.
+    pub fn is_wildcard_all(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Total number of un-wildcarded bits across all fields — a measure of
+    /// megaflow specificity (more bits → more megaflows needed to cover the
+    /// same traffic).
+    pub fn unwildcarded_bits(&self) -> u32 {
+        self.bits.values().map(|m| m.count_ones()).sum()
+    }
+
+    /// Projects a flow key onto this mask, producing the hashable masked key
+    /// stored in (and looked up against) the megaflow cache.
+    ///
+    /// Fields the packet does not carry are projected as a fixed sentinel so
+    /// that "field absent" and "field == 0" cannot collide.
+    pub fn project(&self, key: &FlowKey) -> MaskedKey {
+        let values = self
+            .bits
+            .iter()
+            .map(|(field, mask)| match key.get(*field) {
+                Some(v) => v & mask,
+                None => ABSENT_SENTINEL,
+            })
+            .collect();
+        MaskedKey { values }
+    }
+}
+
+/// Sentinel distinguishing "field not present in packet" from a zero value.
+/// `u128::MAX` cannot result from masking a real value with a field-width
+/// mask because no modelled field is 128 bits of all-ones in practice.
+const ABSENT_SENTINEL: FieldValue = FieldValue::MAX;
+
+/// A flow key projected through a [`FieldMask`] — the megaflow hash key.
+///
+/// Equality/hash only make sense between keys projected through the *same*
+/// mask; the megaflow cache guarantees that by keying each subtable by its
+/// mask.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MaskedKey {
+    values: Vec<FieldValue>,
+}
+
+impl MaskedKey {
+    /// The projected values, in the mask's field order.
+    pub fn values(&self) -> &[FieldValue] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::extract(&PacketBuilder::tcp().tcp_dst(port).build())
+    }
+
+    #[test]
+    fn unwildcard_accumulates_bits() {
+        let mut m = FieldMask::wildcard_all();
+        assert!(m.is_wildcard_all());
+        m.unwildcard(Field::TcpDst, 0x00f0);
+        m.unwildcard(Field::TcpDst, 0x000f);
+        m.unwildcard_exact(Field::IpProto);
+        assert_eq!(m.mask_of(Field::TcpDst), 0x00ff);
+        assert_eq!(m.mask_of(Field::IpProto), 0xff);
+        assert_eq!(m.mask_of(Field::Ipv4Dst), 0);
+        assert_eq!(m.field_count(), 2);
+        assert_eq!(m.unwildcarded_bits(), 16);
+    }
+
+    #[test]
+    fn merge_unions_masks() {
+        let mut a = FieldMask::wildcard_all();
+        a.unwildcard(Field::TcpDst, 0xff00);
+        let mut b = FieldMask::wildcard_all();
+        b.unwildcard(Field::TcpDst, 0x00ff);
+        b.unwildcard_exact(Field::InPort);
+        a.merge(&b);
+        assert_eq!(a.mask_of(Field::TcpDst), 0xffff);
+        assert_eq!(a.mask_of(Field::InPort), Field::InPort.full_mask());
+    }
+
+    #[test]
+    fn projection_respects_mask_bits() {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard(Field::TcpDst, 0xfff0); // ignore the low 4 bits
+        let a = m.project(&key(80)); // 0x50
+        let b = m.project(&key(85)); // 0x55 -> same under the mask
+        let c = m.project(&key(96)); // 0x60 -> different
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn absent_field_distinct_from_zero() {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard_exact(Field::UdpDst);
+        let tcp_key = m.project(&key(0)); // TCP packet: udp_dst absent
+        let udp_pkt = PacketBuilder::udp().udp_dst(0).build();
+        let udp_key = m.project(&FlowKey::extract(&udp_pkt)); // present, == 0
+        assert_ne!(tcp_key, udp_key);
+    }
+
+    #[test]
+    fn wildcard_all_projects_to_empty_key() {
+        let m = FieldMask::wildcard_all();
+        assert_eq!(m.project(&key(80)), m.project(&key(12345)));
+        assert!(m.project(&key(80)).values().is_empty());
+    }
+}

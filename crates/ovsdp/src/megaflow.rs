@@ -1,0 +1,278 @@
+//! The megaflow cache: a wildcard-match store searched with tuple space
+//! search.
+//!
+//! Megaflows bundle many microflows into one aggregate: every flow whose key,
+//! projected through the megaflow's mask, equals the megaflow's masked key
+//! gets the same cached action program. Because the slow path never encodes
+//! priorities into megaflows, all megaflows are disjoint and the first match
+//! wins (§2.2). The cache is organised as one subtable per distinct mask —
+//! literally "linearly iterating over a list of key/mask pairs for each
+//! packet" — so the cost of a lookup grows with mask diversity, and the
+//! number of entries needed grows as fine-grained rules "punch holes" in the
+//! aggregates.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use openflow::{Action, FlowKey};
+
+use crate::mask::{FieldMask, MaskedKey};
+
+/// One cached megaflow.
+#[derive(Debug, Clone)]
+pub struct MegaflowEntry {
+    /// The mask this entry was installed under (owned by its subtable; kept
+    /// here as well for dump/debug purposes).
+    pub mask: FieldMask,
+    /// The cached action program.
+    pub actions: Arc<Vec<Action>>,
+    /// Packets answered by this entry.
+    pub hits: u64,
+}
+
+/// One subtable: all megaflows sharing a mask, hashed by masked key.
+#[derive(Debug, Default)]
+struct Subtable {
+    mask: FieldMask,
+    entries: HashMap<MaskedKey, MegaflowEntry>,
+}
+
+/// The megaflow cache.
+#[derive(Debug)]
+pub struct MegaflowCache {
+    subtables: Vec<Subtable>,
+    /// FIFO of (subtable index, key) used for eviction when the cache is at
+    /// capacity, coarsely modelling OVS's flow-limit + revalidator behaviour.
+    insertion_order: VecDeque<(usize, MaskedKey)>,
+    max_entries: usize,
+    len: usize,
+    /// Cumulative count of subtables visited by lookups (the tuple-space
+    /// search work metric surfaced in the evaluation).
+    pub subtables_searched: u64,
+    /// Cumulative lookups.
+    pub lookups: u64,
+}
+
+impl MegaflowCache {
+    /// Default capacity; matches the order of magnitude of OVS's default
+    /// datapath flow limit.
+    pub const DEFAULT_MAX_ENTRIES: usize = 65_536;
+
+    /// Creates an empty cache with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty cache bounded to `max_entries` megaflows.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        MegaflowCache {
+            subtables: Vec::new(),
+            insertion_order: VecDeque::new(),
+            max_entries: max_entries.max(1),
+            len: 0,
+            subtables_searched: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of cached megaflows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of distinct masks (subtables).
+    pub fn subtable_count(&self) -> usize {
+        self.subtables.len()
+    }
+
+    /// Looks up the cached action program covering `key`, if any.
+    /// Tuple space search: one hash probe per subtable until a hit.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Arc<Vec<Action>>> {
+        self.lookups += 1;
+        for (i, subtable) in self.subtables.iter_mut().enumerate() {
+            self.subtables_searched += 1;
+            let masked = subtable.mask.project(key);
+            if let Some(entry) = subtable.entries.get_mut(&masked) {
+                entry.hits += 1;
+                let _ = i;
+                return Some(Arc::clone(&entry.actions));
+            }
+        }
+        None
+    }
+
+    /// Installs a megaflow computed by the slow path: `key` projected through
+    /// `mask` → `actions`. Evicts the oldest megaflow when at capacity.
+    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, actions: Arc<Vec<Action>>) {
+        while self.len >= self.max_entries {
+            self.evict_oldest();
+        }
+        let subtable_index = match self.subtables.iter().position(|s| s.mask == mask) {
+            Some(i) => i,
+            None => {
+                self.subtables.push(Subtable {
+                    mask: mask.clone(),
+                    entries: HashMap::new(),
+                });
+                self.subtables.len() - 1
+            }
+        };
+        let masked = mask.project(key);
+        let entry = MegaflowEntry {
+            mask,
+            actions,
+            hits: 0,
+        };
+        let subtable = &mut self.subtables[subtable_index];
+        if subtable.entries.insert(masked.clone(), entry).is_none() {
+            self.len += 1;
+            self.insertion_order.push_back((subtable_index, masked));
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        while let Some((subtable_index, key)) = self.insertion_order.pop_front() {
+            if let Some(subtable) = self.subtables.get_mut(subtable_index) {
+                if subtable.entries.remove(&key).is_some() {
+                    self.len -= 1;
+                    return;
+                }
+            }
+        }
+        // Insertion order exhausted: nothing left to evict.
+        self.len = self.subtables.iter().map(|s| s.entries.len()).sum();
+    }
+
+    /// Drops every megaflow (and every subtable). This is what a flow-table
+    /// change triggers in OVS: "the brute-force strategy to invalidate the
+    /// entire cache after essentially all changes".
+    pub fn invalidate(&mut self) {
+        self.subtables.clear();
+        self.insertion_order.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over all cached megaflows (dump/debug/tests).
+    pub fn iter(&self) -> impl Iterator<Item = &MegaflowEntry> {
+        self.subtables.iter().flat_map(|s| s.entries.values())
+    }
+
+    /// Average subtables searched per lookup so far.
+    pub fn avg_subtables_per_lookup(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.subtables_searched as f64 / self.lookups as f64
+        }
+    }
+}
+
+impl Default for MegaflowCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::Field;
+    use pkt::builder::PacketBuilder;
+
+    fn key(port: u16, ip_last: u8) -> FlowKey {
+        FlowKey::extract(
+            &PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, ip_last])
+                .tcp_dst(port)
+                .build(),
+        )
+    }
+
+    fn port_mask() -> FieldMask {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard_exact(Field::TcpDst);
+        m
+    }
+
+    fn actions(p: u32) -> Arc<Vec<Action>> {
+        Arc::new(vec![Action::Output(p)])
+    }
+
+    #[test]
+    fn aggregate_covers_many_microflows() {
+        let mut cache = MegaflowCache::new();
+        // One megaflow matching only tcp_dst=80 covers every source/dest
+        // combination — the "bundle multiple microflows" behaviour.
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        assert_eq!(cache.len(), 1);
+        for last in 0..50u8 {
+            assert!(cache.lookup(&key(80, last)).is_some());
+        }
+        assert!(cache.lookup(&key(443, 1)).is_none());
+    }
+
+    #[test]
+    fn distinct_masks_create_subtables() {
+        let mut cache = MegaflowCache::new();
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        let mut ip_mask = FieldMask::wildcard_all();
+        ip_mask.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
+        cache.insert(&key(443, 2), ip_mask, actions(2));
+        assert_eq!(cache.subtable_count(), 2);
+        assert_eq!(cache.len(), 2);
+        // Both are reachable.
+        assert!(cache.lookup(&key(80, 99)).is_some());
+        assert!(cache.lookup(&key(9999, 7)).is_some()); // via the /24 entry
+    }
+
+    #[test]
+    fn same_mask_same_key_replaces() {
+        let mut cache = MegaflowCache::new();
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        cache.insert(&key(80, 2), port_mask(), actions(9)); // same masked key (port 80)
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(&key(80, 3)).unwrap()[0], Action::Output(9));
+    }
+
+    #[test]
+    fn eviction_bounds_the_cache() {
+        let mut cache = MegaflowCache::with_capacity(16);
+        for port in 0..100u16 {
+            cache.insert(&key(port, 1), port_mask(), actions(1));
+        }
+        assert!(cache.len() <= 16);
+        // The most recently inserted entries survive.
+        assert!(cache.lookup(&key(99, 1)).is_some());
+        assert!(cache.lookup(&key(0, 1)).is_none());
+    }
+
+    #[test]
+    fn invalidate_clears_everything() {
+        let mut cache = MegaflowCache::new();
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        cache.invalidate();
+        assert!(cache.is_empty());
+        assert_eq!(cache.subtable_count(), 0);
+        assert!(cache.lookup(&key(80, 1)).is_none());
+    }
+
+    #[test]
+    fn hit_counters_and_search_stats() {
+        let mut cache = MegaflowCache::new();
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        let mut ip_mask = FieldMask::wildcard_all();
+        ip_mask.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
+        cache.insert(&key(443, 2), ip_mask, actions(2));
+        for _ in 0..10 {
+            cache.lookup(&key(80, 1));
+        }
+        assert!(cache.avg_subtables_per_lookup() >= 1.0);
+        let hits: u64 = cache.iter().map(|e| e.hits).sum();
+        assert_eq!(hits, 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! ARP (IPv4-over-Ethernet) packet handling.
+
+use crate::ipv4::Ipv4Addr4;
+use crate::mac::MacAddr;
+
+/// Length of an Ethernet/IPv4 ARP packet body.
+pub const ARP_LEN: usize = 28;
+
+/// ARP operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Request (1).
+    Request,
+    /// Reply (2).
+    Reply,
+    /// Any other opcode.
+    Other(u16),
+}
+
+impl ArpOp {
+    /// Decodes the 16-bit opcode.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            1 => ArpOp::Request,
+            2 => ArpOp::Reply,
+            other => ArpOp::Other(other),
+        }
+    }
+
+    /// Encodes back to the 16-bit opcode.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+            ArpOp::Other(v) => v,
+        }
+    }
+}
+
+/// Decoded view of an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpPacket {
+    /// Operation (request/reply). OpenFlow `arp_op`.
+    pub op: ArpOp,
+    /// Sender hardware address (`arp_sha`).
+    pub sender_mac: MacAddr,
+    /// Sender protocol address (`arp_spa`).
+    pub sender_ip: Ipv4Addr4,
+    /// Target hardware address (`arp_tha`).
+    pub target_mac: MacAddr,
+    /// Target protocol address (`arp_tpa`).
+    pub target_ip: Ipv4Addr4,
+}
+
+impl ArpPacket {
+    /// Parses an Ethernet/IPv4 ARP body from the start of `data`.
+    ///
+    /// Returns `None` if the buffer is too short or the hardware/protocol
+    /// types are not Ethernet/IPv4.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < ARP_LEN {
+            return None;
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        if htype != 1 || ptype != 0x0800 || data[4] != 6 || data[5] != 4 {
+            return None;
+        }
+        Some(ArpPacket {
+            op: ArpOp::from_u16(u16::from_be_bytes([data[6], data[7]])),
+            sender_mac: MacAddr::from_slice(&data[8..14]),
+            sender_ip: Ipv4Addr4([data[14], data[15], data[16], data[17]]),
+            target_mac: MacAddr::from_slice(&data[18..24]),
+            target_ip: Ipv4Addr4([data[24], data[25], data[26], data[27]]),
+        })
+    }
+
+    /// Serialises the packet into the first 28 bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`ARP_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&1u16.to_be_bytes());
+        out[2..4].copy_from_slice(&0x0800u16.to_be_bytes());
+        out[4] = 6;
+        out[5] = 4;
+        out[6..8].copy_from_slice(&self.op.to_u16().to_be_bytes());
+        out[8..14].copy_from_slice(&self.sender_mac.octets());
+        out[14..18].copy_from_slice(&self.sender_ip.octets());
+        out[18..24].copy_from_slice(&self.target_mac.octets());
+        out[24..28].copy_from_slice(&self.target_ip.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let arp = ArpPacket {
+            op: ArpOp::Request,
+            sender_mac: MacAddr::new([1, 2, 3, 4, 5, 6]),
+            sender_ip: Ipv4Addr4::new(10, 0, 0, 1),
+            target_mac: MacAddr::ZERO,
+            target_ip: Ipv4Addr4::new(10, 0, 0, 2),
+        };
+        let mut buf = [0u8; ARP_LEN];
+        arp.write(&mut buf);
+        assert_eq!(ArpPacket::parse(&buf), Some(arp));
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let arp = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: MacAddr::ZERO,
+            sender_ip: Ipv4Addr4::UNSPECIFIED,
+            target_mac: MacAddr::ZERO,
+            target_ip: Ipv4Addr4::UNSPECIFIED,
+        };
+        let mut buf = [0u8; ARP_LEN];
+        arp.write(&mut buf);
+        buf[0] = 0x12; // bogus hardware type
+        assert!(ArpPacket::parse(&buf).is_none());
+        assert!(ArpPacket::parse(&buf[..20]).is_none());
+    }
+}

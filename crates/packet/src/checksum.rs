@@ -1,0 +1,86 @@
+//! Internet (ones' complement) checksum, as used by IPv4, TCP, UDP and ICMP.
+
+/// Computes the 16-bit ones' complement of the ones' complement sum of
+/// `data`, i.e. the value to place in (or verify against) a checksum field.
+///
+/// When the buffer already contains a valid checksum the result is `0`.
+pub fn ones_complement(data: &[u8]) -> u16 {
+    !fold(sum(data, 0))
+}
+
+/// Computes the checksum of a TCP/UDP segment including the IPv4
+/// pseudo-header (source, destination, protocol, segment length).
+pub fn pseudo_header_checksum(
+    src: [u8; 4],
+    dst: [u8; 4],
+    proto: u8,
+    segment: &[u8],
+) -> u16 {
+    let mut acc = 0u32;
+    acc = sum(&src, acc);
+    acc = sum(&dst, acc);
+    acc += u32::from(proto);
+    acc += segment.len() as u32;
+    acc = sum(segment, acc);
+    !fold(acc)
+}
+
+/// Accumulates 16-bit big-endian words of `data` onto `acc` without folding.
+fn sum(data: &[u8], mut acc: u32) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds the 32-bit accumulator into 16 bits with end-around carry.
+fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    acc as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Example bytes from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x2ddf0 -> folded 0xddf2 -> checksum = !0xddf2 = 0x220d.
+        assert_eq!(ones_complement(&data), 0x220d);
+    }
+
+    #[test]
+    fn odd_length_padded_with_zero() {
+        assert_eq!(ones_complement(&[0xff]), !0xff00);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(ones_complement(&[]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_of_checksummed_buffer_is_zero() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x06, 0, 0, 10,
+                            0, 0, 1, 192, 0, 2, 1];
+        let csum = ones_complement(&data);
+        data[10..12].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(ones_complement(&data), 0);
+    }
+
+    #[test]
+    fn pseudo_header_includes_addresses() {
+        let seg = [0u8; 8];
+        let a = pseudo_header_checksum([10, 0, 0, 1], [10, 0, 0, 2], 17, &seg);
+        let b = pseudo_header_checksum([10, 0, 0, 1], [10, 0, 0, 3], 17, &seg);
+        assert_ne!(a, b);
+    }
+}

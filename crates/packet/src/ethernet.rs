@@ -1,0 +1,152 @@
+//! Ethernet II framing.
+
+use crate::mac::MacAddr;
+
+/// Length of an untagged Ethernet II header: two MACs plus the EtherType.
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// EtherType values the switch datapaths understand.
+///
+/// Values are the canonical IEEE assignments; [`EtherType::Other`] carries
+/// anything else so parsing never fails on unknown payloads (the pipeline can
+/// still match on the raw `eth_type` value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4, 0x0800.
+    Ipv4,
+    /// ARP, 0x0806.
+    Arp,
+    /// 802.1Q VLAN tag, 0x8100.
+    Vlan,
+    /// IPv6, 0x86DD.
+    Ipv6,
+    /// QinQ outer tag, 0x88A8.
+    QinQ,
+    /// MPLS unicast, 0x8847.
+    Mpls,
+    /// Any other EtherType.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Decodes the 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86dd => EtherType::Ipv6,
+            0x88a8 => EtherType::QinQ,
+            0x8847 => EtherType::Mpls,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// Encodes back to the 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::QinQ => 0x88a8,
+            EtherType::Mpls => 0x8847,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// True if this EtherType introduces a VLAN tag (802.1Q or QinQ).
+    pub fn is_vlan(self) -> bool {
+        matches!(self, EtherType::Vlan | EtherType::QinQ)
+    }
+}
+
+/// Decoded view of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC address.
+    pub dst: MacAddr,
+    /// Source MAC address.
+    pub src: MacAddr,
+    /// EtherType of the payload immediately following this header
+    /// (may be a VLAN tag).
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Parses the header from the start of `data`. Returns `None` if `data`
+    /// is too short to contain a full header.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < ETHERNET_HEADER_LEN {
+            return None;
+        }
+        Some(EthernetHeader {
+            dst: MacAddr::from_slice(&data[0..6]),
+            src: MacAddr::from_slice(&data[6..12]),
+            ethertype: EtherType::from_u16(u16::from_be_bytes([data[12], data[13]])),
+        })
+    }
+
+    /// Serialises the header into the first 14 bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`ETHERNET_HEADER_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..6].copy_from_slice(&self.dst.octets());
+        out[6..12].copy_from_slice(&self.src.octets());
+        out[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+    }
+}
+
+/// Reads the destination MAC directly from a frame without full parsing.
+/// Used by the L2 matcher template fast path.
+pub fn eth_dst(frame: &[u8]) -> Option<MacAddr> {
+    if frame.len() < 6 {
+        return None;
+    }
+    Some(MacAddr::from_slice(&frame[0..6]))
+}
+
+/// Reads the source MAC directly from a frame without full parsing.
+pub fn eth_src(frame: &[u8]) -> Option<MacAddr> {
+    if frame.len() < 12 {
+        return None;
+    }
+    Some(MacAddr::from_slice(&frame[6..12]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_write_roundtrip() {
+        let hdr = EthernetHeader {
+            dst: MacAddr::new([1, 2, 3, 4, 5, 6]),
+            src: MacAddr::new([7, 8, 9, 10, 11, 12]),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; ETHERNET_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert_eq!(EthernetHeader::parse(&buf), Some(hdr));
+        assert_eq!(eth_dst(&buf), Some(hdr.dst));
+        assert_eq!(eth_src(&buf), Some(hdr.src));
+    }
+
+    #[test]
+    fn parse_short_frame_is_none() {
+        assert_eq!(EthernetHeader::parse(&[0u8; 13]), None);
+        assert_eq!(eth_dst(&[0u8; 5]), None);
+        assert_eq!(eth_src(&[0u8; 11]), None);
+    }
+
+    #[test]
+    fn ethertype_codec_covers_known_values() {
+        for v in [0x0800u16, 0x0806, 0x8100, 0x86dd, 0x88a8, 0x8847, 0x1234] {
+            assert_eq!(EtherType::from_u16(v).to_u16(), v);
+        }
+        assert!(EtherType::Vlan.is_vlan());
+        assert!(EtherType::QinQ.is_vlan());
+        assert!(!EtherType::Ipv4.is_vlan());
+    }
+}

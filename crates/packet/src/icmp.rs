@@ -1,0 +1,107 @@
+//! ICMP (v4) header handling.
+
+/// ICMP header length (type, code, checksum, rest-of-header): 8 bytes.
+pub const ICMP_HEADER_LEN: usize = 8;
+
+/// ICMP message types the switch cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcmpType {
+    /// Echo reply (0).
+    EchoReply,
+    /// Destination unreachable (3).
+    DestUnreachable,
+    /// Echo request (8).
+    EchoRequest,
+    /// Time exceeded (11).
+    TimeExceeded,
+    /// Any other type.
+    Other(u8),
+}
+
+impl IcmpType {
+    /// Decodes the 8-bit type value.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            0 => IcmpType::EchoReply,
+            3 => IcmpType::DestUnreachable,
+            8 => IcmpType::EchoRequest,
+            11 => IcmpType::TimeExceeded,
+            other => IcmpType::Other(other),
+        }
+    }
+
+    /// Encodes back to the 8-bit type value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IcmpType::EchoReply => 0,
+            IcmpType::DestUnreachable => 3,
+            IcmpType::EchoRequest => 8,
+            IcmpType::TimeExceeded => 11,
+            IcmpType::Other(v) => v,
+        }
+    }
+}
+
+/// Decoded view of an ICMP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpHeader {
+    /// Message type.
+    pub icmp_type: IcmpType,
+    /// Message code (OpenFlow `icmpv4_code`).
+    pub code: u8,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+}
+
+impl IcmpHeader {
+    /// Parses the header from the start of `data`.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < 4 {
+            return None;
+        }
+        Some(IcmpHeader {
+            icmp_type: IcmpType::from_u8(data[0]),
+            code: data[1],
+            checksum: u16::from_be_bytes([data[2], data[3]]),
+        })
+    }
+
+    /// Serialises type/code/checksum into the first four bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than four bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = self.icmp_type.to_u8();
+        out[1] = self.code;
+        out[2..4].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = IcmpHeader {
+            icmp_type: IcmpType::EchoRequest,
+            code: 0,
+            checksum: 0x1234,
+        };
+        let mut buf = [0u8; ICMP_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert_eq!(IcmpHeader::parse(&buf), Some(hdr));
+    }
+
+    #[test]
+    fn type_codec() {
+        for v in [0u8, 3, 8, 11, 42] {
+            assert_eq!(IcmpType::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert!(IcmpHeader::parse(&[0u8; 3]).is_none());
+    }
+}

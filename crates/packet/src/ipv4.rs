@@ -1,0 +1,332 @@
+//! IPv4 header handling.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::checksum;
+
+/// Minimum IPv4 header length (no options): 20 bytes.
+pub const IPV4_MIN_HEADER_LEN: usize = 20;
+
+/// IPv4 address newtype used as a match key.
+///
+/// Kept separate from `std::net::Ipv4Addr` so that prefix/mask arithmetic,
+/// wire serialisation and hashing stay explicit and allocation free; the
+/// LPM substrate and the IP matcher templates work on the `u32` host-order
+/// representation exposed by [`Ipv4Addr4::to_u32`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct Ipv4Addr4(pub [u8; 4]);
+
+impl Ipv4Addr4 {
+    /// Builds an address from four dotted-quad bytes.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Self {
+        Ipv4Addr4([a, b, c, d])
+    }
+
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr4 = Ipv4Addr4([0; 4]);
+
+    /// Returns the host-order `u32` representation.
+    pub const fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Builds an address from a host-order `u32`.
+    pub const fn from_u32(v: u32) -> Self {
+        Ipv4Addr4(v.to_be_bytes())
+    }
+
+    /// Returns the raw bytes in network order.
+    pub const fn octets(self) -> [u8; 4] {
+        self.0
+    }
+
+    /// Applies a prefix mask of the given length (0..=32).
+    pub fn masked(self, prefix_len: u8) -> Self {
+        Ipv4Addr4::from_u32(self.to_u32() & prefix_mask(prefix_len))
+    }
+
+    /// True if `self` lies inside `prefix/len`.
+    pub fn in_prefix(self, prefix: Ipv4Addr4, len: u8) -> bool {
+        self.masked(len) == prefix.masked(len)
+    }
+}
+
+/// Returns the `u32` mask corresponding to a prefix length (0..=32).
+pub const fn prefix_mask(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else if len >= 32 {
+        u32::MAX
+    } else {
+        u32::MAX << (32 - len)
+    }
+}
+
+impl From<[u8; 4]> for Ipv4Addr4 {
+    fn from(b: [u8; 4]) -> Self {
+        Ipv4Addr4(b)
+    }
+}
+
+impl fmt::Display for Ipv4Addr4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Debug for Ipv4Addr4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a textual IPv4 address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ipv4ParseError(pub String);
+
+impl fmt::Display for Ipv4ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid IPv4 address: {}", self.0)
+    }
+}
+
+impl std::error::Error for Ipv4ParseError {}
+
+impl FromStr for Ipv4Addr4 {
+    type Err = Ipv4ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('.').collect();
+        if parts.len() != 4 {
+            return Err(Ipv4ParseError(s.to_string()));
+        }
+        let mut bytes = [0u8; 4];
+        for (i, p) in parts.iter().enumerate() {
+            bytes[i] = p.parse().map_err(|_| Ipv4ParseError(s.to_string()))?;
+        }
+        Ok(Ipv4Addr4(bytes))
+    }
+}
+
+/// IP protocol numbers used by the parser and the `ip_proto` matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProto {
+    /// ICMP, protocol 1.
+    Icmp,
+    /// TCP, protocol 6.
+    Tcp,
+    /// UDP, protocol 17.
+    Udp,
+    /// Any other protocol number.
+    Other(u8),
+}
+
+impl IpProto {
+    /// Decodes the 8-bit protocol number.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => IpProto::Icmp,
+            6 => IpProto::Tcp,
+            17 => IpProto::Udp,
+            other => IpProto::Other(other),
+        }
+    }
+
+    /// Encodes back to the 8-bit protocol number.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            IpProto::Icmp => 1,
+            IpProto::Tcp => 6,
+            IpProto::Udp => 17,
+            IpProto::Other(v) => v,
+        }
+    }
+}
+
+/// Decoded view of an IPv4 header (options are preserved only as a length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Internet Header Length in bytes (20..=60).
+    pub header_len: usize,
+    /// Differentiated Services Code Point (upper 6 bits of the TOS byte).
+    pub dscp: u8,
+    /// Explicit Congestion Notification (lower 2 bits of the TOS byte).
+    pub ecn: u8,
+    /// Total length of the IP packet in bytes.
+    pub total_len: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol.
+    pub proto: IpProto,
+    /// Header checksum as found on the wire.
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr4,
+    /// Destination address.
+    pub dst: Ipv4Addr4,
+}
+
+impl Ipv4Header {
+    /// Parses the header from the start of `data`.
+    ///
+    /// Returns `None` if the buffer is too short, the version is not 4, or the
+    /// IHL is inconsistent with the buffer length.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return None;
+        }
+        let version = data[0] >> 4;
+        if version != 4 {
+            return None;
+        }
+        let header_len = usize::from(data[0] & 0x0f) * 4;
+        if header_len < IPV4_MIN_HEADER_LEN || data.len() < header_len {
+            return None;
+        }
+        Some(Ipv4Header {
+            header_len,
+            dscp: data[1] >> 2,
+            ecn: data[1] & 0x03,
+            total_len: u16::from_be_bytes([data[2], data[3]]),
+            identification: u16::from_be_bytes([data[4], data[5]]),
+            ttl: data[8],
+            proto: IpProto::from_u8(data[9]),
+            checksum: u16::from_be_bytes([data[10], data[11]]),
+            src: Ipv4Addr4([data[12], data[13], data[14], data[15]]),
+            dst: Ipv4Addr4([data[16], data[17], data[18], data[19]]),
+        })
+    }
+
+    /// Serialises a 20-byte (option-free) header into `out`, computing the
+    /// checksum. `self.header_len` must be 20.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than 20 bytes or `header_len != 20`.
+    pub fn write(&self, out: &mut [u8]) {
+        assert_eq!(self.header_len, IPV4_MIN_HEADER_LEN, "options not supported on write");
+        out[0] = 0x45;
+        out[1] = (self.dscp << 2) | (self.ecn & 0x03);
+        out[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        out[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        out[6..8].copy_from_slice(&[0x40, 0x00]); // don't fragment, offset 0
+        out[8] = self.ttl;
+        out[9] = self.proto.to_u8();
+        out[10..12].copy_from_slice(&[0, 0]);
+        out[12..16].copy_from_slice(&self.src.octets());
+        out[16..20].copy_from_slice(&self.dst.octets());
+        let csum = checksum::ones_complement(&out[..IPV4_MIN_HEADER_LEN]);
+        out[10..12].copy_from_slice(&csum.to_be_bytes());
+    }
+
+    /// Verifies the header checksum over `data[..header_len]`.
+    pub fn verify_checksum(data: &[u8]) -> bool {
+        if data.len() < IPV4_MIN_HEADER_LEN {
+            return false;
+        }
+        let header_len = usize::from(data[0] & 0x0f) * 4;
+        if data.len() < header_len {
+            return false;
+        }
+        checksum::ones_complement(&data[..header_len]) == 0
+    }
+}
+
+/// Reads the destination address at `offset` (start of the IPv4 header)
+/// without full parsing. Mirrors the `IP_DST_ADDR_MATCHER` template's
+/// `mov eax,[r13+0x10]` load.
+pub fn ip_dst_at(frame: &[u8], offset: usize) -> Option<Ipv4Addr4> {
+    let bytes = frame.get(offset + 16..offset + 20)?;
+    Some(Ipv4Addr4([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+/// Reads the source address at `offset` without full parsing.
+pub fn ip_src_at(frame: &[u8], offset: usize) -> Option<Ipv4Addr4> {
+    let bytes = frame.get(offset + 12..offset + 16)?;
+    Some(Ipv4Addr4([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header {
+            header_len: IPV4_MIN_HEADER_LEN,
+            dscp: 0,
+            ecn: 0,
+            total_len: 60,
+            identification: 0x1234,
+            ttl: 64,
+            proto: IpProto::Tcp,
+            checksum: 0,
+            src: Ipv4Addr4::new(10, 0, 0, 1),
+            dst: Ipv4Addr4::new(192, 0, 2, 1),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let hdr = sample();
+        let mut buf = [0u8; IPV4_MIN_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert!(Ipv4Header::verify_checksum(&buf));
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.src, hdr.src);
+        assert_eq!(parsed.dst, hdr.dst);
+        assert_eq!(parsed.proto, IpProto::Tcp);
+        assert_eq!(parsed.ttl, 64);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let hdr = sample();
+        let mut buf = [0u8; IPV4_MIN_HEADER_LEN];
+        hdr.write(&mut buf);
+        buf[8] ^= 0xff; // flip the TTL
+        assert!(!Ipv4Header::verify_checksum(&buf));
+    }
+
+    #[test]
+    fn rejects_wrong_version_and_short_buffers() {
+        let mut buf = [0u8; IPV4_MIN_HEADER_LEN];
+        sample().write(&mut buf);
+        buf[0] = 0x65; // version 6
+        assert!(Ipv4Header::parse(&buf).is_none());
+        assert!(Ipv4Header::parse(&buf[..10]).is_none());
+    }
+
+    #[test]
+    fn prefix_math() {
+        let addr = Ipv4Addr4::new(192, 0, 2, 123);
+        assert_eq!(addr.masked(24), Ipv4Addr4::new(192, 0, 2, 0));
+        assert_eq!(addr.masked(0), Ipv4Addr4::UNSPECIFIED);
+        assert_eq!(addr.masked(32), addr);
+        assert!(addr.in_prefix(Ipv4Addr4::new(192, 0, 2, 0), 24));
+        assert!(!addr.in_prefix(Ipv4Addr4::new(192, 0, 3, 0), 24));
+        assert_eq!(prefix_mask(8), 0xff00_0000);
+    }
+
+    #[test]
+    fn display_and_parse() {
+        let addr: Ipv4Addr4 = "198.51.100.7".parse().unwrap();
+        assert_eq!(addr, Ipv4Addr4::new(198, 51, 100, 7));
+        assert_eq!(addr.to_string(), "198.51.100.7");
+        assert!("198.51.100".parse::<Ipv4Addr4>().is_err());
+        assert!("a.b.c.d".parse::<Ipv4Addr4>().is_err());
+    }
+
+    #[test]
+    fn raw_field_loads() {
+        let hdr = sample();
+        let mut frame = vec![0u8; 34];
+        hdr.write(&mut frame[14..34]);
+        assert_eq!(ip_dst_at(&frame, 14), Some(hdr.dst));
+        assert_eq!(ip_src_at(&frame, 14), Some(hdr.src));
+        assert_eq!(ip_dst_at(&frame, 30), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal IPv6 header handling.
+//!
+//! The evaluation use cases of the paper are IPv4-only, but the OpenFlow
+//! match-field set (and the parser templates) cover IPv6 addresses, so the
+//! fixed 40-byte base header is supported here for completeness.
+
+use std::fmt;
+
+use crate::ipv4::IpProto;
+
+/// IPv6 base header length: 40 bytes.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A 128-bit IPv6 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Ipv6Addr16(pub [u8; 16]);
+
+impl Ipv6Addr16 {
+    /// Builds an address from 16 network-order bytes.
+    pub const fn new(bytes: [u8; 16]) -> Self {
+        Ipv6Addr16(bytes)
+    }
+
+    /// Returns the raw bytes in network order.
+    pub const fn octets(self) -> [u8; 16] {
+        self.0
+    }
+
+    /// Returns the address as a pair of host-order 64-bit halves, the
+    /// representation used when an IPv6 address participates in a hash key.
+    pub fn to_u64_pair(self) -> (u64, u64) {
+        let hi = u64::from_be_bytes(self.0[0..8].try_into().expect("8 bytes"));
+        let lo = u64::from_be_bytes(self.0[8..16].try_into().expect("8 bytes"));
+        (hi, lo)
+    }
+}
+
+impl fmt::Display for Ipv6Addr16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut groups = [0u16; 8];
+        for (i, g) in groups.iter_mut().enumerate() {
+            *g = u16::from_be_bytes([self.0[2 * i], self.0[2 * i + 1]]);
+        }
+        let text: Vec<String> = groups.iter().map(|g| format!("{g:x}")).collect();
+        write!(f, "{}", text.join(":"))
+    }
+}
+
+impl fmt::Debug for Ipv6Addr16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Decoded view of the fixed IPv6 base header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Traffic class.
+    pub traffic_class: u8,
+    /// Flow label (20 bits).
+    pub flow_label: u32,
+    /// Payload length.
+    pub payload_len: u16,
+    /// Next header, interpreted with the same protocol numbers as IPv4.
+    pub next_header: IpProto,
+    /// Hop limit.
+    pub hop_limit: u8,
+    /// Source address.
+    pub src: Ipv6Addr16,
+    /// Destination address.
+    pub dst: Ipv6Addr16,
+}
+
+impl Ipv6Header {
+    /// Parses the fixed header from the start of `data`.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < IPV6_HEADER_LEN || data[0] >> 4 != 6 {
+            return None;
+        }
+        Some(Ipv6Header {
+            traffic_class: (data[0] << 4) | (data[1] >> 4),
+            flow_label: u32::from(data[1] & 0x0f) << 16 | u32::from(data[2]) << 8 | u32::from(data[3]),
+            payload_len: u16::from_be_bytes([data[4], data[5]]),
+            next_header: IpProto::from_u8(data[6]),
+            hop_limit: data[7],
+            src: Ipv6Addr16(data[8..24].try_into().expect("16 bytes")),
+            dst: Ipv6Addr16(data[24..40].try_into().expect("16 bytes")),
+        })
+    }
+
+    /// Serialises the fixed header into the first 40 bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`IPV6_HEADER_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0] = 0x60 | (self.traffic_class >> 4);
+        out[1] = (self.traffic_class << 4) | ((self.flow_label >> 16) as u8 & 0x0f);
+        out[2] = (self.flow_label >> 8) as u8;
+        out[3] = self.flow_label as u8;
+        out[4..6].copy_from_slice(&self.payload_len.to_be_bytes());
+        out[6] = self.next_header.to_u8();
+        out[7] = self.hop_limit;
+        out[8..24].copy_from_slice(&self.src.octets());
+        out[24..40].copy_from_slice(&self.dst.octets());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = Ipv6Header {
+            traffic_class: 0x2e,
+            flow_label: 0xabcde,
+            payload_len: 20,
+            next_header: IpProto::Udp,
+            hop_limit: 64,
+            src: Ipv6Addr16::new([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1]),
+            dst: Ipv6Addr16::new([0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2]),
+        };
+        let mut buf = [0u8; IPV6_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert_eq!(Ipv6Header::parse(&buf), Some(hdr));
+    }
+
+    #[test]
+    fn rejects_wrong_version_or_short() {
+        let buf = [0u8; IPV6_HEADER_LEN];
+        assert!(Ipv6Header::parse(&buf).is_none()); // version 0
+        assert!(Ipv6Header::parse(&buf[..30]).is_none());
+    }
+
+    #[test]
+    fn u64_pair_split() {
+        let addr = Ipv6Addr16::new([1, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3]);
+        let (hi, lo) = addr.to_u64_pair();
+        assert_eq!(hi, 0x0100_0000_0000_0002);
+        assert_eq!(lo, 3);
+    }
+}

@@ -1,0 +1,60 @@
+//! # pkt — packet substrate for the ESWITCH reproduction
+//!
+//! This crate provides everything the switch datapaths need to know about
+//! packets: typed header views for Ethernet, 802.1Q VLAN, ARP, IPv4, IPv6,
+//! TCP, UDP and ICMP, an owned [`Packet`] buffer, a layered [`parser`]
+//! producing the [`ParsedHeaders`] representation the ESWITCH parser
+//! templates operate on, and a [`builder`] for constructing well-formed
+//! packets in tests, examples and the traffic generators.
+//!
+//! The design mirrors the role the paper assigns to packet parsing: the
+//! ESWITCH parser *templates* (§3.1) are incremental — the L3 parser composes
+//! the L2 parser, the L4 parser composes both — so the parse result exposes
+//! per-layer offsets and a protocol bitmask rather than a fully decoded
+//! struct. Decoded header views are still available for tests and for the
+//! action implementations that rewrite header fields.
+//!
+//! ```
+//! use pkt::builder::PacketBuilder;
+//! use pkt::parser::{parse, ParseDepth};
+//!
+//! let packet = PacketBuilder::tcp()
+//!     .eth_src([0, 1, 2, 3, 4, 5])
+//!     .ipv4_dst([192, 0, 2, 1])
+//!     .tcp_dst(80)
+//!     .build();
+//! let headers = parse(packet.data(), ParseDepth::L4);
+//! assert!(headers.has_tcp());
+//! assert_eq!(headers.tcp_dst(packet.data()), Some(80));
+//! ```
+
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod ethernet;
+pub mod icmp;
+pub mod ipv4;
+pub mod ipv6;
+pub mod mac;
+pub mod packet;
+pub mod parser;
+pub mod tcp;
+pub mod udp;
+pub mod vlan;
+
+pub use ethernet::{EtherType, EthernetHeader, ETHERNET_HEADER_LEN};
+pub use ipv4::{IpProto, Ipv4Addr4, Ipv4Header, IPV4_MIN_HEADER_LEN};
+pub use mac::MacAddr;
+pub use packet::Packet;
+pub use parser::{parse, ParseDepth, ParsedHeaders, ProtoMask};
+pub use tcp::{TcpFlags, TcpHeader, TCP_MIN_HEADER_LEN};
+pub use udp::{UdpHeader, UDP_HEADER_LEN};
+pub use vlan::{VlanTag, VLAN_TAG_LEN};
+
+/// Minimum Ethernet frame size used by the traffic generators (the paper
+/// evaluates with 64-byte packets; 60 bytes excluding the 4-byte FCS).
+pub const MIN_FRAME_LEN: usize = 60;
+
+/// Maximum frame size the fixed-capacity [`Packet`] buffer supports.
+/// Mirrors a standard 1500-byte MTU frame plus Ethernet and VLAN overhead.
+pub const MAX_FRAME_LEN: usize = 1522;

@@ -1,0 +1,171 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet MAC address.
+///
+/// Stored as six network-order bytes so that it can be memcpy'd straight out
+/// of a frame. The type is `Copy` and hashable, making it usable as an exact
+/// match key in the compound-hash table template and in the OVS microflow
+/// cache.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address, used as "unspecified".
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Builds an address from the six bytes in transmission order.
+    pub const fn new(bytes: [u8; 6]) -> Self {
+        MacAddr(bytes)
+    }
+
+    /// Returns the raw bytes in transmission order.
+    pub const fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+
+    /// True for group (multicast/broadcast) addresses: the I/G bit of the
+    /// first octet is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the all-ones broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for locally administered addresses (U/L bit set).
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// Packs the address into the low 48 bits of a `u64`, the representation
+    /// used when a MAC participates in a compound hash key.
+    pub fn to_u64(&self) -> u64 {
+        let mut v = 0u64;
+        for b in self.0 {
+            v = (v << 8) | u64::from(b);
+        }
+        v
+    }
+
+    /// Inverse of [`MacAddr::to_u64`]; the upper 16 bits of `v` are ignored.
+    pub fn from_u64(v: u64) -> Self {
+        let mut bytes = [0u8; 6];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = ((v >> (40 - 8 * i)) & 0xff) as u8;
+        }
+        MacAddr(bytes)
+    }
+
+    /// Reads an address from the first six bytes of `slice`.
+    ///
+    /// # Panics
+    /// Panics if `slice` is shorter than six bytes.
+    pub fn from_slice(slice: &[u8]) -> Self {
+        let mut bytes = [0u8; 6];
+        bytes.copy_from_slice(&slice[..6]);
+        MacAddr(bytes)
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Error returned when parsing a textual MAC address fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacParseError(pub String);
+
+impl fmt::Display for MacParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid MAC address: {}", self.0)
+    }
+}
+
+impl std::error::Error for MacParseError {}
+
+impl FromStr for MacAddr {
+    type Err = MacParseError;
+
+    /// Parses the conventional `aa:bb:cc:dd:ee:ff` form (also accepts `-` as
+    /// the separator).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split([':', '-']).collect();
+        if parts.len() != 6 {
+            return Err(MacParseError(s.to_string()));
+        }
+        let mut bytes = [0u8; 6];
+        for (i, p) in parts.iter().enumerate() {
+            bytes[i] = u8::from_str_radix(p, 16).map_err(|_| MacParseError(s.to_string()))?;
+        }
+        Ok(MacAddr(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let mac = MacAddr::new([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]);
+        let text = mac.to_string();
+        assert_eq!(text, "de:ad:be:ef:00:01");
+        assert_eq!(text.parse::<MacAddr>().unwrap(), mac);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("de:ad:be:ef:00".parse::<MacAddr>().is_err());
+        assert!("de:ad:be:ef:00:zz".parse::<MacAddr>().is_err());
+        assert!("".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mac = MacAddr::new([0x02, 0x34, 0x56, 0x78, 0x9a, 0xbc]);
+        assert_eq!(MacAddr::from_u64(mac.to_u64()), mac);
+        assert_eq!(mac.to_u64(), 0x0234_5678_9abc);
+    }
+
+    #[test]
+    fn multicast_and_broadcast_bits() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::new([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(!MacAddr::new([0x02, 0, 0, 0, 0, 1]).is_multicast());
+        assert!(MacAddr::new([0x02, 0, 0, 0, 0, 1]).is_local());
+    }
+
+    #[test]
+    fn from_slice_reads_prefix() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(MacAddr::from_slice(&data), MacAddr::new([1, 2, 3, 4, 5, 6]));
+    }
+}

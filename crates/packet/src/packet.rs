@@ -1,0 +1,136 @@
+//! Owned packet buffer.
+
+use bytes::{Bytes, BytesMut};
+
+use crate::MAX_FRAME_LEN;
+
+/// An owned packet, as carried through ports, queues and datapaths.
+///
+/// A `Packet` bundles the raw frame bytes with the receive-side metadata that
+/// OpenFlow exposes as pipeline match fields (`in_port`). The buffer is a
+/// [`BytesMut`] so that action implementations can rewrite header fields in
+/// place (set-field, NAT, TTL decrement) without reallocating, and cheap
+/// cloning is available for flooding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    data: BytesMut,
+    /// Ingress port the packet was received on (OpenFlow `in_port`).
+    pub in_port: u32,
+}
+
+impl Packet {
+    /// Wraps the given frame bytes, received on `in_port`.
+    ///
+    /// # Panics
+    /// Panics if the frame exceeds [`MAX_FRAME_LEN`]; the traffic generators
+    /// and builders never produce such frames, so an oversized frame indicates
+    /// a harness bug rather than a recoverable condition.
+    pub fn from_bytes(data: impl AsRef<[u8]>, in_port: u32) -> Self {
+        let data = data.as_ref();
+        assert!(
+            data.len() <= MAX_FRAME_LEN,
+            "frame of {} bytes exceeds MAX_FRAME_LEN",
+            data.len()
+        );
+        Packet {
+            data: BytesMut::from(data),
+            in_port,
+        }
+    }
+
+    /// Creates an all-zero frame of `len` bytes — handy padding for tests.
+    pub fn zeroed(len: usize, in_port: u32) -> Self {
+        Packet::from_bytes(vec![0u8; len], in_port)
+    }
+
+    /// The frame contents.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the frame contents, used by packet-rewriting actions.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the frame is empty (never the case for generated traffic).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable [`Bytes`] handle, e.g. to hand the
+    /// packet to the controller in a PacketIn message.
+    pub fn freeze(self) -> (Bytes, u32) {
+        (self.data.freeze(), self.in_port)
+    }
+
+    /// Inserts `extra` bytes at `offset`, shifting the tail. Used by the
+    /// push-VLAN action. Panics if the result would exceed [`MAX_FRAME_LEN`].
+    pub fn insert(&mut self, offset: usize, extra: &[u8]) {
+        assert!(self.len() + extra.len() <= MAX_FRAME_LEN, "insert overflows frame");
+        let tail = self.data.split_off(offset);
+        self.data.extend_from_slice(extra);
+        self.data.unsplit(tail);
+    }
+
+    /// Removes `count` bytes at `offset`, shifting the tail down. Used by the
+    /// pop-VLAN action.
+    ///
+    /// # Panics
+    /// Panics if `offset + count` exceeds the frame length.
+    pub fn remove(&mut self, offset: usize, count: usize) {
+        assert!(offset + count <= self.len(), "remove out of bounds");
+        let mut tail = self.data.split_off(offset);
+        let _ = tail.split_to(count);
+        self.data.unsplit(tail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let pkt = Packet::from_bytes([1u8, 2, 3, 4], 7);
+        assert_eq!(pkt.data(), &[1, 2, 3, 4]);
+        assert_eq!(pkt.len(), 4);
+        assert_eq!(pkt.in_port, 7);
+        assert!(!pkt.is_empty());
+    }
+
+    #[test]
+    fn mutation_in_place() {
+        let mut pkt = Packet::zeroed(10, 0);
+        pkt.data_mut()[3] = 0xaa;
+        assert_eq!(pkt.data()[3], 0xaa);
+    }
+
+    #[test]
+    fn insert_and_remove_preserve_surroundings() {
+        let mut pkt = Packet::from_bytes([1u8, 2, 3, 4, 5, 6], 0);
+        pkt.insert(2, &[0xaa, 0xbb]);
+        assert_eq!(pkt.data(), &[1, 2, 0xaa, 0xbb, 3, 4, 5, 6]);
+        pkt.remove(2, 2);
+        assert_eq!(pkt.data(), &[1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_FRAME_LEN")]
+    fn oversized_frame_panics() {
+        let _ = Packet::zeroed(crate::MAX_FRAME_LEN + 1, 0);
+    }
+
+    #[test]
+    fn freeze_returns_bytes_and_port() {
+        let pkt = Packet::from_bytes([9u8, 8, 7], 3);
+        let (bytes, port) = pkt.freeze();
+        assert_eq!(&bytes[..], &[9, 8, 7]);
+        assert_eq!(port, 3);
+    }
+}

@@ -1,0 +1,433 @@
+//! Layered packet parsing.
+//!
+//! This module is the Rust analogue of the ESWITCH *parser templates* (§3.1 of
+//! the paper): a packet is parsed incrementally, layer by layer, into a
+//! [`ParsedHeaders`] record holding a protocol bitmask (the paper stores it in
+//! `r15`) and the byte offset of each protocol layer (`r12`–`r14`). Field
+//! values are *not* decoded eagerly; matcher templates load them straight from
+//! the frame through the offset accessors, exactly as the generated machine
+//! code would (`mov eax, [r13+0x10]`).
+
+use crate::ethernet::{EtherType, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProto, Ipv4Addr4};
+use crate::mac::MacAddr;
+use crate::vlan::VLAN_TAG_LEN;
+
+/// Bitmask of protocol headers found in a packet.
+///
+/// Mirrors the "protocol bitmask in `r15`" of the parser template: the direct
+/// code template's prologue checks this mask before touching any field
+/// (`mov eax, IP|TCP; or eax, r15d; cmp eax, r15d`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct ProtoMask(pub u32);
+
+impl ProtoMask {
+    /// Ethernet header present (always set for a parsed packet).
+    pub const ETH: ProtoMask = ProtoMask(1 << 0);
+    /// One or more 802.1Q tags present.
+    pub const VLAN: ProtoMask = ProtoMask(1 << 1);
+    /// IPv4 header present.
+    pub const IPV4: ProtoMask = ProtoMask(1 << 2);
+    /// IPv6 header present.
+    pub const IPV6: ProtoMask = ProtoMask(1 << 3);
+    /// ARP body present.
+    pub const ARP: ProtoMask = ProtoMask(1 << 4);
+    /// TCP header present.
+    pub const TCP: ProtoMask = ProtoMask(1 << 5);
+    /// UDP header present.
+    pub const UDP: ProtoMask = ProtoMask(1 << 6);
+    /// ICMP header present.
+    pub const ICMP: ProtoMask = ProtoMask(1 << 7);
+
+    /// The empty mask.
+    pub const NONE: ProtoMask = ProtoMask(0);
+
+    /// Returns the union of two masks.
+    pub const fn or(self, other: ProtoMask) -> ProtoMask {
+        ProtoMask(self.0 | other.0)
+    }
+
+    /// True if every bit of `required` is present in `self`.
+    /// This is the template prologue check.
+    pub const fn contains(self, required: ProtoMask) -> bool {
+        self.0 & required.0 == required.0
+    }
+
+    /// True if any bit of `other` is present in `self`.
+    pub const fn intersects(self, other: ProtoMask) -> bool {
+        self.0 & other.0 != 0
+    }
+}
+
+impl std::ops::BitOr for ProtoMask {
+    type Output = ProtoMask;
+    fn bitor(self, rhs: ProtoMask) -> ProtoMask {
+        self.or(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for ProtoMask {
+    fn bitor_assign(&mut self, rhs: ProtoMask) {
+        self.0 |= rhs.0;
+    }
+}
+
+/// How deep to parse.
+///
+/// The paper's parser templates are composed incrementally: pure L2 MAC
+/// forwarding never pays for L3/L4 parsing, L3 routing skips L4, and so on.
+/// The ESWITCH compiler picks the depth from the deepest field any table in
+/// the pipeline matches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ParseDepth {
+    /// Ethernet + VLAN tags only.
+    L2,
+    /// Plus IPv4/IPv6/ARP network headers.
+    L3,
+    /// Plus TCP/UDP/ICMP transport headers.
+    L4,
+}
+
+/// Result of parsing a frame: the protocol bitmask plus per-layer offsets.
+///
+/// Offsets are `u16` because frames are bounded by [`crate::MAX_FRAME_LEN`];
+/// `u16::MAX` marks "layer absent" internally (checked through the mask).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParsedHeaders {
+    /// Protocol presence bitmask (the template prologue operand).
+    pub mask: ProtoMask,
+    /// Offset of the Ethernet header (always 0 for a full frame).
+    pub l2_offset: u16,
+    /// Offset of the L3 header (IPv4/IPv6/ARP), if present.
+    pub l3_offset: u16,
+    /// Offset of the L4 header (TCP/UDP/ICMP), if present.
+    pub l4_offset: u16,
+    /// VLAN VID of the outermost tag, if present.
+    pub vlan_vid: u16,
+    /// VLAN PCP of the outermost tag, if present.
+    pub vlan_pcp: u8,
+    /// Raw EtherType of the payload after any VLAN tags.
+    pub ethertype: u16,
+    /// IP protocol number, if an IPv4/IPv6 header is present.
+    pub ip_proto: u8,
+    /// How deep the parse went (parsing to L3 leaves L4 fields unset even if
+    /// a transport header exists in the frame).
+    pub depth_parsed: ParseDepthTag,
+}
+
+/// Internal record of how deep [`parse`] actually went; distinct from
+/// [`ParseDepth`] so `ParsedHeaders` can derive `Default`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseDepthTag {
+    /// Nothing parsed yet.
+    #[default]
+    None,
+    /// Parsed through L2.
+    L2,
+    /// Parsed through L3.
+    L3,
+    /// Parsed through L4.
+    L4,
+}
+
+impl ParsedHeaders {
+    /// True if an IPv4 header was found.
+    pub fn has_ipv4(&self) -> bool {
+        self.mask.contains(ProtoMask::IPV4)
+    }
+
+    /// True if a TCP header was found.
+    pub fn has_tcp(&self) -> bool {
+        self.mask.contains(ProtoMask::TCP)
+    }
+
+    /// True if a UDP header was found.
+    pub fn has_udp(&self) -> bool {
+        self.mask.contains(ProtoMask::UDP)
+    }
+
+    /// True if at least one VLAN tag was found.
+    pub fn has_vlan(&self) -> bool {
+        self.mask.contains(ProtoMask::VLAN)
+    }
+
+    /// Destination MAC, loaded from the frame.
+    pub fn eth_dst(&self, frame: &[u8]) -> Option<MacAddr> {
+        let off = usize::from(self.l2_offset);
+        frame.get(off..off + 6).map(MacAddr::from_slice)
+    }
+
+    /// Source MAC, loaded from the frame.
+    pub fn eth_src(&self, frame: &[u8]) -> Option<MacAddr> {
+        let off = usize::from(self.l2_offset) + 6;
+        frame.get(off..off + 6).map(MacAddr::from_slice)
+    }
+
+    /// IPv4 source address, loaded from the frame.
+    pub fn ipv4_src(&self, frame: &[u8]) -> Option<Ipv4Addr4> {
+        if !self.has_ipv4() {
+            return None;
+        }
+        crate::ipv4::ip_src_at(frame, usize::from(self.l3_offset))
+    }
+
+    /// IPv4 destination address, loaded from the frame.
+    pub fn ipv4_dst(&self, frame: &[u8]) -> Option<Ipv4Addr4> {
+        if !self.has_ipv4() {
+            return None;
+        }
+        crate::ipv4::ip_dst_at(frame, usize::from(self.l3_offset))
+    }
+
+    /// TCP destination port, loaded from the frame.
+    pub fn tcp_dst(&self, frame: &[u8]) -> Option<u16> {
+        if !self.has_tcp() {
+            return None;
+        }
+        crate::tcp::tcp_dst_at(frame, usize::from(self.l4_offset))
+    }
+
+    /// TCP source port, loaded from the frame.
+    pub fn tcp_src(&self, frame: &[u8]) -> Option<u16> {
+        if !self.has_tcp() {
+            return None;
+        }
+        crate::tcp::tcp_src_at(frame, usize::from(self.l4_offset))
+    }
+
+    /// UDP destination port, loaded from the frame.
+    pub fn udp_dst(&self, frame: &[u8]) -> Option<u16> {
+        if !self.has_udp() {
+            return None;
+        }
+        crate::udp::udp_dst_at(frame, usize::from(self.l4_offset))
+    }
+
+    /// UDP source port, loaded from the frame.
+    pub fn udp_src(&self, frame: &[u8]) -> Option<u16> {
+        if !self.has_udp() {
+            return None;
+        }
+        crate::udp::udp_src_at(frame, usize::from(self.l4_offset))
+    }
+
+    /// Generic L4 destination port (TCP or UDP).
+    pub fn l4_dst(&self, frame: &[u8]) -> Option<u16> {
+        if self.has_tcp() {
+            self.tcp_dst(frame)
+        } else if self.has_udp() {
+            self.udp_dst(frame)
+        } else {
+            None
+        }
+    }
+
+    /// Generic L4 source port (TCP or UDP).
+    pub fn l4_src(&self, frame: &[u8]) -> Option<u16> {
+        if self.has_tcp() {
+            self.tcp_src(frame)
+        } else if self.has_udp() {
+            self.udp_src(frame)
+        } else {
+            None
+        }
+    }
+}
+
+/// L2 parser template: records the Ethernet offset, walks any VLAN tags and
+/// notes the effective EtherType.
+fn parse_l2(frame: &[u8], out: &mut ParsedHeaders) -> Option<usize> {
+    if frame.len() < ETHERNET_HEADER_LEN {
+        return None;
+    }
+    out.mask |= ProtoMask::ETH;
+    out.l2_offset = 0;
+    let mut ethertype = u16::from_be_bytes([frame[12], frame[13]]);
+    let mut offset = ETHERNET_HEADER_LEN;
+    // Walk at most two tags (802.1ad QinQ outer + 802.1Q inner).
+    for _ in 0..2 {
+        if !EtherType::from_u16(ethertype).is_vlan() {
+            break;
+        }
+        let tag = frame.get(offset..offset + VLAN_TAG_LEN)?;
+        let tci = u16::from_be_bytes([tag[0], tag[1]]);
+        if !out.mask.contains(ProtoMask::VLAN) {
+            out.vlan_vid = tci & 0x0fff;
+            out.vlan_pcp = (tci >> 13) as u8;
+        }
+        out.mask |= ProtoMask::VLAN;
+        ethertype = u16::from_be_bytes([tag[2], tag[3]]);
+        offset += VLAN_TAG_LEN;
+    }
+    out.ethertype = ethertype;
+    out.depth_parsed = ParseDepthTag::L2;
+    Some(offset)
+}
+
+/// L3 parser template: composes the L2 parser and records the network-layer
+/// offset and protocol.
+fn parse_l3(frame: &[u8], out: &mut ParsedHeaders) -> Option<(usize, IpProto)> {
+    let l3_offset = parse_l2(frame, out)?;
+    out.depth_parsed = ParseDepthTag::L3;
+    match EtherType::from_u16(out.ethertype) {
+        EtherType::Ipv4 => {
+            let hdr = frame.get(l3_offset..)?;
+            if hdr.len() < crate::ipv4::IPV4_MIN_HEADER_LEN || hdr[0] >> 4 != 4 {
+                return None;
+            }
+            let ihl = usize::from(hdr[0] & 0x0f) * 4;
+            if ihl < crate::ipv4::IPV4_MIN_HEADER_LEN || hdr.len() < ihl {
+                return None;
+            }
+            out.mask |= ProtoMask::IPV4;
+            out.l3_offset = l3_offset as u16;
+            out.ip_proto = hdr[9];
+            Some((l3_offset + ihl, IpProto::from_u8(hdr[9])))
+        }
+        EtherType::Ipv6 => {
+            let hdr = frame.get(l3_offset..)?;
+            if hdr.len() < crate::ipv6::IPV6_HEADER_LEN || hdr[0] >> 4 != 6 {
+                return None;
+            }
+            out.mask |= ProtoMask::IPV6;
+            out.l3_offset = l3_offset as u16;
+            out.ip_proto = hdr[6];
+            Some((l3_offset + crate::ipv6::IPV6_HEADER_LEN, IpProto::from_u8(hdr[6])))
+        }
+        EtherType::Arp => {
+            if frame.len() >= l3_offset + crate::arp::ARP_LEN {
+                out.mask |= ProtoMask::ARP;
+                out.l3_offset = l3_offset as u16;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// L4 parser template: composes L2 and L3 and records the transport offset.
+fn parse_l4(frame: &[u8], out: &mut ParsedHeaders) {
+    let Some((l4_offset, proto)) = parse_l3(frame, out) else {
+        return;
+    };
+    out.depth_parsed = ParseDepthTag::L4;
+    match proto {
+        IpProto::Tcp => {
+            if frame.len() >= l4_offset + crate::tcp::TCP_MIN_HEADER_LEN {
+                out.mask |= ProtoMask::TCP;
+                out.l4_offset = l4_offset as u16;
+            }
+        }
+        IpProto::Udp => {
+            if frame.len() >= l4_offset + crate::udp::UDP_HEADER_LEN {
+                out.mask |= ProtoMask::UDP;
+                out.l4_offset = l4_offset as u16;
+            }
+        }
+        IpProto::Icmp => {
+            if frame.len() >= l4_offset + 4 {
+                out.mask |= ProtoMask::ICMP;
+                out.l4_offset = l4_offset as u16;
+            }
+        }
+        IpProto::Other(_) => {}
+    }
+}
+
+/// Parses a frame to the requested depth.
+///
+/// Never fails: malformed or truncated layers simply leave the corresponding
+/// bits unset in the protocol mask, so match templates requiring those layers
+/// fall through to the next flow entry — the same behaviour as the generated
+/// code of the paper.
+pub fn parse(frame: &[u8], depth: ParseDepth) -> ParsedHeaders {
+    let mut out = ParsedHeaders::default();
+    match depth {
+        ParseDepth::L2 => {
+            let _ = parse_l2(frame, &mut out);
+        }
+        ParseDepth::L3 => {
+            let _ = parse_l3(frame, &mut out);
+        }
+        ParseDepth::L4 => parse_l4(frame, &mut out),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+
+    #[test]
+    fn l2_only_parse_skips_upper_layers() {
+        let pkt = PacketBuilder::tcp().tcp_dst(443).build();
+        let h = parse(pkt.data(), ParseDepth::L2);
+        assert!(h.mask.contains(ProtoMask::ETH));
+        assert!(!h.has_ipv4());
+        assert!(!h.has_tcp());
+        assert_eq!(h.ethertype, 0x0800);
+        assert_eq!(h.depth_parsed, ParseDepthTag::L2);
+    }
+
+    #[test]
+    fn l4_parse_exposes_ports() {
+        let pkt = PacketBuilder::tcp()
+            .ipv4_src([10, 1, 2, 3])
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_src(50000)
+            .tcp_dst(80)
+            .build();
+        let h = parse(pkt.data(), ParseDepth::L4);
+        assert!(h.has_ipv4() && h.has_tcp());
+        assert_eq!(h.ipv4_dst(pkt.data()).unwrap().to_string(), "192.0.2.1");
+        assert_eq!(h.tcp_dst(pkt.data()), Some(80));
+        assert_eq!(h.tcp_src(pkt.data()), Some(50000));
+        assert_eq!(h.l4_dst(pkt.data()), Some(80));
+    }
+
+    #[test]
+    fn vlan_tagged_udp() {
+        let pkt = PacketBuilder::udp()
+            .vlan(3)
+            .udp_dst(4739)
+            .build();
+        let h = parse(pkt.data(), ParseDepth::L4);
+        assert!(h.has_vlan());
+        assert_eq!(h.vlan_vid, 3);
+        assert!(h.has_udp());
+        assert_eq!(h.udp_dst(pkt.data()), Some(4739));
+        // l3 offset shifted by the 4-byte tag
+        assert_eq!(h.l3_offset, 18);
+    }
+
+    #[test]
+    fn truncated_ip_header_clears_upper_bits() {
+        let pkt = PacketBuilder::tcp().build();
+        let frame = &pkt.data()[..20]; // cut inside the IP header
+        let h = parse(frame, ParseDepth::L4);
+        assert!(h.mask.contains(ProtoMask::ETH));
+        assert!(!h.has_ipv4());
+        assert!(!h.has_tcp());
+    }
+
+    #[test]
+    fn non_ip_frame_has_no_l3() {
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x88;
+        frame[13] = 0xb5; // local experimental EtherType
+        let h = parse(&frame, ParseDepth::L4);
+        assert!(h.mask.contains(ProtoMask::ETH));
+        assert!(!h.has_ipv4());
+        assert_eq!(h.ethertype, 0x88b5);
+    }
+
+    #[test]
+    fn proto_mask_contains_semantics() {
+        let m = ProtoMask::ETH | ProtoMask::IPV4 | ProtoMask::TCP;
+        assert!(m.contains(ProtoMask::IPV4 | ProtoMask::TCP));
+        assert!(!m.contains(ProtoMask::UDP));
+        assert!(m.intersects(ProtoMask::TCP | ProtoMask::UDP));
+        assert!(!m.intersects(ProtoMask::UDP | ProtoMask::ICMP));
+    }
+}

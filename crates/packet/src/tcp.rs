@@ -1,0 +1,172 @@
+//! TCP header handling.
+
+/// Minimum TCP header length (no options): 20 bytes.
+pub const TCP_MIN_HEADER_LEN: usize = 20;
+
+/// TCP flag bits (the low 6 bits of byte 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpFlags {
+    /// FIN — no more data from sender.
+    pub fin: bool,
+    /// SYN — synchronise sequence numbers.
+    pub syn: bool,
+    /// RST — reset the connection.
+    pub rst: bool,
+    /// PSH — push buffered data.
+    pub psh: bool,
+    /// ACK — acknowledgement field significant.
+    pub ack: bool,
+    /// URG — urgent pointer field significant.
+    pub urg: bool,
+}
+
+impl TcpFlags {
+    /// Decodes the flag byte.
+    pub fn from_u8(v: u8) -> Self {
+        TcpFlags {
+            fin: v & 0x01 != 0,
+            syn: v & 0x02 != 0,
+            rst: v & 0x04 != 0,
+            psh: v & 0x08 != 0,
+            ack: v & 0x10 != 0,
+            urg: v & 0x20 != 0,
+        }
+    }
+
+    /// Encodes back to the flag byte.
+    pub fn to_u8(self) -> u8 {
+        u8::from(self.fin)
+            | u8::from(self.syn) << 1
+            | u8::from(self.rst) << 2
+            | u8::from(self.psh) << 3
+            | u8::from(self.ack) << 4
+            | u8::from(self.urg) << 5
+    }
+
+    /// A bare SYN, as sent by the traffic generators for new flows.
+    pub fn syn_only() -> Self {
+        TcpFlags {
+            syn: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Decoded view of a TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Data offset in bytes (20..=60).
+    pub header_len: usize,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as found on the wire.
+    pub checksum: u16,
+}
+
+impl TcpHeader {
+    /// Parses the header from the start of `data`.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < TCP_MIN_HEADER_LEN {
+            return None;
+        }
+        let header_len = usize::from(data[12] >> 4) * 4;
+        if header_len < TCP_MIN_HEADER_LEN {
+            return None;
+        }
+        Some(TcpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            seq: u32::from_be_bytes([data[4], data[5], data[6], data[7]]),
+            ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
+            header_len,
+            flags: TcpFlags::from_u8(data[13]),
+            window: u16::from_be_bytes([data[14], data[15]]),
+            checksum: u16::from_be_bytes([data[16], data[17]]),
+        })
+    }
+
+    /// Serialises a 20-byte (option-free) header into `out`. The checksum is
+    /// written as-is; use [`crate::checksum::pseudo_header_checksum`] to fill
+    /// it in when a valid segment is needed.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than 20 bytes.
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        out[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        out[12] = 5 << 4;
+        out[13] = self.flags.to_u8();
+        out[14..16].copy_from_slice(&self.window.to_be_bytes());
+        out[16..18].copy_from_slice(&self.checksum.to_be_bytes());
+        out[18..20].copy_from_slice(&[0, 0]);
+    }
+}
+
+/// Reads the destination port at `offset` (start of the TCP header) without
+/// full parsing — the `cmp [r14+0x2],PORT` load of the matcher template.
+pub fn tcp_dst_at(frame: &[u8], offset: usize) -> Option<u16> {
+    let b = frame.get(offset + 2..offset + 4)?;
+    Some(u16::from_be_bytes([b[0], b[1]]))
+}
+
+/// Reads the source port at `offset` without full parsing.
+pub fn tcp_src_at(frame: &[u8], offset: usize) -> Option<u16> {
+    let b = frame.get(offset..offset + 2)?;
+    Some(u16::from_be_bytes([b[0], b[1]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = TcpHeader {
+            src_port: 49152,
+            dst_port: 80,
+            seq: 0xdead_beef,
+            ack: 0x0102_0304,
+            header_len: TCP_MIN_HEADER_LEN,
+            flags: TcpFlags::syn_only(),
+            window: 65535,
+            checksum: 0xabcd,
+        };
+        let mut buf = [0u8; TCP_MIN_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert_eq!(TcpHeader::parse(&buf), Some(hdr));
+        assert_eq!(tcp_dst_at(&buf, 0), Some(80));
+        assert_eq!(tcp_src_at(&buf, 0), Some(49152));
+    }
+
+    #[test]
+    fn flags_roundtrip_all_combinations() {
+        for v in 0u8..64 {
+            assert_eq!(TcpFlags::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert!(TcpHeader::parse(&[0u8; 19]).is_none());
+        assert!(tcp_dst_at(&[0u8; 3], 0).is_none());
+    }
+
+    #[test]
+    fn bogus_data_offset_rejected() {
+        let mut buf = [0u8; TCP_MIN_HEADER_LEN];
+        buf[12] = 4 << 4; // data offset 16 bytes < minimum
+        assert!(TcpHeader::parse(&buf).is_none());
+    }
+}

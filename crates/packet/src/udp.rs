@@ -1,0 +1,82 @@
+//! UDP header handling.
+
+/// UDP header length: 8 bytes.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Decoded view of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of the UDP header plus payload.
+    pub length: u16,
+    /// Checksum as found on the wire (0 means "not computed" in IPv4).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Parses the header from the start of `data`.
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        Some(UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: u16::from_be_bytes([data[4], data[5]]),
+            checksum: u16::from_be_bytes([data[6], data[7]]),
+        })
+    }
+
+    /// Serialises the header into the first eight bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`UDP_HEADER_LEN`].
+    pub fn write(&self, out: &mut [u8]) {
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].copy_from_slice(&self.checksum.to_be_bytes());
+    }
+}
+
+/// Reads the destination port at `offset` (start of the UDP header) without
+/// full parsing.
+pub fn udp_dst_at(frame: &[u8], offset: usize) -> Option<u16> {
+    let b = frame.get(offset + 2..offset + 4)?;
+    Some(u16::from_be_bytes([b[0], b[1]]))
+}
+
+/// Reads the source port at `offset` without full parsing.
+pub fn udp_src_at(frame: &[u8], offset: usize) -> Option<u16> {
+    let b = frame.get(offset..offset + 2)?;
+    Some(u16::from_be_bytes([b[0], b[1]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let hdr = UdpHeader {
+            src_port: 1234,
+            dst_port: 53,
+            length: 40,
+            checksum: 0,
+        };
+        let mut buf = [0u8; UDP_HEADER_LEN];
+        hdr.write(&mut buf);
+        assert_eq!(UdpHeader::parse(&buf), Some(hdr));
+        assert_eq!(udp_dst_at(&buf, 0), Some(53));
+        assert_eq!(udp_src_at(&buf, 0), Some(1234));
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert!(UdpHeader::parse(&[0u8; 7]).is_none());
+        assert!(udp_dst_at(&[0u8; 3], 0).is_none());
+    }
+}

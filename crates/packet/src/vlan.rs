@@ -1,0 +1,112 @@
+//! 802.1Q VLAN tagging.
+
+use crate::ethernet::EtherType;
+
+/// Length of one 802.1Q tag (TCI + inner EtherType).
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// Decoded 802.1Q tag.
+///
+/// The tag sits between the source MAC and the (inner) EtherType and carries
+/// the Tag Control Information word: 3 bits of priority (PCP), the DEI bit and
+/// a 12-bit VLAN identifier. OpenFlow exposes the VID as `vlan_vid` and the
+/// PCP as `vlan_pcp`; both are matchable fields in the access-gateway use case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VlanTag {
+    /// Priority Code Point (0..=7).
+    pub pcp: u8,
+    /// Drop Eligible Indicator.
+    pub dei: bool,
+    /// VLAN identifier (0..=4095).
+    pub vid: u16,
+    /// EtherType of the payload following the tag.
+    pub inner_ethertype: EtherType,
+}
+
+impl VlanTag {
+    /// Parses a tag from `data`, which must start right after the outer
+    /// EtherType (i.e. at the TCI word).
+    pub fn parse(data: &[u8]) -> Option<Self> {
+        if data.len() < VLAN_TAG_LEN {
+            return None;
+        }
+        let tci = u16::from_be_bytes([data[0], data[1]]);
+        Some(VlanTag {
+            pcp: (tci >> 13) as u8,
+            dei: tci & 0x1000 != 0,
+            vid: tci & 0x0fff,
+            inner_ethertype: EtherType::from_u16(u16::from_be_bytes([data[2], data[3]])),
+        })
+    }
+
+    /// Serialises the tag into the first four bytes of `out`.
+    ///
+    /// # Panics
+    /// Panics if `out` is shorter than [`VLAN_TAG_LEN`] or if `vid > 4095` /
+    /// `pcp > 7` (invalid tags must not be constructed).
+    pub fn write(&self, out: &mut [u8]) {
+        assert!(self.vid <= 0x0fff, "VLAN VID out of range");
+        assert!(self.pcp <= 7, "VLAN PCP out of range");
+        let tci = (u16::from(self.pcp) << 13) | (u16::from(self.dei) << 12) | self.vid;
+        out[0..2].copy_from_slice(&tci.to_be_bytes());
+        out[2..4].copy_from_slice(&self.inner_ethertype.to_u16().to_be_bytes());
+    }
+
+    /// Convenience constructor for a plain data tag with the given VID.
+    pub fn with_vid(vid: u16, inner: EtherType) -> Self {
+        VlanTag {
+            pcp: 0,
+            dei: false,
+            vid,
+            inner_ethertype: inner,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let tag = VlanTag {
+            pcp: 5,
+            dei: true,
+            vid: 1234,
+            inner_ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; VLAN_TAG_LEN];
+        tag.write(&mut buf);
+        assert_eq!(VlanTag::parse(&buf), Some(tag));
+    }
+
+    #[test]
+    fn short_buffer_is_none() {
+        assert_eq!(VlanTag::parse(&[0u8; 3]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "VID out of range")]
+    fn oversized_vid_panics() {
+        let tag = VlanTag::with_vid(5000, EtherType::Ipv4);
+        let mut buf = [0u8; VLAN_TAG_LEN];
+        tag.write(&mut buf);
+    }
+
+    #[test]
+    fn vid_masking_on_parse() {
+        // PCP and DEI bits must not leak into the VID.
+        let mut buf = [0u8; 4];
+        VlanTag {
+            pcp: 7,
+            dei: true,
+            vid: 0x0fff,
+            inner_ethertype: EtherType::Arp,
+        }
+        .write(&mut buf);
+        let parsed = VlanTag::parse(&buf).unwrap();
+        assert_eq!(parsed.vid, 0x0fff);
+        assert_eq!(parsed.pcp, 7);
+        assert!(parsed.dei);
+    }
+}

@@ -1,0 +1,196 @@
+//! Snort-like ACL generation for the table-decomposition stress test (§3.2).
+//!
+//! The paper feeds its decomposer "a complete firewall setup, consisting of
+//! arbitrarily wildcarded five-tuple ACLs ('snort community rules v2.9',
+//! stripped to OpenFlow compatible rules)": 72 active rules, extended to 369
+//! with obsolete ones. The rule set itself cannot be redistributed, so this
+//! generator produces structurally similar rules: five-tuple matches
+//! (ip_src, ip_dst, ip_proto, src port, dst port) where every field is either
+//! an exact value drawn from a small realistic pool or a full wildcard — the
+//! same restricted shape the simplified decomposition algorithm of Fig. 6
+//! handles.
+
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, FlowTable};
+use rand::prelude::*;
+
+/// Configuration of the generated ACL.
+#[derive(Debug, Clone, Copy)]
+pub struct AclConfig {
+    /// Number of rules to generate.
+    pub rules: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Probability that any given field of a rule is wildcarded.
+    pub wildcard_probability: f64,
+    /// Whether to append a final catch-all "pass" rule.
+    pub with_catch_all: bool,
+}
+
+impl Default for AclConfig {
+    fn default() -> Self {
+        AclConfig {
+            rules: 72,
+            seed: 0xac1,
+            wildcard_probability: 0.45,
+            with_catch_all: true,
+        }
+    }
+}
+
+/// Well-known service ports a snort-style rule set concentrates on.
+const SERVICE_PORTS: [u16; 12] = [21, 22, 23, 25, 53, 80, 110, 143, 443, 445, 3306, 8080];
+
+/// Internal "protected network" hosts rules point at.
+fn protected_host(rng: &mut StdRng) -> u32 {
+    u32::from_be_bytes([192, 0, 2, rng.gen_range(1..=40)])
+}
+
+/// External hosts that appear in source positions.
+fn external_host(rng: &mut StdRng) -> u32 {
+    u32::from_be_bytes([198, 51, 100, rng.gen_range(1..=200)])
+}
+
+/// Generates the ACL as a single OpenFlow flow table (table id 0): higher
+/// priority = earlier rule; rule actions alternate between drop (the firewall
+/// blocks) and punting to the controller (the IDS alerts).
+pub fn generate_acl_table(config: &AclConfig) -> FlowTable {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut table = FlowTable::named(0, "acl");
+    let rules = config.rules as u16;
+    for i in 0..rules {
+        let mut m = FlowMatch::any();
+        let wildcard = |rng: &mut StdRng| rng.gen_bool(config.wildcard_probability);
+        if !wildcard(&mut rng) {
+            m = m.with_exact(Field::Ipv4Src, u128::from(external_host(&mut rng)));
+        }
+        if !wildcard(&mut rng) {
+            m = m.with_exact(Field::Ipv4Dst, u128::from(protected_host(&mut rng)));
+        }
+        let proto_tcp = rng.gen_bool(0.7);
+        if !wildcard(&mut rng) {
+            m = m.with_exact(Field::IpProto, if proto_tcp { 6 } else { 17 });
+        }
+        if !wildcard(&mut rng) {
+            let field = if proto_tcp { Field::TcpSrc } else { Field::UdpSrc };
+            m = m.with_exact(field, u128::from(rng.gen_range(1024..u16::MAX)));
+        }
+        if !wildcard(&mut rng) {
+            let field = if proto_tcp { Field::TcpDst } else { Field::UdpDst };
+            m = m.with_exact(
+                field,
+                u128::from(SERVICE_PORTS[rng.gen_range(0..SERVICE_PORTS.len())]),
+            );
+        }
+        // A rule with every field wildcarded would shadow everything below
+        // it; give it at least a destination host, as real rules do.
+        if m.is_empty() {
+            m = m.with_exact(Field::Ipv4Dst, u128::from(protected_host(&mut rng)));
+        }
+        let action = if rng.gen_bool(0.6) {
+            vec![Action::Drop]
+        } else {
+            vec![Action::ToController]
+        };
+        table.insert(FlowEntry::new(m, 1000 + (rules - i), terminal_actions(action)));
+    }
+    if config.with_catch_all {
+        table.insert(FlowEntry::new(
+            FlowMatch::any(),
+            1,
+            terminal_actions(vec![Action::Output(1)]),
+        ));
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rule_count() {
+        let table = generate_acl_table(&AclConfig::default());
+        assert_eq!(table.len(), 72 + 1);
+        let no_catch_all = generate_acl_table(&AclConfig {
+            with_catch_all: false,
+            ..AclConfig::default()
+        });
+        assert_eq!(no_catch_all.len(), 72);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate_acl_table(&AclConfig::default());
+        let b = generate_acl_table(&AclConfig::default());
+        assert_eq!(a.entries(), b.entries());
+        let c = generate_acl_table(&AclConfig {
+            seed: 999,
+            ..AclConfig::default()
+        });
+        assert_ne!(a.entries(), c.entries());
+    }
+
+    #[test]
+    fn fields_are_exact_or_wildcard_only() {
+        // The simplified decomposition exposition requires exact-or-wildcard
+        // rules; the generator must respect that.
+        let table = generate_acl_table(&AclConfig {
+            rules: 200,
+            ..AclConfig::default()
+        });
+        for entry in table.entries() {
+            for mf in entry.flow_match.fields() {
+                assert!(mf.is_exact(), "rule field {mf} not exact");
+            }
+        }
+    }
+
+    #[test]
+    fn mix_of_wildcards_present() {
+        let table = generate_acl_table(&AclConfig {
+            rules: 300,
+            ..AclConfig::default()
+        });
+        // Field-count diversity: some rules match few fields, some many.
+        let counts: Vec<usize> = table.entries().iter().map(|e| e.flow_match.len()).collect();
+        assert!(counts.iter().any(|c| *c <= 2));
+        assert!(counts.iter().any(|c| *c >= 4));
+    }
+
+    #[test]
+    fn acl_table_is_not_template_friendly_as_is() {
+        // The whole point of the experiment: a raw five-tuple ACL does not
+        // fit the hash or LPM templates and needs decomposition.
+        let table = generate_acl_table(&AclConfig::default());
+        let kind = eswitch_kind(&table);
+        assert_eq!(kind, "LinkedList");
+    }
+
+    /// Tiny indirection so this crate does not depend on `eswitch` (which
+    /// would create a cycle for the workspace's dependency layering): the
+    /// prerequisite checks are re-derived structurally.
+    fn eswitch_kind(table: &FlowTable) -> &'static str {
+        let entries = table.entries();
+        let first_shape: Vec<_> = entries[0]
+            .flow_match
+            .fields()
+            .iter()
+            .map(|mf| (mf.field, mf.mask))
+            .collect();
+        let uniform = entries.iter().all(|e| {
+            e.flow_match
+                .fields()
+                .iter()
+                .map(|mf| (mf.field, mf.mask))
+                .collect::<Vec<_>>()
+                == first_shape
+        });
+        if uniform {
+            "CompoundHash"
+        } else {
+            "LinkedList"
+        }
+    }
+}

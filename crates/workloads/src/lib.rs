@@ -1,0 +1,24 @@
+//! # workloads — evaluation use cases and traffic generation
+//!
+//! The paper evaluates ESWITCH and OVS on four use cases drawn from
+//! operational OpenFlow deployments (§4.1): L2 switching, L3 routing, a web
+//! load balancer and a telco access gateway (vPE). This crate builds those
+//! pipelines as plain [`openflow::Pipeline`] values — consumable by every
+//! datapath in the workspace — together with the matching traffic mixes
+//! (parameterised by the number of *active flows*, the x-axis of most
+//! figures), a synthetic routing-table sampler standing in for the paper's
+//! "real Internet router" tables, and a snort-like ACL generator for the
+//! table-decomposition stress test.
+
+pub mod acl;
+pub mod prefixes;
+pub mod traffic;
+pub mod usecases;
+
+pub use acl::{generate_acl_table, AclConfig};
+pub use prefixes::{sample_routing_table, PrefixTableConfig};
+pub use traffic::FlowSet;
+pub use usecases::gateway::{self, GatewayConfig};
+pub use usecases::l2::{self, L2Config};
+pub use usecases::l3::{self, L3Config};
+pub use usecases::load_balancer::{self, LoadBalancerConfig};

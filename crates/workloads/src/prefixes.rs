@@ -1,0 +1,172 @@
+//! Synthetic routing tables.
+//!
+//! The paper samples its L3 tables "from a real Internet router". A real
+//! table cannot ship with this repository, so this module generates tables
+//! with the structural properties the experiments depend on: a realistic
+//! prefix-length distribution (dominated by /24s, with a fat /16–/23 band and
+//! a thin tail of short prefixes and host routes), disjoint-enough prefixes
+//! that the table's priority structure is LPM-consistent, and a matching
+//! address sampler so generated traffic actually hits installed routes.
+
+use pkt::ipv4::{prefix_mask, Ipv4Addr4};
+use rand::prelude::*;
+
+/// Configuration of the synthetic routing table.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixTableConfig {
+    /// Number of prefixes to generate.
+    pub prefixes: usize,
+    /// RNG seed (tables are deterministic given the seed).
+    pub seed: u64,
+    /// Number of distinct next hops (output ports) to spread routes over.
+    pub next_hops: u32,
+}
+
+impl Default for PrefixTableConfig {
+    fn default() -> Self {
+        PrefixTableConfig {
+            prefixes: 10_000,
+            seed: 0x5eed,
+            next_hops: 16,
+        }
+    }
+}
+
+/// One route: prefix, length and the output port it forwards to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Network address (already masked to the prefix length).
+    pub prefix: Ipv4Addr4,
+    /// Prefix length in bits.
+    pub len: u8,
+    /// Output port (next hop).
+    pub next_hop: u32,
+}
+
+/// Empirical-ish prefix length distribution: (length, relative weight).
+/// Roughly mirrors the shape of a default-free zone table: >50% /24, a broad
+/// /19–/23 band, some /16s and a small number of short prefixes.
+const LENGTH_WEIGHTS: [(u8, u32); 10] = [
+    (8, 1),
+    (12, 2),
+    (16, 10),
+    (18, 5),
+    (19, 6),
+    (20, 8),
+    (21, 8),
+    (22, 12),
+    (23, 10),
+    (24, 55),
+];
+
+/// Samples a routing table.
+///
+/// Duplicate (prefix, length) pairs are discarded, so the returned table can
+/// be slightly smaller than requested for very large sizes; the experiments
+/// only depend on the order of magnitude.
+pub fn sample_routing_table(config: &PrefixTableConfig) -> Vec<Route> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let total_weight: u32 = LENGTH_WEIGHTS.iter().map(|(_, w)| w).sum();
+    let mut seen = std::collections::HashSet::new();
+    let mut routes = Vec::with_capacity(config.prefixes);
+    while routes.len() < config.prefixes {
+        let mut pick = rng.gen_range(0..total_weight);
+        let mut len = 24;
+        for (l, w) in LENGTH_WEIGHTS {
+            if pick < w {
+                len = l;
+                break;
+            }
+            pick -= w;
+        }
+        // Stay inside 1.0.0.0/8 .. 223.0.0.0/8 (unicast space).
+        let addr: u32 = rng.gen_range(0x0100_0000..0xe000_0000);
+        let prefix = addr & prefix_mask(len);
+        if !seen.insert((prefix, len)) {
+            continue;
+        }
+        routes.push(Route {
+            prefix: Ipv4Addr4::from_u32(prefix),
+            len,
+            next_hop: rng.gen_range(0..config.next_hops.max(1)),
+        });
+    }
+    routes
+}
+
+/// Samples `count` destination addresses that are covered by the given
+/// routing table (each address falls inside a randomly chosen route), so the
+/// generated traffic exercises the LPM rather than the table-miss path.
+pub fn sample_covered_addresses(routes: &[Route], count: usize, seed: u64) -> Vec<Ipv4Addr4> {
+    assert!(!routes.is_empty(), "cannot sample addresses from an empty table");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let route = routes[rng.gen_range(0..routes.len())];
+            let host_bits = 32 - u32::from(route.len);
+            let host: u32 = if host_bits == 0 {
+                0
+            } else {
+                rng.gen_range(0..(1u64 << host_bits)) as u32
+            };
+            Ipv4Addr4::from_u32(route.prefix.to_u32() | host)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_requested_size_and_is_deterministic() {
+        let config = PrefixTableConfig {
+            prefixes: 2_000,
+            seed: 7,
+            next_hops: 8,
+        };
+        let a = sample_routing_table(&config);
+        let b = sample_routing_table(&config);
+        assert_eq!(a.len(), 2_000);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.next_hop < 8));
+        assert!(a.iter().all(|r| r.prefix.to_u32() & prefix_mask(r.len) == r.prefix.to_u32()));
+    }
+
+    #[test]
+    fn length_distribution_is_dominated_by_long_prefixes() {
+        let routes = sample_routing_table(&PrefixTableConfig {
+            prefixes: 5_000,
+            seed: 1,
+            next_hops: 4,
+        });
+        let slash24 = routes.iter().filter(|r| r.len == 24).count();
+        let short = routes.iter().filter(|r| r.len <= 16).count();
+        assert!(slash24 > routes.len() / 3, "/24 share too small: {slash24}");
+        assert!(short < routes.len() / 4, "short prefixes overrepresented");
+    }
+
+    #[test]
+    fn covered_addresses_fall_inside_routes() {
+        let routes = sample_routing_table(&PrefixTableConfig {
+            prefixes: 500,
+            seed: 2,
+            next_hops: 4,
+        });
+        let addrs = sample_covered_addresses(&routes, 1_000, 3);
+        assert_eq!(addrs.len(), 1_000);
+        for addr in addrs {
+            assert!(
+                routes.iter().any(|r| addr.in_prefix(r.prefix, r.len)),
+                "{addr} not covered by any route"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_tables() {
+        let a = sample_routing_table(&PrefixTableConfig { prefixes: 100, seed: 1, next_hops: 4 });
+        let b = sample_routing_table(&PrefixTableConfig { prefixes: 100, seed: 2, next_hops: 4 });
+        assert_ne!(a, b);
+    }
+}

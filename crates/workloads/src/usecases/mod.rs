@@ -1,0 +1,24 @@
+//! The four evaluation use cases of §4.1.
+//!
+//! Each module builds the use case's OpenFlow pipeline (consumable by every
+//! datapath: the direct reference interpreter, the OVS-style cache hierarchy
+//! and the ESWITCH compiler) and the matching traffic mix parameterised by
+//! the number of active flows.
+//!
+//! | module | paper use case | pipeline shape |
+//! |---|---|---|
+//! | [`l2`] | Layer-2 switching | single MAC table (exact match) |
+//! | [`l3`] | Layer-3 routing | single IP prefix table (LPM) |
+//! | [`load_balancer`] | web front-end | single heterogeneous table (Fig. 7a), decomposable into Fig. 7b |
+//! | [`gateway`] | telco access gateway (vPE) | multi-stage: port/VLAN demux → per-CE NAT tables → IP routing (Fig. 8) |
+
+pub mod gateway;
+pub mod l2;
+pub mod l3;
+pub mod load_balancer;
+
+/// Conventional port numbering shared by the use cases: port 0 faces the
+/// users / internal side, port 1 faces the network / external side.
+pub const PORT_USER: u32 = 0;
+/// Network-facing port.
+pub const PORT_NET: u32 = 1;

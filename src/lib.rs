@@ -1,0 +1,14 @@
+//! Umbrella crate for the ESWITCH reproduction workspace.
+//!
+//! This crate re-exports the public API of every workspace member so that the
+//! examples and cross-crate integration tests under the repository root can
+//! use a single import path. Downstream users should normally depend on the
+//! individual crates (`eswitch`, `ovsdp`, `openflow`, ...) directly.
+
+pub use cpumodel;
+pub use eswitch;
+pub use netdev;
+pub use openflow;
+pub use ovsdp;
+pub use pkt;
+pub use workloads;

@@ -1,0 +1,207 @@
+//! Property-based tests on the core data structures and invariants:
+//! the DIR-24-8 LPM versus a linear-scan oracle, the collision-free hash
+//! versus `HashMap`, match/mask algebra, parser robustness against arbitrary
+//! bytes, and semantic preservation of flow-table decomposition.
+
+use std::collections::HashMap;
+
+use eswitch::decompose::decompose_table;
+use netdev::{Lpm, PerfectHash};
+use openflow::flow_match::{FlowMatch, MatchField};
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, FlowKey, FlowTable, Pipeline};
+use pkt::builder::PacketBuilder;
+use pkt::ipv4::{prefix_mask, Ipv4Addr4};
+use pkt::parser::{parse, ParseDepth};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The DIR-24-8 structure agrees with a brute-force longest-prefix scan
+    /// for arbitrary rule sets and lookups.
+    #[test]
+    fn lpm_matches_linear_scan(
+        rules in prop::collection::vec((any::<u32>(), 0u8..=32, 1u16..100), 1..60),
+        lookups in prop::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let mut lpm = Lpm::new();
+        let mut oracle: Vec<(u32, u8, u16)> = Vec::new();
+        for (addr, len, hop) in rules {
+            let prefix = addr & prefix_mask(len);
+            lpm.add(Ipv4Addr4::from_u32(prefix), len, hop).unwrap();
+            oracle.retain(|(p, l, _)| !(*p == prefix && *l == len));
+            oracle.push((prefix, len, hop));
+        }
+        for addr in lookups {
+            let expected = oracle
+                .iter()
+                .filter(|(p, l, _)| addr & prefix_mask(*l) == *p)
+                .max_by_key(|(_, l, _)| *l)
+                .map(|(_, _, h)| *h);
+            prop_assert_eq!(lpm.lookup(Ipv4Addr4::from_u32(addr)), expected);
+        }
+    }
+
+    /// After deletions the LPM still agrees with the oracle.
+    #[test]
+    fn lpm_delete_matches_linear_scan(
+        rules in prop::collection::vec((any::<u32>(), 8u8..=32, 1u16..50), 5..40),
+        delete_every in 2usize..5,
+        lookups in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut lpm = Lpm::new();
+        let mut oracle: HashMap<(u32, u8), u16> = HashMap::new();
+        for (addr, len, hop) in &rules {
+            let prefix = addr & prefix_mask(*len);
+            lpm.add(Ipv4Addr4::from_u32(prefix), *len, *hop).unwrap();
+            oracle.insert((prefix, *len), *hop);
+        }
+        for (i, (addr, len, _)) in rules.iter().enumerate() {
+            if i % delete_every == 0 {
+                let prefix = addr & prefix_mask(*len);
+                if oracle.remove(&(prefix, *len)).is_some() {
+                    lpm.delete(Ipv4Addr4::from_u32(prefix), *len).unwrap();
+                }
+            }
+        }
+        for addr in lookups {
+            let expected = oracle
+                .iter()
+                .filter(|((p, l), _)| addr & prefix_mask(*l) == *p)
+                .max_by_key(|((_, l), _)| *l)
+                .map(|(_, h)| *h);
+            prop_assert_eq!(lpm.lookup(Ipv4Addr4::from_u32(addr)), expected);
+        }
+    }
+
+    /// The collision-free hash behaves exactly like a `HashMap` under an
+    /// arbitrary interleaving of inserts, removes and rebuilds.
+    #[test]
+    fn perfect_hash_matches_hashmap(
+        ops in prop::collection::vec((any::<u8>(), 0u128..500, any::<u16>()), 1..200),
+    ) {
+        let mut ph: PerfectHash<u16> = PerfectHash::new();
+        let mut oracle: HashMap<u128, u16> = HashMap::new();
+        for (op, key, value) in ops {
+            match op % 4 {
+                0 | 1 => {
+                    ph.insert(key, value);
+                    oracle.insert(key, value);
+                }
+                2 => {
+                    prop_assert_eq!(ph.remove(key), oracle.remove(&key));
+                }
+                _ => ph.rebuild(),
+            }
+            prop_assert_eq!(ph.len(), oracle.len());
+        }
+        for (k, v) in &oracle {
+            prop_assert_eq!(ph.get(*k), Some(v));
+        }
+    }
+
+    /// Prefix-mask constructors and the prefix-length recogniser are inverses.
+    #[test]
+    fn prefix_len_roundtrip(len in 0u32..=32, value in any::<u32>()) {
+        let mf = MatchField::prefix(Field::Ipv4Dst, u128::from(value), len);
+        prop_assert_eq!(mf.prefix_len(), Some(len));
+        // The masked value always satisfies its own match.
+        prop_assert!(mf.matches_value(u128::from(value)));
+    }
+
+    /// The parser never panics and never reports layers beyond the frame, for
+    /// completely arbitrary input bytes.
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let headers = parse(&bytes, ParseDepth::L4);
+        if headers.has_tcp() || headers.has_udp() {
+            prop_assert!(usize::from(headers.l4_offset) < bytes.len());
+        }
+        if headers.has_ipv4() {
+            prop_assert!(usize::from(headers.l3_offset) + 20 <= bytes.len());
+        }
+    }
+
+    /// FlowKey extraction is consistent with the matcher-template field loads
+    /// for arbitrary well-formed packets.
+    #[test]
+    fn flow_key_and_template_loads_agree(
+        dst_port in any::<u16>(),
+        src_port in any::<u16>(),
+        ip_last in any::<u8>(),
+        vlan in prop::option::of(1u16..4095),
+    ) {
+        let mut builder = PacketBuilder::tcp()
+            .tcp_src(src_port)
+            .tcp_dst(dst_port)
+            .ipv4_dst([192, 0, 2, ip_last]);
+        if let Some(vid) = vlan {
+            builder = builder.vlan(vid);
+        }
+        let packet = builder.build();
+        let key = FlowKey::extract(&packet);
+        let headers = parse(packet.data(), ParseDepth::L4);
+        let regs = eswitch::templates::matcher::Regs { in_port: packet.in_port, ..Default::default() };
+        for field in [Field::TcpDst, Field::TcpSrc, Field::Ipv4Dst, Field::EthDst, Field::VlanVid] {
+            prop_assert_eq!(
+                eswitch::templates::matcher::load_field(field, packet.data(), &headers, &regs),
+                key.get(field),
+                "field {:?}", field
+            );
+        }
+    }
+
+    /// Decomposing a random exact-or-wildcard table preserves its semantics.
+    #[test]
+    fn decomposition_preserves_semantics(
+        rows in prop::collection::vec(
+            (prop::option::of(0u8..4), prop::option::of(0u16..4), prop::option::of(0u8..3), 0u32..4),
+            1..12,
+        ),
+        packets in prop::collection::vec((0u8..5, 0u16..5, 0u8..4), 1..30),
+    ) {
+        let mut table = FlowTable::new(0);
+        let row_count = rows.len() as u16;
+        for (i, (ip, port, proto, out)) in rows.into_iter().enumerate() {
+            let mut m = FlowMatch::any();
+            if let Some(ip) = ip {
+                m = m.with_exact(Field::Ipv4Dst, u128::from(u32::from_be_bytes([10, 0, 0, ip])));
+            }
+            if let Some(port) = port {
+                m = m.with_exact(Field::TcpDst, u128::from(1000 + port));
+            }
+            if let Some(proto) = proto {
+                m = m.with_exact(Field::IpDscp, u128::from(proto));
+            }
+            table.insert(FlowEntry::new(
+                m,
+                100 + row_count - i as u16,
+                terminal_actions(vec![Action::Output(out)]),
+            ));
+        }
+        let mut original = Pipeline::new();
+        original.add_table(table.clone());
+
+        let mut next_id = 1;
+        let mut decomposed = Pipeline::new();
+        for t in decompose_table(&table, &mut next_id) {
+            decomposed.add_table(t);
+        }
+        prop_assert!(decomposed.validate().is_ok());
+
+        for (ip, port, dscp) in packets {
+            let packet = PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, ip])
+                .tcp_dst(1000 + port)
+                .dscp(dscp)
+                .build();
+            let mut a = packet.clone();
+            let mut b = packet;
+            prop_assert_eq!(
+                original.process(&mut a).decision(),
+                decomposed.process(&mut b).decision()
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the three datapath architectures (direct
+//! reference interpreter, OVS-style cache hierarchy, compiled ESWITCH) must
+//! agree packet-for-packet on randomly generated pipelines and traffic.
+//!
+//! This is the master correctness property of the reproduction: dataplane
+//! specialization (and flow caching) are *optimisations*, never semantic
+//! changes.
+
+use eswitch::runtime::EswitchRuntime;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::{actions_then_goto, terminal_actions};
+use openflow::{Action, DirectDatapath, Field, FlowEntry, Pipeline};
+use ovsdp::OvsDatapath;
+use pkt::builder::PacketBuilder;
+use pkt::Packet;
+use proptest::prelude::*;
+
+/// A restricted but expressive random rule: exact or prefix matches over the
+/// fields the use cases exercise, forwarding to a small port set.
+fn arb_rule() -> impl Strategy<Value = FlowEntry> {
+    let field_matches = prop::collection::vec(
+        prop_oneof![
+            (0u32..4).prop_map(|p| (Field::InPort, u128::from(p), 32u32)),
+            (0u64..16).prop_map(|m| (Field::EthDst, u128::from(0x0200_0000_0000 + m), 48u32)),
+            (0u8..4).prop_map(|x| (Field::Ipv4Dst, u128::from(u32::from_be_bytes([10, 0, 0, x])), 32u32)),
+            (8u32..=24).prop_map(|len| {
+                (Field::Ipv4Dst, u128::from(u32::from_be_bytes([10, 0, 0, 0])), len)
+            }),
+            (0u16..4).prop_map(|p| (Field::TcpDst, u128::from(80 + p), 16u32)),
+            Just((Field::IpProto, 6u128, 8u32)),
+        ],
+        0..3,
+    );
+    (field_matches, 1u16..200, 0u32..4).prop_map(|(fields, priority, out_port)| {
+        let mut m = FlowMatch::any();
+        for (field, value, len) in fields {
+            if len >= field.width_bits() {
+                m = m.with_exact(field, value);
+            } else {
+                m = m.with_prefix(field, value, len);
+            }
+        }
+        FlowEntry::new(m, priority, terminal_actions(vec![Action::Output(out_port)]))
+    })
+}
+
+/// A random 1- or 2-table pipeline; a fraction of table-0 rules forward to
+/// table 1 instead of outputting directly.
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    (
+        prop::collection::vec(arb_rule(), 1..20),
+        prop::collection::vec(arb_rule(), 0..10),
+        any::<bool>(),
+    )
+        .prop_map(|(t0_rules, t1_rules, add_catch_all)| {
+            let two_stage = !t1_rules.is_empty();
+            let mut pipeline = Pipeline::with_tables(if two_stage { 2 } else { 1 });
+            for (i, mut rule) in t0_rules.into_iter().enumerate() {
+                if two_stage && i % 3 == 0 {
+                    rule.instructions =
+                        actions_then_goto(vec![Action::SetField(Field::IpDscp, 10)], 1);
+                }
+                pipeline.table_mut(0).unwrap().insert(rule);
+            }
+            for rule in t1_rules {
+                pipeline.table_mut(1).unwrap().insert(rule);
+            }
+            if add_catch_all {
+                pipeline.table_mut(0).unwrap().insert(FlowEntry::new(
+                    FlowMatch::any(),
+                    0,
+                    terminal_actions(vec![Action::Output(3)]),
+                ));
+            }
+            pipeline
+        })
+}
+
+/// Random packets drawn from the same small universe the rules match over.
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u32..4,
+        0u64..20,
+        0u8..6,
+        75u16..90,
+        1000u16..1010,
+        any::<bool>(),
+    )
+        .prop_map(|(in_port, mac, ip_last, dport, sport, udp)| {
+            let builder = if udp {
+                PacketBuilder::udp().udp_src(sport).udp_dst(dport)
+            } else {
+                PacketBuilder::tcp().tcp_src(sport).tcp_dst(dport)
+            };
+            builder
+                .eth_dst(pkt::MacAddr::from_u64(0x0200_0000_0000 + mac).octets())
+                .ipv4_dst([10, 0, 0, ip_last])
+                .in_port(in_port)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All three architectures produce identical forwarding decisions and
+    /// identical rewritten packets.
+    #[test]
+    fn datapaths_agree_on_random_pipelines(
+        pipeline in arb_pipeline(),
+        packets in prop::collection::vec(arb_packet(), 1..40),
+    ) {
+        let direct = DirectDatapath::new(pipeline.clone());
+        let ovs = OvsDatapath::new(pipeline.clone());
+        let eswitch = EswitchRuntime::compile(pipeline).expect("random pipeline compiles");
+        for packet in packets {
+            let mut a = packet.clone();
+            let mut b = packet.clone();
+            let mut c = packet.clone();
+            let reference = direct.process(&mut a);
+            let cached = ovs.process(&mut b);
+            let compiled = eswitch.process(&mut c);
+            prop_assert_eq!(reference.decision(), cached.decision());
+            prop_assert_eq!(reference.decision(), compiled.decision());
+            prop_assert_eq!(a.data(), b.data());
+            prop_assert_eq!(a.data(), c.data());
+        }
+    }
+
+    /// Replaying the same traffic twice through the caching datapath (cold
+    /// then warm caches) yields identical decisions: caching is transparent.
+    #[test]
+    fn ovs_caching_is_transparent_across_replays(
+        pipeline in arb_pipeline(),
+        packets in prop::collection::vec(arb_packet(), 1..20),
+    ) {
+        let ovs = OvsDatapath::new(pipeline);
+        let first: Vec<_> = packets
+            .iter()
+            .map(|p| ovs.process(&mut p.clone()).decision())
+            .collect();
+        let second: Vec<_> = packets
+            .iter()
+            .map(|p| ovs.process(&mut p.clone()).decision())
+            .collect();
+        prop_assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,196 @@
+//! End-to-end integration tests over the four evaluation use cases: the
+//! compiled datapath and the flow-caching datapath must agree with the
+//! reference interpreter, the expected templates must be selected, and the
+//! cache-hierarchy behaviour the figures rely on must be observable.
+
+use eswitch::analysis::{CompilerConfig, TemplateKind};
+use eswitch::runtime::EswitchRuntime;
+use openflow::{DirectDatapath, NullController};
+use ovsdp::OvsDatapath;
+use workloads::gateway::{self, GatewayConfig};
+use workloads::l2::{self, L2Config};
+use workloads::l3::{self, L3Config};
+use workloads::load_balancer::{self, LoadBalancerConfig};
+use workloads::FlowSet;
+
+/// Checks that every architecture agrees with the direct interpreter over one
+/// full cycle of the traffic mix.
+fn assert_all_agree(pipeline_builder: impl Fn() -> openflow::Pipeline, traffic: &FlowSet) {
+    let direct = DirectDatapath::new(pipeline_builder());
+    let ovs = OvsDatapath::new(pipeline_builder());
+    let eswitch = EswitchRuntime::compile(pipeline_builder()).expect("compiles");
+    for (i, packet) in traffic.one_cycle().enumerate() {
+        let mut a = packet.clone();
+        let mut b = packet.clone();
+        let mut c = packet;
+        let reference = direct.process(&mut a).decision();
+        assert_eq!(ovs.process(&mut b).decision(), reference, "OVS diverged at {i}");
+        assert_eq!(eswitch.process(&mut c).decision(), reference, "ESWITCH diverged at {i}");
+    }
+}
+
+#[test]
+fn l2_use_case_compiles_to_hash_and_agrees() {
+    let config = L2Config {
+        table_size: 200,
+        ports: 4,
+        seed: 21,
+    };
+    let eswitch = EswitchRuntime::compile(l2::build_pipeline(&config)).unwrap();
+    assert_eq!(
+        eswitch.datapath().template_kinds(),
+        vec![(0, TemplateKind::CompoundHash)]
+    );
+    assert_all_agree(|| l2::build_pipeline(&config), &l2::build_traffic(&config, 500));
+}
+
+#[test]
+fn l3_use_case_compiles_to_lpm_and_agrees() {
+    let config = L3Config {
+        prefixes: 500,
+        next_hops: 8,
+        seed: 22,
+    };
+    let eswitch = EswitchRuntime::compile(l3::build_pipeline(&config)).unwrap();
+    assert_eq!(
+        eswitch.datapath().template_kinds(),
+        vec![(0, TemplateKind::Lpm)]
+    );
+    assert_all_agree(|| l3::build_pipeline(&config), &l3::build_traffic(&config, 500));
+}
+
+#[test]
+fn load_balancer_decomposition_promotes_templates_and_agrees() {
+    let config = LoadBalancerConfig {
+        services: 20,
+        seed: 23,
+    };
+    // Without decomposition the single heterogeneous table is a linked list.
+    let naive = EswitchRuntime::compile(load_balancer::build_pipeline(&config)).unwrap();
+    assert_eq!(
+        naive.datapath().template_kinds(),
+        vec![(0, TemplateKind::LinkedList)]
+    );
+
+    // With decomposition every compiled table is a fast template.
+    let decomposed = EswitchRuntime::with_config(
+        load_balancer::build_pipeline(&config),
+        CompilerConfig {
+            enable_decomposition: true,
+            ..CompilerConfig::default()
+        },
+        Box::new(NullController::new()),
+    )
+    .unwrap();
+    assert!(decomposed.datapath().template_kinds().len() > 1);
+    for (id, kind) in decomposed.datapath().template_kinds() {
+        assert_ne!(kind, TemplateKind::LinkedList, "table {id} still linked list");
+    }
+
+    // And the decomposed compiled datapath still agrees with the reference.
+    let traffic = load_balancer::build_traffic(&config, 400);
+    let reference = DirectDatapath::new(load_balancer::build_pipeline(&config));
+    for packet in traffic.one_cycle() {
+        let mut a = packet.clone();
+        let mut b = packet;
+        assert_eq!(
+            decomposed.process(&mut b).decision(),
+            reference.process(&mut a).decision()
+        );
+    }
+}
+
+#[test]
+fn gateway_use_case_agrees_in_both_directions() {
+    let config = GatewayConfig {
+        ces: 4,
+        users_per_ce: 5,
+        routing_prefixes: 500,
+        seed: 24,
+        preinstall_users: true,
+    };
+    assert_all_agree(
+        || gateway::build_pipeline(&config),
+        &gateway::build_traffic(&config, 300),
+    );
+    assert_all_agree(
+        || gateway::build_pipeline(&config),
+        &gateway::build_downstream_traffic(&config, 300),
+    );
+}
+
+#[test]
+fn gateway_templates_match_the_paper_mapping() {
+    // "ESWITCH compiles this pipeline using the hash template for each table
+    // except for Table 110 that is mapped to the LPM store."
+    let config = GatewayConfig {
+        ces: 3,
+        users_per_ce: 10,
+        routing_prefixes: 1_000,
+        seed: 25,
+        preinstall_users: true,
+    };
+    let eswitch = EswitchRuntime::compile(gateway::build_pipeline(&config)).unwrap();
+    for (id, kind) in eswitch.datapath().template_kinds() {
+        if id == gateway::ROUTING_TABLE {
+            assert_eq!(kind, TemplateKind::Lpm, "routing table must be LPM");
+        } else {
+            assert!(
+                matches!(kind, TemplateKind::CompoundHash | TemplateKind::DirectCode),
+                "table {id} unexpectedly compiled to {kind:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ovs_hierarchy_shifts_with_active_flow_count() {
+    // The Fig. 14 mechanism: with few flows the microflow cache answers most
+    // packets; with many flows its hit share collapses.
+    let config = GatewayConfig {
+        ces: 4,
+        users_per_ce: 10,
+        routing_prefixes: 500,
+        seed: 26,
+        preinstall_users: true,
+    };
+    let few = OvsDatapath::new(gateway::build_pipeline(&config));
+    let traffic_few = gateway::build_traffic(&config, 10);
+    for i in 0..5_000 {
+        few.process(&mut traffic_few.packet(i));
+    }
+    let (micro_few, _, _) = few.stats.hit_fractions();
+
+    let many = OvsDatapath::new(gateway::build_pipeline(&config));
+    let traffic_many = gateway::build_traffic(&config, 50_000);
+    for i in 0..5_000 {
+        many.process(&mut traffic_many.packet(i));
+    }
+    let (micro_many, _, slow_many) = many.stats.hit_fractions();
+
+    assert!(micro_few > 0.9, "few flows should be microflow-dominated: {micro_few}");
+    assert!(micro_many < 0.5, "many flows must thrash the microflow cache: {micro_many}");
+    assert!(slow_many > 0.0, "many flows must reach the slow path");
+}
+
+#[test]
+fn eswitch_work_is_flow_count_independent() {
+    // The compiled datapath visits the same tables regardless of how many
+    // flows are active — the structural reason behind its flat curves.
+    let config = GatewayConfig {
+        ces: 4,
+        users_per_ce: 5,
+        routing_prefixes: 300,
+        seed: 27,
+        preinstall_users: true,
+    };
+    let eswitch = EswitchRuntime::compile(gateway::build_pipeline(&config)).unwrap();
+    for flows in [1usize, 1_000] {
+        let traffic = gateway::build_traffic(&config, flows);
+        for packet in traffic.one_cycle().take(200) {
+            let mut p = packet;
+            let verdict = eswitch.process(&mut p);
+            assert_eq!(verdict.tables_visited, 3, "upstream walk is always 3 tables");
+        }
+    }
+}
