@@ -130,14 +130,21 @@ fn bench_templates(c: &mut Criterion) {
             pipeline.table_mut(0).unwrap().insert(FlowEntry::new(
                 FlowMatch::any()
                     .with_exact(Field::VlanVid, 3)
-                    .with_exact(Field::Ipv4Src, u128::from(u32::from_be_bytes([10, 0, 0, 3])))
+                    .with_exact(
+                        Field::Ipv4Src,
+                        u128::from(u32::from_be_bytes([10, 0, 0, 3])),
+                    )
                     .with_exact(Field::IpProto, 17)
                     .with_exact(Field::UdpDst, u128::from(n)),
                 100,
                 terminal_actions(vec![Action::Output(1)]),
             ));
         }
-        let mut packet = PacketBuilder::udp().vlan(3).ipv4_src([10, 0, 0, 3]).udp_dst(entries as u16).build();
+        let mut packet = PacketBuilder::udp()
+            .vlan(3)
+            .ipv4_src([10, 0, 0, 3])
+            .udp_dst(entries as u16)
+            .build();
         for (label, limit) in [("direct", usize::MAX), ("hash", 0)] {
             let dp = eswitch::compile::compile(
                 &pipeline,
@@ -147,11 +154,9 @@ fn bench_templates(c: &mut Criterion) {
                 },
             )
             .expect("compiles");
-            group.bench_with_input(
-                BenchmarkId::new(label, entries),
-                &entries,
-                |b, _| b.iter(|| std::hint::black_box(dp.process(&mut packet))),
-            );
+            group.bench_with_input(BenchmarkId::new(label, entries), &entries, |b, _| {
+                b.iter(|| std::hint::black_box(dp.process(&mut packet)))
+            });
         }
     }
     group.finish();

@@ -25,7 +25,10 @@ fn synthetic_pipeline(entries: usize) -> Pipeline {
         t.insert(FlowEntry::new(
             FlowMatch::any()
                 .with_exact(Field::VlanVid, 3)
-                .with_exact(Field::Ipv4Src, u128::from(u32::from_be_bytes([10, 0, 0, 3])))
+                .with_exact(
+                    Field::Ipv4Src,
+                    u128::from(u32::from_be_bytes([10, 0, 0, 3])),
+                )
                 .with_exact(Field::IpProto, 17)
                 .with_exact(Field::UdpDst, u128::from(n)),
             100,

@@ -6,7 +6,9 @@
 //! by the microflow cache; as the flow set grows processing shifts first to
 //! the megaflow cache and then increasingly to the slow path.
 
-use bench_harness::{flow_sweep, packets_per_point, print_header, render_series_table, warmup_packets, Series};
+use bench_harness::{
+    flow_sweep, packets_per_point, print_header, render_series_table, warmup_packets, Series,
+};
 use ovsdp::OvsDatapath;
 use workloads::gateway::{self, GatewayConfig};
 
@@ -46,5 +48,8 @@ fn main() {
         );
     }
     println!("\ncache hit fraction per packet\n");
-    println!("{}", render_series_table("active flows", &[micro, mega, slow]));
+    println!(
+        "{}",
+        render_series_table("active flows", &[micro, mega, slow])
+    );
 }

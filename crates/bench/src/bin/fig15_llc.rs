@@ -9,7 +9,9 @@
 //! stays around or below ~0.1 misses/packet across the sweep, OVS climbs past
 //! 1 miss/packet once the flow set outgrows its caches.
 
-use bench_harness::{flow_sweep, packets_per_point, print_header, render_series_table, warmup_packets, Series};
+use bench_harness::{
+    flow_sweep, packets_per_point, print_header, render_series_table, warmup_packets, Series,
+};
 use cpumodel::CacheHierarchy;
 use eswitch::runtime::EswitchRuntime;
 use ovsdp::OvsDatapath;
@@ -59,5 +61,8 @@ fn main() {
     }
 
     println!("LLC-load-misses per packet (modelled)\n");
-    println!("{}", render_series_table("active flows", &[es_series, ovs_series]));
+    println!(
+        "{}",
+        render_series_table("active flows", &[es_series, ovs_series])
+    );
 }

@@ -50,10 +50,19 @@ fn main() {
     let mut lb = Series::new("ES(model-lb)");
     for &flows in &sweep {
         // Upper latency bound = pessimistic (all-L3) cycles; lower = all-L1.
-        ub.push(flows as f64, estimate.cycles_per_packet(&costs, CacheAssumption::AllL3));
-        lb.push(flows as f64, estimate.cycles_per_packet(&costs, CacheAssumption::AllL1));
+        ub.push(
+            flows as f64,
+            estimate.cycles_per_packet(&costs, CacheAssumption::AllL3),
+        );
+        lb.push(
+            flows as f64,
+            estimate.cycles_per_packet(&costs, CacheAssumption::AllL1),
+        );
     }
 
     println!("CPU cycles per packet (reference 2 GHz clock)\n");
-    println!("{}", render_series_table("active flows", &[lb, es, ub, ovs]));
+    println!(
+        "{}",
+        render_series_table("active flows", &[lb, es, ub, ovs])
+    );
 }

@@ -108,7 +108,11 @@ fn main() {
             };
             s.push(ups.max(1) as f64, rate / unloaded);
         }
-        println!("  {} unloaded rate: {:.2} Mpps-equivalent", kind.label(), unloaded / 1e6);
+        println!(
+            "  {} unloaded rate: {:.2} Mpps-equivalent",
+            kind.label(),
+            unloaded / 1e6
+        );
         series.push(s);
     }
 

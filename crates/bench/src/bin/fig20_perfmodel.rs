@@ -30,9 +30,18 @@ fn main() {
 
     let costs = CacheLevelCosts::default();
     for (label, assumption) in [
-        ("all accesses from L1 (optimistic upper bound)", CacheAssumption::AllL1),
-        ("all accesses from L2 (~1K active flows)", CacheAssumption::AllL2),
-        ("all accesses from L3 (pessimistic lower bound)", CacheAssumption::AllL3),
+        (
+            "all accesses from L1 (optimistic upper bound)",
+            CacheAssumption::AllL1,
+        ),
+        (
+            "all accesses from L2 (~1K active flows)",
+            CacheAssumption::AllL2,
+        ),
+        (
+            "all accesses from L3 (pessimistic lower bound)",
+            CacheAssumption::AllL3,
+        ),
     ] {
         println!(
             "{label}: {:.0} cycles/packet -> {:.2} Mpps",
@@ -40,5 +49,7 @@ fn main() {
             estimate.packet_rate(&costs, assumption) / 1e6
         );
     }
-    println!("\npaper reference: 178 cycles / 11.2 Mpps, 202 cycles / 9.9 Mpps, 253 cycles / 7.9 Mpps");
+    println!(
+        "\npaper reference: 178 cycles / 11.2 Mpps, 202 cycles / 9.9 Mpps, 253 cycles / 7.9 Mpps"
+    );
 }

@@ -21,10 +21,12 @@ fn pipeline_for(name: &str) -> Pipeline {
             next_hops: 4,
             seed: 1,
         }),
-        "lb" => workloads::load_balancer::build_pipeline(&workloads::load_balancer::LoadBalancerConfig {
-            services: 4,
-            seed: 1,
-        }),
+        "lb" => workloads::load_balancer::build_pipeline(
+            &workloads::load_balancer::LoadBalancerConfig {
+                services: 4,
+                seed: 1,
+            },
+        ),
         _ => workloads::gateway::build_pipeline(&workloads::gateway::GatewayConfig {
             ces: 2,
             users_per_ce: 3,
@@ -36,8 +38,13 @@ fn pipeline_for(name: &str) -> Pipeline {
 }
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "gateway".to_string());
-    print_header("show_datapath", &format!("compiled datapath dump for the '{which}' use case"));
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gateway".to_string());
+    print_header(
+        "show_datapath",
+        &format!("compiled datapath dump for the '{which}' use case"),
+    );
     let pipeline = pipeline_for(&which);
     println!(
         "input pipeline: {} tables, {} entries",
@@ -52,7 +59,10 @@ fn main() {
         let entries = datapath.slot(id).map(|s| s.table.read().len()).unwrap_or(0);
         println!("  table {id:>3}: {kind:?} ({entries} entries)");
     }
-    println!("\ndata-structure footprint: {} bytes", datapath.memory_footprint());
+    println!(
+        "\ndata-structure footprint: {} bytes",
+        datapath.memory_footprint()
+    );
 
     let estimate = PerformanceModel::new().estimate(&datapath);
     println!("\n{}", estimate.render_table());

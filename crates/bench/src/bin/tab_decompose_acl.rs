@@ -27,7 +27,10 @@ fn run(rules: usize) -> DecomposeStats {
         ..CompilerConfig::default()
     };
     let result = decompose_pipeline_with(&pipeline, &config);
-    result.pipeline.validate().expect("decomposed pipeline is well formed");
+    result
+        .pipeline
+        .validate()
+        .expect("decomposed pipeline is well formed");
 
     // Every resulting table must fit a fast template.
     let mut linked = 0;
@@ -45,7 +48,10 @@ fn main() {
         "Table (§3.2)",
         "flow-table decomposition of a five-tuple ACL into exact-match stages",
     );
-    println!("{:<12}{:>16}{:>16}{:>18}", "ACL rules", "tables out", "entries out", "paper reference");
+    println!(
+        "{:<12}{:>16}{:>16}{:>18}",
+        "ACL rules", "tables out", "entries out", "paper reference"
+    );
     for (rules, reference) in [(72usize, "50 tables"), (369, "197 tables")] {
         let stats = run(rules);
         println!(

@@ -23,7 +23,9 @@ pub use report::{render_series_table, Series};
 
 /// True when quick mode is requested (smaller packet counts and sweeps).
 pub fn quick_mode() -> bool {
-    std::env::var("ESWITCH_BENCH_QUICK").map(|v| v != "0").unwrap_or(false)
+    std::env::var("ESWITCH_BENCH_QUICK")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 /// Packets measured per data point (after warm-up), honouring quick mode.
@@ -67,7 +69,9 @@ pub fn print_header(figure: &str, description: &str) {
     }
     println!(
         "this run: {} logical cores, quick_mode={}",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         quick_mode()
     );
     println!("================================================================");

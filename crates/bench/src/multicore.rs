@@ -93,8 +93,24 @@ mod tests {
         let one = measure_multicore_throughput(make, &traffic, 1, 200, 60);
         let four = measure_multicore_throughput(make, &traffic, 4, 200, 60);
         assert!(one > 0.0);
-        // Allow generous noise margins; the point is that parallelism works
-        // and does not serialise on a global lock.
-        assert!(four > one * 1.2, "4-core rate {four} not above 1-core rate {one}");
+        assert!(four > 0.0);
+        // The scaling assertion needs actual hardware parallelism; on a
+        // single-CPU host four workers time-slice one core and can at best
+        // tie. Still require that parallelism does not *collapse* throughput
+        // (which would indicate serialisation on a contended global lock).
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus >= 4 {
+            // Allow generous noise margins; the point is that parallelism
+            // works and does not serialise on a global lock.
+            assert!(
+                four > one * 1.2,
+                "4-core rate {four} not above 1-core rate {one}"
+            );
+        } else {
+            assert!(
+                four > one * 0.5,
+                "4-core rate {four} collapsed vs 1-core rate {one}"
+            );
+        }
     }
 }

@@ -107,7 +107,9 @@ mod tests {
         assert!(table.contains("OVS(1)"));
         assert!(table.contains("14.00M"));
         // The x=1000 row exists and the missing ES value renders as '-'.
-        assert!(table.lines().any(|l| l.starts_with("1.0K") && l.contains('-')));
+        assert!(table
+            .lines()
+            .any(|l| l.starts_with("1.0K") && l.contains('-')));
         assert_eq!(a.y_at(10.0), Some(14.0e6));
         assert_eq!(a.y_at(99.0), None);
     }

@@ -209,7 +209,10 @@ mod tests {
         let t = table_with((0..100).map(|i| mac_entry(i, 10)).collect());
         let shape = compound_hash_shape(&t).unwrap();
         assert_eq!(shape, vec![(Field::EthDst, Field::EthDst.full_mask())]);
-        assert_eq!(select_template(&t, &CompilerConfig::default()), TemplateKind::CompoundHash);
+        assert_eq!(
+            select_template(&t, &CompilerConfig::default()),
+            TemplateKind::CompoundHash
+        );
     }
 
     #[test]
@@ -235,14 +238,22 @@ mod tests {
         let two = table_with(vec![
             FlowEntry::new(
                 FlowMatch::any()
-                    .with_prefix(Field::Ipv4Dst, u128::from(u32::from_be_bytes([192, 0, 2, 0])), 24)
+                    .with_prefix(
+                        Field::Ipv4Dst,
+                        u128::from(u32::from_be_bytes([192, 0, 2, 0])),
+                        24,
+                    )
                     .with_exact(Field::TcpDst, 80),
                 10,
                 vec![],
             ),
             FlowEntry::new(
                 FlowMatch::any()
-                    .with_prefix(Field::Ipv4Dst, u128::from(u32::from_be_bytes([198, 51, 100, 0])), 24)
+                    .with_prefix(
+                        Field::Ipv4Dst,
+                        u128::from(u32::from_be_bytes([198, 51, 100, 0])),
+                        24,
+                    )
                     .with_exact(Field::TcpDst, 21),
                 10,
                 vec![],
@@ -313,8 +324,14 @@ mod tests {
 
     #[test]
     fn fallback_chain_is_the_figure_4_chain() {
-        assert_eq!(TemplateKind::DirectCode.fallback(), Some(TemplateKind::CompoundHash));
-        assert_eq!(TemplateKind::CompoundHash.fallback(), Some(TemplateKind::Lpm));
+        assert_eq!(
+            TemplateKind::DirectCode.fallback(),
+            Some(TemplateKind::CompoundHash)
+        );
+        assert_eq!(
+            TemplateKind::CompoundHash.fallback(),
+            Some(TemplateKind::Lpm)
+        );
         assert_eq!(TemplateKind::Lpm.fallback(), Some(TemplateKind::LinkedList));
         assert_eq!(TemplateKind::LinkedList.fallback(), None);
     }

@@ -21,7 +21,9 @@ use openflow::table::TableMissBehavior;
 use openflow::{Action, Field, FieldValue, FlowEntry, FlowTable, Pipeline, PipelineError, Verdict};
 use pkt::Packet;
 
-use crate::analysis::{compound_hash_shape, lpm_shape, select_template, CompilerConfig, TemplateKind};
+use crate::analysis::{
+    compound_hash_shape, lpm_shape, select_template, CompilerConfig, TemplateKind,
+};
 use crate::templates::action::{ActionStore, CompiledAction, CompiledActionSet};
 use crate::templates::matcher::{CompiledMatcher, Regs};
 use crate::templates::parser::ParserTemplate;
@@ -131,7 +133,11 @@ impl CompiledDatapath {
     pub fn disassemble(&self) -> String {
         let mut out = self.parser.disassemble();
         for slot in &self.slots {
-            out.push_str(&format!("\n; ===== table {} ({:?}) =====\n", slot.id, slot.table.read().kind()));
+            out.push_str(&format!(
+                "\n; ===== table {} ({:?}) =====\n",
+                slot.id,
+                slot.table.read().kind()
+            ));
             out.push_str(&slot.table.read().disassemble());
         }
         out
@@ -164,10 +170,9 @@ impl CompiledDatapath {
                         write_sets.clear();
                     }
                     if let Some(apply) = &instrs.apply {
-                        let layout_sensitive = apply
-                            .actions()
-                            .iter()
-                            .any(|a| matches!(a, CompiledAction::PushVlan(_) | CompiledAction::PopVlan));
+                        let layout_sensitive = apply.actions().iter().any(|a| {
+                            matches!(a, CompiledAction::PushVlan(_) | CompiledAction::PopVlan)
+                        });
                         apply.execute(packet, &headers, &mut verdict);
                         if layout_sensitive {
                             headers = self.parser.parse(packet.data());
@@ -274,14 +279,22 @@ pub fn compile_table(
 ) -> CompiledTable {
     match select_template(table, config) {
         TemplateKind::DirectCode => CompiledTable::DirectCode(DirectCodeTable::new(
-            table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+            table
+                .entries()
+                .iter()
+                .map(|e| compile_entry(e, store))
+                .collect(),
         )),
         TemplateKind::CompoundHash => {
             let shape = compound_hash_shape(table).expect("selected template checked prerequisite");
             match build_hash(table, &shape, store) {
                 Ok(t) => CompiledTable::CompoundHash(t),
                 Err(_) => CompiledTable::LinkedList(LinkedListTable::new(
-                    table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+                    table
+                        .entries()
+                        .iter()
+                        .map(|e| compile_entry(e, store))
+                        .collect(),
                 )),
             }
         }
@@ -290,12 +303,20 @@ pub fn compile_table(
             match build_lpm(table, field, store) {
                 Ok(t) => CompiledTable::Lpm(t),
                 Err(_) => CompiledTable::LinkedList(LinkedListTable::new(
-                    table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+                    table
+                        .entries()
+                        .iter()
+                        .map(|e| compile_entry(e, store))
+                        .collect(),
                 )),
             }
         }
         TemplateKind::LinkedList => CompiledTable::LinkedList(LinkedListTable::new(
-            table.entries().iter().map(|e| compile_entry(e, store)).collect(),
+            table
+                .entries()
+                .iter()
+                .map(|e| compile_entry(e, store))
+                .collect(),
         )),
     }
 }
@@ -343,25 +364,63 @@ fn build_lpm(
             (mf.value as u32, len, compile_instructions(entry, store))
         })
         .collect();
-    LpmTable::new(field, rules, catch_all.map(|e| compile_instructions(e, store)))
+    LpmTable::new(
+        field,
+        rules,
+        catch_all.map(|e| compile_instructions(e, store)),
+    )
+}
+
+/// The header field an action needs parsed to execute, if any. Match fields
+/// alone do not determine parser depth: a pipeline that matches only on L2
+/// fields but rewrites DSCP (or decrements the TTL) still needs the IP header
+/// located, or the compiled action would silently no-op.
+fn action_touched_field(action: &Action) -> Option<Field> {
+    match action {
+        Action::SetField(field, _) => Some(*field),
+        Action::DecNwTtl => Some(Field::Ipv4Src),
+        _ => None,
+    }
+}
+
+/// Every field an entry's instructions read or write through the parser.
+pub(crate) fn instruction_fields(entry: &FlowEntry) -> impl Iterator<Item = Field> + '_ {
+    entry
+        .instructions
+        .iter()
+        .flat_map(|instruction| match instruction {
+            Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => {
+                actions.as_slice()
+            }
+            _ => &[],
+        })
+        .filter_map(action_touched_field)
 }
 
 /// Compiles a whole pipeline.
-pub fn compile(pipeline: &Pipeline, config: &CompilerConfig) -> Result<CompiledDatapath, CompileError> {
+pub fn compile(
+    pipeline: &Pipeline,
+    config: &CompilerConfig,
+) -> Result<CompiledDatapath, CompileError> {
     pipeline.validate()?;
     let mut store = ActionStore::new();
 
-    // Parser template: as deep as the deepest matched field, unless the
-    // prototype-style override forces a combined parser.
+    // Parser template: as deep as the deepest field matched *or touched by an
+    // action* anywhere in the pipeline, unless the prototype-style override
+    // forces a combined parser.
     let parser = match config.parser_depth_override {
         Some(depth) => ParserTemplate::with_depth(depth),
-        None => ParserTemplate::for_fields(
-            pipeline
-                .tables()
-                .iter()
-                .flat_map(|t| t.entries())
-                .flat_map(|e| e.flow_match.fields().iter().map(|mf| mf.field)),
-        ),
+        None => {
+            ParserTemplate::for_fields(pipeline.tables().iter().flat_map(|t| t.entries()).flat_map(
+                |e| {
+                    e.flow_match
+                        .fields()
+                        .iter()
+                        .map(|mf| mf.field)
+                        .chain(instruction_fields(e))
+                },
+            ))
+        }
     };
 
     let mut slots = Vec::with_capacity(pipeline.table_count());
@@ -442,7 +501,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let packets: Vec<Packet> = (0..200)
             .map(|_| {
-                let mac = 0x0200_0000_0000u64 + rng.gen_range(0..80);
+                let mac = 0x0200_0000_0000u64 + rng.gen_range(0u64..80);
                 PacketBuilder::udp()
                     .eth_dst(pkt::MacAddr::from_u64(mac).octets())
                     .build()
@@ -479,7 +538,11 @@ mod tests {
         ];
         for (addr, len, port) in prefixes {
             t.insert(FlowEntry::new(
-                FlowMatch::any().with_prefix(Field::Ipv4Dst, u128::from(u32::from_be_bytes(addr)), len),
+                FlowMatch::any().with_prefix(
+                    Field::Ipv4Dst,
+                    u128::from(u32::from_be_bytes(addr)),
+                    len,
+                ),
                 (len + 10) as u16,
                 terminal_actions(vec![Action::DecNwTtl, Action::Output(port)]),
             ));
@@ -546,16 +609,36 @@ mod tests {
         assert_eq!(dp.template_kinds().len(), 2);
 
         let packets: Vec<Packet> = vec![
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(22).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 9]).tcp_dst(80).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(1).build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(80)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(22)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 9])
+                .tcp_dst(80)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(80)
+                .in_port(1)
+                .build(),
             PacketBuilder::udp().in_port(1).build(),
         ];
         assert_equivalent(&pipeline, &packets);
 
         // The compiled fast path visits both tables for admitted web traffic.
-        let mut web = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(0).build();
+        let mut web = PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_dst(80)
+            .in_port(0)
+            .build();
         assert_eq!(dp.process(&mut web).tables_visited, 2);
     }
 
@@ -569,7 +652,9 @@ mod tests {
             10,
             actions_then_goto(vec![Action::SetField(Field::Ipv4Src, 0xcb007101)], 1),
         ));
-        p.table_mut(0).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p.table_mut(0)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
         let t1 = p.table_mut(1).unwrap();
         t1.insert(FlowEntry::new(
             FlowMatch::any().with_prefix(Field::Ipv4Dst, u128::from(0xc6336400u32), 24),
@@ -579,9 +664,54 @@ mod tests {
         t1.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
         let packets = vec![
-            PacketBuilder::udp().ipv4_src([10, 0, 0, 1]).ipv4_dst([198, 51, 100, 9]).build(),
-            PacketBuilder::udp().ipv4_src([10, 0, 0, 2]).ipv4_dst([198, 51, 100, 9]).build(),
-            PacketBuilder::udp().ipv4_src([10, 0, 0, 1]).ipv4_dst([8, 8, 8, 8]).build(),
+            PacketBuilder::udp()
+                .ipv4_src([10, 0, 0, 1])
+                .ipv4_dst([198, 51, 100, 9])
+                .build(),
+            PacketBuilder::udp()
+                .ipv4_src([10, 0, 0, 2])
+                .ipv4_dst([198, 51, 100, 9])
+                .build(),
+            PacketBuilder::udp()
+                .ipv4_src([10, 0, 0, 1])
+                .ipv4_dst([8, 8, 8, 8])
+                .build(),
+        ];
+        assert_equivalent(&p, &packets);
+    }
+
+    #[test]
+    fn parser_depth_covers_action_rewrites_not_just_matches() {
+        // Regression: a pipeline matching only L2 fields but rewriting DSCP
+        // (an L3 header byte) used to compile an L2-only parser, so the
+        // compiled set-field silently no-opped while the reference
+        // interpreter rewrote the packet.
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0001u64)),
+            10,
+            actions_then_goto(vec![Action::SetField(Field::IpDscp, 10)], 1),
+        ));
+        p.table_mut(0)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        let t1 = p.table_mut(1).unwrap();
+        t1.insert(FlowEntry::new(
+            FlowMatch::any(),
+            1,
+            terminal_actions(vec![Action::Output(2)]),
+        ));
+
+        let dp = compile_default(&p).unwrap();
+        assert!(dp.parser().depth() >= ParseDepth::L3);
+
+        let packets = vec![
+            PacketBuilder::udp()
+                .eth_dst(pkt::MacAddr::from_u64(0x0200_0000_0001).octets())
+                .build(),
+            PacketBuilder::udp()
+                .eth_dst(pkt::MacAddr::from_u64(0x0200_0000_0009).octets())
+                .build(),
         ];
         assert_equivalent(&p, &packets);
     }
@@ -602,7 +732,9 @@ mod tests {
             10,
             vec![Instruction::WriteActions(vec![Action::Output(5)])],
         ));
-        p.table_mut(1).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p.table_mut(1)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
         let dp = compile_default(&p).unwrap();
         let mut http = PacketBuilder::tcp().tcp_dst(80).build();
@@ -619,7 +751,10 @@ mod tests {
             10,
             vec![
                 Instruction::WriteActions(vec![Action::Output(3)]),
-                Instruction::WriteMetadata { value: 0x7, mask: 0xf },
+                Instruction::WriteMetadata {
+                    value: 0x7,
+                    mask: 0xf,
+                },
                 Instruction::GotoTable(1),
             ],
         ));
@@ -702,7 +837,9 @@ mod tests {
             10,
             terminal_actions(vec![Action::PopVlan, Action::Output(2)]),
         ));
-        p.table_mut(0).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p.table_mut(0)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
         let packets = vec![
             PacketBuilder::udp().vlan(7).build(),
             PacketBuilder::udp().vlan(8).build(),

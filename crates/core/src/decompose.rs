@@ -120,11 +120,8 @@ fn decompose_rec(
         .expect("at least two fields");
 
     // 3. One sub-table per distinct key of the chosen column.
-    let mut subtables: Vec<(FieldValue, Vec<FlowEntry>)> = keys
-        .iter()
-        .flatten()
-        .map(|k| (*k, Vec::new()))
-        .collect();
+    let mut subtables: Vec<(FieldValue, Vec<FlowEntry>)> =
+        keys.iter().flatten().map(|k| (*k, Vec::new())).collect();
     // A separate sub-table for rows that wildcard the chosen column entirely.
     let mut wildcard_rows: Vec<FlowEntry> = Vec::new();
 
@@ -381,10 +378,26 @@ mod tests {
         result.pipeline.validate().unwrap();
 
         let packets = vec![
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(22).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 7]).tcp_dst(80).in_port(0).build(),
-            PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).in_port(1).build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(80)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(22)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 7])
+                .tcp_dst(80)
+                .in_port(0)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([192, 0, 2, 1])
+                .tcp_dst(80)
+                .in_port(1)
+                .build(),
             PacketBuilder::udp().in_port(1).build(),
         ];
         semantically_equivalent(&original, &result.pipeline, &packets);
@@ -423,11 +436,26 @@ mod tests {
         decomposed.validate().unwrap();
 
         let packets = vec![
-            PacketBuilder::tcp().ipv4_dst([10, 0, 0, 1]).tcp_dst(80).build(),
-            PacketBuilder::tcp().ipv4_dst([10, 0, 0, 2]).tcp_dst(80).build(),
-            PacketBuilder::tcp().ipv4_dst([10, 0, 0, 2]).tcp_dst(22).build(),
-            PacketBuilder::tcp().ipv4_dst([10, 0, 0, 3]).tcp_dst(22).build(),
-            PacketBuilder::tcp().ipv4_dst([10, 0, 0, 3]).tcp_dst(443).build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, 1])
+                .tcp_dst(80)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, 2])
+                .tcp_dst(80)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, 2])
+                .tcp_dst(22)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, 3])
+                .tcp_dst(22)
+                .build(),
+            PacketBuilder::tcp()
+                .ipv4_dst([10, 0, 0, 3])
+                .tcp_dst(443)
+                .build(),
         ];
         semantically_equivalent(&original, &decomposed, &packets);
     }
@@ -456,7 +484,10 @@ mod tests {
         for packet in fig5_packets() {
             let mut a = packet.clone();
             let mut b = packet.clone();
-            assert_eq!(dp.process(&mut a).decision(), original.process(&mut b).decision());
+            assert_eq!(
+                dp.process(&mut a).decision(),
+                original.process(&mut b).decision()
+            );
         }
     }
 

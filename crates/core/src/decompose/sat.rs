@@ -188,14 +188,32 @@ pub fn appendix_example() -> ThreeSat {
         variables: 4,
         clauses: vec![
             vec![
-                Literal { variable: 0, positive: true },
-                Literal { variable: 2, positive: false },
-                Literal { variable: 3, positive: true },
+                Literal {
+                    variable: 0,
+                    positive: true,
+                },
+                Literal {
+                    variable: 2,
+                    positive: false,
+                },
+                Literal {
+                    variable: 3,
+                    positive: true,
+                },
             ],
             vec![
-                Literal { variable: 0, positive: false },
-                Literal { variable: 1, positive: true },
-                Literal { variable: 2, positive: true },
+                Literal {
+                    variable: 0,
+                    positive: false,
+                },
+                Literal {
+                    variable: 1,
+                    positive: true,
+                },
+                Literal {
+                    variable: 2,
+                    positive: true,
+                },
             ],
         ],
     }
@@ -276,14 +294,23 @@ mod tests {
     fn satisfiability_oracle_sanity() {
         let trivially_sat = ThreeSat {
             variables: 1,
-            clauses: vec![vec![Literal { variable: 0, positive: true }]],
+            clauses: vec![vec![Literal {
+                variable: 0,
+                positive: true,
+            }]],
         };
         assert!(trivially_sat.is_satisfiable());
         let contradiction = ThreeSat {
             variables: 1,
             clauses: vec![
-                vec![Literal { variable: 0, positive: true }],
-                vec![Literal { variable: 0, positive: false }],
+                vec![Literal {
+                    variable: 0,
+                    positive: true,
+                }],
+                vec![Literal {
+                    variable: 0,
+                    positive: false,
+                }],
             ],
         };
         assert!(!contradiction.is_satisfiable());

@@ -312,7 +312,11 @@ mod tests {
         let dp = compile_default(&p).unwrap();
         let model = PerformanceModel::new();
         let estimate = model.estimate(&dp);
-        assert!((estimate.fixed_cycles - 162.0).abs() < 1e-9, "{}", estimate.fixed_cycles);
+        assert!(
+            (estimate.fixed_cycles - 162.0).abs() < 1e-9,
+            "{}",
+            estimate.fixed_cycles
+        );
         assert!((estimate.memory_accesses - 4.0).abs() < 1e-9);
 
         // Bounds ordering: L1 assumption gives the highest rate.
@@ -339,15 +343,27 @@ mod tests {
         let larger = compile_default(&l2_pipeline(4)).unwrap();
         let hash = compile_default(&l2_pipeline(100)).unwrap();
 
-        let c_small = model.estimate(&small).cycles_per_packet(&model.cache, CacheAssumption::AllL1);
-        let c_larger = model.estimate(&larger).cycles_per_packet(&model.cache, CacheAssumption::AllL1);
-        let c_hash_100 = model.estimate(&hash).cycles_per_packet(&model.cache, CacheAssumption::AllL1);
+        let c_small = model
+            .estimate(&small)
+            .cycles_per_packet(&model.cache, CacheAssumption::AllL1);
+        let c_larger = model
+            .estimate(&larger)
+            .cycles_per_packet(&model.cache, CacheAssumption::AllL1);
+        let c_hash_100 = model
+            .estimate(&hash)
+            .cycles_per_packet(&model.cache, CacheAssumption::AllL1);
         let c_hash_1000 = model
             .estimate(&compile_default(&l2_pipeline(1000)).unwrap())
             .cycles_per_packet(&model.cache, CacheAssumption::AllL1);
 
-        assert!(c_small < c_larger, "direct code cost must grow with entries");
-        assert!((c_hash_100 - c_hash_1000).abs() < 1e-9, "hash cost must be size-independent");
+        assert!(
+            c_small < c_larger,
+            "direct code cost must grow with entries"
+        );
+        assert!(
+            (c_hash_100 - c_hash_1000).abs() < 1e-9,
+            "hash cost must be size-independent"
+        );
         // The crossover the paper calibrates: at 4 entries direct code is
         // still at least competitive with the hash template.
         assert!(c_larger <= c_hash_100 + model.cache.l1);

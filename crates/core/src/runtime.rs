@@ -60,7 +60,11 @@ impl EswitchRuntime {
     /// Compiles `pipeline` with the default configuration and a drop-all
     /// controller.
     pub fn compile(pipeline: Pipeline) -> Result<Self, CompileError> {
-        Self::with_config(pipeline, CompilerConfig::default(), Box::new(NullController::new()))
+        Self::with_config(
+            pipeline,
+            CompilerConfig::default(),
+            Box::new(NullController::new()),
+        )
     }
 
     /// Compiles `pipeline` with an explicit configuration and controller.
@@ -157,7 +161,13 @@ impl EswitchRuntime {
                     .iter()
                     .filter_map(|id| pipeline.table(*id))
                     .flat_map(|t| t.entries())
-                    .flat_map(|e| e.flow_match.fields().iter().map(|mf| mf.field)),
+                    .flat_map(|e| {
+                        e.flow_match
+                            .fields()
+                            .iter()
+                            .map(|mf| mf.field)
+                            .chain(crate::compile::instruction_fields(e))
+                    }),
             );
             needed.depth() <= datapath.parser().depth()
         };
@@ -206,6 +216,29 @@ impl EswitchRuntime {
         let Some(slot) = datapath.slot(table_id) else {
             return false;
         };
+        if matches!(fm.command, FlowModCommand::Add) {
+            // An added entry may need a deeper parser than the datapath was
+            // compiled with — not only through its match fields (the template
+            // shape checks below pin those) but through action-written fields:
+            // a compiled SetField(IpDscp)/DecNwTtl silently no-ops when the
+            // parser never located the IP header. Escalate instead.
+            let entry = openflow::FlowEntry::new(
+                fm.flow_match.clone(),
+                fm.priority,
+                fm.instructions.clone(),
+            );
+            let needed = crate::templates::parser::ParserTemplate::for_fields(
+                entry
+                    .flow_match
+                    .fields()
+                    .iter()
+                    .map(|mf| mf.field)
+                    .chain(crate::compile::instruction_fields(&entry)),
+            );
+            if needed.depth() > datapath.parser().depth() {
+                return false;
+            }
+        }
         let mut table = slot.table.write();
         match (&mut *table, fm.command) {
             (CompiledTable::CompoundHash(hash), FlowModCommand::Add) => {
@@ -441,6 +474,42 @@ mod tests {
     }
 
     #[test]
+    fn flow_mod_with_deeper_action_field_escalates_past_incremental() {
+        // Regression: a flow-mod whose *match* fits the compiled template
+        // shape but whose *actions* write a deeper header (SetField(IpDscp)
+        // on an L2-compiled datapath) used to be absorbed incrementally,
+        // leaving the L2-only parser in place — the compiled set-field then
+        // silently no-opped while the declarative pipeline rewrote packets.
+        let switch = EswitchRuntime::compile(l2_pipeline(32)).unwrap();
+        assert_eq!(
+            switch.datapath().parser().depth(),
+            pkt::parser::ParseDepth::L2
+        );
+
+        let fm = FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0000u64 + 700)),
+            10,
+            terminal_actions(vec![Action::SetField(Field::IpDscp, 10), Action::Output(3)]),
+        );
+        switch.flow_mod(&fm).unwrap();
+        assert_eq!(switch.updates.incremental.packets(), 0);
+        assert_eq!(switch.updates.full_recompiles.packets(), 1);
+        assert!(switch.datapath().parser().depth() >= pkt::parser::ParseDepth::L3);
+
+        // The compiled fast path must now actually rewrite the packet,
+        // agreeing with the reference interpreter.
+        let mut compiled = mac_packet(700);
+        let verdict = switch.process(&mut compiled);
+        assert_eq!(verdict.outputs, vec![3]);
+        let mut reference = mac_packet(700);
+        switch.with_pipeline(|p| p.process(&mut reference));
+        assert_eq!(compiled.data(), reference.data());
+        // TOS byte = DSCP << 2 right after the 14-byte Ethernet header.
+        assert_eq!(compiled.data()[15], 10 << 2);
+    }
+
+    #[test]
     fn structural_change_forces_full_recompile() {
         let switch = EswitchRuntime::compile(l2_pipeline(8)).unwrap();
         // Install an entry into a table that did not exist at compile time.
@@ -474,7 +543,10 @@ mod tests {
             ));
         }
         let switch = EswitchRuntime::compile(p).unwrap();
-        assert_eq!(switch.datapath().template_kinds(), vec![(0, TemplateKind::Lpm)]);
+        assert_eq!(
+            switch.datapath().template_kinds(),
+            vec![(0, TemplateKind::Lpm)]
+        );
 
         let mut pkt = PacketBuilder::udp().ipv4_dst([172, 16, 0, 1]).build();
         assert!(switch.process(&mut pkt).is_drop());
@@ -547,7 +619,8 @@ mod tests {
             ))]
         });
         let switch =
-            EswitchRuntime::with_config(p, CompilerConfig::default(), Box::new(controller)).unwrap();
+            EswitchRuntime::with_config(p, CompilerConfig::default(), Box::new(controller))
+                .unwrap();
 
         let mut first = mac_packet(42);
         assert!(switch.process(&mut first).to_controller);

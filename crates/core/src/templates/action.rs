@@ -388,7 +388,10 @@ mod tests {
         let mut compiled_pkt = PacketBuilder::tcp().ipv4_src([10, 0, 0, 1]).build();
         let mut reference_pkt = compiled_pkt.clone();
 
-        run(&[Action::SetField(Field::Ipv4Src, 0xcb00_7101)], &mut compiled_pkt);
+        run(
+            &[Action::SetField(Field::Ipv4Src, 0xcb00_7101)],
+            &mut compiled_pkt,
+        );
 
         let headers = parse(reference_pkt.data(), ParseDepth::L4);
         let mut key = openflow::FlowKey::extract(&reference_pkt);
@@ -413,7 +416,10 @@ mod tests {
         let mut p = PacketBuilder::tcp().tcp_dst(80).build();
         let original_len = p.len();
         run(
-            &[Action::PushVlan(0x8100), Action::SetField(Field::VlanVid, 9)],
+            &[
+                Action::PushVlan(0x8100),
+                Action::SetField(Field::VlanVid, 9),
+            ],
             &mut p,
         );
         let key = openflow::FlowKey::extract(&p);

@@ -34,8 +34,13 @@ pub fn required_protocols(field: Field) -> ProtoMask {
         Field::IpDscp | Field::IpEcn | Field::IpProto | Field::Ipv4Src | Field::Ipv4Dst => {
             ProtoMask::IPV4
         }
-        Field::Ipv6Src | Field::Ipv6Dst | Field::Ipv6Flabel | Field::Ipv6Exthdr
-        | Field::Ipv6NdTarget | Field::Ipv6NdSll | Field::Ipv6NdTll => ProtoMask::IPV6,
+        Field::Ipv6Src
+        | Field::Ipv6Dst
+        | Field::Ipv6Flabel
+        | Field::Ipv6Exthdr
+        | Field::Ipv6NdTarget
+        | Field::Ipv6NdSll
+        | Field::Ipv6NdTll => ProtoMask::IPV6,
         Field::ArpOp | Field::ArpSpa | Field::ArpTpa | Field::ArpSha | Field::ArpTha => {
             ProtoMask::ARP
         }
@@ -77,12 +82,12 @@ pub fn load_field(
             .mask
             .contains(ProtoMask::VLAN)
             .then_some(FieldValue::from(headers.vlan_pcp)),
-        Field::IpDscp => {
-            headers.has_ipv4().then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b >> 2)))?
-        }
-        Field::IpEcn => {
-            headers.has_ipv4().then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b & 3)))?
-        }
+        Field::IpDscp => headers
+            .has_ipv4()
+            .then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b >> 2)))?,
+        Field::IpEcn => headers
+            .has_ipv4()
+            .then(|| frame.get(l3 + 1).map(|b| FieldValue::from(b & 3)))?,
         Field::IpProto => (headers.has_ipv4() || headers.mask.contains(ProtoMask::IPV6))
             .then_some(FieldValue::from(headers.ip_proto)),
         Field::Ipv4Src => headers.has_ipv4().then(|| read_bytes(frame, l3 + 12, 4))?,
@@ -215,9 +220,7 @@ mod tests {
     use pkt::builder::PacketBuilder;
     use pkt::parser::{parse, ParseDepth};
 
-    fn packet_headers_regs(
-        pkt: &pkt::Packet,
-    ) -> (ParsedHeaders, Regs) {
+    fn packet_headers_regs(pkt: &pkt::Packet) -> (ParsedHeaders, Regs) {
         let headers = parse(pkt.data(), ParseDepth::L4);
         let regs = Regs {
             in_port: pkt.in_port,
@@ -257,7 +260,10 @@ mod tests {
         }
         // Fields absent from a TCP packet.
         assert_eq!(load_field(Field::UdpDst, pkt.data(), &headers, &regs), None);
-        assert_eq!(load_field(Field::VlanVid, pkt.data(), &headers, &regs), None);
+        assert_eq!(
+            load_field(Field::VlanVid, pkt.data(), &headers, &regs),
+            None
+        );
         assert_eq!(load_field(Field::ArpOp, pkt.data(), &headers, &regs), None);
     }
 
@@ -265,8 +271,14 @@ mod tests {
     fn vlan_and_arp_loads() {
         let tagged = PacketBuilder::udp().vlan(42).udp_dst(53).build();
         let (headers, regs) = packet_headers_regs(&tagged);
-        assert_eq!(load_field(Field::VlanVid, tagged.data(), &headers, &regs), Some(42));
-        assert_eq!(load_field(Field::UdpDst, tagged.data(), &headers, &regs), Some(53));
+        assert_eq!(
+            load_field(Field::VlanVid, tagged.data(), &headers, &regs),
+            Some(42)
+        );
+        assert_eq!(
+            load_field(Field::UdpDst, tagged.data(), &headers, &regs),
+            Some(53)
+        );
 
         let arp = PacketBuilder::arp_request(
             pkt::MacAddr::new([2, 0, 0, 0, 0, 1]),
@@ -275,7 +287,10 @@ mod tests {
         );
         let headers = parse(arp.data(), ParseDepth::L3);
         let regs = Regs::default();
-        assert_eq!(load_field(Field::ArpOp, arp.data(), &headers, &regs), Some(1));
+        assert_eq!(
+            load_field(Field::ArpOp, arp.data(), &headers, &regs),
+            Some(1)
+        );
         assert_eq!(
             load_field(Field::ArpTpa, arp.data(), &headers, &regs),
             Some(FieldValue::from(pkt::Ipv4Addr4::new(10, 0, 0, 2).to_u32()))
@@ -284,7 +299,10 @@ mod tests {
 
     #[test]
     fn matcher_exact_and_masked() {
-        let pkt = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 77]).tcp_dst(80).build();
+        let pkt = PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 77])
+            .tcp_dst(80)
+            .build();
         let (headers, regs) = packet_headers_regs(&pkt);
 
         let exact = CompiledMatcher::new(Field::TcpDst, 80, Field::TcpDst.full_mask());

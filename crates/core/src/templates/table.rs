@@ -72,7 +72,9 @@ impl CompiledEntry {
         if !headers.mask.contains(self.required) {
             return false;
         }
-        self.matchers.iter().all(|m| m.matches(frame, headers, regs))
+        self.matchers
+            .iter()
+            .all(|m| m.matches(frame, headers, regs))
     }
 }
 
@@ -120,7 +122,12 @@ impl DirectCodeTable {
 
     /// Looks up the first matching entry.
     #[inline]
-    pub fn lookup(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> Option<&Arc<CompiledInstrs>> {
+    pub fn lookup(
+        &self,
+        frame: &[u8],
+        headers: &ParsedHeaders,
+        regs: &Regs,
+    ) -> Option<&Arc<CompiledInstrs>> {
         self.entries
             .iter()
             .find(|e| e.matches(frame, headers, regs))
@@ -224,7 +231,12 @@ impl CompoundHashTable {
 
     /// Looks up a packet: one hash probe, then the catch-all.
     #[inline]
-    pub fn lookup(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> Option<&Arc<CompiledInstrs>> {
+    pub fn lookup(
+        &self,
+        frame: &[u8],
+        headers: &ParsedHeaders,
+        regs: &Regs,
+    ) -> Option<&Arc<CompiledInstrs>> {
         if let Some(key) = self.packet_key(frame, headers, regs) {
             if let Some(instrs) = self.hash.get(key) {
                 return Some(instrs);
@@ -293,7 +305,10 @@ impl LpmTable {
         rules: Vec<(u32, u8, Arc<CompiledInstrs>)>,
         catch_all: Option<Arc<CompiledInstrs>>,
     ) -> Result<Self, TemplateError> {
-        if !matches!(field, Field::Ipv4Dst | Field::Ipv4Src | Field::ArpSpa | Field::ArpTpa) {
+        if !matches!(
+            field,
+            Field::Ipv4Dst | Field::Ipv4Src | Field::ArpSpa | Field::ArpTpa
+        ) {
             return Err(TemplateError::PrerequisiteViolated(
                 "LPM template requires an IPv4 address field",
             ));
@@ -320,7 +335,11 @@ impl LpmTable {
         len: u8,
         instrs: Arc<CompiledInstrs>,
     ) -> Result<(), netdev::LpmError> {
-        let hop = match self.targets.iter().position(|t| Arc::ptr_eq(t, &instrs) || **t == *instrs) {
+        let hop = match self
+            .targets
+            .iter()
+            .position(|t| Arc::ptr_eq(t, &instrs) || **t == *instrs)
+        {
             Some(i) => i as u16,
             None => {
                 self.targets.push(Arc::clone(&instrs));
@@ -338,7 +357,12 @@ impl LpmTable {
     /// Looks up a packet: load the address, one DIR-24-8 lookup, then the
     /// catch-all.
     #[inline]
-    pub fn lookup(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> Option<&Arc<CompiledInstrs>> {
+    pub fn lookup(
+        &self,
+        frame: &[u8],
+        headers: &ParsedHeaders,
+        regs: &Regs,
+    ) -> Option<&Arc<CompiledInstrs>> {
         if headers.mask.contains(self.required) {
             if let Some(addr) = load_field(self.field, frame, headers, regs) {
                 if let Some(hop) = self.lpm.lookup(Ipv4Addr4::from_u32(addr as u32)) {
@@ -409,7 +433,12 @@ impl LinkedListTable {
 
     /// Looks up the first matching entry.
     #[inline]
-    pub fn lookup(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> Option<&Arc<CompiledInstrs>> {
+    pub fn lookup(
+        &self,
+        frame: &[u8],
+        headers: &ParsedHeaders,
+        regs: &Regs,
+    ) -> Option<&Arc<CompiledInstrs>> {
         self.entries
             .iter()
             .find(|e| e.matches(frame, headers, regs))
@@ -460,7 +489,12 @@ pub enum CompiledTable {
 impl CompiledTable {
     /// Looks up a packet in whichever template backs this table.
     #[inline]
-    pub fn lookup(&self, frame: &[u8], headers: &ParsedHeaders, regs: &Regs) -> Option<&Arc<CompiledInstrs>> {
+    pub fn lookup(
+        &self,
+        frame: &[u8],
+        headers: &ParsedHeaders,
+        regs: &Regs,
+    ) -> Option<&Arc<CompiledInstrs>> {
         match self {
             CompiledTable::DirectCode(t) => t.lookup(frame, headers, regs),
             CompiledTable::CompoundHash(t) => t.lookup(frame, headers, regs),
@@ -581,7 +615,11 @@ mod tests {
     #[test]
     fn direct_code_priority_order_and_prologue() {
         let port80 = CompiledEntry::new(
-            vec![CompiledMatcher::new(Field::TcpDst, 80, Field::TcpDst.full_mask())],
+            vec![CompiledMatcher::new(
+                Field::TcpDst,
+                80,
+                Field::TcpDst.full_mask(),
+            )],
             instrs_output(Some(1)),
         );
         let catch_all = CompiledEntry::new(vec![], instrs_output(None));
@@ -611,11 +649,17 @@ mod tests {
         let table = CompoundHashTable::new(fields, keys, Some(instrs_output(None))).unwrap();
         assert_eq!(table.len(), 2);
 
-        let hit = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(80).build();
+        let hit = PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_dst(80)
+            .build();
         let (h, r) = headers_regs(&hit);
         assert_eq!(table.lookup(hit.data(), &h, &r).unwrap().goto, Some(7));
 
-        let miss = PacketBuilder::tcp().ipv4_dst([192, 0, 2, 1]).tcp_dst(81).build();
+        let miss = PacketBuilder::tcp()
+            .ipv4_dst([192, 0, 2, 1])
+            .tcp_dst(81)
+            .build();
         let (h, r) = headers_regs(&miss);
         assert_eq!(table.lookup(miss.data(), &h, &r).unwrap().goto, None);
 
@@ -704,7 +748,11 @@ mod tests {
         let mut table = LpmTable::new(Field::Ipv4Dst, vec![], None).unwrap();
         for i in 0..50u32 {
             table
-                .insert(u32::from_be_bytes([10, i as u8, 0, 0]), 16, Arc::clone(&shared))
+                .insert(
+                    u32::from_be_bytes([10, i as u8, 0, 0]),
+                    16,
+                    Arc::clone(&shared),
+                )
                 .unwrap();
         }
         // All 50 prefixes reference the same compiled instruction block.
@@ -730,7 +778,10 @@ mod tests {
         assert_eq!(table.len(), 3);
         assert_eq!(table.tuple_count(), 2);
 
-        let p = PacketBuilder::tcp().tcp_dst(443).ipv4_dst([10, 0, 0, 1]).build();
+        let p = PacketBuilder::tcp()
+            .tcp_dst(443)
+            .ipv4_dst([10, 0, 0, 1])
+            .build();
         let (h, r) = headers_regs(&p);
         // Priority order: the port rule appears before the IP rule.
         assert_eq!(table.lookup(p.data(), &h, &r).unwrap().goto, Some(2));

@@ -129,7 +129,8 @@ impl CacheHierarchy {
     /// `accesses_per_packet` data-structure accesses over the given working
     /// set (Fig. 15's y-axis).
     pub fn llc_misses_per_packet(&self, accesses_per_packet: f64, working_set_bytes: usize) -> f64 {
-        self.distribute(accesses_per_packet, working_set_bytes).llc_misses()
+        self.distribute(accesses_per_packet, working_set_bytes)
+            .llc_misses()
     }
 }
 

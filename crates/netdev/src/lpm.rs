@@ -437,7 +437,10 @@ mod tests {
     fn delete_unknown_is_error() {
         let mut lpm = Lpm::new();
         assert_eq!(lpm.delete(ip("10.0.0.0"), 8), Err(LpmError::NotFound));
-        assert_eq!(lpm.add(ip("10.0.0.0"), 40, 1), Err(LpmError::InvalidDepth(40)));
+        assert_eq!(
+            lpm.add(ip("10.0.0.0"), 40, 1),
+            Err(LpmError::InvalidDepth(40))
+        );
     }
 
     #[test]
@@ -471,7 +474,11 @@ mod tests {
                 .filter(|((d, p), _)| addr & prefix_mask(*d) == *p)
                 .max_by_key(|((d, _), _)| *d)
                 .map(|(_, h)| *h);
-            assert_eq!(lpm.lookup(Ipv4Addr4::from_u32(addr)), expected, "addr {addr:#x}");
+            assert_eq!(
+                lpm.lookup(Ipv4Addr4::from_u32(addr)),
+                expected,
+                "addr {addr:#x}"
+            );
         }
     }
 

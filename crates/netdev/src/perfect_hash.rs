@@ -191,7 +191,10 @@ impl<V: Clone> PerfectHash<V> {
         if let Some(v) = bucket.get(key) {
             return Some(v);
         }
-        self.overflow.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+        self.overflow
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
     }
 
     /// True if the main (collision-free) structure answers `key`, i.e. the
@@ -238,10 +241,8 @@ impl<V: Clone> PerfectHash<V> {
     pub fn rebuild(&mut self) {
         let mut all: Vec<(Key, V)> = Vec::with_capacity(self.len());
         for bucket in &mut self.buckets {
-            for slot in bucket.slots.drain(..) {
-                if let Some(entry) = slot {
-                    all.push(entry);
-                }
+            for entry in bucket.slots.drain(..).flatten() {
+                all.push(entry);
             }
         }
         all.append(&mut self.overflow);
@@ -348,7 +349,10 @@ mod tests {
         }
         map.rebuild();
         for k in 0..80u128 {
-            assert!(map.is_fast_path(k), "key {k} not on fast path after rebuild");
+            assert!(
+                map.is_fast_path(k),
+                "key {k} not on fast path after rebuild"
+            );
         }
     }
 

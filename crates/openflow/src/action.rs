@@ -80,14 +80,12 @@ impl Action {
                 // Insert a zeroed tag after the MAC addresses; the original
                 // EtherType becomes the inner EtherType.
                 let frame_ethertype = [packet.data()[12], packet.data()[13]];
-                let tag = [
-                    (tpid >> 8) as u8,
-                    *tpid as u8,
-                    (vid >> 8) as u8,
-                    vid as u8,
-                ];
+                let tag = [(tpid >> 8) as u8, *tpid as u8, (vid >> 8) as u8, vid as u8];
                 packet.data_mut()[12..14].copy_from_slice(&tag[..2]);
-                packet.insert(ETHERNET_HEADER_LEN, &[tag[2], tag[3], frame_ethertype[0], frame_ethertype[1]]);
+                packet.insert(
+                    ETHERNET_HEADER_LEN,
+                    &[tag[2], tag[3], frame_ethertype[0], frame_ethertype[1]],
+                );
                 true
             }
             Action::PopVlan => {
@@ -127,48 +125,36 @@ fn write_field(packet: &mut Packet, headers: &ParsedHeaders, field: Field, value
     let frame = packet.data_mut();
     match field {
         Field::EthDst => frame[l2..l2 + 6].copy_from_slice(&(value as u64).to_be_bytes()[2..8]),
-        Field::EthSrc => frame[l2 + 6..l2 + 12].copy_from_slice(&(value as u64).to_be_bytes()[2..8]),
-        Field::VlanVid => {
-            if headers.has_vlan() {
-                let off = l2 + ETHERNET_HEADER_LEN;
-                let pcp_dei = frame[off] & 0xf0;
-                frame[off] = pcp_dei | (((value as u16) >> 8) as u8 & 0x0f);
-                frame[off + 1] = value as u8;
-            }
+        Field::EthSrc => {
+            frame[l2 + 6..l2 + 12].copy_from_slice(&(value as u64).to_be_bytes()[2..8])
         }
-        Field::VlanPcp => {
-            if headers.has_vlan() {
-                let off = l2 + ETHERNET_HEADER_LEN;
-                frame[off] = (frame[off] & 0x1f) | ((value as u8 & 0x07) << 5);
-            }
+        Field::VlanVid if headers.has_vlan() => {
+            let off = l2 + ETHERNET_HEADER_LEN;
+            let pcp_dei = frame[off] & 0xf0;
+            frame[off] = pcp_dei | (((value as u16) >> 8) as u8 & 0x0f);
+            frame[off + 1] = value as u8;
         }
-        Field::Ipv4Src => {
-            if headers.has_ipv4() {
-                frame[l3 + 12..l3 + 16].copy_from_slice(&(value as u32).to_be_bytes());
-                refresh_ipv4_checksum(frame, l3);
-            }
+        Field::VlanPcp if headers.has_vlan() => {
+            let off = l2 + ETHERNET_HEADER_LEN;
+            frame[off] = (frame[off] & 0x1f) | ((value as u8 & 0x07) << 5);
         }
-        Field::Ipv4Dst => {
-            if headers.has_ipv4() {
-                frame[l3 + 16..l3 + 20].copy_from_slice(&(value as u32).to_be_bytes());
-                refresh_ipv4_checksum(frame, l3);
-            }
+        Field::Ipv4Src if headers.has_ipv4() => {
+            frame[l3 + 12..l3 + 16].copy_from_slice(&(value as u32).to_be_bytes());
+            refresh_ipv4_checksum(frame, l3);
         }
-        Field::IpDscp => {
-            if headers.has_ipv4() {
-                frame[l3 + 1] = (frame[l3 + 1] & 0x03) | ((value as u8 & 0x3f) << 2);
-                refresh_ipv4_checksum(frame, l3);
-            }
+        Field::Ipv4Dst if headers.has_ipv4() => {
+            frame[l3 + 16..l3 + 20].copy_from_slice(&(value as u32).to_be_bytes());
+            refresh_ipv4_checksum(frame, l3);
         }
-        Field::TcpSrc | Field::UdpSrc => {
-            if headers.has_tcp() || headers.has_udp() {
-                frame[l4..l4 + 2].copy_from_slice(&(value as u16).to_be_bytes());
-            }
+        Field::IpDscp if headers.has_ipv4() => {
+            frame[l3 + 1] = (frame[l3 + 1] & 0x03) | ((value as u8 & 0x3f) << 2);
+            refresh_ipv4_checksum(frame, l3);
         }
-        Field::TcpDst | Field::UdpDst => {
-            if headers.has_tcp() || headers.has_udp() {
-                frame[l4 + 2..l4 + 4].copy_from_slice(&(value as u16).to_be_bytes());
-            }
+        Field::TcpSrc | Field::UdpSrc if (headers.has_tcp() || headers.has_udp()) => {
+            frame[l4..l4 + 2].copy_from_slice(&(value as u16).to_be_bytes());
+        }
+        Field::TcpDst | Field::UdpDst if (headers.has_tcp() || headers.has_udp()) => {
+            frame[l4 + 2..l4 + 4].copy_from_slice(&(value as u16).to_be_bytes());
         }
         // Metadata-like and unmodelled fields have no frame bytes.
         _ => {}
@@ -346,12 +332,15 @@ mod tests {
         let (mut p, mut k) = packet_and_key();
         let headers = parse(p.data(), ParseDepth::L4);
         let new_src = Ipv4Addr4::new(203, 0, 113, 9);
-        Action::SetField(Field::Ipv4Src, u128::from(new_src.to_u32())).apply(&mut p, &headers, &mut k);
+        Action::SetField(Field::Ipv4Src, u128::from(new_src.to_u32()))
+            .apply(&mut p, &headers, &mut k);
         assert_eq!(k.ipv4_src, Some(new_src.to_u32()));
         let reparsed = FlowKey::extract(&p);
         assert_eq!(reparsed.ipv4_src, Some(new_src.to_u32()));
         // checksum still valid after rewrite
-        assert!(Ipv4Header::verify_checksum(&p.data()[usize::from(headers.l3_offset)..]));
+        assert!(Ipv4Header::verify_checksum(
+            &p.data()[usize::from(headers.l3_offset)..]
+        ));
     }
 
     #[test]

@@ -179,7 +179,9 @@ impl Field {
     /// Layer the field lives in.
     pub const fn layer(self) -> FieldLayer {
         match self {
-            Field::InPort | Field::InPhyPort | Field::Metadata | Field::TunnelId => FieldLayer::Meta,
+            Field::InPort | Field::InPhyPort | Field::Metadata | Field::TunnelId => {
+                FieldLayer::Meta
+            }
             Field::EthDst
             | Field::EthSrc
             | Field::EthType

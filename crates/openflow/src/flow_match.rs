@@ -361,9 +361,11 @@ mod tests {
         let a = FlowMatch::any().with_exact(Field::TcpDst, 80);
         let b = FlowMatch::any().with_exact(Field::TcpDst, 443);
         let c = FlowMatch::any().with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
-        let d = FlowMatch::any()
-            .with_exact(Field::TcpDst, 80)
-            .with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        let d = FlowMatch::any().with_exact(Field::TcpDst, 80).with_prefix(
+            Field::Ipv4Dst,
+            0xc0000200,
+            24,
+        );
         assert!(!a.overlaps(&b));
         assert!(a.overlaps(&c)); // disjoint fields can both match
         assert!(a.overlaps(&d));
@@ -384,9 +386,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let m = FlowMatch::any()
-            .with_exact(Field::TcpDst, 80)
-            .with_prefix(Field::Ipv4Dst, 0xc0000200, 24);
+        let m = FlowMatch::any().with_exact(Field::TcpDst, 80).with_prefix(
+            Field::Ipv4Dst,
+            0xc0000200,
+            24,
+        );
         let text = m.to_string();
         assert!(text.contains("TcpDst=0x50"));
         assert!(text.contains("/24"));

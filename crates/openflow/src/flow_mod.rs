@@ -130,12 +130,16 @@ pub struct FlowModEffect {
 }
 
 /// Applies a flow-mod to a pipeline.
-pub fn apply_flow_mod(pipeline: &mut Pipeline, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
+pub fn apply_flow_mod(
+    pipeline: &mut Pipeline,
+    fm: &FlowMod,
+) -> Result<FlowModEffect, FlowModError> {
     match fm.command {
         FlowModCommand::Add => {
             let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
             let table = pipeline.table_mut_or_create(table_id);
-            let mut entry = FlowEntry::new(fm.flow_match.clone(), fm.priority, fm.instructions.clone());
+            let mut entry =
+                FlowEntry::new(fm.flow_match.clone(), fm.priority, fm.instructions.clone());
             if let Some(cookie) = fm.cookie {
                 entry = entry.with_cookie(cookie);
             }
@@ -274,7 +278,10 @@ mod tests {
             priority: 99,
             ..modify.clone()
         };
-        assert_eq!(apply_flow_mod(&mut p, &missing), Err(FlowModError::NoSuchEntry));
+        assert_eq!(
+            apply_flow_mod(&mut p, &missing),
+            Err(FlowModError::NoSuchEntry)
+        );
 
         let del = FlowMod::delete_strict(0, FlowMatch::any().with_exact(Field::TcpDst, 443), 10);
         assert_eq!(apply_flow_mod(&mut p, &del).unwrap().removed, 1);
@@ -324,7 +331,10 @@ mod tests {
             instructions: vec![],
             cookie: None,
         };
-        assert_eq!(apply_flow_mod(&mut p, &modify), Err(FlowModError::NoSuchTable(5)));
+        assert_eq!(
+            apply_flow_mod(&mut p, &modify),
+            Err(FlowModError::NoSuchTable(5))
+        );
         let add_no_table = FlowMod {
             command: FlowModCommand::Add,
             table_id: None,

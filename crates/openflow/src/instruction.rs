@@ -59,7 +59,10 @@ pub fn terminal_actions(actions: Vec<Action>) -> Vec<Instruction> {
 /// Helper: builds the common "apply these actions, then continue at `table`"
 /// instruction list.
 pub fn actions_then_goto(actions: Vec<Action>, table: TableId) -> Vec<Instruction> {
-    vec![Instruction::ApplyActions(actions), Instruction::GotoTable(table)]
+    vec![
+        Instruction::ApplyActions(actions),
+        Instruction::GotoTable(table),
+    ]
 }
 
 #[cfg(test)]

@@ -113,8 +113,12 @@ impl FlowKey {
             if let Some(hdr) = frame.get(l3..l3 + 40) {
                 key.ip_dscp = Some(((hdr[0] << 4) | (hdr[1] >> 4)) >> 2);
                 key.ip_ecn = Some(((hdr[0] << 4) | (hdr[1] >> 4)) & 0x03);
-                key.ipv6_src = Some(u128::from_be_bytes(hdr[8..24].try_into().expect("16 bytes")));
-                key.ipv6_dst = Some(u128::from_be_bytes(hdr[24..40].try_into().expect("16 bytes")));
+                key.ipv6_src = Some(u128::from_be_bytes(
+                    hdr[8..24].try_into().expect("16 bytes"),
+                ));
+                key.ipv6_dst = Some(u128::from_be_bytes(
+                    hdr[24..40].try_into().expect("16 bytes"),
+                ));
             }
         } else if headers.mask.contains(ProtoMask::ARP) {
             let l3 = usize::from(headers.l3_offset);
@@ -279,9 +283,15 @@ mod tests {
     fn set_updates_view() {
         let pkt = PacketBuilder::tcp().build();
         let mut key = FlowKey::extract(&pkt);
-        key.set(Field::Ipv4Src, u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32()));
+        key.set(
+            Field::Ipv4Src,
+            u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32()),
+        );
         key.set(Field::Metadata, 0xdead);
-        assert_eq!(key.get(Field::Ipv4Src), Some(u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32())));
+        assert_eq!(
+            key.get(Field::Ipv4Src),
+            Some(u128::from(Ipv4Addr4::new(203, 0, 113, 5).to_u32()))
+        );
         assert_eq!(key.metadata, 0xdead);
         key.set(Field::VlanVid, 0x1fff);
         assert_eq!(key.vlan_vid, Some(0x0fff)); // masked to 12 bits

@@ -410,10 +410,7 @@ mod tests {
         p.table_mut(0).unwrap().insert(FlowEntry::new(
             FlowMatch::any(),
             10,
-            actions_then_goto(
-                vec![Action::SetField(Field::Ipv4Dst, 0x0a00_0001)],
-                1,
-            ),
+            actions_then_goto(vec![Action::SetField(Field::Ipv4Dst, 0x0a00_0001)], 1),
         ));
         p.table_mut(1).unwrap().insert(FlowEntry::new(
             FlowMatch::any().with_exact(Field::Ipv4Dst, 0x0a00_0001),
@@ -443,7 +440,9 @@ mod tests {
             10,
             vec![Instruction::WriteActions(vec![Action::Output(5)])],
         ));
-        p.table_mut(1).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p.table_mut(1)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
         let mut http = web_packet(0, 80);
         assert_eq!(p.process(&mut http).outputs, vec![5]);
@@ -478,7 +477,10 @@ mod tests {
             FlowMatch::any(),
             10,
             vec![
-                Instruction::WriteMetadata { value: 0x5, mask: 0xf },
+                Instruction::WriteMetadata {
+                    value: 0x5,
+                    mask: 0xf,
+                },
                 Instruction::GotoTable(1),
             ],
         ));

@@ -130,7 +130,7 @@ impl FlowTable {
     /// Replaces all entries at once (used by pipeline builders and by the
     /// decomposition pass).
     pub fn set_entries(&mut self, mut entries: Vec<FlowEntry>) {
-        entries.sort_by(|a, b| b.priority.cmp(&a.priority));
+        entries.sort_by_key(|e| std::cmp::Reverse(e.priority));
         self.entries = entries;
     }
 
@@ -203,9 +203,11 @@ mod tests {
     fn equal_priority_keeps_insertion_order() {
         let mut t = FlowTable::new(0);
         t.insert(entry(10, 80, 1));
-        t.insert(
-            FlowEntry::new(FlowMatch::any(), 10, terminal_actions(vec![Action::Output(9)])),
-        );
+        t.insert(FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            terminal_actions(vec![Action::Output(9)]),
+        ));
         // The port-80 entry was inserted first, so it still wins for port 80.
         assert_eq!(
             t.lookup(&key_for_port(80)).unwrap().instructions,

@@ -6,11 +6,11 @@ use parking_lot::{Mutex, RwLock};
 
 use netdev::Counters;
 use openflow::action::{apply_action_list, OutputKind};
+use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
 use openflow::{
     Action, Controller, ControllerDecision, FlowKey, FlowMod, NullController, PacketIn,
     PacketInReason, Pipeline, Verdict,
 };
-use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
 use pkt::Packet;
 
 use crate::megaflow::MegaflowCache;
@@ -104,11 +104,19 @@ impl OvsDatapath {
     /// Creates a datapath over `pipeline` with default configuration and a
     /// drop-all controller.
     pub fn new(pipeline: Pipeline) -> Self {
-        Self::with_config(pipeline, OvsConfig::default(), Box::new(NullController::new()))
+        Self::with_config(
+            pipeline,
+            OvsConfig::default(),
+            Box::new(NullController::new()),
+        )
     }
 
     /// Creates a datapath with explicit configuration and controller.
-    pub fn with_config(pipeline: Pipeline, config: OvsConfig, controller: Box<dyn Controller>) -> Self {
+    pub fn with_config(
+        pipeline: Pipeline,
+        config: OvsConfig,
+        controller: Box<dyn Controller>,
+    ) -> Self {
         OvsDatapath {
             pipeline: Arc::new(RwLock::new(pipeline)),
             microflow: Mutex::new(MicroflowCache::with_capacity(config.microflow_entries)),
@@ -174,7 +182,9 @@ impl OvsDatapath {
         if let Some(actions) = cached {
             self.stats.megaflow_hits.record(packet.len());
             if self.config.use_microflow {
-                self.microflow.lock().insert(original_key, Arc::clone(&actions));
+                self.microflow
+                    .lock()
+                    .insert(original_key, Arc::clone(&actions));
             }
             let verdict = replay(&actions, packet, &mut key);
             return (verdict, CacheLevel::Megaflow);
@@ -186,9 +196,11 @@ impl OvsDatapath {
             let pipeline = self.pipeline.read();
             self.slowpath.classify(&pipeline, packet, &mut key)
         };
-        self.megaflow
-            .lock()
-            .insert(&original_key, result.mask.clone(), Arc::clone(&result.actions));
+        self.megaflow.lock().insert(
+            &original_key,
+            result.mask.clone(),
+            Arc::clone(&result.actions),
+        );
         if self.config.use_microflow {
             self.microflow
                 .lock()

@@ -69,11 +69,9 @@ impl MicroflowCache {
     /// Looks up the action program cached for exactly this key.
     pub fn lookup(&self, key: &FlowKey) -> Option<Arc<Vec<Action>>> {
         let base = self.set_index(key) * self.ways;
-        for slot in &self.slots[base..base + self.ways] {
-            if let Some(s) = slot {
-                if s.generation == self.generation && s.key == *key {
-                    return Some(Arc::clone(&s.actions));
-                }
+        for s in self.slots[base..base + self.ways].iter().flatten() {
+            if s.generation == self.generation && s.key == *key {
+                return Some(Arc::clone(&s.actions));
             }
         }
         None
@@ -140,7 +138,12 @@ mod tests {
     use pkt::builder::PacketBuilder;
 
     fn key(port: u16) -> FlowKey {
-        FlowKey::extract(&PacketBuilder::tcp().tcp_dst(port).tcp_src(port ^ 0x1234).build())
+        FlowKey::extract(
+            &PacketBuilder::tcp()
+                .tcp_dst(port)
+                .tcp_src(port ^ 0x1234)
+                .build(),
+        )
     }
 
     fn actions(port: u32) -> Arc<Vec<Action>> {
@@ -190,7 +193,9 @@ mod tests {
         for p in 0..1000u16 {
             c.insert(key(p), actions(1));
         }
-        let hits = (0..1000u16).filter(|p| c.lookup(&key(*p)).is_some()).count();
+        let hits = (0..1000u16)
+            .filter(|p| c.lookup(&key(*p)).is_some())
+            .count();
         assert!(hits <= c.capacity(), "hits {hits} exceed capacity");
         assert!(c.live_entries() <= c.capacity());
     }

@@ -69,7 +69,12 @@ pub struct SlowPath {
 fn is_tracked_field(field: Field) -> bool {
     matches!(
         field,
-        Field::Ipv4Src | Field::Ipv4Dst | Field::TcpSrc | Field::TcpDst | Field::UdpSrc | Field::UdpDst
+        Field::Ipv4Src
+            | Field::Ipv4Dst
+            | Field::TcpSrc
+            | Field::TcpDst
+            | Field::UdpSrc
+            | Field::UdpDst
     )
 }
 
@@ -98,10 +103,7 @@ impl SlowPath {
         let mut action_set = ActionSet::new();
         let mut table_id = 0u32;
 
-        loop {
-            let Some(table) = pipeline.table(table_id) else {
-                break;
-            };
+        while let Some(table) = pipeline.table(table_id) {
             verdict.tables_visited += 1;
             table.lookups.record(0);
 
@@ -155,8 +157,11 @@ impl SlowPath {
                             program.push(Action::ToController);
                         }
                         TableMissBehavior::Continue => {
-                            if let Some(next) =
-                                pipeline.tables().iter().map(|t| t.id).find(|id| *id > table_id)
+                            if let Some(next) = pipeline
+                                .tables()
+                                .iter()
+                                .map(|t| t.id)
+                                .find(|id| *id > table_id)
                             {
                                 table_id = next;
                                 continue;
@@ -312,12 +317,18 @@ mod tests {
             ),
             FlowEntry::new(FlowMatch::any(), 1, vec![]),
         ]);
-        let mut first = PacketBuilder::tcp().tcp_dst(80).ipv4_dst([192, 0, 2, 1]).build();
+        let mut first = PacketBuilder::tcp()
+            .tcp_dst(80)
+            .ipv4_dst([192, 0, 2, 1])
+            .build();
         let result = classify(&pipeline, &mut first);
         assert_eq!(result.verdict.outputs, vec![4]);
         // Replaying the cached program on a fresh packet of the same flow
         // must produce the same rewrite and output.
-        let mut second = PacketBuilder::tcp().tcp_dst(80).ipv4_dst([192, 0, 2, 1]).build();
+        let mut second = PacketBuilder::tcp()
+            .tcp_dst(80)
+            .ipv4_dst([192, 0, 2, 1])
+            .build();
         let mut key = FlowKey::extract(&second);
         let outs = apply_action_list(&result.actions, &mut second, &mut key);
         assert_eq!(outs, vec![OutputKind::Port(4)]);
@@ -331,7 +342,11 @@ mod tests {
         // would wrongly reuse it).
         let pipeline = pipeline_with_entries(vec![
             port_entry(100, 80, 1),
-            FlowEntry::new(FlowMatch::any(), 1, terminal_actions(vec![Action::Output(9)])),
+            FlowEntry::new(
+                FlowMatch::any(),
+                1,
+                terminal_actions(vec![Action::Output(9)]),
+            ),
         ]);
         let mut pkt = PacketBuilder::tcp().tcp_dst(443).build();
         let result = classify(&pipeline, &mut pkt);
@@ -345,7 +360,11 @@ mod tests {
         // only the top 8 bits need pinning, not the full 16.
         let pipeline = pipeline_with_entries(vec![
             port_entry(100, 80, 1),
-            FlowEntry::new(FlowMatch::any(), 1, terminal_actions(vec![Action::Output(9)])),
+            FlowEntry::new(
+                FlowMatch::any(),
+                1,
+                terminal_actions(vec![Action::Output(9)]),
+            ),
         ]);
         let mut pkt = PacketBuilder::tcp().tcp_dst(443).build();
         let tracked = classify(&pipeline, &mut pkt);
@@ -384,7 +403,11 @@ mod tests {
         // catch-all.
         let pipeline = pipeline_with_entries(vec![
             port_entry(100, 80, 1),
-            FlowEntry::new(FlowMatch::any(), 1, terminal_actions(vec![Action::Output(9)])),
+            FlowEntry::new(
+                FlowMatch::any(),
+                1,
+                terminal_actions(vec![Action::Output(9)]),
+            ),
         ]);
         let mut pkt = PacketBuilder::tcp().tcp_dst(80).build();
         let result = classify(&pipeline, &mut pkt);
@@ -411,7 +434,9 @@ mod tests {
             vec![Instruction::GotoTable(1)],
         ));
         p.table_mut(1).unwrap().insert(port_entry(10, 80, 5));
-        p.table_mut(1).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p.table_mut(1)
+            .unwrap()
+            .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
         let mut pkt = PacketBuilder::tcp().tcp_dst(80).in_port(0).build();
         let result = classify(&p, &mut pkt);

@@ -354,10 +354,15 @@ mod tests {
             .tcp_dst(8080)
             .build();
         assert!(pkt.len() >= MIN_FRAME_LEN);
-        assert!(Ipv4Header::verify_checksum(&pkt.data()[ETHERNET_HEADER_LEN..]));
+        assert!(Ipv4Header::verify_checksum(
+            &pkt.data()[ETHERNET_HEADER_LEN..]
+        ));
         let h = parse(pkt.data(), ParseDepth::L4);
         assert_eq!(h.tcp_dst(pkt.data()), Some(8080));
-        assert_eq!(h.ipv4_src(pkt.data()), Some(Ipv4Addr4::new(198, 51, 100, 1)));
+        assert_eq!(
+            h.ipv4_src(pkt.data()),
+            Some(Ipv4Addr4::new(198, 51, 100, 1))
+        );
     }
 
     #[test]

@@ -10,12 +10,7 @@ pub fn ones_complement(data: &[u8]) -> u16 {
 
 /// Computes the checksum of a TCP/UDP segment including the IPv4
 /// pseudo-header (source, destination, protocol, segment length).
-pub fn pseudo_header_checksum(
-    src: [u8; 4],
-    dst: [u8; 4],
-    proto: u8,
-    segment: &[u8],
-) -> u16 {
+pub fn pseudo_header_checksum(src: [u8; 4], dst: [u8; 4], proto: u8, segment: &[u8]) -> u16 {
     let mut acc = 0u32;
     acc = sum(&src, acc);
     acc = sum(&dst, acc);
@@ -69,8 +64,10 @@ mod tests {
 
     #[test]
     fn checksum_of_checksummed_buffer_is_zero() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x06, 0, 0, 10,
-                            0, 0, 1, 192, 0, 2, 1];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x28, 0xab, 0xcd, 0x40, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 192, 0,
+            2, 1,
+        ];
         let csum = ones_complement(&data);
         data[10..12].copy_from_slice(&csum.to_be_bytes());
         assert_eq!(ones_complement(&data), 0);

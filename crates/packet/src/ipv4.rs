@@ -208,7 +208,10 @@ impl Ipv4Header {
     /// # Panics
     /// Panics if `out` is shorter than 20 bytes or `header_len != 20`.
     pub fn write(&self, out: &mut [u8]) {
-        assert_eq!(self.header_len, IPV4_MIN_HEADER_LEN, "options not supported on write");
+        assert_eq!(
+            self.header_len, IPV4_MIN_HEADER_LEN,
+            "options not supported on write"
+        );
         out[0] = 0x45;
         out[1] = (self.dscp << 2) | (self.ecn & 0x03);
         out[2..4].copy_from_slice(&self.total_len.to_be_bytes());

@@ -79,7 +79,9 @@ impl Ipv6Header {
         }
         Some(Ipv6Header {
             traffic_class: (data[0] << 4) | (data[1] >> 4),
-            flow_label: u32::from(data[1] & 0x0f) << 16 | u32::from(data[2]) << 8 | u32::from(data[3]),
+            flow_label: u32::from(data[1] & 0x0f) << 16
+                | u32::from(data[2]) << 8
+                | u32::from(data[3]),
             payload_len: u16::from_be_bytes([data[4], data[5]]),
             next_header: IpProto::from_u8(data[6]),
             hop_limit: data[7],

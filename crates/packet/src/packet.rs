@@ -72,7 +72,10 @@ impl Packet {
     /// Inserts `extra` bytes at `offset`, shifting the tail. Used by the
     /// push-VLAN action. Panics if the result would exceed [`MAX_FRAME_LEN`].
     pub fn insert(&mut self, offset: usize, extra: &[u8]) {
-        assert!(self.len() + extra.len() <= MAX_FRAME_LEN, "insert overflows frame");
+        assert!(
+            self.len() + extra.len() <= MAX_FRAME_LEN,
+            "insert overflows frame"
+        );
         let tail = self.data.split_off(offset);
         self.data.extend_from_slice(extra);
         self.data.unsplit(tail);

@@ -292,7 +292,10 @@ fn parse_l3(frame: &[u8], out: &mut ParsedHeaders) -> Option<(usize, IpProto)> {
             out.mask |= ProtoMask::IPV6;
             out.l3_offset = l3_offset as u16;
             out.ip_proto = hdr[6];
-            Some((l3_offset + crate::ipv6::IPV6_HEADER_LEN, IpProto::from_u8(hdr[6])))
+            Some((
+                l3_offset + crate::ipv6::IPV6_HEADER_LEN,
+                IpProto::from_u8(hdr[6]),
+            ))
         }
         EtherType::Arp => {
             if frame.len() >= l3_offset + crate::arp::ARP_LEN {
@@ -388,10 +391,7 @@ mod tests {
 
     #[test]
     fn vlan_tagged_udp() {
-        let pkt = PacketBuilder::udp()
-            .vlan(3)
-            .udp_dst(4739)
-            .build();
+        let pkt = PacketBuilder::udp().vlan(3).udp_dst(4739).build();
         let h = parse(pkt.data(), ParseDepth::L4);
         assert!(h.has_vlan());
         assert_eq!(h.vlan_vid, 3);

@@ -73,11 +73,19 @@ pub fn generate_acl_table(config: &AclConfig) -> FlowTable {
             m = m.with_exact(Field::IpProto, if proto_tcp { 6 } else { 17 });
         }
         if !wildcard(&mut rng) {
-            let field = if proto_tcp { Field::TcpSrc } else { Field::UdpSrc };
+            let field = if proto_tcp {
+                Field::TcpSrc
+            } else {
+                Field::UdpSrc
+            };
             m = m.with_exact(field, u128::from(rng.gen_range(1024..u16::MAX)));
         }
         if !wildcard(&mut rng) {
-            let field = if proto_tcp { Field::TcpDst } else { Field::UdpDst };
+            let field = if proto_tcp {
+                Field::TcpDst
+            } else {
+                Field::UdpDst
+            };
             m = m.with_exact(
                 field,
                 u128::from(SERVICE_PORTS[rng.gen_range(0..SERVICE_PORTS.len())]),
@@ -93,7 +101,11 @@ pub fn generate_acl_table(config: &AclConfig) -> FlowTable {
         } else {
             vec![Action::ToController]
         };
-        table.insert(FlowEntry::new(m, 1000 + (rules - i), terminal_actions(action)));
+        table.insert(FlowEntry::new(
+            m,
+            1000 + (rules - i),
+            terminal_actions(action),
+        ));
     }
     if config.with_catch_all {
         table.insert(FlowEntry::new(

@@ -98,7 +98,10 @@ pub fn sample_routing_table(config: &PrefixTableConfig) -> Vec<Route> {
 /// routing table (each address falls inside a randomly chosen route), so the
 /// generated traffic exercises the LPM rather than the table-miss path.
 pub fn sample_covered_addresses(routes: &[Route], count: usize, seed: u64) -> Vec<Ipv4Addr4> {
-    assert!(!routes.is_empty(), "cannot sample addresses from an empty table");
+    assert!(
+        !routes.is_empty(),
+        "cannot sample addresses from an empty table"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count)
         .map(|_| {
@@ -130,7 +133,9 @@ mod tests {
         assert_eq!(a.len(), 2_000);
         assert_eq!(a, b);
         assert!(a.iter().all(|r| r.next_hop < 8));
-        assert!(a.iter().all(|r| r.prefix.to_u32() & prefix_mask(r.len) == r.prefix.to_u32()));
+        assert!(a
+            .iter()
+            .all(|r| r.prefix.to_u32() & prefix_mask(r.len) == r.prefix.to_u32()));
     }
 
     #[test]
@@ -165,8 +170,16 @@ mod tests {
 
     #[test]
     fn distinct_seeds_give_distinct_tables() {
-        let a = sample_routing_table(&PrefixTableConfig { prefixes: 100, seed: 1, next_hops: 4 });
-        let b = sample_routing_table(&PrefixTableConfig { prefixes: 100, seed: 2, next_hops: 4 });
+        let a = sample_routing_table(&PrefixTableConfig {
+            prefixes: 100,
+            seed: 1,
+            next_hops: 4,
+        });
+        let b = sample_routing_table(&PrefixTableConfig {
+            prefixes: 100,
+            seed: 2,
+            next_hops: 4,
+        });
         assert_ne!(a, b);
     }
 }

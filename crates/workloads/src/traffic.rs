@@ -84,7 +84,9 @@ mod tests {
     use pkt::builder::PacketBuilder;
 
     fn flows(n: u16) -> Vec<Packet> {
-        (0..n).map(|i| PacketBuilder::udp().udp_src(1000 + i).build()).collect()
+        (0..n)
+            .map(|i| PacketBuilder::udp().udp_src(1000 + i).build())
+            .collect()
     }
 
     #[test]

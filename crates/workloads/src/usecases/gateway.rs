@@ -16,7 +16,9 @@
 use openflow::controller::FnController;
 use openflow::flow_match::FlowMatch;
 use openflow::instruction::{actions_then_goto, terminal_actions};
-use openflow::{Action, Controller, ControllerDecision, Field, FlowEntry, FlowKey, FlowMod, Pipeline};
+use openflow::{
+    Action, Controller, ControllerDecision, Field, FlowEntry, FlowKey, FlowMod, Pipeline,
+};
 use pkt::builder::PacketBuilder;
 use pkt::ipv4::Ipv4Addr4;
 use rand::prelude::*;
@@ -72,7 +74,12 @@ pub fn user_private_ip(ce: usize, user: usize) -> Ipv4Addr4 {
 /// Public address allocated to (`ce`, `user`) (100.64.ce.user — RFC 6598
 /// space standing in for the provider pool).
 pub fn user_public_ip(ce: usize, user: usize) -> Ipv4Addr4 {
-    Ipv4Addr4::new(100, 64 + ce as u8, (user / 250) as u8, (user % 250 + 2) as u8)
+    Ipv4Addr4::new(
+        100,
+        64 + ce as u8,
+        (user / 250) as u8,
+        (user % 250 + 2) as u8,
+    )
 }
 
 /// Per-CE NAT table id.
@@ -302,7 +309,11 @@ mod tests {
         let traffic = build_traffic(&config, 16);
         for mut packet in traffic.one_cycle() {
             let verdict = pipeline.process(&mut packet);
-            assert_eq!(verdict.outputs, vec![PORT_NET], "upstream must reach the network");
+            assert_eq!(
+                verdict.outputs,
+                vec![PORT_NET],
+                "upstream must reach the network"
+            );
             let key = FlowKey::extract(&packet);
             // Source rewritten into the public pool, VLAN tag removed.
             assert_eq!(Ipv4Addr4::from_u32(key.ipv4_src.unwrap()).octets()[0], 100);

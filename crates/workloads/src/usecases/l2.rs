@@ -52,7 +52,8 @@ pub fn build_pipeline(config: &L2Config) -> Pipeline {
     table.name = "l2-mac".to_string();
     for i in 0..config.table_size as u64 {
         table.insert(FlowEntry::new(
-            FlowMatch::any().with_exact(Field::EthDst, u128::from(mac_for(i, config.seed).to_u64())),
+            FlowMatch::any()
+                .with_exact(Field::EthDst, u128::from(mac_for(i, config.seed).to_u64())),
             100,
             terminal_actions(vec![Action::Output(i as u32 % config.ports.max(1))]),
         ));

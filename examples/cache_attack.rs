@@ -31,7 +31,12 @@ fn attack_packets(count: usize, seed: u64) -> Vec<Packet> {
         .collect()
 }
 
-fn measure(label: &str, mut process: impl FnMut(&mut Packet), victim: &workloads::FlowSet, attack: &[Packet]) {
+fn measure(
+    label: &str,
+    mut process: impl FnMut(&mut Packet),
+    victim: &workloads::FlowSet,
+    attack: &[Packet],
+) {
     // Interleave victim traffic (a well-behaved user population) with the
     // attacker's scan, 1:1, and measure the aggregate rate.
     let packets = 200_000usize;
@@ -61,12 +66,22 @@ fn main() {
         ovs.process(&mut victim.packet(i));
     }
 
-    measure("ESWITCH", |p| {
-        eswitch.process(p);
-    }, &victim, &attack);
-    measure("OVS    ", |p| {
-        ovs.process(p);
-    }, &victim, &attack);
+    measure(
+        "ESWITCH",
+        |p| {
+            eswitch.process(p);
+        },
+        &victim,
+        &attack,
+    );
+    measure(
+        "OVS    ",
+        |p| {
+            ovs.process(p);
+        },
+        &victim,
+        &attack,
+    );
 
     let (micro, mega, slow) = ovs.stats.hit_fractions();
     println!(

@@ -44,14 +44,23 @@ fn main() {
         Box::new(NullController::new()),
     )
     .expect("compiles");
-    println!("compiled templates: {:?}", eswitch.datapath().template_kinds());
+    println!(
+        "compiled templates: {:?}",
+        eswitch.datapath().template_kinds()
+    );
     let ovs = OvsDatapath::new(load_balancer::build_pipeline(&config));
 
     let traffic = load_balancer::build_traffic(&config, 10_000);
     let packets = 200_000;
     for (label, process) in [
-        ("ESWITCH", &(|p: &mut pkt::Packet| eswitch.process(p).outputs.len()) as &dyn Fn(&mut pkt::Packet) -> usize),
-        ("OVS    ", &|p: &mut pkt::Packet| ovs.process(p).outputs.len()),
+        (
+            "ESWITCH",
+            &(|p: &mut pkt::Packet| eswitch.process(p).outputs.len())
+                as &dyn Fn(&mut pkt::Packet) -> usize,
+        ),
+        ("OVS    ", &|p: &mut pkt::Packet| {
+            ovs.process(p).outputs.len()
+        }),
     ] {
         // Warm up, then measure.
         for i in 0..20_000 {
@@ -69,5 +78,7 @@ fn main() {
         );
     }
     let (micro, mega, slow) = ovs.stats.hit_fractions();
-    println!("OVS cache hit fractions: microflow {micro:.2}, megaflow {mega:.2}, slow path {slow:.3}");
+    println!(
+        "OVS cache hit fractions: microflow {micro:.2}, megaflow {mega:.2}, slow path {slow:.3}"
+    );
 }

@@ -23,7 +23,10 @@ fn main() {
     table.insert(FlowEntry::new(
         FlowMatch::any()
             .with_exact(Field::InPort, 0)
-            .with_exact(Field::Ipv4Dst, u128::from(u32::from_be_bytes([192, 0, 2, 1])))
+            .with_exact(
+                Field::Ipv4Dst,
+                u128::from(u32::from_be_bytes([192, 0, 2, 1])),
+            )
             .with_exact(Field::TcpDst, 80),
         200,
         terminal_actions(vec![Action::Output(1)]),
@@ -34,8 +37,14 @@ fn main() {
     //    specialization pass patches the flow keys in, and the runtime is
     //    ready to forward.
     let switch = EswitchRuntime::compile(pipeline).expect("pipeline compiles");
-    println!("compiled templates: {:?}", switch.datapath().template_kinds());
-    println!("--- generated datapath ---\n{}", switch.datapath().disassemble());
+    println!(
+        "compiled templates: {:?}",
+        switch.datapath().template_kinds()
+    );
+    println!(
+        "--- generated datapath ---\n{}",
+        switch.datapath().disassemble()
+    );
 
     // 3. Forward some packets.
     let mut http = PacketBuilder::tcp()
@@ -48,8 +57,14 @@ fn main() {
         .tcp_dst(22)
         .in_port(0)
         .build();
-    println!("HTTP from outside  -> {:?}", switch.process(&mut http).outputs);
-    println!("SSH from outside   -> drop = {}", switch.process(&mut ssh).is_drop());
+    println!(
+        "HTTP from outside  -> {:?}",
+        switch.process(&mut http).outputs
+    );
+    println!(
+        "SSH from outside   -> drop = {}",
+        switch.process(&mut ssh).is_drop()
+    );
 
     // 4. Update the pipeline at runtime: admit HTTPS as well. The runtime
     //    absorbs the flow-mod and the datapath keeps serving packets.
@@ -58,7 +73,10 @@ fn main() {
             0,
             FlowMatch::any()
                 .with_exact(Field::InPort, 0)
-                .with_exact(Field::Ipv4Dst, u128::from(u32::from_be_bytes([192, 0, 2, 1])))
+                .with_exact(
+                    Field::Ipv4Dst,
+                    u128::from(u32::from_be_bytes([192, 0, 2, 1])),
+                )
                 .with_exact(Field::TcpDst, 443),
             200,
             terminal_actions(vec![Action::Output(1)]),
@@ -69,5 +87,8 @@ fn main() {
         .tcp_dst(443)
         .in_port(0)
         .build();
-    println!("HTTPS after update -> {:?}", switch.process(&mut https).outputs);
+    println!(
+        "HTTPS after update -> {:?}",
+        switch.process(&mut https).outputs
+    );
 }

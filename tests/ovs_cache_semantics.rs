@@ -87,7 +87,10 @@ fn fine_grained_rule_fragments_megaflows() {
         100,
         terminal_actions(vec![Action::Output(1)]),
     ));
-    coarse.table_mut(0).unwrap().insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    coarse
+        .table_mut(0)
+        .unwrap()
+        .insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
     // Same pipeline plus one fine-grained rule on an exact TCP source port.
     let mut fine = coarse.clone();
@@ -107,7 +110,8 @@ fn fine_grained_rule_fragments_megaflows() {
             },
             ..ovsdp::OvsConfig::default()
         };
-        let dp = OvsDatapath::with_config(pipeline, config, Box::new(openflow::NullController::new()));
+        let dp =
+            OvsDatapath::with_config(pipeline, config, Box::new(openflow::NullController::new()));
         for src in 0..200u16 {
             dp.process(
                 &mut PacketBuilder::tcp()
@@ -122,7 +126,10 @@ fn fine_grained_rule_fragments_megaflows() {
     let (coarse_megaflows, coarse_slow) = run(coarse);
     let (fine_megaflows, fine_slow) = run(fine);
 
-    assert_eq!(coarse_megaflows, 1, "destination-only traffic is one aggregate");
+    assert_eq!(
+        coarse_megaflows, 1,
+        "destination-only traffic is one aggregate"
+    );
     assert_eq!(coarse_slow, 1);
     assert!(
         fine_megaflows > coarse_megaflows * 20,
@@ -174,7 +181,11 @@ fn megaflow_store_disjointness_and_eviction() {
     let mut mask = ovsdp::FieldMask::wildcard_all();
     mask.unwildcard_exact(Field::TcpDst);
     for port in 0..20u16 {
-        cache.insert(&key(port), mask.clone(), std::sync::Arc::new(vec![Action::Output(1)]));
+        cache.insert(
+            &key(port),
+            mask.clone(),
+            std::sync::Arc::new(vec![Action::Output(1)]),
+        );
     }
     assert!(cache.len() <= 8, "capacity must bound the cache");
     assert!(cache.lookup(&key(19)).is_some(), "recent entries survive");

@@ -22,9 +22,17 @@ fn arb_rule() -> impl Strategy<Value = FlowEntry> {
         prop_oneof![
             (0u32..4).prop_map(|p| (Field::InPort, u128::from(p), 32u32)),
             (0u64..16).prop_map(|m| (Field::EthDst, u128::from(0x0200_0000_0000 + m), 48u32)),
-            (0u8..4).prop_map(|x| (Field::Ipv4Dst, u128::from(u32::from_be_bytes([10, 0, 0, x])), 32u32)),
+            (0u8..4).prop_map(|x| (
+                Field::Ipv4Dst,
+                u128::from(u32::from_be_bytes([10, 0, 0, x])),
+                32u32
+            )),
             (8u32..=24).prop_map(|len| {
-                (Field::Ipv4Dst, u128::from(u32::from_be_bytes([10, 0, 0, 0])), len)
+                (
+                    Field::Ipv4Dst,
+                    u128::from(u32::from_be_bytes([10, 0, 0, 0])),
+                    len,
+                )
             }),
             (0u16..4).prop_map(|p| (Field::TcpDst, u128::from(80 + p), 16u32)),
             Just((Field::IpProto, 6u128, 8u32)),
@@ -40,7 +48,11 @@ fn arb_rule() -> impl Strategy<Value = FlowEntry> {
                 m = m.with_prefix(field, value, len);
             }
         }
-        FlowEntry::new(m, priority, terminal_actions(vec![Action::Output(out_port)]))
+        FlowEntry::new(
+            m,
+            priority,
+            terminal_actions(vec![Action::Output(out_port)]),
+        )
     })
 }
 

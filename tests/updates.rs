@@ -60,7 +60,10 @@ fn route_update_is_incremental_for_eswitch_and_flushes_ovs() {
     for i in 0..200 {
         let mut a = traffic.packet(i);
         let mut b = traffic.packet(i);
-        assert_eq!(eswitch.process(&mut a).decision(), ovs.process(&mut b).decision());
+        assert_eq!(
+            eswitch.process(&mut a).decision(),
+            ovs.process(&mut b).decision()
+        );
     }
     let new_dst = pkt::builder::PacketBuilder::tcp()
         .vlan(gateway::ce_vlan(0))
@@ -118,7 +121,10 @@ fn batched_updates_keep_both_switches_consistent() {
     for packet in traffic.one_cycle() {
         let mut a = packet.clone();
         let mut b = packet;
-        assert_eq!(eswitch.process(&mut a).decision(), ovs.process(&mut b).decision());
+        assert_eq!(
+            eswitch.process(&mut a).decision(),
+            ovs.process(&mut b).decision()
+        );
     }
 }
 

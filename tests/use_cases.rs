@@ -24,8 +24,16 @@ fn assert_all_agree(pipeline_builder: impl Fn() -> openflow::Pipeline, traffic: 
         let mut b = packet.clone();
         let mut c = packet;
         let reference = direct.process(&mut a).decision();
-        assert_eq!(ovs.process(&mut b).decision(), reference, "OVS diverged at {i}");
-        assert_eq!(eswitch.process(&mut c).decision(), reference, "ESWITCH diverged at {i}");
+        assert_eq!(
+            ovs.process(&mut b).decision(),
+            reference,
+            "OVS diverged at {i}"
+        );
+        assert_eq!(
+            eswitch.process(&mut c).decision(),
+            reference,
+            "ESWITCH diverged at {i}"
+        );
     }
 }
 
@@ -41,7 +49,10 @@ fn l2_use_case_compiles_to_hash_and_agrees() {
         eswitch.datapath().template_kinds(),
         vec![(0, TemplateKind::CompoundHash)]
     );
-    assert_all_agree(|| l2::build_pipeline(&config), &l2::build_traffic(&config, 500));
+    assert_all_agree(
+        || l2::build_pipeline(&config),
+        &l2::build_traffic(&config, 500),
+    );
 }
 
 #[test]
@@ -56,7 +67,10 @@ fn l3_use_case_compiles_to_lpm_and_agrees() {
         eswitch.datapath().template_kinds(),
         vec![(0, TemplateKind::Lpm)]
     );
-    assert_all_agree(|| l3::build_pipeline(&config), &l3::build_traffic(&config, 500));
+    assert_all_agree(
+        || l3::build_pipeline(&config),
+        &l3::build_traffic(&config, 500),
+    );
 }
 
 #[test]
@@ -84,7 +98,11 @@ fn load_balancer_decomposition_promotes_templates_and_agrees() {
     .unwrap();
     assert!(decomposed.datapath().template_kinds().len() > 1);
     for (id, kind) in decomposed.datapath().template_kinds() {
-        assert_ne!(kind, TemplateKind::LinkedList, "table {id} still linked list");
+        assert_ne!(
+            kind,
+            TemplateKind::LinkedList,
+            "table {id} still linked list"
+        );
     }
 
     // And the decomposed compiled datapath still agrees with the reference.
@@ -168,8 +186,14 @@ fn ovs_hierarchy_shifts_with_active_flow_count() {
     }
     let (micro_many, _, slow_many) = many.stats.hit_fractions();
 
-    assert!(micro_few > 0.9, "few flows should be microflow-dominated: {micro_few}");
-    assert!(micro_many < 0.5, "many flows must thrash the microflow cache: {micro_many}");
+    assert!(
+        micro_few > 0.9,
+        "few flows should be microflow-dominated: {micro_few}"
+    );
+    assert!(
+        micro_many < 0.5,
+        "many flows must thrash the microflow cache: {micro_many}"
+    );
     assert!(slow_many > 0.0, "many flows must reach the slow path");
 }
 
@@ -190,7 +214,10 @@ fn eswitch_work_is_flow_count_independent() {
         for packet in traffic.one_cycle().take(200) {
             let mut p = packet;
             let verdict = eswitch.process(&mut p);
-            assert_eq!(verdict.tables_visited, 3, "upstream walk is always 3 tables");
+            assert_eq!(
+                verdict.tables_visited, 3,
+                "upstream walk is always 3 tables"
+            );
         }
     }
 }

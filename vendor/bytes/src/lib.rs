@@ -1,0 +1,222 @@
+//! Minimal `bytes` shim backed by `Vec<u8>`.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides the subset of the `bytes` API the workspace uses: [`BytesMut`]
+//! with `from`, `freeze`, `split_off`, `split_to`, `unsplit` and
+//! `extend_from_slice`, plus an immutable [`Bytes`] handle. Unlike upstream,
+//! buffers here are plainly owned vectors — no refcounted sharing — which is
+//! semantically equivalent for this workspace (it only clones and mutates).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer, as produced by [`BytesMut::freeze`].
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        Bytes { data: Vec::new() }
+    }
+
+    /// Copies the given slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub const fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends `extend` to the end of the buffer.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.data.extend_from_slice(extend);
+    }
+
+    /// Splits the buffer at `at`, returning the tail `[at, len)` and keeping
+    /// the head `[0, at)` in `self`.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        BytesMut {
+            data: self.data.split_off(at),
+        }
+    }
+
+    /// Splits the buffer at `at`, returning the head `[0, at)` and keeping
+    /// the tail `[at, len)` in `self`.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let head: Vec<u8> = self.data.drain(..at).collect();
+        BytesMut { data: head }
+    }
+
+    /// Re-appends a buffer previously produced by [`BytesMut::split_off`].
+    pub fn unsplit(&mut self, other: BytesMut) {
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`] handle.
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.data {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_unsplit_roundtrip() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4, 5][..]);
+        let tail = b.split_off(2);
+        assert_eq!(&b[..], &[1, 2]);
+        assert_eq!(&tail[..], &[3, 4, 5]);
+        b.unsplit(tail);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn split_to_removes_head() {
+        let mut b = BytesMut::from(&[1u8, 2, 3, 4][..]);
+        let head = b.split_to(3);
+        assert_eq!(&head[..], &[1, 2, 3]);
+        assert_eq!(&b[..], &[4]);
+    }
+
+    #[test]
+    fn freeze_preserves_contents() {
+        let b = BytesMut::from(&[9u8, 8][..]);
+        assert_eq!(&b.freeze()[..], &[9, 8]);
+    }
+}

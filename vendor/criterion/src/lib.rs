@@ -1,0 +1,264 @@
+//! Minimal `criterion` shim.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides the subset of the Criterion API the workspace's bench target
+//! uses: `Criterion::benchmark_group`, group knobs (`sample_size`,
+//! `measurement_time`, `warm_up_time`), `bench_with_input`/`bench_function`
+//! with `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: each benchmark is warmed up for the
+//! configured warm-up time, then timed over `sample_size` samples; the shim
+//! reports min/mean/max nanoseconds per iteration to stdout. No HTML
+//! reports, no outlier analysis.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` repeatedly and records per-sample wall-clock times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, and use the
+        // throughput observed to size each measurement sample.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        // Aim for samples of roughly 1ms, bounded to keep total time sane.
+        let target = (1_000_000 / per_iter.max(1)) as u64;
+        self.iters_per_sample = target.clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Number of iterations each recorded sample aggregates.
+    pub fn iters_per_sample(&self) -> u64 {
+        self.iters_per_sample
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget (advisory in this shim).
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher, input);
+        let iters = bencher.iters_per_sample();
+        report(&self.name, &id.id, &samples, iters);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Ends the group (parity with upstream; nothing to flush here).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, samples: &[Duration], iters_per_sample: u64) {
+    if samples.is_empty() || iters_per_sample == 0 {
+        println!("{group}/{id}: no samples recorded");
+        return;
+    }
+    let per_iter: Vec<f64> = samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{group}/{id}: [{min:.1} ns {mean:.1} ns {max:.1} ns] per iter \
+         ({} samples x {} iters)",
+        per_iter.len(),
+        iters_per_sample
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI arguments (accepted and ignored in this shim, so that
+    /// `cargo bench -- <filter>` invocations do not error out).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: self.default_sample_size,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Opaque hint preventing the optimizer from eliding a value (re-exported
+/// for parity with upstream; prefer `std::hint::black_box` in new code).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function calling each benchmark fn in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        let mut acc = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("add"), &1u64, |b, &x| {
+            b.iter(|| {
+                acc = acc.wrapping_add(x);
+                acc
+            })
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal `crossbeam` shim providing `queue::ArrayQueue`.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides the one crossbeam type the workspace uses. The shim is a bounded
+//! MPMC queue with the same observable semantics as the upstream lock-free
+//! implementation (push returns the rejected item when full, pop returns
+//! `None` when empty); it trades the lock-free fast path for a plain mutex,
+//! which is correct under arbitrary concurrency, just slower under heavy
+//! contention.
+
+/// Bounded queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded multi-producer multi-consumer queue.
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        capacity: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue holding at most `capacity` items.
+        ///
+        /// # Panics
+        /// Panics if `capacity` is zero.
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(capacity)),
+                capacity,
+            }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+
+        /// Attempts to enqueue `item`, returning it back if the queue is full.
+        pub fn push(&self, item: T) -> Result<(), T> {
+            let mut q = self.guard();
+            if q.len() == self.capacity {
+                return Err(item);
+            }
+            q.push_back(item);
+            Ok(())
+        }
+
+        /// Attempts to dequeue one item.
+        pub fn pop(&self) -> Option<T> {
+            self.guard().pop_front()
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.guard().len()
+        }
+
+        /// True when no items are queued.
+        pub fn is_empty(&self) -> bool {
+            self.guard().is_empty()
+        }
+
+        /// True when the queue holds `capacity` items.
+        pub fn is_full(&self) -> bool {
+            self.guard().len() == self.capacity
+        }
+
+        /// Maximum number of items the queue can hold.
+        pub fn capacity(&self) -> usize {
+            self.capacity
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_fifo() {
+            let q = ArrayQueue::new(2);
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+            assert_eq!(q.push(3), Err(3));
+            assert!(q.is_full());
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+            assert_eq!(q.capacity(), 2);
+        }
+    }
+}

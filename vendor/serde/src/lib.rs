@@ -1,0 +1,35 @@
+//! Minimal `serde` shim.
+//!
+//! The build environment has no route to a crates registry, so this crate
+//! provides marker versions of the [`Serialize`] and [`Deserialize`] traits
+//! plus the derive re-exports. The workspace only uses serde derives to mark
+//! config/profile types as serializable for downstream tooling; nothing in
+//! the tree actually serializes, so the marker traits carry no methods. Swap
+//! for real serde (the derives and bounds are upstream-compatible) when
+//! registry access is available.
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_marker {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+impl_marker!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}

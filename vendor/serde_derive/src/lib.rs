@@ -1,0 +1,61 @@
+//! Minimal `serde_derive` shim.
+//!
+//! Emits empty marker-trait impls for the shimmed `serde::Serialize` /
+//! `serde::Deserialize` traits. Written against `proc_macro` directly (no
+//! `syn`/`quote` — the build environment has no registry access), so it
+//! supports the shapes the workspace actually derives on: plain structs and
+//! enums without generic parameters.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` definition.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip outer attributes: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    match tokens.next() {
+                        Some(TokenTree::Ident(name)) => {
+                            if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                                assert!(
+                                    p.as_char() != '<',
+                                    "serde_derive shim does not support generic types \
+                                     (deriving on `{name}`)"
+                                );
+                            }
+                            return name.to_string();
+                        }
+                        other => panic!("expected type name after `{word}`, found {other:?}"),
+                    }
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive shim: no struct/enum/union found in derive input");
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
