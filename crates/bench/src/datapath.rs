@@ -35,8 +35,9 @@ impl SwitchKind {
 pub enum AnySwitch {
     /// Compiled ESWITCH runtime.
     Eswitch(EswitchRuntime),
-    /// OVS-style caching datapath.
-    Ovs(OvsDatapath),
+    /// OVS-style caching datapath (boxed: it embeds the burst scratch and
+    /// projection buffers, making it much larger than the other variants).
+    Ovs(Box<OvsDatapath>),
     /// Direct reference datapath.
     Direct(DirectDatapath),
 }
@@ -59,18 +60,18 @@ impl AnySwitch {
                 )
                 .expect("pipeline compiles"),
             ),
-            SwitchKind::Ovs => AnySwitch::Ovs(OvsDatapath::new(pipeline)),
+            SwitchKind::Ovs => AnySwitch::Ovs(Box::new(OvsDatapath::new(pipeline))),
             SwitchKind::Direct => AnySwitch::Direct(DirectDatapath::new(pipeline)),
         }
     }
 
     /// Instantiates an OVS datapath with an explicit cache configuration.
     pub fn ovs_with_config(pipeline: Pipeline, config: OvsConfig) -> Self {
-        AnySwitch::Ovs(OvsDatapath::with_config(
+        AnySwitch::Ovs(Box::new(OvsDatapath::with_config(
             pipeline,
             config,
             Box::new(NullController::new()),
-        ))
+        )))
     }
 
     /// Processes one packet.

@@ -12,6 +12,7 @@
 //! be regenerated in seconds (CI) instead of minutes (faithful runs).
 
 pub mod datapath;
+pub mod fastpath;
 pub mod measure;
 pub mod multicore;
 pub mod report;

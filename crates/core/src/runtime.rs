@@ -114,19 +114,39 @@ impl EswitchRuntime {
         verdict
     }
 
-    /// Processes a batch of packets.
-    pub fn process_batch(&self, packets: &mut [Packet]) -> Vec<Verdict> {
+    /// Processes a batch of packets through one datapath snapshot, appending
+    /// one verdict per packet to `verdicts` (which is cleared first).
+    ///
+    /// The compiled-datapath handle is resolved once per batch (one
+    /// `RwLock` read + `Arc` clone instead of one per packet); an update
+    /// racing the batch lands in the *next* batch, which is exactly the
+    /// trampoline-swap semantics of §3.4. Controller punts are collected and
+    /// handed over after the burst so reactive flow-mods cannot stall the
+    /// remaining packets of the burst mid-flight.
+    pub fn process_batch_into(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(packets.len());
         let datapath = self.datapath();
-        packets
-            .iter_mut()
-            .map(|p| {
-                let verdict = datapath.process(p);
-                if verdict.to_controller {
+        let mut punted_any = false;
+        for p in packets.iter_mut() {
+            let verdict = datapath.process(p);
+            punted_any |= verdict.to_controller;
+            verdicts.push(verdict);
+        }
+        if punted_any {
+            for (p, v) in packets.iter().zip(verdicts.iter()) {
+                if v.to_controller {
                     self.handle_packet_in(p.clone());
                 }
-                verdict
-            })
-            .collect()
+            }
+        }
+    }
+
+    /// Processes a batch of packets, returning per-packet verdicts.
+    pub fn process_batch(&self, packets: &mut [Packet]) -> Vec<Verdict> {
+        let mut verdicts = Vec::new();
+        self.process_batch_into(packets, &mut verdicts);
+        verdicts
     }
 
     /// Applies a flow-mod, updating the compiled datapath at the finest

@@ -1,0 +1,144 @@
+//! FxHash — the multiply-rotate hash used by rustc and Firefox.
+//!
+//! The datapath hot path hashes small fixed-shape keys (masked field tuples,
+//! miniflow keys) millions of times per second; SipHash's per-key setup and
+//! finalisation dominate at that size. FxHash folds each word with one rotate,
+//! one xor and one multiply, which is the same cost model as the inline hash
+//! sequences the paper's generated code uses. It is *not* DoS-resistant —
+//! fine for caches bounded by eviction, wrong for anything fed attacker
+//! chosen keys without a bound.
+//!
+//! Vendored here (the build container has no crates-registry route) with the
+//! same constants as the `fxhash`/`rustc-hash` crates.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Golden-ratio-derived multiplier (same constant as `rustc-hash`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A streaming FxHash state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        FxHasher::default()
+    }
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`/`HashSet`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Hashes one `u64` word into an accumulator — the building block for
+/// precomputed per-key hashes built incrementally (miniflow keys).
+#[inline]
+pub fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn deterministic_and_word_sensitive() {
+        let build = FxBuildHasher::default();
+        let a = build.hash_one(0x1234_5678_u64);
+        let b = build.hash_one(0x1234_5678_u64);
+        let c = build.hash_one(0x1234_5679_u64);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn slice_hash_matches_owned_box_hash() {
+        // The megaflow subtables rely on Borrow<[u128]>: a Box<[u128]> key
+        // and the borrowed slice must hash identically.
+        let build = FxBuildHasher::default();
+        let owned: Box<[u128]> = vec![1u128, 2, u128::MAX].into_boxed_slice();
+        let slice: &[u128] = &[1u128, 2, u128::MAX];
+        assert_eq!(build.hash_one(&owned), build.hash_one(slice));
+    }
+
+    #[test]
+    fn byte_stream_tail_lengths_distinct() {
+        let build = FxBuildHasher::default();
+        let with_len = |bytes: &[u8]| {
+            let mut h = build.build_hasher();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(with_len(&[0, 0, 0]), with_len(&[0, 0, 0, 0]));
+        assert_ne!(with_len(&[1, 2, 3]), with_len(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn fx_mix_matches_hasher_u64_stream() {
+        let mut h = FxHasher::new();
+        h.write_u64(7);
+        h.write_u64(99);
+        let folded = fx_mix(fx_mix(0, 7), 99);
+        assert_eq!(h.finish(), folded);
+    }
+}

@@ -15,12 +15,15 @@
 //!   `rte_lpm`, backing the ESWITCH LPM table template,
 //! * [`perfect_hash`] — a collision-free hash with constant-time lookup,
 //!   backing the compound-hash table template,
+//! * [`fxhash`] — the multiply-rotate hash the cache hot paths key on
+//!   (SipHash setup/finalisation dominates at flow-key sizes),
 //! * [`stats`] — shared atomic packet/byte/drop counters.
 //!
 //! See DESIGN.md §1 for why this substitution preserves the behaviours the
 //! evaluation depends on.
 
 pub mod batch;
+pub mod fxhash;
 pub mod lpm;
 pub mod perfect_hash;
 pub mod port;
@@ -28,6 +31,7 @@ pub mod ring;
 pub mod stats;
 
 pub use batch::{PacketBatch, BURST_SIZE};
+pub use fxhash::{fx_mix, FxBuildHasher, FxHasher};
 pub use lpm::{Lpm, LpmError};
 pub use perfect_hash::PerfectHash;
 pub use port::{Port, PortId, PortStats};

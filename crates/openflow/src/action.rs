@@ -286,21 +286,39 @@ impl ActionSet {
 }
 
 /// Applies an ordered action list to a packet, re-parsing after layout
-/// changes, and returns the forwarding decisions produced by output-like
-/// actions (there may be several for an apply-actions list).
-pub fn apply_action_list(
+/// changes, and hands each forwarding decision produced by output-like
+/// actions to `sink`. This is the allocation-free core the cache replay
+/// paths call; [`apply_action_list`] wraps it when a collected `Vec` is
+/// more convenient than a callback.
+#[inline]
+pub fn apply_action_list_with(
     actions: &[Action],
     packet: &mut Packet,
     key: &mut FlowKey,
-) -> Vec<OutputKind> {
-    let mut headers = parse(packet.data(), ParseDepth::L4);
-    let mut outputs = Vec::new();
+    sink: impl FnMut(OutputKind),
+) {
+    let headers = parse(packet.data(), ParseDepth::L4);
+    apply_action_list_parsed(actions, packet, key, headers, sink);
+}
+
+/// Like [`apply_action_list_with`] but resuming from an already-parsed
+/// header layout, so callers that extracted the flow key from the same frame
+/// (the cache replay paths) do not parse it a second time. `headers` must
+/// describe the *current* frame; layout-changing actions re-derive it.
+#[inline]
+pub fn apply_action_list_parsed(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
+    mut headers: ParsedHeaders,
+    mut sink: impl FnMut(OutputKind),
+) {
     for action in actions {
         match action {
-            Action::Output(p) => outputs.push(OutputKind::Port(*p)),
-            Action::Flood => outputs.push(OutputKind::Flood),
-            Action::ToController => outputs.push(OutputKind::Controller),
-            Action::Drop => outputs.push(OutputKind::Drop),
+            Action::Output(p) => sink(OutputKind::Port(*p)),
+            Action::Flood => sink(OutputKind::Flood),
+            Action::ToController => sink(OutputKind::Controller),
+            Action::Drop => sink(OutputKind::Drop),
             other => {
                 if other.apply(packet, &headers, key) {
                     headers = parse(packet.data(), ParseDepth::L4);
@@ -308,6 +326,30 @@ pub fn apply_action_list(
             }
         }
     }
+}
+
+/// Applies an action list and merges the forwarding decisions straight into
+/// `verdict` — the hot-path variant (no intermediate `Vec<OutputKind>`).
+#[inline]
+pub fn apply_action_list_into(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
+    verdict: &mut crate::pipeline::Verdict,
+) {
+    apply_action_list_with(actions, packet, key, |out| verdict.add(out));
+}
+
+/// Applies an ordered action list to a packet and returns the forwarding
+/// decisions produced by output-like actions (there may be several for an
+/// apply-actions list). Allocates the result; controller/test paths only.
+pub fn apply_action_list(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
+) -> Vec<OutputKind> {
+    let mut outputs = Vec::new();
+    apply_action_list_with(actions, packet, key, |out| outputs.push(out));
     outputs
 }
 

@@ -129,6 +129,25 @@ impl Field {
         Field::Icmpv6Code,
     ];
 
+    /// Number of distinct fields (the size of dense per-field arrays).
+    pub const COUNT: usize = Field::ALL.len();
+
+    /// Dense index of this field (`Field::ALL[f.index()] == f`), used by the
+    /// flat mask/key representations on the fast path.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Field::index`].
+    ///
+    /// # Panics
+    /// Panics if `i >= Field::COUNT`.
+    #[inline]
+    pub const fn from_index(i: usize) -> Field {
+        Field::ALL[i]
+    }
+
     /// Width of the field in bits.
     pub const fn width_bits(self) -> u32 {
         match self {
@@ -241,6 +260,17 @@ impl Field {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn dense_index_roundtrips_through_all() {
+        // The flat mask/key fast paths depend on `ALL` being declared in
+        // discriminant order.
+        assert_eq!(Field::COUNT, 40);
+        for (i, f) in Field::ALL.iter().enumerate() {
+            assert_eq!(f.index(), i, "{f:?}");
+            assert_eq!(Field::from_index(i), *f);
+        }
+    }
 
     #[test]
     fn widths_are_sane() {

@@ -83,19 +83,26 @@ impl FlowKey {
     }
 
     /// Extracts a key from a packet using an existing parse result.
+    ///
+    /// This is the eager whole-tuple extraction every OVS-architecture packet
+    /// pays (the paper's "excessive packet classification" cost), so it is
+    /// written as one bounds check per protocol layer followed by fixed-index
+    /// loads, rather than one checked accessor per field.
+    #[inline]
     pub fn from_parsed(packet: &Packet, headers: &ParsedHeaders) -> Self {
         let frame = packet.data();
         let mut key = FlowKey {
             in_port: packet.in_port,
+            eth_type: headers.ethertype,
             ..Default::default()
         };
-        if let Some(mac) = headers.eth_dst(frame) {
-            key.eth_dst = mac.to_u64();
+        let l2 = usize::from(headers.l2_offset);
+        if let Some(eth) = frame.get(l2..l2 + 12) {
+            key.eth_dst =
+                u64::from_be_bytes([0, 0, eth[0], eth[1], eth[2], eth[3], eth[4], eth[5]]);
+            key.eth_src =
+                u64::from_be_bytes([0, 0, eth[6], eth[7], eth[8], eth[9], eth[10], eth[11]]);
         }
-        if let Some(mac) = headers.eth_src(frame) {
-            key.eth_src = mac.to_u64();
-        }
-        key.eth_type = headers.ethertype;
         if headers.has_vlan() {
             key.vlan_vid = Some(headers.vlan_vid);
             key.vlan_pcp = Some(headers.vlan_pcp);
@@ -103,10 +110,12 @@ impl FlowKey {
         if headers.has_ipv4() {
             let l3 = usize::from(headers.l3_offset);
             key.ip_proto = Some(headers.ip_proto);
-            key.ip_dscp = frame.get(l3 + 1).map(|b| b >> 2);
-            key.ip_ecn = frame.get(l3 + 1).map(|b| b & 0x03);
-            key.ipv4_src = headers.ipv4_src(frame).map(|a| a.to_u32());
-            key.ipv4_dst = headers.ipv4_dst(frame).map(|a| a.to_u32());
+            if let Some(ip) = frame.get(l3..l3 + 20) {
+                key.ip_dscp = Some(ip[1] >> 2);
+                key.ip_ecn = Some(ip[1] & 0x03);
+                key.ipv4_src = Some(u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]));
+                key.ipv4_dst = Some(u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]));
+            }
         } else if headers.mask.contains(ProtoMask::IPV6) {
             let l3 = usize::from(headers.l3_offset);
             key.ip_proto = Some(headers.ip_proto);
@@ -121,8 +130,11 @@ impl FlowKey {
                 ));
             }
         } else if headers.mask.contains(ProtoMask::ARP) {
+            // `headers` may describe a longer frame than `packet` currently
+            // holds (truncated capture, caller reusing a stale parse), so the
+            // slice must be checked — `&frame[l3..]` would panic.
             let l3 = usize::from(headers.l3_offset);
-            if let Some(arp) = pkt::arp::ArpPacket::parse(&frame[l3..]) {
+            if let Some(arp) = frame.get(l3..).and_then(pkt::arp::ArpPacket::parse) {
                 key.arp_op = Some(arp.op.to_u16());
                 key.arp_spa = Some(arp.sender_ip.to_u32());
                 key.arp_tpa = Some(arp.target_ip.to_u32());
@@ -131,11 +143,17 @@ impl FlowKey {
             }
         }
         if headers.has_tcp() {
-            key.tcp_src = headers.tcp_src(frame);
-            key.tcp_dst = headers.tcp_dst(frame);
+            let l4 = usize::from(headers.l4_offset);
+            if let Some(ports) = frame.get(l4..l4 + 4) {
+                key.tcp_src = Some(u16::from_be_bytes([ports[0], ports[1]]));
+                key.tcp_dst = Some(u16::from_be_bytes([ports[2], ports[3]]));
+            }
         } else if headers.has_udp() {
-            key.udp_src = headers.udp_src(frame);
-            key.udp_dst = headers.udp_dst(frame);
+            let l4 = usize::from(headers.l4_offset);
+            if let Some(ports) = frame.get(l4..l4 + 4) {
+                key.udp_src = Some(u16::from_be_bytes([ports[0], ports[1]]));
+                key.udp_dst = Some(u16::from_be_bytes([ports[2], ports[3]]));
+            }
         } else if headers.mask.contains(ProtoMask::ICMP) {
             let l4 = usize::from(headers.l4_offset);
             key.icmpv4_type = frame.get(l4).copied();
@@ -146,6 +164,7 @@ impl FlowKey {
 
     /// Reads the value of `field` from the key, or `None` if the packet does
     /// not carry the field.
+    #[inline]
     pub fn get(&self, field: Field) -> Option<FieldValue> {
         match field {
             Field::InPort | Field::InPhyPort => Some(FieldValue::from(self.in_port)),
@@ -268,6 +287,30 @@ mod tests {
         assert_eq!(key.arp_op, Some(1));
         assert_eq!(key.arp_tpa, Some(Ipv4Addr4::new(10, 0, 0, 1).to_u32()));
         assert_eq!(key.ipv4_src, None);
+    }
+
+    #[test]
+    fn truncated_arp_frame_does_not_panic() {
+        // Regression: the ARP branch sliced `&frame[l3..]` unchecked, so a
+        // parse result describing a longer frame than the packet holds (or a
+        // truncated capture) panicked instead of yielding an ARP-less key.
+        let full = PacketBuilder::arp_request(
+            MacAddr::new([2, 0, 0, 0, 0, 9]),
+            Ipv4Addr4::new(10, 0, 0, 9),
+            Ipv4Addr4::new(10, 0, 0, 1),
+        );
+        let headers = pkt::parser::parse(full.data(), pkt::parser::ParseDepth::L4);
+        let l3 = usize::from(headers.l3_offset);
+        for cut in 0..full.len() {
+            let truncated = pkt::Packet::from_bytes(&full.data()[..cut], full.in_port);
+            let key = FlowKey::from_parsed(&truncated, &headers);
+            if cut < l3 + pkt::arp::ARP_LEN {
+                assert_eq!(key.arp_op, None, "cut at {cut}");
+            }
+        }
+        // The untruncated frame still extracts the ARP fields.
+        let key = FlowKey::from_parsed(&full, &headers);
+        assert_eq!(key.arp_op, Some(1));
     }
 
     #[test]

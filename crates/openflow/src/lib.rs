@@ -28,6 +28,7 @@ pub mod instruction;
 pub mod key;
 pub mod messages;
 pub mod pipeline;
+pub mod portlist;
 pub mod table;
 
 pub use action::{Action, ActionSet};
@@ -41,4 +42,5 @@ pub use instruction::Instruction;
 pub use key::FlowKey;
 pub use messages::{PacketIn, PacketInReason, PacketOut};
 pub use pipeline::{Pipeline, PipelineError, TableId, Verdict};
+pub use portlist::PortList;
 pub use table::{FlowTable, TableMissBehavior};

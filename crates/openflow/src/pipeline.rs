@@ -5,10 +5,11 @@ use std::fmt;
 
 use pkt::Packet;
 
-use crate::action::{apply_action_list, ActionSet, OutputKind};
+use crate::action::{apply_action_list_into, ActionSet, OutputKind};
 use crate::entry::FlowEntry;
 use crate::instruction::Instruction;
 use crate::key::FlowKey;
+use crate::portlist::PortList;
 use crate::table::{FlowTable, TableMissBehavior};
 
 /// Identifier of a flow table within a pipeline.
@@ -51,7 +52,8 @@ impl std::error::Error for PipelineError {}
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Verdict {
     /// Ports the (possibly rewritten) packet must be transmitted on.
-    pub outputs: Vec<u32>,
+    /// Inline up to four ports so cache hits never allocate.
+    pub outputs: PortList,
     /// True if the packet must be flooded on all ports but the ingress one.
     pub flood: bool,
     /// True if the packet (or a copy) must be sent to the controller.
@@ -72,7 +74,7 @@ impl Verdict {
     /// Convenience constructor used by caches: forward to a single port.
     pub fn output(port: u32) -> Self {
         Verdict {
-            outputs: vec![port],
+            outputs: PortList::one(port),
             ..Default::default()
         }
     }
@@ -95,7 +97,7 @@ impl Verdict {
     /// The forwarding decision without the work accounting — what flow caches
     /// store, and what semantic-equivalence tests compare.
     pub fn decision(&self) -> (Vec<u32>, bool, bool) {
-        (self.outputs.clone(), self.flood, self.to_controller)
+        (self.outputs.to_vec(), self.flood, self.to_controller)
     }
 }
 
@@ -268,9 +270,7 @@ fn execute_instructions(
     for instruction in &entry.instructions {
         match instruction {
             Instruction::ApplyActions(actions) => {
-                for out in apply_action_list(actions, packet, key) {
-                    verdict.add(out);
-                }
+                apply_action_list_into(actions, packet, key, verdict);
             }
             Instruction::WriteActions(actions) => {
                 for a in actions {
@@ -294,9 +294,7 @@ fn finish(action_set: &ActionSet, packet: &mut Packet, key: &mut FlowKey, verdic
         return;
     }
     let list = action_set.to_action_list();
-    for out in apply_action_list(&list, packet, key) {
-        verdict.add(out);
-    }
+    apply_action_list_into(&list, packet, key, verdict);
 }
 
 #[cfg(test)]

@@ -1,0 +1,184 @@
+//! An inline list of output ports.
+//!
+//! Almost every verdict carries zero or one output port; a `Vec<u32>` there
+//! means one heap allocation per forwarded packet, which alone disqualifies
+//! the cache hit path from being allocation-free. [`PortList`] stores the
+//! first few ports inline and only spills to the heap for the rare
+//! multi-output action list (flood-like replication is expressed through the
+//! `flood` flag, not through ports).
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Ports stored inline before the list spills to the heap.
+const INLINE: usize = 4;
+
+/// A small-vector of output port numbers; allocation-free up to 4 entries.
+#[derive(Clone, Default)]
+pub struct PortList {
+    inline: [u32; INLINE],
+    len: u32,
+    /// Holds *all* entries once `len > INLINE`; unused (empty) before that.
+    spill: Vec<u32>,
+}
+
+impl PortList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PortList::default()
+    }
+
+    /// Creates a single-port list (the common cached-verdict shape).
+    pub fn one(port: u32) -> Self {
+        let mut list = PortList::new();
+        list.push(port);
+        list
+    }
+
+    /// Appends a port.
+    #[inline]
+    pub fn push(&mut self, port: u32) {
+        let n = self.len as usize;
+        if n < INLINE {
+            self.inline[n] = port;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.reserve(INLINE + 1);
+                self.spill.extend_from_slice(&self.inline);
+            }
+            self.spill.push(port);
+        }
+        self.len += 1;
+    }
+
+    /// Removes all ports, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The ports as a slice, in push order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        if self.len as usize <= INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Deref for PortList {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for PortList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for PortList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for PortList {}
+
+impl std::hash::Hash for PortList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl PartialEq<Vec<u32>> for PortList {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<PortList> for Vec<u32> {
+    fn eq(&self, other: &PortList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u32; N]> for PortList {
+    fn eq(&self, other: &[u32; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u32]> for PortList {
+    fn eq(&self, other: &&[u32]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl FromIterator<u32> for PortList {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut list = PortList::new();
+        for p in iter {
+            list.push(p);
+        }
+        list
+    }
+}
+
+impl From<Vec<u32>> for PortList {
+    fn from(ports: Vec<u32>) -> Self {
+        ports.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a PortList {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill_preserves_order() {
+        let mut list = PortList::new();
+        for p in 0..10u32 {
+            list.push(p);
+        }
+        assert_eq!(list.len(), 10);
+        assert_eq!(list.as_slice(), (0..10).collect::<Vec<_>>().as_slice());
+        assert_eq!(list[0], 0);
+        assert_eq!(list[9], 9);
+    }
+
+    #[test]
+    fn equality_with_vec_and_slice() {
+        let list = PortList::one(7);
+        assert_eq!(list, vec![7]);
+        assert_eq!(vec![7], list);
+        assert_eq!(list, [7]);
+        assert!(list.contains(&7));
+        assert!(!list.is_empty());
+        assert_eq!(PortList::new(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn clear_resets_after_spill() {
+        let mut list: PortList = (0..8).collect();
+        list.clear();
+        assert!(list.is_empty());
+        list.push(3);
+        assert_eq!(list, vec![3]);
+    }
+}

@@ -30,10 +30,12 @@ pub mod datapath;
 pub mod mask;
 pub mod megaflow;
 pub mod microflow;
+pub mod minikey;
 pub mod slowpath;
 
 pub use datapath::{CacheLevel, CacheStats, OvsConfig, OvsDatapath};
 pub use mask::{FieldMask, MaskedKey};
 pub use megaflow::{MegaflowCache, MegaflowEntry};
 pub use microflow::MicroflowCache;
+pub use minikey::MiniKey;
 pub use slowpath::{SlowPath, SlowPathResult};

@@ -1,33 +1,60 @@
 //! Megaflow masks: which fields (and which bits of them) a cached megaflow
 //! matches on.
+//!
+//! The representation is deliberately flat: a bitset of present fields plus a
+//! dense `[FieldValue; Field::COUNT]` array indexed by [`Field::index`].
+//! Projection — the per-subtable operation of tuple space search — is then a
+//! branch-light loop over the set bits writing into a caller-provided stack
+//! buffer, with no tree walk and no heap allocation (the previous
+//! `BTreeMap`/`Vec` representation allocated one `Vec` per subtable probed).
 
-use std::collections::BTreeMap;
+use std::borrow::Borrow;
 
 use openflow::{Field, FieldValue, FlowKey};
 
 /// A per-field wildcard mask, accumulated by the slow path while it decides a
 /// packet's fate.
 ///
-/// A field absent from the map is fully wildcarded; a field present with mask
-/// `m` participates in the megaflow with exactly the bits of `m`. The OVS
-/// term for building this up is *un-wildcarding*.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// A field absent from the bitset is fully wildcarded; a field present with
+/// mask `m` participates in the megaflow with exactly the bits of `m`. The
+/// OVS term for building this up is *un-wildcarding*.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldMask {
-    bits: BTreeMap<Field, FieldValue>,
+    /// Bit `Field::index(f)` set ⇔ field `f` has at least one un-wildcarded
+    /// bit. Invariant: `present` bit set ⇔ `masks[i] != 0`.
+    present: u64,
+    masks: [FieldValue; Field::COUNT],
+}
+
+impl Default for FieldMask {
+    fn default() -> Self {
+        FieldMask {
+            present: 0,
+            masks: [0; Field::COUNT],
+        }
+    }
 }
 
 impl FieldMask {
+    /// Upper bound on the number of fields a projection can produce — the
+    /// size callers give their stack buffers.
+    pub const MAX_FIELDS: usize = Field::COUNT;
+
     /// The fully wildcarded mask (matches everything).
     pub fn wildcard_all() -> Self {
         FieldMask::default()
     }
 
     /// Un-wildcards `mask` bits of `field` (ORs into any existing mask).
+    #[inline]
     pub fn unwildcard(&mut self, field: Field, mask: FieldValue) {
+        let mask = mask & field.full_mask();
         if mask == 0 {
             return;
         }
-        *self.bits.entry(field).or_insert(0) |= mask & field.full_mask();
+        let i = field.index();
+        self.present |= 1u64 << i;
+        self.masks[i] |= mask;
     }
 
     /// Un-wildcards the full width of `field`.
@@ -37,53 +64,91 @@ impl FieldMask {
 
     /// Merges another mask into this one.
     pub fn merge(&mut self, other: &FieldMask) {
-        for (field, mask) in &other.bits {
-            self.unwildcard(*field, *mask);
+        self.present |= other.present;
+        let mut bits = other.present;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.masks[i] |= other.masks[i];
         }
     }
 
-    /// The per-field masks, sorted by field.
+    /// The per-field masks, in dense field order.
     pub fn fields(&self) -> impl Iterator<Item = (Field, FieldValue)> + '_ {
-        self.bits.iter().map(|(f, m)| (*f, *m))
+        BitIter(self.present).map(|i| (Field::from_index(i), self.masks[i]))
     }
 
     /// The mask on one field (0 = fully wildcarded).
+    #[inline]
     pub fn mask_of(&self, field: Field) -> FieldValue {
-        self.bits.get(&field).copied().unwrap_or(0)
+        self.masks[field.index()]
     }
 
     /// Number of fields with at least one un-wildcarded bit.
     pub fn field_count(&self) -> usize {
-        self.bits.len()
+        self.present.count_ones() as usize
     }
 
     /// True when nothing is un-wildcarded.
     pub fn is_wildcard_all(&self) -> bool {
-        self.bits.is_empty()
+        self.present == 0
     }
 
     /// Total number of un-wildcarded bits across all fields — a measure of
     /// megaflow specificity (more bits → more megaflows needed to cover the
     /// same traffic).
     pub fn unwildcarded_bits(&self) -> u32 {
-        self.bits.values().map(|m| m.count_ones()).sum()
+        self.fields().map(|(_, m)| m.count_ones()).sum()
     }
 
-    /// Projects a flow key onto this mask, producing the hashable masked key
-    /// stored in (and looked up against) the megaflow cache.
+    /// Projects a flow key onto this mask into a caller-provided buffer,
+    /// returning how many values were written. This is the zero-allocation
+    /// subtable probe: the written prefix of `out` is the lookup key.
     ///
     /// Fields the packet does not carry are projected as a fixed sentinel so
     /// that "field absent" and "field == 0" cannot collide.
-    pub fn project(&self, key: &FlowKey) -> MaskedKey {
-        let values = self
-            .bits
-            .iter()
-            .map(|(field, mask)| match key.get(*field) {
-                Some(v) => v & mask,
+    #[inline]
+    pub fn project_into(&self, key: &FlowKey, out: &mut [FieldValue; Self::MAX_FIELDS]) -> usize {
+        let mut n = 0;
+        let mut bits = self.present;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            out[n] = match key.get(Field::from_index(i)) {
+                Some(v) => v & self.masks[i],
                 None => ABSENT_SENTINEL,
-            })
-            .collect();
-        MaskedKey { values }
+            };
+            n += 1;
+        }
+        n
+    }
+
+    /// Projects a flow key onto this mask, producing the owned hashable
+    /// masked key stored in the megaflow cache. Allocates; install paths
+    /// only — lookups use [`FieldMask::project_into`].
+    pub fn project(&self, key: &FlowKey) -> MaskedKey {
+        let mut buf = [0; Self::MAX_FIELDS];
+        let n = self.project_into(key, &mut buf);
+        MaskedKey {
+            values: buf[..n].to_vec().into_boxed_slice(),
+        }
+    }
+}
+
+/// Iterator over the set bit indices of a `u64`.
+struct BitIter(u64);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
     }
 }
 
@@ -96,15 +161,23 @@ const ABSENT_SENTINEL: FieldValue = FieldValue::MAX;
 ///
 /// Equality/hash only make sense between keys projected through the *same*
 /// mask; the megaflow cache guarantees that by keying each subtable by its
-/// mask.
+/// mask. Hashing delegates to the value slice, and `Borrow<[FieldValue]>`
+/// lets subtables be probed with a borrowed stack buffer (from
+/// [`FieldMask::project_into`]) without materialising a `MaskedKey`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MaskedKey {
-    values: Vec<FieldValue>,
+    values: Box<[FieldValue]>,
 }
 
 impl MaskedKey {
-    /// The projected values, in the mask's field order.
+    /// The projected values, in the mask's dense field order.
     pub fn values(&self) -> &[FieldValue] {
+        &self.values
+    }
+}
+
+impl Borrow<[FieldValue]> for MaskedKey {
+    fn borrow(&self) -> &[FieldValue] {
         &self.values
     }
 }
@@ -145,6 +218,16 @@ mod tests {
     }
 
     #[test]
+    fn fields_iterates_in_dense_order() {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard_exact(Field::TcpDst);
+        m.unwildcard_exact(Field::InPort);
+        m.unwildcard_exact(Field::Ipv4Dst);
+        let fields: Vec<Field> = m.fields().map(|(f, _)| f).collect();
+        assert_eq!(fields, vec![Field::InPort, Field::Ipv4Dst, Field::TcpDst]);
+    }
+
+    #[test]
     fn projection_respects_mask_bits() {
         let mut m = FieldMask::wildcard_all();
         m.unwildcard(Field::TcpDst, 0xfff0); // ignore the low 4 bits
@@ -153,6 +236,18 @@ mod tests {
         let c = m.project(&key(96)); // 0x60 -> different
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn project_into_matches_owned_projection() {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard_exact(Field::TcpDst);
+        m.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
+        let k = key(443);
+        let owned = m.project(&k);
+        let mut buf = [0; FieldMask::MAX_FIELDS];
+        let n = m.project_into(&k, &mut buf);
+        assert_eq!(owned.values(), &buf[..n]);
     }
 
     #[test]

@@ -10,20 +10,28 @@
 //! packet" — so the cost of a lookup grows with mask diversity, and the
 //! number of entries needed grows as fine-grained rules "punch holes" in the
 //! aggregates.
+//!
+//! Two fast-path properties of the real OVS classifier are reproduced here:
+//! lookups are allocation-free (projection writes into a stack buffer which
+//! probes the subtable map through `Borrow<[FieldValue]>`, hashed with
+//! FxHash), and subtables are periodically re-ranked by hit count so the
+//! linear search probes hot masks first — OVS sorts its subtable vector by
+//! usage for exactly this reason.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use openflow::{Action, FlowKey};
+use netdev::FxBuildHasher;
+use openflow::{Action, FieldValue, FlowKey};
 
 use crate::mask::{FieldMask, MaskedKey};
 
-/// One cached megaflow.
+/// One cached megaflow. Deliberately slim (two words + a counter): entries
+/// live inline in the subtable hash slots, so their size is what tuple-space
+/// probes drag through the cache. The mask lives on the subtable
+/// ([`MegaflowCache::subtable_masks`]), not on every entry.
 #[derive(Debug, Clone)]
 pub struct MegaflowEntry {
-    /// The mask this entry was installed under (owned by its subtable; kept
-    /// here as well for dump/debug purposes).
-    pub mask: FieldMask,
     /// The cached action program.
     pub actions: Arc<Vec<Action>>,
     /// Packets answered by this entry.
@@ -31,21 +39,33 @@ pub struct MegaflowEntry {
 }
 
 /// One subtable: all megaflows sharing a mask, hashed by masked key.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Subtable {
+    /// Stable identity (survives rank-reordering; eviction bookkeeping refers
+    /// to subtables by id, never by position).
+    id: u32,
     mask: FieldMask,
-    entries: HashMap<MaskedKey, MegaflowEntry>,
+    entries: HashMap<MaskedKey, MegaflowEntry, FxBuildHasher>,
+    /// Hits since the last re-rank (decayed, not reset, so a briefly idle
+    /// subtable does not immediately fall to the back).
+    rank_hits: u64,
 }
 
 /// The megaflow cache.
 #[derive(Debug)]
 pub struct MegaflowCache {
     subtables: Vec<Subtable>,
-    /// FIFO of (subtable index, key) used for eviction when the cache is at
+    next_subtable_id: u32,
+    /// FIFO of (subtable id, key) used for eviction when the cache is at
     /// capacity, coarsely modelling OVS's flow-limit + revalidator behaviour.
-    insertion_order: VecDeque<(usize, MaskedKey)>,
+    insertion_order: VecDeque<(u32, MaskedKey)>,
     max_entries: usize,
     len: usize,
+    /// Lookups until the next subtable re-rank.
+    rank_countdown: u64,
+    /// Projection scratch buffer, kept on the cache so lookups neither
+    /// allocate nor re-zero 640 bytes of stack per call.
+    scratch: [FieldValue; FieldMask::MAX_FIELDS],
     /// Cumulative count of subtables visited by lookups (the tuple-space
     /// search work metric surfaced in the evaluation).
     pub subtables_searched: u64,
@@ -58,6 +78,10 @@ impl MegaflowCache {
     /// datapath flow limit.
     pub const DEFAULT_MAX_ENTRIES: usize = 65_536;
 
+    /// Lookups between subtable re-ranks (OVS re-sorts its subtable vector on
+    /// a timer; a lookup countdown is the deterministic equivalent).
+    pub const RANK_INTERVAL: u64 = 4_096;
+
     /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::with_capacity(Self::DEFAULT_MAX_ENTRIES)
@@ -67,9 +91,12 @@ impl MegaflowCache {
     pub fn with_capacity(max_entries: usize) -> Self {
         MegaflowCache {
             subtables: Vec::new(),
+            next_subtable_id: 0,
             insertion_order: VecDeque::new(),
             max_entries: max_entries.max(1),
             len: 0,
+            rank_countdown: Self::RANK_INTERVAL,
+            scratch: [0; FieldMask::MAX_FIELDS],
             subtables_searched: 0,
             lookups: 0,
         }
@@ -91,54 +118,79 @@ impl MegaflowCache {
     }
 
     /// Looks up the cached action program covering `key`, if any.
-    /// Tuple space search: one hash probe per subtable until a hit.
+    /// Tuple space search: one hash probe per subtable until a hit, hot
+    /// subtables first, no heap allocation.
+    #[inline]
     pub fn lookup(&mut self, key: &FlowKey) -> Option<Arc<Vec<Action>>> {
         self.lookups += 1;
-        for (i, subtable) in self.subtables.iter_mut().enumerate() {
+        self.rank_countdown -= 1;
+        if self.rank_countdown == 0 {
+            self.rerank();
+        }
+        for si in 0..self.subtables.len() {
             self.subtables_searched += 1;
-            let masked = subtable.mask.project(key);
-            if let Some(entry) = subtable.entries.get_mut(&masked) {
+            let n = self.subtables[si].mask.project_into(key, &mut self.scratch);
+            let probe: &[FieldValue] = &self.scratch[..n];
+            let subtable = &mut self.subtables[si];
+            if let Some(entry) = subtable.entries.get_mut(probe) {
                 entry.hits += 1;
-                let _ = i;
+                subtable.rank_hits += 1;
                 return Some(Arc::clone(&entry.actions));
             }
         }
         None
     }
 
-    /// Installs a megaflow computed by the slow path: `key` projected through
-    /// `mask` → `actions`. Evicts the oldest megaflow when at capacity.
-    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, actions: Arc<Vec<Action>>) {
-        while self.len >= self.max_entries {
-            self.evict_oldest();
+    /// Sorts subtables by hits since the last rank (descending, stable) and
+    /// decays the counters.
+    fn rerank(&mut self) {
+        self.rank_countdown = Self::RANK_INTERVAL;
+        self.subtables
+            .sort_by_key(|s| std::cmp::Reverse(s.rank_hits));
+        for subtable in &mut self.subtables {
+            subtable.rank_hits /= 2;
         }
+    }
+
+    /// Installs a megaflow computed by the slow path: `key` projected through
+    /// `mask` → `actions`. Evicts the oldest megaflow when inserting a *new*
+    /// entry at capacity; replacing the program of an existing masked key
+    /// never evicts anything.
+    pub fn insert(&mut self, key: &FlowKey, mask: FieldMask, actions: Arc<Vec<Action>>) {
         let subtable_index = match self.subtables.iter().position(|s| s.mask == mask) {
             Some(i) => i,
             None => {
                 self.subtables.push(Subtable {
+                    id: self.next_subtable_id,
                     mask: mask.clone(),
-                    entries: HashMap::new(),
+                    entries: HashMap::default(),
+                    rank_hits: 0,
                 });
+                self.next_subtable_id += 1;
                 self.subtables.len() - 1
             }
         };
         let masked = mask.project(key);
-        let entry = MegaflowEntry {
-            mask,
-            actions,
-            hits: 0,
-        };
+        let is_new = !self.subtables[subtable_index]
+            .entries
+            .contains_key(masked.values());
+        if is_new {
+            while self.len >= self.max_entries {
+                self.evict_oldest();
+            }
+        }
+        let entry = MegaflowEntry { actions, hits: 0 };
         let subtable = &mut self.subtables[subtable_index];
         if subtable.entries.insert(masked.clone(), entry).is_none() {
             self.len += 1;
-            self.insertion_order.push_back((subtable_index, masked));
+            self.insertion_order.push_back((subtable.id, masked));
         }
     }
 
     fn evict_oldest(&mut self) {
-        while let Some((subtable_index, key)) = self.insertion_order.pop_front() {
-            if let Some(subtable) = self.subtables.get_mut(subtable_index) {
-                if subtable.entries.remove(&key).is_some() {
+        while let Some((subtable_id, key)) = self.insertion_order.pop_front() {
+            if let Some(subtable) = self.subtables.iter_mut().find(|s| s.id == subtable_id) {
+                if subtable.entries.remove(key.values()).is_some() {
                     self.len -= 1;
                     return;
                 }
@@ -160,6 +212,11 @@ impl MegaflowCache {
     /// Iterates over all cached megaflows (dump/debug/tests).
     pub fn iter(&self) -> impl Iterator<Item = &MegaflowEntry> {
         self.subtables.iter().flat_map(|s| s.entries.values())
+    }
+
+    /// The subtable masks in current probe order (tests/statistics).
+    pub fn subtable_masks(&self) -> impl Iterator<Item = &FieldMask> {
+        self.subtables.iter().map(|s| &s.mask)
     }
 
     /// Average subtables searched per lookup so far.
@@ -199,6 +256,12 @@ mod tests {
         m
     }
 
+    fn ip_mask() -> FieldMask {
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
+        m
+    }
+
     fn actions(p: u32) -> Arc<Vec<Action>> {
         Arc::new(vec![Action::Output(p)])
     }
@@ -220,9 +283,7 @@ mod tests {
     fn distinct_masks_create_subtables() {
         let mut cache = MegaflowCache::new();
         cache.insert(&key(80, 1), port_mask(), actions(1));
-        let mut ip_mask = FieldMask::wildcard_all();
-        ip_mask.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
-        cache.insert(&key(443, 2), ip_mask, actions(2));
+        cache.insert(&key(443, 2), ip_mask(), actions(2));
         assert_eq!(cache.subtable_count(), 2);
         assert_eq!(cache.len(), 2);
         // Both are reachable.
@@ -252,6 +313,24 @@ mod tests {
     }
 
     #[test]
+    fn replace_at_capacity_does_not_evict_unrelated_entries() {
+        // Regression: replacing the action program of an existing masked key
+        // while the cache is full used to evict the oldest (unrelated)
+        // megaflow first.
+        let mut cache = MegaflowCache::with_capacity(4);
+        for port in 0..4u16 {
+            cache.insert(&key(port, 1), port_mask(), actions(u32::from(port)));
+        }
+        assert_eq!(cache.len(), 4);
+        cache.insert(&key(2, 9), port_mask(), actions(99)); // replace port 2
+        assert_eq!(cache.len(), 4);
+        for port in 0..4u16 {
+            assert!(cache.lookup(&key(port, 1)).is_some(), "port {port} evicted");
+        }
+        assert_eq!(cache.lookup(&key(2, 1)).unwrap()[0], Action::Output(99));
+    }
+
+    #[test]
     fn invalidate_clears_everything() {
         let mut cache = MegaflowCache::new();
         cache.insert(&key(80, 1), port_mask(), actions(1));
@@ -265,14 +344,56 @@ mod tests {
     fn hit_counters_and_search_stats() {
         let mut cache = MegaflowCache::new();
         cache.insert(&key(80, 1), port_mask(), actions(1));
-        let mut ip_mask = FieldMask::wildcard_all();
-        ip_mask.unwildcard(Field::Ipv4Dst, 0xffff_ff00);
-        cache.insert(&key(443, 2), ip_mask, actions(2));
+        cache.insert(&key(443, 2), ip_mask(), actions(2));
         for _ in 0..10 {
             cache.lookup(&key(80, 1));
         }
         assert!(cache.avg_subtables_per_lookup() >= 1.0);
         let hits: u64 = cache.iter().map(|e| e.hits).sum();
         assert_eq!(hits, 10);
+    }
+
+    fn key_in_net(port: u16, net: [u8; 4]) -> FlowKey {
+        FlowKey::extract(&PacketBuilder::tcp().ipv4_dst(net).tcp_dst(port).build())
+    }
+
+    #[test]
+    fn reranking_moves_hot_subtable_first() {
+        let mut cache = MegaflowCache::new();
+        // Install the cold mask first so it initially ranks ahead. Its /24
+        // (10.9.9.0) is disjoint from the hammered flow's 192.0.2.0 so the
+        // cold subtable is probed but never hit.
+        cache.insert(&key_in_net(443, [10, 9, 9, 9]), ip_mask(), actions(2));
+        cache.insert(&key(80, 1), port_mask(), actions(1));
+        assert_eq!(cache.subtable_masks().next(), Some(&ip_mask()));
+
+        // Hammer the port subtable past a rank interval. Every one of these
+        // lookups pays a probe of the cold ip subtable first.
+        for _ in 0..MegaflowCache::RANK_INTERVAL {
+            assert!(cache.lookup(&key(80, 1)).is_some());
+        }
+        assert_eq!(
+            cache.subtable_masks().next(),
+            Some(&port_mask()),
+            "hot subtable must be probed first after re-ranking"
+        );
+        // And the hot path now stops at the first subtable.
+        let before = cache.subtables_searched;
+        assert!(cache.lookup(&key(80, 1)).is_some());
+        assert_eq!(cache.subtables_searched - before, 1);
+        // Eviction bookkeeping still finds entries after the reorder.
+        let mut cache2 = MegaflowCache::with_capacity(2);
+        cache2.insert(&key_in_net(443, [10, 9, 9, 9]), ip_mask(), actions(2));
+        cache2.insert(&key(80, 1), port_mask(), actions(1));
+        for _ in 0..MegaflowCache::RANK_INTERVAL {
+            cache2.lookup(&key(80, 1));
+        }
+        cache2.insert(&key(81, 1), port_mask(), actions(3)); // evicts the ip entry
+        assert_eq!(cache2.len(), 2);
+        assert!(
+            cache2.lookup(&key_in_net(9999, [10, 9, 9, 2])).is_none(),
+            "oldest not evicted"
+        );
+        assert!(cache2.lookup(&key(81, 1)).is_some());
     }
 }

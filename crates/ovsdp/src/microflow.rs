@@ -7,19 +7,24 @@
 //! (§2.2) — and because the store is small, a large active-flow set simply
 //! thrashes it, which is the first step of the performance collapse the
 //! evaluation demonstrates.
+//!
+//! Keys are [`MiniKey`]s — compact miniflow-style keys whose hash is computed
+//! once at extraction — so a probe is an index plus a compact compare, with
+//! no per-lookup SipHash and no allocation (the real EMC stores
+//! `(miniflow, hash)` pairs for the same reason).
 
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use openflow::{Action, FlowKey};
+use openflow::Action;
+
+use crate::minikey::MiniKey;
 
 /// One cached entry: the exact key plus the shared action program and the
 /// megaflow generation it was derived from (entries of stale generations are
 /// ignored, which is how the whole microflow cache is invalidated in O(1)).
 #[derive(Debug, Clone)]
 struct Slot {
-    key: FlowKey,
+    key: MiniKey,
     actions: Arc<Vec<Action>>,
     generation: u64,
 }
@@ -60,14 +65,14 @@ impl MicroflowCache {
         }
     }
 
-    fn set_index(&self, key: &FlowKey) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) & (self.sets - 1)
+    #[inline]
+    fn set_index(&self, key: &MiniKey) -> usize {
+        (key.hash() as usize) & (self.sets - 1)
     }
 
     /// Looks up the action program cached for exactly this key.
-    pub fn lookup(&self, key: &FlowKey) -> Option<Arc<Vec<Action>>> {
+    #[inline]
+    pub fn lookup(&self, key: &MiniKey) -> Option<Arc<Vec<Action>>> {
         let base = self.set_index(key) * self.ways;
         for s in self.slots[base..base + self.ways].iter().flatten() {
             if s.generation == self.generation && s.key == *key {
@@ -78,7 +83,7 @@ impl MicroflowCache {
     }
 
     /// Inserts (or refreshes) an entry for `key`.
-    pub fn insert(&mut self, key: FlowKey, actions: Arc<Vec<Action>>) {
+    pub fn insert(&mut self, key: MiniKey, actions: Arc<Vec<Action>>) {
         let base = self.set_index(&key) * self.ways;
         let generation = self.generation;
         // Reuse a slot holding the same key or a stale/empty slot if possible.
@@ -135,15 +140,16 @@ impl Default for MicroflowCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openflow::FlowKey;
     use pkt::builder::PacketBuilder;
 
-    fn key(port: u16) -> FlowKey {
-        FlowKey::extract(
+    fn key(port: u16) -> MiniKey {
+        MiniKey::from_flow(&FlowKey::extract(
             &PacketBuilder::tcp()
                 .tcp_dst(port)
                 .tcp_src(port ^ 0x1234)
                 .build(),
-        )
+        ))
     }
 
     fn actions(port: u32) -> Arc<Vec<Action>> {

@@ -1,0 +1,170 @@
+//! Allocation-regression tests: the steady-state cache hit paths of the OVS
+//! datapath must not touch the heap. A counting global allocator wraps the
+//! system allocator; after warm-up, processing packets that hit the
+//! microflow or megaflow cache must leave the allocation counter untouched.
+//!
+//! This pins the tentpole property of the zero-allocation fast path: flat
+//! mask projection into stack buffers, slice-borrow subtable probes, inline
+//! miniflow keys, inline verdict port lists, and reused burst scratch.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use openflow::{Action, FlowEntry, FlowMatch, NullController, Pipeline};
+use ovsdp::{OvsConfig, OvsDatapath};
+use pkt::builder::PacketBuilder;
+use pkt::Packet;
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) forwarded to the
+/// system allocator. Deallocations are free and not counted.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+fn port_pipeline() -> Pipeline {
+    let mut p = Pipeline::with_tables(1);
+    let t = p.table_mut(0).unwrap();
+    for i in 0..16u16 {
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(openflow::Field::TcpDst, u128::from(1000 + i)),
+            100,
+            openflow::instruction::terminal_actions(vec![Action::Output(u32::from(i % 4))]),
+        ));
+    }
+    t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    p
+}
+
+fn flow_packets(flows: u16) -> Vec<Packet> {
+    (0..flows)
+        .map(|f| {
+            PacketBuilder::tcp()
+                .tcp_dst(1000 + (f % 16))
+                .tcp_src(2000 + f)
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn microflow_hit_path_is_allocation_free() {
+    let dp = OvsDatapath::new(port_pipeline());
+    let mut packets = flow_packets(64);
+    // Warm up: slow path + megaflow promotion populate the EMC.
+    for p in packets.iter_mut() {
+        dp.process(p);
+    }
+    for p in packets.iter_mut() {
+        dp.process(p);
+    }
+    assert!(
+        dp.stats.microflow_hits.packets() > 0,
+        "warm-up must reach the EMC"
+    );
+
+    let before_hits = dp.stats.microflow_hits.packets();
+    let before = allocations();
+    for p in packets.iter_mut() {
+        std::hint::black_box(dp.process(p));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "microflow hit path allocated {} times over {} packets",
+        after - before,
+        packets.len()
+    );
+    assert_eq!(
+        dp.stats.microflow_hits.packets() - before_hits,
+        packets.len() as u64,
+        "every measured packet must be a microflow hit"
+    );
+}
+
+#[test]
+fn megaflow_hit_path_is_allocation_free() {
+    // EMC disabled: every packet is answered by tuple-space search.
+    let dp = OvsDatapath::with_config(
+        port_pipeline(),
+        OvsConfig {
+            use_microflow: false,
+            ..OvsConfig::default()
+        },
+        Box::new(NullController::new()),
+    );
+    let mut packets = flow_packets(64);
+    for p in packets.iter_mut() {
+        dp.process(p);
+    }
+    let before_hits = dp.stats.megaflow_hits.packets();
+    let before = allocations();
+    for p in packets.iter_mut() {
+        std::hint::black_box(dp.process(p));
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "megaflow hit path allocated {} times over {} packets",
+        after - before,
+        packets.len()
+    );
+    assert_eq!(
+        dp.stats.megaflow_hits.packets() - before_hits,
+        packets.len() as u64,
+        "every measured packet must be a megaflow hit"
+    );
+}
+
+#[test]
+fn batched_hit_path_is_allocation_free_with_reused_buffers() {
+    let dp = OvsDatapath::new(port_pipeline());
+    let mut packets = flow_packets(64);
+    let mut verdicts = Vec::new();
+    // Warm up caches AND the reusable burst scratch / verdict buffers.
+    dp.process_batch_into(&mut packets, &mut verdicts);
+    dp.process_batch_into(&mut packets, &mut verdicts);
+
+    let before = allocations();
+    for _ in 0..8 {
+        dp.process_batch_into(&mut packets, &mut verdicts);
+        std::hint::black_box(verdicts.len());
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "batched hit path allocated {} times over {} packets",
+        after - before,
+        8 * packets.len()
+    );
+}

@@ -1,0 +1,184 @@
+//! Differential property test for the burst-mode fast path: for random
+//! pipelines and random bursts, `process_batch` must be observationally
+//! identical to per-packet `process` on both the OVS-style caching datapath
+//! and the compiled ESWITCH datapath — same verdicts, same rewritten packet
+//! bytes. Batching (key pre-extraction, per-flow grouping, hoisted locks) is
+//! an optimisation, never a semantic change.
+
+use eswitch::runtime::EswitchRuntime;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::{actions_then_goto, terminal_actions};
+use openflow::{Action, Field, FlowEntry, NullController, Pipeline};
+use ovsdp::{OvsConfig, OvsDatapath};
+use pkt::builder::PacketBuilder;
+use pkt::Packet;
+use proptest::prelude::*;
+
+/// A restricted but expressive random rule over the fields the use cases
+/// exercise (same universe as `tests/semantic_equivalence.rs`).
+fn arb_rule() -> impl Strategy<Value = FlowEntry> {
+    let field_matches = prop::collection::vec(
+        prop_oneof![
+            (0u32..4).prop_map(|p| (Field::InPort, u128::from(p), 32u32)),
+            (0u64..16).prop_map(|m| (Field::EthDst, u128::from(0x0200_0000_0000 + m), 48u32)),
+            (0u8..4).prop_map(|x| (
+                Field::Ipv4Dst,
+                u128::from(u32::from_be_bytes([10, 0, 0, x])),
+                32u32
+            )),
+            (8u32..=24).prop_map(|len| {
+                (
+                    Field::Ipv4Dst,
+                    u128::from(u32::from_be_bytes([10, 0, 0, 0])),
+                    len,
+                )
+            }),
+            (0u16..4).prop_map(|p| (Field::TcpDst, u128::from(80 + p), 16u32)),
+            Just((Field::IpProto, 6u128, 8u32)),
+        ],
+        0..3,
+    );
+    (field_matches, 1u16..200, 0u32..4).prop_map(|(fields, priority, out_port)| {
+        let mut m = FlowMatch::any();
+        for (field, value, len) in fields {
+            if len >= field.width_bits() {
+                m = m.with_exact(field, value);
+            } else {
+                m = m.with_prefix(field, value, len);
+            }
+        }
+        FlowEntry::new(
+            m,
+            priority,
+            terminal_actions(vec![Action::Output(out_port)]),
+        )
+    })
+}
+
+/// A random 1- or 2-table pipeline; some table-0 rules rewrite a header and
+/// forward to table 1 so batched replay also covers packet mutation.
+fn arb_pipeline() -> impl Strategy<Value = Pipeline> {
+    (
+        prop::collection::vec(arb_rule(), 1..16),
+        prop::collection::vec(arb_rule(), 0..8),
+        any::<bool>(),
+    )
+        .prop_map(|(t0_rules, t1_rules, add_catch_all)| {
+            let two_stage = !t1_rules.is_empty();
+            let mut pipeline = Pipeline::with_tables(if two_stage { 2 } else { 1 });
+            for (i, mut rule) in t0_rules.into_iter().enumerate() {
+                if two_stage && i % 3 == 0 {
+                    rule.instructions =
+                        actions_then_goto(vec![Action::SetField(Field::IpDscp, 10)], 1);
+                }
+                pipeline.table_mut(0).unwrap().insert(rule);
+            }
+            for rule in t1_rules {
+                pipeline.table_mut(1).unwrap().insert(rule);
+            }
+            if add_catch_all {
+                pipeline.table_mut(0).unwrap().insert(FlowEntry::new(
+                    FlowMatch::any(),
+                    0,
+                    terminal_actions(vec![Action::Output(3)]),
+                ));
+            }
+            pipeline
+        })
+}
+
+/// Random packets drawn from the same small universe the rules match over.
+/// The narrow port/address ranges make intra-burst flow repeats (the
+/// grouping path) common.
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        0u32..4,
+        0u64..20,
+        0u8..6,
+        75u16..90,
+        1000u16..1004,
+        any::<bool>(),
+    )
+        .prop_map(|(in_port, mac, ip_last, dport, sport, udp)| {
+            let builder = if udp {
+                PacketBuilder::udp().udp_src(sport).udp_dst(dport)
+            } else {
+                PacketBuilder::tcp().tcp_src(sport).tcp_dst(dport)
+            };
+            builder
+                .eth_dst(pkt::MacAddr::from_u64(0x0200_0000_0000 + mac).octets())
+                .ipv4_dst([10, 0, 0, ip_last])
+                .in_port(in_port)
+                .build()
+        })
+}
+
+/// Asserts batch == sequential for one OVS configuration.
+fn check_ovs(pipeline: &Pipeline, packets: &[Packet], config: OvsConfig) {
+    let batch_dp =
+        OvsDatapath::with_config(pipeline.clone(), config, Box::new(NullController::new()));
+    let seq_dp =
+        OvsDatapath::with_config(pipeline.clone(), config, Box::new(NullController::new()));
+
+    let mut batch_pkts = packets.to_vec();
+    let mut verdicts = Vec::new();
+    batch_dp.process_batch_into(&mut batch_pkts, &mut verdicts);
+    prop_assert_eq!(verdicts.len(), packets.len());
+
+    let mut seq_pkts = packets.to_vec();
+    for (i, p) in seq_pkts.iter_mut().enumerate() {
+        let v = seq_dp.process(p);
+        prop_assert_eq!(v.decision(), verdicts[i].decision(), "ovs verdict {}", i);
+    }
+    for (i, (a, b)) in batch_pkts.iter().zip(&seq_pkts).enumerate() {
+        prop_assert_eq!(a.data(), b.data(), "ovs packet bytes {}", i);
+    }
+    prop_assert_eq!(batch_dp.stats.total(), packets.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Burst processing and per-packet processing agree on the OVS datapath,
+    /// with both roomy caches and deliberately tiny ones (so bursts straddle
+    /// evictions), and on the compiled datapath.
+    #[test]
+    fn process_batch_matches_per_packet_processing(
+        pipeline in arb_pipeline(),
+        packets in prop::collection::vec(arb_packet(), 1..80),
+    ) {
+        check_ovs(&pipeline, &packets, OvsConfig::default());
+        check_ovs(&pipeline, &packets, OvsConfig {
+            microflow_entries: 16,
+            megaflow_entries: 8,
+            ..OvsConfig::default()
+        });
+        check_ovs(&pipeline, &packets, OvsConfig {
+            use_microflow: false,
+            ..OvsConfig::default()
+        });
+
+        // Compiled ESWITCH runtime: batch vs sequential.
+        let batch_switch = EswitchRuntime::compile(pipeline.clone()).expect("compiles");
+        let seq_switch = EswitchRuntime::compile(pipeline.clone()).expect("compiles");
+        let mut batch_pkts = packets.clone();
+        let mut verdicts = Vec::new();
+        batch_switch.process_batch_into(&mut batch_pkts, &mut verdicts);
+        let mut seq_pkts = packets.clone();
+        for (i, p) in seq_pkts.iter_mut().enumerate() {
+            let v = seq_switch.process(p);
+            prop_assert_eq!(v.decision(), verdicts[i].decision(), "eswitch verdict {}", i);
+        }
+        for (i, (a, b)) in batch_pkts.iter().zip(&seq_pkts).enumerate() {
+            prop_assert_eq!(a.data(), b.data(), "eswitch packet bytes {}", i);
+        }
+
+        // And the two architectures agree with each other on the batch API.
+        let ovs = OvsDatapath::new(pipeline.clone());
+        let mut ovs_pkts = packets.clone();
+        let ovs_verdicts = ovs.process_batch(&mut ovs_pkts);
+        for (i, (a, b)) in ovs_verdicts.iter().zip(&verdicts).enumerate() {
+            prop_assert_eq!(a.decision(), b.decision(), "cross-architecture verdict {}", i);
+        }
+    }
+}
