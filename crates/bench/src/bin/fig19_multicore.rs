@@ -5,17 +5,23 @@
 //! cores (per-core datapath state, no shared locks on the fast path), ESWITCH
 //! roughly 5× above OVS, and the gap widening as the active flow set grows
 //! because OVS's per-core caches thrash while the compiled LPM does not care.
+//!
+//! This harness drives the `shard` runtime end-to-end: an RSS dispatcher
+//! hashes each packet's flow tuple onto a worker shard, packets cross SPSC
+//! rings in bursts, and every shard drains 32-packet bursts through its own
+//! datapath replica. On a host with fewer cores than workers the shards
+//! time-slice and the curve flattens — the headline numbers need real cores.
 
 use bench_harness::{
-    measure_multicore_throughput, print_header, quick_mode, render_series_table, AnySwitch, Series,
-    SwitchKind,
+    measure_sharded_throughput, print_header, quick_mode, render_series_table, Series,
 };
+use shard::BackendSpec;
 use workloads::l3::{self, L3Config};
 
 fn main() {
     print_header(
         "Figure 19",
-        "packet rate vs CPU cores (L3 routing, 2K prefixes, 100/10K/500K flows)",
+        "packet rate vs worker shards (L3 routing, 2K prefixes, 100/10K/500K flows)",
     );
     let config = L3Config {
         prefixes: 2_000,
@@ -32,13 +38,14 @@ fn main() {
     let warmup = if quick_mode() { 5_000 } else { 30_000 };
 
     let mut series = Vec::new();
-    for kind in [SwitchKind::Eswitch, SwitchKind::Ovs] {
+    for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
         for &flows in &flow_counts {
             let traffic = l3::build_traffic(&config, flows);
-            let mut s = Series::new(format!("{}({} flows)", kind.label(), flows));
+            let mut s = Series::new(format!("{}({} flows)", spec.label(), flows));
             for &cores in &cores_sweep {
-                let rate = measure_multicore_throughput(
-                    || AnySwitch::build(kind, l3::build_pipeline(&config)),
+                let rate = measure_sharded_throughput(
+                    spec,
+                    l3::build_pipeline(&config),
                     &traffic,
                     cores,
                     warmup,
@@ -50,6 +57,6 @@ fn main() {
         }
     }
 
-    println!("aggregate packet rate [pps]\n");
-    println!("{}", render_series_table("CPU cores", &series));
+    println!("aggregate packet rate [pps], sharded runtime\n");
+    println!("{}", render_series_table("worker shards", &series));
 }

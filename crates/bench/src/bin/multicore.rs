@@ -1,0 +1,212 @@
+//! multicore — throughput harness for the sharded multi-worker runtime.
+//!
+//! Runs the PR-2 fastpath workloads through the `shard` runtime (RSS
+//! dispatcher → per-worker SPSC rings → per-shard datapath replicas draining
+//! 32-packet bursts) at 1, 2 and 4 worker shards, and records the results to
+//! `BENCH_multicore.json` so the multi-core trajectory of the repo is a
+//! committed artifact, like `BENCH_fastpath.json` is for the single-core
+//! fast path:
+//!
+//! * `megaflow_hit`  — OVS backend, EMC thrashing, tuple-space-search bound;
+//! * `microflow_hit` — OVS backend, active flows fit the per-shard EMCs;
+//! * `tss_no_emc`    — OVS backend with the EMC disabled on every shard;
+//! * `eswitch_l2`    — compiled ESWITCH datapath replicas on the L2 use case.
+//!
+//! The JSON embeds the machine's logical CPU count: the scaling ratios are
+//! only meaningful when the host actually has more cores than shards (on a
+//! 1-CPU container the workers time-slice and ratios hover around 1.0).
+//! `ESWITCH_BENCH_QUICK=1` shrinks the measurement windows for CI smoke runs.
+
+use std::fmt::Write as _;
+
+use bench_harness::fastpath::{port_pipeline, port_traffic};
+use bench_harness::multicore::SHARD_RING_CAPACITY;
+use bench_harness::{measure_sharded_throughput, print_header};
+use openflow::Pipeline;
+use ovsdp::OvsConfig;
+use shard::BackendSpec;
+use workloads::l2::{self, L2Config};
+use workloads::FlowSet;
+
+/// Worker-shard counts swept per workload.
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn duration_ms() -> u64 {
+    if bench_harness::quick_mode() {
+        120
+    } else {
+        500
+    }
+}
+
+fn warmup_packets() -> usize {
+    if bench_harness::quick_mode() {
+        5_000
+    } else {
+        25_000
+    }
+}
+
+/// One of the PR-2 fastpath workloads, sharded.
+struct Workload {
+    name: &'static str,
+    spec: BackendSpec,
+    pipeline: Pipeline,
+    traffic: FlowSet,
+}
+
+fn workloads() -> Vec<Workload> {
+    let l2_config = L2Config {
+        table_size: 1_000,
+        ports: 4,
+        seed: 1,
+    };
+    vec![
+        Workload {
+            name: "megaflow_hit",
+            spec: BackendSpec::ovs(),
+            pipeline: port_pipeline(),
+            traffic: port_traffic(16_384),
+        },
+        Workload {
+            name: "microflow_hit",
+            spec: BackendSpec::ovs(),
+            pipeline: port_pipeline(),
+            traffic: port_traffic(1_024),
+        },
+        Workload {
+            name: "tss_no_emc",
+            spec: BackendSpec::Ovs(OvsConfig {
+                use_microflow: false,
+                ..OvsConfig::default()
+            }),
+            pipeline: port_pipeline(),
+            traffic: port_traffic(8_192),
+        },
+        Workload {
+            name: "eswitch_l2",
+            spec: BackendSpec::eswitch(),
+            pipeline: l2::build_pipeline(&l2_config),
+            traffic: l2::build_traffic(&l2_config, 8_192),
+        },
+    ]
+}
+
+struct Point {
+    workload: &'static str,
+    backend: &'static str,
+    workers: usize,
+    pps: f64,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_multicore.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    print_header(
+        "multicore",
+        "sharded-runtime throughput, 1/2/4 worker shards (BENCH_multicore.json)",
+    );
+
+    let mut points: Vec<Point> = Vec::new();
+    for workload in workloads() {
+        for &workers in &WORKER_SWEEP {
+            let pps = measure_sharded_throughput(
+                workload.spec,
+                workload.pipeline.clone(),
+                &workload.traffic,
+                workers,
+                warmup_packets(),
+                duration_ms(),
+            );
+            println!(
+                "{:<14} {:>2} worker{}  {:>12.0} pps  {:>8.1} ns/pkt",
+                workload.name,
+                workers,
+                if workers == 1 { " " } else { "s" },
+                pps,
+                1e9 / pps
+            );
+            points.push(Point {
+                workload: workload.name,
+                backend: workload.spec.label(),
+                workers,
+                pps,
+            });
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"multicore\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    let _ = writeln!(json, "  \"burst_size\": {},", netdev::BURST_SIZE);
+    let _ = writeln!(json, "  \"ring_capacity\": {},", SHARD_RING_CAPACITY);
+    let _ = writeln!(json, "  \"duration_ms\": {},", duration_ms());
+    let _ = writeln!(json, "  \"warmup_packets\": {},", warmup_packets());
+    let _ = writeln!(json, "  \"quick\": {},", bench_harness::quick_mode());
+    json.push_str("  \"machine\": {");
+    let _ = write!(
+        json,
+        "\"logical_cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    json.push_str("},\n");
+    json.push_str(
+        "  \"note\": \"scaling ratios need logical_cpus > workers; with fewer cores the shards time-slice\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"workers\": {}, \"pps\": {:.0}, \"ns_per_packet\": {:.2}}}",
+            p.workload, p.backend, p.workers, p.pps, 1e9 / p.pps
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scaling_vs_1_worker\": {\n");
+    let names: Vec<&str> = {
+        let mut seen = Vec::new();
+        for p in &points {
+            if !seen.contains(&p.workload) {
+                seen.push(p.workload);
+            }
+        }
+        seen
+    };
+    for (wi, name) in names.iter().enumerate() {
+        let base = points
+            .iter()
+            .find(|p| p.workload == *name && p.workers == 1)
+            .map(|p| p.pps)
+            .unwrap_or(1.0);
+        let _ = write!(json, "    \"{name}\": {{");
+        let mut first = true;
+        for p in points
+            .iter()
+            .filter(|p| p.workload == *name && p.workers > 1)
+        {
+            if !first {
+                json.push_str(", ");
+            }
+            let _ = write!(json, "\"{}\": {:.2}", p.workers, p.pps / base);
+            first = false;
+        }
+        json.push('}');
+        json.push_str(if wi + 1 < names.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

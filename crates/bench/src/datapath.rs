@@ -84,6 +84,25 @@ impl AnySwitch {
         }
     }
 
+    /// Processes a batch of packets through the architecture's batched fast
+    /// path, appending one verdict per packet to `verdicts` (cleared first).
+    /// The direct interpreter has no batch path; it falls back to per-packet
+    /// processing into the same buffer.
+    #[inline]
+    pub fn process_batch_into(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        match self {
+            AnySwitch::Eswitch(s) => s.process_batch_into(packets, verdicts),
+            AnySwitch::Ovs(s) => s.process_batch_into(packets, verdicts),
+            AnySwitch::Direct(s) => {
+                verdicts.clear();
+                verdicts.reserve(packets.len());
+                for p in packets.iter_mut() {
+                    verdicts.push(s.process(p));
+                }
+            }
+        }
+    }
+
     /// Applies a flow-mod (used by the update experiments).
     pub fn flow_mod(&self, fm: &FlowMod) {
         match self {

@@ -19,7 +19,7 @@ pub mod report;
 
 pub use datapath::{AnySwitch, SwitchKind};
 pub use measure::{measure_latency_cycles, measure_throughput, Measurement};
-pub use multicore::measure_multicore_throughput;
+pub use multicore::{measure_multicore_throughput, measure_sharded_throughput};
 pub use report::{render_series_table, Series};
 
 /// True when quick mode is requested (smaller packet counts and sweeps).

@@ -1,24 +1,56 @@
 //! Multi-core throughput measurement (Fig. 19).
 //!
 //! The paper runs the L3 use case on 1–5 packet-processing cores and shows
-//! that both switches scale linearly, with ESWITCH ~5× ahead. As in a DPDK
-//! deployment (and as OVS does with its per-PMD-thread caches), each worker
-//! core here runs its own datapath instance over its own RSS slice of the
-//! traffic; aggregate throughput is the total packets processed over the
-//! common measurement window.
+//! that both switches scale linearly, with ESWITCH ~5× ahead. Two models are
+//! measured here:
+//!
+//! * [`measure_sharded_throughput`] — the real deployment shape: the `shard`
+//!   runtime's RSS dispatcher feeds per-worker rings, every worker drains
+//!   32-packet bursts through its own datapath replica (per-shard caches,
+//!   like OVS PMD threads), and a live control plane can apply flow-mods
+//!   mid-run. Fig. 19 and the committed `BENCH_multicore.json` run this.
+//! * [`measure_multicore_throughput`] — the idealised upper bound: N fully
+//!   independent switch replicas with no dispatcher and no rings, each
+//!   replaying its own slice of the flow set. The gap between the two is the
+//!   cost of actually moving packets between cores.
+//!
+//! Both models process packets through the burst-mode batch API (one
+//! datapath-snapshot resolution and a bounded number of cache-lock
+//! acquisitions per 32-packet burst), and both decorrelate workers by
+//! offsetting each worker's replay phase by an equal fraction of the flow-set
+//! cycle — `core * len / cores` cannot alias the way a fixed stride (e.g.
+//! `core * 7919`) can when the stride and the flow-set length share factors.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use netdev::BURST_SIZE;
+use openflow::{Pipeline, Verdict};
+use pkt::Packet;
+use shard::{BackendSpec, ShardedConfig, ShardedSwitch};
 use workloads::FlowSet;
 
 use crate::datapath::AnySwitch;
 
-/// Measures aggregate packets/second over `cores` worker threads for roughly
-/// `duration_ms` milliseconds. `make_switch` builds one datapath instance per
-/// core (mirroring per-PMD-thread state); each instance is warmed with
-/// `warmup` packets before the timed window starts.
+/// Per-shard ring capacity [`measure_sharded_throughput`] launches with;
+/// public so the `multicore` bin records the operating point it measured.
+pub const SHARD_RING_CAPACITY: usize = 1024;
+
+/// Builds one worker's replay ring: a whole-burst multiple of packets
+/// starting at the worker's phase offset into the flow-set cycle.
+fn worker_ring(traffic: &FlowSet, core: usize, cores: usize) -> Vec<Packet> {
+    let len = traffic.active_flows();
+    let offset = core * len / cores;
+    let n = len.max(BURST_SIZE).div_ceil(BURST_SIZE) * BURST_SIZE;
+    (0..n).map(|i| traffic.packet(offset + i)).collect()
+}
+
+/// Measures aggregate packets/second over `cores` *independent* switch
+/// replicas for roughly `duration_ms` milliseconds — the upper-bound model
+/// with no packet movement between cores. `make_switch` builds one datapath
+/// instance per core (mirroring per-PMD-thread state); each instance is
+/// warmed with `warmup` packets before the timed window starts.
 pub fn measure_multicore_throughput<F>(
     make_switch: F,
     traffic: &FlowSet,
@@ -32,7 +64,7 @@ where
     let cores = cores.max(1);
     let stop = Arc::new(AtomicBool::new(false));
     let ready = Arc::new(Barrier::new(cores + 1));
-    let totals = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let workers: Vec<_> = (0..cores)
             .map(|core| {
                 let stop = Arc::clone(&stop);
@@ -41,21 +73,24 @@ where
                 let traffic = traffic.clone();
                 scope.spawn(move || {
                     let switch = make_switch();
-                    let mut i = core * 7919; // decorrelate per-core replay phases
-                    for _ in 0..warmup {
-                        let mut packet = traffic.packet(i);
-                        std::hint::black_box(switch.process(&mut packet));
-                        i += 1;
+                    let mut ring = worker_ring(&traffic, core, cores);
+                    let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST_SIZE);
+                    let mut warmed = 0usize;
+                    while warmed < warmup {
+                        for chunk in ring.chunks_mut(BURST_SIZE) {
+                            switch.process_batch_into(chunk, &mut verdicts);
+                            std::hint::black_box(verdicts.len());
+                        }
+                        warmed += ring.len();
                     }
                     ready.wait();
                     let mut processed = 0u64;
                     while !stop.load(Ordering::Relaxed) {
-                        for _ in 0..64 {
-                            let mut packet = traffic.packet(i);
-                            std::hint::black_box(switch.process(&mut packet));
-                            i += 1;
-                            processed += 1;
+                        for chunk in ring.chunks_mut(BURST_SIZE) {
+                            switch.process_batch_into(chunk, &mut verdicts);
+                            std::hint::black_box(verdicts.len());
                         }
+                        processed += ring.len() as u64;
                     }
                     processed
                 })
@@ -64,21 +99,91 @@ where
 
         ready.wait();
         let start = Instant::now();
-        std::thread::sleep(std::time::Duration::from_millis(duration_ms));
+        std::thread::sleep(Duration::from_millis(duration_ms));
         stop.store(true, Ordering::Relaxed);
         let total: u64 = workers
             .into_iter()
             .map(|w| w.join().expect("worker panicked"))
             .sum();
         total as f64 / start.elapsed().as_secs_f64()
-    });
-    totals
+    })
+}
+
+/// Measures aggregate packets/second of the sharded runtime: an RSS
+/// dispatcher on the calling thread feeds `workers` shard threads over SPSC
+/// rings; each shard drains 32-packet bursts through its own replica of
+/// `pipeline` under `spec`. The flow set's shard assignment is precomputed
+/// once (hardware RSS computes the hash off the host CPU), warm-up runs
+/// until the shards have processed `warmup` packets, and the timed window
+/// counts packets actually processed (not merely enqueued) over its span.
+pub fn measure_sharded_throughput(
+    spec: BackendSpec,
+    pipeline: Pipeline,
+    traffic: &FlowSet,
+    workers: usize,
+    warmup: usize,
+    duration_ms: u64,
+) -> f64 {
+    let (switch, mut dispatcher) = ShardedSwitch::launch(
+        spec,
+        pipeline,
+        ShardedConfig {
+            workers,
+            ring_capacity: SHARD_RING_CAPACITY,
+        },
+    )
+    .expect("pipeline compiles");
+
+    // Precompute each replay slot's shard and keep the prototypes: the timed
+    // loop pays one packet clone per dispatch (the ring consumes packets)
+    // but no parsing or hashing, mirroring NIC-resident RSS.
+    let len = traffic.active_flows();
+    let n = len.max(BURST_SIZE).div_ceil(BURST_SIZE) * BURST_SIZE;
+    let ring: Vec<(usize, Packet)> = (0..n)
+        .map(|i| {
+            let packet = traffic.packet(i);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+
+    let feed_pass = |dispatcher: &mut shard::RssDispatcher| {
+        for (shard, proto) in &ring {
+            dispatcher.dispatch_to(*shard, proto.clone());
+        }
+    };
+
+    // Warm-up: per-shard caches fill; wait until the shards have actually
+    // processed the packets, not just received them.
+    let mut warmed = 0usize;
+    while warmed < warmup {
+        feed_pass(&mut dispatcher);
+        warmed += ring.len();
+    }
+    dispatcher.flush();
+    while switch.stats().packets < warmed as u64 {
+        std::thread::yield_now();
+    }
+
+    let base = switch.stats().packets;
+    let window = Duration::from_millis(duration_ms);
+    let start = Instant::now();
+    loop {
+        feed_pass(&mut dispatcher);
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    let processed = switch.stats().packets - base;
+    let elapsed = start.elapsed();
+    switch.shutdown(dispatcher);
+    processed as f64 / elapsed.as_secs_f64()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::datapath::SwitchKind;
+    use crate::fastpath;
     use workloads::l3::{self, L3Config};
 
     #[test]
@@ -110,6 +215,81 @@ mod tests {
             assert!(
                 four > one * 0.5,
                 "4-core rate {four} collapsed vs 1-core rate {one}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_rings_cover_distinct_phases() {
+        // 100 flows: deliberately not a burst multiple, so the ring pads to
+        // 128 by continuing each worker's own replay phase past one cycle.
+        let traffic = fastpath::port_traffic(100);
+        let len = traffic.active_flows();
+        let a = worker_ring(&traffic, 0, 4);
+        let b = worker_ring(&traffic, 1, 4);
+        assert_eq!(a.len() % BURST_SIZE, 0);
+        assert_eq!(a.len(), b.len());
+        // Phase offsets of len/cores keep workers out of step: the first
+        // packets must differ (the flow set has 100 distinct flows).
+        assert_ne!(a[0], b[0]);
+        // The offset derives from the flow-set length, so each worker's
+        // first full cycle still covers the whole set (same multiset); the
+        // padding beyond one cycle continues from the worker's own phase
+        // and may over-replay different flows per worker, which only adds
+        // decorrelation.
+        let key = |p: &Packet| p.data().to_vec();
+        let mut sa: Vec<_> = a[..len].iter().map(key).collect();
+        let mut sb: Vec<_> = b[..len].iter().map(key).collect();
+        sa.sort();
+        sb.sort();
+        assert_eq!(sa, sb);
+    }
+
+    /// The PR-3 acceptance gate: on real hardware parallelism two shards
+    /// must beat one by ≥ 1.5× on the EMC-hit workload; on a single-CPU host
+    /// the same run must stay correct and not collapse.
+    #[test]
+    fn sharded_two_workers_scale_on_emc_hit_workload() {
+        let traffic = fastpath::port_traffic(1_024);
+        let one = measure_sharded_throughput(
+            BackendSpec::ovs(),
+            fastpath::port_pipeline(),
+            &traffic,
+            1,
+            4_096,
+            120,
+        );
+        let two = measure_sharded_throughput(
+            BackendSpec::ovs(),
+            fastpath::port_pipeline(),
+            &traffic,
+            2,
+            4_096,
+            120,
+        );
+        assert!(one > 0.0);
+        assert!(two > 0.0);
+        // The 2-worker configuration keeps three threads busy (dispatcher +
+        // two shards). With a core for each, demand the full 1.5x bar; on
+        // exactly two cores the three threads time-slice, so demand a lower
+        // but still regression-catching bar (a shared lock serialising the
+        // shards would pin the ratio at or below 1.0); on one core only
+        // require that sharding does not collapse throughput.
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cpus >= 3 {
+            assert!(
+                two >= one * 1.5,
+                "2 workers at {two:.0} pps < 1.5x the 1-worker {one:.0} pps"
+            );
+        } else if cpus == 2 {
+            assert!(
+                two >= one * 1.15,
+                "2 workers at {two:.0} pps show no scaling over 1 worker at {one:.0} pps"
+            );
+        } else {
+            assert!(
+                two > one * 0.5,
+                "2 workers at {two:.0} pps collapsed vs 1 worker at {one:.0} pps"
             );
         }
     }

@@ -36,4 +36,4 @@ pub use lpm::{Lpm, LpmError};
 pub use perfect_hash::PerfectHash;
 pub use port::{Port, PortId, PortStats};
 pub use ring::{MpmcRing, SpscRing};
-pub use stats::Counters;
+pub use stats::{CounterSnapshot, Counters};

@@ -100,6 +100,32 @@ impl<T> SpscRing<T> {
         Some(item)
     }
 
+    /// Enqueues as many items from the front of `items` as fit, publishing
+    /// the new tail **once** for the whole burst — the producer-side analogue
+    /// of [`SpscRing::pop_burst`]. Per-item `push` pays one release store per
+    /// packet; a dispatcher fanning a 32-packet burst out to worker rings pays
+    /// one here. Returns how many items were moved out of `items` (the
+    /// un-pushed remainder stays in `items`, front-aligned, so the caller can
+    /// retry after the consumer drains).
+    pub fn push_burst(&self, items: &mut Vec<T>) -> usize {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        let free = self.buf.len() - (tail - head);
+        let n = free.min(items.len());
+        if n == 0 {
+            return 0;
+        }
+        for (k, item) in items.drain(..n).enumerate() {
+            let slot = &self.buf[(tail + k) & self.mask];
+            // SAFETY: SPSC contract — only this producer writes unpublished
+            // slots, and none of the `n` slots is published until the single
+            // tail store below.
+            unsafe { (*slot.get()).write(item) };
+        }
+        self.tail.store(tail + n, Ordering::Release);
+        n
+    }
+
     /// Dequeues up to `out.capacity() - out.len()` items into `out`, returning
     /// how many were moved — the burst-dequeue used by port RX.
     pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
@@ -207,6 +233,92 @@ mod tests {
         assert_eq!(out, vec![0, 1, 2, 3]);
         assert_eq!(ring.pop_burst(&mut out, 100), 6);
         assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn spsc_burst_push_all_fit() {
+        let ring = SpscRing::new(16);
+        let mut items: Vec<i32> = (0..10).collect();
+        assert_eq!(ring.push_burst(&mut items), 10);
+        assert!(items.is_empty());
+        assert_eq!(ring.len(), 10);
+        for i in 0..10 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn spsc_burst_push_partial_keeps_remainder() {
+        let ring = SpscRing::new(4);
+        ring.push(100).unwrap();
+        let mut items: Vec<i32> = vec![0, 1, 2, 3, 4, 5];
+        // Only 3 slots are free; the burst must publish exactly those and
+        // leave the rest front-aligned for a retry.
+        assert_eq!(ring.push_burst(&mut items), 3);
+        assert_eq!(items, vec![3, 4, 5]);
+        assert_eq!(ring.push_burst(&mut items), 0, "full ring accepts nothing");
+        assert_eq!(items, vec![3, 4, 5]);
+        assert_eq!(ring.pop(), Some(100));
+        assert_eq!(ring.pop(), Some(0));
+        // Two slots free again: the retry pushes two more.
+        assert_eq!(ring.push_burst(&mut items), 2);
+        assert_eq!(items, vec![5]);
+        let mut out = Vec::new();
+        ring.pop_burst(&mut out, 8);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn spsc_burst_push_wraps_around() {
+        let ring = SpscRing::new(8);
+        // Advance head/tail past the first lap so the burst write wraps.
+        for lap in 0..3 {
+            for i in 0..6 {
+                ring.push(lap * 10 + i).unwrap();
+            }
+            for i in 0..6 {
+                assert_eq!(ring.pop(), Some(lap * 10 + i));
+            }
+        }
+        let mut items: Vec<i32> = (0..8).collect();
+        assert_eq!(ring.push_burst(&mut items), 8);
+        for i in 0..8 {
+            assert_eq!(ring.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn spsc_burst_push_cross_thread() {
+        let ring = Arc::new(SpscRing::new(64));
+        let producer = Arc::clone(&ring);
+        let handle = std::thread::spawn(move || {
+            let mut next = 0u64;
+            let mut staged = Vec::new();
+            while next < 50_000 {
+                while staged.len() < 32 && next < 50_000 {
+                    staged.push(next);
+                    next += 1;
+                }
+                while !staged.is_empty() {
+                    if producer.push_burst(&mut staged) == 0 {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        });
+        let mut expected = 0u64;
+        let mut out = Vec::new();
+        while expected < 50_000 {
+            out.clear();
+            if ring.pop_burst(&mut out, 32) == 0 {
+                std::hint::spin_loop();
+            }
+            for v in &out {
+                assert_eq!(*v, expected);
+                expected += 1;
+            }
+        }
+        handle.join().unwrap();
     }
 
     #[test]

@@ -190,6 +190,17 @@ impl OvsDatapath {
         Ok(effect)
     }
 
+    /// Replaces the whole pipeline with an externally prepared one and
+    /// invalidates both caches — the epoch-swap update path of a sharded
+    /// deployment, where a central control plane applies flow-mods to the
+    /// canonical pipeline once and broadcasts the result to every per-worker
+    /// datapath replica. Equivalent to replaying the flow-mods locally: any
+    /// flow-table change invalidates the entire cache hierarchy (§2.3).
+    pub fn replace_pipeline(&self, pipeline: Pipeline) {
+        *self.pipeline.write() = pipeline;
+        self.invalidate_caches();
+    }
+
     /// Invalidates the microflow and megaflow caches.
     pub fn invalidate_caches(&self) {
         self.microflow.lock().invalidate();
@@ -673,6 +684,26 @@ mod tests {
         assert_eq!(dp.megaflow_count(), 0, "megaflow cache must be flushed");
         assert_eq!(dp.microflow_count(), 0, "microflow cache must be flushed");
         assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![9]);
+    }
+
+    #[test]
+    fn replace_pipeline_swaps_behaviour_and_flushes_caches() {
+        let dp = OvsDatapath::new(port_pipeline());
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
+        assert!(dp.megaflow_count() > 0);
+
+        let mut replacement = Pipeline::with_tables(1);
+        let t = replacement.table_mut(0).unwrap();
+        t.insert(openflow::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            100,
+            terminal_actions(vec![Action::Output(7)]),
+        ));
+        t.insert(openflow::FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        dp.replace_pipeline(replacement);
+        assert_eq!(dp.megaflow_count(), 0, "megaflow cache must be flushed");
+        assert_eq!(dp.microflow_count(), 0, "microflow cache must be flushed");
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![7]);
     }
 
     #[test]

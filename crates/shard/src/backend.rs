@@ -1,0 +1,195 @@
+//! Per-shard datapath replicas behind one trait.
+//!
+//! A shard runs whichever architecture the deployment picked — the compiled
+//! ESWITCH datapath or the OVS-style cache hierarchy — but the worker loop
+//! must not care. [`ShardBackend`] is that seam: process one burst through
+//! the replica's zero-allocation batch path, and swap in a newly published
+//! compiled state when the control plane advances the epoch.
+//!
+//! The two replicas differ in what is shared and what is private, mirroring
+//! the real systems:
+//!
+//! * **ESWITCH** — compiled code is immutable between epochs, so every shard
+//!   holds an `Arc` to the *same* [`CompiledDatapath`]; an epoch advance is
+//!   one pointer swap per shard.
+//! * **OVS** — each shard owns private microflow/megaflow caches over a
+//!   replica of the pipeline (OVS's per-PMD-thread caches); an epoch advance
+//!   replaces the replica's pipeline and invalidates both caches, which is
+//!   what any flow-table change costs the OVS architecture (§2.3).
+
+use std::sync::Arc;
+
+use eswitch::analysis::CompilerConfig;
+use eswitch::compile::{compile, CompileError, CompiledDatapath};
+use openflow::{NullController, Pipeline, Verdict};
+use ovsdp::{OvsConfig, OvsDatapath};
+use pkt::Packet;
+
+/// Which datapath architecture the shards replicate, plus its configuration.
+#[derive(Debug, Clone, Copy)]
+pub enum BackendSpec {
+    /// Compiled ESWITCH datapath, shared read-only across shards.
+    Eswitch(CompilerConfig),
+    /// OVS cache hierarchy with per-shard microflow/megaflow caches.
+    Ovs(OvsConfig),
+}
+
+impl BackendSpec {
+    /// An ESWITCH backend with the default compiler configuration.
+    pub fn eswitch() -> Self {
+        BackendSpec::Eswitch(CompilerConfig::default())
+    }
+
+    /// An OVS backend with the default cache configuration.
+    pub fn ovs() -> Self {
+        BackendSpec::Ovs(OvsConfig::default())
+    }
+
+    /// Short label for reports ("ES" / "OVS").
+    pub fn label(&self) -> &'static str {
+        match self {
+            BackendSpec::Eswitch(_) => "ES",
+            BackendSpec::Ovs(_) => "OVS",
+        }
+    }
+
+    /// Compiles the canonical pipeline into the state the control plane
+    /// broadcasts. For ESWITCH this is the actual template compilation; for
+    /// OVS it is a snapshot of the pipeline (the replica's slow path realises
+    /// it, caches fill on demand). Runs on the control thread, never on a
+    /// worker.
+    pub(crate) fn compile_state(&self, pipeline: &Pipeline) -> Result<CompiledState, CompileError> {
+        match self {
+            BackendSpec::Eswitch(config) => {
+                Ok(CompiledState::Eswitch(Arc::new(compile(pipeline, config)?)))
+            }
+            BackendSpec::Ovs(_) => Ok(CompiledState::Ovs(Arc::new(pipeline.clone()))),
+        }
+    }
+
+    /// Builds one shard's replica of a published state.
+    pub(crate) fn replica(&self, state: &CompiledState) -> Box<dyn ShardBackend> {
+        match (self, state) {
+            (BackendSpec::Eswitch(_), CompiledState::Eswitch(datapath)) => Box::new(EswitchShard {
+                datapath: Arc::clone(datapath),
+            }),
+            (BackendSpec::Ovs(config), CompiledState::Ovs(pipeline)) => Box::new(OvsShard {
+                datapath: OvsDatapath::with_config(
+                    Pipeline::clone(pipeline),
+                    *config,
+                    Box::new(NullController::new()),
+                ),
+            }),
+            _ => unreachable!("published state does not match the backend spec"),
+        }
+    }
+}
+
+/// Epoch-stamped compiled state the control plane broadcasts to every shard.
+#[derive(Clone)]
+pub enum CompiledState {
+    /// A freshly compiled ESWITCH datapath (immutable once published).
+    Eswitch(Arc<CompiledDatapath>),
+    /// A snapshot of the canonical pipeline for OVS replicas to realise.
+    Ovs(Arc<Pipeline>),
+}
+
+/// A per-shard datapath replica: one worker thread owns it exclusively.
+pub trait ShardBackend: Send {
+    /// Processes one burst through the replica's batch fast path, appending
+    /// one verdict per packet to `verdicts` (cleared first). Controller punts
+    /// are reported in the verdicts; the sharded runtime has no per-worker
+    /// controller channel (ROADMAP: async controller channel).
+    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>);
+
+    /// Swaps in a newly published compiled state (an epoch advance). Called
+    /// by the owning worker between bursts, never concurrently with
+    /// processing, so a packet can never observe a half-applied update.
+    fn apply(&mut self, state: &CompiledState);
+
+    /// The OVS replica, when this shard runs one (per-shard cache stats).
+    fn as_ovs(&self) -> Option<&OvsDatapath> {
+        None
+    }
+}
+
+/// ESWITCH replica: a shared handle to the compiled datapath.
+struct EswitchShard {
+    datapath: Arc<CompiledDatapath>,
+}
+
+impl ShardBackend for EswitchShard {
+    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        verdicts.clear();
+        verdicts.reserve(packets.len());
+        for packet in packets.iter_mut() {
+            verdicts.push(self.datapath.process(packet));
+        }
+    }
+
+    fn apply(&mut self, state: &CompiledState) {
+        if let CompiledState::Eswitch(datapath) = state {
+            self.datapath = Arc::clone(datapath);
+        }
+    }
+}
+
+/// OVS replica: a private cache hierarchy over a pipeline snapshot.
+struct OvsShard {
+    datapath: OvsDatapath,
+}
+
+impl ShardBackend for OvsShard {
+    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        self.datapath.process_batch_into(packets, verdicts);
+    }
+
+    fn apply(&mut self, state: &CompiledState) {
+        if let CompiledState::Ovs(pipeline) = state {
+            self.datapath.replace_pipeline(Pipeline::clone(pipeline));
+        }
+    }
+
+    fn as_ovs(&self) -> Option<&OvsDatapath> {
+        Some(&self.datapath)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::flow_match::FlowMatch;
+    use openflow::instruction::terminal_actions;
+    use openflow::{Action, Field, FlowEntry};
+    use pkt::builder::PacketBuilder;
+
+    fn port_pipeline(out: u32) -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            100,
+            terminal_actions(vec![Action::Output(out)]),
+        ));
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    #[test]
+    fn both_replicas_process_and_swap_epochs() {
+        for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+            let state = spec.compile_state(&port_pipeline(1)).unwrap();
+            let mut replica = spec.replica(&state);
+            let mut burst = vec![PacketBuilder::tcp().tcp_dst(80).build()];
+            let mut verdicts = Vec::new();
+            replica.process_batch_into(&mut burst, &mut verdicts);
+            assert_eq!(verdicts[0].outputs, vec![1], "{}", spec.label());
+
+            let next = spec.compile_state(&port_pipeline(9)).unwrap();
+            replica.apply(&next);
+            let mut burst = vec![PacketBuilder::tcp().tcp_dst(80).build()];
+            replica.process_batch_into(&mut burst, &mut verdicts);
+            assert_eq!(verdicts[0].outputs, vec![9], "{}", spec.label());
+        }
+    }
+}

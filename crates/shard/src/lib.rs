@@ -1,0 +1,39 @@
+//! # shard — sharded multi-worker switch runtime with a live control plane
+//!
+//! The paper's Fig. 19 runs the switch on 1–5 packet-processing cores and
+//! shows both architectures scaling linearly; its §3.4 update machinery only
+//! matters when flow-mods race live traffic. This crate is the runtime that
+//! makes both real, mirroring the deployment shape of OVS's per-PMD-thread
+//! datapath (and of a DPDK ESWITCH instance):
+//!
+//! * **RSS dispatch** ([`rss`]) — each packet's flow tuple is hashed with the
+//!   extraction-time miniflow hash and the hash picks a worker shard, so one
+//!   flow always lands on one shard (per-shard caches stay warm, no
+//!   cross-shard flow state). Packets travel over per-shard
+//!   [`netdev::SpscRing`]s, published burst-at-a-time.
+//! * **Worker shards** ([`backend`], [`runtime`]) — each shard owns a
+//!   datapath replica behind the [`ShardBackend`] trait: the compiled ESWITCH
+//!   datapath (shared read-only, as compiled code is) or an OVS replica with
+//!   *private* microflow/megaflow caches, exactly like OVS PMD threads. A
+//!   shard drains its ring in 32-packet bursts through the zero-allocation
+//!   `process_batch_into` fast path.
+//! * **Control plane** ([`runtime::ShardedSwitch::flow_mod`]) — flow-mods are
+//!   applied to the canonical [`openflow::Pipeline`] once, compiled once on
+//!   the control thread, and broadcast as an epoch-stamped state via atomic
+//!   `Arc` swap. Workers pick the new epoch up at their next burst boundary:
+//!   no worker ever blocks on recompilation, every packet is processed
+//!   against exactly one epoch's state, and a failed compilation rolls the
+//!   canonical pipeline back, leaving every shard on the old epoch.
+//! * **Stats & shutdown** — per-shard [`netdev::Counters`] aggregate into
+//!   switch-wide totals; shutdown flushes the dispatcher, lets every shard
+//!   drain its ring, and only then joins the workers, so no packet is lost.
+
+pub mod backend;
+pub mod rss;
+pub mod runtime;
+
+pub use backend::{BackendSpec, CompiledState, ShardBackend};
+pub use rss::{rss_hash, shard_of, RssDispatcher};
+pub use runtime::{
+    ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, VerdictSink,
+};

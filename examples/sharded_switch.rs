@@ -1,0 +1,115 @@
+//! Sharded switch runtime: live flow-mods under multi-worker load.
+//!
+//! Launches the `shard` runtime with two worker shards over an L2+ACL-style
+//! pipeline, streams traffic through the RSS dispatcher, and — while packets
+//! keep flowing — applies flow-mods through the control plane. Each update
+//! is compiled once centrally and broadcast to the shards as a new epoch via
+//! an atomic `Arc` swap: no worker blocks, no packet is dropped, and every
+//! packet is processed against exactly one epoch's pipeline.
+//!
+//! Run with: `cargo run --example sharded_switch`
+
+use eswitch_repro::openflow::flow_match::FlowMatch;
+use eswitch_repro::openflow::instruction::terminal_actions;
+use eswitch_repro::openflow::{Action, Field, FlowEntry, FlowMod, Pipeline};
+use eswitch_repro::pkt::builder::PacketBuilder;
+use eswitch_repro::shard::{BackendSpec, ShardedConfig, ShardedSwitch};
+
+fn build_pipeline() -> Pipeline {
+    let mut p = Pipeline::with_tables(1);
+    let t = p.table_mut(0).unwrap();
+    for port in 0..16u16 {
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, u128::from(8000 + port)),
+            100,
+            terminal_actions(vec![Action::Output(u32::from(port % 4))]),
+        ));
+    }
+    t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    p
+}
+
+fn main() {
+    println!("== sharded switch: live flow-mods under load ==\n");
+
+    for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+        let (switch, mut dispatcher) = ShardedSwitch::launch(
+            spec,
+            build_pipeline(),
+            ShardedConfig {
+                workers: 2,
+                ring_capacity: 512,
+            },
+        )
+        .expect("pipeline compiles");
+        println!(
+            "[{}] launched {} worker shards, epoch {}",
+            spec.label(),
+            switch.workers(),
+            switch.epoch()
+        );
+
+        // Phase 1: steady traffic over 512 flows.
+        let packet = |i: usize| {
+            PacketBuilder::tcp()
+                .tcp_dst(8000 + (i % 16) as u16)
+                .tcp_src(1024 + (i % 512) as u16)
+                .build()
+        };
+        for i in 0..20_000 {
+            dispatcher.dispatch(packet(i));
+        }
+
+        // Phase 2: updates race the traffic. Block port 8007, then open a
+        // brand-new service on 9000 — packets keep flowing the whole time.
+        switch
+            .flow_mod(&FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::TcpDst, 8007),
+                200,
+                vec![], // drop
+            ))
+            .expect("block flow-mod applies");
+        for i in 20_000..40_000 {
+            dispatcher.dispatch(packet(i));
+        }
+        switch
+            .flow_mod(&FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::TcpDst, 9000),
+                150,
+                terminal_actions(vec![Action::Output(7)]),
+            ))
+            .expect("open flow-mod applies");
+        for i in 40_000..60_000 {
+            dispatcher.dispatch(packet(i));
+        }
+
+        println!(
+            "[{}] control epoch {} after 2 live updates; shard epochs {:?}",
+            spec.label(),
+            switch.epoch(),
+            switch.shard_epochs()
+        );
+
+        let report = switch.shutdown(dispatcher);
+        println!(
+            "[{}] dispatched {} packets, processed {} ({} lost), per shard: {}",
+            spec.label(),
+            report.dispatched,
+            report.processed.packets,
+            report.dispatched - report.processed.packets,
+            report
+                .per_shard
+                .iter()
+                .enumerate()
+                .map(|(i, s)| format!("shard{i}={}", s.packets))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+        assert_eq!(report.dispatched, report.processed.packets);
+        assert_eq!(report.epoch, 2);
+        println!();
+    }
+    println!("every dispatched packet was processed; updates never stalled a worker");
+}

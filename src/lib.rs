@@ -11,4 +11,5 @@ pub use netdev;
 pub use openflow;
 pub use ovsdp;
 pub use pkt;
+pub use shard;
 pub use workloads;

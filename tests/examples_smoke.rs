@@ -10,6 +10,7 @@ const EXAMPLES: &[&str] = &[
     "load_balancer",
     "access_gateway",
     "cache_attack",
+    "sharded_switch",
 ];
 
 #[test]
