@@ -1,0 +1,256 @@
+//! fig18_sharded — update cost of the *sharded* runtime under concurrent
+//! flow-mod load (Fig. 18's experiment run against the production deployment
+//! shape), recorded to `BENCH_updates.json`.
+//!
+//! For each workload × backend, two control-plane strategies are measured
+//! with the same harness:
+//!
+//! * `planned` — the §3.4 update planner: incremental/per-table epoch
+//!   publication with structural sharing, and delta-aware cache
+//!   invalidation on OVS shards;
+//! * `full_recompile` — the pre-planner baseline: every flow-mod recompiles
+//!   the whole state and (on OVS) flushes every shard's cache hierarchy.
+//!
+//! Workloads:
+//!
+//! * `l2_hash` — a 1K-entry MAC table (compound-hash template); churn =
+//!   template-shaped MAC adds/strict-deletes. Both backends can absorb
+//!   this incrementally.
+//! * `gateway_routes` — the access-gateway use case; churn = /24 route
+//!   adds/deletes against the 10K-prefix routing table (the Fig. 18 update
+//!   stream). ESWITCH absorbs these as in-place LPM edits; the gateway
+//!   rewrites matched fields mid-pipeline, so OVS correctly refuses the
+//!   delta and pays the full flush — the paper's contrast.
+//!
+//! Reported per point: sustained updates/sec, pps retained vs. quiescent,
+//! and the update-class histogram; plus, per workload × backend, the
+//! planned-vs-baseline updates/sec ratio (the PR's ≥3× acceptance gate on
+//! the ESWITCH backend).
+//!
+//! `ESWITCH_BENCH_QUICK=1` shrinks the measurement windows for CI smoke runs.
+
+use std::fmt::Write as _;
+
+use bench_harness::print_header;
+use bench_harness::updates::{
+    measure_update_load, UpdateLoadConfig, UpdateLoadPoint, RING_CAPACITY,
+};
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowMod, Pipeline};
+use shard::{BackendSpec, UpdateStrategy};
+use workloads::gateway::{self, GatewayConfig};
+use workloads::l2::{self, L2Config};
+use workloads::FlowSet;
+
+fn duration_ms() -> u64 {
+    if bench_harness::quick_mode() {
+        150
+    } else {
+        700
+    }
+}
+
+fn warmup_packets() -> usize {
+    if bench_harness::quick_mode() {
+        4_000
+    } else {
+        20_000
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    pipeline: Pipeline,
+    traffic: FlowSet,
+    make_flow_mod: Box<dyn Fn(u64) -> FlowMod + Send + Sync>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let l2_config = L2Config {
+        table_size: 1_000,
+        ports: 4,
+        seed: 1,
+    };
+    let gw_config = GatewayConfig::default();
+    vec![
+        Workload {
+            name: "l2_hash",
+            pipeline: l2::build_pipeline(&l2_config),
+            traffic: l2::build_traffic(&l2_config, 2_048),
+            // Template-shaped MAC churn in a range disjoint from the
+            // installed table: alternate add / strict delete.
+            make_flow_mod: Box::new(|n| {
+                let mac = 0x0200_0000_8000u64 + (n / 2) % 512;
+                let m = FlowMatch::any().with_exact(Field::EthDst, u128::from(mac));
+                if n.is_multiple_of(2) {
+                    FlowMod::add(0, m, 10, terminal_actions(vec![Action::Output(1)]))
+                } else {
+                    FlowMod::delete_strict(0, m, 10)
+                }
+            }),
+        },
+        Workload {
+            name: "gateway_routes",
+            pipeline: gateway::build_pipeline(&gw_config),
+            traffic: gateway::build_traffic(&gw_config, 1_000),
+            // The Fig. 18 update stream: /24 route add/delete cycling over
+            // 203.0.x.0 against the last-level routing table.
+            make_flow_mod: Box::new(|n| {
+                let prefix = u32::from_be_bytes([203, 0, ((n / 2) % 250) as u8, 0]);
+                let m = FlowMatch::any().with_prefix(Field::Ipv4Dst, u128::from(prefix), 24);
+                if n.is_multiple_of(2) {
+                    FlowMod::add(
+                        gateway::ROUTING_TABLE,
+                        m,
+                        134,
+                        terminal_actions(vec![Action::Output(1)]),
+                    )
+                } else {
+                    FlowMod::delete_strict(gateway::ROUTING_TABLE, m, 134)
+                }
+            }),
+        },
+    ]
+}
+
+struct Point {
+    workload: &'static str,
+    backend: &'static str,
+    strategy: &'static str,
+    result: UpdateLoadPoint,
+}
+
+fn strategy_label(s: UpdateStrategy) -> &'static str {
+    match s {
+        UpdateStrategy::Planned => "planned",
+        UpdateStrategy::FullRecompile => "full_recompile",
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_updates.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    print_header(
+        "Figure 18 (sharded)",
+        "sharded-runtime update cost: planner vs full-recompile baseline (BENCH_updates.json)",
+    );
+
+    let workers = 2usize;
+    let mut points: Vec<Point> = Vec::new();
+    for workload in workloads() {
+        for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+            for strategy in [UpdateStrategy::Planned, UpdateStrategy::FullRecompile] {
+                let result = measure_update_load(
+                    spec,
+                    workload.pipeline.clone(),
+                    &workload.traffic,
+                    UpdateLoadConfig {
+                        workers,
+                        strategy,
+                        warmup: warmup_packets(),
+                        duration_ms: duration_ms(),
+                    },
+                    &workload.make_flow_mod,
+                );
+                println!(
+                    "{:<16} {:<4} {:<15} {:>9.0} updates/s  {:>12.0} pps loaded  {:>5.1}% retained  classes {}/{}/{}",
+                    workload.name,
+                    spec.label(),
+                    strategy_label(strategy),
+                    result.updates_per_sec,
+                    result.loaded_pps,
+                    result.retained() * 100.0,
+                    result.classes.incremental,
+                    result.classes.per_table,
+                    result.classes.full,
+                );
+                points.push(Point {
+                    workload: workload.name,
+                    backend: spec.label(),
+                    strategy: strategy_label(strategy),
+                    result,
+                });
+            }
+        }
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fig18_sharded_updates\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"ring_capacity\": {RING_CAPACITY},");
+    let _ = writeln!(json, "  \"duration_ms\": {},", duration_ms());
+    let _ = writeln!(json, "  \"warmup_packets\": {},", warmup_packets());
+    let _ = writeln!(json, "  \"quick\": {},", bench_harness::quick_mode());
+    json.push_str("  \"machine\": {");
+    let _ = write!(
+        json,
+        "\"logical_cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    json.push_str("},\n");
+    json.push_str(
+        "  \"note\": \"updates/sec = flow-mods absorbed per second while traffic flows; retained = loaded_pps / quiescent_pps; classes = (incremental, per_table, full) epochs published during the loaded window\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.result;
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"backend\": \"{}\", \"strategy\": \"{}\", \"updates_per_sec\": {:.1}, \"quiescent_pps\": {:.0}, \"loaded_pps\": {:.0}, \"retained\": {:.4}, \"classes\": {{\"incremental\": {}, \"per_table\": {}, \"full\": {}}}}}",
+            p.workload,
+            p.backend,
+            p.strategy,
+            r.updates_per_sec,
+            r.quiescent_pps,
+            r.loaded_pps,
+            r.retained(),
+            r.classes.incremental,
+            r.classes.per_table,
+            r.classes.full,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"planned_vs_full_recompile_updates_ratio\": {\n");
+    let mut combos: Vec<(&str, &str)> = Vec::new();
+    for p in &points {
+        if !combos.contains(&(p.workload, p.backend)) {
+            combos.push((p.workload, p.backend));
+        }
+    }
+    for (ci, (workload, backend)) in combos.iter().enumerate() {
+        let rate = |strategy: &str| {
+            points
+                .iter()
+                .find(|p| {
+                    p.workload == *workload && p.backend == *backend && p.strategy == strategy
+                })
+                .map(|p| p.result.updates_per_sec)
+                .unwrap_or(0.0)
+        };
+        let baseline = rate("full_recompile").max(1e-9);
+        let _ = write!(
+            json,
+            "    \"{workload}/{backend}\": {:.2}",
+            rate("planned") / baseline
+        );
+        json.push_str(if ci + 1 < combos.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

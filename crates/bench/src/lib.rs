@@ -16,11 +16,13 @@ pub mod fastpath;
 pub mod measure;
 pub mod multicore;
 pub mod report;
+pub mod updates;
 
 pub use datapath::{AnySwitch, SwitchKind};
 pub use measure::{measure_latency_cycles, measure_throughput, Measurement};
 pub use multicore::{measure_multicore_throughput, measure_sharded_throughput};
 pub use report::{render_series_table, Series};
+pub use updates::{measure_update_load, UpdateLoadConfig, UpdateLoadPoint};
 
 /// True when quick mode is requested (smaller packet counts and sweeps).
 pub fn quick_mode() -> bool {

@@ -130,6 +130,7 @@ pub fn measure_sharded_throughput(
         ShardedConfig {
             workers,
             ring_capacity: SHARD_RING_CAPACITY,
+            ..ShardedConfig::default()
         },
     )
     .expect("pipeline compiles");

@@ -1,0 +1,225 @@
+//! Update-cost measurement for the *sharded* runtime (Fig. 18's question —
+//! what does rule churn cost a running switch? — asked of the production
+//! deployment shape instead of the single-threaded runtime).
+//!
+//! [`measure_update_load`] drives one sharded switch through two timed
+//! windows over the same RSS-precomputed traffic feed:
+//!
+//! 1. **quiescent** — no flow-mods; the baseline packet rate;
+//! 2. **loaded** — a control-plane thread applies flow-mods back-to-back as
+//!    fast as the switch absorbs them, while traffic keeps flowing.
+//!
+//! Reported per run: sustained updates/sec, packet rate retained under load,
+//! and the §3.4 update-class histogram of the published epochs. The
+//! `updates` binary sweeps this over workloads × backends × update
+//! strategies ([`UpdateStrategy::Planned`] vs the pre-planner
+//! [`UpdateStrategy::FullRecompile`] baseline) into `BENCH_updates.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use netdev::BURST_SIZE;
+use openflow::{FlowMod, Pipeline};
+use pkt::Packet;
+use shard::{BackendSpec, ShardedConfig, ShardedSwitch, UpdateClassCounts, UpdateStrategy};
+use workloads::FlowSet;
+
+/// Per-shard ring capacity used by the update-load harness (matches the
+/// multicore harness's operating point).
+pub const RING_CAPACITY: usize = 1024;
+
+/// One measured operating point of [`measure_update_load`].
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateLoadPoint {
+    /// Packets/sec with the control plane idle.
+    pub quiescent_pps: f64,
+    /// Packets/sec while flow-mods are applied back-to-back.
+    pub loaded_pps: f64,
+    /// Flow-mods absorbed per second during the loaded window.
+    pub updates_per_sec: f64,
+    /// §3.4 classes of the epochs published during the loaded window.
+    pub classes: UpdateClassCounts,
+}
+
+impl UpdateLoadPoint {
+    /// Fraction of the quiescent packet rate retained under update load.
+    pub fn retained(&self) -> f64 {
+        if self.quiescent_pps <= 0.0 {
+            0.0
+        } else {
+            self.loaded_pps / self.quiescent_pps
+        }
+    }
+}
+
+/// Operating point of one [`measure_update_load`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateLoadConfig {
+    /// Worker shards.
+    pub workers: usize,
+    /// Control-plane strategy under test.
+    pub strategy: UpdateStrategy,
+    /// Warm-up packets before the timed windows.
+    pub warmup: usize,
+    /// Length of each timed window (quiescent and loaded).
+    pub duration_ms: u64,
+}
+
+/// Measures one (backend, strategy) operating point: packet rate quiescent
+/// and under maximal flow-mod churn, plus the sustained update rate.
+/// `make_flow_mod(n)` produces the `n`-th flow-mod of the churn stream
+/// (alternate adds and deletes to keep the table size bounded).
+pub fn measure_update_load(
+    spec: BackendSpec,
+    pipeline: Pipeline,
+    traffic: &FlowSet,
+    config: UpdateLoadConfig,
+    make_flow_mod: impl Fn(u64) -> FlowMod + Send + Sync,
+) -> UpdateLoadPoint {
+    let UpdateLoadConfig {
+        workers,
+        strategy,
+        warmup,
+        duration_ms,
+    } = config;
+    let (switch, mut dispatcher) = ShardedSwitch::launch(
+        spec,
+        pipeline,
+        ShardedConfig {
+            workers,
+            ring_capacity: RING_CAPACITY,
+            update_strategy: strategy,
+        },
+    )
+    .expect("pipeline compiles");
+
+    // Precompute each replay slot's shard (hardware RSS runs off-CPU).
+    let len = traffic.active_flows();
+    let n = len.max(BURST_SIZE).div_ceil(BURST_SIZE) * BURST_SIZE;
+    let ring: Vec<(usize, Packet)> = (0..n)
+        .map(|i| {
+            let packet = traffic.packet(i);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let feed_pass = |dispatcher: &mut shard::RssDispatcher| {
+        for (shard, proto) in &ring {
+            dispatcher.dispatch_to(*shard, proto.clone());
+        }
+    };
+
+    // Warm-up: per-shard caches fill; wait for actual processing.
+    let mut warmed = 0usize;
+    while warmed < warmup {
+        feed_pass(&mut dispatcher);
+        warmed += ring.len();
+    }
+    dispatcher.flush();
+    while (switch.stats().packets as usize) < warmed {
+        std::thread::yield_now();
+    }
+
+    let window = Duration::from_millis(duration_ms);
+
+    // Window 1: quiescent.
+    let base = switch.stats().packets;
+    let start = Instant::now();
+    loop {
+        feed_pass(&mut dispatcher);
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    let quiescent_pps = (switch.stats().packets - base) as f64 / start.elapsed().as_secs_f64();
+
+    // Window 2: loaded — a control thread applies flow-mods back-to-back.
+    let stop = AtomicBool::new(false);
+    let (loaded_pps, updates_per_sec, classes) = std::thread::scope(|scope| {
+        let updater = scope.spawn(|| {
+            let mut applied = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let fm = make_flow_mod(applied);
+                if switch.flow_mod(&fm).is_ok() {
+                    applied += 1;
+                }
+            }
+            applied
+        });
+        let classes_before = switch.update_classes();
+        let base = switch.stats().packets;
+        let start = Instant::now();
+        loop {
+            feed_pass(&mut dispatcher);
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let loaded_pps = (switch.stats().packets - base) as f64 / elapsed;
+        stop.store(true, Ordering::Relaxed);
+        let applied = updater.join().expect("updater panicked");
+        let after = switch.update_classes();
+        let classes = UpdateClassCounts {
+            incremental: after.incremental - classes_before.incremental,
+            per_table: after.per_table - classes_before.per_table,
+            full: after.full - classes_before.full,
+        };
+        (loaded_pps, applied as f64 / elapsed, classes)
+    });
+
+    switch.shutdown(dispatcher);
+    UpdateLoadPoint {
+        quiescent_pps,
+        loaded_pps,
+        updates_per_sec,
+        classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::flow_match::FlowMatch;
+    use openflow::instruction::terminal_actions;
+    use openflow::{Action, Field};
+
+    /// The update harness itself must leave the switch consistent and report
+    /// sane numbers; the planner path must beat the full-recompile baseline
+    /// on update throughput for hash-shaped churn (loose factor here — the
+    /// committed BENCH_updates.json captures the real gate).
+    #[test]
+    fn update_load_harness_reports_classes_and_rates() {
+        let make = |n: u64| {
+            let mac = 0x0200_0000_4000u64 + (n / 2) % 256;
+            let m = FlowMatch::any().with_exact(Field::EthDst, u128::from(mac));
+            if n.is_multiple_of(2) {
+                FlowMod::add(0, m, 10, terminal_actions(vec![Action::Output(1)]))
+            } else {
+                FlowMod::delete_strict(0, m, 10)
+            }
+        };
+        let l2 = workloads::l2::L2Config {
+            table_size: 256,
+            ports: 4,
+            seed: 7,
+        };
+        let point = measure_update_load(
+            BackendSpec::eswitch(),
+            workloads::l2::build_pipeline(&l2),
+            &workloads::l2::build_traffic(&l2, 512),
+            UpdateLoadConfig {
+                workers: 1,
+                strategy: UpdateStrategy::Planned,
+                warmup: 2_000,
+                duration_ms: 80,
+            },
+            make,
+        );
+        assert!(point.quiescent_pps > 0.0);
+        assert!(point.loaded_pps > 0.0);
+        assert!(point.updates_per_sec > 0.0);
+        // Hash-shaped adds/strict-deletes never publish full recompiles.
+        assert_eq!(point.classes.full, 0, "{:?}", point.classes);
+        assert!(point.classes.incremental > 0, "{:?}", point.classes);
+    }
+}

@@ -8,7 +8,7 @@
 //! `parking_lot::RwLock` slot per table — so that a single table can later be
 //! rebuilt side-by-side and swapped in atomically while packets keep flowing.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -82,9 +82,16 @@ pub struct DatapathStats {
 }
 
 /// A fully compiled, executable datapath.
+///
+/// Per-table programs are individually `Arc`-shared: an epoch-publishing
+/// control plane can derive a successor datapath via
+/// [`CompiledDatapath::with_rebuilt_tables`] that *structurally shares* every
+/// untouched table — only the rebuilt tables get fresh slots, everything else
+/// is a pointer copy (§3.4's per-table update granularity, extended across
+/// epochs).
 pub struct CompiledDatapath {
     parser: ParserTemplate,
-    slots: Vec<TableSlot>,
+    slots: Vec<Arc<TableSlot>>,
     index_of: HashMap<TableId, usize>,
     config: CompilerConfig,
     /// Runtime statistics.
@@ -97,9 +104,38 @@ impl CompiledDatapath {
         &self.parser
     }
 
-    /// The compiled tables in pipeline order.
-    pub fn slots(&self) -> &[TableSlot] {
+    /// The compiled tables in pipeline order, each behind its shared slot.
+    pub fn slots(&self) -> &[Arc<TableSlot>] {
         &self.slots
+    }
+
+    /// Derives a new datapath in which the listed tables are replaced by
+    /// freshly rebuilt templates while every other table slot is shared
+    /// (`Arc` pointer copy) with `self`. Slots for unknown table ids are
+    /// ignored — the caller guarantees rebuilt tables exist (the planner only
+    /// produces per-table plans for tables the datapath already has).
+    pub fn with_rebuilt_tables(
+        &self,
+        rebuilt: impl IntoIterator<Item = (TableId, CompiledTable)>,
+    ) -> CompiledDatapath {
+        let mut slots: Vec<Arc<TableSlot>> = self.slots.iter().map(Arc::clone).collect();
+        for (id, table) in rebuilt {
+            if let Some(&i) = self.index_of.get(&id) {
+                slots[i] = Arc::new(TableSlot {
+                    id,
+                    miss: self.slots[i].miss,
+                    table: RwLock::new(table),
+                    lookups: Counters::new(),
+                });
+            }
+        }
+        CompiledDatapath {
+            parser: self.parser,
+            slots,
+            index_of: self.index_of.clone(),
+            config: self.config,
+            stats: DatapathStats::default(),
+        }
     }
 
     /// The compiler configuration used.
@@ -109,7 +145,7 @@ impl CompiledDatapath {
 
     /// Looks up the slot backing an OpenFlow table id.
     pub fn slot(&self, id: TableId) -> Option<&TableSlot> {
-        self.index_of.get(&id).map(|i| &self.slots[*i])
+        self.index_of.get(&id).map(|i| &*self.slots[*i])
     }
 
     /// Template kinds per table, for statistics dumps and tests.
@@ -327,9 +363,14 @@ fn build_hash(
     store: &mut ActionStore,
 ) -> Result<CompoundHashTable, crate::templates::table::TemplateError> {
     let (body, catch_all) = crate::analysis::split_catch_all(table);
+    // Entries arrive in pipeline match order (descending priority); the
+    // template has one slot per key, so on duplicate key values the first —
+    // highest-priority — entry must own the slot, exactly as the pipeline's
+    // first-match rule resolves the overlap.
+    let mut seen: HashSet<Vec<FieldValue>> = HashSet::new();
     let keys = body
         .iter()
-        .map(|entry| {
+        .filter_map(|entry| {
             let values: Vec<FieldValue> = shape
                 .iter()
                 .map(|(field, _)| {
@@ -340,7 +381,8 @@ fn build_hash(
                         .unwrap_or_default()
                 })
                 .collect();
-            (values, compile_instructions(entry, store))
+            seen.insert(values.clone())
+                .then(|| (values, compile_instructions(entry, store)))
         })
         .collect();
     CompoundHashTable::new(
@@ -356,12 +398,16 @@ fn build_lpm(
     store: &mut ActionStore,
 ) -> Result<LpmTable, crate::templates::table::TemplateError> {
     let (body, catch_all) = crate::analysis::split_catch_all(table);
+    // Same first-wins rule as `build_hash`: the highest-priority entry of a
+    // duplicated prefix owns the LPM rule.
+    let mut seen: HashSet<(u32, u8)> = HashSet::new();
     let rules = body
         .iter()
-        .map(|entry| {
+        .filter_map(|entry| {
             let mf = entry.flow_match.fields()[0];
             let len = mf.prefix_len().expect("lpm shape checked") as u8;
-            (mf.value as u32, len, compile_instructions(entry, store))
+            seen.insert((mf.value as u32, len))
+                .then(|| (mf.value as u32, len, compile_instructions(entry, store)))
         })
         .collect();
     LpmTable::new(
@@ -428,12 +474,12 @@ pub fn compile(
     for table in pipeline.tables() {
         let compiled = compile_table(table, config, &mut store);
         index_of.insert(table.id, slots.len());
-        slots.push(TableSlot {
+        slots.push(Arc::new(TableSlot {
             id: table.id,
             miss: table.miss,
             table: RwLock::new(compiled),
             lookups: Counters::new(),
-        });
+        }));
     }
 
     Ok(CompiledDatapath {

@@ -51,9 +51,11 @@ pub mod decompose;
 pub mod perfmodel;
 pub mod runtime;
 pub mod templates;
+pub mod update;
 
 pub use analysis::{select_template, CompilerConfig, TemplateKind};
 pub use compile::{compile, CompileError, CompiledDatapath};
 pub use decompose::{decompose_pipeline, decompose_table, DecomposeStats};
 pub use perfmodel::{CacheLevelCosts, PerformanceEstimate, PerformanceModel};
 pub use runtime::EswitchRuntime;
+pub use update::{UpdateClass, UpdateCounter, UpdatePlan, UpdatePlanner};

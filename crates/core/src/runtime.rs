@@ -20,30 +20,40 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use netdev::Counters;
 use openflow::action::apply_action_list;
-use openflow::flow_mod::{apply_flow_mod, FlowModCommand, FlowModEffect, FlowModError};
+use openflow::flow_mod::{apply_flow_mod_undoable, FlowModEffect, FlowModError};
 use openflow::{
-    Controller, ControllerDecision, Field, FieldValue, FlowKey, FlowMod, NullController, PacketIn,
-    PacketInReason, Pipeline, Verdict,
+    Controller, ControllerDecision, FlowKey, FlowMod, NullController, PacketIn, PacketInReason,
+    Pipeline, Verdict,
 };
 use pkt::Packet;
 
 use crate::analysis::CompilerConfig;
-use crate::compile::{compile, compile_table, CompileError, CompiledDatapath};
-use crate::templates::action::ActionStore;
-use crate::templates::table::CompiledTable;
+use crate::compile::{compile, CompileError, CompiledDatapath};
+use crate::update::{Absorbed, UpdateClass, UpdateCounter, UpdatePlanner};
 
 /// Statistics about how updates were absorbed; the Fig. 17/18 harnesses read
-/// these to attribute update cost.
+/// these to attribute update cost. Counted in updates and flow entries
+/// touched — meaningful units, unlike the traffic counters' packets/bytes.
 #[derive(Debug, Default)]
 pub struct UpdateStats {
     /// Flow-mods absorbed by an in-place template update.
-    pub incremental: Counters,
-    /// Flow-mods absorbed by rebuilding a single table.
-    pub table_rebuilds: Counters,
+    pub incremental: UpdateCounter,
+    /// Flow-mods absorbed by rebuilding only the touched tables.
+    pub table_rebuilds: UpdateCounter,
     /// Flow-mods that forced a full datapath recompilation.
-    pub full_recompiles: Counters,
+    pub full_recompiles: UpdateCounter,
+}
+
+impl UpdateStats {
+    /// Records one absorbed flow-mod at the given ladder tier.
+    pub fn record(&self, class: UpdateClass, entries: u64) {
+        match class {
+            UpdateClass::Incremental => self.incremental.record(entries),
+            UpdateClass::PerTable => self.table_rebuilds.record(entries),
+            UpdateClass::Full => self.full_recompiles.record(entries),
+        }
+    }
 }
 
 /// The ESWITCH switch runtime.
@@ -150,158 +160,75 @@ impl EswitchRuntime {
     }
 
     /// Applies a flow-mod, updating the compiled datapath at the finest
-    /// granularity that preserves correctness.
+    /// granularity that preserves correctness. The §3.4 ladder decision
+    /// itself lives in the shared [`UpdatePlanner`]; this runtime merely
+    /// executes the plan in place (trampoline semantics).
     pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
-        // 1. Update the declarative pipeline (the source of truth).
-        let effect = {
-            let mut pipeline = self.pipeline.write();
-            apply_flow_mod(&mut pipeline, fm)?
-        };
+        // The pipeline write lock is held across apply + plan + execute (and
+        // a possible undo), so concurrent flow-mods serialise: one caller's
+        // rollback can never clobber another caller's acknowledged change.
+        // Packet processing never takes this lock — it reads `datapath` only.
+        let mut pipeline = self.pipeline.write();
 
-        // 2. Try to absorb the change incrementally.
-        if self.try_incremental(fm, &effect) {
-            self.updates.incremental.record(0);
+        // 1. Update the declarative pipeline (the source of truth), keeping
+        //    the undo log so a failed compilation can roll it back without
+        //    having cloned anything up front.
+        let (effect, undo) = apply_flow_mod_undoable(&mut pipeline, fm)?;
+        let entries = effect.entries_touched();
+        if entries == 0 {
+            // The flow-mod matched nothing (e.g. a non-strict delete with no
+            // overlapping entries): the pipeline is unchanged, so the
+            // compiled datapath is still exact — nothing to do.
             return Ok(effect);
         }
 
-        // 3. Per-table rebuild when only existing tables changed and the
-        //    change does not require a deeper packet parser than the one the
-        //    datapath was compiled with (matching a new, deeper field after a
-        //    shallow-parse compile needs the full recompile path).
+        // 2. Plan the cheapest absorbing tier; incremental edits land in
+        //    the live datapath inside `absorb`, per-table rebuilds swap
+        //    through the trampolines here.
         let datapath = self.datapath();
-        let all_tables_known = effect
-            .tables_touched
-            .iter()
-            .all(|id| datapath.slot(*id).is_some());
-        let parser_still_sufficient = {
-            let pipeline = self.pipeline.read();
-            let needed = crate::templates::parser::ParserTemplate::for_fields(
-                effect
-                    .tables_touched
-                    .iter()
-                    .filter_map(|id| pipeline.table(*id))
-                    .flat_map(|t| t.entries())
-                    .flat_map(|e| {
-                        e.flow_match
-                            .fields()
-                            .iter()
-                            .map(|mf| mf.field)
-                            .chain(crate::compile::instruction_fields(e))
-                    }),
-            );
-            needed.depth() <= datapath.parser().depth()
-        };
-        if all_tables_known && parser_still_sufficient && !effect.tables_touched.is_empty() {
-            let pipeline = self.pipeline.read();
-            for id in &effect.tables_touched {
-                let table = pipeline.table(*id).expect("touched table exists");
-                // The paper keeps a shared template library; re-interning per
-                // rebuild only affects sharing across tables, not correctness.
-                let mut store = ActionStore::new();
-                let rebuilt = compile_table(table, &self.config, &mut store);
-                let slot = datapath.slot(*id).expect("checked above");
-                *slot.table.write() = rebuilt;
-            }
-            self.updates.table_rebuilds.record(0);
-            return Ok(effect);
-        }
-
-        // 4. Structural change: full recompilation, swapped in atomically.
-        let recompiled = {
-            let pipeline = self.pipeline.read();
-            compile(&pipeline, &self.config)
-        };
-        match recompiled {
-            Ok(dp) => {
-                *self.datapath.write() = Arc::new(dp);
-                self.updates.full_recompiles.record(0);
+        let planner = UpdatePlanner::new(&self.config);
+        match planner.absorb(&pipeline, &datapath, fm, &effect) {
+            Absorbed::Incremental => {
+                self.updates.record(UpdateClass::Incremental, entries);
                 Ok(effect)
             }
-            Err(_) => {
-                // Compilation failure: roll the declarative change back so the
-                // running datapath and the pipeline stay consistent
-                // (transactional updates, §3.4).
-                Err(FlowModError::TableRequired)
+            Absorbed::PerTable(rebuilt) => {
+                self.swap_rebuilt_tables(&datapath, rebuilt);
+                self.updates.record(UpdateClass::PerTable, entries);
+                Ok(effect)
             }
+            // 3. Structural change: full recompilation, swapped in
+            //    atomically.
+            Absorbed::Full => match compile(&pipeline, &self.config) {
+                Ok(dp) => {
+                    *self.datapath.write() = Arc::new(dp);
+                    self.updates.record(UpdateClass::Full, entries);
+                    Ok(effect)
+                }
+                Err(_) => {
+                    // Compilation failure: roll the declarative change back
+                    // so the running datapath and the pipeline stay
+                    // consistent (transactional updates, §3.4).
+                    undo.undo(&mut pipeline);
+                    Err(FlowModError::TableRequired)
+                }
+            },
         }
     }
 
-    /// Attempts an in-place template update for a single-table Add/Delete.
-    fn try_incremental(&self, fm: &FlowMod, effect: &FlowModEffect) -> bool {
-        if effect.tables_touched.len() != 1 {
-            return false;
-        }
-        let table_id = effect.tables_touched[0];
-        let datapath = self.datapath();
-        let Some(slot) = datapath.slot(table_id) else {
-            return false;
-        };
-        if matches!(fm.command, FlowModCommand::Add) {
-            // An added entry may need a deeper parser than the datapath was
-            // compiled with — not only through its match fields (the template
-            // shape checks below pin those) but through action-written fields:
-            // a compiled SetField(IpDscp)/DecNwTtl silently no-ops when the
-            // parser never located the IP header. Escalate instead.
-            let entry = openflow::FlowEntry::new(
-                fm.flow_match.clone(),
-                fm.priority,
-                fm.instructions.clone(),
-            );
-            let needed = crate::templates::parser::ParserTemplate::for_fields(
-                entry
-                    .flow_match
-                    .fields()
-                    .iter()
-                    .map(|mf| mf.field)
-                    .chain(crate::compile::instruction_fields(&entry)),
-            );
-            if needed.depth() > datapath.parser().depth() {
-                return false;
-            }
-        }
-        let mut table = slot.table.write();
-        match (&mut *table, fm.command) {
-            (CompiledTable::CompoundHash(hash), FlowModCommand::Add) => {
-                // The new entry must have exactly the template's field shape.
-                let Some(values) = hash_key_values(hash.fields(), fm) else {
-                    return false;
-                };
-                let mut store = ActionStore::new();
-                let entry = openflow::FlowEntry::new(
-                    fm.flow_match.clone(),
-                    fm.priority,
-                    fm.instructions.clone(),
-                );
-                let instrs = compile_entry_instrs(&entry, &mut store);
-                hash.insert(&values, instrs);
-                true
-            }
-            (CompiledTable::CompoundHash(hash), FlowModCommand::DeleteStrict) => {
-                match hash_key_values(hash.fields(), fm) {
-                    Some(values) => hash.remove(&values),
-                    None => false,
-                }
-            }
-            (CompiledTable::Lpm(lpm), FlowModCommand::Add) => {
-                let Some((prefix, len)) = lpm_rule(lpm.field(), fm) else {
-                    return false;
-                };
-                let mut store = ActionStore::new();
-                let entry = openflow::FlowEntry::new(
-                    fm.flow_match.clone(),
-                    fm.priority,
-                    fm.instructions.clone(),
-                );
-                let instrs = compile_entry_instrs(&entry, &mut store);
-                lpm.insert(prefix, len, instrs).is_ok()
-            }
-            (CompiledTable::Lpm(lpm), FlowModCommand::DeleteStrict) => {
-                match lpm_rule(lpm.field(), fm) {
-                    Some((prefix, len)) => lpm.remove(prefix, len).is_ok(),
-                    None => false,
-                }
-            }
-            _ => false,
+    /// Swaps freshly rebuilt tables into their trampoline slots while other
+    /// tables keep serving packets.
+    fn swap_rebuilt_tables(
+        &self,
+        datapath: &CompiledDatapath,
+        rebuilt: Vec<(
+            openflow::pipeline::TableId,
+            crate::templates::table::CompiledTable,
+        )>,
+    ) {
+        for (id, table) in rebuilt {
+            let slot = datapath.slot(id).expect("planner checked the slot exists");
+            *slot.table.write() = table;
         }
     }
 
@@ -334,63 +261,13 @@ impl EswitchRuntime {
     }
 }
 
-/// Extracts the per-field key values of a flow-mod whose match has exactly
-/// the compound-hash template's shape.
-fn hash_key_values(shape: &[(Field, FieldValue)], fm: &FlowMod) -> Option<Vec<FieldValue>> {
-    let fields = fm.flow_match.fields();
-    if fields.len() != shape.len() {
-        return None;
-    }
-    let mut values = Vec::with_capacity(shape.len());
-    for (mf, (field, mask)) in fields.iter().zip(shape) {
-        if mf.field != *field || mf.mask != *mask {
-            return None;
-        }
-        values.push(mf.value);
-    }
-    Some(values)
-}
-
-/// Extracts the (prefix, length) of a flow-mod targeting an LPM table.
-fn lpm_rule(field: Field, fm: &FlowMod) -> Option<(u32, u8)> {
-    let fields = fm.flow_match.fields();
-    if fields.len() != 1 || fields[0].field != field {
-        return None;
-    }
-    let len = fields[0].prefix_len()? as u8;
-    Some((fields[0].value as u32, len))
-}
-
-/// Compiles the instruction block of a standalone entry (used by the
-/// incremental update paths).
-fn compile_entry_instrs(
-    entry: &openflow::FlowEntry,
-    store: &mut ActionStore,
-) -> Arc<crate::templates::table::CompiledInstrs> {
-    // Reuse the compiler's logic through a single-entry direct-code build.
-    let mut table = openflow::FlowTable::new(u32::MAX);
-    table.insert(entry.clone());
-    let compiled = compile_table(
-        &table,
-        &CompilerConfig {
-            direct_code_limit: usize::MAX,
-            ..CompilerConfig::default()
-        },
-        store,
-    );
-    match compiled {
-        CompiledTable::DirectCode(t) => Arc::clone(&t.entries()[0].instrs),
-        _ => unreachable!("single-entry table always compiles to direct code"),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analysis::TemplateKind;
     use openflow::flow_match::FlowMatch;
     use openflow::instruction::terminal_actions;
-    use openflow::{Action, FlowEntry};
+    use openflow::{Action, Field, FlowEntry};
     use pkt::builder::PacketBuilder;
 
     fn l2_pipeline(n: u64) -> Pipeline {
@@ -432,8 +309,8 @@ mod tests {
             terminal_actions(vec![Action::Output(3)]),
         );
         switch.flow_mod(&fm).unwrap();
-        assert_eq!(switch.updates.incremental.packets(), 1);
-        assert_eq!(switch.updates.table_rebuilds.packets(), 0);
+        assert_eq!(switch.updates.incremental.updates(), 1);
+        assert_eq!(switch.updates.table_rebuilds.updates(), 0);
         assert_eq!(switch.process(&mut mac_packet(500)).outputs, vec![3]);
 
         // Strict delete, also incremental.
@@ -443,7 +320,7 @@ mod tests {
             10,
         );
         switch.flow_mod(&del).unwrap();
-        assert_eq!(switch.updates.incremental.packets(), 2);
+        assert_eq!(switch.updates.incremental.updates(), 2);
         assert!(switch.process(&mut mac_packet(500)).is_drop());
     }
 
@@ -455,7 +332,7 @@ mod tests {
             FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0001u64)),
         );
         switch.flow_mod(&del).unwrap();
-        assert_eq!(switch.updates.table_rebuilds.packets(), 1);
+        assert_eq!(switch.updates.table_rebuilds.updates(), 1);
         assert!(switch.process(&mut mac_packet(1)).is_drop());
         assert_eq!(switch.process(&mut mac_packet(2)).outputs, vec![2]);
     }
@@ -475,7 +352,7 @@ mod tests {
             terminal_actions(vec![Action::Output(9)]),
         );
         switch.flow_mod(&fm).unwrap();
-        assert_eq!(switch.updates.full_recompiles.packets(), 1);
+        assert_eq!(switch.updates.full_recompiles.updates(), 1);
         let kinds = switch.datapath().template_kinds();
         assert_eq!(kinds[0].1, TemplateKind::LinkedList);
 
@@ -489,7 +366,7 @@ mod tests {
             FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0003u64)),
         );
         switch.flow_mod(&del).unwrap();
-        assert_eq!(switch.updates.table_rebuilds.packets(), 1);
+        assert_eq!(switch.updates.table_rebuilds.updates(), 1);
         assert!(switch.process(&mut mac_packet(3)).is_drop());
     }
 
@@ -513,8 +390,8 @@ mod tests {
             terminal_actions(vec![Action::SetField(Field::IpDscp, 10), Action::Output(3)]),
         );
         switch.flow_mod(&fm).unwrap();
-        assert_eq!(switch.updates.incremental.packets(), 0);
-        assert_eq!(switch.updates.full_recompiles.packets(), 1);
+        assert_eq!(switch.updates.incremental.updates(), 0);
+        assert_eq!(switch.updates.full_recompiles.updates(), 1);
         assert!(switch.datapath().parser().depth() >= pkt::parser::ParseDepth::L3);
 
         // The compiled fast path must now actually rewrite the packet,
@@ -540,8 +417,55 @@ mod tests {
             terminal_actions(vec![Action::Output(1)]),
         );
         switch.flow_mod(&fm).unwrap();
-        assert_eq!(switch.updates.full_recompiles.packets(), 1);
+        assert_eq!(switch.updates.full_recompiles.updates(), 1);
         assert!(switch.datapath().slot(5).is_some());
+    }
+
+    #[test]
+    fn failed_recompilation_rolls_the_pipeline_back() {
+        // A structural flow-mod whose entry jumps to a nonexistent table
+        // forces the full-recompile tier, which must fail — and the
+        // declarative pipeline must be restored so the running datapath and
+        // the pipeline stay consistent (§3.4's transactional updates).
+        let switch = EswitchRuntime::compile(l2_pipeline(8)).unwrap();
+        let fm = FlowMod::add(
+            5,
+            FlowMatch::any(),
+            1,
+            vec![openflow::Instruction::GotoTable(99)],
+        );
+        assert!(switch.flow_mod(&fm).is_err());
+        assert_eq!(switch.updates.full_recompiles.updates(), 0);
+        switch.with_pipeline(|p| {
+            assert!(p.table(5).is_none(), "failed flow-mod left table 5 behind");
+            assert!(p.validate().is_ok());
+        });
+        // The switch keeps forwarding with the old datapath.
+        assert_eq!(switch.process(&mut mac_packet(2)).outputs, vec![2]);
+    }
+
+    #[test]
+    fn update_counters_report_entries_touched() {
+        let switch = EswitchRuntime::compile(l2_pipeline(32)).unwrap();
+        // A wildcard delete removing two entries counts one per-table update
+        // touching two entries.
+        let del = FlowMod::delete(
+            0,
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0001u64)),
+        );
+        switch.flow_mod(&del).unwrap();
+        assert_eq!(switch.updates.table_rebuilds.updates(), 1);
+        assert_eq!(switch.updates.table_rebuilds.entries(), 1);
+
+        let add = FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0900u64)),
+            10,
+            terminal_actions(vec![Action::Output(1)]),
+        );
+        switch.flow_mod(&add).unwrap();
+        assert_eq!(switch.updates.incremental.updates(), 1);
+        assert_eq!(switch.updates.incremental.entries(), 1);
     }
 
     #[test]
@@ -582,7 +506,7 @@ mod tests {
             terminal_actions(vec![Action::Output(7)]),
         );
         switch.flow_mod(&fm).unwrap();
-        assert_eq!(switch.updates.incremental.packets(), 1);
+        assert_eq!(switch.updates.incremental.updates(), 1);
         let mut pkt = PacketBuilder::udp().ipv4_dst([172, 16, 0, 1]).build();
         assert_eq!(switch.process(&mut pkt).outputs, vec![7]);
     }

@@ -258,6 +258,13 @@ impl CompoundHashTable {
         self.hash.remove(key).is_some()
     }
 
+    /// True when an entry with these key values is installed. Used by the
+    /// update planner to predict whether a delete is absorbable in place.
+    pub fn contains(&self, values: &[FieldValue]) -> bool {
+        let key = Self::pack(&self.fields, values);
+        self.hash.get(key).is_some()
+    }
+
     /// Rebuilds the underlying collision-free hash (the paper rebuilds the
     /// hash template periodically to minimise collisions).
     pub fn rebuild(&mut self) {
@@ -352,6 +359,12 @@ impl LpmTable {
     /// Removes one prefix rule incrementally.
     pub fn remove(&mut self, prefix: u32, len: u8) -> Result<(), netdev::LpmError> {
         self.lpm.delete(Ipv4Addr4::from_u32(prefix), len)
+    }
+
+    /// True when exactly this prefix rule is installed. Used by the update
+    /// planner to predict whether a delete is absorbable in place.
+    pub fn contains(&self, prefix: u32, len: u8) -> bool {
+        self.lpm.has_rule(Ipv4Addr4::from_u32(prefix), len)
     }
 
     /// Looks up a packet: load the address, one DIR-24-8 lookup, then the

@@ -187,6 +187,17 @@ impl Lpm {
         Ok(())
     }
 
+    /// True when the exact rule `prefix/depth` is installed (not merely
+    /// covered by another prefix). Used by update planners to predict whether
+    /// a delete can be absorbed in place.
+    pub fn has_rule(&self, prefix: Ipv4Addr4, depth: u8) -> bool {
+        if depth > 32 {
+            return false;
+        }
+        let masked = prefix.to_u32() & prefix_mask(depth);
+        self.rules.contains_key(&(depth, masked))
+    }
+
     /// Looks up the next hop for `addr`: at most one `tbl24` access plus one
     /// `tbl8` access.
     #[inline]

@@ -117,7 +117,7 @@ impl std::error::Error for FlowModError {}
 /// Summary of what a flow-mod changed, returned so datapaths layered on top
 /// of the pipeline (flow caches, compiled templates) know what to invalidate
 /// or recompile.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FlowModEffect {
     /// Tables whose entry list changed.
     pub tables_touched: Vec<TableId>,
@@ -127,6 +127,67 @@ pub struct FlowModEffect {
     pub modified: usize,
     /// Number of entries removed.
     pub removed: usize,
+    /// The matches of every entry added, modified or removed — the delta a
+    /// layered datapath needs for selective invalidation: only packets
+    /// matching one of these can see a different verdict after the change.
+    pub touched_matches: Vec<FlowMatch>,
+}
+
+impl FlowModEffect {
+    /// Total entries the flow-mod touched (the "size" of the update).
+    pub fn entries_touched(&self) -> u64 {
+        (self.added + self.modified + self.removed) as u64
+    }
+}
+
+/// One inverse operation recorded while applying a flow-mod.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// Remove the entry with this exact match+priority (inverse of an add).
+    RemoveStrict {
+        table: TableId,
+        flow_match: FlowMatch,
+        priority: u16,
+    },
+    /// Re-insert a displaced/removed/pre-modification entry.
+    Insert { table: TableId, entry: FlowEntry },
+    /// Remove a table the flow-mod implicitly created.
+    RemoveTable(TableId),
+}
+
+/// Undo log of one applied flow-mod: replaying it restores the pipeline to
+/// its pre-flow-mod state. Built from the entries the operation displaced
+/// anyway, so the success path never clones a table or the pipeline — the
+/// expensive work happens only if a caller actually rolls back (§3.4's
+/// transactional updates).
+#[derive(Debug, Clone, Default)]
+pub struct FlowModUndo {
+    ops: Vec<UndoOp>,
+}
+
+impl FlowModUndo {
+    /// Reverts the recorded flow-mod on `pipeline`.
+    pub fn undo(self, pipeline: &mut Pipeline) {
+        for op in self.ops {
+            match op {
+                UndoOp::RemoveStrict {
+                    table,
+                    flow_match,
+                    priority,
+                } => {
+                    if let Some(t) = pipeline.table_mut(table) {
+                        t.remove_strict(&flow_match, priority);
+                    }
+                }
+                UndoOp::Insert { table, entry } => {
+                    pipeline.table_mut_or_create(table).insert(entry);
+                }
+                UndoOp::RemoveTable(id) => {
+                    pipeline.remove_table(id);
+                }
+            }
+        }
+    }
 }
 
 /// Applies a flow-mod to a pipeline.
@@ -134,22 +195,52 @@ pub fn apply_flow_mod(
     pipeline: &mut Pipeline,
     fm: &FlowMod,
 ) -> Result<FlowModEffect, FlowModError> {
+    apply_flow_mod_undoable(pipeline, fm).map(|(effect, _)| effect)
+}
+
+/// Applies a flow-mod and returns, alongside the effect, an undo log that
+/// restores the pre-flow-mod pipeline — without any up-front clone.
+pub fn apply_flow_mod_undoable(
+    pipeline: &mut Pipeline,
+    fm: &FlowMod,
+) -> Result<(FlowModEffect, FlowModUndo), FlowModError> {
+    let mut undo = FlowModUndo::default();
     match fm.command {
         FlowModCommand::Add => {
             let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
+            let created = pipeline.table(table_id).is_none();
             let table = pipeline.table_mut_or_create(table_id);
             let mut entry =
                 FlowEntry::new(fm.flow_match.clone(), fm.priority, fm.instructions.clone());
             if let Some(cookie) = fm.cookie {
                 entry = entry.with_cookie(cookie);
             }
-            table.insert(entry);
-            Ok(FlowModEffect {
-                tables_touched: vec![table_id],
-                added: 1,
-                modified: 0,
-                removed: 0,
-            })
+            let displaced = table.insert(entry);
+            if created {
+                undo.ops.push(UndoOp::RemoveTable(table_id));
+            } else if let Some(old) = displaced {
+                // Re-inserting the displaced entry replaces the new one
+                // (identical match + priority): a one-op undo.
+                undo.ops.push(UndoOp::Insert {
+                    table: table_id,
+                    entry: old,
+                });
+            } else {
+                undo.ops.push(UndoOp::RemoveStrict {
+                    table: table_id,
+                    flow_match: fm.flow_match.clone(),
+                    priority: fm.priority,
+                });
+            }
+            Ok((
+                FlowModEffect {
+                    tables_touched: vec![table_id],
+                    added: 1,
+                    touched_matches: vec![fm.flow_match.clone()],
+                    ..FlowModEffect::default()
+                },
+                undo,
+            ))
         }
         FlowModCommand::Modify | FlowModCommand::ModifyStrict => {
             let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
@@ -158,6 +249,7 @@ pub fn apply_flow_mod(
                 .table_mut(table_id)
                 .ok_or(FlowModError::NoSuchTable(table_id))?;
             let mut modified = 0;
+            let mut touched_matches = Vec::new();
             let existing = table.entries().to_vec();
             let mut replacement = Vec::with_capacity(existing.len());
             for mut e in existing {
@@ -168,6 +260,11 @@ pub fn apply_flow_mod(
                         && fm.cookie.map(|c| e.cookie == c).unwrap_or(true)
                 };
                 if hit {
+                    undo.ops.push(UndoOp::Insert {
+                        table: table_id,
+                        entry: e.clone(),
+                    });
+                    touched_matches.push(e.flow_match.clone());
                     e.instructions = fm.instructions.clone();
                     modified += 1;
                 }
@@ -177,50 +274,70 @@ pub fn apply_flow_mod(
                 return Err(FlowModError::NoSuchEntry);
             }
             table.set_entries(replacement);
-            Ok(FlowModEffect {
-                tables_touched: vec![table_id],
-                added: 0,
-                modified,
-                removed: 0,
-            })
+            Ok((
+                FlowModEffect {
+                    tables_touched: vec![table_id],
+                    modified,
+                    touched_matches,
+                    ..FlowModEffect::default()
+                },
+                undo,
+            ))
         }
         FlowModCommand::Delete => {
             let mut touched = Vec::new();
             let mut removed = 0;
+            let mut touched_matches = Vec::new();
             let target_tables: Vec<TableId> = match fm.table_id {
                 Some(id) => vec![id],
                 None => pipeline.tables().iter().map(|t| t.id).collect(),
             };
             for id in target_tables {
                 if let Some(table) = pipeline.table_mut(id) {
-                    let n = table.remove_overlapping(&fm.flow_match, fm.cookie);
-                    if n > 0 {
+                    let gone = table.remove_overlapping(&fm.flow_match, fm.cookie);
+                    if !gone.is_empty() {
                         touched.push(id);
-                        removed += n;
+                        removed += gone.len();
+                        for entry in gone {
+                            touched_matches.push(entry.flow_match.clone());
+                            undo.ops.push(UndoOp::Insert { table: id, entry });
+                        }
                     }
                 }
             }
-            Ok(FlowModEffect {
-                tables_touched: touched,
-                added: 0,
-                modified: 0,
-                removed,
-            })
+            Ok((
+                FlowModEffect {
+                    tables_touched: touched,
+                    removed,
+                    touched_matches,
+                    ..FlowModEffect::default()
+                },
+                undo,
+            ))
         }
         FlowModCommand::DeleteStrict => {
             let table_id = fm.table_id.ok_or(FlowModError::TableRequired)?;
             let table = pipeline
                 .table_mut(table_id)
                 .ok_or(FlowModError::NoSuchTable(table_id))?;
-            if table.remove_strict(&fm.flow_match, fm.priority) {
-                Ok(FlowModEffect {
-                    tables_touched: vec![table_id],
-                    added: 0,
-                    modified: 0,
-                    removed: 1,
-                })
-            } else {
-                Err(FlowModError::NoSuchEntry)
+            match table.remove_strict(&fm.flow_match, fm.priority) {
+                Some(entry) => {
+                    let touched_matches = vec![entry.flow_match.clone()];
+                    undo.ops.push(UndoOp::Insert {
+                        table: table_id,
+                        entry,
+                    });
+                    Ok((
+                        FlowModEffect {
+                            tables_touched: vec![table_id],
+                            removed: 1,
+                            touched_matches,
+                            ..FlowModEffect::default()
+                        },
+                        undo,
+                    ))
+                }
+                None => Err(FlowModError::NoSuchEntry),
             }
         }
     }
@@ -318,6 +435,72 @@ mod tests {
         let del = FlowMod::delete(0, FlowMatch::any()).with_cookie(0xaa);
         assert_eq!(apply_flow_mod(&mut p, &del).unwrap().removed, 1);
         assert_eq!(p.table(0).unwrap().entries()[0].cookie, 0xbb);
+    }
+
+    #[test]
+    fn undo_restores_pipeline_without_upfront_clone() {
+        let mut p = Pipeline::new();
+        apply_flow_mod(&mut p, &add(80, 10, 1)).unwrap();
+        apply_flow_mod(&mut p, &add(443, 10, 2)).unwrap();
+        let reference = p.clone();
+
+        // Add that replaces an existing entry: undo restores the old actions.
+        let (effect, undo) = apply_flow_mod_undoable(&mut p, &add(80, 10, 9)).unwrap();
+        assert_eq!(effect.touched_matches.len(), 1);
+        undo.undo(&mut p);
+        assert_eq!(
+            p.table(0).unwrap().entries(),
+            reference.table(0).unwrap().entries()
+        );
+
+        // Add that creates a table: undo removes the table again.
+        let mut fm = add(22, 10, 1);
+        fm.table_id = Some(7);
+        let (_, undo) = apply_flow_mod_undoable(&mut p, &fm).unwrap();
+        assert!(p.table(7).is_some());
+        undo.undo(&mut p);
+        assert!(p.table(7).is_none());
+
+        // Wildcard delete: undo reinstates every removed entry.
+        let wipe = FlowMod::delete(0, FlowMatch::any());
+        let (effect, undo) = apply_flow_mod_undoable(&mut p, &wipe).unwrap();
+        assert_eq!(effect.removed, 2);
+        assert_eq!(effect.touched_matches.len(), 2);
+        assert_eq!(p.entry_count(), 0);
+        undo.undo(&mut p);
+        assert_eq!(
+            p.table(0).unwrap().entries(),
+            reference.table(0).unwrap().entries()
+        );
+
+        // Strict modify: undo restores the original instructions.
+        let modify = FlowMod {
+            command: FlowModCommand::ModifyStrict,
+            table_id: Some(0),
+            flow_match: FlowMatch::any().with_exact(Field::TcpDst, 80),
+            priority: 10,
+            instructions: terminal_actions(vec![Action::Output(5)]),
+            cookie: None,
+        };
+        let (_, undo) = apply_flow_mod_undoable(&mut p, &modify).unwrap();
+        undo.undo(&mut p);
+        assert_eq!(
+            p.table(0).unwrap().entries(),
+            reference.table(0).unwrap().entries()
+        );
+    }
+
+    #[test]
+    fn effect_reports_touched_matches() {
+        let mut p = Pipeline::new();
+        apply_flow_mod(&mut p, &add(80, 10, 1)).unwrap();
+        let del = FlowMod::delete_strict(0, FlowMatch::any().with_exact(Field::TcpDst, 80), 10);
+        let effect = apply_flow_mod(&mut p, &del).unwrap();
+        assert_eq!(
+            effect.touched_matches,
+            vec![FlowMatch::any().with_exact(Field::TcpDst, 80)]
+        );
+        assert_eq!(effect.entries_touched(), 1);
     }
 
     #[test]

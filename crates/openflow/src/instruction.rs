@@ -65,6 +65,49 @@ pub fn actions_then_goto(actions: Vec<Action>, table: TableId) -> Vec<Instructio
     ]
 }
 
+/// Bitmask (by [`Field::index`]) of the match-relevant fields these
+/// instructions can rewrite *while the packet is still traversing the
+/// pipeline*. Write-actions are excluded: they execute at pipeline exit,
+/// after every table lookup, so they can never change what a later table
+/// matches. Delta-aware cache invalidation uses this to decide whether a
+/// rule's match can be compared against extraction-time keys: a match on a
+/// field some apply-action rewrites cannot.
+pub fn written_match_fields(instructions: &[Instruction]) -> u64 {
+    use crate::field::Field;
+    let mut bits = 0u64;
+    let mut mark = |f: Field| bits |= 1u64 << f.index();
+    for instruction in instructions {
+        match instruction {
+            Instruction::ApplyActions(actions) => {
+                for action in actions {
+                    match action {
+                        Action::SetField(f, _) => mark(*f),
+                        Action::PushVlan(_) | Action::PopVlan => {
+                            mark(Field::VlanVid);
+                            mark(Field::VlanPcp);
+                        }
+                        // DecNwTtl touches no matchable field (TTL is not a
+                        // modelled match field).
+                        _ => {}
+                    }
+                }
+            }
+            Instruction::WriteMetadata { .. } => mark(crate::field::Field::Metadata),
+            _ => {}
+        }
+    }
+    bits
+}
+
+/// [`written_match_fields`] over every entry of a pipeline.
+pub fn pipeline_written_fields(pipeline: &crate::pipeline::Pipeline) -> u64 {
+    pipeline
+        .tables()
+        .iter()
+        .flat_map(|t| t.entries())
+        .fold(0u64, |bits, e| bits | written_match_fields(&e.instructions))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

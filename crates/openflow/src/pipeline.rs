@@ -157,6 +157,13 @@ impl Pipeline {
         self.tables.iter_mut().find(|t| t.id == id)
     }
 
+    /// Removes a table by id, returning it if present. Used by transactional
+    /// flow-mod rollback when an add implicitly created the table.
+    pub fn remove_table(&mut self, id: TableId) -> Option<FlowTable> {
+        let pos = self.tables.iter().position(|t| t.id == id)?;
+        Some(self.tables.remove(pos))
+    }
+
     /// All tables in ascending id order.
     pub fn tables(&self) -> &[FlowTable] {
         &self.tables

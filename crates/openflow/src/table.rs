@@ -70,15 +70,15 @@ impl FlowTable {
 
     /// Inserts an entry, keeping the priority order. An entry with an
     /// identical match and priority replaces the old one (OpenFlow add
-    /// semantics).
-    pub fn insert(&mut self, entry: FlowEntry) {
+    /// semantics); the displaced entry is returned so transactional callers
+    /// can build an undo log without cloning the table up front.
+    pub fn insert(&mut self, entry: FlowEntry) -> Option<FlowEntry> {
         if let Some(existing) = self
             .entries
             .iter_mut()
             .find(|e| e.priority == entry.priority && e.flow_match == entry.flow_match)
         {
-            *existing = entry;
-            return;
+            return Some(std::mem::replace(existing, entry));
         }
         // Insert after all entries with priority >= the new one, preserving
         // insertion order among equal priorities.
@@ -88,28 +88,39 @@ impl FlowTable {
             .position(|e| e.priority < entry.priority)
             .unwrap_or(self.entries.len());
         self.entries.insert(pos, entry);
+        None
     }
 
     /// Removes entries matching the (non-strict) OpenFlow delete semantics:
     /// every entry whose match is equal to or more specific than `pattern`,
     /// and whose cookie matches if a cookie filter is given. Returns the
-    /// number of removed entries.
-    pub fn remove_overlapping(&mut self, pattern: &FlowMatch, cookie: Option<u64>) -> usize {
-        let before = self.entries.len();
+    /// removed entries (in their former match order).
+    pub fn remove_overlapping(
+        &mut self,
+        pattern: &FlowMatch,
+        cookie: Option<u64>,
+    ) -> Vec<FlowEntry> {
+        let mut removed = Vec::new();
         self.entries.retain(|e| {
             let cookie_ok = cookie.map(|c| e.cookie == c).unwrap_or(true);
-            !(cookie_ok && e.flow_match.is_more_specific_than(pattern))
+            if cookie_ok && e.flow_match.is_more_specific_than(pattern) {
+                removed.push(e.clone());
+                false
+            } else {
+                true
+            }
         });
-        before - self.entries.len()
+        removed
     }
 
-    /// Removes the entry with exactly this match and priority (strict delete).
-    /// Returns true if an entry was removed.
-    pub fn remove_strict(&mut self, pattern: &FlowMatch, priority: u16) -> bool {
-        let before = self.entries.len();
-        self.entries
-            .retain(|e| !(e.priority == priority && e.flow_match == *pattern));
-        before != self.entries.len()
+    /// Removes the entry with exactly this match and priority (strict delete),
+    /// returning it if present.
+    pub fn remove_strict(&mut self, pattern: &FlowMatch, priority: u16) -> Option<FlowEntry> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority == priority && e.flow_match == *pattern)?;
+        Some(self.entries.remove(pos))
     }
 
     /// The entries, in match order (descending priority).
@@ -236,12 +247,17 @@ mod tests {
         t.insert(entry(20, 443, 2));
         t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
 
-        assert!(!t.remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 99));
-        assert!(t.remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 10));
+        assert!(t
+            .remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 99)
+            .is_none());
+        let removed = t
+            .remove_strict(&FlowMatch::any().with_exact(Field::TcpDst, 80), 10)
+            .unwrap();
+        assert_eq!(removed.priority, 10);
         assert_eq!(t.len(), 2);
 
         // Non-strict delete with an empty pattern clears everything.
-        assert_eq!(t.remove_overlapping(&FlowMatch::any(), None), 2);
+        assert_eq!(t.remove_overlapping(&FlowMatch::any(), None).len(), 2);
         assert!(t.is_empty());
     }
 
@@ -250,7 +266,7 @@ mod tests {
         let mut t = FlowTable::new(0);
         t.insert(entry(10, 80, 1).with_cookie(0xaa));
         t.insert(entry(10, 443, 2).with_cookie(0xbb));
-        assert_eq!(t.remove_overlapping(&FlowMatch::any(), Some(0xaa)), 1);
+        assert_eq!(t.remove_overlapping(&FlowMatch::any(), Some(0xaa)).len(), 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.entries()[0].cookie, 0xbb);
     }

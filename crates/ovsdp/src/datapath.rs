@@ -9,13 +9,16 @@
 //! steady-state hit path — microflow or megaflow hit — performs no heap
 //! allocation per packet (enforced by `tests/alloc_regression.rs`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use netdev::{Counters, BURST_SIZE};
 use openflow::action::{apply_action_list, apply_action_list_parsed};
+use openflow::flow_match::FlowMatch;
 use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
+use openflow::instruction::{pipeline_written_fields, written_match_fields};
 use openflow::{
     Action, Controller, ControllerDecision, FlowKey, FlowMod, NullController, PacketIn,
     PacketInReason, Pipeline, Verdict,
@@ -144,8 +147,29 @@ pub struct OvsDatapath {
     /// Burst working state; `try_lock` + local fallback, so concurrent
     /// batchers degrade to allocating instead of serialising on each other.
     scratch: Mutex<BurstScratch>,
+    /// Bitmask (by `Field::index`) of match fields some apply-action in the
+    /// pipeline can rewrite mid-traversal. Grown monotonically as flow-mods
+    /// add instructions (a stale set bit only costs an unnecessary full
+    /// flush, never a wrong answer); recomputed on pipeline replacement.
+    written_fields: AtomicU64,
     /// Per-level hit statistics.
     pub stats: CacheStats,
+}
+
+/// True when `matches` can soundly drive selective (delta-aware) cache
+/// invalidation against extraction-time keys: there is at least one match to
+/// check against, and none of the matched fields is rewritten by an
+/// apply-action anywhere in the pipeline (`written_fields` bitmask from
+/// [`pipeline_written_fields`]). A rewritten field would make the comparison
+/// against extraction-time keys unsound, so those updates fall back to the
+/// brute-force full flush.
+pub fn delta_is_selective(written_fields: u64, matches: &[FlowMatch]) -> bool {
+    !matches.is_empty()
+        && matches.iter().all(|m| {
+            m.fields()
+                .iter()
+                .all(|mf| written_fields & (1u64 << mf.field.index()) == 0)
+        })
 }
 
 impl OvsDatapath {
@@ -165,6 +189,7 @@ impl OvsDatapath {
         config: OvsConfig,
         controller: Box<dyn Controller>,
     ) -> Self {
+        let written = pipeline_written_fields(&pipeline);
         OvsDatapath {
             pipeline: Arc::new(RwLock::new(pipeline)),
             microflow: Mutex::new(MicroflowCache::with_capacity(config.microflow_entries)),
@@ -173,6 +198,7 @@ impl OvsDatapath {
             controller: Mutex::new(controller),
             config,
             scratch: Mutex::new(BurstScratch::default()),
+            written_fields: AtomicU64::new(written),
             stats: CacheStats::default(),
         }
     }
@@ -182,23 +208,81 @@ impl OvsDatapath {
         Arc::clone(&self.pipeline)
     }
 
-    /// Applies a flow-mod and invalidates both caches — OVS's brute-force
-    /// strategy ("invalidate the entire cache after essentially all changes").
+    /// Applies a flow-mod and invalidates the caches — selectively when the
+    /// change's delta allows it, falling back to OVS's brute-force strategy
+    /// ("invalidate the entire cache after essentially all changes") when it
+    /// does not.
     pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, FlowModError> {
-        let effect = apply_flow_mod(&mut self.pipeline.write(), fm)?;
-        self.invalidate_caches();
+        let effect = {
+            let mut pipeline = self.pipeline.write();
+            let effect = apply_flow_mod(&mut pipeline, fm)?;
+            // New instructions may introduce new rewritten fields; the
+            // bitmask only ever grows (conservative), so no full rescan is
+            // needed. Updated *inside* the pipeline write section so a
+            // concurrent flow-mod's selectivity check can never read a
+            // bitmask missing this change's bits.
+            self.written_fields
+                .fetch_or(written_match_fields(&fm.instructions), Ordering::Relaxed);
+            effect
+        };
+        self.invalidate_for(&effect);
         Ok(effect)
+    }
+
+    /// Invalidates as little of the cache hierarchy as the flow-mod's delta
+    /// permits: megaflows provably disjoint from every changed rule survive,
+    /// and the EMC keeps every exact entry whose key fails all changed
+    /// matches. Falls back to the full flush when the delta is unusable
+    /// (structural change, or a changed match on a rewritten field).
+    pub fn invalidate_for(&self, effect: &FlowModEffect) {
+        if effect.entries_touched() == 0 {
+            // Matched nothing, changed nothing (e.g. a non-strict delete
+            // with no overlapping entries): every cached program is still
+            // exact, so nothing is invalidated.
+            return;
+        }
+        let written = self.written_fields.load(Ordering::Relaxed);
+        if delta_is_selective(written, &effect.touched_matches) {
+            self.invalidate_matches(&effect.touched_matches);
+        } else {
+            self.invalidate_caches();
+        }
+    }
+
+    /// Selective invalidation for a known-good list of changed matches.
+    fn invalidate_matches(&self, matches: &[FlowMatch]) {
+        self.megaflow.lock().invalidate_overlapping(matches);
+        self.microflow.lock().invalidate_matching(matches);
     }
 
     /// Replaces the whole pipeline with an externally prepared one and
     /// invalidates both caches — the epoch-swap update path of a sharded
     /// deployment, where a central control plane applies flow-mods to the
     /// canonical pipeline once and broadcasts the result to every per-worker
-    /// datapath replica. Equivalent to replaying the flow-mods locally: any
-    /// flow-table change invalidates the entire cache hierarchy (§2.3).
+    /// datapath replica. Equivalent to replaying the flow-mods locally with
+    /// no usable delta: the entire cache hierarchy is invalidated (§2.3).
     pub fn replace_pipeline(&self, pipeline: Pipeline) {
+        self.written_fields
+            .store(pipeline_written_fields(&pipeline), Ordering::Relaxed);
         *self.pipeline.write() = pipeline;
         self.invalidate_caches();
+    }
+
+    /// Replaces the pipeline using the publishing control plane's delta:
+    /// `deltas` lists, epoch by epoch, the matches of every rule changed
+    /// between this replica's pipeline and `pipeline`. Only the megaflow
+    /// subtable entries overlapping a changed match are flushed and the EMC
+    /// survives changes that cannot affect its exact keys. The caller (the
+    /// epoch-swap control plane) guarantees the deltas are contiguous and
+    /// selective-safe; replicas that skipped epochs use
+    /// [`OvsDatapath::replace_pipeline`] instead.
+    pub fn replace_pipeline_with_delta(&self, pipeline: Pipeline, deltas: &[Arc<Vec<FlowMatch>>]) {
+        self.written_fields
+            .store(pipeline_written_fields(&pipeline), Ordering::Relaxed);
+        *self.pipeline.write() = pipeline;
+        for delta in deltas {
+            self.invalidate_matches(delta);
+        }
     }
 
     /// Invalidates the microflow and megaflow caches.
@@ -684,6 +768,128 @@ mod tests {
         assert_eq!(dp.megaflow_count(), 0, "megaflow cache must be flushed");
         assert_eq!(dp.microflow_count(), 0, "microflow cache must be flushed");
         assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![9]);
+    }
+
+    #[test]
+    fn flow_mod_spares_disjoint_cached_flows() {
+        // The delta-aware path: adding a rule on a port no cached flow uses
+        // must keep the unrelated megaflows and EMC entries alive (this
+        // pipeline rewrites nothing, so the delta is selective).
+        let dp = OvsDatapath::new(port_pipeline());
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]); // EMC warm
+        let megaflows = dp.megaflow_count();
+        let microflows = dp.microflow_count();
+        assert!(megaflows > 0 && microflows > 0);
+
+        dp.flow_mod(&FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::TcpDst, 8080),
+            95,
+            terminal_actions(vec![Action::Output(7)]),
+        ))
+        .unwrap();
+        assert_eq!(dp.megaflow_count(), megaflows, "disjoint megaflows flushed");
+        assert_eq!(
+            dp.microflow_count(),
+            microflows,
+            "disjoint EMC entries flushed"
+        );
+
+        // The surviving cached flow still answers from the caches...
+        let slow_before = dp.stats.slowpath_hits.packets();
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
+        assert_eq!(dp.stats.slowpath_hits.packets(), slow_before);
+        // ...and the new rule takes effect for its own traffic.
+        assert_eq!(dp.process(&mut pkt(8080, 1)).outputs, vec![7]);
+    }
+
+    #[test]
+    fn no_op_flow_mod_invalidates_nothing() {
+        // A non-strict delete matching zero entries changes nothing: both
+        // caches must survive untouched.
+        let dp = OvsDatapath::new(port_pipeline());
+        dp.process(&mut pkt(80, 1));
+        dp.process(&mut pkt(80, 1));
+        let megaflows = dp.megaflow_count();
+        let microflows = dp.microflow_count();
+        assert!(megaflows > 0 && microflows > 0);
+        let effect = dp
+            .flow_mod(&FlowMod::delete(
+                0,
+                FlowMatch::any().with_exact(Field::TcpDst, 12345),
+            ))
+            .unwrap();
+        assert_eq!(effect.entries_touched(), 0);
+        assert_eq!(dp.megaflow_count(), megaflows);
+        assert_eq!(dp.microflow_count(), microflows);
+    }
+
+    #[test]
+    fn flow_mod_on_rewritten_field_falls_back_to_full_flush() {
+        // A pipeline that rewrites Ipv4Dst mid-traversal makes matches on
+        // Ipv4Dst unverifiable against extraction-time keys: the delta path
+        // must refuse and flush everything.
+        let mut p = Pipeline::with_tables(2);
+        p.table_mut(0).unwrap().insert(openflow::FlowEntry::new(
+            FlowMatch::any(),
+            10,
+            openflow::instruction::actions_then_goto(
+                vec![Action::SetField(Field::Ipv4Dst, 0x0a00_0001)],
+                1,
+            ),
+        ));
+        let t1 = p.table_mut(1).unwrap();
+        t1.insert(openflow::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::Ipv4Dst, 0x0a00_0001u128),
+            10,
+            terminal_actions(vec![Action::Output(1)]),
+        ));
+        t1.insert(openflow::FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        let dp = OvsDatapath::new(p);
+        dp.process(&mut pkt(80, 1));
+        assert!(dp.megaflow_count() > 0);
+
+        dp.flow_mod(&FlowMod::add(
+            1,
+            FlowMatch::any().with_exact(Field::Ipv4Dst, 0x0a00_0002u128),
+            20,
+            terminal_actions(vec![Action::Output(2)]),
+        ))
+        .unwrap();
+        assert_eq!(
+            dp.megaflow_count(),
+            0,
+            "rewritten-field delta must full-flush"
+        );
+    }
+
+    #[test]
+    fn replace_pipeline_with_delta_keeps_disjoint_flows() {
+        let dp = OvsDatapath::new(port_pipeline());
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
+        assert_eq!(dp.process(&mut pkt(443, 1)).outputs, vec![2]);
+        let megaflows = dp.megaflow_count();
+
+        // The control plane redirects port 443 and ships the delta.
+        let mut replacement = port_pipeline();
+        replacement
+            .table_mut(0)
+            .unwrap()
+            .insert(openflow::FlowEntry::new(
+                FlowMatch::any().with_exact(Field::TcpDst, 443),
+                90,
+                terminal_actions(vec![Action::Output(9)]),
+            ));
+        let delta = vec![Arc::new(vec![
+            FlowMatch::any().with_exact(Field::TcpDst, 443)
+        ])];
+        dp.replace_pipeline_with_delta(replacement, &delta);
+
+        assert!(dp.megaflow_count() < megaflows, "443 megaflow must go");
+        assert!(dp.megaflow_count() > 0, "port-80 megaflow must survive");
+        assert_eq!(dp.process(&mut pkt(443, 1)).outputs, vec![9]);
+        assert_eq!(dp.process(&mut pkt(80, 1)).outputs, vec![1]);
     }
 
     #[test]

@@ -133,6 +133,46 @@ impl FieldMask {
             values: buf[..n].to_vec().into_boxed_slice(),
         }
     }
+
+    /// Proves, if possible, that no packet covered by a megaflow with this
+    /// mask and the projected `values` can satisfy `m` — the delta-aware
+    /// invalidation predicate. Returns true only when disjointness is
+    /// *provable*; an entry this returns false for must be flushed when a
+    /// rule matching `m` is added, modified or removed.
+    ///
+    /// A megaflow covers exactly the packets whose key, projected through the
+    /// mask, equals `values`. For each field the rule matches:
+    ///
+    /// * if the mask pins the field and the stored value is the absent
+    ///   sentinel, every covered packet lacks the field — and a match on an
+    ///   absent field always fails, so the entry is disjoint from the rule;
+    /// * if the mask pins bits the rule also matches and the pinned value
+    ///   disagrees with the rule's value on any common bit, no covered packet
+    ///   can match the rule;
+    /// * otherwise this field proves nothing (covered packets vary on the
+    ///   rule's bits) and the next field is consulted.
+    pub fn disjoint_from(
+        &self,
+        values: &[FieldValue],
+        m: &openflow::flow_match::FlowMatch,
+    ) -> bool {
+        for mf in m.fields() {
+            let i = mf.field.index();
+            if self.present & (1u64 << i) == 0 {
+                continue; // field fully wildcarded here: proves nothing
+            }
+            let rank = (self.present & ((1u64 << i) - 1)).count_ones() as usize;
+            let value = values[rank];
+            if value == ABSENT_SENTINEL {
+                return true; // covered packets lack the field: cannot match
+            }
+            let common = self.masks[i] & mf.mask;
+            if common != 0 && (value & common) != (mf.value & common) {
+                return true; // pinned bits contradict the rule's value
+            }
+        }
+        false
+    }
 }
 
 /// Iterator over the set bit indices of a `u64`.

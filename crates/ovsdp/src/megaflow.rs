@@ -22,6 +22,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use netdev::FxBuildHasher;
+use openflow::flow_match::FlowMatch;
 use openflow::{Action, FieldValue, FlowKey};
 
 use crate::mask::{FieldMask, MaskedKey};
@@ -209,6 +210,44 @@ impl MegaflowCache {
         self.len = 0;
     }
 
+    /// Delta-aware invalidation: drops only the megaflows that could overlap
+    /// one of the changed rules' matches, keeping every entry that provably
+    /// cannot see a different verdict ([`FieldMask::disjoint_from`]). The
+    /// modelled analogue of OVS's revalidator tagging instead of the
+    /// brute-force whole-cache flush. Returns the number of flushed entries.
+    ///
+    /// Only sound when the changed rules' match fields cannot have been
+    /// rewritten by apply-actions earlier in the pipeline (megaflows are
+    /// keyed on extraction-time keys); the datapath checks that before
+    /// choosing this path.
+    pub fn invalidate_overlapping(&mut self, matches: &[FlowMatch]) -> usize {
+        let mut flushed = 0usize;
+        for subtable in &mut self.subtables {
+            let mask = &subtable.mask;
+            let before = subtable.entries.len();
+            subtable
+                .entries
+                .retain(|key, _| matches.iter().all(|m| mask.disjoint_from(key.values(), m)));
+            flushed += before - subtable.entries.len();
+        }
+        self.len -= flushed;
+        // Emptied subtables drop out of the probe order entirely.
+        self.subtables.retain(|s| !s.entries.is_empty());
+        // Purge the flushed entries' eviction bookkeeping too: under
+        // sustained selective churn the FIFO would otherwise accumulate one
+        // stale (id, key) pair per flushed-and-reinstalled megaflow forever
+        // (eviction only drains it once the cache reaches capacity).
+        if flushed > 0 {
+            let subtables = &self.subtables;
+            self.insertion_order.retain(|(id, key)| {
+                subtables
+                    .iter()
+                    .any(|s| s.id == *id && s.entries.contains_key(key.values()))
+            });
+        }
+        flushed
+    }
+
     /// Iterates over all cached megaflows (dump/debug/tests).
     pub fn iter(&self) -> impl Iterator<Item = &MegaflowEntry> {
         self.subtables.iter().flat_map(|s| s.entries.values())
@@ -328,6 +367,71 @@ mod tests {
             assert!(cache.lookup(&key(port, 1)).is_some(), "port {port} evicted");
         }
         assert_eq!(cache.lookup(&key(2, 1)).unwrap()[0], Action::Output(99));
+    }
+
+    #[test]
+    fn delta_invalidation_keeps_disjoint_megaflows() {
+        use openflow::flow_match::FlowMatch;
+        let mut cache = MegaflowCache::new();
+        cache.insert(&key(80, 1), port_mask(), actions(1)); // pins tcp_dst=80
+        cache.insert(&key(443, 1), port_mask(), actions(2)); // pins tcp_dst=443
+        cache.insert(&key(80, 7), ip_mask(), actions(3)); // pins 192.0.2.0/24
+
+        // A rule on tcp_dst=443 overlaps only the 443 megaflow; the port-80
+        // entry is provably disjoint and the /24 entry pins no port bits so
+        // it must be flushed too (covered packets vary on the port).
+        let flushed =
+            cache.invalidate_overlapping(&[FlowMatch::any().with_exact(Field::TcpDst, 443)]);
+        assert_eq!(flushed, 2);
+        assert!(
+            cache.lookup(&key(80, 1)).is_some(),
+            "disjoint entry flushed"
+        );
+        // The 443 subtable entry and the /24 subtable are gone.
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.subtable_count(), 1);
+    }
+
+    #[test]
+    fn delta_invalidation_purges_eviction_bookkeeping() {
+        use openflow::flow_match::FlowMatch;
+        // Sustained flush-and-reinstall churn below capacity must not grow
+        // the eviction FIFO without bound.
+        let mut cache = MegaflowCache::with_capacity(1024);
+        for round in 0..50u16 {
+            cache.insert(&key(80, 1), port_mask(), actions(u32::from(round)));
+            let flushed =
+                cache.invalidate_overlapping(&[FlowMatch::any().with_exact(Field::TcpDst, 80)]);
+            assert_eq!(flushed, 1);
+        }
+        assert!(cache.is_empty());
+        assert!(
+            cache.insertion_order.is_empty(),
+            "stale eviction pairs leaked: {}",
+            cache.insertion_order.len()
+        );
+    }
+
+    #[test]
+    fn delta_invalidation_respects_absent_fields() {
+        use openflow::flow_match::FlowMatch;
+        let mut cache = MegaflowCache::new();
+        // A megaflow over UDP traffic that pins udp_dst: a TCP packet's key
+        // has no udp_dst, so the mask stores the absent sentinel.
+        let udp_key = FlowKey::extract(&PacketBuilder::udp().udp_dst(53).build());
+        let mut m = FieldMask::wildcard_all();
+        m.unwildcard_exact(Field::UdpDst);
+        cache.insert(&udp_key, m.clone(), actions(1));
+        // A megaflow over TCP traffic through the same udp_dst mask (absent).
+        cache.insert(&key(80, 1), m, actions(2));
+
+        // A rule matching udp_dst=53 can only affect packets carrying UDP:
+        // the absent-field entry survives, the present-and-equal one dies.
+        let flushed =
+            cache.invalidate_overlapping(&[FlowMatch::any().with_exact(Field::UdpDst, 53)]);
+        assert_eq!(flushed, 1);
+        assert!(cache.lookup(&key(80, 1)).is_some());
+        assert!(cache.lookup(&udp_key).is_none());
     }
 
     #[test]

@@ -115,6 +115,30 @@ impl MicroflowCache {
         self.generation += 1;
     }
 
+    /// Delta-aware invalidation: drops only the entries whose exact key
+    /// satisfies one of the changed rules' matches. An exact-match entry
+    /// whose key fails every changed match cannot see a different verdict,
+    /// so it survives rule churn that cannot affect it — the "EMC survives
+    /// rule-adds" half of incremental epoch publication. Returns the number
+    /// of flushed entries.
+    ///
+    /// Same soundness precondition as
+    /// [`MegaflowCache::invalidate_overlapping`](crate::megaflow::MegaflowCache::invalidate_overlapping):
+    /// the changed match fields must not be apply-action-rewritten mid-pipeline.
+    pub fn invalidate_matching(&mut self, matches: &[openflow::flow_match::FlowMatch]) -> usize {
+        let generation = self.generation;
+        let mut flushed = 0usize;
+        for slot in self.slots.iter_mut() {
+            if let Some(s) = slot {
+                if s.generation == generation && matches.iter().any(|m| s.key.matches(m)) {
+                    *slot = None;
+                    flushed += 1;
+                }
+            }
+        }
+        flushed
+    }
+
     /// Number of live (current-generation) entries; linear scan, meant for
     /// tests and statistics dumps only.
     pub fn live_entries(&self) -> usize {
@@ -189,6 +213,20 @@ mod tests {
         // The cache keeps working after invalidation.
         c.insert(key(5), actions(3));
         assert_eq!(c.lookup(&key(5)).unwrap()[0], Action::Output(3));
+    }
+
+    #[test]
+    fn delta_invalidation_keeps_unmatched_entries() {
+        use openflow::flow_match::FlowMatch;
+        use openflow::Field;
+        let mut c = MicroflowCache::with_capacity(64);
+        c.insert(key(80), actions(1));
+        c.insert(key(443), actions(2));
+        let flushed = c.invalidate_matching(&[FlowMatch::any().with_exact(Field::TcpDst, 80)]);
+        assert_eq!(flushed, 1);
+        assert!(c.lookup(&key(80)).is_none(), "matching entry kept");
+        assert!(c.lookup(&key(443)).is_some(), "unmatched entry flushed");
+        assert_eq!(c.live_entries(), 1);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use eswitch::analysis::CompilerConfig;
 use eswitch::compile::{compile, CompileError, CompiledDatapath};
+use openflow::flow_match::FlowMatch;
 use openflow::{NullController, Pipeline, Verdict};
 use ovsdp::{OvsConfig, OvsDatapath};
 use pkt::Packet;
@@ -105,7 +106,14 @@ pub trait ShardBackend: Send {
     /// Swaps in a newly published compiled state (an epoch advance). Called
     /// by the owning worker between bursts, never concurrently with
     /// processing, so a packet can never observe a half-applied update.
-    fn apply(&mut self, state: &CompiledState);
+    ///
+    /// `deltas` carries the per-epoch lists of changed-rule matches covering
+    /// *exactly* the gap between this replica's epoch and the published one,
+    /// when the control plane could prove them selective-safe. A replica that
+    /// receives `Some` may invalidate its private caches selectively; `None`
+    /// (skipped epochs, structural change, rewritten matched fields) means
+    /// brute-force invalidation.
+    fn apply(&mut self, state: &CompiledState, deltas: Option<&[Arc<Vec<FlowMatch>>]>);
 
     /// The OVS replica, when this shard runs one (per-shard cache stats).
     fn as_ovs(&self) -> Option<&OvsDatapath> {
@@ -127,7 +135,11 @@ impl ShardBackend for EswitchShard {
         }
     }
 
-    fn apply(&mut self, state: &CompiledState) {
+    fn apply(&mut self, state: &CompiledState, _deltas: Option<&[Arc<Vec<FlowMatch>>]>) {
+        // Compiled epochs already share every untouched table structurally
+        // (and incremental edits mutate the shared slot through its
+        // trampoline), so applying an epoch is one pointer swap regardless of
+        // the delta.
         if let CompiledState::Eswitch(datapath) = state {
             self.datapath = Arc::clone(datapath);
         }
@@ -144,9 +156,19 @@ impl ShardBackend for OvsShard {
         self.datapath.process_batch_into(packets, verdicts);
     }
 
-    fn apply(&mut self, state: &CompiledState) {
+    fn apply(&mut self, state: &CompiledState, deltas: Option<&[Arc<Vec<FlowMatch>>]>) {
         if let CompiledState::Ovs(pipeline) = state {
-            self.datapath.replace_pipeline(Pipeline::clone(pipeline));
+            match deltas {
+                // Contiguous, selective-safe delta: flush only the megaflow
+                // entries overlapping a changed rule; the EMC survives
+                // changes that cannot touch its exact keys.
+                Some(deltas) => self
+                    .datapath
+                    .replace_pipeline_with_delta(Pipeline::clone(pipeline), deltas),
+                // No usable delta: any flow-table change costs the OVS
+                // architecture its entire cache hierarchy (§2.3).
+                None => self.datapath.replace_pipeline(Pipeline::clone(pipeline)),
+            }
         }
     }
 
@@ -186,10 +208,44 @@ mod tests {
             assert_eq!(verdicts[0].outputs, vec![1], "{}", spec.label());
 
             let next = spec.compile_state(&port_pipeline(9)).unwrap();
-            replica.apply(&next);
+            replica.apply(&next, None);
             let mut burst = vec![PacketBuilder::tcp().tcp_dst(80).build()];
             replica.process_batch_into(&mut burst, &mut verdicts);
             assert_eq!(verdicts[0].outputs, vec![9], "{}", spec.label());
         }
+    }
+
+    #[test]
+    fn ovs_replica_applies_selective_delta() {
+        let spec = BackendSpec::ovs();
+        let state = spec.compile_state(&port_pipeline(1)).unwrap();
+        let mut replica = spec.replica(&state);
+        let mut burst = vec![
+            PacketBuilder::tcp().tcp_dst(80).build(),
+            PacketBuilder::tcp().tcp_dst(22).build(),
+        ];
+        let mut verdicts = Vec::new();
+        replica.process_batch_into(&mut burst, &mut verdicts);
+        let megaflows = replica.as_ovs().unwrap().megaflow_count();
+        assert!(megaflows > 0);
+
+        // An epoch that only changes tcp_dst=9999 behaviour, with the delta:
+        // unrelated megaflows survive the swap.
+        let mut p = port_pipeline(1);
+        p.table_mut(0).unwrap().insert(openflow::FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 9999),
+            90,
+            terminal_actions(vec![Action::Output(5)]),
+        ));
+        let next = spec.compile_state(&p).unwrap();
+        let delta = vec![Arc::new(vec![
+            FlowMatch::any().with_exact(Field::TcpDst, 9999)
+        ])];
+        replica.apply(&next, Some(&delta));
+        assert_eq!(replica.as_ovs().unwrap().megaflow_count(), megaflows);
+
+        let mut burst = vec![PacketBuilder::tcp().tcp_dst(9999).build()];
+        replica.process_batch_into(&mut burst, &mut verdicts);
+        assert_eq!(verdicts[0].outputs, vec![5]);
     }
 }

@@ -18,12 +18,18 @@
 //!   shard drains its ring in 32-packet bursts through the zero-allocation
 //!   `process_batch_into` fast path.
 //! * **Control plane** ([`runtime::ShardedSwitch::flow_mod`]) — flow-mods are
-//!   applied to the canonical [`openflow::Pipeline`] once, compiled once on
-//!   the control thread, and broadcast as an epoch-stamped state via atomic
-//!   `Arc` swap. Workers pick the new epoch up at their next burst boundary:
-//!   no worker ever blocks on recompilation, every packet is processed
-//!   against exactly one epoch's state, and a failed compilation rolls the
-//!   canonical pipeline back, leaving every shard on the old epoch.
+//!   applied to the canonical [`openflow::Pipeline`] once, classified by the
+//!   shared §3.4 update planner ([`eswitch::update`]) on the control thread,
+//!   and broadcast as an epoch-stamped state via atomic `Arc` swap. An
+//!   incremental edit publishes in O(1) through the touched table's
+//!   trampoline; a per-table rebuild publishes a datapath that structurally
+//!   shares every untouched table; only structural changes recompile the
+//!   whole state. OVS epochs carry the changed rules' matches when provably
+//!   selective-safe, so replicas flush only overlapping megaflows and keep
+//!   disjoint EMC entries. Workers pick the new epoch up at their next burst
+//!   boundary: no worker ever blocks on recompilation, and a failed
+//!   compilation replays the flow-mod's undo log, leaving every shard on the
+//!   old epoch.
 //! * **Stats & shutdown** — per-shard [`netdev::Counters`] aggregate into
 //!   switch-wide totals; shutdown flushes the dispatcher, lets every shard
 //!   drain its ring, and only then joins the workers, so no packet is lost.
@@ -35,5 +41,6 @@ pub mod runtime;
 pub use backend::{BackendSpec, CompiledState, ShardBackend};
 pub use rss::{rss_hash, shard_of, RssDispatcher};
 pub use runtime::{
-    ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, VerdictSink,
+    ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,
+    UpdateClassStats, UpdateStrategy, VerdictSink,
 };

@@ -3,14 +3,21 @@
 //! A [`ShardedSwitch`] owns N worker threads, each draining a private SPSC
 //! ring in 32-packet bursts through its datapath replica. The control plane
 //! lives on whichever thread calls [`ShardedSwitch::flow_mod`]: the flow-mod
-//! is applied to the canonical pipeline once, compiled once, and published as
-//! an epoch-stamped [`CompiledState`] behind an atomic `Arc` swap. Workers
-//! poll the epoch counter (one relaxed load) at every loop iteration and
-//! swap in the published state at a burst boundary, so:
+//! is applied to the canonical pipeline once, run through the shared §3.4
+//! update planner, and published as an epoch-stamped [`CompiledState`]
+//! behind an atomic `Arc` swap — an *incremental* epoch re-publishes the
+//! shared datapath after an O(1) trampoline edit, a *per-table* epoch is a
+//! new datapath structurally sharing every untouched table, and only
+//! structural changes recompile the full state. Workers poll the epoch
+//! counter (one relaxed load) at every loop iteration and swap in the
+//! published state at a burst boundary, so:
 //!
-//! * no worker ever blocks while the control plane recompiles,
-//! * every packet is processed against exactly one epoch's state (a verdict
-//!   can never mix pre- and post-update behaviour),
+//! * no worker ever blocks while the control plane plans or compiles (the
+//!   `published` write lock guards a pointer swap only),
+//! * a per-table or full epoch is atomic per worker (swapped at a burst
+//!   boundary), and an incremental edit is atomic per table lookup — the
+//!   paper's trampoline semantics, so a verdict can never mix pre- and
+//!   post-update behaviour of one table,
 //! * a shard that is idle still converges to the newest epoch.
 //!
 //! Shutdown is drain-then-join: the dispatcher's staged packets are flushed,
@@ -24,13 +31,30 @@ use std::thread::JoinHandle;
 use parking_lot::{Mutex, RwLock};
 
 use eswitch::compile::CompileError;
+use eswitch::update::{Absorbed, UpdateClass, UpdatePlanner};
 use netdev::{CounterSnapshot, Counters, SpscRing, BURST_SIZE};
-use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
+use openflow::flow_match::FlowMatch;
+use openflow::flow_mod::{apply_flow_mod_undoable, FlowModEffect, FlowModError};
+use openflow::instruction::{pipeline_written_fields, written_match_fields};
 use openflow::{FlowMod, Pipeline, Verdict};
+use ovsdp::datapath::delta_is_selective;
 use pkt::Packet;
 
 use crate::backend::{BackendSpec, CompiledState};
 use crate::rss::RssDispatcher;
+
+/// How the control plane turns an applied flow-mod into the next epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateStrategy {
+    /// Drive the shared §3.4 [`UpdatePlanner`]: in-place incremental edits
+    /// and per-table rebuilds publish epochs that structurally share every
+    /// untouched table; OVS epochs carry a selective-invalidation delta.
+    #[default]
+    Planned,
+    /// Recompile the whole state on every flow-mod (the pre-planner
+    /// behaviour) — kept as the measurable Fig. 18 baseline.
+    FullRecompile,
+}
 
 /// Sharded runtime configuration.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +63,8 @@ pub struct ShardedConfig {
     pub workers: usize,
     /// Per-shard ring capacity in packets (rounded up to a power of two).
     pub ring_capacity: usize,
+    /// How flow-mods become epochs.
+    pub update_strategy: UpdateStrategy,
 }
 
 impl Default for ShardedConfig {
@@ -46,6 +72,7 @@ impl Default for ShardedConfig {
         ShardedConfig {
             workers: 2,
             ring_capacity: 1024,
+            update_strategy: UpdateStrategy::Planned,
         }
     }
 }
@@ -71,23 +98,118 @@ impl std::fmt::Display for ShardError {
 
 impl std::error::Error for ShardError {}
 
+/// Number of trailing per-epoch deltas an epoch publication carries. A
+/// worker that fell further behind than this window (or crossed a
+/// non-selective epoch) falls back to brute-force cache invalidation.
+const DELTA_WINDOW: usize = 64;
+
+/// What one epoch changed, kept in the publication's trailing window so OVS
+/// replicas that are a few epochs behind can still invalidate selectively.
+#[derive(Clone)]
+struct EpochDelta {
+    epoch: u64,
+    /// Matches of the rules this epoch changed; `None` when the change was
+    /// not provably selective-safe (structural, or a match on a field some
+    /// apply-action rewrites).
+    matches: Option<Arc<Vec<FlowMatch>>>,
+}
+
 /// An epoch-stamped published state.
 struct Published {
     epoch: u64,
+    /// Which §3.4 tier produced this epoch (switch-wide update accounting).
+    class: UpdateClass,
     state: CompiledState,
+    /// Trailing window of per-epoch deltas, newest last.
+    recent: Vec<EpochDelta>,
+}
+
+impl Published {
+    /// The per-epoch deltas covering exactly `(since, self.epoch]`, if every
+    /// epoch in that gap is inside the window and selective-safe.
+    fn deltas_since(&self, since: u64) -> Option<Vec<Arc<Vec<FlowMatch>>>> {
+        let need = self.epoch.checked_sub(since)?;
+        if need > self.recent.len() as u64 {
+            // The gap exceeds the delta window: a far-behind worker cannot
+            // be covered (and must not size an allocation to the gap).
+            return None;
+        }
+        let mut out = Vec::with_capacity(need as usize);
+        for delta in self
+            .recent
+            .iter()
+            .filter(|d| d.epoch > since && d.epoch <= self.epoch)
+        {
+            out.push(Arc::clone(delta.matches.as_ref()?));
+        }
+        (out.len() as u64 == need).then_some(out)
+    }
+}
+
+/// Switch-wide counts of how flow-mods were absorbed, by §3.4 ladder tier.
+#[derive(Debug, Default)]
+pub struct UpdateClassStats {
+    incremental: AtomicU64,
+    per_table: AtomicU64,
+    full: AtomicU64,
+}
+
+impl UpdateClassStats {
+    fn record(&self, class: UpdateClass) {
+        match class {
+            UpdateClass::Incremental => &self.incremental,
+            UpdateClass::PerTable => &self.per_table,
+            UpdateClass::Full => &self.full,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the per-class counts.
+    pub fn snapshot(&self) -> UpdateClassCounts {
+        UpdateClassCounts {
+            incremental: self.incremental.load(Ordering::Relaxed),
+            per_table: self.per_table.load(Ordering::Relaxed),
+            full: self.full.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of [`UpdateClassStats`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateClassCounts {
+    /// Epochs published by an in-place incremental template edit.
+    pub incremental: u64,
+    /// Epochs published by rebuilding only the touched tables.
+    pub per_table: u64,
+    /// Epochs that required recompiling the full state.
+    pub full: u64,
+}
+
+impl UpdateClassCounts {
+    /// Total epochs published.
+    pub fn total(&self) -> u64 {
+        self.incremental + self.per_table + self.full
+    }
 }
 
 /// State shared between the control plane and every worker.
 struct Control {
     spec: BackendSpec,
+    strategy: UpdateStrategy,
     /// The canonical pipeline; the single source of truth flow-mods mutate.
     pipeline: Mutex<Pipeline>,
     /// The latest compiled state. Workers clone the `Arc` out only when the
-    /// epoch counter tells them it changed.
+    /// epoch counter tells them it changed. The write-side critical section
+    /// contains a pointer swap only — every compile/plan/rebuild happens
+    /// before it, outside the readers' visible window.
     published: RwLock<Arc<Published>>,
     /// Monotonic update counter; written *after* `published` (release) so a
     /// worker observing epoch N always reads state >= N.
     epoch: AtomicU64,
+    /// Bitmask of match fields some apply-action in the canonical pipeline
+    /// can rewrite mid-traversal; grown monotonically (a stale bit only
+    /// costs a full flush, never a wrong answer). Gates the OVS delta path.
+    written_fields: AtomicU64,
     shutdown: AtomicBool,
 }
 
@@ -116,6 +238,8 @@ pub struct ShutdownReport {
     pub per_shard: Vec<CounterSnapshot>,
     /// The control-plane epoch at shutdown.
     pub epoch: u64,
+    /// How the published epochs were classified (§3.4 ladder tiers).
+    pub update_classes: UpdateClassCounts,
 }
 
 /// The sharded switch: N worker shards plus the flow-mod control plane.
@@ -123,6 +247,8 @@ pub struct ShardedSwitch {
     control: Arc<Control>,
     stats: Vec<Arc<ShardStats>>,
     workers: Vec<JoinHandle<()>>,
+    /// Per-class epoch accounting, readable while the switch runs.
+    pub update_stats: UpdateClassStats,
 }
 
 impl ShardedSwitch {
@@ -145,12 +271,20 @@ impl ShardedSwitch {
     ) -> Result<(Self, RssDispatcher), CompileError> {
         let workers_wanted = config.workers.max(1);
         let state = spec.compile_state(&pipeline)?;
-        let published = Arc::new(Published { epoch: 0, state });
+        let written = pipeline_written_fields(&pipeline);
+        let published = Arc::new(Published {
+            epoch: 0,
+            class: UpdateClass::Full,
+            state,
+            recent: Vec::new(),
+        });
         let control = Arc::new(Control {
             spec,
+            strategy: config.update_strategy,
             pipeline: Mutex::new(pipeline),
             published: RwLock::new(Arc::clone(&published)),
             epoch: AtomicU64::new(0),
+            written_fields: AtomicU64::new(written),
             shutdown: AtomicBool::new(false),
         });
 
@@ -183,6 +317,7 @@ impl ShardedSwitch {
                 control,
                 stats,
                 workers,
+                update_stats: UpdateClassStats::default(),
             },
             RssDispatcher::new(rings),
         ))
@@ -194,28 +329,128 @@ impl ShardedSwitch {
     }
 
     /// Applies a flow-mod while traffic runs: the canonical pipeline is
-    /// updated once, the new state compiled once on *this* thread, and the
-    /// result broadcast to every shard as the next epoch. Workers swap it in
-    /// at their next burst boundary without ever blocking. A compilation
-    /// failure rolls the canonical pipeline back and leaves every shard
-    /// serving the previous epoch.
+    /// updated once, the §3.4 update planner decides the cheapest absorbing
+    /// tier on *this* thread, and the result is broadcast to every shard as
+    /// the next epoch. Workers swap it in at their next burst boundary
+    /// without ever blocking — the `published` write lock holds a pointer
+    /// swap only, never compilation.
+    ///
+    /// * **Incremental** — the edit lands in the shared compiled datapath
+    ///   through the touched table's trampoline (O(1) publication; packets
+    ///   see the edit at their next lookup of that one table, the paper's
+    ///   trampoline semantics);
+    /// * **PerTable** — only the touched tables are recompiled and the epoch
+    ///   is a new datapath that *structurally shares* every untouched table;
+    /// * **Full** — structure changed: the whole state is recompiled. A
+    ///   compilation failure replays the flow-mod's undo log (no up-front
+    ///   pipeline clone) and leaves every shard on the previous epoch.
+    ///
+    /// OVS epochs additionally carry the changed rules' matches when the
+    /// change is provably selective-safe, so replicas flush only the
+    /// overlapping megaflow entries and keep disjoint EMC entries alive.
     pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, ShardError> {
-        // The pipeline lock is held across compile + publish so concurrent
+        // The pipeline lock is held across plan + publish so concurrent
         // flow-mods serialise and epochs stay monotonic with pipeline state.
         let mut pipeline = self.control.pipeline.lock();
-        let saved = pipeline.clone();
-        let effect = apply_flow_mod(&mut pipeline, fm).map_err(ShardError::FlowMod)?;
-        let state = match self.control.spec.compile_state(&pipeline) {
-            Ok(state) => state,
-            Err(e) => {
-                *pipeline = saved;
-                return Err(ShardError::Compile(e));
+        let (effect, undo) =
+            apply_flow_mod_undoable(&mut pipeline, fm).map_err(ShardError::FlowMod)?;
+        if effect.entries_touched() == 0 {
+            // Matched nothing, changed nothing: every shard's state is still
+            // exact — publishing an epoch would only force needless work.
+            return Ok(effect);
+        }
+        let prev = Arc::clone(&self.control.published.read());
+
+        let (state, class, delta) = match (self.control.strategy, &self.control.spec, &prev.state) {
+            // The measurable baseline: recompile everything on every change.
+            (UpdateStrategy::FullRecompile, spec, _) => match spec.compile_state(&pipeline) {
+                Ok(state) => (state, UpdateClass::Full, None),
+                Err(e) => {
+                    undo.undo(&mut pipeline);
+                    return Err(ShardError::Compile(e));
+                }
+            },
+            (UpdateStrategy::Planned, BackendSpec::Eswitch(config), CompiledState::Eswitch(dp)) => {
+                match UpdatePlanner::new(config).absorb(&pipeline, dp, fm, &effect) {
+                    // The shared datapath absorbed the edit in place
+                    // (trampoline semantics): re-publish the same state
+                    // under the next epoch so convergence tracking and
+                    // class accounting advance.
+                    Absorbed::Incremental => (
+                        CompiledState::Eswitch(Arc::clone(dp)),
+                        UpdateClass::Incremental,
+                        None,
+                    ),
+                    // A new datapath structurally sharing every untouched
+                    // table; only the rebuilt tables get fresh slots.
+                    Absorbed::PerTable(rebuilt) => (
+                        CompiledState::Eswitch(Arc::new(dp.with_rebuilt_tables(rebuilt))),
+                        UpdateClass::PerTable,
+                        None,
+                    ),
+                    Absorbed::Full => match self.control.spec.compile_state(&pipeline) {
+                        Ok(state) => (state, UpdateClass::Full, None),
+                        Err(e) => {
+                            undo.undo(&mut pipeline);
+                            return Err(ShardError::Compile(e));
+                        }
+                    },
+                }
             }
+            (UpdateStrategy::Planned, BackendSpec::Ovs(_), _) => {
+                // OVS epochs always snapshot the pipeline (replicas realise
+                // it lazily); the ladder classification reflects what the
+                // *shards* pay: a selective-safe delta invalidates
+                // incrementally, anything else costs the full hierarchy.
+                let added_bits = written_match_fields(&fm.instructions);
+                let written = self
+                    .control
+                    .written_fields
+                    .fetch_or(added_bits, Ordering::Relaxed)
+                    | added_bits;
+                let state = CompiledState::Ovs(Arc::new(pipeline.clone()));
+                if delta_is_selective(written, &effect.touched_matches) {
+                    (
+                        state,
+                        UpdateClass::Incremental,
+                        Some(Arc::new(effect.touched_matches.clone())),
+                    )
+                } else {
+                    (state, UpdateClass::Full, None)
+                }
+            }
+            _ => unreachable!("published state does not match the backend spec"),
         };
-        let epoch = self.control.epoch.load(Ordering::Relaxed) + 1;
-        *self.control.published.write() = Arc::new(Published { epoch, state });
+
+        let epoch = prev.epoch + 1;
+        let mut recent = prev.recent.clone();
+        if recent.len() >= DELTA_WINDOW {
+            recent.drain(..recent.len() + 1 - DELTA_WINDOW);
+        }
+        recent.push(EpochDelta {
+            epoch,
+            matches: delta,
+        });
+        *self.control.published.write() = Arc::new(Published {
+            epoch,
+            class,
+            state,
+            recent,
+        });
         self.control.epoch.store(epoch, Ordering::Release);
+        self.update_stats.record(class);
         Ok(effect)
+    }
+
+    /// Switch-wide per-class epoch counts (§3.4 ladder accounting).
+    pub fn update_classes(&self) -> UpdateClassCounts {
+        self.update_stats.snapshot()
+    }
+
+    /// The §3.4 ladder tier that produced the most recent epoch (epoch 0,
+    /// the launch compilation, reports as `Full`).
+    pub fn current_epoch_class(&self) -> UpdateClass {
+        self.control.published.read().class
     }
 
     /// Read access to the canonical pipeline.
@@ -277,6 +512,7 @@ impl ShardedSwitch {
             processed,
             per_shard,
             epoch: self.control.epoch.load(Ordering::Acquire),
+            update_classes: self.update_stats.snapshot(),
         }
     }
 }
@@ -316,7 +552,11 @@ impl WorkerHandle {
             let epoch = self.control.epoch.load(Ordering::Acquire);
             if epoch != local_epoch {
                 let published = Arc::clone(&self.control.published.read());
-                backend.apply(&published.state);
+                // Selective invalidation is only sound when the delta window
+                // covers every epoch this shard skipped; otherwise the
+                // replica pays the brute-force flush.
+                let deltas = published.deltas_since(local_epoch);
+                backend.apply(&published.state, deltas.as_deref());
                 local_epoch = published.epoch;
                 self.stats.epoch.store(local_epoch, Ordering::Release);
             }
@@ -407,6 +647,7 @@ mod tests {
                 ShardedConfig {
                     workers: 2,
                     ring_capacity: 64,
+                    ..ShardedConfig::default()
                 },
             )
             .unwrap();
@@ -447,6 +688,7 @@ mod tests {
                 ShardedConfig {
                     workers: 3,
                     ring_capacity: 64,
+                    ..ShardedConfig::default()
                 },
                 Some(sink),
             )
@@ -484,6 +726,7 @@ mod tests {
             ShardedConfig {
                 workers: 2,
                 ring_capacity: 64,
+                ..ShardedConfig::default()
             },
         )
         .unwrap();
@@ -509,6 +752,163 @@ mod tests {
         assert_eq!(report.epoch, 1);
     }
 
+    fn mac_match(i: u64) -> FlowMatch {
+        FlowMatch::any().with_exact(Field::EthDst, u128::from(0x0200_0000_0000 + i))
+    }
+
+    fn l2_hash_pipeline() -> Pipeline {
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        for i in 0..64u64 {
+            t.insert(FlowEntry::new(
+                mac_match(i),
+                10,
+                terminal_actions(vec![Action::Output((i % 4) as u32)]),
+            ));
+        }
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    /// The acceptance gate of the update-planner PR: hash-table rule
+    /// add/delete flow-mods must publish epochs classified Incremental or
+    /// PerTable — never Full — and the packets must still see the change.
+    #[test]
+    fn hash_rule_churn_publishes_incremental_epochs() {
+        let (switch, dispatcher) = ShardedSwitch::launch(
+            BackendSpec::eswitch(),
+            l2_hash_pipeline(),
+            ShardedConfig {
+                workers: 2,
+                ring_capacity: 64,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+
+        // Adds and strict deletes of template-shaped MAC rules.
+        for i in 100..120u64 {
+            switch
+                .flow_mod(&FlowMod::add(
+                    0,
+                    mac_match(i),
+                    10,
+                    terminal_actions(vec![Action::Output(3)]),
+                ))
+                .unwrap();
+        }
+        for i in 100..110u64 {
+            switch
+                .flow_mod(&FlowMod::delete_strict(0, mac_match(i), 10))
+                .unwrap();
+        }
+        let classes = switch.update_classes();
+        assert_eq!(classes.incremental, 30, "{classes:?}");
+        assert_eq!(classes.full, 0, "{classes:?}");
+        assert_eq!(switch.epoch(), 30);
+
+        // A non-strict delete rebuilds just the one table.
+        switch.flow_mod(&FlowMod::delete(0, mac_match(1))).unwrap();
+        assert_eq!(switch.update_classes().per_table, 1);
+        assert_eq!(switch.update_classes().full, 0);
+
+        // A structural change (new table) is the only full recompile.
+        switch
+            .flow_mod(&FlowMod::add(
+                5,
+                FlowMatch::any(),
+                1,
+                terminal_actions(vec![Action::Output(1)]),
+            ))
+            .unwrap();
+        assert_eq!(switch.update_classes().full, 1);
+
+        // Shards converge and the surviving adds actually forward.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while switch.shard_epochs().iter().any(|e| *e != switch.epoch()) {
+            assert!(std::time::Instant::now() < deadline, "no convergence");
+            std::thread::yield_now();
+        }
+        let report = switch.shutdown(dispatcher);
+        assert_eq!(report.update_classes.incremental, 30);
+        assert_eq!(report.update_classes.per_table, 1);
+        assert_eq!(report.update_classes.full, 1);
+    }
+
+    #[test]
+    fn no_op_flow_mod_publishes_no_epoch() {
+        let (switch, dispatcher) = ShardedSwitch::launch(
+            BackendSpec::eswitch(),
+            l2_hash_pipeline(),
+            ShardedConfig {
+                workers: 1,
+                ring_capacity: 64,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        let effect = switch
+            .flow_mod(&FlowMod::delete(0, mac_match(9999)))
+            .unwrap();
+        assert_eq!(effect.entries_touched(), 0);
+        assert_eq!(switch.epoch(), 0, "no-op must not publish an epoch");
+        assert_eq!(switch.update_classes().total(), 0);
+        switch.shutdown(dispatcher);
+    }
+
+    #[test]
+    fn full_recompile_strategy_classifies_everything_full() {
+        let (switch, dispatcher) = ShardedSwitch::launch(
+            BackendSpec::eswitch(),
+            l2_hash_pipeline(),
+            ShardedConfig {
+                workers: 1,
+                ring_capacity: 64,
+                update_strategy: UpdateStrategy::FullRecompile,
+            },
+        )
+        .unwrap();
+        for i in 100..105u64 {
+            switch
+                .flow_mod(&FlowMod::add(
+                    0,
+                    mac_match(i),
+                    10,
+                    terminal_actions(vec![Action::Output(3)]),
+                ))
+                .unwrap();
+        }
+        let classes = switch.update_classes();
+        assert_eq!(classes.full, 5);
+        assert_eq!(classes.incremental + classes.per_table, 0);
+        switch.shutdown(dispatcher);
+    }
+
+    #[test]
+    fn ovs_selective_rule_adds_classify_incremental() {
+        let (switch, dispatcher) = ShardedSwitch::launch(
+            BackendSpec::ovs(),
+            port_pipeline(),
+            ShardedConfig {
+                workers: 1,
+                ring_capacity: 64,
+                ..ShardedConfig::default()
+            },
+        )
+        .unwrap();
+        // port_pipeline rewrites nothing, so a port-rule add ships a delta.
+        switch
+            .flow_mod(&FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::TcpDst, 8080),
+                95,
+                terminal_actions(vec![Action::Output(4)]),
+            ))
+            .unwrap();
+        assert_eq!(switch.update_classes().incremental, 1);
+        switch.shutdown(dispatcher);
+    }
+
     #[test]
     fn rejected_flow_mod_rolls_back() {
         let (switch, dispatcher) = ShardedSwitch::launch(
@@ -517,6 +917,7 @@ mod tests {
             ShardedConfig {
                 workers: 1,
                 ring_capacity: 64,
+                ..ShardedConfig::default()
             },
         )
         .unwrap();

@@ -51,9 +51,9 @@ fn main() {
     println!(
         "controller handled {} packet-ins; updates: incremental={}, table rebuilds={}, full recompiles={}",
         switch.controller_packet_ins(),
-        switch.updates.incremental.packets(),
-        switch.updates.table_rebuilds.packets(),
-        switch.updates.full_recompiles.packets(),
+        switch.updates.incremental.updates(),
+        switch.updates.table_rebuilds.updates(),
+        switch.updates.full_recompiles.updates(),
     );
 
     // Second packets of the same users: NATted and routed in the fast path.

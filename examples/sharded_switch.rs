@@ -39,6 +39,7 @@ fn main() {
             ShardedConfig {
                 workers: 2,
                 ring_capacity: 512,
+                ..ShardedConfig::default()
             },
         )
         .expect("pipeline compiles");

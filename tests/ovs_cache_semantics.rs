@@ -138,8 +138,11 @@ fn fine_grained_rule_fragments_megaflows() {
     assert!(fine_slow > coarse_slow * 20);
 }
 
-/// Any flow-table change invalidates the whole megaflow cache, and the cache
-/// is rebuilt reactively from the slow path (§2.3, footnote 2).
+/// Flow-table changes invalidate the caches — but only as much as the
+/// change's delta demands. A rule add provably disjoint from every cached
+/// flow spares them (delta-aware invalidation); overlapping rules and
+/// delta-less pipeline swaps flush, and the cache is rebuilt reactively from
+/// the slow path (§2.3, footnote 2).
 #[test]
 fn updates_invalidate_and_repopulate_reactively() {
     let dp = OvsDatapath::new(port_pipeline(&[(80, 1), (443, 2)]));
@@ -147,10 +150,12 @@ fn updates_invalidate_and_repopulate_reactively() {
         dp.process(&mut tcp(80, 1000 + src));
         dp.process(&mut tcp(443, 1000 + src));
     }
-    assert!(dp.megaflow_count() >= 2);
+    let megaflows = dp.megaflow_count();
+    assert!(megaflows >= 2);
     let slow_before = dp.stats.slowpath_hits.packets();
 
-    // An unrelated rule change still flushes everything.
+    // An unrelated rule change (port 8080, nothing rewritten in this
+    // pipeline) keeps every disjoint megaflow and EMC entry alive...
     dp.flow_mod(&FlowMod::add(
         0,
         FlowMatch::any().with_exact(Field::TcpDst, 8080),
@@ -158,13 +163,36 @@ fn updates_invalidate_and_repopulate_reactively() {
         terminal_actions(vec![Action::Output(3)]),
     ))
     .unwrap();
-    assert_eq!(dp.megaflow_count(), 0);
-    assert_eq!(dp.microflow_count(), 0);
-
-    // The next packets of the *old* flows go back to the slow path.
+    assert_eq!(dp.megaflow_count(), megaflows);
+    assert!(dp.microflow_count() > 0);
+    // ...so the old flows never revisit the slow path.
     dp.process(&mut tcp(80, 1000));
     dp.process(&mut tcp(443, 1000));
-    assert!(dp.stats.slowpath_hits.packets() >= slow_before + 2);
+    assert_eq!(dp.stats.slowpath_hits.packets(), slow_before);
+
+    // A rule overlapping a cached flow flushes that flow (and anything not
+    // provably disjoint), which then repopulates reactively.
+    dp.flow_mod(&FlowMod::add(
+        0,
+        FlowMatch::any().with_exact(Field::TcpDst, 443),
+        210,
+        terminal_actions(vec![Action::Output(7)]),
+    ))
+    .unwrap();
+    let slow_mid = dp.stats.slowpath_hits.packets();
+    dp.process(&mut tcp(443, 1000));
+    assert!(dp.stats.slowpath_hits.packets() > slow_mid);
+    assert_eq!(dp.process(&mut tcp(443, 1000)).outputs, vec![7]);
+
+    // A delta-less pipeline replacement is the brute-force §2.3 behaviour:
+    // everything flushed, every flow back through the slow path.
+    dp.replace_pipeline(port_pipeline(&[(80, 1), (443, 2)]));
+    assert_eq!(dp.megaflow_count(), 0);
+    assert_eq!(dp.microflow_count(), 0);
+    let slow_late = dp.stats.slowpath_hits.packets();
+    dp.process(&mut tcp(80, 1000));
+    dp.process(&mut tcp(443, 1000));
+    assert!(dp.stats.slowpath_hits.packets() >= slow_late + 2);
 }
 
 /// The megaflow store itself: disjoint aggregates, eviction at capacity, and

@@ -77,6 +77,7 @@ fn flow_mods_under_load_are_per_packet_atomic_and_lossless() {
             ShardedConfig {
                 workers: 2,
                 ring_capacity: 256,
+                ..ShardedConfig::default()
             },
             Some(sink),
         )

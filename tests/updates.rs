@@ -49,10 +49,14 @@ fn route_update_is_incremental_for_eswitch_and_flushes_ovs() {
     eswitch.flow_mod(&fm).unwrap();
     ovs.flow_mod(&fm).unwrap();
 
-    // ESWITCH absorbed it in place (LPM insert), no full recompilation.
-    assert_eq!(eswitch.updates.incremental.packets(), 1);
-    assert_eq!(eswitch.updates.full_recompiles.packets(), 0);
-    // OVS had to drop every cached megaflow.
+    // ESWITCH absorbed it in place (LPM insert), no full recompilation; the
+    // counter records meaningful units (one update touching one entry).
+    assert_eq!(eswitch.updates.incremental.updates(), 1);
+    assert_eq!(eswitch.updates.incremental.entries(), 1);
+    assert_eq!(eswitch.updates.full_recompiles.updates(), 0);
+    // OVS had to drop every cached megaflow: the gateway rewrites Ipv4Dst
+    // mid-pipeline, so the route's delta is not selective-safe and the
+    // conservative full flush applies.
     assert_eq!(ovs.megaflow_count(), 0);
 
     // Both still forward the pre-existing traffic identically, and both now
@@ -114,8 +118,8 @@ fn batched_updates_keep_both_switches_consistent() {
             ovs.flow_mod(fm).unwrap();
         }
     }
-    assert_eq!(eswitch.updates.full_recompiles.packets(), 0);
-    assert!(eswitch.updates.incremental.packets() > 0);
+    assert_eq!(eswitch.updates.full_recompiles.updates(), 0);
+    assert!(eswitch.updates.incremental.updates() > 0);
 
     let traffic = l2::build_traffic(&config, 300);
     for packet in traffic.one_cycle() {
