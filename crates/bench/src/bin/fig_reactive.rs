@@ -1,0 +1,173 @@
+//! fig_reactive — the reactive slow path of the sharded runtime under a
+//! miss storm, recorded to `BENCH_reactive.json`.
+//!
+//! The classic reactive workload: a seeded MAC table whose misses punt to a
+//! controller that installs the missing rule. On the sharded runtime the
+//! punts travel the asynchronous controller channel — per-shard punt rings,
+//! a controller thread, flow-mods published through the §3.4 planner, and
+//! packet-outs re-injected through RSS. Per backend, three phases over the
+//! same feeds:
+//!
+//! * **quiescent** — known flows only (the pps baseline);
+//! * **storm** — a set of never-seen flows joins until every one is
+//!   installed and stops punting: reactive flow-setup rate, punt round-trip
+//!   latency and pps retained under the storm;
+//! * **converged** — the known feed again: pps retained once the punt
+//!   machinery is idle (the acceptance gate: ≥90% of quiescent).
+//!
+//! `ESWITCH_BENCH_QUICK=1` shrinks the windows for CI smoke runs.
+
+use std::fmt::Write as _;
+
+use bench_harness::print_header;
+use bench_harness::reactive::{
+    measure_reactive_load, ReactiveLoadConfig, ReactiveLoadPoint, RING_CAPACITY,
+};
+use shard::BackendSpec;
+
+fn duration_ms() -> u64 {
+    if bench_harness::quick_mode() {
+        120
+    } else {
+        600
+    }
+}
+
+fn warmup_packets() -> usize {
+    if bench_harness::quick_mode() {
+        4_000
+    } else {
+        20_000
+    }
+}
+
+fn storm_flows() -> usize {
+    if bench_harness::quick_mode() {
+        128
+    } else {
+        512
+    }
+}
+
+struct Point {
+    backend: &'static str,
+    result: ReactiveLoadPoint,
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_reactive.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    print_header(
+        "Reactive slow path",
+        "async controller channel: punt RTT, flow-setup rate, pps under miss storms (BENCH_reactive.json)",
+    );
+
+    let workers = 2usize;
+    let known_flows = 1_024usize;
+    let mut points: Vec<Point> = Vec::new();
+    for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+        let result = measure_reactive_load(
+            spec,
+            ReactiveLoadConfig {
+                workers,
+                known_flows,
+                storm_flows: storm_flows(),
+                warmup: warmup_packets(),
+                duration_ms: duration_ms(),
+            },
+        );
+        println!(
+            "{:<4} quiescent {:>12.0} pps | storm {:>12.0} pps ({:>5.1}%) | converged {:>12.0} pps ({:>5.1}%) | {:>7.0} setups/s | punt RTT mean {:>7.1}µs max {:>8.1}µs",
+            spec.label(),
+            result.quiescent_pps,
+            result.storm_pps,
+            result.retained_storm() * 100.0,
+            result.converged_pps,
+            result.retained_converged() * 100.0,
+            result.flow_setup_per_sec,
+            result.rtt_mean_us(),
+            result.rtt_max_us(),
+        );
+        let r = result.reactive;
+        println!(
+            "     punts: {} punted, {} suppressed, {} overflow, {} answered, {} flow-mods; classes {}/{}/{}",
+            r.punted,
+            r.suppressed,
+            r.overflow,
+            r.answered,
+            r.flow_mods,
+            result.classes.incremental,
+            result.classes.per_table,
+            result.classes.full,
+        );
+        points.push(Point {
+            backend: spec.label(),
+            result,
+        });
+    }
+
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"fig_reactive\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"ring_capacity\": {RING_CAPACITY},");
+    let _ = writeln!(json, "  \"known_flows\": {known_flows},");
+    let _ = writeln!(json, "  \"storm_flows\": {},", storm_flows());
+    let _ = writeln!(json, "  \"duration_ms\": {},", duration_ms());
+    let _ = writeln!(json, "  \"warmup_packets\": {},", warmup_packets());
+    let _ = writeln!(json, "  \"quick\": {},", bench_harness::quick_mode());
+    json.push_str("  \"machine\": {");
+    let _ = write!(
+        json,
+        "\"logical_cpus\": {cpus}, \"os\": \"{}\", \"arch\": \"{}\"",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    );
+    json.push_str("},\n");
+    json.push_str(
+        "  \"note\": \"punt_rtt = enqueue-to-decisions-applied; flow_setup_per_sec = storm flows / time to zero punts; retained_converged = converged_pps / quiescent_pps (acceptance gate >= 0.9); punts counters obey punted+overflow+suppressed == attempts and answered == punted\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let r = &p.result;
+        let s = &r.reactive;
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{}\", \"quiescent_pps\": {:.0}, \"storm_pps\": {:.0}, \"converged_pps\": {:.0}, \"retained_storm\": {:.4}, \"retained_converged\": {:.4}, \"flow_setup_per_sec\": {:.1}, \"punt_rtt_mean_us\": {:.2}, \"punt_rtt_max_us\": {:.2}, \"punts\": {{\"punted\": {}, \"suppressed\": {}, \"overflow\": {}, \"answered\": {}, \"flow_mods\": {}, \"reinjected\": {}, \"injected\": {}}}, \"classes\": {{\"incremental\": {}, \"per_table\": {}, \"full\": {}}}}}",
+            p.backend,
+            r.quiescent_pps,
+            r.storm_pps,
+            r.converged_pps,
+            r.retained_storm(),
+            r.retained_converged(),
+            r.flow_setup_per_sec,
+            r.rtt_mean_us(),
+            r.rtt_max_us(),
+            s.punted,
+            s.suppressed,
+            s.overflow,
+            s.answered,
+            s.flow_mods,
+            s.reinjected,
+            s.injected,
+            r.classes.incremental,
+            r.classes.per_table,
+            r.classes.full,
+        );
+        json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

@@ -15,12 +15,14 @@ pub mod datapath;
 pub mod fastpath;
 pub mod measure;
 pub mod multicore;
+pub mod reactive;
 pub mod report;
 pub mod updates;
 
 pub use datapath::{AnySwitch, SwitchKind};
 pub use measure::{measure_latency_cycles, measure_throughput, Measurement};
 pub use multicore::{measure_multicore_throughput, measure_sharded_throughput};
+pub use reactive::{measure_reactive_load, ReactiveLoadConfig, ReactiveLoadPoint};
 pub use report::{render_series_table, Series};
 pub use updates::{measure_update_load, UpdateLoadConfig, UpdateLoadPoint};
 

@@ -1,0 +1,285 @@
+//! Reactive slow-path measurement for the sharded runtime: what does the
+//! classic miss-punt-install loop cost when the punts travel an asynchronous
+//! controller channel instead of a synchronous call?
+//!
+//! [`measure_reactive_load`] drives one reactive sharded switch through
+//! three phases over the same RSS-precomputed feeds:
+//!
+//! 1. **quiescent** — known flows only; the baseline packet rate;
+//! 2. **miss storm** — a set of never-seen flows joins the feed; every one
+//!    punts, the controller installs its rule through the epoch-swap control
+//!    plane, and the phase ends when a full pass over the storm flows raises
+//!    zero new punt attempts (every flow on the fast path). Reactive
+//!    flow-setup rate and pps-under-storm come from this window;
+//! 3. **converged** — the known-flow feed again; the ratio to phase 1 is the
+//!    pps retained after convergence (the punt machinery must cost nothing
+//!    once flows are installed).
+//!
+//! Punt round-trip latency (enqueue → controller decisions applied) is
+//! accounted by the channel itself and reported from its counters. The
+//! `fig_reactive` binary sweeps backends into `BENCH_reactive.json`.
+
+use std::time::{Duration, Instant};
+
+use netdev::BURST_SIZE;
+use openflow::controller::FnController;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{
+    Action, Controller, ControllerDecision, Field, FlowEntry, FlowKey, FlowMod, PacketIn, Pipeline,
+    TableMissBehavior,
+};
+use pkt::builder::PacketBuilder;
+use pkt::{MacAddr, Packet};
+use shard::{
+    BackendSpec, ReactiveSnapshot, RssDispatcher, ShardedConfig, ShardedSwitch, UpdateClassCounts,
+};
+
+/// Per-shard ring capacity used by the reactive harness.
+pub const RING_CAPACITY: usize = 1024;
+
+const SEED_MAC_BASE: u64 = 0x0200_0000_3000;
+const STORM_MAC_BASE: u64 = 0x0200_0000_4000;
+
+/// One measured operating point of [`measure_reactive_load`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveLoadPoint {
+    /// Packets/sec with only known flows flowing (no punts).
+    pub quiescent_pps: f64,
+    /// Packets/sec while the miss storm resolves.
+    pub storm_pps: f64,
+    /// Packets/sec on the known-flow feed after every storm flow converged.
+    pub converged_pps: f64,
+    /// Reactive flow setups per second: storm flows over the time from the
+    /// first storm packet to the last flow's convergence.
+    pub flow_setup_per_sec: f64,
+    /// Final reactive-channel accounting.
+    pub reactive: ReactiveSnapshot,
+    /// §3.4 classes of every epoch the reactive installs published.
+    pub classes: UpdateClassCounts,
+}
+
+impl ReactiveLoadPoint {
+    /// Fraction of the quiescent packet rate retained after convergence.
+    pub fn retained_converged(&self) -> f64 {
+        if self.quiescent_pps <= 0.0 {
+            0.0
+        } else {
+            self.converged_pps / self.quiescent_pps
+        }
+    }
+
+    /// Fraction of the quiescent packet rate retained during the storm.
+    pub fn retained_storm(&self) -> f64 {
+        if self.quiescent_pps <= 0.0 {
+            0.0
+        } else {
+            self.storm_pps / self.quiescent_pps
+        }
+    }
+
+    /// Mean punt round trip in microseconds.
+    pub fn rtt_mean_us(&self) -> f64 {
+        self.reactive.rtt_mean_nanos() / 1_000.0
+    }
+
+    /// Worst punt round trip in microseconds.
+    pub fn rtt_max_us(&self) -> f64 {
+        self.reactive.rtt_max_nanos as f64 / 1_000.0
+    }
+}
+
+/// Operating point of one [`measure_reactive_load`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactiveLoadConfig {
+    /// Worker shards.
+    pub workers: usize,
+    /// Known flows in the steady feed.
+    pub known_flows: usize,
+    /// Never-seen flows in the miss storm.
+    pub storm_flows: usize,
+    /// Warm-up packets before the timed windows.
+    pub warmup: usize,
+    /// Length of the quiescent and converged windows.
+    pub duration_ms: u64,
+}
+
+/// The deterministic reactive controller of the harness: install a MAC rule
+/// for whatever destination punted (pure function of the key, idempotent).
+fn install_controller() -> Box<dyn Controller> {
+    Box::new(FnController::new(|pi: PacketIn| {
+        let key = FlowKey::extract(&pi.packet);
+        vec![ControllerDecision::FlowMod(FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
+            10,
+            terminal_actions(vec![Action::Output((key.eth_dst % 4) as u32)]),
+        ))]
+    }))
+}
+
+/// Seeded MAC table (hash template) whose miss punts to the controller.
+fn reactive_pipeline(seeded: usize) -> Pipeline {
+    let mut p = Pipeline::with_tables(1);
+    let t = p.table_mut(0).unwrap();
+    t.miss = TableMissBehavior::ToController;
+    for i in 0..seeded as u64 {
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(SEED_MAC_BASE + i)),
+            10,
+            terminal_actions(vec![Action::Output((i % 4) as u32)]),
+        ));
+    }
+    p
+}
+
+fn mac_packet(mac: u64, rep: usize) -> Packet {
+    PacketBuilder::udp()
+        .eth_dst(MacAddr::from_u64(mac))
+        .udp_src(40_000 + (rep % 512) as u16)
+        .build()
+}
+
+/// Measures one backend's reactive operating point.
+pub fn measure_reactive_load(spec: BackendSpec, config: ReactiveLoadConfig) -> ReactiveLoadPoint {
+    let ReactiveLoadConfig {
+        workers,
+        known_flows,
+        storm_flows,
+        warmup,
+        duration_ms,
+    } = config;
+    let seeded = 512.min(known_flows.max(64));
+    let (switch, mut dispatcher) = ShardedSwitch::launch_reactive(
+        spec,
+        reactive_pipeline(seeded),
+        ShardedConfig {
+            workers,
+            ring_capacity: RING_CAPACITY,
+            ..ShardedConfig::default()
+        },
+        install_controller(),
+    )
+    .expect("reactive pipeline compiles");
+
+    // Precompute each feed slot's shard (hardware RSS runs off-CPU).
+    let n = known_flows.max(BURST_SIZE).div_ceil(BURST_SIZE) * BURST_SIZE;
+    let known: Vec<(usize, Packet)> = (0..n)
+        .map(|i| {
+            let packet = mac_packet(SEED_MAC_BASE + (i % seeded) as u64, i);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let storm: Vec<(usize, Packet)> = (0..storm_flows)
+        .map(|i| {
+            let packet = mac_packet(STORM_MAC_BASE + i as u64, i);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let feed = |dispatcher: &mut RssDispatcher, ring: &[(usize, Packet)]| {
+        for (shard, proto) in ring {
+            dispatcher.dispatch_to(*shard, proto.clone());
+        }
+    };
+    let drain = |switch: &ShardedSwitch, dispatcher: &mut RssDispatcher| {
+        dispatcher.flush();
+        while switch.stats().packets < dispatcher.dispatched() {
+            std::thread::yield_now();
+        }
+    };
+
+    // Warm-up.
+    let mut warmed = 0usize;
+    while warmed < warmup {
+        feed(&mut dispatcher, &known);
+        warmed += known.len();
+    }
+    drain(&switch, &mut dispatcher);
+
+    let window = Duration::from_millis(duration_ms);
+    let measure_window = |switch: &ShardedSwitch, dispatcher: &mut RssDispatcher| {
+        let base = switch.stats().packets;
+        let start = Instant::now();
+        loop {
+            feed(dispatcher, &known);
+            if start.elapsed() >= window {
+                break;
+            }
+        }
+        (switch.stats().packets - base) as f64 / start.elapsed().as_secs_f64()
+    };
+
+    // Phase 1: quiescent baseline.
+    let quiescent_pps = measure_window(&switch, &mut dispatcher);
+    drain(&switch, &mut dispatcher);
+
+    // Phase 2: the miss storm, measured until every storm flow stops
+    // punting (one full pass raises zero new punt attempts).
+    let base = switch.stats().packets;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(60);
+    loop {
+        let attempts_before = switch.reactive_stats().expect("reactive launch").attempts();
+        feed(&mut dispatcher, &storm);
+        feed(&mut dispatcher, &known);
+        drain(&switch, &mut dispatcher);
+        let stats = switch.reactive_stats().expect("reactive launch");
+        if stats.attempts() == attempts_before && stats.answered == stats.punted {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "storm never converged: {stats:?}"
+        );
+    }
+    let storm_elapsed = start.elapsed().as_secs_f64();
+    let storm_pps = (switch.stats().packets - base) as f64 / storm_elapsed;
+    let flow_setup_per_sec = storm_flows as f64 / storm_elapsed;
+
+    // Phase 3: the known-flow feed again — what the punt machinery costs
+    // once everything is installed.
+    let converged_pps = measure_window(&switch, &mut dispatcher);
+
+    let report = switch.shutdown(dispatcher);
+    assert_eq!(report.processed.packets, report.dispatched);
+    ReactiveLoadPoint {
+        quiescent_pps,
+        storm_pps,
+        converged_pps,
+        flow_setup_per_sec,
+        reactive: report.reactive.expect("reactive launch"),
+        classes: report.update_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The harness itself must converge and report sane numbers; the real
+    /// gate is the committed BENCH_reactive.json.
+    #[test]
+    fn reactive_harness_converges_and_reports() {
+        let point = measure_reactive_load(
+            BackendSpec::eswitch(),
+            ReactiveLoadConfig {
+                workers: 1,
+                known_flows: 256,
+                storm_flows: 64,
+                warmup: 2_000,
+                duration_ms: 60,
+            },
+        );
+        assert!(point.quiescent_pps > 0.0);
+        assert!(point.storm_pps > 0.0);
+        assert!(point.converged_pps > 0.0);
+        assert!(point.flow_setup_per_sec > 0.0);
+        // Every storm flow punted at least once and was answered.
+        assert!(point.reactive.punted >= 64, "{:?}", point.reactive);
+        assert_eq!(point.reactive.answered, point.reactive.punted);
+        // Hash-shaped reactive installs publish incremental epochs.
+        assert!(point.classes.incremental >= 64, "{:?}", point.classes);
+        assert_eq!(point.classes.full, 0, "{:?}", point.classes);
+        assert!(point.rtt_mean_us() > 0.0);
+    }
+}

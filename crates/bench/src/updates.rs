@@ -89,6 +89,7 @@ pub fn measure_update_load(
             workers,
             ring_capacity: RING_CAPACITY,
             update_strategy: strategy,
+            ..ShardedConfig::default()
         },
     )
     .expect("pipeline compiles");

@@ -222,6 +222,7 @@ impl CompiledDatapath {
                     }
                     if instrs.to_controller {
                         verdict.to_controller = true;
+                        verdict.punt_reason = openflow::PacketInReason::Action;
                     }
                     match instrs.goto.and_then(|t| self.index_of.get(&t)).copied() {
                         Some(next) => index = next,
@@ -255,7 +256,10 @@ impl CompiledDatapath {
                 match out {
                     CompiledAction::Output(p) => verdict.outputs.push(*p),
                     CompiledAction::Flood => verdict.flood = true,
-                    CompiledAction::ToController => verdict.to_controller = true,
+                    CompiledAction::ToController => {
+                        verdict.to_controller = true;
+                        verdict.punt_reason = openflow::PacketInReason::Action;
+                    }
                     _ => {}
                 }
             }

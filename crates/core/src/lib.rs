@@ -49,6 +49,7 @@ pub mod analysis;
 pub mod compile;
 pub mod decompose;
 pub mod perfmodel;
+pub mod reactive;
 pub mod runtime;
 pub mod templates;
 pub mod update;
@@ -57,5 +58,6 @@ pub use analysis::{select_template, CompilerConfig, TemplateKind};
 pub use compile::{compile, CompileError, CompiledDatapath};
 pub use decompose::{decompose_pipeline, decompose_table, DecomposeStats};
 pub use perfmodel::{CacheLevelCosts, PerformanceEstimate, PerformanceModel};
+pub use reactive::{punt_signature, IngressSnapshot, PuntGate};
 pub use runtime::EswitchRuntime;
 pub use update::{UpdateClass, UpdateCounter, UpdatePlan, UpdatePlanner};

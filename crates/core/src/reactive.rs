@@ -1,0 +1,196 @@
+//! Shared reactive-handoff machinery: punt deduplication for the slow path.
+//!
+//! The paper's reactive workloads (the access gateway, a learning switch)
+//! depend on table misses reaching the controller and the controller's
+//! flow-mods repopulating the pipeline. Between the miss and the install,
+//! *every* packet of the missing flow keeps missing — and a line-rate flow
+//! would flood the controller with thousands of identical packet-ins for one
+//! decision. The [`PuntGate`] is the standard fix, shared by the synchronous
+//! [`EswitchRuntime`](crate::runtime::EswitchRuntime) and the sharded
+//! runtime's asynchronous controller channel: the first miss of a flow is
+//! admitted, every further miss of the same flow is suppressed until the
+//! install completes (or the punt is abandoned), at which point the flow may
+//! punt again.
+//!
+//! Flows are identified by a 64-bit signature of the extraction-time flow
+//! key ([`punt_signature`]); RSS shard affinity means one flow only ever
+//! punts from one worker, so per-shard gates never see cross-shard aliasing.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netdev::FxBuildHasher;
+use openflow::FlowKey;
+use parking_lot::Mutex;
+use pkt::Packet;
+
+/// The 64-bit flow signature punt deduplication keys on: an FxHash of the
+/// full extraction-time flow key. Both runtimes (and the tests asserting
+/// suppression) must derive it the same way, which is why it lives here.
+pub fn punt_signature(key: &FlowKey) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = netdev::FxHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Admission control for controller punts: at most one packet-in per flow
+/// may be in flight at a time.
+///
+/// * [`PuntGate::admit`] — called at punt time; `true` means "send the
+///   packet-in", `false` means the flow already has one in flight and this
+///   punt copy must be suppressed (the packet itself still forwards per the
+///   pipeline's miss action — only the controller copy is elided).
+/// * [`PuntGate::complete`] — called when the install finished (or the punt
+///   was abandoned, e.g. a full punt ring), re-arming the flow.
+///
+/// The in-flight table is bounded: at capacity the gate *fails open* —
+/// further new flows are admitted untracked, trading duplicate packet-ins
+/// (which a correct controller must tolerate anyway: OpenFlow never promised
+/// exactly-once packet-ins) for a bounded memory footprint under a miss
+/// storm of millions of flows.
+#[derive(Debug)]
+pub struct PuntGate {
+    in_flight: Mutex<HashSet<u64, FxBuildHasher>>,
+    capacity: usize,
+    admitted: AtomicU64,
+    suppressed: AtomicU64,
+}
+
+impl PuntGate {
+    /// Default bound on tracked in-flight flows.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// A gate tracking at most `capacity` in-flight flows (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        PuntGate {
+            in_flight: Mutex::new(HashSet::with_hasher(FxBuildHasher::default())),
+            capacity: capacity.max(1),
+            admitted: AtomicU64::new(0),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Decides whether a punt for `flow` should produce a packet-in. `true`
+    /// admits (and tracks the flow as in-flight, capacity permitting);
+    /// `false` means a packet-in for this flow is already in flight.
+    pub fn admit(&self, flow: u64) -> bool {
+        let mut set = self.in_flight.lock();
+        if set.contains(&flow) {
+            self.suppressed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        if set.len() < self.capacity {
+            set.insert(flow);
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Marks `flow`'s in-flight packet-in as resolved (installed, answered
+    /// with a drop, or abandoned): the next miss of this flow punts again.
+    pub fn complete(&self, flow: u64) {
+        self.in_flight.lock().remove(&flow);
+    }
+
+    /// Number of flows currently tracked as in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.lock().len()
+    }
+
+    /// Punts admitted (each produced — or was meant to produce — one
+    /// packet-in).
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Punts suppressed because their flow already had a packet-in in
+    /// flight.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PuntGate {
+    fn default() -> Self {
+        PuntGate::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// Reusable per-burst ingress snapshots: frame bytes + ingress port, copied
+/// *before* processing (which rewrites frames in place) so punt copies carry
+/// the frame as received. Buffers are reused across bursts — steady-state
+/// snapshotting is a memcpy per packet, no allocation. Shared by the
+/// batched single-switch runtime and the sharded workers.
+#[derive(Debug, Default)]
+pub struct IngressSnapshot {
+    frames: Vec<Vec<u8>>,
+    ports: Vec<u32>,
+}
+
+impl IngressSnapshot {
+    /// Copies every frame of `burst` (and its ingress port) into the reused
+    /// buffers.
+    pub fn capture(&mut self, burst: &[Packet]) {
+        self.ports.clear();
+        for (i, packet) in burst.iter().enumerate() {
+            if self.frames.len() <= i {
+                self.frames.push(Vec::with_capacity(packet.len()));
+            }
+            let frame = &mut self.frames[i];
+            frame.clear();
+            frame.extend_from_slice(packet.data());
+            self.ports.push(packet.in_port);
+        }
+    }
+
+    /// Rebuilds burst slot `i`'s packet as it arrived.
+    ///
+    /// # Panics
+    /// Panics if `i` is outside the last captured burst.
+    pub fn packet(&self, i: usize) -> Packet {
+        Packet::from_bytes(&self.frames[i], self.ports[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn signature_is_per_flow() {
+        let a = FlowKey::extract(&PacketBuilder::tcp().tcp_src(1).build());
+        let a2 = FlowKey::extract(&PacketBuilder::tcp().tcp_src(1).build());
+        let b = FlowKey::extract(&PacketBuilder::tcp().tcp_src(2).build());
+        assert_eq!(punt_signature(&a), punt_signature(&a2));
+        assert_ne!(punt_signature(&a), punt_signature(&b));
+    }
+
+    #[test]
+    fn second_punt_of_a_flow_is_suppressed_until_complete() {
+        let gate = PuntGate::new(16);
+        assert!(gate.admit(7));
+        assert!(!gate.admit(7), "in-flight flow must be suppressed");
+        assert!(gate.admit(8), "other flows are unaffected");
+        assert_eq!(gate.in_flight(), 2);
+        gate.complete(7);
+        assert!(gate.admit(7), "completed flow punts again");
+        assert_eq!(gate.admitted(), 3);
+        assert_eq!(gate.suppressed(), 1);
+    }
+
+    #[test]
+    fn full_gate_fails_open() {
+        let gate = PuntGate::new(2);
+        assert!(gate.admit(1));
+        assert!(gate.admit(2));
+        // At capacity: new flows are admitted but untracked — duplicates
+        // beat an unbounded table.
+        assert!(gate.admit(3));
+        assert!(gate.admit(3));
+        assert_eq!(gate.in_flight(), 2);
+        // Tracked flows keep deduplicating.
+        assert!(!gate.admit(1));
+    }
+}

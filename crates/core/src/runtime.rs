@@ -16,12 +16,14 @@
 //! declarative pipeline first, and the compiled state is derived from it, so
 //! a failed compilation leaves the previous datapath running untouched.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
 use openflow::action::apply_action_list;
 use openflow::flow_mod::{apply_flow_mod_undoable, FlowModEffect, FlowModError};
+use openflow::instruction::{instructions_can_punt, pipeline_can_punt};
 use openflow::{
     Controller, ControllerDecision, FlowKey, FlowMod, NullController, PacketIn, PacketInReason,
     Pipeline, Verdict,
@@ -30,6 +32,7 @@ use pkt::Packet;
 
 use crate::analysis::CompilerConfig;
 use crate::compile::{compile, CompileError, CompiledDatapath};
+use crate::reactive::{punt_signature, IngressSnapshot, PuntGate};
 use crate::update::{Absorbed, UpdateClass, UpdateCounter, UpdatePlanner};
 
 /// Statistics about how updates were absorbed; the Fig. 17/18 harnesses read
@@ -62,6 +65,18 @@ pub struct EswitchRuntime {
     datapath: RwLock<Arc<CompiledDatapath>>,
     config: CompilerConfig,
     controller: Mutex<Box<dyn Controller>>,
+    /// True when some path through the pipeline can punt to the controller.
+    /// Monotone OR (a deleted punt path leaves it conservatively set): gates
+    /// the per-burst ingress-frame snapshot, so purely proactive pipelines
+    /// pay nothing for packet-in fidelity.
+    may_punt: AtomicBool,
+    /// Punt deduplication: one in-flight packet-in per flow (shared logic
+    /// with the sharded runtime's async controller channel).
+    gate: PuntGate,
+    /// Reused ingress-frame snapshot for the batched path; `try_lock` +
+    /// local fallback, so concurrent batchers degrade to allocating
+    /// instead of serialising on each other.
+    ingress_scratch: Mutex<IngressSnapshot>,
     /// Update accounting.
     pub updates: UpdateStats,
 }
@@ -87,11 +102,15 @@ impl EswitchRuntime {
             pipeline = crate::decompose::decompose_pipeline(&pipeline).pipeline;
         }
         let datapath = compile(&pipeline, &config)?;
+        let may_punt = pipeline_can_punt(&pipeline);
         Ok(EswitchRuntime {
             pipeline: RwLock::new(pipeline),
             datapath: RwLock::new(Arc::new(datapath)),
             config,
             controller: Mutex::new(controller),
+            may_punt: AtomicBool::new(may_punt),
+            gate: PuntGate::default(),
+            ingress_scratch: Mutex::new(IngressSnapshot::default()),
             updates: UpdateStats::default(),
         })
     }
@@ -114,12 +133,26 @@ impl EswitchRuntime {
     /// Processes one packet through the compiled fast path. Packets punted to
     /// the controller are handed over synchronously, and any flow-mods the
     /// controller answers with are applied before returning (reactive
-    /// provisioning, as the access-gateway use case requires).
+    /// provisioning, as the access-gateway use case requires). The packet-in
+    /// carries the *ingress* frame — apply-actions executed before the punt
+    /// rewrite the forwarded packet, never the controller's copy.
     pub fn process(&self, packet: &mut Packet) -> Verdict {
         let datapath = self.datapath();
+        let ingress = self
+            .may_punt
+            .load(Ordering::Relaxed)
+            .then(|| packet.clone());
         let verdict = datapath.process(packet);
         if verdict.to_controller {
-            self.handle_packet_in(packet.clone());
+            // `may_punt` is a monotone over-approximation of the compiled
+            // state, so a punting verdict implies the snapshot exists; fall
+            // back to the processed frame defensively rather than panic.
+            let original = ingress.unwrap_or_else(|| packet.clone());
+            let flow = punt_signature(&FlowKey::extract(&original));
+            if self.gate.admit(flow) {
+                self.handle_packet_in(original, verdict.punt_reason);
+                self.gate.complete(flow);
+            }
         }
         verdict
     }
@@ -132,11 +165,33 @@ impl EswitchRuntime {
     /// racing the batch lands in the *next* batch, which is exactly the
     /// trampoline-swap semantics of §3.4. Controller punts are collected and
     /// handed over after the burst so reactive flow-mods cannot stall the
-    /// remaining packets of the burst mid-flight.
+    /// remaining packets of the burst mid-flight; each deferred packet-in
+    /// carries that packet's ingress frame and punt reason, unaffected by
+    /// anything processing did to the burst (its own rewrites included)
+    /// after the frames were snapshotted.
     pub fn process_batch_into(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
         verdicts.clear();
         verdicts.reserve(packets.len());
         let datapath = self.datapath();
+        // Snapshot the ingress frames up front when the pipeline can punt at
+        // all: the deferred packet-ins must not observe mutations processing
+        // makes to the burst. The snapshot buffers are reused across bursts
+        // (a memcpy per packet, no steady-state allocation) and proactive
+        // pipelines skip the copy entirely.
+        let may_punt = self.may_punt.load(Ordering::Relaxed);
+        let mut scratch_guard = if may_punt {
+            self.ingress_scratch.try_lock()
+        } else {
+            None
+        };
+        let mut scratch_local: Option<IngressSnapshot> = None;
+        if may_punt {
+            let snapshot = match scratch_guard.as_deref_mut() {
+                Some(shared) => shared,
+                None => scratch_local.insert(IngressSnapshot::default()),
+            };
+            snapshot.capture(packets);
+        }
         let mut punted_any = false;
         for p in packets.iter_mut() {
             let verdict = datapath.process(p);
@@ -144,10 +199,34 @@ impl EswitchRuntime {
             verdicts.push(verdict);
         }
         if punted_any {
-            for (p, v) in packets.iter().zip(verdicts.iter()) {
+            // One packet-in per flow per burst: the gate stays closed for
+            // the whole deferred punt group (the burst's "install in
+            // flight" window), so a burst full of one missing flow raises
+            // a single packet-in — shared dedup policy with the sharded
+            // runtime's async channel. A suppressed packet whose only
+            // disposition was the controller is simply not duplicated up —
+            // the upcall-queue behaviour of a real switch.
+            let snapshot: Option<&IngressSnapshot> =
+                scratch_guard.as_deref().or(scratch_local.as_ref());
+            let mut handled: Vec<u64> = Vec::new();
+            for (i, v) in verdicts.iter().enumerate() {
                 if v.to_controller {
-                    self.handle_packet_in(p.clone());
+                    // `may_punt` is monotone over the compiled state, so a
+                    // punting verdict implies the snapshot exists; fall back
+                    // to the processed frame defensively rather than panic.
+                    let original = match snapshot {
+                        Some(s) => s.packet(i),
+                        None => packets[i].clone(),
+                    };
+                    let flow = punt_signature(&FlowKey::extract(&original));
+                    if self.gate.admit(flow) {
+                        handled.push(flow);
+                        self.handle_packet_in(original, v.punt_reason);
+                    }
                 }
+            }
+            for flow in handled {
+                self.gate.complete(flow);
             }
         }
     }
@@ -172,8 +251,13 @@ impl EswitchRuntime {
 
         // 1. Update the declarative pipeline (the source of truth), keeping
         //    the undo log so a failed compilation can roll it back without
-        //    having cloned anything up front.
+        //    having cloned anything up front. The punt-capability bit grows
+        //    monotonically with it (a rolled-back punt path only leaves the
+        //    bit conservatively set).
         let (effect, undo) = apply_flow_mod_undoable(&mut pipeline, fm)?;
+        if instructions_can_punt(&fm.instructions) {
+            self.may_punt.store(true, Ordering::Relaxed);
+        }
         let entries = effect.entries_touched();
         if entries == 0 {
             // The flow-mod matched nothing (e.g. a non-strict delete with no
@@ -232,14 +316,13 @@ impl EswitchRuntime {
         }
     }
 
-    fn handle_packet_in(&self, packet: Packet) {
+    /// Raises one packet-in and applies the controller's decisions. Punt
+    /// deduplication happens at the call sites, which own the in-flight
+    /// window (per packet for `process`, per burst for the batch path).
+    fn handle_packet_in(&self, packet: Packet, reason: PacketInReason) {
         let decisions = {
             let mut controller = self.controller.lock();
-            controller.packet_in(PacketIn {
-                packet,
-                reason: PacketInReason::NoMatch,
-                table_id: 0,
-            })
+            controller.packet_in(PacketIn::new(packet, reason, 0))
         };
         for decision in decisions {
             match decision {
@@ -247,8 +330,17 @@ impl EswitchRuntime {
                     let _ = self.flow_mod(&fm);
                 }
                 ControllerDecision::PacketOut(mut po) => {
-                    let mut key = FlowKey::extract(&po.packet);
-                    let _ = apply_action_list(&po.actions, &mut po.packet, &mut key);
+                    if po.resubmit {
+                        // OFPP_TABLE resubmit: one pass through the current
+                        // datapath so the packet takes any rule the
+                        // controller just installed. A punt from the
+                        // re-injected packet is deliberately *not* recursed
+                        // on — the next genuine miss re-punts.
+                        let _ = self.datapath().process(&mut po.packet);
+                    } else {
+                        let mut key = FlowKey::extract(&po.packet);
+                        let _ = apply_action_list(&po.actions, &mut po.packet, &mut key);
+                    }
                 }
                 ControllerDecision::Drop => {}
             }
@@ -258,6 +350,11 @@ impl EswitchRuntime {
     /// Number of packet-ins the controller has handled.
     pub fn controller_packet_ins(&self) -> u64 {
         self.controller.lock().packet_in_count()
+    }
+
+    /// The punt-deduplication gate (admitted/suppressed accounting).
+    pub fn punt_gate(&self) -> &PuntGate {
+        &self.gate
     }
 }
 
@@ -545,6 +642,84 @@ mod tests {
         stop.store(true, Ordering::Relaxed);
         let updates = updater.join().unwrap();
         assert!(updates > 0, "updater made no progress");
+    }
+
+    #[test]
+    fn deferred_batch_punts_carry_ingress_frame_and_reason() {
+        // Regression: the batched runtime defers punts to burst end, after
+        // processing has rewritten the burst's frames in place. The deferred
+        // PacketIn must carry each punted packet's *ingress* bytes and its
+        // faithful reason — here packet 0 is rewritten (SetField) and then
+        // punted by an explicit ToController action, while packet 1 punts
+        // via a plain table miss later in the same burst.
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().miss = openflow::TableMissBehavior::ToController;
+        p.table_mut(0).unwrap().insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            10,
+            terminal_actions(vec![
+                Action::SetField(Field::IpDscp, 42),
+                Action::ToController,
+            ]),
+        ));
+        let seen: Arc<parking_lot::Mutex<Vec<PacketIn>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let controller = openflow::controller::FnController::new(move |pi: PacketIn| {
+            sink.lock().push(pi);
+            vec![ControllerDecision::Drop]
+        });
+        let switch =
+            EswitchRuntime::with_config(p, CompilerConfig::default(), Box::new(controller))
+                .unwrap();
+
+        let mut batch = vec![
+            PacketBuilder::tcp().tcp_dst(80).build(),
+            PacketBuilder::udp().udp_dst(53).build(),
+        ];
+        let ingress: Vec<Packet> = batch.clone();
+        let verdicts = switch.process_batch(&mut batch);
+        assert!(verdicts[0].to_controller && verdicts[1].to_controller);
+
+        // The forwarded packet 0 was rewritten in place (TOS byte = DSCP<<2
+        // right behind the 14-byte Ethernet header)...
+        assert_eq!(batch[0].data()[15], 42 << 2);
+        assert_ne!(batch[0].data(), ingress[0].data());
+
+        // ...but both deferred packet-ins carry the ingress frames and the
+        // faithful reasons.
+        let events = seen.lock();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].packet.data(), ingress[0].data());
+        assert_eq!(events[0].reason, PacketInReason::Action);
+        assert_eq!(events[1].packet.data(), ingress[1].data());
+        assert_eq!(events[1].reason, PacketInReason::NoMatch);
+    }
+
+    #[test]
+    fn duplicate_punts_of_one_flow_are_suppressed_within_a_burst() {
+        // Three packets of the same missing flow plus one of another flow in
+        // one burst: the punt gate admits one packet-in per flow while the
+        // install is in flight and counts the rest as suppressed.
+        let mut p = Pipeline::with_tables(1);
+        p.table_mut(0).unwrap().miss = openflow::TableMissBehavior::ToController;
+        let switch = EswitchRuntime::with_config(
+            p,
+            CompilerConfig::default(),
+            Box::new(NullController::new()),
+        )
+        .unwrap();
+
+        let mut batch = vec![mac_packet(1), mac_packet(1), mac_packet(1), mac_packet(2)];
+        switch.process_batch(&mut batch);
+        assert_eq!(switch.controller_packet_ins(), 2, "one packet-in per flow");
+        assert_eq!(switch.punt_gate().admitted(), 2);
+        assert_eq!(switch.punt_gate().suppressed(), 2);
+        // The installs (here: drops) completed, so the flows re-arm: the
+        // next miss punts again.
+        let mut again = vec![mac_packet(1)];
+        switch.process_batch(&mut again);
+        assert_eq!(switch.controller_packet_ins(), 3);
     }
 
     #[test]

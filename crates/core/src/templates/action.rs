@@ -103,6 +103,7 @@ impl CompiledAction {
             }
             CompiledAction::ToController => {
                 verdict.to_controller = true;
+                verdict.punt_reason = openflow::PacketInReason::Action;
                 false
             }
             CompiledAction::Drop | CompiledAction::Nop => false,
@@ -318,7 +319,10 @@ pub fn merge_output(verdict: &mut Verdict, out: OutputKind) {
     match out {
         OutputKind::Port(p) => verdict.outputs.push(p),
         OutputKind::Flood => verdict.flood = true,
-        OutputKind::Controller => verdict.to_controller = true,
+        OutputKind::Controller => {
+            verdict.to_controller = true;
+            verdict.punt_reason = openflow::PacketInReason::Action;
+        }
         OutputKind::Drop => {}
     }
 }

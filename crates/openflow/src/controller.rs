@@ -98,10 +98,14 @@ where
 /// Helper for controllers that just want to flood the punted packet back out
 /// (classic learning-switch behaviour before the MAC is learned).
 pub fn flood_packet_out(packet: Packet) -> ControllerDecision {
-    ControllerDecision::PacketOut(PacketOut {
-        packet,
-        actions: vec![crate::action::Action::Flood],
-    })
+    ControllerDecision::PacketOut(PacketOut::new(packet, vec![crate::action::Action::Flood]))
+}
+
+/// Helper for reactive controllers that install a rule and then re-inject
+/// the triggering packet through the tables so it takes the new rule
+/// immediately (the `OFPP_TABLE` packet-out).
+pub fn resubmit_packet_out(packet: Packet) -> ControllerDecision {
+    ControllerDecision::PacketOut(PacketOut::resubmit(packet))
 }
 
 #[cfg(test)]
@@ -111,11 +115,7 @@ mod tests {
     use pkt::builder::PacketBuilder;
 
     fn event() -> PacketIn {
-        PacketIn {
-            packet: PacketBuilder::udp().build(),
-            reason: PacketInReason::NoMatch,
-            table_id: 0,
-        }
+        PacketIn::new(PacketBuilder::udp().build(), PacketInReason::NoMatch, 0)
     }
 
     #[test]

@@ -83,11 +83,7 @@ impl DirectDatapath {
     fn handle_packet_in(&self, packet: Packet, reason: PacketInReason) {
         let decisions = {
             let mut controller = self.controller.lock();
-            controller.packet_in(PacketIn {
-                packet,
-                reason,
-                table_id: 0,
-            })
+            controller.packet_in(PacketIn::new(packet, reason, 0))
         };
         for decision in decisions {
             match decision {

@@ -108,6 +108,36 @@ pub fn pipeline_written_fields(pipeline: &crate::pipeline::Pipeline) -> u64 {
         .fold(0u64, |bits, e| bits | written_match_fields(&e.instructions))
 }
 
+/// True when these instructions can punt a packet to the controller (an
+/// explicit [`Action::ToController`] in an apply- or write-actions list).
+/// Runtimes use this to decide whether a flow-mod can introduce punting into
+/// a previously punt-free pipeline; like `written_match_fields`, the answer
+/// is consumed as a monotone OR, so a deleted punt action merely leaves the
+/// runtime conservatively prepared for punts that never come.
+pub fn instructions_can_punt(instructions: &[Instruction]) -> bool {
+    instructions.iter().any(|instruction| match instruction {
+        Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => {
+            actions.iter().any(|a| matches!(a, Action::ToController))
+        }
+        _ => false,
+    })
+}
+
+/// True when any path through the pipeline can punt a packet to the
+/// controller: a table whose miss behaviour is
+/// [`TableMissBehavior::ToController`](crate::table::TableMissBehavior), or
+/// any entry with an explicit output-to-controller action. Runtimes that must
+/// preserve the *ingress* frame for packet-ins consult this to skip the
+/// per-burst frame snapshot entirely on purely proactive pipelines.
+pub fn pipeline_can_punt(pipeline: &crate::pipeline::Pipeline) -> bool {
+    pipeline.tables().iter().any(|t| {
+        t.miss == crate::table::TableMissBehavior::ToController
+            || t.entries()
+                .iter()
+                .any(|e| instructions_can_punt(&e.instructions))
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

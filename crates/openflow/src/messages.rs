@@ -6,33 +6,119 @@ use crate::action::Action;
 use crate::pipeline::TableId;
 
 /// Why a packet was sent to the controller.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum PacketInReason {
     /// A table-miss entry or miss behaviour punted the packet.
+    #[default]
     NoMatch,
     /// An explicit output-to-controller action.
     Action,
 }
 
 /// A packet-in message: a packet handed up to the controller.
+///
+/// Beyond the frame itself, the message carries the metadata an asynchronous
+/// slow path needs: `buffer_id` identifies the runtime's buffered punt copy
+/// (so an answer can be correlated with the punt that triggered it, the
+/// OpenFlow `buffer_id` role), and `epoch` records the datapath epoch the
+/// punting worker was serving — a controller seeing a punt for a flow it
+/// already answered can tell "stale worker" from "install lost".
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketIn {
-    /// The packet (full frame; no buffering/miss-len modelling).
+    /// The packet (full ingress frame; no miss-len truncation modelling).
     pub packet: Packet,
     /// Why the packet was punted.
     pub reason: PacketInReason,
     /// Table at which the decision to punt was taken.
     pub table_id: TableId,
+    /// Token identifying the runtime's buffered punt copy, when the punting
+    /// runtime buffers punts (the sharded punt rings); `None` for the
+    /// synchronous single-switch runtimes.
+    pub buffer_id: Option<u64>,
+    /// Datapath epoch the punting worker served when the punt happened
+    /// (0 for runtimes without epoch tracking).
+    pub epoch: u64,
 }
 
-/// A packet-out message: the controller injects a packet into the dataplane
-/// with an explicit action list.
+impl PacketIn {
+    /// A packet-in with no buffering/epoch metadata (the synchronous
+    /// single-switch runtimes).
+    pub fn new(packet: Packet, reason: PacketInReason, table_id: TableId) -> Self {
+        PacketIn {
+            packet,
+            reason,
+            table_id,
+            buffer_id: None,
+            epoch: 0,
+        }
+    }
+
+    /// Stamps the punting worker's datapath epoch.
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    /// Stamps the buffered punt copy's id.
+    pub fn with_buffer(mut self, buffer_id: u64) -> Self {
+        self.buffer_id = Some(buffer_id);
+        self
+    }
+}
+
+/// A packet-out message: the controller injects a packet into the dataplane.
+///
+/// Two injection modes, explicit in the type: apply the given action list
+/// directly (no table lookups; an empty list applies nothing, as in
+/// OpenFlow), or — when `resubmit` is set — send the packet back through
+/// the flow tables (the OpenFlow `OFPP_TABLE` output), the reactive pattern
+/// where the controller installs a rule and re-injects the triggering
+/// packet so it takes the new rule. A resubmitting controller that never
+/// installs a matching rule loops the packet through miss → punt →
+/// resubmit indefinitely, exactly as `OFPP_TABLE` would on a real switch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketOut {
     /// The packet to inject.
     pub packet: Packet,
-    /// Actions to apply (typically a single `Output`).
+    /// Actions to apply (typically a single `Output`). Ignored when
+    /// `resubmit` is set.
     pub actions: Vec<Action>,
+    /// Resubmit the packet through the flow tables (`OFPP_TABLE`) instead
+    /// of applying `actions`.
+    pub resubmit: bool,
+    /// Echo of the triggering packet-in's `buffer_id`, when the controller
+    /// is answering a buffered punt.
+    pub buffer_id: Option<u64>,
+}
+
+impl PacketOut {
+    /// A packet-out with an explicit action list.
+    pub fn new(packet: Packet, actions: Vec<Action>) -> Self {
+        PacketOut {
+            packet,
+            actions,
+            resubmit: false,
+            buffer_id: None,
+        }
+    }
+
+    /// A packet-out that resubmits the packet through the flow tables
+    /// (`OFPP_TABLE`): the "install a rule, then re-inject the packet that
+    /// missed" half of reactive provisioning.
+    pub fn resubmit(packet: Packet) -> Self {
+        PacketOut {
+            packet,
+            actions: Vec::new(),
+            resubmit: true,
+            buffer_id: None,
+        }
+    }
+
+    /// Echoes the triggering packet-in's buffer id.
+    pub fn with_buffer(mut self, buffer_id: u64) -> Self {
+        self.buffer_id = Some(buffer_id);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -42,16 +128,16 @@ mod tests {
 
     #[test]
     fn message_construction() {
-        let pi = PacketIn {
-            packet: PacketBuilder::udp().build(),
-            reason: PacketInReason::NoMatch,
-            table_id: 2,
-        };
+        let pi = PacketIn::new(PacketBuilder::udp().build(), PacketInReason::NoMatch, 2)
+            .with_epoch(7)
+            .with_buffer(42);
         assert_eq!(pi.reason, PacketInReason::NoMatch);
-        let po = PacketOut {
-            packet: pi.packet.clone(),
-            actions: vec![Action::Output(1)],
-        };
+        assert_eq!(pi.epoch, 7);
+        assert_eq!(pi.buffer_id, Some(42));
+        let po = PacketOut::new(pi.packet.clone(), vec![Action::Output(1)]).with_buffer(42);
         assert_eq!(po.actions.len(), 1);
+        assert!(!po.resubmit);
+        assert_eq!(po.buffer_id, Some(42));
+        assert!(PacketOut::resubmit(pi.packet.clone()).resubmit);
     }
 }

@@ -9,6 +9,7 @@ use crate::action::{apply_action_list_into, ActionSet, OutputKind};
 use crate::entry::FlowEntry;
 use crate::instruction::Instruction;
 use crate::key::FlowKey;
+use crate::messages::PacketInReason;
 use crate::portlist::PortList;
 use crate::table::{FlowTable, TableMissBehavior};
 
@@ -58,6 +59,12 @@ pub struct Verdict {
     pub flood: bool,
     /// True if the packet (or a copy) must be sent to the controller.
     pub to_controller: bool,
+    /// Why the packet was punted, when `to_controller` is set: a table miss
+    /// leaves the default `NoMatch`; an explicit output-to-controller action
+    /// flips it to `Action`. The punting runtimes forward this on the
+    /// packet-in so a reactive controller can tell the two apart. Not part
+    /// of [`Verdict::decision`].
+    pub punt_reason: PacketInReason,
     /// Number of flow tables the packet traversed.
     pub tables_visited: u32,
     /// Total number of flow entries examined across all tables — the "work"
@@ -89,7 +96,10 @@ impl Verdict {
         match out {
             OutputKind::Port(p) => self.outputs.push(p),
             OutputKind::Flood => self.flood = true,
-            OutputKind::Controller => self.to_controller = true,
+            OutputKind::Controller => {
+                self.to_controller = true;
+                self.punt_reason = PacketInReason::Action;
+            }
             OutputKind::Drop => {}
         }
     }

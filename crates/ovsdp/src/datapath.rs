@@ -590,11 +590,7 @@ impl OvsDatapath {
     fn handle_packet_in(&self, packet: Packet) {
         let decisions = {
             let mut controller = self.controller.lock();
-            controller.packet_in(PacketIn {
-                packet,
-                reason: PacketInReason::NoMatch,
-                table_id: 0,
-            })
+            controller.packet_in(PacketIn::new(packet, PacketInReason::NoMatch, 0))
         };
         for decision in decisions {
             match decision {

@@ -99,8 +99,9 @@ pub enum CompiledState {
 pub trait ShardBackend: Send {
     /// Processes one burst through the replica's batch fast path, appending
     /// one verdict per packet to `verdicts` (cleared first). Controller punts
-    /// are reported in the verdicts; the sharded runtime has no per-worker
-    /// controller channel (ROADMAP: async controller channel).
+    /// are reported in the verdicts (`to_controller` + `punt_reason`); the
+    /// worker loop turns them into punt copies on its shard's punt ring
+    /// (`shard::controller`), never calling the controller itself.
     fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>);
 
     /// Swaps in a newly published compiled state (an epoch advance). Called

@@ -1,0 +1,300 @@
+//! The asynchronous controller channel: the reactive slow path of the
+//! sharded runtime.
+//!
+//! A worker shard whose datapath punts a packet must not call the controller
+//! itself — a controller decision costs microseconds to milliseconds, and a
+//! worker that blocks on one stalls its whole ring. Instead the worker
+//! enqueues a *punt copy* (ingress frame + extracted key + shard id + the
+//! epoch it was serving) onto its private SPSC punt ring and keeps
+//! forwarding per the pipeline's miss action. A dedicated controller thread
+//! drains every punt ring, invokes the [`openflow::Controller`] application,
+//! and feeds the answers back through the two channels the architecture
+//! already has:
+//!
+//! * **flow-mods** go through the control plane (`Control::flow_mod`), i.e.
+//!   through the §3.4 update planner and the epoch-swap publication — a
+//!   reactive install is an incremental epoch like any other, and no worker
+//!   blocks on it;
+//! * **packet-outs** with an empty action list (`OFPP_TABLE` resubmit) are
+//!   re-injected through an RSS dispatcher over per-shard inject rings, so
+//!   the triggering packet re-enters its own shard and takes the freshly
+//!   installed rule on the fast path; explicit action lists are applied at
+//!   the controller edge.
+//!
+//! Backpressure is lossless-by-policy for the *dataplane*: a full punt ring
+//! degrades to dropping the punt *copy* — the packet's verdict already
+//! stands, and any non-controller disposition it carried (outputs, flood)
+//! was honoured — and the drop is counted (`overflow`), never silent.
+//! Per-shard [`PuntGate`]s (shared logic with the single-switch runtime)
+//! suppress duplicate packet-ins for a flow while its install is in flight;
+//! for a pure miss-to-controller verdict, a shed or suppressed copy means
+//! that one packet is simply not duplicated up to the controller — the
+//! lossy behaviour of a real switch's bounded upcall queue, accounted
+//! instead of silent. RSS flow affinity guarantees a flow only ever punts
+//! from one shard, so the gates never see cross-shard aliasing.
+//!
+//! Every punted packet is accounted exactly once:
+//!
+//! ```text
+//! punt attempts  = admitted + suppressed        (gate decision)
+//! admitted       = punted + overflow            (ring admission)
+//! punted         = answered                     (at quiescence/shutdown)
+//! reinjected     = injected                     (at quiescence/shutdown)
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use eswitch::reactive::PuntGate;
+use netdev::{SpscRing, BURST_SIZE};
+use openflow::action::apply_action_list;
+use openflow::pipeline::TableId;
+use openflow::{Controller, ControllerDecision, FlowKey, PacketIn, PacketInReason};
+use pkt::Packet;
+
+use crate::rss::RssDispatcher;
+use crate::runtime::Control;
+
+/// One buffered punt: everything the controller thread needs to raise the
+/// packet-in and route the answers back.
+pub struct Punt {
+    /// The *ingress* frame of the punted packet (a copy; the original kept
+    /// forwarding per the pipeline's miss action).
+    pub packet: Packet,
+    /// The flow key extracted from the ingress frame.
+    pub key: FlowKey,
+    /// The flow's punt signature ([`eswitch::reactive::punt_signature`]);
+    /// doubles as the packet-in's buffer id.
+    pub flow: u64,
+    /// The worker shard the punt came from.
+    pub shard: usize,
+    /// The datapath epoch the shard was serving when the packet missed.
+    pub epoch: u64,
+    /// Why the datapath punted.
+    pub reason: PacketInReason,
+    /// Table at which the punt decision was taken (0: the runtimes do not
+    /// attribute punts to inner tables).
+    pub table_id: TableId,
+    /// When the worker enqueued the punt (punt round-trip accounting).
+    pub enqueued: Instant,
+}
+
+/// Live counters of the reactive slow path. All relaxed: statistics, not
+/// synchronisation — except that workers/the controller thread bump them
+/// only *after* the work they describe is externally visible, which is what
+/// lets shutdown use them as a quiescence fixpoint.
+#[derive(Debug, Default)]
+pub struct ReactiveStats {
+    /// Punt copies successfully enqueued on a punt ring.
+    pub punted: AtomicU64,
+    /// Punt copies dropped because the punt ring was full (the packet still
+    /// forwarded per the miss action; only the controller copy was shed).
+    pub overflow: AtomicU64,
+    /// Packet-ins the controller thread has fully handled (decisions
+    /// applied).
+    pub answered: AtomicU64,
+    /// Flow-mods applied successfully through the control plane.
+    pub flow_mods: AtomicU64,
+    /// Flow-mods the control plane rejected.
+    pub flow_mods_rejected: AtomicU64,
+    /// Packet-outs re-injected through the RSS dispatcher (empty action
+    /// list: `OFPP_TABLE` resubmit).
+    pub reinjected: AtomicU64,
+    /// Re-injected packets the workers have processed.
+    pub injected: AtomicU64,
+    /// Packet-outs with explicit actions, applied at the controller edge.
+    pub direct_outs: AtomicU64,
+    /// Controller decisions to drop the punted packet.
+    pub dropped: AtomicU64,
+    /// Sum of punt round-trip times (enqueue → decisions applied), nanos.
+    pub rtt_nanos: AtomicU64,
+    /// Worst observed punt round-trip, nanos.
+    pub rtt_max_nanos: AtomicU64,
+}
+
+/// Everything the workers, the controller thread and the switch handle share
+/// about the reactive channel.
+pub(crate) struct ReactiveShared {
+    pub(crate) stats: ReactiveStats,
+    /// Per-shard punt-dedup gates (worker admits, controller completes).
+    pub(crate) gates: Vec<Arc<PuntGate>>,
+}
+
+impl ReactiveShared {
+    pub(crate) fn new(shards: usize, max_in_flight: usize) -> Self {
+        ReactiveShared {
+            stats: ReactiveStats::default(),
+            gates: (0..shards)
+                .map(|_| Arc::new(PuntGate::new(max_in_flight)))
+                .collect(),
+        }
+    }
+
+    /// Point-in-time copy of every reactive counter.
+    pub(crate) fn snapshot(&self) -> ReactiveSnapshot {
+        let s = &self.stats;
+        let answered = s.answered.load(Ordering::Relaxed);
+        ReactiveSnapshot {
+            admitted: self.gates.iter().map(|g| g.admitted()).sum(),
+            suppressed: self.gates.iter().map(|g| g.suppressed()).sum(),
+            punted: s.punted.load(Ordering::Relaxed),
+            overflow: s.overflow.load(Ordering::Relaxed),
+            answered,
+            flow_mods: s.flow_mods.load(Ordering::Relaxed),
+            flow_mods_rejected: s.flow_mods_rejected.load(Ordering::Relaxed),
+            reinjected: s.reinjected.load(Ordering::Relaxed),
+            injected: s.injected.load(Ordering::Relaxed),
+            direct_outs: s.direct_outs.load(Ordering::Relaxed),
+            dropped: s.dropped.load(Ordering::Relaxed),
+            rtt_nanos_total: s.rtt_nanos.load(Ordering::Relaxed),
+            rtt_max_nanos: s.rtt_max_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-data copy of the reactive slow path's accounting at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactiveSnapshot {
+    /// Punts the gates admitted (= `punted + overflow`).
+    pub admitted: u64,
+    /// Punts suppressed because the flow's install was already in flight.
+    pub suppressed: u64,
+    /// Punt copies enqueued for the controller.
+    pub punted: u64,
+    /// Punt copies shed because the punt ring was full (counted, not
+    /// silent; the packets themselves forwarded per the miss action).
+    pub overflow: u64,
+    /// Packet-ins fully handled by the controller thread.
+    pub answered: u64,
+    /// Reactive flow-mods applied through the epoch-swap control plane.
+    pub flow_mods: u64,
+    /// Reactive flow-mods the control plane rejected.
+    pub flow_mods_rejected: u64,
+    /// Packet-outs re-injected through the RSS dispatcher.
+    pub reinjected: u64,
+    /// Re-injected packets processed by the workers.
+    pub injected: u64,
+    /// Packet-outs with explicit actions applied at the controller edge.
+    pub direct_outs: u64,
+    /// Punted packets the controller decided to drop.
+    pub dropped: u64,
+    /// Sum of punt round-trip times over `answered` punts, nanoseconds.
+    pub rtt_nanos_total: u64,
+    /// Worst observed punt round-trip, nanoseconds.
+    pub rtt_max_nanos: u64,
+}
+
+impl ReactiveSnapshot {
+    /// Mean punt round-trip (enqueue → decisions applied) in nanoseconds.
+    pub fn rtt_mean_nanos(&self) -> f64 {
+        if self.answered == 0 {
+            0.0
+        } else {
+            self.rtt_nanos_total as f64 / self.answered as f64
+        }
+    }
+
+    /// Every punt attempt the workers made, however it was resolved.
+    pub fn attempts(&self) -> u64 {
+        self.admitted + self.suppressed
+    }
+}
+
+/// The controller thread: drains every shard's punt ring, runs the
+/// controller application, and routes its answers back through the control
+/// plane (flow-mods) and the inject dispatcher (packet-outs).
+pub(crate) struct ControllerThread {
+    pub(crate) control: Arc<Control>,
+    pub(crate) controller: Box<dyn Controller>,
+    pub(crate) punt_rings: Vec<Arc<SpscRing<Punt>>>,
+    pub(crate) injector: RssDispatcher,
+    pub(crate) shared: Arc<ReactiveShared>,
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+impl ControllerThread {
+    pub(crate) fn run(mut self) {
+        let mut batch: Vec<Punt> = Vec::with_capacity(BURST_SIZE);
+        let mut idle = 0u32;
+        loop {
+            let mut drained = 0usize;
+            for shard in 0..self.punt_rings.len() {
+                batch.clear();
+                drained += self.punt_rings[shard].pop_burst(&mut batch, BURST_SIZE);
+                for punt in batch.drain(..) {
+                    self.handle(punt);
+                }
+            }
+            if drained == 0 {
+                // `stop` is raised only once shutdown has proven the punt
+                // flow quiescent, so empty rings are then final.
+                if self.stop.load(Ordering::Acquire) && self.punt_rings.iter().all(|r| r.is_empty())
+                {
+                    break;
+                }
+                idle += 1;
+                if idle < 16 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            } else {
+                idle = 0;
+            }
+        }
+    }
+
+    fn handle(&mut self, punt: Punt) {
+        let stats = &self.shared.stats;
+        let event = PacketIn::new(punt.packet, punt.reason, punt.table_id)
+            .with_epoch(punt.epoch)
+            .with_buffer(punt.flow);
+        let decisions = self.controller.packet_in(event);
+        for decision in decisions {
+            match decision {
+                // Reactive installs flow through the §3.4 planner and the
+                // epoch-swap publication like any proactive flow-mod; the
+                // punting shard picks the new epoch up at a burst boundary.
+                ControllerDecision::FlowMod(fm) => {
+                    if self.control.flow_mod(&fm).is_ok() {
+                        stats.flow_mods.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        stats.flow_mods_rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                ControllerDecision::PacketOut(mut po) => {
+                    if po.resubmit {
+                        // OFPP_TABLE resubmit: back through RSS, so the
+                        // packet re-enters its own shard and takes the rule
+                        // installed a moment ago on the fast path. Punts
+                        // are rare; flushing immediately trades burst
+                        // batching for setup latency.
+                        stats.reinjected.fetch_add(1, Ordering::Relaxed);
+                        self.injector.dispatch(po.packet);
+                        self.injector.flush();
+                    } else {
+                        stats.direct_outs.fetch_add(1, Ordering::Relaxed);
+                        let mut key = FlowKey::extract(&po.packet);
+                        let _ = apply_action_list(&po.actions, &mut po.packet, &mut key);
+                    }
+                }
+                ControllerDecision::Drop => {
+                    stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Re-arm the flow only after its install is published: a packet
+        // missing *now* (stale epoch) may punt again, and the controller
+        // must be idempotent — OpenFlow never promised exactly-once
+        // packet-ins.
+        self.shared.gates[punt.shard].complete(punt.flow);
+        let nanos = punt.enqueued.elapsed().as_nanos() as u64;
+        stats.rtt_nanos.fetch_add(nanos, Ordering::Relaxed);
+        stats.rtt_max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        // `answered` last: once it matches `punted`, every side effect of
+        // every handled punt (flow-mod published, packet-out enqueued and
+        // counted) is already visible — the shutdown fixpoint relies on it.
+        stats.answered.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -30,15 +30,32 @@
 //!   boundary: no worker ever blocks on recompilation, and a failed
 //!   compilation replays the flow-mod's undo log, leaving every shard on the
 //!   old epoch.
+//! * **Reactive slow path** ([`controller`]) — worker shards enqueue punted
+//!   packets (ingress frame + key + shard + epoch) onto per-shard SPSC punt
+//!   rings; a dedicated controller thread drains them into the
+//!   [`openflow::Controller`] application and routes the answers back:
+//!   flow-mods publish through the §3.4 planner as incremental epochs,
+//!   `OFPP_TABLE` packet-outs re-inject through an RSS dispatcher so the
+//!   triggering packet takes the fresh rule on the fast path. Per-shard
+//!   [`eswitch::reactive::PuntGate`]s suppress duplicate packet-ins while an
+//!   install is in flight; a full punt ring sheds the punt *copy* (counted
+//!   as overflow — that packet is not duplicated up, like a real switch's
+//!   bounded upcall queue, but its verdict stands) — workers never block
+//!   on the controller.
 //! * **Stats & shutdown** — per-shard [`netdev::Counters`] aggregate into
 //!   switch-wide totals; shutdown flushes the dispatcher, lets every shard
-//!   drain its ring, and only then joins the workers, so no packet is lost.
+//!   drain its ring, runs the punt flow to a provable fixpoint (every punt
+//!   answered, every re-injection processed), and only then joins the
+//!   controller thread and the workers, so no packet — and no punt — is
+//!   lost or double-counted.
 
 pub mod backend;
+pub mod controller;
 pub mod rss;
 pub mod runtime;
 
 pub use backend::{BackendSpec, CompiledState, ShardBackend};
+pub use controller::{Punt, ReactiveSnapshot, ReactiveStats};
 pub use rss::{rss_hash, shard_of, RssDispatcher};
 pub use runtime::{
     ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,

@@ -27,20 +27,25 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 
 use eswitch::compile::CompileError;
+use eswitch::reactive::{punt_signature, IngressSnapshot, PuntGate};
 use eswitch::update::{Absorbed, UpdateClass, UpdatePlanner};
 use netdev::{CounterSnapshot, Counters, SpscRing, BURST_SIZE};
 use openflow::flow_match::FlowMatch;
 use openflow::flow_mod::{apply_flow_mod_undoable, FlowModEffect, FlowModError};
-use openflow::instruction::{pipeline_written_fields, written_match_fields};
-use openflow::{FlowMod, Pipeline, Verdict};
+use openflow::instruction::{
+    instructions_can_punt, pipeline_can_punt, pipeline_written_fields, written_match_fields,
+};
+use openflow::{Controller, FlowKey, FlowMod, PacketInReason, Pipeline, Verdict};
 use ovsdp::datapath::delta_is_selective;
 use pkt::Packet;
 
 use crate::backend::{BackendSpec, CompiledState};
+use crate::controller::{ControllerThread, Punt, ReactiveShared, ReactiveSnapshot};
 use crate::rss::RssDispatcher;
 
 /// How the control plane turns an applied flow-mod into the next epoch.
@@ -65,6 +70,13 @@ pub struct ShardedConfig {
     pub ring_capacity: usize,
     /// How flow-mods become epochs.
     pub update_strategy: UpdateStrategy,
+    /// Per-shard punt ring capacity (reactive launches only; rounded up to a
+    /// power of two). A full punt ring sheds the punt *copy* — counted as
+    /// `overflow`, never blocking the worker.
+    pub punt_ring_capacity: usize,
+    /// Per-shard bound on flows tracked as punt-in-flight (the dedup gate's
+    /// capacity; beyond it the gate fails open to duplicates).
+    pub max_in_flight_punts: usize,
 }
 
 impl Default for ShardedConfig {
@@ -73,6 +85,8 @@ impl Default for ShardedConfig {
             workers: 2,
             ring_capacity: 1024,
             update_strategy: UpdateStrategy::Planned,
+            punt_ring_capacity: 256,
+            max_in_flight_punts: PuntGate::DEFAULT_CAPACITY,
         }
     }
 }
@@ -192,8 +206,11 @@ impl UpdateClassCounts {
     }
 }
 
-/// State shared between the control plane and every worker.
-struct Control {
+/// State shared between the control plane and every worker. The reactive
+/// controller thread holds an `Arc` to it too: its flow-mods go through
+/// [`Control::flow_mod`], the same planner-and-epoch-swap path the switch
+/// handle uses.
+pub(crate) struct Control {
     spec: BackendSpec,
     strategy: UpdateStrategy,
     /// The canonical pipeline; the single source of truth flow-mods mutate.
@@ -210,7 +227,114 @@ struct Control {
     /// can rewrite mid-traversal; grown monotonically (a stale bit only
     /// costs a full flush, never a wrong answer). Gates the OVS delta path.
     written_fields: AtomicU64,
+    /// True when some path through the canonical pipeline can punt to the
+    /// controller; monotone OR, gates the workers' per-burst ingress-frame
+    /// snapshot so proactive pipelines pay nothing for packet-in fidelity.
+    may_punt: AtomicBool,
+    /// Per-class epoch accounting (§3.4 ladder tiers).
+    update_stats: UpdateClassStats,
     shutdown: AtomicBool,
+}
+
+impl Control {
+    /// Applies a flow-mod and publishes the next epoch — the shared control
+    /// plane entry point, reachable from the switch handle
+    /// ([`ShardedSwitch::flow_mod`]) and from the reactive controller
+    /// thread. The pipeline lock is held across plan + publish so concurrent
+    /// flow-mods serialise and epochs stay monotonic with pipeline state.
+    pub(crate) fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, ShardError> {
+        let mut pipeline = self.pipeline.lock();
+        let (effect, undo) =
+            apply_flow_mod_undoable(&mut pipeline, fm).map_err(ShardError::FlowMod)?;
+        if instructions_can_punt(&fm.instructions) {
+            // Monotone: a rolled-back punt path only leaves the bit
+            // conservatively set.
+            self.may_punt.store(true, Ordering::Relaxed);
+        }
+        if effect.entries_touched() == 0 {
+            // Matched nothing, changed nothing: every shard's state is still
+            // exact — publishing an epoch would only force needless work.
+            return Ok(effect);
+        }
+        let prev = Arc::clone(&self.published.read());
+
+        let (state, class, delta) = match (self.strategy, &self.spec, &prev.state) {
+            // The measurable baseline: recompile everything on every change.
+            (UpdateStrategy::FullRecompile, spec, _) => match spec.compile_state(&pipeline) {
+                Ok(state) => (state, UpdateClass::Full, None),
+                Err(e) => {
+                    undo.undo(&mut pipeline);
+                    return Err(ShardError::Compile(e));
+                }
+            },
+            (UpdateStrategy::Planned, BackendSpec::Eswitch(config), CompiledState::Eswitch(dp)) => {
+                match UpdatePlanner::new(config).absorb(&pipeline, dp, fm, &effect) {
+                    // The shared datapath absorbed the edit in place
+                    // (trampoline semantics): re-publish the same state
+                    // under the next epoch so convergence tracking and
+                    // class accounting advance.
+                    Absorbed::Incremental => (
+                        CompiledState::Eswitch(Arc::clone(dp)),
+                        UpdateClass::Incremental,
+                        None,
+                    ),
+                    // A new datapath structurally sharing every untouched
+                    // table; only the rebuilt tables get fresh slots.
+                    Absorbed::PerTable(rebuilt) => (
+                        CompiledState::Eswitch(Arc::new(dp.with_rebuilt_tables(rebuilt))),
+                        UpdateClass::PerTable,
+                        None,
+                    ),
+                    Absorbed::Full => match self.spec.compile_state(&pipeline) {
+                        Ok(state) => (state, UpdateClass::Full, None),
+                        Err(e) => {
+                            undo.undo(&mut pipeline);
+                            return Err(ShardError::Compile(e));
+                        }
+                    },
+                }
+            }
+            (UpdateStrategy::Planned, BackendSpec::Ovs(_), _) => {
+                // OVS epochs always snapshot the pipeline (replicas realise
+                // it lazily); the ladder classification reflects what the
+                // *shards* pay: a selective-safe delta invalidates
+                // incrementally, anything else costs the full hierarchy.
+                let added_bits = written_match_fields(&fm.instructions);
+                let written =
+                    self.written_fields.fetch_or(added_bits, Ordering::Relaxed) | added_bits;
+                let state = CompiledState::Ovs(Arc::new(pipeline.clone()));
+                if delta_is_selective(written, &effect.touched_matches) {
+                    (
+                        state,
+                        UpdateClass::Incremental,
+                        Some(Arc::new(effect.touched_matches.clone())),
+                    )
+                } else {
+                    (state, UpdateClass::Full, None)
+                }
+            }
+            _ => unreachable!("published state does not match the backend spec"),
+        };
+
+        let epoch = prev.epoch + 1;
+        let mut recent = prev.recent.clone();
+        if recent.len() >= DELTA_WINDOW {
+            recent.drain(..recent.len() + 1 - DELTA_WINDOW);
+        }
+        recent.push(EpochDelta {
+            epoch,
+            matches: delta,
+        });
+        *self.published.write() = Arc::new(Published {
+            epoch,
+            class,
+            state,
+            recent,
+        });
+        self.epoch.store(epoch, Ordering::Release);
+        self.update_stats.record(class);
+        Ok(effect)
+    }
 }
 
 /// Per-shard runtime statistics, readable while the worker runs.
@@ -232,7 +356,9 @@ pub type VerdictSink = Arc<dyn Fn(usize, &Verdict) + Send + Sync>;
 pub struct ShutdownReport {
     /// Packets handed to the dispatcher over the runtime's lifetime.
     pub dispatched: u64,
-    /// Switch-wide totals (sum over shards).
+    /// Switch-wide totals (sum over shards); re-injected packet-outs are
+    /// accounted separately in `reactive`, so `processed == dispatched` at
+    /// an orderly shutdown.
     pub processed: CounterSnapshot,
     /// Per-shard totals, indexed by shard.
     pub per_shard: Vec<CounterSnapshot>,
@@ -240,15 +366,27 @@ pub struct ShutdownReport {
     pub epoch: u64,
     /// How the published epochs were classified (§3.4 ladder tiers).
     pub update_classes: UpdateClassCounts,
+    /// Reactive slow-path accounting (reactive launches only).
+    pub reactive: Option<ReactiveSnapshot>,
 }
 
-/// The sharded switch: N worker shards plus the flow-mod control plane.
+/// The reactive channel's switch-side handles: the controller thread plus
+/// everything shutdown needs to prove the punt flow quiescent.
+struct ReactiveHandle {
+    thread: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    shared: Arc<ReactiveShared>,
+    punt_rings: Vec<Arc<SpscRing<Punt>>>,
+    inject_rings: Vec<Arc<SpscRing<Packet>>>,
+}
+
+/// The sharded switch: N worker shards plus the flow-mod control plane and,
+/// for reactive launches, the asynchronous controller channel.
 pub struct ShardedSwitch {
     control: Arc<Control>,
     stats: Vec<Arc<ShardStats>>,
     workers: Vec<JoinHandle<()>>,
-    /// Per-class epoch accounting, readable while the switch runs.
-    pub update_stats: UpdateClassStats,
+    reactive: Option<ReactiveHandle>,
 }
 
 impl ShardedSwitch {
@@ -269,9 +407,48 @@ impl ShardedSwitch {
         config: ShardedConfig,
         sink: Option<VerdictSink>,
     ) -> Result<(Self, RssDispatcher), CompileError> {
+        Self::launch_inner(spec, pipeline, config, sink, None)
+    }
+
+    /// Launches the switch with the asynchronous controller channel: worker
+    /// shards enqueue punted packets onto per-shard punt rings, a dedicated
+    /// controller thread drains them into `controller`, and the answers flow
+    /// back as epoch-published flow-mods and RSS-re-injected packet-outs.
+    /// The reactive workloads (access gateway, learning switch) run the
+    /// sharded runtime through this entry point.
+    pub fn launch_reactive(
+        spec: BackendSpec,
+        pipeline: Pipeline,
+        config: ShardedConfig,
+        controller: Box<dyn Controller>,
+    ) -> Result<(Self, RssDispatcher), CompileError> {
+        Self::launch_inner(spec, pipeline, config, None, Some(controller))
+    }
+
+    /// [`ShardedSwitch::launch_reactive`] with a per-verdict observer. The
+    /// sink observes main-ring packets only; re-injected packet-outs are
+    /// accounted in the reactive counters instead.
+    pub fn launch_reactive_with_sink(
+        spec: BackendSpec,
+        pipeline: Pipeline,
+        config: ShardedConfig,
+        controller: Box<dyn Controller>,
+        sink: Option<VerdictSink>,
+    ) -> Result<(Self, RssDispatcher), CompileError> {
+        Self::launch_inner(spec, pipeline, config, sink, Some(controller))
+    }
+
+    fn launch_inner(
+        spec: BackendSpec,
+        pipeline: Pipeline,
+        config: ShardedConfig,
+        sink: Option<VerdictSink>,
+        controller: Option<Box<dyn Controller>>,
+    ) -> Result<(Self, RssDispatcher), CompileError> {
         let workers_wanted = config.workers.max(1);
         let state = spec.compile_state(&pipeline)?;
         let written = pipeline_written_fields(&pipeline);
+        let may_punt = pipeline_can_punt(&pipeline);
         let published = Arc::new(Published {
             epoch: 0,
             class: UpdateClass::Full,
@@ -285,8 +462,27 @@ impl ShardedSwitch {
             published: RwLock::new(Arc::clone(&published)),
             epoch: AtomicU64::new(0),
             written_fields: AtomicU64::new(written),
+            may_punt: AtomicBool::new(may_punt),
+            update_stats: UpdateClassStats::default(),
             shutdown: AtomicBool::new(false),
         });
+
+        // The reactive channel's shared plumbing, when a controller rides
+        // along: per-shard punt rings (worker → controller thread), per-shard
+        // inject rings (controller thread → worker, via an RSS dispatcher),
+        // and the dedup gates.
+        let shared = controller.as_ref().map(|_| {
+            Arc::new(ReactiveShared::new(
+                workers_wanted,
+                config.max_in_flight_punts,
+            ))
+        });
+        let punt_rings: Vec<Arc<SpscRing<Punt>>> = (0..workers_wanted)
+            .map(|_| Arc::new(SpscRing::new(config.punt_ring_capacity)))
+            .collect();
+        let inject_rings: Vec<Arc<SpscRing<Packet>>> = (0..workers_wanted)
+            .map(|_| Arc::new(SpscRing::new(config.ring_capacity)))
+            .collect();
 
         let mut rings = Vec::with_capacity(workers_wanted);
         let mut stats = Vec::with_capacity(workers_wanted);
@@ -295,12 +491,19 @@ impl ShardedSwitch {
             let ring = Arc::new(SpscRing::new(config.ring_capacity));
             let shard_stats = Arc::new(ShardStats::default());
             let backend = control.spec.replica(&published.state);
+            let reactive = shared.as_ref().map(|shared| WorkerReactive {
+                punt_ring: Arc::clone(&punt_rings[shard]),
+                inject_ring: Arc::clone(&inject_rings[shard]),
+                gate: Arc::clone(&shared.gates[shard]),
+                shared: Arc::clone(shared),
+            });
             let worker = WorkerHandle {
                 shard,
                 control: Arc::clone(&control),
                 ring: Arc::clone(&ring),
                 stats: Arc::clone(&shard_stats),
                 sink: sink.clone(),
+                reactive,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -312,12 +515,38 @@ impl ShardedSwitch {
             stats.push(shard_stats);
         }
 
+        let reactive = match (controller, shared) {
+            (Some(controller), Some(shared)) => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let thread = ControllerThread {
+                    control: Arc::clone(&control),
+                    controller,
+                    punt_rings: punt_rings.clone(),
+                    injector: RssDispatcher::new(inject_rings.clone()),
+                    shared: Arc::clone(&shared),
+                    stop: Arc::clone(&stop),
+                };
+                let handle = std::thread::Builder::new()
+                    .name("shard-controller".to_string())
+                    .spawn(move || thread.run())
+                    .expect("spawn controller thread");
+                Some(ReactiveHandle {
+                    thread: Some(handle),
+                    stop,
+                    shared,
+                    punt_rings,
+                    inject_rings,
+                })
+            }
+            _ => None,
+        };
+
         Ok((
             ShardedSwitch {
                 control,
                 stats,
                 workers,
-                update_stats: UpdateClassStats::default(),
+                reactive,
             },
             RssDispatcher::new(rings),
         ))
@@ -349,102 +578,19 @@ impl ShardedSwitch {
     /// change is provably selective-safe, so replicas flush only the
     /// overlapping megaflow entries and keep disjoint EMC entries alive.
     pub fn flow_mod(&self, fm: &FlowMod) -> Result<FlowModEffect, ShardError> {
-        // The pipeline lock is held across plan + publish so concurrent
-        // flow-mods serialise and epochs stay monotonic with pipeline state.
-        let mut pipeline = self.control.pipeline.lock();
-        let (effect, undo) =
-            apply_flow_mod_undoable(&mut pipeline, fm).map_err(ShardError::FlowMod)?;
-        if effect.entries_touched() == 0 {
-            // Matched nothing, changed nothing: every shard's state is still
-            // exact — publishing an epoch would only force needless work.
-            return Ok(effect);
-        }
-        let prev = Arc::clone(&self.control.published.read());
-
-        let (state, class, delta) = match (self.control.strategy, &self.control.spec, &prev.state) {
-            // The measurable baseline: recompile everything on every change.
-            (UpdateStrategy::FullRecompile, spec, _) => match spec.compile_state(&pipeline) {
-                Ok(state) => (state, UpdateClass::Full, None),
-                Err(e) => {
-                    undo.undo(&mut pipeline);
-                    return Err(ShardError::Compile(e));
-                }
-            },
-            (UpdateStrategy::Planned, BackendSpec::Eswitch(config), CompiledState::Eswitch(dp)) => {
-                match UpdatePlanner::new(config).absorb(&pipeline, dp, fm, &effect) {
-                    // The shared datapath absorbed the edit in place
-                    // (trampoline semantics): re-publish the same state
-                    // under the next epoch so convergence tracking and
-                    // class accounting advance.
-                    Absorbed::Incremental => (
-                        CompiledState::Eswitch(Arc::clone(dp)),
-                        UpdateClass::Incremental,
-                        None,
-                    ),
-                    // A new datapath structurally sharing every untouched
-                    // table; only the rebuilt tables get fresh slots.
-                    Absorbed::PerTable(rebuilt) => (
-                        CompiledState::Eswitch(Arc::new(dp.with_rebuilt_tables(rebuilt))),
-                        UpdateClass::PerTable,
-                        None,
-                    ),
-                    Absorbed::Full => match self.control.spec.compile_state(&pipeline) {
-                        Ok(state) => (state, UpdateClass::Full, None),
-                        Err(e) => {
-                            undo.undo(&mut pipeline);
-                            return Err(ShardError::Compile(e));
-                        }
-                    },
-                }
-            }
-            (UpdateStrategy::Planned, BackendSpec::Ovs(_), _) => {
-                // OVS epochs always snapshot the pipeline (replicas realise
-                // it lazily); the ladder classification reflects what the
-                // *shards* pay: a selective-safe delta invalidates
-                // incrementally, anything else costs the full hierarchy.
-                let added_bits = written_match_fields(&fm.instructions);
-                let written = self
-                    .control
-                    .written_fields
-                    .fetch_or(added_bits, Ordering::Relaxed)
-                    | added_bits;
-                let state = CompiledState::Ovs(Arc::new(pipeline.clone()));
-                if delta_is_selective(written, &effect.touched_matches) {
-                    (
-                        state,
-                        UpdateClass::Incremental,
-                        Some(Arc::new(effect.touched_matches.clone())),
-                    )
-                } else {
-                    (state, UpdateClass::Full, None)
-                }
-            }
-            _ => unreachable!("published state does not match the backend spec"),
-        };
-
-        let epoch = prev.epoch + 1;
-        let mut recent = prev.recent.clone();
-        if recent.len() >= DELTA_WINDOW {
-            recent.drain(..recent.len() + 1 - DELTA_WINDOW);
-        }
-        recent.push(EpochDelta {
-            epoch,
-            matches: delta,
-        });
-        *self.control.published.write() = Arc::new(Published {
-            epoch,
-            class,
-            state,
-            recent,
-        });
-        self.control.epoch.store(epoch, Ordering::Release);
-        self.update_stats.record(class);
-        Ok(effect)
+        self.control.flow_mod(fm)
     }
 
     /// Switch-wide per-class epoch counts (§3.4 ladder accounting).
     pub fn update_classes(&self) -> UpdateClassCounts {
-        self.update_stats.snapshot()
+        self.control.update_stats.snapshot()
+    }
+
+    /// Reactive slow-path accounting, when this switch was launched with a
+    /// controller ([`ShardedSwitch::launch_reactive`]). Live: counters keep
+    /// advancing while punts resolve.
+    pub fn reactive_stats(&self) -> Option<ReactiveSnapshot> {
+        self.reactive.as_ref().map(|r| r.shared.snapshot())
     }
 
     /// The §3.4 ladder tier that produced the most recent epoch (epoch 0,
@@ -490,11 +636,50 @@ impl ShardedSwitch {
     }
 
     /// Drains and stops the runtime: flushes the dispatcher's staged
-    /// packets, raises the shutdown flag, waits for every shard to empty its
-    /// ring, and joins the workers. Every dispatched packet is processed
+    /// packets, waits for every dispatched packet to be processed, then —
+    /// for reactive launches — runs the punt flow to a provable fixpoint
+    /// (every punt answered, every re-injected packet-out processed, every
+    /// ring empty) before joining the controller thread and the workers.
+    /// Every dispatched packet is processed, and every punt is accounted,
     /// before this returns.
     pub fn shutdown(mut self, mut dispatcher: RssDispatcher) -> ShutdownReport {
         dispatcher.flush();
+
+        if let Some(reactive) = &self.reactive {
+            // Phase 1: every dispatched packet processed. Workers enqueue a
+            // packet's punts *before* advancing the processed counter, so
+            // reaching the dispatch count proves no punt is still unborn.
+            let dispatched = dispatcher.dispatched();
+            while self.stats().packets < dispatched {
+                std::thread::yield_now();
+            }
+            // Phase 2: punt-flow fixpoint. Each condition's violation names
+            // pending work that monotonically completes (a queued punt gets
+            // answered, a queued packet-out gets processed — possibly
+            // punting again, which re-opens the punted==answered gap), so
+            // the loop terminates for any controller that stops generating
+            // new packet-outs for answered flows.
+            loop {
+                let before = reactive.shared.snapshot();
+                let rings_empty = reactive.punt_rings.iter().all(|r| r.is_empty())
+                    && reactive.inject_rings.iter().all(|r| r.is_empty());
+                if rings_empty
+                    && before.answered == before.punted
+                    && before.injected == before.reinjected
+                    && reactive.shared.snapshot() == before
+                {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            reactive.stop.store(true, Ordering::Release);
+        }
+        if let Some(reactive) = &mut self.reactive {
+            if let Some(thread) = reactive.thread.take() {
+                thread.join().expect("controller thread panicked");
+            }
+        }
+
         self.control.shutdown.store(true, Ordering::Release);
         for worker in self.workers.drain(..) {
             worker.join().expect("worker panicked");
@@ -512,7 +697,8 @@ impl ShardedSwitch {
             processed,
             per_shard,
             epoch: self.control.epoch.load(Ordering::Acquire),
-            update_classes: self.update_stats.snapshot(),
+            update_classes: self.control.update_stats.snapshot(),
+            reactive: self.reactive.as_ref().map(|r| r.shared.snapshot()),
         }
     }
 }
@@ -524,11 +710,32 @@ impl Drop for ShardedSwitch {
     /// owned) dispatcher are lost in this path — orderly code goes through
     /// `shutdown`, which flushes first.
     fn drop(&mut self) {
+        // Stop the controller thread first, while the workers still drain
+        // the inject rings it may be publishing to; punts the workers raise
+        // after it exits are shed as overflow once the punt rings fill —
+        // dirty teardown loses punts, never hangs. Orderly code goes through
+        // `shutdown`, which proves the punt flow quiescent first.
+        if let Some(reactive) = &mut self.reactive {
+            reactive.stop.store(true, Ordering::Release);
+            if let Some(thread) = reactive.thread.take() {
+                let _ = thread.join();
+            }
+        }
         self.control.shutdown.store(true, Ordering::Release);
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
+}
+
+/// A worker's side of the reactive channel: where its punts go, where its
+/// re-injected packets come from, and the dedup gate shared with the
+/// controller thread.
+struct WorkerReactive {
+    punt_ring: Arc<SpscRing<Punt>>,
+    inject_ring: Arc<SpscRing<Packet>>,
+    gate: Arc<PuntGate>,
+    shared: Arc<ReactiveShared>,
 }
 
 /// Everything one worker thread needs, bundled for the spawn.
@@ -538,35 +745,63 @@ struct WorkerHandle {
     ring: Arc<SpscRing<Packet>>,
     stats: Arc<ShardStats>,
     sink: Option<VerdictSink>,
+    reactive: Option<WorkerReactive>,
 }
 
 impl WorkerHandle {
     fn run(self, mut backend: Box<dyn crate::backend::ShardBackend>) {
         let mut burst: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
+        let mut injected: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
         let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST_SIZE);
+        let mut ingress = IngressSnapshot::default();
         let mut local_epoch = 0u64;
         let mut idle = 0u32;
         loop {
-            // Epoch check: one relaxed load per iteration; the swap itself
-            // happens only when the control plane actually published.
-            let epoch = self.control.epoch.load(Ordering::Acquire);
-            if epoch != local_epoch {
-                let published = Arc::clone(&self.control.published.read());
-                // Selective invalidation is only sound when the delta window
-                // covers every epoch this shard skipped; otherwise the
-                // replica pays the brute-force flush.
-                let deltas = published.deltas_since(local_epoch);
-                backend.apply(&published.state, deltas.as_deref());
-                local_epoch = published.epoch;
-                self.stats.epoch.store(local_epoch, Ordering::Release);
+            self.sync_epoch(&mut backend, &mut local_epoch);
+
+            // Re-injected packet-outs first: the controller publishes the
+            // install *before* queueing the packet-out, so after re-syncing
+            // the epoch the packet takes the fresh rule on the fast path.
+            if let Some(reactive) = &self.reactive {
+                injected.clear();
+                let n = reactive.inject_ring.pop_burst(&mut injected, BURST_SIZE);
+                if n > 0 {
+                    // Injected work is work: keep the backoff at spin so the
+                    // next re-injection is not penalised a scheduler quantum.
+                    idle = 0;
+                    self.sync_epoch(&mut backend, &mut local_epoch);
+                    self.process_group(
+                        &mut backend,
+                        &mut injected,
+                        &mut verdicts,
+                        &mut ingress,
+                        local_epoch,
+                    );
+                    // Counted after the group's punts are enqueued, so
+                    // `injected == reinjected` proves the inject flow
+                    // quiescent at shutdown.
+                    reactive
+                        .shared
+                        .stats
+                        .injected
+                        .fetch_add(n as u64, Ordering::Relaxed);
+                }
             }
 
             burst.clear();
             let n = self.ring.pop_burst(&mut burst, BURST_SIZE);
             if n == 0 {
                 // `shutdown` is raised only after the dispatcher's final
-                // flush, so once it reads true an empty ring is final.
-                if self.control.shutdown.load(Ordering::Acquire) && self.ring.is_empty() {
+                // flush (and, for reactive launches, after the controller
+                // thread drained and exited), so once it reads true an
+                // empty ring is final.
+                if self.control.shutdown.load(Ordering::Acquire)
+                    && self.ring.is_empty()
+                    && self
+                        .reactive
+                        .as_ref()
+                        .is_none_or(|r| r.inject_ring.is_empty())
+                {
                     break;
                 }
                 idle += 1;
@@ -582,13 +817,115 @@ impl WorkerHandle {
             // Ingress byte accounting: before processing, which may grow or
             // shrink frames (push-VLAN and friends).
             let bytes: u64 = burst.iter().map(|p| p.len() as u64).sum();
-            backend.process_batch_into(&mut burst, &mut verdicts);
+            self.process_group(
+                &mut backend,
+                &mut burst,
+                &mut verdicts,
+                &mut ingress,
+                local_epoch,
+            );
+            // Processed is advanced only after the burst's punt copies are
+            // enqueued: `processed == dispatched` then proves no punt is
+            // still unborn (the shutdown fixpoint's phase 1).
             self.stats.processed.record_batch(n as u64, bytes);
             if let Some(sink) = &self.sink {
                 for verdict in &verdicts {
                     sink(self.shard, verdict);
                 }
             }
+        }
+    }
+
+    /// One epoch check: a relaxed-cost load per call; the swap itself only
+    /// happens when the control plane actually published.
+    fn sync_epoch(
+        &self,
+        backend: &mut Box<dyn crate::backend::ShardBackend>,
+        local_epoch: &mut u64,
+    ) {
+        let epoch = self.control.epoch.load(Ordering::Acquire);
+        if epoch != *local_epoch {
+            let published = Arc::clone(&self.control.published.read());
+            // Selective invalidation is only sound when the delta window
+            // covers every epoch this shard skipped; otherwise the
+            // replica pays the brute-force flush.
+            let deltas = published.deltas_since(*local_epoch);
+            backend.apply(&published.state, deltas.as_deref());
+            *local_epoch = published.epoch;
+            self.stats.epoch.store(*local_epoch, Ordering::Release);
+        }
+    }
+
+    /// Processes one burst through the replica and raises punt copies for
+    /// every punting verdict. When the pipeline can punt at all, the ingress
+    /// frames are snapshotted first so the punt copy carries the frame as
+    /// received — processing rewrites the burst in place.
+    fn process_group(
+        &self,
+        backend: &mut Box<dyn crate::backend::ShardBackend>,
+        burst: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ingress: &mut IngressSnapshot,
+        epoch: u64,
+    ) {
+        let snapshot = self.reactive.is_some() && self.control.may_punt.load(Ordering::Relaxed);
+        if snapshot {
+            ingress.capture(burst);
+        }
+        backend.process_batch_into(burst, verdicts);
+        let Some(reactive) = &self.reactive else {
+            return;
+        };
+        for (i, verdict) in verdicts.iter().enumerate() {
+            if !verdict.to_controller {
+                continue;
+            }
+            // `may_punt` is a monotone over-approximation of the published
+            // state, so a punting verdict implies the snapshot exists; fall
+            // back to the processed frame defensively rather than panic.
+            let packet = if snapshot {
+                ingress.packet(i)
+            } else {
+                burst[i].clone()
+            };
+            self.punt(reactive, packet, verdict.punt_reason, epoch);
+        }
+    }
+
+    /// Raises one punt copy: dedup-gate it, then enqueue — or shed it,
+    /// counted, if the punt ring is full. Never blocks.
+    fn punt(&self, reactive: &WorkerReactive, packet: Packet, reason: PacketInReason, epoch: u64) {
+        let key = FlowKey::extract(&packet);
+        let flow = punt_signature(&key);
+        if !reactive.gate.admit(flow) {
+            // An install for this flow is already in flight: the controller
+            // copy is suppressed (counted by the gate). The verdict the
+            // worker already emitted stands — for a pure miss-to-controller
+            // disposition that means this packet is not duplicated up, the
+            // lossy upcall-queue behaviour of a real switch.
+            return;
+        }
+        let punt = Punt {
+            packet,
+            key,
+            flow,
+            shard: self.shard,
+            epoch,
+            reason,
+            table_id: 0,
+            enqueued: Instant::now(),
+        };
+        if reactive.punt_ring.push(punt).is_ok() {
+            reactive.shared.stats.punted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Lossless-by-policy backpressure: the punt *copy* is shed —
+            // counted, and the flow re-armed so a later packet retries.
+            reactive
+                .shared
+                .stats
+                .overflow
+                .fetch_add(1, Ordering::Relaxed);
+            reactive.gate.complete(flow);
         }
     }
 }
@@ -865,6 +1202,7 @@ mod tests {
                 workers: 1,
                 ring_capacity: 64,
                 update_strategy: UpdateStrategy::FullRecompile,
+                ..ShardedConfig::default()
             },
         )
         .unwrap();

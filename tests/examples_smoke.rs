@@ -11,6 +11,7 @@ const EXAMPLES: &[&str] = &[
     "access_gateway",
     "cache_attack",
     "sharded_switch",
+    "learning_switch_sharded",
 ];
 
 #[test]

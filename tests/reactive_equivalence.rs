@@ -1,0 +1,219 @@
+//! Differential property test for the reactive slow path: a random
+//! miss-to-controller pipeline driven by the *same* deterministic controller
+//! must converge to identical final table contents — and therefore identical
+//! per-flow verdicts — no matter which runtime carried the punts:
+//!
+//! (a) the synchronous single-switch `EswitchRuntime` (punt handled inline),
+//! (b) the synchronous single-switch `OvsDatapath` (punt from the slow-path
+//!     classifier),
+//! (c) the sharded runtime's asynchronous controller channel, with 1, 2 and
+//!     4 worker shards, on both the ESWITCH and the OVS backend.
+//!
+//! The asynchronous channel reorders, buffers and deduplicates punts; none
+//! of that may change *what* ends up installed, only *when*.
+
+use std::time::{Duration, Instant};
+
+use eswitch::runtime::EswitchRuntime;
+use eswitch::CompilerConfig;
+use openflow::controller::FnController;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{
+    Action, Controller, ControllerDecision, Field, FlowEntry, FlowKey, FlowMod, PacketIn, Pipeline,
+    TableMissBehavior,
+};
+use ovsdp::{OvsConfig, OvsDatapath};
+use pkt::builder::PacketBuilder;
+use pkt::{MacAddr, Packet};
+use proptest::prelude::*;
+use shard::{BackendSpec, RssDispatcher, ShardedConfig, ShardedSwitch};
+
+const SEED_MAC_BASE: u64 = 0x0200_0000_5000;
+const FLOW_MAC_BASE: u64 = 0x0200_0000_6000;
+
+/// Table 0: a few seeded MAC rules plus a miss that punts to the controller.
+fn reactive_pipeline(seeded: u64) -> Pipeline {
+    let mut p = Pipeline::with_tables(1);
+    let t = p.table_mut(0).unwrap();
+    t.miss = TableMissBehavior::ToController;
+    for i in 0..seeded {
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(SEED_MAC_BASE + i)),
+            10,
+            terminal_actions(vec![Action::Output((i % 4) as u32)]),
+        ));
+    }
+    p
+}
+
+/// A deterministic reactive controller: the install is a pure function of
+/// the punted packet's key, so every runtime must converge to the same
+/// table contents regardless of punt order, duplication or suppression.
+fn deterministic_controller() -> Box<dyn Controller> {
+    Box::new(FnController::new(|pi: PacketIn| {
+        let key = FlowKey::extract(&pi.packet);
+        let out = (key.eth_dst % 5) as u32;
+        vec![ControllerDecision::FlowMod(FlowMod::add(
+            0,
+            FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
+            10,
+            terminal_actions(vec![Action::Output(out)]),
+        ))]
+    }))
+}
+
+fn flow_packet(flow: u64, rep: u64) -> Packet {
+    PacketBuilder::udp()
+        .eth_dst(MacAddr::from_u64(FLOW_MAC_BASE + flow))
+        .udp_src(40_000 + (rep % 16) as u16)
+        .build()
+}
+
+/// Canonical dump of every table's contents, order-independent.
+fn canonical_tables(pipeline: &Pipeline) -> Vec<(u32, u16, String, String)> {
+    let mut out: Vec<(u32, u16, String, String)> = pipeline
+        .tables()
+        .iter()
+        .flat_map(|t| {
+            t.entries().iter().map(|e| {
+                (
+                    t.id,
+                    e.priority,
+                    format!("{:?}", e.flow_match),
+                    format!("{:?}", e.instructions),
+                )
+            })
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Per-flow verdicts of a pipeline on the probe set, via the reference
+/// interpreter (the runtimes' fast paths are pinned to it elsewhere).
+fn per_flow_verdicts(pipeline: &Pipeline, flows: &[u64]) -> Vec<(Vec<u32>, bool, bool)> {
+    flows
+        .iter()
+        .map(|f| pipeline.process(&mut flow_packet(*f, 0)).decision())
+        .collect()
+}
+
+/// Runs the traffic through a reactive sharded launch and returns a clone of
+/// the final canonical pipeline once the punt flow is quiescent.
+fn sharded_final_pipeline(
+    spec: BackendSpec,
+    workers: usize,
+    base: &Pipeline,
+    traffic: &[Packet],
+) -> Pipeline {
+    let (switch, mut dispatcher) = ShardedSwitch::launch_reactive(
+        spec,
+        base.clone(),
+        ShardedConfig {
+            workers,
+            ring_capacity: 256,
+            ..ShardedConfig::default()
+        },
+        deterministic_controller(),
+    )
+    .expect("base pipeline compiles");
+    for packet in traffic {
+        dispatcher.dispatch(packet.clone());
+    }
+    quiesce(&switch, &mut dispatcher);
+    let pipeline = switch.with_pipeline(Pipeline::clone);
+    let report = switch.shutdown(dispatcher);
+    assert_eq!(report.processed.packets, report.dispatched);
+    let reactive = report.reactive.expect("reactive launch");
+    assert_eq!(reactive.answered, reactive.punted);
+    assert_eq!(reactive.admitted, reactive.punted + reactive.overflow);
+    pipeline
+}
+
+fn quiesce(switch: &ShardedSwitch, dispatcher: &mut RssDispatcher) {
+    dispatcher.flush();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = switch.reactive_stats().expect("reactive launch");
+        if switch.stats().packets == dispatcher.dispatched()
+            && stats.answered == stats.punted
+            && stats.injected == stats.reinjected
+            && switch.reactive_stats().expect("reactive launch") == stats
+        {
+            return;
+        }
+        assert!(Instant::now() < deadline, "never quiesced: {stats:?}");
+        std::thread::yield_now();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every punt-carrying runtime converges to the same installed state.
+    #[test]
+    fn reactive_runtimes_converge_to_identical_tables(
+        seeded in 1u64..8,
+        flows in prop::collection::vec(0u64..24, 2..20),
+        reps in 1u64..4,
+    ) {
+        let base = reactive_pipeline(seeded);
+        // The traffic: every flow `reps` times, interleaved.
+        let traffic: Vec<Packet> = (0..reps)
+            .flat_map(|r| flows.iter().map(move |f| flow_packet(*f, r)))
+            .collect();
+
+        // (a) synchronous ESWITCH runtime: punts handled inline.
+        let es = EswitchRuntime::with_config(
+            base.clone(),
+            CompilerConfig::default(),
+            deterministic_controller(),
+        )
+        .unwrap();
+        for packet in &traffic {
+            es.process(&mut packet.clone());
+        }
+        let expected_tables = es.with_pipeline(canonical_tables);
+        let expected_verdicts = es.with_pipeline(|p| per_flow_verdicts(p, &flows));
+
+        // (b) synchronous OVS datapath: punts from the slow-path classifier.
+        let ovs = OvsDatapath::with_config(
+            base.clone(),
+            OvsConfig::default(),
+            deterministic_controller(),
+        );
+        for packet in &traffic {
+            ovs.process(&mut packet.clone());
+        }
+        {
+            let pipeline = ovs.pipeline();
+            let guard = pipeline.read();
+            prop_assert_eq!(&canonical_tables(&guard), &expected_tables, "OVS single-switch diverged");
+            prop_assert_eq!(&per_flow_verdicts(&guard, &flows), &expected_verdicts);
+        }
+
+        // (c) the asynchronous controller channel: 1, 2 and 4 shards, both
+        // backends. Buffering, reordering and dedup must not change what
+        // converges.
+        for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+            for workers in [1usize, 2, 4] {
+                let converged = sharded_final_pipeline(spec, workers, &base, &traffic);
+                prop_assert_eq!(
+                    &canonical_tables(&converged),
+                    &expected_tables,
+                    "sharded {}x{} diverged",
+                    spec.label(),
+                    workers
+                );
+                prop_assert_eq!(
+                    &per_flow_verdicts(&converged, &flows),
+                    &expected_verdicts,
+                    "sharded {}x{} per-flow verdicts diverged",
+                    spec.label(),
+                    workers
+                );
+            }
+        }
+    }
+}
