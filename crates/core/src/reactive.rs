@@ -17,11 +17,11 @@
 //! punts from one worker, so per-shard gates never see cross-shard aliasing.
 
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, Ordering};
 
+use netdev::sync::atomic::{AtomicU64, Ordering};
+use netdev::sync::Mutex;
 use netdev::FxBuildHasher;
 use openflow::FlowKey;
-use parking_lot::Mutex;
 use pkt::Packet;
 
 /// The 64-bit flow signature punt deduplication keys on: an FxHash of the

@@ -16,9 +16,9 @@
 //! declarative pipeline first, and the compiled state is derived from it, so
 //! a failed compilation leaves the previous datapath running untouched.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use netdev::sync::atomic::{AtomicBool, Ordering};
 use parking_lot::{Mutex, RwLock};
 
 use openflow::action::apply_action_list;

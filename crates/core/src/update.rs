@@ -23,8 +23,9 @@
 //! to apply (shape checked, existence checked for deletes, parser depth
 //! checked for adds), so consumers can account the update class up front.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+use netdev::sync::atomic::{AtomicU64, Ordering};
 
 use openflow::flow_mod::{FlowModCommand, FlowModEffect};
 use openflow::pipeline::TableId;

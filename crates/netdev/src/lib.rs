@@ -17,7 +17,11 @@
 //!   backing the compound-hash table template,
 //! * [`fxhash`] — the multiply-rotate hash the cache hot paths key on
 //!   (SipHash setup/finalisation dominates at flow-key sizes),
-//! * [`stats`] — shared atomic packet/byte/drop counters.
+//! * [`stats`] — shared atomic packet/byte/drop counters,
+//! * [`sync`] — the synchronization facade the lock-free pieces are written
+//!   against: `std`/`parking_lot` types normally, the vendored loom model
+//!   checker under `--cfg loom` (see README §"Concurrency verification
+//!   methodology").
 //!
 //! See DESIGN.md §1 for why this substitution preserves the behaviours the
 //! evaluation depends on.
@@ -29,6 +33,7 @@ pub mod perfect_hash;
 pub mod port;
 pub mod ring;
 pub mod stats;
+pub mod sync;
 
 pub use batch::{PacketBatch, BURST_SIZE};
 pub use fxhash::{fx_mix, FxBuildHasher, FxHasher};

@@ -6,11 +6,24 @@
 //! `crossbeam`'s `ArrayQueue` for the cases where several worker cores feed
 //! one port (Fig. 19's multi-core runs).
 
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::UnsafeCell;
 
 use crossbeam::queue::ArrayQueue;
+
+/// Ordering of the store that publishes a new tail to the consumer.
+///
+/// This must be `Release`: it is the edge that makes the producer's slot
+/// writes visible to a consumer whose `Acquire` tail load observes the new
+/// value. The `spsc_tail_relaxed_mutation` cfg deliberately weakens it so
+/// the loom suite can demonstrate it catches the bug (see
+/// `tests/loom_mutation.rs`); it is never set in real builds.
+#[cfg(not(spsc_tail_relaxed_mutation))]
+const TAIL_PUBLISH: Ordering = Ordering::Release;
+#[cfg(spsc_tail_relaxed_mutation)]
+const TAIL_PUBLISH: Ordering = Ordering::Relaxed;
 
 /// A bounded lock-free single-producer/single-consumer ring.
 ///
@@ -34,6 +47,9 @@ pub struct SpscRing<T> {
 // each slot: a slot is written only by the producer before publishing via
 // `tail`, and read only by the consumer after observing that publication.
 unsafe impl<T: Send> Sync for SpscRing<T> {}
+// SAFETY: as above — the ring owns its slots and the SPSC protocol hands
+// each `T` off with a release/acquire edge, so moving the whole ring to
+// another thread is sound whenever `T: Send`.
 unsafe impl<T: Send> Send for SpscRing<T> {}
 
 impl<T> SpscRing<T> {
@@ -57,8 +73,19 @@ impl<T> SpscRing<T> {
     }
 
     /// Number of items currently queued.
+    ///
+    /// `head` is loaded **before** `tail`: the invariant `head <= tail` then
+    /// guarantees the subtraction cannot underflow even if the other side
+    /// advances between the two loads (loading `tail` first allowed a
+    /// concurrent consumer to move `head` past the stale tail, wrapping the
+    /// result to ~`usize::MAX`). The value is conservative: at most the
+    /// items actually available for the consumer (its own `head` is exact,
+    /// `tail` may be stale-low), and at least the items actually queued for
+    /// the producer (its own `tail` is exact, `head` may be stale-low).
     pub fn len(&self) -> usize {
-        self.tail.load(Ordering::Acquire) - self.head.load(Ordering::Acquire)
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        tail - head
     }
 
     /// True when no items are queued.
@@ -79,9 +106,12 @@ impl<T> SpscRing<T> {
             return Err(item);
         }
         let slot = &self.buf[tail & self.mask];
-        // SAFETY: SPSC contract — only this producer writes unpublished slots.
-        unsafe { (*slot.get()).write(item) };
-        self.tail.store(tail + 1, Ordering::Release);
+        slot.with_mut(|p| {
+            // SAFETY: SPSC contract — only this producer writes unpublished
+            // slots, and this slot stays unpublished until the tail store.
+            unsafe { (*p).write(item) }
+        });
+        self.tail.store(tail + 1, TAIL_PUBLISH);
         Ok(())
     }
 
@@ -93,9 +123,11 @@ impl<T> SpscRing<T> {
             return None;
         }
         let slot = &self.buf[head & self.mask];
-        // SAFETY: the producer published this slot (head < tail), and only
-        // this consumer reads published-but-unconsumed slots.
-        let item = unsafe { (*slot.get()).assume_init_read() };
+        let item = slot.with(|p| {
+            // SAFETY: the producer published this slot (head < tail), and
+            // only this consumer reads published-but-unconsumed slots.
+            unsafe { (*p).assume_init_read() }
+        });
         self.head.store(head + 1, Ordering::Release);
         Some(item)
     }
@@ -117,28 +149,43 @@ impl<T> SpscRing<T> {
         }
         for (k, item) in items.drain(..n).enumerate() {
             let slot = &self.buf[(tail + k) & self.mask];
-            // SAFETY: SPSC contract — only this producer writes unpublished
-            // slots, and none of the `n` slots is published until the single
-            // tail store below.
-            unsafe { (*slot.get()).write(item) };
+            slot.with_mut(|p| {
+                // SAFETY: SPSC contract — only this producer writes
+                // unpublished slots, and none of the `n` slots is published
+                // until the single tail store below.
+                unsafe { (*p).write(item) }
+            });
         }
-        self.tail.store(tail + n, Ordering::Release);
+        self.tail.store(tail + n, TAIL_PUBLISH);
         n
     }
 
-    /// Dequeues up to `out.capacity() - out.len()` items into `out`, returning
-    /// how many were moved — the burst-dequeue used by port RX.
+    /// Dequeues up to `max` items into `out`, returning how many were moved
+    /// — the burst-dequeue used by port RX. Mirrors [`SpscRing::push_burst`]:
+    /// the new head is published **once** for the whole burst, so the
+    /// producer sees either the pre-burst or post-burst free space, never a
+    /// partially-drained intermediate (and the consumer pays one release
+    /// store per burst instead of one per packet).
     pub fn pop_burst(&self, out: &mut Vec<T>, max: usize) -> usize {
-        let mut n = 0;
-        while n < max {
-            match self.pop() {
-                Some(item) => {
-                    out.push(item);
-                    n += 1;
-                }
-                None => break,
-            }
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        let n = (tail - head).min(max);
+        if n == 0 {
+            return 0;
         }
+        out.reserve(n);
+        for k in 0..n {
+            let slot = &self.buf[(head + k) & self.mask];
+            let item = slot.with(|p| {
+                // SAFETY: the producer published all `n` slots (they lie
+                // below `tail`), and only this consumer reads
+                // published-but-unconsumed slots; none is marked consumed
+                // until the single head store below.
+                unsafe { (*p).assume_init_read() }
+            });
+            out.push(item);
+        }
+        self.head.store(head + n, Ordering::Release);
         n
     }
 }

@@ -1,13 +1,19 @@
 //! Shared packet/byte/drop counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::atomic::{AtomicU64, Ordering};
 
 /// A set of atomic traffic counters.
 ///
 /// OpenFlow requires per-flow-entry and per-table counters; ports need RX/TX
 /// accounting; and the benchmark harnesses read totals from another thread
-/// while workers keep counting. All of those use this type. Counters use
-/// relaxed ordering: they are statistics, not synchronisation.
+/// while workers keep counting. All of those use this type.
+///
+/// Increments are `Release` and reads `Acquire` — free on x86-TSO, but it
+/// makes the counters usable as progress signals: the sharded runtime's
+/// shutdown fixpoint concludes "every punt is enqueued" from "the processed
+/// count reached the dispatched count", which needs each worker's
+/// ring pushes to happen-before the increment that a reader observes. Plain
+/// `Relaxed` would leave that inference unsound on weakly-ordered machines.
 #[derive(Debug, Default)]
 pub struct Counters {
     packets: AtomicU64,
@@ -23,35 +29,35 @@ impl Counters {
 
     /// Records one packet of `bytes` bytes.
     pub fn record(&self, bytes: usize) {
-        self.packets.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.packets.fetch_add(1, Ordering::Release);
+        self.bytes.fetch_add(bytes as u64, Ordering::Release);
     }
 
     /// Records `packets` packets totalling `bytes` bytes in one shot
     /// (batch accounting).
     pub fn record_batch(&self, packets: u64, bytes: u64) {
-        self.packets.fetch_add(packets, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.packets.fetch_add(packets, Ordering::Release);
+        self.bytes.fetch_add(bytes, Ordering::Release);
     }
 
     /// Records one dropped packet.
     pub fn record_drop(&self) {
-        self.drops.fetch_add(1, Ordering::Relaxed);
+        self.drops.fetch_add(1, Ordering::Release);
     }
 
     /// Packets counted so far.
     pub fn packets(&self) -> u64 {
-        self.packets.load(Ordering::Relaxed)
+        self.packets.load(Ordering::Acquire)
     }
 
     /// Bytes counted so far.
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        self.bytes.load(Ordering::Acquire)
     }
 
     /// Drops counted so far.
     pub fn drops(&self) -> u64 {
-        self.drops.load(Ordering::Relaxed)
+        self.drops.load(Ordering::Acquire)
     }
 
     /// Resets all counters to zero.

@@ -1,0 +1,112 @@
+//! Synchronization facade for the lock-free core.
+//!
+//! Every concurrency primitive the dataplane crates use is imported through
+//! this module instead of `std` directly. In a normal build the re-exports
+//! are exactly the `std`/`parking_lot` types (zero cost — the `UnsafeCell`
+//! wrapper is `#[repr(transparent)]` with `#[inline(always)]` accessors).
+//! Under `RUSTFLAGS="--cfg loom"` they switch to the vendored `loom` model
+//! checker, and the `loom_*.rs` integration tests explore every bounded
+//! interleaving of the protocols built on top: the SPSC/MPMC rings, the
+//! stats counters, the epoch swap, and the punt gate.
+//!
+//! The `cargo xtask lint` facade rule keeps the covered crates honest: any
+//! direct `std::sync::atomic` / `std::cell::UnsafeCell` import outside this
+//! file (test modules aside) fails CI.
+
+/// Atomic integer and bool types plus [`atomic::Ordering`].
+#[cfg(not(loom))]
+pub use std::sync::atomic;
+
+/// Atomic integer and bool types plus [`atomic::Ordering`].
+#[cfg(loom)]
+pub use loom::sync::atomic;
+
+/// Atomically reference-counted pointer (model-tracked under loom).
+#[cfg(not(loom))]
+pub use std::sync::Arc;
+
+/// Atomically reference-counted pointer (model-tracked under loom).
+#[cfg(loom)]
+pub use loom::sync::Arc;
+
+/// Non-poisoning mutual-exclusion lock.
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard};
+
+/// Non-poisoning mutual-exclusion lock.
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard};
+
+/// Non-poisoning reader-writer lock.
+#[cfg(not(loom))]
+pub use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Non-poisoning reader-writer lock.
+#[cfg(loom)]
+pub use loom::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Interior-mutable cell with the closure-based access API race-checked by
+/// loom; see [`UnsafeCell::with`] / [`UnsafeCell::with_mut`].
+#[cfg(loom)]
+pub use loom::cell::UnsafeCell;
+
+#[cfg(not(loom))]
+mod cell {
+    /// Interior-mutable cell mirroring `loom::cell::UnsafeCell`.
+    ///
+    /// The closure-based `with`/`with_mut` API is what lets the loom build
+    /// interpose its data-race detector; in this (normal) build both
+    /// compile down to a plain pointer handoff.
+    #[derive(Debug, Default)]
+    #[repr(transparent)]
+    pub struct UnsafeCell<T>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Creates a cell owning `value`.
+        pub const fn new(value: T) -> Self {
+            UnsafeCell(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Consumes the cell, returning the value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+
+        /// Runs `f` with a shared raw pointer to the contents.
+        ///
+        /// The pointer is only valid inside `f`; the caller is responsible
+        /// for the usual aliasing discipline (no concurrent `with_mut`) —
+        /// exactly what the loom build verifies exhaustively.
+        #[inline(always)]
+        pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Runs `f` with an exclusive raw pointer to the contents; same
+        /// contract as [`UnsafeCell::with`].
+        #[inline(always)]
+        pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+    }
+}
+
+#[cfg(not(loom))]
+pub use cell::UnsafeCell;
+
+/// Spin-loop hint: the processor pause instruction normally, a scheduler
+/// yield under loom (a modelled spin without it would livelock the search).
+pub mod hint {
+    /// See [module docs](self).
+    #[cfg(not(loom))]
+    #[inline(always)]
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+
+    /// See [module docs](self).
+    #[cfg(loom)]
+    pub fn spin_loop() {
+        loom::hint::spin_loop();
+    }
+}

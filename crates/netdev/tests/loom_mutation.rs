@@ -1,0 +1,59 @@
+//! Mutation check: prove the loom suite actually catches the bug class it
+//! guards against.
+//!
+//! Built only under `RUSTFLAGS="--cfg loom --cfg spsc_tail_relaxed_mutation"`,
+//! which weakens the SPSC ring's tail-publication store from `Release` to
+//! `Relaxed` (see `TAIL_PUBLISH` in `netdev::ring`). With the release edge
+//! gone, a consumer can observe the new tail value without a happens-before
+//! edge to the producer's slot write — and the model's race detector must
+//! abort naming the two racing accesses. If this test ever stops panicking,
+//! the model has lost the sensitivity the whole suite's guarantees rest on.
+
+#![cfg(all(loom, spsc_tail_relaxed_mutation))]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use netdev::SpscRing;
+
+#[test]
+#[should_panic(expected = "data race")]
+fn relaxed_tail_store_is_caught_as_a_race() {
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(2));
+        let producer = Arc::clone(&ring);
+        let t = thread::spawn(move || {
+            producer.push(7u32).unwrap();
+        });
+        loop {
+            match ring.pop() {
+                Some(v) => {
+                    assert_eq!(v, 7);
+                    break;
+                }
+                None => thread::yield_now(),
+            }
+        }
+        t.join().unwrap();
+    });
+}
+
+#[test]
+#[should_panic(expected = "data race")]
+fn relaxed_burst_tail_store_is_caught_as_a_race() {
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(2));
+        let producer = Arc::clone(&ring);
+        let t = thread::spawn(move || {
+            let mut items = vec![1u32, 2];
+            assert_eq!(producer.push_burst(&mut items), 2);
+        });
+        let mut out = Vec::new();
+        while out.len() < 2 {
+            if ring.pop_burst(&mut out, 2) == 0 {
+                thread::yield_now();
+            }
+        }
+        t.join().unwrap();
+    });
+}

@@ -1,0 +1,60 @@
+//! Exhaustive model checking of the shared counters.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p netdev --test loom_stats`.
+
+#![cfg(all(loom, not(spsc_tail_relaxed_mutation)))]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use netdev::Counters;
+
+/// `record_batch` totals are exact under concurrent recorders in every
+/// schedule — no lost updates, no torn packet/byte pairs in the final sum.
+#[test]
+fn record_batch_is_exact_under_concurrency() {
+    loom::model(|| {
+        let counters = Arc::new(Counters::new());
+        let handles: Vec<_> = (0..2)
+            .map(|worker| {
+                let counters = Arc::clone(&counters);
+                thread::spawn(move || {
+                    counters.record_batch(2, 64 * (worker + 1));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = counters.snapshot();
+        assert_eq!(snap.packets, 4);
+        assert_eq!(snap.bytes, 64 + 128);
+        assert_eq!(snap.drops, 0);
+    });
+}
+
+/// A reader that observes a worker's packet count also observes everything
+/// the worker did before recording (the release/acquire contract shutdown's
+/// phase-1 wait relies on).
+#[test]
+fn observed_count_implies_prior_work_visible() {
+    loom::model(|| {
+        let counters = Arc::new(Counters::new());
+        let flag = Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+        let (c2, f2) = (Arc::clone(&counters), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            // "Work" first (the punt enqueue in the real worker)…
+            f2.store(1, loom::sync::atomic::Ordering::Relaxed);
+            // …then the Release increment that publishes it.
+            c2.record(64);
+        });
+        if counters.packets() == 1 {
+            assert_eq!(
+                flag.load(loom::sync::atomic::Ordering::Relaxed),
+                1,
+                "count visible before the work that preceded it"
+            );
+        }
+        t.join().unwrap();
+    });
+}

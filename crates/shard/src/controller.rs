@@ -42,9 +42,10 @@
 //! reinjected     = injected                     (at quiescence/shutdown)
 //! ```
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+use netdev::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use eswitch::reactive::PuntGate;
 use netdev::{SpscRing, BURST_SIZE};
@@ -80,10 +81,16 @@ pub struct Punt {
     pub enqueued: Instant,
 }
 
-/// Live counters of the reactive slow path. All relaxed: statistics, not
-/// synchronisation — except that workers/the controller thread bump them
-/// only *after* the work they describe is externally visible, which is what
-/// lets shutdown use them as a quiescence fixpoint.
+/// Live counters of the reactive slow path.
+///
+/// The fixpoint counters (`punted`, `answered`, `injected`, `reinjected`)
+/// are bumped only *after* the work they describe is externally visible,
+/// with `Release` increments read `Acquire` by [`ReactiveShared::snapshot`]
+/// — that ordering (free on x86-TSO) is what lets shutdown conclude
+/// quiescence from counter equalities on weakly-ordered machines too; the
+/// program-order half of the contract ("count after the side effect") is
+/// model-checked in `tests/loom_fixpoint.rs`. The rest are plain statistics
+/// and stay relaxed.
 #[derive(Debug, Default)]
 pub struct ReactiveStats {
     /// Punt copies successfully enqueued on a punt ring.
@@ -134,17 +141,17 @@ impl ReactiveShared {
     /// Point-in-time copy of every reactive counter.
     pub(crate) fn snapshot(&self) -> ReactiveSnapshot {
         let s = &self.stats;
-        let answered = s.answered.load(Ordering::Relaxed);
+        let answered = s.answered.load(Ordering::Acquire);
         ReactiveSnapshot {
             admitted: self.gates.iter().map(|g| g.admitted()).sum(),
             suppressed: self.gates.iter().map(|g| g.suppressed()).sum(),
-            punted: s.punted.load(Ordering::Relaxed),
+            punted: s.punted.load(Ordering::Acquire),
             overflow: s.overflow.load(Ordering::Relaxed),
             answered,
             flow_mods: s.flow_mods.load(Ordering::Relaxed),
             flow_mods_rejected: s.flow_mods_rejected.load(Ordering::Relaxed),
-            reinjected: s.reinjected.load(Ordering::Relaxed),
-            injected: s.injected.load(Ordering::Relaxed),
+            reinjected: s.reinjected.load(Ordering::Acquire),
+            injected: s.injected.load(Ordering::Acquire),
             direct_outs: s.direct_outs.load(Ordering::Relaxed),
             dropped: s.dropped.load(Ordering::Relaxed),
             rtt_nanos_total: s.rtt_nanos.load(Ordering::Relaxed),
@@ -270,7 +277,7 @@ impl ControllerThread {
                         // installed a moment ago on the fast path. Punts
                         // are rare; flushing immediately trades burst
                         // batching for setup latency.
-                        stats.reinjected.fetch_add(1, Ordering::Relaxed);
+                        stats.reinjected.fetch_add(1, Ordering::Release);
                         self.injector.dispatch(po.packet);
                         self.injector.flush();
                     } else {
@@ -295,6 +302,6 @@ impl ControllerThread {
         // `answered` last: once it matches `punted`, every side effect of
         // every handled punt (flow-mod published, packet-out enqueued and
         // counted) is already visible — the shutdown fixpoint relies on it.
-        stats.answered.fetch_add(1, Ordering::Relaxed);
+        stats.answered.fetch_add(1, Ordering::Release);
     }
 }

@@ -1,0 +1,69 @@
+//! The epoch-swap publication primitive the control plane broadcasts
+//! through.
+//!
+//! [`EpochSlot`] is the extracted core of the runtime's "publish an
+//! epoch-stamped state behind an atomic `Arc` swap" protocol, kept free of
+//! pipeline/compilation types so the loom suite (`tests/loom_epoch.rs`) can
+//! model-check it exhaustively:
+//!
+//! * the write-side critical section is a pointer swap only — publishers
+//!   never hold the lock across planning or compilation;
+//! * a reader that observed epoch `N` from [`EpochSlot::epoch`] is
+//!   guaranteed to [`EpochSlot::load`] a state published at epoch `>= N`
+//!   (the counter is stored `Release` *after* the swap, and readers load it
+//!   `Acquire` before taking the read lock);
+//! * the cheap-poll path is a single `Acquire` load — workers call
+//!   [`EpochSlot::epoch`] every loop iteration and only touch the lock when
+//!   the counter moved.
+
+use std::sync::Arc;
+
+use netdev::sync::atomic::{AtomicU64, Ordering};
+use netdev::sync::RwLock;
+
+/// An epoch-stamped shared state slot: single-pointer-swap publication with
+/// a lock-free staleness probe.
+///
+/// The epoch counter deliberately lives *outside* the lock: it may briefly
+/// trail the slot (a reader can see newer state than the counter promised),
+/// but never lead it — the safe direction for convergence checks.
+#[derive(Debug)]
+pub struct EpochSlot<T> {
+    slot: RwLock<Arc<T>>,
+    epoch: AtomicU64,
+}
+
+impl<T> EpochSlot<T> {
+    /// Creates the slot holding `initial` as epoch 0.
+    pub fn new(initial: Arc<T>) -> Self {
+        EpochSlot {
+            slot: RwLock::new(initial),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The latest published epoch — the single-load staleness probe.
+    ///
+    /// Observing `N` here guarantees a subsequent [`EpochSlot::load`]
+    /// returns state published at epoch `>= N`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Clones out the current state.
+    pub fn load(&self) -> Arc<T> {
+        Arc::clone(&self.slot.read())
+    }
+
+    /// Publishes `value` as epoch `epoch`. The critical section is the
+    /// pointer swap only; the counter is advanced after the swap so readers
+    /// can never observe an epoch whose state is not yet loadable.
+    ///
+    /// Callers serialise publications externally (the control plane holds
+    /// its pipeline lock across plan + publish), which is what keeps epochs
+    /// monotonic; the slot itself only orders counter against state.
+    pub fn publish(&self, epoch: u64, value: Arc<T>) {
+        *self.slot.write() = value;
+        self.epoch.store(epoch, Ordering::Release);
+    }
+}

@@ -51,11 +51,13 @@
 
 pub mod backend;
 pub mod controller;
+pub mod epoch;
 pub mod rss;
 pub mod runtime;
 
 pub use backend::{BackendSpec, CompiledState, ShardBackend};
 pub use controller::{Punt, ReactiveSnapshot, ReactiveStats};
+pub use epoch::EpochSlot;
 pub use rss::{rss_hash, shard_of, RssDispatcher};
 pub use runtime::{
     ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,

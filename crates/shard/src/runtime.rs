@@ -24,12 +24,12 @@
 //! the shutdown flag is raised, and each worker exits only once its ring is
 //! observably empty — every dispatched packet is processed exactly once.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::{Mutex, RwLock};
+use netdev::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use netdev::sync::Mutex;
 
 use eswitch::compile::CompileError;
 use eswitch::reactive::{punt_signature, IngressSnapshot, PuntGate};
@@ -46,6 +46,7 @@ use pkt::Packet;
 
 use crate::backend::{BackendSpec, CompiledState};
 use crate::controller::{ControllerThread, Punt, ReactiveShared, ReactiveSnapshot};
+use crate::epoch::EpochSlot;
 use crate::rss::RssDispatcher;
 
 /// How the control plane turns an applied flow-mod into the next epoch.
@@ -215,14 +216,14 @@ pub(crate) struct Control {
     strategy: UpdateStrategy,
     /// The canonical pipeline; the single source of truth flow-mods mutate.
     pipeline: Mutex<Pipeline>,
-    /// The latest compiled state. Workers clone the `Arc` out only when the
-    /// epoch counter tells them it changed. The write-side critical section
-    /// contains a pointer swap only — every compile/plan/rebuild happens
-    /// before it, outside the readers' visible window.
-    published: RwLock<Arc<Published>>,
-    /// Monotonic update counter; written *after* `published` (release) so a
-    /// worker observing epoch N always reads state >= N.
-    epoch: AtomicU64,
+    /// The latest compiled state plus the monotonic epoch counter workers
+    /// poll, as an [`EpochSlot`]: the write-side critical section contains a
+    /// pointer swap only — every compile/plan/rebuild happens before it,
+    /// outside the readers' visible window — and the counter is published
+    /// `Release`-after-swap so a worker observing epoch N always reads
+    /// state >= N. The swap protocol itself is model-checked in
+    /// `tests/loom_epoch.rs`.
+    published: EpochSlot<Published>,
     /// Bitmask of match fields some apply-action in the canonical pipeline
     /// can rewrite mid-traversal; grown monotonically (a stale bit only
     /// costs a full flush, never a wrong answer). Gates the OVS delta path.
@@ -256,7 +257,7 @@ impl Control {
             // exact — publishing an epoch would only force needless work.
             return Ok(effect);
         }
-        let prev = Arc::clone(&self.published.read());
+        let prev = self.published.load();
 
         let (state, class, delta) = match (self.strategy, &self.spec, &prev.state) {
             // The measurable baseline: recompile everything on every change.
@@ -325,13 +326,15 @@ impl Control {
             epoch,
             matches: delta,
         });
-        *self.published.write() = Arc::new(Published {
+        self.published.publish(
             epoch,
-            class,
-            state,
-            recent,
-        });
-        self.epoch.store(epoch, Ordering::Release);
+            Arc::new(Published {
+                epoch,
+                class,
+                state,
+                recent,
+            }),
+        );
         self.update_stats.record(class);
         Ok(effect)
     }
@@ -459,8 +462,7 @@ impl ShardedSwitch {
             spec,
             strategy: config.update_strategy,
             pipeline: Mutex::new(pipeline),
-            published: RwLock::new(Arc::clone(&published)),
-            epoch: AtomicU64::new(0),
+            published: EpochSlot::new(Arc::clone(&published)),
             written_fields: AtomicU64::new(written),
             may_punt: AtomicBool::new(may_punt),
             update_stats: UpdateClassStats::default(),
@@ -596,7 +598,7 @@ impl ShardedSwitch {
     /// The §3.4 ladder tier that produced the most recent epoch (epoch 0,
     /// the launch compilation, reports as `Full`).
     pub fn current_epoch_class(&self) -> UpdateClass {
-        self.control.published.read().class
+        self.control.published.load().class
     }
 
     /// Read access to the canonical pipeline.
@@ -606,7 +608,7 @@ impl ShardedSwitch {
 
     /// The control-plane epoch (number of published updates).
     pub fn epoch(&self) -> u64 {
-        self.control.epoch.load(Ordering::Acquire)
+        self.control.published.epoch()
     }
 
     /// The epoch each shard currently serves (trails [`ShardedSwitch::epoch`]
@@ -696,7 +698,7 @@ impl ShardedSwitch {
             dispatched: dispatcher.dispatched(),
             processed,
             per_shard,
-            epoch: self.control.epoch.load(Ordering::Acquire),
+            epoch: self.control.published.epoch(),
             update_classes: self.control.update_stats.snapshot(),
             reactive: self.reactive.as_ref().map(|r| r.shared.snapshot()),
         }
@@ -784,7 +786,7 @@ impl WorkerHandle {
                         .shared
                         .stats
                         .injected
-                        .fetch_add(n as u64, Ordering::Relaxed);
+                        .fetch_add(n as u64, Ordering::Release);
                 }
             }
 
@@ -843,9 +845,9 @@ impl WorkerHandle {
         backend: &mut Box<dyn crate::backend::ShardBackend>,
         local_epoch: &mut u64,
     ) {
-        let epoch = self.control.epoch.load(Ordering::Acquire);
+        let epoch = self.control.published.epoch();
         if epoch != *local_epoch {
-            let published = Arc::clone(&self.control.published.read());
+            let published = self.control.published.load();
             // Selective invalidation is only sound when the delta window
             // covers every epoch this shard skipped; otherwise the
             // replica pays the brute-force flush.
@@ -916,7 +918,7 @@ impl WorkerHandle {
             enqueued: Instant::now(),
         };
         if reactive.punt_ring.push(punt).is_ok() {
-            reactive.shared.stats.punted.fetch_add(1, Ordering::Relaxed);
+            reactive.shared.stats.punted.fetch_add(1, Ordering::Release);
         } else {
             // Lossless-by-policy backpressure: the punt *copy* is shed —
             // counted, and the flow re-armed so a later packet retries.

@@ -1,0 +1,76 @@
+//! Exhaustive model checking of the shutdown fixpoint inference.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p shard --test loom_fixpoint`.
+//!
+//! Shutdown's phase-1 wait reasons: "once every shard's processed counter
+//! equals the dispatched count, every punt those packets generated is
+//! already in its punt ring and counted in `ReactiveStats::punted`". That
+//! inference is only sound because a worker (1) enqueues the punt copy,
+//! (2) bumps the punted counter with `Release`, and (3) records the packet
+//! as processed with `Release` — in that order — while shutdown reads the
+//! processed counter with `Acquire`. This model is that protocol in
+//! miniature: if any of those edges were weakened (say the counters went
+//! back to `Relaxed`), a schedule would exist where the main thread sees
+//! `processed == dispatched` yet finds a missing punt, and the assertions
+//! (or the cell race detector, for the ring slot) would name it.
+
+#![cfg(all(loom, not(spsc_tail_relaxed_mutation)))]
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+use netdev::{Counters, SpscRing};
+
+/// One packet keeps the DFS tractable; the soundness of the inference is a
+/// per-packet property (each punt's enqueue/count happen-before that
+/// packet's processed increment), so one packet exercises every edge.
+const DISPATCHED: u64 = 1;
+
+#[test]
+fn processed_fixpoint_implies_all_punts_enqueued_and_counted() {
+    loom::model(|| {
+        let ring = Arc::new(SpscRing::new(DISPATCHED as usize));
+        let punted = Arc::new(AtomicU64::new(0));
+        let processed = Arc::new(Counters::new());
+
+        let (worker_ring, worker_punted, worker_processed) = (
+            Arc::clone(&ring),
+            Arc::clone(&punted),
+            Arc::clone(&processed),
+        );
+        let worker = thread::spawn(move || {
+            for pkt in 0..DISPATCHED {
+                // The worker's per-packet punt protocol, in order:
+                worker_ring.push(pkt).unwrap(); // 1. enqueue the punt copy
+                worker_punted.fetch_add(1, Ordering::Release); // 2. count it
+                worker_processed.record(64); // 3. mark the packet processed
+            }
+        });
+
+        // Shutdown phase 1, one probe of the spin loop: the DFS places this
+        // single Acquire poll at every point in the worker's execution, so
+        // the schedule where it observes the fixpoint concurrently (right
+        // after the worker's final Release) is explored — a full spin loop
+        // would only add redundant placements at real-thread DFS cost.
+        if processed.packets() == DISPATCHED {
+            // The fixpoint inference: every punt is counted *and* present,
+            // checked before the join edge exists.
+            let counted = punted.load(Ordering::Acquire);
+            assert_eq!(counted, DISPATCHED, "punt count lagged processed count");
+            assert_eq!(
+                ring.len() as u64,
+                counted,
+                "counted punt missing from the ring"
+            );
+        }
+
+        worker.join().unwrap();
+
+        // Exactly-once accounting, in every schedule.
+        for expect in 0..DISPATCHED {
+            assert_eq!(ring.pop(), Some(expect), "punt lost or reordered");
+        }
+        assert!(ring.pop().is_none(), "phantom punt");
+    });
+}

@@ -1,0 +1,147 @@
+//! A model-checked [`UnsafeCell`] with a dynamic data-race detector.
+//!
+//! Every access is checked for a happens-before edge (via the runtime's
+//! vector clocks) against the accesses that preceded it: a read must
+//! happen-after the last write, and a write must happen-after the last
+//! write *and* every read since it. Two concurrent unordered accesses, at
+//! least one of them a write, abort the model reporting both access sites —
+//! this is exactly the undefined behaviour the real `std::cell::UnsafeCell`
+//! would let through silently.
+
+use std::panic::Location;
+use std::sync::Mutex;
+
+use crate::rt::{self, AccessStamp};
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<AccessStamp>,
+    /// Most recent read per thread since the last write.
+    reads: Vec<AccessStamp>,
+}
+
+/// The model-checked `UnsafeCell`. The API is access-scoped (`with` /
+/// `with_mut`) rather than `get()`-based so every access is visible to the
+/// checker; the facade's non-loom twin implements the same API as a
+/// zero-cost passthrough.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: Mutex<CellState>,
+}
+
+// SAFETY: the whole point of this type is to *check* that cross-thread
+// access is externally synchronized; the checker state itself is behind a
+// Mutex, and `data` is only reachable through tracked accessors that abort
+// the model on an actual race.
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        UnsafeCell {
+            data: std::cell::UnsafeCell::new(value),
+            state: Mutex::new(CellState::default()),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CellState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Immutable access: `f` receives the raw const pointer. Aborts the
+    /// model if this read races a write by another thread.
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        // A failed execution unwinds through destructors (e.g. a ring drop
+        // draining its slots); re-reporting from inside a drop would turn
+        // the failure into a process abort, so skip tracking entirely.
+        if std::thread::panicking() {
+            return f(self.data.get());
+        }
+        let location = Location::caller();
+        rt::branch();
+        let race = {
+            let mut s = self.lock();
+            rt::with_clock(|clock, tid| {
+                if let Some(w) = &s.last_write {
+                    if w.tid != tid && !w.happens_before(clock) {
+                        return Some(format!(
+                            "loom: data race on UnsafeCell — write at {} \
+                             (thread {}) is concurrent with read at {} (thread {tid})",
+                            w.location, w.tid, location
+                        ));
+                    }
+                }
+                let stamp = AccessStamp {
+                    tid,
+                    at: clock.component(tid),
+                    location,
+                };
+                if let Some(r) = s.reads.iter_mut().find(|r| r.tid == tid) {
+                    *r = stamp;
+                } else {
+                    s.reads.push(stamp);
+                }
+                None
+            })
+        };
+        if let Some(msg) = race {
+            rt::model_failure(msg);
+        }
+        f(self.data.get())
+    }
+
+    /// Mutable access: `f` receives the raw mut pointer. Aborts the model
+    /// if this write races any other thread's unordered read or write.
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        // See `with`: no tracking while unwinding from a reported failure.
+        if std::thread::panicking() {
+            return f(self.data.get());
+        }
+        let location = Location::caller();
+        rt::branch();
+        let race = {
+            let mut s = self.lock();
+            rt::with_clock(|clock, tid| {
+                if let Some(w) = &s.last_write {
+                    if w.tid != tid && !w.happens_before(clock) {
+                        return Some(format!(
+                            "loom: data race on UnsafeCell — write at {} \
+                             (thread {}) is concurrent with write at {} (thread {tid})",
+                            w.location, w.tid, location
+                        ));
+                    }
+                }
+                if let Some(r) = s
+                    .reads
+                    .iter()
+                    .find(|r| r.tid != tid && !r.happens_before(clock))
+                {
+                    return Some(format!(
+                        "loom: data race on UnsafeCell — read at {} (thread {}) \
+                         is concurrent with write at {} (thread {tid})",
+                        r.location, r.tid, location
+                    ));
+                }
+                s.last_write = Some(AccessStamp {
+                    tid,
+                    at: clock.component(tid),
+                    location,
+                });
+                s.reads.clear();
+                None
+            })
+        };
+        if let Some(msg) = race {
+            rt::model_failure(msg);
+        }
+        f(self.data.get())
+    }
+}

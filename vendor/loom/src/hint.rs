@@ -1,0 +1,7 @@
+//! Model-checked spin-loop hint.
+
+/// In a model, a spin-loop hint must deprioritize the spinner or the DFS
+/// livelocks replaying the spin; it maps to [`crate::thread::yield_now`].
+pub fn spin_loop() {
+    crate::rt::branch_yield();
+}

@@ -1,0 +1,39 @@
+//! A minimal, vendored subset of the `loom` exhaustive concurrency model
+//! checker.
+//!
+//! [`model`] runs a closure repeatedly, exploring every interleaving of the
+//! simulated threads it spawns (bounded by [`rt::MAX_BRANCHES`] scheduling
+//! decisions per execution and `LOOM_MAX_ITERATIONS` executions overall).
+//! Threads are real OS threads, but the scheduler serializes them: exactly
+//! one runs at a time, and every operation on a tracked primitive is a
+//! *branch* — a point where the depth-first search may switch threads. On
+//! later iterations the recorded path is replayed up to the deepest decision
+//! with an unexplored alternative, which is then advanced.
+//!
+//! What the model tracks:
+//!
+//! - **Atomics** ([`sync::atomic`]): sequentially-consistent value semantics
+//!   plus per-atomic *synchronization clocks* implementing acquire/release —
+//!   a `Release` store publishes the writer's vector clock, an `Acquire`
+//!   load joins it; a `Relaxed` store breaks the release sequence, while
+//!   RMWs continue it.
+//! - **Data races** ([`cell::UnsafeCell`]): every `with`/`with_mut` access
+//!   is stamped with the thread's clock; a write concurrent with another
+//!   access (neither ordered by happens-before) aborts the model and names
+//!   the two racing source locations.
+//! - **Locks and `Arc`** ([`sync`]): blocking is simulated (a blocked thread
+//!   is removed from the enabled set), so lost-wakeup and deadlock schedules
+//!   are explored and reported rather than hanging the test.
+//!
+//! The API mirrors the real `loom` crate for the subset the workspace's
+//! `netdev::sync` facade needs; code written against the facade compiles
+//! against `std` normally and against this crate under `--cfg loom`.
+
+pub mod cell;
+pub mod hint;
+pub mod sync;
+pub mod thread;
+
+pub(crate) mod rt;
+
+pub use rt::model;

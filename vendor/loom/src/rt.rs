@@ -1,0 +1,602 @@
+//! The model-checking runtime: a deterministic DFS scheduler over bounded
+//! thread interleavings, plus the vector-clock machinery the synchronization
+//! primitives use to track happens-before.
+//!
+//! # How exploration works
+//!
+//! All simulated threads are real OS threads, but at most one is ever
+//! *running*: every tracked operation (an atomic access, an [`UnsafeCell`]
+//! access, a lock acquire/release, spawn/join/yield) first calls
+//! [`branch`], which hands control to the scheduler. The scheduler consults
+//! the current [`Path`] — the sequence of scheduling decisions that defines
+//! this execution — and either replays a recorded choice or, past the end of
+//! the recorded prefix, records a new branch (picking the first enabled
+//! thread). When an execution finishes, the driver backtracks: the deepest
+//! branch with an unexplored alternative is advanced and everything after it
+//! is discarded, so successive executions enumerate every schedule in
+//! depth-first order. Exploration is exhaustive for terminating models; a
+//! model whose schedules do not all terminate trips the branch bound.
+//!
+//! Because only one thread runs at a time, the memory *values* observed are
+//! sequentially consistent. Weak-memory bugs are caught structurally
+//! instead: every thread carries a vector clock, release stores deposit the
+//! writer's clock on the atomic, acquire loads join it, and every
+//! [`UnsafeCell`] access is checked for a happens-before edge against the
+//! accesses that came before it — two unordered accesses (one of them a
+//! write) abort the model with both access sites.
+//!
+//! [`UnsafeCell`]: crate::cell::UnsafeCell
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::Location;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Hard cap on simulated threads per model (the suites bound themselves to
+/// three; four leaves headroom for a coordinator).
+pub(crate) const MAX_THREADS: usize = 4;
+
+/// Per-execution bound on scheduling decisions. Tripping it almost always
+/// means a spin loop without [`crate::thread::yield_now`] or a model that
+/// cannot terminate under some schedule.
+const MAX_BRANCHES: usize = 100_000;
+
+/// Default bound on explored executions; override with `LOOM_MAX_ITERATIONS`.
+const MAX_ITERATIONS: usize = 4_000_000;
+
+/// Stack size for simulated threads — model closures are tiny.
+const STACK_SIZE: usize = 256 * 1024;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over simulated thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock {
+    slots: [u32; MAX_THREADS],
+}
+
+impl VClock {
+    pub(crate) fn component(&self, tid: usize) -> u32 {
+        self.slots[tid]
+    }
+
+    pub(crate) fn inc(&mut self, tid: usize) {
+        self.slots[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` happens-after both inputs.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.slots = [0; MAX_THREADS];
+    }
+}
+
+/// One recorded access to an [`UnsafeCell`](crate::cell::UnsafeCell): who,
+/// at what point of their clock, and from which source location.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AccessStamp {
+    pub(crate) tid: usize,
+    pub(crate) at: u32,
+    pub(crate) location: &'static Location<'static>,
+}
+
+impl AccessStamp {
+    /// True when this access happens-before a thread whose clock is `clock`.
+    pub(crate) fn happens_before(&self, clock: &VClock) -> bool {
+        clock.component(self.tid) >= self.at
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Deprioritized for exactly one scheduling decision (yield_now).
+    Yielded,
+    /// Waiting on a lock or a join; made runnable again by the resource.
+    Blocked,
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    clock: VClock,
+    /// Threads blocked in `join` on this thread.
+    join_waiters: Vec<usize>,
+}
+
+/// One scheduling decision: which of the enabled threads ran. Decisions with
+/// a single enabled thread are not recorded (nothing to explore).
+#[derive(Clone, Debug)]
+struct Branch {
+    enabled: Vec<usize>,
+    sel: usize,
+}
+
+struct SchedState {
+    threads: Vec<ThreadSlot>,
+    current: usize,
+    path: Vec<Branch>,
+    cursor: usize,
+    /// Scheduling decisions taken this execution (including unrecorded
+    /// single-choice ones) — the branch-bound counter.
+    decisions: usize,
+    /// Threads not yet `Finished`.
+    active: usize,
+    /// First failure (panic payload) of this execution, if any.
+    failure: Option<Box<dyn std::any::Any + Send + 'static>>,
+}
+
+pub(crate) struct Execution {
+    sched: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Execution>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Ctx {
+    CTX.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom synchronization primitive used outside loom::model")
+    })
+}
+
+/// True when the calling OS thread is a simulated thread of a live model.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Locks the scheduler, tolerating poison (a racing panic elsewhere must not
+/// turn every other thread's diagnostics into `PoisonError`).
+fn lock_sched(exec: &Execution) -> MutexGuard<'_, SchedState> {
+    exec.sched.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The payload used when a thread aborts because *another* thread already
+/// failed the model; [`model`] filters it out in favour of the root cause.
+const ABORT: &str = "loom: aborting execution after failure in another thread";
+
+fn abort_if_failed(st: &SchedState) {
+    if st.failure.is_some() {
+        std::panic::panic_any(ABORT);
+    }
+}
+
+/// Records `msg` as the execution's failure and unwinds the current thread.
+fn fail(mut st: MutexGuard<'_, SchedState>, exec: &Execution, msg: String) -> ! {
+    if st.failure.is_none() {
+        st.failure = Some(Box::new(msg.clone()));
+    }
+    exec.cv.notify_all();
+    drop(st);
+    std::panic::panic_any(msg);
+}
+
+/// Picks the next thread to run and publishes the choice. Must be called
+/// with the scheduler locked; notifies waiters.
+fn pick_next(st: &mut SchedState, exec: &Execution) {
+    let runnable: Vec<usize> = (0..st.threads.len())
+        .filter(|&t| st.threads[t].status == Status::Runnable)
+        .collect();
+    let enabled = if runnable.is_empty() {
+        (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Yielded)
+            .collect()
+    } else {
+        runnable
+    };
+    // A yield deprioritizes its thread for exactly this decision; afterwards
+    // the thread competes again, so yield-loops interleave with every step
+    // of their peers instead of parking until a peer finishes.
+    for slot in st.threads.iter_mut() {
+        if slot.status == Status::Yielded {
+            slot.status = Status::Runnable;
+        }
+    }
+    if enabled.is_empty() {
+        if st.active == 0 {
+            // Execution complete; the driver observes every thread Finished.
+            exec.cv.notify_all();
+            return;
+        }
+        let parked: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].status == Status::Blocked)
+            .collect();
+        let msg = format!("loom: deadlock — every live thread is blocked: {parked:?}");
+        // Inline `fail` (we only have a &mut, not the guard, here): record
+        // and unwind; the panic propagates through the runner.
+        if st.failure.is_none() {
+            st.failure = Some(Box::new(msg.clone()));
+        }
+        exec.cv.notify_all();
+        std::panic::panic_any(msg);
+    }
+    st.decisions += 1;
+    if st.decisions > MAX_BRANCHES {
+        let msg = format!(
+            "loom: execution exceeded {MAX_BRANCHES} scheduling decisions — \
+             unbounded spin loop or non-terminating model?"
+        );
+        if st.failure.is_none() {
+            st.failure = Some(Box::new(msg.clone()));
+        }
+        exec.cv.notify_all();
+        std::panic::panic_any(msg);
+    }
+    let chosen = if enabled.len() == 1 {
+        enabled[0]
+    } else if st.cursor < st.path.len() {
+        let b = &st.path[st.cursor];
+        debug_assert_eq!(
+            b.enabled, enabled,
+            "loom: non-deterministic model (enabled sets diverged on replay)"
+        );
+        let chosen = b.enabled[b.sel];
+        st.cursor += 1;
+        chosen
+    } else {
+        let chosen = enabled[0];
+        st.path.push(Branch { enabled, sel: 0 });
+        st.cursor += 1;
+        chosen
+    };
+    st.current = chosen;
+    st.threads[chosen].status = Status::Runnable;
+    exec.cv.notify_all();
+}
+
+/// Parks the calling thread until the scheduler makes it current (or the
+/// execution fails, in which case it unwinds).
+fn wait_turn(mut st: MutexGuard<'_, SchedState>, exec: &Execution, tid: usize) {
+    loop {
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+        if st.current == tid && st.threads[tid].status == Status::Runnable {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling entry points used by the primitives
+// ---------------------------------------------------------------------------
+
+/// The universal pre-operation scheduling point: ticks the caller's clock,
+/// lets the scheduler (re)decide who runs, and parks until it is the
+/// caller's turn again.
+pub(crate) fn branch() {
+    // Destructors run while a failed thread unwinds (guards, `Arc`s) reach
+    // this point; panicking again inside a drop would abort the process, so
+    // the execution being torn down is simply no longer scheduled.
+    if std::thread::panicking() {
+        return;
+    }
+    let ctx = ctx();
+    let mut st = lock_sched(&ctx.exec);
+    abort_if_failed(&st);
+    st.threads[ctx.tid].clock.inc(ctx.tid);
+    pick_next(&mut st, &ctx.exec);
+    wait_turn(st, &ctx.exec, ctx.tid);
+}
+
+/// A scheduling point that deprioritizes the caller for one decision.
+pub(crate) fn branch_yield() {
+    // See `branch` — no scheduling while unwinding.
+    if std::thread::panicking() {
+        return;
+    }
+    let ctx = ctx();
+    let mut st = lock_sched(&ctx.exec);
+    abort_if_failed(&st);
+    st.threads[ctx.tid].clock.inc(ctx.tid);
+    st.threads[ctx.tid].status = Status::Yielded;
+    pick_next(&mut st, &ctx.exec);
+    wait_turn(st, &ctx.exec, ctx.tid);
+}
+
+/// Blocks the caller (status `Blocked`) and schedules someone else. The
+/// caller resumes once a resource calls [`unblock`] *and* the scheduler
+/// picks it again.
+pub(crate) fn block_and_switch() {
+    let ctx = ctx();
+    let mut st = lock_sched(&ctx.exec);
+    abort_if_failed(&st);
+    st.threads[ctx.tid].status = Status::Blocked;
+    pick_next(&mut st, &ctx.exec);
+    wait_turn(st, &ctx.exec, ctx.tid);
+}
+
+/// Makes a blocked thread runnable again (it still waits to be scheduled).
+pub(crate) fn unblock(tid: usize) {
+    let ctx = ctx();
+    let mut st = lock_sched(&ctx.exec);
+    if st.threads[tid].status == Status::Blocked {
+        st.threads[tid].status = Status::Runnable;
+    }
+}
+
+/// Runs `f` with the calling thread's vector clock (and its tid).
+pub(crate) fn with_clock<R>(f: impl FnOnce(&mut VClock, usize) -> R) -> R {
+    let ctx = ctx();
+    let mut st = lock_sched(&ctx.exec);
+    let tid = ctx.tid;
+    f(&mut st.threads[tid].clock, tid)
+}
+
+/// Records a failure message and unwinds — used by the race detector.
+pub(crate) fn model_failure(msg: String) -> ! {
+    let ctx = ctx();
+    let st = lock_sched(&ctx.exec);
+    fail(st, &ctx.exec, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Thread spawn / join support
+// ---------------------------------------------------------------------------
+
+/// Registers a new simulated thread and starts its OS runner. Returns the
+/// simulated tid.
+pub(crate) fn spawn_thread(body: Box<dyn FnOnce() + Send + 'static>) -> usize {
+    let ctx = ctx();
+    branch();
+    let tid = {
+        let mut st = lock_sched(&ctx.exec);
+        let tid = st.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "loom: model spawned more than {MAX_THREADS} threads"
+        );
+        // The child happens-after the spawn point.
+        let mut clock = st.threads[ctx.tid].clock.clone();
+        clock.inc(tid);
+        st.threads.push(ThreadSlot {
+            status: Status::Runnable,
+            clock,
+            join_waiters: Vec::new(),
+        });
+        st.active += 1;
+        tid
+    };
+    let exec = Arc::clone(&ctx.exec);
+    std::thread::Builder::new()
+        .name(format!("loom-{tid}"))
+        .stack_size(STACK_SIZE)
+        .spawn(move || runner(exec, tid, body))
+        .expect("spawn loom runner thread");
+    tid
+}
+
+/// Waits (simulated-blocking) for `tid` to finish, joining its final clock
+/// into the caller's — the happens-before edge `join` provides.
+pub(crate) fn join_thread(tid: usize) {
+    let ctx = ctx();
+    branch();
+    loop {
+        let mut st = lock_sched(&ctx.exec);
+        abort_if_failed(&st);
+        if st.threads[tid].status == Status::Finished {
+            let child = st.threads[tid].clock.clone();
+            st.threads[ctx.tid].clock.join(&child);
+            return;
+        }
+        st.threads[tid].join_waiters.push(ctx.tid);
+        st.threads[ctx.tid].status = Status::Blocked;
+        pick_next(&mut st, &ctx.exec);
+        wait_turn(st, &ctx.exec, ctx.tid);
+    }
+}
+
+/// The OS-thread body hosting one simulated thread for one execution.
+fn runner(exec: Arc<Execution>, tid: usize, body: Box<dyn FnOnce() + Send + 'static>) {
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            exec: Arc::clone(&exec),
+            tid,
+        })
+    });
+    // The prologue wait must sit inside the catch: if the execution fails
+    // before this thread ever gets a turn, the resulting abort-unwind still
+    // has to reach the epilogue below so the slot is marked `Finished` and
+    // the driver can finish harvesting.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        {
+            let st = lock_sched(&exec);
+            wait_turn_or_abort(st, &exec, tid);
+        }
+        body()
+    }));
+    let mut st = lock_sched(&exec);
+    if let Err(payload) = result {
+        let is_abort = payload.downcast_ref::<&str>().is_some_and(|s| *s == ABORT);
+        if st.failure.is_none() && !is_abort {
+            st.failure = Some(payload);
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    st.active -= 1;
+    let waiters = std::mem::take(&mut st.threads[tid].join_waiters);
+    for w in waiters {
+        if st.threads[w].status == Status::Blocked {
+            st.threads[w].status = Status::Runnable;
+        }
+    }
+    if tid == 0 && st.active > 0 && st.failure.is_none() {
+        st.failure = Some(Box::new(format!(
+            "loom: model closure returned with {} spawned thread(s) still running — join them",
+            st.active
+        )));
+    }
+    if st.failure.is_some() || st.active == 0 {
+        exec.cv.notify_all();
+        return;
+    }
+    // Hand control to a survivor; catch the scheduler's own failure panics
+    // (deadlock, branch bound) so the runner always returns and the driver
+    // can harvest the execution.
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pick_next(&mut st, &exec);
+    }));
+}
+
+/// Like [`wait_turn`] but for the runner prologue, where unwinding must not
+/// carry a user-visible message.
+fn wait_turn_or_abort(mut st: MutexGuard<'_, SchedState>, exec: &Execution, tid: usize) {
+    loop {
+        if st.failure.is_some() {
+            drop(st);
+            std::panic::panic_any(ABORT);
+        }
+        if st.current == tid && st.threads[tid].status == Status::Runnable {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+fn max_iterations() -> usize {
+    std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(MAX_ITERATIONS)
+}
+
+/// Explores every schedule of `f` (up to the bounds above), panicking with
+/// the first failure any schedule produces.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut path: Vec<Branch> = Vec::new();
+    let mut iterations = 0usize;
+    let cap = max_iterations();
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= cap,
+            "loom: exploration exceeded {cap} executions — shrink the model \
+             or raise LOOM_MAX_ITERATIONS"
+        );
+        let exec = Arc::new(Execution {
+            sched: Mutex::new(SchedState {
+                threads: vec![ThreadSlot {
+                    status: Status::Runnable,
+                    clock: {
+                        let mut c = VClock::default();
+                        c.inc(0);
+                        c
+                    },
+                    join_waiters: Vec::new(),
+                }],
+                current: 0,
+                path: std::mem::take(&mut path),
+                cursor: 0,
+                decisions: 0,
+                active: 1,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        });
+        let body = {
+            let f = Arc::clone(&f);
+            Box::new(move || f())
+        };
+        let exec0 = Arc::clone(&exec);
+        let root = std::thread::Builder::new()
+            .name("loom-0".to_string())
+            .stack_size(STACK_SIZE)
+            .spawn(move || runner(exec0, 0, body))
+            .expect("spawn loom root thread");
+        let _ = root.join();
+        // Wait for every simulated thread of this execution to wind down.
+        {
+            let mut st = lock_sched(&exec);
+            while st.threads.iter().any(|t| t.status != Status::Finished) {
+                st = exec.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        let (mut explored, failure) = {
+            let mut st = lock_sched(&exec);
+            (std::mem::take(&mut st.path), st.failure.take())
+        };
+        if let Some(payload) = failure {
+            if std::env::var_os("LOOM_LOG").is_some() {
+                eprintln!("loom: failing schedule found on execution {iterations}");
+            }
+            std::panic::resume_unwind(payload);
+        }
+        // Depth-first backtrack: advance the deepest branch with an
+        // unexplored alternative, discarding everything after it.
+        let advanced = loop {
+            match explored.last_mut() {
+                None => break false,
+                Some(last) if last.sel + 1 < last.enabled.len() => {
+                    last.sel += 1;
+                    break true;
+                }
+                Some(_) => {
+                    explored.pop();
+                }
+            }
+        };
+        if !advanced {
+            if std::env::var_os("LOOM_LOG").is_some() {
+                eprintln!("loom: explored {iterations} executions");
+            }
+            return;
+        }
+        path = explored;
+    }
+}
+
+/// A bounded FIFO of recent stores, kept per atomic for diagnostics — the
+/// modification order the SC value semantics realize.
+#[derive(Debug, Default)]
+pub(crate) struct ModOrder {
+    stores: VecDeque<(u64, usize)>,
+    total: u64,
+}
+
+impl ModOrder {
+    const KEEP: usize = 8;
+
+    pub(crate) fn record(&mut self, value: u64, tid: usize) {
+        if self.stores.len() == Self::KEEP {
+            self.stores.pop_front();
+        }
+        self.stores.push_back((value, tid));
+        self.total += 1;
+    }
+
+    /// Total stores over the atomic's lifetime (its modification-order
+    /// length).
+    pub(crate) fn len(&self) -> u64 {
+        self.total
+    }
+}

@@ -1,0 +1,97 @@
+//! A model-checked `Arc`.
+//!
+//! The value lives in a real `std::sync::Arc`; what the model adds is the
+//! happens-before edge real `Arc` provides through its reference count:
+//! every drop *releases* the dropping thread's clock into the shared sync
+//! clock, and the drop that turns out to be the last *acquires* the
+//! accumulated clock — so whatever any owner did before releasing its
+//! reference happens-before the final drop of the value.
+
+use std::ops::Deref;
+use std::sync::Mutex;
+
+use crate::rt::{self, VClock};
+
+#[derive(Debug, Default)]
+struct ArcSync {
+    clock: Mutex<VClock>,
+}
+
+/// Model-checked atomically reference-counted shared pointer.
+pub struct Arc<T> {
+    value: std::sync::Arc<T>,
+    sync: std::sync::Arc<ArcSync>,
+}
+
+impl<T> Arc<T> {
+    /// Creates a new reference-counted value.
+    pub fn new(value: T) -> Self {
+        Arc {
+            value: std::sync::Arc::new(value),
+            sync: std::sync::Arc::new(ArcSync::default()),
+        }
+    }
+
+    /// Number of strong references.
+    pub fn strong_count(this: &Self) -> usize {
+        std::sync::Arc::strong_count(&this.sync)
+    }
+
+    /// Pointer equality of two handles.
+    pub fn ptr_eq(this: &Self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&this.value, &other.value)
+    }
+}
+
+impl<T> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        if rt::in_model() {
+            rt::branch();
+        }
+        Arc {
+            value: std::sync::Arc::clone(&self.value),
+            sync: std::sync::Arc::clone(&self.sync),
+        }
+    }
+}
+
+impl<T> Deref for Arc<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Drop for Arc<T> {
+    fn drop(&mut self) {
+        // Dropping outside a model (e.g. during post-failure unwinding of a
+        // runner thread) needs no tracking.
+        if !rt::in_model() {
+            return;
+        }
+        rt::branch();
+        let mut sync = self.sync.clock.lock().unwrap_or_else(|e| e.into_inner());
+        rt::with_clock(|clock, _| {
+            sync.join(clock);
+            // We still hold one reference; a count of 1 means this drop is
+            // the last and the value's destructor runs happens-after every
+            // other owner's release above.
+            if std::sync::Arc::strong_count(&self.sync) == 1 {
+                clock.join(&sync);
+            }
+        });
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: Default> Default for Arc<T> {
+    fn default() -> Self {
+        Arc::new(T::default())
+    }
+}

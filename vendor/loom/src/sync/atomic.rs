@@ -1,0 +1,284 @@
+//! Model-checked atomics.
+//!
+//! Values behave sequentially consistently (the scheduler serializes every
+//! operation), while acquire/release *visibility* is tracked explicitly:
+//! each atomic carries a sync clock deposited by release stores and joined
+//! into the loading thread's clock by acquire loads. A `Relaxed` store
+//! clears the sync clock (it heads no release sequence) and a `Relaxed` RMW
+//! leaves it in place (it continues one) — so a protocol that publishes
+//! through a `Relaxed` store genuinely fails to create the happens-before
+//! edge, and the [`UnsafeCell`](crate::cell::UnsafeCell) race detector
+//! catches the consumers that relied on it.
+
+pub use std::sync::atomic::Ordering;
+
+use std::sync::Mutex;
+
+use crate::rt::{self, ModOrder, VClock};
+
+fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+#[derive(Debug, Default)]
+struct State {
+    value: u64,
+    /// Clock released into this atomic by the store (or release sequence)
+    /// that produced the current value.
+    sync: VClock,
+    /// Recent modification order, for diagnostics.
+    order: ModOrder,
+}
+
+/// The shared implementation under every public atomic type.
+#[derive(Debug, Default)]
+struct Atomic {
+    state: Mutex<State>,
+}
+
+impl Atomic {
+    fn new(value: u64) -> Self {
+        Atomic {
+            state: Mutex::new(State {
+                value,
+                sync: VClock::default(),
+                order: ModOrder::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        rt::branch();
+        let s = self.lock();
+        if acquires(order) {
+            rt::with_clock(|clock, _| clock.join(&s.sync));
+        }
+        s.value
+    }
+
+    fn store(&self, value: u64, order: Ordering) {
+        rt::branch();
+        let mut s = self.lock();
+        rt::with_clock(|clock, tid| {
+            if releases(order) {
+                s.sync = clock.clone();
+            } else {
+                // A plain relaxed store breaks any release sequence headed
+                // by an earlier store: readers synchronize with nothing.
+                s.sync.clear();
+            }
+            s.order.record(value, tid);
+        });
+        s.value = value;
+    }
+
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        rt::branch();
+        let mut s = self.lock();
+        let prev = s.value;
+        let next = f(prev);
+        rt::with_clock(|clock, tid| {
+            if acquires(order) {
+                clock.join(&s.sync);
+            }
+            if releases(order) {
+                // An RMW joins (rather than replaces) the sync clock: it
+                // continues the release sequence it modifies.
+                s.sync.join(clock);
+            }
+            s.order.record(next, tid);
+        });
+        s.value = next;
+        prev
+    }
+
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        rt::branch();
+        let mut s = self.lock();
+        let prev = s.value;
+        if prev == current {
+            rt::with_clock(|clock, tid| {
+                if acquires(success) {
+                    clock.join(&s.sync);
+                }
+                if releases(success) {
+                    s.sync.join(clock);
+                }
+                s.order.record(new, tid);
+            });
+            s.value = new;
+            Ok(prev)
+        } else {
+            if acquires(failure) {
+                rt::with_clock(|clock, _| clock.join(&s.sync));
+            }
+            Err(prev)
+        }
+    }
+
+    /// Modification-order length (total stores), for model assertions.
+    fn stores(&self) -> u64 {
+        self.lock().order.len()
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// A model-checked integer atomic (see the module docs).
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: Atomic,
+        }
+
+        impl $name {
+            /// Creates a new atomic with `value`.
+            pub fn new(value: $ty) -> Self {
+                $name {
+                    inner: Atomic::new(value as u64),
+                }
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.inner.load(order) as $ty
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: $ty, order: Ordering) {
+                self.inner.store(value as u64, order)
+            }
+
+            /// Swaps in `value`, returning the previous value.
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner.rmw(order, |_| value as u64) as $ty
+            }
+
+            /// Adds `value`, returning the previous value.
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner
+                    .rmw(order, |v| (v as $ty).wrapping_add(value) as u64) as $ty
+            }
+
+            /// Subtracts `value`, returning the previous value.
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner
+                    .rmw(order, |v| (v as $ty).wrapping_sub(value) as u64) as $ty
+            }
+
+            /// Bitwise-ors in `value`, returning the previous value.
+            pub fn fetch_or(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner.rmw(order, |v| v | (value as u64)) as $ty
+            }
+
+            /// Bitwise-ands in `value`, returning the previous value.
+            pub fn fetch_and(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner.rmw(order, |v| ((v as $ty) & value) as u64) as $ty
+            }
+
+            /// Stores the maximum of the current value and `value`,
+            /// returning the previous value.
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                self.inner.rmw(order, |v| (v as $ty).max(value) as u64) as $ty
+            }
+
+            /// Compare-and-swap with independent success/failure orderings.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.inner
+                    .compare_exchange(current as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            /// Weak compare-and-swap (never fails spuriously in the model).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            /// Total stores this atomic has absorbed — the length of its
+            /// modification order (model-only diagnostic).
+            pub fn modification_order_len(&self) -> u64 {
+                self.inner.stores()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicU32, u32);
+
+/// A model-checked boolean atomic (see the module docs).
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    inner: Atomic,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with `value`.
+    pub fn new(value: bool) -> Self {
+        AtomicBool {
+            inner: Atomic::new(value as u64),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        self.inner.load(order) != 0
+    }
+
+    /// Stores `value`.
+    pub fn store(&self, value: bool, order: Ordering) {
+        self.inner.store(value as u64, order)
+    }
+
+    /// Swaps in `value`, returning the previous value.
+    pub fn swap(&self, value: bool, order: Ordering) -> bool {
+        self.inner.rmw(order, |_| value as u64) != 0
+    }
+
+    /// Compare-and-swap with independent success/failure orderings.
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.inner
+            .compare_exchange(current as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}

@@ -1,0 +1,11 @@
+//! Model-checked synchronization primitives.
+
+pub mod atomic;
+
+mod arc;
+mod mutex;
+mod rwlock;
+
+pub use arc::Arc;
+pub use mutex::{Mutex, MutexGuard};
+pub use rwlock::{RwLock, RwLockReadGuard, RwLockWriteGuard};

@@ -1,0 +1,117 @@
+//! A model-checked mutex with the `parking_lot` (non-poisoning) API the
+//! workspace's facade exposes.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+
+use crate::rt::{self, VClock};
+
+#[derive(Debug, Default)]
+struct LockState {
+    held: bool,
+    /// Clock released by the last unlock; acquiring joins it, so successive
+    /// critical sections are totally ordered.
+    sync: VClock,
+    /// Simulated threads blocked waiting for the lock.
+    waiters: Vec<usize>,
+}
+
+/// Model-checked mutual-exclusion lock.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: StdMutex<LockState>,
+}
+
+// SAFETY: `data` is only reachable through a `MutexGuard`, which the model
+// hands to one thread at a time (the `held` flag below, checked under the
+// scheduler's serialization); `T: Send` is required so the value may move
+// between the threads that successively hold the lock.
+unsafe impl<T: Send> Send for Mutex<T> {}
+// SAFETY: as above — shared references to the Mutex only yield `&T`/`&mut T`
+// through the exclusive guard.
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            data: std::cell::UnsafeCell::new(value),
+            state: StdMutex::new(LockState::default()),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Acquires the lock, blocking (in simulated time) until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        rt::branch();
+        loop {
+            {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if !s.held {
+                    s.held = true;
+                    rt::with_clock(|clock, _| clock.join(&s.sync));
+                    return MutexGuard { lock: self };
+                }
+                rt::with_clock(|_, tid| s.waiters.push(tid));
+            }
+            rt::block_and_switch();
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        rt::branch();
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if s.held {
+            return None;
+        }
+        s.held = true;
+        rt::with_clock(|clock, _| clock.join(&s.sync));
+        Some(MutexGuard { lock: self })
+    }
+
+    fn unlock(&self) {
+        let waiters = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            s.held = false;
+            rt::with_clock(|clock, _| s.sync.join(clock));
+            std::mem::take(&mut s.waiters)
+        };
+        for tid in waiters {
+            rt::unblock(tid);
+        }
+    }
+}
+
+/// Exclusive guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard proves exclusive ownership of the lock (`held`
+        // was set by this thread and is cleared only in `drop`).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the guard is exclusive.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}

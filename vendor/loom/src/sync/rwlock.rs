@@ -1,0 +1,144 @@
+//! A model-checked reader-writer lock with the `parking_lot` API.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::Mutex as StdMutex;
+
+use crate::rt::{self, VClock};
+
+#[derive(Debug, Default)]
+struct LockState {
+    readers: usize,
+    writer: bool,
+    /// Clock released by unlocks; writers and readers both acquire it (a
+    /// reader must see everything the last writer wrote), and both release
+    /// into it (a writer must happen-after every preceding reader).
+    sync: VClock,
+    waiters: Vec<usize>,
+}
+
+/// Model-checked reader-writer lock.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    data: std::cell::UnsafeCell<T>,
+    state: StdMutex<LockState>,
+}
+
+// SAFETY: `data` is only reachable through the guards: many shared readers
+// or one exclusive writer, enforced by the reader/writer accounting under
+// the scheduler's serialization. `T: Send + Sync` mirrors std's bounds.
+unsafe impl<T: Send> Send for RwLock<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            data: std::cell::UnsafeCell::new(value),
+            state: StdMutex::new(LockState::default()),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        rt::branch();
+        loop {
+            {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if !s.writer {
+                    s.readers += 1;
+                    rt::with_clock(|clock, _| clock.join(&s.sync));
+                    return RwLockReadGuard { lock: self };
+                }
+                rt::with_clock(|_, tid| s.waiters.push(tid));
+            }
+            rt::block_and_switch();
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        rt::branch();
+        loop {
+            {
+                let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                if !s.writer && s.readers == 0 {
+                    s.writer = true;
+                    rt::with_clock(|clock, _| clock.join(&s.sync));
+                    return RwLockWriteGuard { lock: self };
+                }
+                rt::with_clock(|_, tid| s.waiters.push(tid));
+            }
+            rt::block_and_switch();
+        }
+    }
+
+    fn release(&self, write: bool) {
+        let waiters = {
+            let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            if write {
+                s.writer = false;
+            } else {
+                s.readers -= 1;
+            }
+            rt::with_clock(|clock, _| s.sync.join(clock));
+            std::mem::take(&mut s.waiters)
+        };
+        for tid in waiters {
+            rt::unblock(tid);
+        }
+    }
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds a reader registration, so no writer can
+        // be active (enforced in `write`).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release(false);
+    }
+}
+
+/// Exclusive guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // SAFETY: the guard holds the writer flag, so access is exclusive.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the writer flag guarantees exclusivity.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.release(true);
+    }
+}

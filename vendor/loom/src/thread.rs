@@ -1,0 +1,55 @@
+//! Model-checked threads: spawn/join with happens-before edges, plus a
+//! scheduler-aware `yield_now` for spin loops.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt;
+
+/// Handle to a simulated thread; [`JoinHandle::join`] blocks (in simulated
+/// time) until the thread finishes and establishes the usual happens-before
+/// edge from everything the thread did.
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result (`Err` carries
+    /// the panic payload, as with `std`).
+    pub fn join(self) -> std::thread::Result<T> {
+        rt::join_thread(self.tid);
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("loom: thread result already taken")
+    }
+}
+
+/// Spawns a simulated thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let tid = rt::spawn_thread(Box::new(move || {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(v) => *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v)),
+            // Re-raise with the original payload: the runner records it as
+            // the execution's failure, which is what a panicking model
+            // thread means. (`join` never runs far enough to need the slot —
+            // a failed execution aborts every surviving thread.)
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }));
+    JoinHandle { tid, result }
+}
+
+/// Deprioritizes the calling thread for one scheduling decision — the model
+/// equivalent of `std::thread::yield_now`, and the required ingredient of
+/// any model spin loop (a spin without it livelocks the DFS).
+pub fn yield_now() {
+    rt::branch_yield();
+}

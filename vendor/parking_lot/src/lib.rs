@@ -8,7 +8,9 @@
 //! semantics.
 
 use std::fmt;
-use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+// Real `parking_lot` exports its guard types; the shim's guards are std's.
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with `parking_lot`'s non-poisoning `lock()` API.
 #[derive(Default)]

@@ -1,0 +1,606 @@
+//! Source-analysis lint gate: repo-specific rules that `rustc`/`clippy`
+//! cannot express, run in CI as `cargo xtask lint`.
+//!
+//! Three rules, all pure text analysis over the workspace's `.rs` files:
+//!
+//! 1. **SAFETY comments** — every `unsafe {` block and `unsafe impl` must
+//!    carry a `SAFETY:` comment, either on the same line or in the
+//!    contiguous comment block directly above. This overlaps with
+//!    `clippy::undocumented_unsafe_blocks` on purpose: the clippy lint only
+//!    fires on code clippy actually compiles (one cfg combination at a
+//!    time) — this rule sees every cfg branch, including `cfg(loom)`-only
+//!    code the default clippy job never type-checks.
+//! 2. **Sync-facade integrity** — inside the facade-covered crates
+//!    (`netdev`, `shard`, `core`), no source file other than the facade
+//!    itself (`crates/netdev/src/sync.rs`) may name `std::sync::atomic` or
+//!    `std::cell::UnsafeCell`. Everything goes through `netdev::sync`, so
+//!    the loom build exercises the same primitives the production build
+//!    runs. `#[cfg(test)]` regions are exempt (tests run under std only).
+//! 3. **Fast-path allocation ban** — the declared per-packet fast-path
+//!    modules must not use allocation constructors (`Vec::new`, `Box::new`,
+//!    `vec![`, `format!`, `.to_vec()`, `String::new`, `.to_string()`).
+//!    `#[cfg(test)]` regions are exempt. The allocation-regression test
+//!    measures the *composed* hit path at runtime with one workload; this
+//!    rule keeps the leaf modules honest at the source level, whatever the
+//!    workload.
+
+use std::fmt;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Files whose per-packet code paths must stay allocation-free. Paths are
+/// workspace-relative with `/` separators.
+const FAST_PATH_MODULES: &[&str] = &[
+    "crates/netdev/src/ring.rs",
+    "crates/netdev/src/stats.rs",
+    "crates/ovsdp/src/minikey.rs",
+];
+
+/// Crates whose source must route all atomics/`UnsafeCell` use through the
+/// `netdev::sync` facade.
+const FACADE_COVERED: &[&str] = &[
+    "crates/netdev/src/",
+    "crates/shard/src/",
+    "crates/core/src/",
+];
+
+/// The one file allowed to name the raw primitives: the facade itself.
+const FACADE_FILE: &str = "crates/netdev/src/sync.rs";
+
+const BANNED_PRIMITIVES: &[&str] = &["std::sync::atomic", "std::cell::UnsafeCell"];
+
+const BANNED_ALLOCATIONS: &[&str] = &[
+    "Vec::new",
+    "Box::new",
+    "vec!",
+    "format!",
+    ".to_vec()",
+    "String::new",
+    ".to_string()",
+];
+
+#[derive(Debug, PartialEq)]
+struct Violation {
+    file: String,
+    /// 1-indexed.
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Strips line comments, block comments and string/char literal *contents*
+/// so token searches don't match inside them. Stripped characters become
+/// spaces; line structure is preserved exactly.
+fn censor(src: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push(' ');
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push('"');
+                }
+                'r' if matches!(next, Some('"') | Some('#')) => {
+                    // Possible raw string: `r`, zero or more `#`, `"`.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j;
+                    } else {
+                        out.push(c);
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: treat as a literal only if a
+                    // closing quote appears within 4 chars (covers 'x',
+                    // '\n', '\\', '\''); otherwise it's a lifetime tick.
+                    if (1..=4).any(|d| chars.get(i + d) == Some(&'\'')) {
+                        st = St::Char;
+                    }
+                    out.push('\'');
+                }
+                _ => out.push(c),
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(depth) => {
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 1;
+                } else if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            St::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    st = St::Code;
+                    out.push('"');
+                }
+                _ => out.push(if c == '\n' { '\n' } else { ' ' }),
+            },
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes as usize).all(|d| chars.get(i + 1 + d) == Some(&'#')) {
+                    for _ in 0..=hashes as usize {
+                        out.push(' ');
+                    }
+                    i += hashes as usize;
+                    st = St::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            St::Char => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    st = St::Code;
+                    out.push('\'');
+                }
+                _ => out.push(' '),
+            },
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Per-line mask over censored source: `true` for lines inside a
+/// `#[cfg(test)]`-gated item (the attribute line through the close of the
+/// item's brace block, or through the first `;` for braceless items).
+fn test_region_mask(censored: &str) -> Vec<bool> {
+    let lines: Vec<&str> = censored.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        if !lines[i].contains("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        let mut depth = 0i32;
+        let mut opened = false;
+        let mut j = i;
+        while j < lines.len() {
+            mask[j] = true;
+            for ch in lines[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth <= 0 {
+                break;
+            }
+            if !opened && lines[j].contains(';') {
+                break;
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Rule 1: every `unsafe {` / `unsafe impl` carries a `SAFETY:` comment on
+/// the same line or in the contiguous comment block directly above.
+fn check_safety_comments(file: &str, src: &str) -> Vec<Violation> {
+    let censored = censor(src);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+    for (idx, cen) in censored.lines().enumerate() {
+        let words: Vec<&str> = cen.split_whitespace().collect();
+        let is_unsafe_site = words
+            .windows(2)
+            .any(|w| w[0] == "unsafe" && (w[1].starts_with('{') || w[1].starts_with("impl")))
+            || words.last() == Some(&"unsafe")
+            || cen.contains("unsafe{");
+        if !is_unsafe_site {
+            continue;
+        }
+        // Same-line comment (comments are censored out of `cen`, so check
+        // the raw line).
+        if raw_lines[idx].contains("SAFETY:") {
+            continue;
+        }
+        // Contiguous comment block directly above.
+        let mut documented = false;
+        let mut k = idx;
+        while k > 0 {
+            k -= 1;
+            let t = raw_lines[k].trim_start();
+            if !(t.starts_with("//") || t.starts_with("/*") || t.starts_with('*')) {
+                break;
+            }
+            if t.contains("SAFETY:") {
+                documented = true;
+                break;
+            }
+        }
+        if !documented {
+            out.push(Violation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "safety-comment",
+                message: "`unsafe` without a `SAFETY:` comment on the same line or in \
+                          the comment block directly above"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: facade-covered crates must not name the raw sync primitives
+/// outside `#[cfg(test)]` regions; only the facade file itself may.
+fn check_facade_bypass(file: &str, src: &str) -> Vec<Violation> {
+    if file == FACADE_FILE || !FACADE_COVERED.iter().any(|p| file.starts_with(p)) {
+        return Vec::new();
+    }
+    let censored = censor(src);
+    let mask = test_region_mask(&censored);
+    let mut out = Vec::new();
+    for (idx, line) in censored.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for token in BANNED_PRIMITIVES {
+            if line.contains(token) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "facade-bypass",
+                    message: format!(
+                        "`{token}` named outside the sync facade — go through \
+                         `netdev::sync` so the loom model checks this code"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Rule 3: declared fast-path modules must not call allocation
+/// constructors outside `#[cfg(test)]` regions.
+fn check_fastpath_alloc(file: &str, src: &str) -> Vec<Violation> {
+    if !FAST_PATH_MODULES.contains(&file) {
+        return Vec::new();
+    }
+    let censored = censor(src);
+    let mask = test_region_mask(&censored);
+    let mut out = Vec::new();
+    for (idx, line) in censored.lines().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for token in BANNED_ALLOCATIONS {
+            if line.contains(token) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "fastpath-alloc",
+                    message: format!(
+                        "`{token}` in a declared fast-path module — allocation is \
+                         banned on the per-packet path"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+fn check_file(rel_path: &str, src: &str) -> Vec<Violation> {
+    let mut v = check_safety_comments(rel_path, src);
+    v.extend(check_facade_bypass(rel_path, src));
+    v.extend(check_fastpath_alloc(rel_path, src));
+    v
+}
+
+/// Collects every workspace-owned `.rs` file (crates/, xtask/, vendor/,
+/// tests/, benches/), skipping build output.
+fn collect_sources(root: &Path) -> Vec<(String, String)> {
+    let mut files = Vec::new();
+    let mut stack: Vec<std::path::PathBuf> = ["crates", "xtask", "vendor", "tests", "benches"]
+        .iter()
+        .map(|d| root.join(d))
+        .filter(|d| d.is_dir())
+        .collect();
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                match std::fs::read_to_string(&path) {
+                    Ok(src) => files.push((rel, src)),
+                    Err(e) => eprintln!("xtask lint: skipping unreadable {rel}: {e}"),
+                }
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+pub fn run() -> ExitCode {
+    // xtask lives at <root>/xtask; fall back to the cwd for direct runs.
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .ok()
+        .and_then(|dir| Path::new(&dir).parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| Path::new(".").to_path_buf());
+
+    let sources = collect_sources(&root);
+    if sources.is_empty() {
+        eprintln!("xtask lint: no sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations = Vec::new();
+    for (rel, src) in &sources {
+        violations.extend(check_file(rel, src));
+    }
+
+    if violations.is_empty() {
+        println!(
+            "xtask lint: {} files clean (safety-comment, facade-bypass, fastpath-alloc)",
+            sources.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    // ---- rule 1: SAFETY comments -------------------------------------
+
+    #[test]
+    fn undocumented_unsafe_block_is_flagged() {
+        let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = check_safety_comments("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&v), ["safety-comment"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn undocumented_unsafe_impl_is_flagged() {
+        let src = "struct X;\nunsafe impl Send for X {}\n";
+        let v = check_safety_comments("crates/x/src/lib.rs", src);
+        assert_eq!(rules(&v), ["safety-comment"]);
+    }
+
+    #[test]
+    fn comment_block_above_documents_the_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees `p` is valid.\n    unsafe { *p }\n}\n";
+        assert!(check_safety_comments("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn same_line_block_comment_documents_the_unsafe() {
+        let src = "fn f(p: *const u8) -> u8 {\n    /* SAFETY: p valid */ unsafe { *p }\n}\n";
+        assert!(check_safety_comments("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_comment_above_does_not_count() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // reads the byte\n    unsafe { *p }\n}\n";
+        assert_eq!(
+            rules(&check_safety_comments("crates/x/src/lib.rs", src)),
+            ["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn safety_comment_separated_by_code_does_not_count() {
+        let src = "// SAFETY: stale, belongs to something else\nfn g() {}\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        assert_eq!(
+            rules(&check_safety_comments("crates/x/src/lib.rs", src)),
+            ["safety-comment"]
+        );
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let src =
+            "fn f() -> &'static str {\n    // unsafe { nope }\n    \"unsafe { also nope }\"\n}\n";
+        assert!(check_safety_comments("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    // ---- rule 2: facade bypass ---------------------------------------
+
+    #[test]
+    fn raw_atomics_in_covered_crate_are_flagged() {
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        let v = check_facade_bypass("crates/netdev/src/ring.rs", src);
+        assert_eq!(rules(&v), ["facade-bypass"]);
+    }
+
+    #[test]
+    fn raw_unsafecell_in_covered_crate_is_flagged() {
+        let src = "struct S { c: std::cell::UnsafeCell<u32> }\n";
+        let v = check_facade_bypass("crates/shard/src/runtime.rs", src);
+        assert_eq!(rules(&v), ["facade-bypass"]);
+    }
+
+    #[test]
+    fn facade_file_itself_is_exempt() {
+        let src = "pub use std::sync::atomic;\npub use std::cell::UnsafeCell;\n";
+        assert!(check_facade_bypass(FACADE_FILE, src).is_empty());
+    }
+
+    #[test]
+    fn uncovered_crate_is_exempt() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        assert!(check_facade_bypass("crates/openflow/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "pub fn f() {}\n\n#[cfg(test)]\nmod tests {\n    use std::sync::atomic::AtomicUsize;\n    #[test]\n    fn t() { let _ = AtomicUsize::new(0); }\n}\n";
+        assert!(check_facade_bypass("crates/core/src/runtime.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_region_is_still_checked() {
+        let src = "#[cfg(test)]\nmod tests {\n}\n\nuse std::sync::atomic::AtomicUsize;\n";
+        let v = check_facade_bypass("crates/core/src/runtime.rs", src);
+        assert_eq!(rules(&v), ["facade-bypass"]);
+        assert_eq!(v[0].line, 5);
+    }
+
+    // ---- rule 3: fast-path allocations -------------------------------
+
+    #[test]
+    fn vec_new_in_fast_path_module_is_flagged() {
+        let src = "pub fn hot() -> Vec<u8> {\n    Vec::new()\n}\n";
+        let v = check_fastpath_alloc("crates/netdev/src/ring.rs", src);
+        assert_eq!(rules(&v), ["fastpath-alloc"]);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn box_new_and_format_are_flagged() {
+        let src =
+            "pub fn hot() {\n    let _b = Box::new(1u32);\n    let _s = format!(\"{}\", 1);\n}\n";
+        let v = check_fastpath_alloc("crates/netdev/src/stats.rs", src);
+        assert_eq!(rules(&v), ["fastpath-alloc", "fastpath-alloc"]);
+    }
+
+    #[test]
+    fn to_vec_is_flagged() {
+        let src = "pub fn hot(s: &[u8]) -> Vec<u8> { s.to_vec() }\n";
+        assert_eq!(
+            rules(&check_fastpath_alloc("crates/ovsdp/src/minikey.rs", src)),
+            ["fastpath-alloc"]
+        );
+    }
+
+    #[test]
+    fn non_fast_path_module_is_exempt() {
+        let src = "pub fn setup() -> Vec<u8> { Vec::new() }\n";
+        assert!(check_fastpath_alloc("crates/ovsdp/src/megaflow.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fast_path_test_region_is_exempt() {
+        let src = "pub fn hot() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { let _ = vec![1u8]; }\n}\n";
+        assert!(check_fastpath_alloc("crates/netdev/src/ring.rs", src).is_empty());
+    }
+
+    #[test]
+    fn alloc_token_in_comment_or_string_is_ignored() {
+        let src = "// avoid Vec::new here\npub fn hot() -> &'static str { \"Box::new\" }\n";
+        assert!(check_fastpath_alloc("crates/netdev/src/ring.rs", src).is_empty());
+    }
+
+    // ---- plumbing ----------------------------------------------------
+
+    #[test]
+    fn censor_preserves_line_count() {
+        let src = "fn a() {}\n/* multi\nline */\nfn b() { let s = \"x\ny\"; let _ = s; }\n";
+        assert_eq!(censor(src).lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn check_file_aggregates_rules() {
+        let src = "use std::sync::atomic::AtomicUsize;\nfn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = check_file("crates/netdev/src/ring.rs", src);
+        let mut r = rules(&v);
+        r.sort_unstable();
+        assert_eq!(r, ["facade-bypass", "safety-comment"]);
+    }
+}
