@@ -1,19 +1,26 @@
 //! fig_reactive — the reactive slow path of the sharded runtime under a
-//! miss storm, recorded to `BENCH_reactive.json`.
+//! miss storm and under adversarial punt storms, recorded to
+//! `BENCH_reactive.json` (schema v2).
 //!
 //! The classic reactive workload: a seeded MAC table whose misses punt to a
 //! controller that installs the missing rule. On the sharded runtime the
-//! punts travel the asynchronous controller channel — per-shard punt rings,
-//! a controller thread, flow-mods published through the §3.4 planner, and
-//! packet-outs re-injected through RSS. Per backend, three phases over the
-//! same feeds:
+//! punts travel the asynchronous controller channel — a matrix of SPSC punt
+//! rings drained by N flow-signature-partitioned controller workers,
+//! flow-mods published through the §3.4 planner, and packet-outs
+//! re-injected through per-worker RSS dispatchers. Per backend:
 //!
-//! * **quiescent** — known flows only (the pps baseline);
-//! * **storm** — a set of never-seen flows joins until every one is
-//!   installed and stops punting: reactive flow-setup rate, punt round-trip
-//!   latency and pps retained under the storm;
-//! * **converged** — the known feed again: pps retained once the punt
-//!   machinery is idle (the acceptance gate: ≥90% of quiescent).
+//! * **controller-worker sweep** — the three-phase miss-storm measurement
+//!   (quiescent / storm / converged) at 1 and 2 controller workers, so the
+//!   drain side's scaling is on record next to the single-thread baseline;
+//! * **adversarial storm** — a victim tenant's steady feed and fresh-flow
+//!   installs while one source cycles thousands of never-installable flows
+//!   (`measure_punt_storm`), under the hardened admission policy (and, in
+//!   full mode, the open policy for contrast). Victim bursts are timed
+//!   against each attacker pass's in-flight punt backlog — the slow-path
+//!   cost the defense can actually return. The acceptance gate is the
+//!   victim retaining ≥70% of its no-attack burst rate under the hardened
+//!   policy, with the per-layer shed counters accounting for every
+//!   rejection (the identities are asserted at every shutdown).
 //!
 //! `ESWITCH_BENCH_QUICK=1` shrinks the windows for CI smoke runs.
 
@@ -21,9 +28,10 @@ use std::fmt::Write as _;
 
 use bench_harness::print_header;
 use bench_harness::reactive::{
-    measure_reactive_load, ReactiveLoadConfig, ReactiveLoadPoint, RING_CAPACITY,
+    measure_punt_storm, measure_reactive_load, ReactiveLoadConfig, ReactiveLoadPoint, StormConfig,
+    StormPoint, RING_CAPACITY,
 };
-use shard::BackendSpec;
+use shard::{BackendSpec, ControllerWorkerSnapshot, PuntPolicy};
 
 fn duration_ms() -> u64 {
     if bench_harness::quick_mode() {
@@ -49,9 +57,49 @@ fn storm_flows() -> usize {
     }
 }
 
-struct Point {
+fn attacker_flows() -> usize {
+    if bench_harness::quick_mode() {
+        1_024
+    } else {
+        4_096
+    }
+}
+
+/// The hardened admission policy every storm run gates on: 200 punts/s per
+/// source, a 20K/s aggregate controller budget.
+fn hardened_policy() -> PuntPolicy {
+    PuntPolicy::hardened(200, 20_000)
+}
+
+struct LoadPoint {
     backend: &'static str,
+    controller_workers: usize,
     result: ReactiveLoadPoint,
+}
+
+struct StormRun {
+    backend: &'static str,
+    policy: &'static str,
+    controller_workers: usize,
+    result: StormPoint,
+}
+
+fn per_worker_json(per_worker: &[ControllerWorkerSnapshot]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in per_worker.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"drained\": {}, \"rtt_mean_us\": {:.2}, \"rtt_max_us\": {:.2}}}",
+            w.drained,
+            w.rtt_mean_nanos() / 1_000.0,
+            w.rtt_max_nanos as f64 / 1_000.0,
+        );
+    }
+    out.push(']');
+    out
 }
 
 fn main() {
@@ -66,49 +114,113 @@ fn main() {
 
     print_header(
         "Reactive slow path",
-        "async controller channel: punt RTT, flow-setup rate, pps under miss storms (BENCH_reactive.json)",
+        "sharded controller channel: punt RTT, flow-setup scaling, victim pps under punt storms (BENCH_reactive.json)",
     );
 
     let workers = 2usize;
     let known_flows = 1_024usize;
-    let mut points: Vec<Point> = Vec::new();
+    let mut points: Vec<LoadPoint> = Vec::new();
     for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
-        let result = measure_reactive_load(
+        for controller_workers in [1usize, 2] {
+            let result = measure_reactive_load(
+                spec,
+                ReactiveLoadConfig {
+                    workers,
+                    controller_workers,
+                    known_flows,
+                    storm_flows: storm_flows(),
+                    warmup: warmup_packets(),
+                    duration_ms: duration_ms(),
+                },
+            );
+            println!(
+                "{:<4} cw={} quiescent {:>12.0} pps | storm {:>12.0} pps ({:>5.1}%) | converged {:>12.0} pps ({:>5.1}%) | {:>7.0} setups/s | punt RTT mean {:>7.1}µs max {:>8.1}µs",
+                spec.label(),
+                controller_workers,
+                result.quiescent_pps,
+                result.storm_pps,
+                result.retained_storm() * 100.0,
+                result.converged_pps,
+                result.retained_converged() * 100.0,
+                result.flow_setup_per_sec,
+                result.rtt_mean_us(),
+                result.rtt_max_us(),
+            );
+            let r = &result.reactive;
+            let drains: Vec<u64> = r.per_worker.iter().map(|w| w.drained).collect();
+            println!(
+                "     punts: {} punted, {} suppressed, {} overflow, {} answered, {} flow-mods, {} reinjected; per-worker drains {:?}; classes {}/{}/{}",
+                r.punted,
+                r.suppressed,
+                r.overflow,
+                r.answered,
+                r.flow_mods,
+                r.reinjected,
+                drains,
+                result.classes.incremental,
+                result.classes.per_table,
+                result.classes.full,
+            );
+            points.push(LoadPoint {
+                backend: spec.label(),
+                controller_workers,
+                result,
+            });
+        }
+    }
+
+    // The adversarial storm: hardened policy on both backends; in full mode
+    // the eswitch backend also runs the open policy, the no-defense
+    // baseline the hardened numbers are read against.
+    let mut storms: Vec<StormRun> = Vec::new();
+    let mut storm_specs: Vec<(BackendSpec, &'static str, PuntPolicy)> = vec![
+        (BackendSpec::eswitch(), "hardened", hardened_policy()),
+        (BackendSpec::ovs(), "hardened", hardened_policy()),
+    ];
+    if !bench_harness::quick_mode() {
+        storm_specs.push((BackendSpec::eswitch(), "open", PuntPolicy::default()));
+    }
+    for (spec, policy_label, policy) in storm_specs {
+        let controller_workers = 2usize;
+        let result = measure_punt_storm(
             spec,
-            ReactiveLoadConfig {
+            StormConfig {
                 workers,
-                known_flows,
-                storm_flows: storm_flows(),
+                controller_workers,
+                victim_flows: known_flows,
+                fresh_victim_flows: 32,
+                attacker_flows: attacker_flows(),
                 warmup: warmup_packets(),
                 duration_ms: duration_ms(),
+                policy,
             },
         );
+        let s = &result.reactive;
         println!(
-            "{:<4} quiescent {:>12.0} pps | storm {:>12.0} pps ({:>5.1}%) | converged {:>12.0} pps ({:>5.1}%) | {:>7.0} setups/s | punt RTT mean {:>7.1}µs max {:>8.1}µs",
+            "{:<4} storm[{}] victim {:>12.0} -> {:>12.0} pps (retained {:>5.1}%) | installs in {:>7.1}ms | sheds: {} source, {} aggregate, {} overflow ({} attacker packets)",
             spec.label(),
-            result.quiescent_pps,
-            result.storm_pps,
-            result.retained_storm() * 100.0,
-            result.converged_pps,
-            result.retained_converged() * 100.0,
-            result.flow_setup_per_sec,
-            result.rtt_mean_us(),
-            result.rtt_max_us(),
+            policy_label,
+            result.victim_baseline_pps,
+            result.victim_storm_pps,
+            result.victim_retained() * 100.0,
+            result.victim_install_ms,
+            s.shed_source,
+            s.shed_aggregate,
+            s.overflow,
+            result.attacker_offered,
         );
-        let r = result.reactive;
-        println!(
-            "     punts: {} punted, {} suppressed, {} overflow, {} answered, {} flow-mods; classes {}/{}/{}",
-            r.punted,
-            r.suppressed,
-            r.overflow,
-            r.answered,
-            r.flow_mods,
-            result.classes.incremental,
-            result.classes.per_table,
-            result.classes.full,
-        );
-        points.push(Point {
+        if policy_label == "hardened" {
+            assert!(
+                result.victim_retained() >= 0.7,
+                "{} hardened storm run retained only {:.1}% of the victim's burst rate",
+                spec.label(),
+                result.victim_retained() * 100.0
+            );
+        }
+        storms.push(StormRun {
             backend: spec.label(),
+            policy: policy_label,
+            controller_workers,
             result,
         });
     }
@@ -117,11 +229,12 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"fig_reactive\",\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     let _ = writeln!(json, "  \"workers\": {workers},");
     let _ = writeln!(json, "  \"ring_capacity\": {RING_CAPACITY},");
     let _ = writeln!(json, "  \"known_flows\": {known_flows},");
     let _ = writeln!(json, "  \"storm_flows\": {},", storm_flows());
+    let _ = writeln!(json, "  \"attacker_flows\": {},", attacker_flows());
     let _ = writeln!(json, "  \"duration_ms\": {},", duration_ms());
     let _ = writeln!(json, "  \"warmup_packets\": {},", warmup_packets());
     let _ = writeln!(json, "  \"quick\": {},", bench_harness::quick_mode());
@@ -134,7 +247,7 @@ fn main() {
     );
     json.push_str("},\n");
     json.push_str(
-        "  \"note\": \"punt_rtt = enqueue-to-decisions-applied; flow_setup_per_sec = storm flows / time to zero punts; retained_converged = converged_pps / quiescent_pps (acceptance gate >= 0.9); punts counters obey punted+overflow+suppressed == attempts and answered == punted\",\n",
+        "  \"note\": \"punt_rtt = enqueue-to-decisions-applied; flow_setup_per_sec = storm flows / time to zero punts; every shutdown asserts attempts == admitted + suppressed, admitted == punted + overflow + shed_source + shed_aggregate, answered == punted, injected == reinjected, and punted == sum(per_worker.drained); storm runs cycle attacker_flows never-installable flows from one source signature against a victim tenant, timing victim bursts against each attacker pass's in-flight punt backlog (the attacker's own fast-path share is outside the victim clock; gate: hardened victim_retained >= 0.7)\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, p) in points.iter().enumerate() {
@@ -142,8 +255,9 @@ fn main() {
         let s = &r.reactive;
         let _ = write!(
             json,
-            "    {{\"backend\": \"{}\", \"quiescent_pps\": {:.0}, \"storm_pps\": {:.0}, \"converged_pps\": {:.0}, \"retained_storm\": {:.4}, \"retained_converged\": {:.4}, \"flow_setup_per_sec\": {:.1}, \"punt_rtt_mean_us\": {:.2}, \"punt_rtt_max_us\": {:.2}, \"punts\": {{\"punted\": {}, \"suppressed\": {}, \"overflow\": {}, \"answered\": {}, \"flow_mods\": {}, \"reinjected\": {}, \"injected\": {}}}, \"classes\": {{\"incremental\": {}, \"per_table\": {}, \"full\": {}}}}}",
+            "    {{\"backend\": \"{}\", \"controller_workers\": {}, \"quiescent_pps\": {:.0}, \"storm_pps\": {:.0}, \"converged_pps\": {:.0}, \"retained_storm\": {:.4}, \"retained_converged\": {:.4}, \"flow_setup_per_sec\": {:.1}, \"punt_rtt_mean_us\": {:.2}, \"punt_rtt_max_us\": {:.2}, \"punts\": {{\"punted\": {}, \"suppressed\": {}, \"overflow\": {}, \"shed_source\": {}, \"shed_aggregate\": {}, \"answered\": {}, \"flow_mods\": {}, \"reinjected\": {}, \"injected\": {}}}, \"per_worker\": {}, \"classes\": {{\"incremental\": {}, \"per_table\": {}, \"full\": {}}}}}",
             p.backend,
+            p.controller_workers,
             r.quiescent_pps,
             r.storm_pps,
             r.converged_pps,
@@ -155,19 +269,51 @@ fn main() {
             s.punted,
             s.suppressed,
             s.overflow,
+            s.shed_source,
+            s.shed_aggregate,
             s.answered,
             s.flow_mods,
             s.reinjected,
             s.injected,
+            per_worker_json(&s.per_worker),
             r.classes.incremental,
             r.classes.per_table,
             r.classes.full,
         );
         json.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"storm\": [\n");
+    for (i, run) in storms.iter().enumerate() {
+        let r = &run.result;
+        let s = &r.reactive;
+        let _ = write!(
+            json,
+            "    {{\"backend\": \"{}\", \"policy\": \"{}\", \"controller_workers\": {}, \"victim_baseline_pps\": {:.0}, \"victim_storm_pps\": {:.0}, \"victim_retained\": {:.4}, \"victim_install_ms\": {:.1}, \"attacker_offered\": {}, \"punts\": {{\"punted\": {}, \"suppressed\": {}, \"overflow\": {}, \"shed_source\": {}, \"shed_aggregate\": {}, \"answered\": {}, \"flow_mods\": {}, \"reinjected\": {}, \"injected\": {}}}, \"per_worker\": {}}}",
+            run.backend,
+            run.policy,
+            run.controller_workers,
+            r.victim_baseline_pps,
+            r.victim_storm_pps,
+            r.victim_retained(),
+            r.victim_install_ms,
+            r.attacker_offered,
+            s.punted,
+            s.suppressed,
+            s.overflow,
+            s.shed_source,
+            s.shed_aggregate,
+            s.answered,
+            s.flow_mods,
+            s.reinjected,
+            s.injected,
+            per_worker_json(&s.per_worker),
+        );
+        json.push_str(if i + 1 < storms.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n");
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write bench json");
-    println!("\nwrote {out_path}");
+    println!("\nwrote {out_path} (counter identities verified at every shutdown)");
 }

@@ -18,11 +18,21 @@
 //! Punt round-trip latency (enqueue → controller decisions applied) is
 //! accounted by the channel itself and reported from its counters. The
 //! `fig_reactive` binary sweeps backends into `BENCH_reactive.json`.
+//!
+//! [`measure_punt_storm`] is the adversarial companion: a victim tenant's
+//! steady feed shares the switch with an attacker cycling thousands of
+//! never-installable flows from one source signature (the
+//! `examples/cache_attack.rs` adversary aimed at the punt path). It reports
+//! the victim's packet rate retained against the storm's slow-path backlog
+//! (timed victim bursts right after each untimed attacker pass, while that
+//! pass's punts are still in flight through the controller channel), how
+//! long the victim's *own* fresh flows take to install mid-storm, and the
+//! per-layer shed counters that must account for every rejected punt.
 
 use std::time::{Duration, Instant};
 
 use netdev::BURST_SIZE;
-use openflow::controller::FnController;
+use openflow::controller::{resubmit_packet_out, FnController};
 use openflow::flow_match::FlowMatch;
 use openflow::instruction::terminal_actions;
 use openflow::{
@@ -32,7 +42,8 @@ use openflow::{
 use pkt::builder::PacketBuilder;
 use pkt::{MacAddr, Packet};
 use shard::{
-    BackendSpec, ReactiveSnapshot, RssDispatcher, ShardedConfig, ShardedSwitch, UpdateClassCounts,
+    BackendSpec, PuntPolicy, ReactiveSnapshot, RssDispatcher, ShardedConfig, ShardedSwitch,
+    UpdateClassCounts,
 };
 
 /// Per-shard ring capacity used by the reactive harness.
@@ -40,9 +51,16 @@ pub const RING_CAPACITY: usize = 1024;
 
 const SEED_MAC_BASE: u64 = 0x0200_0000_3000;
 const STORM_MAC_BASE: u64 = 0x0200_0000_4000;
+/// Fresh victim flows that must install mid-storm (distinct sources).
+const VICTIM_FRESH_MAC_BASE: u64 = 0x0200_0000_5000;
+const VICTIM_SRC_MAC_BASE: u64 = 0x0200_0000_6000;
+/// Attacker destinations: the storm controller refuses installs at and
+/// above this base, so attacker flows punt forever (never converge).
+const ATTACK_MAC_BASE: u64 = 0x0200_0000_8000;
+const ATTACK_SRC_MAC: u64 = 0x0200_0000_0bad;
 
 /// One measured operating point of [`measure_reactive_load`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ReactiveLoadPoint {
     /// Packets/sec with only known flows flowing (no punts).
     pub quiescent_pps: f64,
@@ -94,6 +112,9 @@ impl ReactiveLoadPoint {
 pub struct ReactiveLoadConfig {
     /// Worker shards.
     pub workers: usize,
+    /// Controller workers draining the punt rings (partitioned by flow
+    /// signature).
+    pub controller_workers: usize,
     /// Known flows in the steady feed.
     pub known_flows: usize,
     /// Never-seen flows in the miss storm.
@@ -104,17 +125,69 @@ pub struct ReactiveLoadConfig {
     pub duration_ms: u64,
 }
 
+/// Asserts the reactive channel's exactly-once accounting at quiescence:
+/// every punt attempt resolved to exactly one of the counted outcomes, and
+/// both the answer and inject flows balanced.
+pub fn assert_reactive_identities(s: &ReactiveSnapshot) {
+    assert_eq!(
+        s.admitted,
+        s.punted + s.overflow + s.shed_source + s.shed_aggregate,
+        "admitted punts must be ring-enqueued or shed, counted: {s:?}"
+    );
+    assert_eq!(s.attempts(), s.admitted + s.suppressed, "{s:?}");
+    assert_eq!(
+        s.answered, s.punted,
+        "unanswered punts at quiescence: {s:?}"
+    );
+    assert_eq!(
+        s.injected, s.reinjected,
+        "unprocessed packet-outs at quiescence: {s:?}"
+    );
+    assert_eq!(
+        s.punted,
+        s.per_worker.iter().map(|w| w.drained).sum::<u64>(),
+        "per-worker drains must cover every punt: {s:?}"
+    );
+}
+
 /// The deterministic reactive controller of the harness: install a MAC rule
-/// for whatever destination punted (pure function of the key, idempotent).
+/// for whatever destination punted (pure function of the key, idempotent)
+/// and resubmit the triggering packet so it takes the fresh rule — the
+/// classic install + `OFPP_TABLE` packet-out pair, which keeps the inject
+/// rings honest in the measured counters.
 fn install_controller() -> Box<dyn Controller> {
     Box::new(FnController::new(|pi: PacketIn| {
         let key = FlowKey::extract(&pi.packet);
-        vec![ControllerDecision::FlowMod(FlowMod::add(
-            0,
-            FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
-            10,
-            terminal_actions(vec![Action::Output((key.eth_dst % 4) as u32)]),
-        ))]
+        vec![
+            ControllerDecision::FlowMod(FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
+                10,
+                terminal_actions(vec![Action::Output((key.eth_dst % 4) as u32)]),
+            )),
+            resubmit_packet_out(pi.packet),
+        ]
+    }))
+}
+
+/// The storm harness's controller: an access-gateway that installs (and
+/// resubmits) victim flows but refuses the attacker's destinations, so
+/// attacker flows punt forever — the worst case for the admission layers.
+fn storm_controller() -> Box<dyn Controller> {
+    Box::new(FnController::new(|pi: PacketIn| {
+        let key = FlowKey::extract(&pi.packet);
+        if key.eth_dst >= ATTACK_MAC_BASE {
+            return vec![ControllerDecision::Drop];
+        }
+        vec![
+            ControllerDecision::FlowMod(FlowMod::add(
+                0,
+                FlowMatch::any().with_exact(Field::EthDst, u128::from(key.eth_dst)),
+                10,
+                terminal_actions(vec![Action::Output((key.eth_dst % 4) as u32)]),
+            )),
+            resubmit_packet_out(pi.packet),
+        ]
     }))
 }
 
@@ -140,10 +213,32 @@ fn mac_packet(mac: u64, rep: usize) -> Packet {
         .build()
 }
 
+/// One attacker packet: high-entropy destination, but every origin field
+/// pinned to one identity — the whole storm collapses onto a single source
+/// signature, which is exactly what the per-source bucket keys on.
+fn attack_packet(i: u64) -> Packet {
+    PacketBuilder::udp()
+        .eth_src(MacAddr::from_u64(ATTACK_SRC_MAC))
+        .eth_dst(MacAddr::from_u64(ATTACK_MAC_BASE + i))
+        .udp_src(40_000 + (i % 512) as u16)
+        .build()
+}
+
+/// One fresh victim flow: its own source identity (a compliant tenant) and
+/// an uninstalled destination, so it must round-trip the controller
+/// mid-storm to converge.
+fn victim_fresh_packet(i: u64) -> Packet {
+    PacketBuilder::udp()
+        .eth_src(MacAddr::from_u64(VICTIM_SRC_MAC_BASE + i))
+        .eth_dst(MacAddr::from_u64(VICTIM_FRESH_MAC_BASE + i))
+        .build()
+}
+
 /// Measures one backend's reactive operating point.
 pub fn measure_reactive_load(spec: BackendSpec, config: ReactiveLoadConfig) -> ReactiveLoadPoint {
     let ReactiveLoadConfig {
         workers,
+        controller_workers,
         known_flows,
         storm_flows,
         warmup,
@@ -155,6 +250,7 @@ pub fn measure_reactive_load(spec: BackendSpec, config: ReactiveLoadConfig) -> R
         reactive_pipeline(seeded),
         ShardedConfig {
             workers,
+            controller_workers,
             ring_capacity: RING_CAPACITY,
             ..ShardedConfig::default()
         },
@@ -242,13 +338,240 @@ pub fn measure_reactive_load(spec: BackendSpec, config: ReactiveLoadConfig) -> R
 
     let report = switch.shutdown(dispatcher);
     assert_eq!(report.processed.packets, report.dispatched);
+    let reactive = report.reactive.expect("reactive launch");
+    assert_reactive_identities(&reactive);
     ReactiveLoadPoint {
         quiescent_pps,
         storm_pps,
         converged_pps,
         flow_setup_per_sec,
-        reactive: report.reactive.expect("reactive launch"),
+        reactive,
         classes: report.update_classes,
+    }
+}
+
+/// Operating point of one [`measure_punt_storm`] run.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Worker shards.
+    pub workers: usize,
+    /// Controller workers draining the punt rings.
+    pub controller_workers: usize,
+    /// Installed victim flows in the steady feed.
+    pub victim_flows: usize,
+    /// Fresh victim flows (distinct compliant sources) that must install
+    /// mid-storm.
+    pub fresh_victim_flows: usize,
+    /// Distinct attacker flows, all sharing one source signature, cycled
+    /// for the whole storm window (the controller never installs them).
+    pub attacker_flows: usize,
+    /// Warm-up packets before the timed windows.
+    pub warmup: usize,
+    /// Length of the baseline and storm windows.
+    pub duration_ms: u64,
+    /// The admission policy under test (open = no defense baseline).
+    pub policy: PuntPolicy,
+}
+
+/// One measured operating point of [`measure_punt_storm`].
+#[derive(Debug, Clone)]
+pub struct StormPoint {
+    /// Victim packets/sec with no attacker present (timed victim bursts).
+    pub victim_baseline_pps: f64,
+    /// Victim packets/sec for the same bursts run against the sustained
+    /// storm's slow-path backlog (the attacker's own fast-path passes are
+    /// outside the victim clock — see [`measure_punt_storm`]).
+    pub victim_storm_pps: f64,
+    /// Time (ms, from storm start) until every fresh victim flow was on the
+    /// fast path — the victim's reactive service under attack.
+    pub victim_install_ms: f64,
+    /// Attacker packets offered during the storm window.
+    pub attacker_offered: u64,
+    /// Final reactive-channel accounting (shed counters live here).
+    pub reactive: ReactiveSnapshot,
+}
+
+impl StormPoint {
+    /// Fraction of the victim's no-attack packet rate retained mid-storm.
+    pub fn victim_retained(&self) -> f64 {
+        if self.victim_baseline_pps <= 0.0 {
+            0.0
+        } else {
+            self.victim_storm_pps / self.victim_baseline_pps
+        }
+    }
+}
+
+/// Measures one backend's slow-path resilience: a victim tenant's steady
+/// feed and fresh-flow installs, under a sustained punt storm from a single
+/// adversarial source cycling `attacker_flows` never-installable flows.
+///
+/// Both phases time identical victim feed-and-drain bursts; the storm
+/// phase's bursts run right after each (untimed) attacker pass, while that
+/// pass's punt backlog is still in flight through the controller channel.
+/// `victim_retained` therefore isolates the storm's *slow-path* cost —
+/// controller workers churning garbage punts, gate and bucket pressure,
+/// ring backlogs — which is the thing a punt-admission defense can actually
+/// return. The attacker's raw fast-path share is deliberately outside the
+/// victim clock: no slow-path policy can refund ingress CPU (per-shard
+/// multi-queue isolation does that), and timing it would reduce the metric
+/// to the feed mix ratio on small machines.
+pub fn measure_punt_storm(spec: BackendSpec, config: StormConfig) -> StormPoint {
+    let seeded = 512.min(config.victim_flows.max(64));
+    let (switch, mut dispatcher) = ShardedSwitch::launch_reactive(
+        spec,
+        reactive_pipeline(seeded),
+        ShardedConfig {
+            workers: config.workers,
+            controller_workers: config.controller_workers,
+            ring_capacity: RING_CAPACITY,
+            punt_policy: config.policy,
+            ..ShardedConfig::default()
+        },
+        storm_controller(),
+    )
+    .expect("reactive pipeline compiles");
+
+    let n = config.victim_flows.max(BURST_SIZE).div_ceil(BURST_SIZE) * BURST_SIZE;
+    let victim: Vec<(usize, Packet)> = (0..n)
+        .map(|i| {
+            let packet = mac_packet(SEED_MAC_BASE + (i % seeded) as u64, i);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let attackers: Vec<(usize, Packet)> = (0..config.attacker_flows)
+        .map(|i| {
+            let packet = attack_packet(i as u64);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let fresh: Vec<(usize, Packet)> = (0..config.fresh_victim_flows)
+        .map(|i| {
+            let packet = victim_fresh_packet(i as u64);
+            (dispatcher.shard_for(&packet), packet)
+        })
+        .collect();
+    let feed = |dispatcher: &mut RssDispatcher, ring: &[(usize, Packet)]| {
+        for (shard, proto) in ring {
+            dispatcher.dispatch_to(*shard, proto.clone());
+        }
+    };
+    let drain = |switch: &ShardedSwitch, dispatcher: &mut RssDispatcher| {
+        dispatcher.flush();
+        while switch.stats().packets < dispatcher.dispatched() {
+            std::thread::yield_now();
+        }
+    };
+
+    // Warm-up on the victim steady feed.
+    let mut warmed = 0usize;
+    while warmed < config.warmup {
+        feed(&mut dispatcher, &victim);
+        warmed += victim.len();
+    }
+    drain(&switch, &mut dispatcher);
+
+    let window = Duration::from_millis(config.duration_ms);
+
+    // Phase 1: the victim alone, in timed feed-and-drain bursts. The storm
+    // phase times the identical victim bursts, so the ratio compares like
+    // with like (the per-burst drain sync cost appears in both).
+    let mut victim_sent = 0u64;
+    let mut victim_time = Duration::ZERO;
+    let start = Instant::now();
+    while start.elapsed() < window {
+        let t0 = Instant::now();
+        feed(&mut dispatcher, &victim);
+        drain(&switch, &mut dispatcher);
+        victim_time += t0.elapsed();
+        victim_sent += victim.len() as u64;
+    }
+    let victim_baseline_pps = victim_sent as f64 / victim_time.as_secs_f64();
+
+    // Phase 2: the sustained storm. Each pass offers the full attacker
+    // pool plus the victim's fresh flows, then times a victim burst against
+    // whatever the storm left behind in the controller channel — punt
+    // backlogs draining through the controller workers, gate/bucket
+    // pressure, epoch churn. The attacker's *own* fast-path processing is
+    // outside the victim clock deliberately: raw ingress CPU/link share is
+    // not something a slow-path defense can return (multi-queue ingress
+    // isolation is), but every slow-path consequence of the storm lands
+    // inside the timed window — with the open policy the controller
+    // workers are still chewing through thousands of garbage punts while
+    // the victim burst runs, and `victim_retained` collapses; the hardened
+    // policy sheds the backlog at admission and keeps the victim near
+    // baseline. The flow-mod counter marks when the victim's installs went
+    // through (attacker flows never produce one), pending phase 3's proof.
+    let fm_base = switch.reactive_stats().expect("reactive launch").flow_mods;
+    let mut victim_sent = 0u64;
+    let mut victim_time = Duration::ZERO;
+    let mut attacker_offered = 0u64;
+    let mut installed_at: Option<Duration> = None;
+    let start = Instant::now();
+    loop {
+        // Untimed: the attacker pool's fast-path pass. `drain` waits only
+        // for the *packets* — the punt copies it raised are still in
+        // flight through the controller channel when the victim clock
+        // starts, which is the point.
+        feed(&mut dispatcher, &attackers);
+        attacker_offered += attackers.len() as u64;
+        feed(&mut dispatcher, &fresh);
+        drain(&switch, &mut dispatcher);
+        let t0 = Instant::now();
+        feed(&mut dispatcher, &victim);
+        drain(&switch, &mut dispatcher);
+        victim_time += t0.elapsed();
+        victim_sent += victim.len() as u64;
+        if installed_at.is_none() {
+            let fm = switch.reactive_stats().expect("reactive launch").flow_mods;
+            if fm >= fm_base + fresh.len() as u64 {
+                installed_at = Some(start.elapsed());
+            }
+        }
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    drain(&switch, &mut dispatcher);
+    let victim_storm_pps = victim_sent as f64 / victim_time.as_secs_f64();
+
+    // Phase 3: prove the victim's fresh flows converged (or measure how
+    // much longer the storm's backlog delays them). A full fresh-victim
+    // pass over a drained switch raising zero new punt attempts means
+    // every one is on the fast path.
+    let deadline = start + Duration::from_secs(120);
+    let converged_at = loop {
+        let before = switch.reactive_stats().expect("reactive launch").attempts();
+        feed(&mut dispatcher, &fresh);
+        drain(&switch, &mut dispatcher);
+        let stats = switch.reactive_stats().expect("reactive launch");
+        if stats.attempts() == before && stats.answered == stats.punted {
+            break start.elapsed();
+        }
+        // Keep the storm hot while the victim waits: starvation must show
+        // up in this number, not be hidden by a convenient quiet period.
+        feed(&mut dispatcher, &attackers);
+        attacker_offered += attackers.len() as u64;
+        assert!(
+            Instant::now() < deadline,
+            "victim installs starved by the storm: {stats:?}"
+        );
+    };
+    // The mid-storm flow-mod mark is the honest install time when it fired
+    // (phase 3 then only *verified* convergence); a victim that had to wait
+    // out the storm gets the later, verified time.
+    let victim_install_ms = installed_at.unwrap_or(converged_at).as_secs_f64() * 1_000.0;
+
+    let report = switch.shutdown(dispatcher);
+    assert_eq!(report.processed.packets, report.dispatched);
+    let reactive = report.reactive.expect("reactive launch");
+    assert_reactive_identities(&reactive);
+    StormPoint {
+        victim_baseline_pps,
+        victim_storm_pps,
+        victim_install_ms,
+        attacker_offered,
+        reactive,
     }
 }
 
@@ -264,6 +587,7 @@ mod tests {
             BackendSpec::eswitch(),
             ReactiveLoadConfig {
                 workers: 1,
+                controller_workers: 2,
                 known_flows: 256,
                 storm_flows: 64,
                 warmup: 2_000,
@@ -277,9 +601,58 @@ mod tests {
         // Every storm flow punted at least once and was answered.
         assert!(point.reactive.punted >= 64, "{:?}", point.reactive);
         assert_eq!(point.reactive.answered, point.reactive.punted);
+        // The install + resubmit pair exercises the inject rings: every
+        // answer re-injected a packet-out and every one was processed.
+        assert!(point.reactive.reinjected >= 64, "{:?}", point.reactive);
+        assert_eq!(point.reactive.reinjected, point.reactive.injected);
+        // Both controller workers must have drained (the storm flows spread
+        // over partitions) and the drains must cover every punt.
+        assert_eq!(point.reactive.per_worker.len(), 2, "{:?}", point.reactive);
+        assert!(
+            point.reactive.per_worker.iter().all(|w| w.drained > 0),
+            "{:?}",
+            point.reactive
+        );
         // Hash-shaped reactive installs publish incremental epochs.
         assert!(point.classes.incremental >= 64, "{:?}", point.classes);
         assert_eq!(point.classes.full, 0, "{:?}", point.classes);
         assert!(point.rtt_mean_us() > 0.0);
+    }
+
+    /// The storm harness under a hardened policy: the single-source storm
+    /// is shed at layer 2, the victim's fresh flows install, and every
+    /// rejection is accounted.
+    #[test]
+    fn storm_harness_sheds_attacker_and_serves_victim() {
+        let point = measure_punt_storm(
+            BackendSpec::eswitch(),
+            StormConfig {
+                workers: 1,
+                controller_workers: 2,
+                victim_flows: 256,
+                fresh_victim_flows: 16,
+                attacker_flows: 512,
+                warmup: 2_000,
+                duration_ms: 60,
+                policy: PuntPolicy::hardened(100, 10_000),
+            },
+        );
+        assert!(point.victim_baseline_pps > 0.0);
+        assert!(point.victim_storm_pps > 0.0);
+        assert!(point.attacker_offered >= 512);
+        // The acceptance gate: with the hardened policy shedding the
+        // storm's punt backlog at admission, the victim keeps ≥ 70% of its
+        // no-attack burst rate. (The open policy collapses here — the
+        // committed BENCH_reactive.json storm[] carries the contrast.)
+        assert!(
+            point.victim_retained() >= 0.7,
+            "victim retained only {:.1}% under the hardened policy",
+            point.victim_retained() * 100.0
+        );
+        // The attacker's punts hammered layer 2 (one source signature).
+        assert!(point.reactive.shed_source > 0, "{:?}", point.reactive);
+        // The victim's fresh flows all converged (phase 3 proved it).
+        assert!(point.victim_install_ms > 0.0);
+        assert!(point.reactive.flow_mods >= 16, "{:?}", point.reactive);
     }
 }

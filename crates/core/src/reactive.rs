@@ -1,20 +1,42 @@
-//! Shared reactive-handoff machinery: punt deduplication for the slow path.
+//! Shared reactive-handoff machinery: punt admission control for the slow
+//! path, layered defense-in-depth style.
 //!
 //! The paper's reactive workloads (the access gateway, a learning switch)
 //! depend on table misses reaching the controller and the controller's
 //! flow-mods repopulating the pipeline. Between the miss and the install,
 //! *every* packet of the missing flow keeps missing — and a line-rate flow
 //! would flood the controller with thousands of identical packet-ins for one
-//! decision. The [`PuntGate`] is the standard fix, shared by the synchronous
-//! [`EswitchRuntime`](crate::runtime::EswitchRuntime) and the sharded
-//! runtime's asynchronous controller channel: the first miss of a flow is
-//! admitted, every further miss of the same flow is suppressed until the
-//! install completes (or the punt is abandoned), at which point the flow may
-//! punt again.
+//! decision. Worse, the slow path is an *attack surface*: a single tenant
+//! emitting high-entropy traffic (every packet a fresh flow — the
+//! `cache_attack` scenario) turns the punt channel into a denial of service
+//! for every well-behaved tenant sharing the switch.
+//!
+//! The defense is layered, each layer stateless or low-state on the fast
+//! path and every rejection counted by reason:
+//!
+//! 1. **Per-flow one-in-flight** — the [`PuntGate`]: the first miss of a
+//!    flow is admitted, every further miss of the same flow is *suppressed*
+//!    until the install completes. Absorbs line-rate repetition of one flow.
+//! 2. **Per-source token buckets** — a fixed-width table of [`TokenBucket`]s
+//!    indexed by the *source* signature ([`source_signature`]): who sent the
+//!    packet, not which flow it is. A scanning tenant cycling destinations
+//!    creates thousands of distinct flows but only one source — its punts
+//!    collapse onto one bucket and are *shed* once it exceeds its rate,
+//!    while other tenants' buckets stay full.
+//! 3. **Aggregate controller budget** — one global [`TokenBucket`] bounding
+//!    total punt admissions per second to what the controller can actually
+//!    absorb, whatever the mix of sources.
+//!
+//! All three layers are zero-alloc at punt time (the buckets are fixed
+//! arrays allocated at launch; acquiring is one CAS), and packets that never
+//! punt pay for none of it. [`PuntPolicy`] configures layers 2 and 3;
+//! [`PuntAdmission`] evaluates them in order.
 //!
 //! Flows are identified by a 64-bit signature of the extraction-time flow
 //! key ([`punt_signature`]); RSS shard affinity means one flow only ever
 //! punts from one worker, so per-shard gates never see cross-shard aliasing.
+//! Sources are identified by [`source_signature`] over the key's origin
+//! fields only, so per-source buckets see through destination churn.
 
 use std::collections::HashSet;
 
@@ -32,6 +54,240 @@ pub fn punt_signature(key: &FlowKey) -> u64 {
     let mut hasher = netdev::FxHasher::new();
     key.hash(&mut hasher);
     hasher.finish()
+}
+
+/// The 64-bit *source* signature the per-tenant admission buckets key on: a
+/// hash of the flow key's origin fields only (ingress port, source MAC,
+/// VLAN, source IP). Two flows from one sender share it even when the
+/// sender cycles destinations and ports — which is exactly how a
+/// high-entropy adversary evades per-*flow* state, and why layer 2 of the
+/// admission pipeline must not key on the full tuple.
+pub fn source_signature(key: &FlowKey) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = netdev::FxHasher::new();
+    key.in_port.hash(&mut hasher);
+    key.eth_src.hash(&mut hasher);
+    key.vlan_vid.hash(&mut hasher);
+    key.ipv4_src.hash(&mut hasher);
+    key.ipv6_src.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// A token-bucket rate: sustained tokens per second plus the burst depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens per second (clamped to ≥ 1 effective
+    /// millitoken per refill tick).
+    pub per_sec: u64,
+    /// Bucket depth: tokens that may be spent in one burst (clamped ≥ 1).
+    pub burst: u64,
+}
+
+impl RateLimit {
+    /// A limit of `per_sec` sustained with an equal burst depth.
+    pub fn per_sec(per_sec: u64) -> Self {
+        RateLimit {
+            per_sec,
+            burst: per_sec.max(1),
+        }
+    }
+}
+
+/// Tokens are tracked in 1/1024ths ("millitokens") so sub-1000/s rates
+/// still refill something every tick.
+const TOKEN_SCALE: u64 = 1024;
+/// One refill tick is 1 ms of the caller-supplied nanosecond clock.
+const TICK_NANOS: u64 = 1_000_000;
+
+/// A lock-free token bucket: the whole state — last refill tick and current
+/// millitoken count — packs into one `AtomicU64`, so acquiring a token is a
+/// single CAS (zero-alloc, no lock, safe to hammer from every worker).
+///
+/// Time is supplied by the caller as nanoseconds on any monotone clock
+/// (the runtimes pass "nanos since launch"); the bucket itself never reads a
+/// clock, which keeps it deterministic under the loom model suites. Ticks
+/// are 32-bit milliseconds — a clock living longer than ~49 days wraps and
+/// costs at most one burst of over-admission, never an under-admission
+/// stall, because a stale `last` tick saturates to zero elapsed.
+#[derive(Debug)]
+pub struct TokenBucket {
+    /// `(last_refill_tick as u64) << 32 | millitokens`.
+    state: AtomicU64,
+    /// Millitokens refilled per tick (≥ 1 so every configured rate makes
+    /// progress).
+    per_tick: u64,
+    /// Millitoken ceiling (the burst depth).
+    cap: u64,
+}
+
+fn pack(tick: u32, millitokens: u64) -> u64 {
+    debug_assert!(millitokens <= u64::from(u32::MAX));
+    (u64::from(tick) << 32) | millitokens
+}
+
+impl TokenBucket {
+    /// A bucket starting full at `limit.burst` tokens.
+    pub fn new(limit: RateLimit) -> Self {
+        let per_tick = (limit.per_sec.saturating_mul(TOKEN_SCALE) / 1000).max(1);
+        let cap = limit
+            .burst
+            .max(1)
+            .saturating_mul(TOKEN_SCALE)
+            .min(u64::from(u32::MAX));
+        TokenBucket {
+            state: AtomicU64::new(pack(0, cap)),
+            per_tick,
+            cap,
+        }
+    }
+
+    /// Attempts to spend one token at time `now_nanos`; `false` means the
+    /// bucket is empty (the punt must be shed). Refill happens inline on
+    /// the same CAS — there is no background filler thread.
+    pub fn try_acquire(&self, now_nanos: u64) -> bool {
+        let now_tick = (now_nanos / TICK_NANOS) as u32;
+        let mut cur = self.state.load(Ordering::Relaxed);
+        loop {
+            let last = (cur >> 32) as u32;
+            let tokens = cur & u64::from(u32::MAX);
+            // Saturating: a peer thread may have stored a slightly newer
+            // tick than this thread's clock read; that is zero elapsed, not
+            // 49 days of refill.
+            let elapsed = u64::from(now_tick.saturating_sub(last));
+            let refilled = tokens
+                .saturating_add(elapsed.saturating_mul(self.per_tick))
+                .min(self.cap);
+            let (next, granted) = if refilled >= TOKEN_SCALE {
+                (pack(now_tick.max(last), refilled - TOKEN_SCALE), true)
+            } else if elapsed == 0 {
+                // Nothing accrued and nothing to spend: fail without a
+                // store so a shedding storm stays read-mostly.
+                return false;
+            } else {
+                // Bank the fractional accrual under the new tick so slow
+                // rates still converge on their configured average.
+                (pack(now_tick.max(last), refilled), false)
+            };
+            match self
+                .state
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return granted,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whole tokens currently available (diagnostics only).
+    pub fn available(&self) -> u64 {
+        (self.state.load(Ordering::Relaxed) & u64::from(u32::MAX)) / TOKEN_SCALE
+    }
+}
+
+/// Configuration of the layered punt-admission pipeline (layers 2 and 3;
+/// layer 1 — the per-flow [`PuntGate`] — is sized separately because it is
+/// per-shard). The default is fully open: no source or aggregate limit, the
+/// pre-hardening behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PuntPolicy {
+    /// Layer 2: per-source punt rate, applied to every source independently
+    /// through a fixed table of [`source_buckets`](PuntPolicy::source_buckets)
+    /// token buckets. `None` disables the layer.
+    pub per_source: Option<RateLimit>,
+    /// Width of the per-source bucket table (rounded up to a power of two,
+    /// clamped ≥ 16). Sources hash onto buckets, so the state is O(width)
+    /// regardless of how many sources exist — an adversary minting fake
+    /// sources degrades toward the aggregate limit, never toward unbounded
+    /// memory.
+    pub source_buckets: usize,
+    /// Layer 3: aggregate punt budget across all sources — what the
+    /// controller can actually absorb. `None` disables the layer.
+    pub aggregate: Option<RateLimit>,
+}
+
+impl Default for PuntPolicy {
+    fn default() -> Self {
+        PuntPolicy {
+            per_source: None,
+            source_buckets: 1024,
+            aggregate: None,
+        }
+    }
+}
+
+impl PuntPolicy {
+    /// The hardened profile used by the adversarial-storm benchmarks:
+    /// `per_source` punts/s per tenant, an aggregate budget of
+    /// `aggregate` punts/s, 1024 source buckets.
+    pub fn hardened(per_source: u64, aggregate: u64) -> Self {
+        PuntPolicy {
+            per_source: Some(RateLimit::per_sec(per_source)),
+            source_buckets: 1024,
+            aggregate: Some(RateLimit::per_sec(aggregate)),
+        }
+    }
+}
+
+/// Why (or that) the admission pipeline let a punt through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PuntAdmit {
+    /// Every layer passed: raise the packet-in.
+    Admitted,
+    /// Layer 2 shed it: the packet's *source* exceeded its punt rate.
+    ShedSource,
+    /// Layer 3 shed it: the switch-wide controller budget is exhausted.
+    ShedAggregate,
+}
+
+/// Layers 2 and 3 of the punt-admission pipeline, shared across every
+/// worker shard (sources spread over shards, so per-shard buckets would
+/// multiply every tenant's budget by the shard count).
+///
+/// Layer order matters and is fixed: the per-source bucket is charged
+/// first, so a source already over its own rate cannot drain the aggregate
+/// budget that compliant sources share — the misbehaving tenant is shed at
+/// its own layer and the blast radius stops there.
+#[derive(Debug)]
+pub struct PuntAdmission {
+    source_buckets: Option<Box<[TokenBucket]>>,
+    aggregate: Option<TokenBucket>,
+}
+
+impl PuntAdmission {
+    /// Builds the pipeline for `policy`. All bucket state is allocated
+    /// here, once; admission itself never allocates.
+    pub fn new(policy: &PuntPolicy) -> Self {
+        let source_buckets = policy.per_source.map(|limit| {
+            let width = policy.source_buckets.max(16).next_power_of_two();
+            (0..width)
+                .map(|_| TokenBucket::new(limit))
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        });
+        PuntAdmission {
+            source_buckets,
+            aggregate: policy.aggregate.map(TokenBucket::new),
+        }
+    }
+
+    /// Runs layers 2 and 3 for one gate-admitted punt from `source` at time
+    /// `now_nanos`. Zero-alloc; at most two CASes.
+    pub fn admit(&self, source: u64, now_nanos: u64) -> PuntAdmit {
+        if let Some(buckets) = &self.source_buckets {
+            // Multiply-shift reduction on the high bits, like the RSS shard
+            // map: bias-free for any power-of-two width.
+            let idx = ((u128::from(source) * buckets.len() as u128) >> 64) as usize;
+            if !buckets[idx].try_acquire(now_nanos) {
+                return PuntAdmit::ShedSource;
+            }
+        }
+        if let Some(aggregate) = &self.aggregate {
+            if !aggregate.try_acquire(now_nanos) {
+                return PuntAdmit::ShedAggregate;
+            }
+        }
+        PuntAdmit::Admitted
+    }
 }
 
 /// Admission control for controller punts: at most one packet-in per flow
@@ -178,6 +434,150 @@ mod tests {
         assert!(gate.admit(7), "completed flow punts again");
         assert_eq!(gate.admitted(), 3);
         assert_eq!(gate.suppressed(), 1);
+    }
+
+    #[test]
+    fn source_signature_sees_through_destination_churn() {
+        // One sender scanning many destinations: one source signature.
+        let a = FlowKey::extract(
+            &PacketBuilder::tcp()
+                .ipv4_src([10, 0, 0, 1])
+                .tcp_dst(80)
+                .build(),
+        );
+        let b = FlowKey::extract(
+            &PacketBuilder::tcp()
+                .ipv4_src([10, 0, 0, 1])
+                .tcp_dst(8080)
+                .ipv4_dst([203, 0, 113, 7])
+                .build(),
+        );
+        assert_ne!(punt_signature(&a), punt_signature(&b));
+        assert_eq!(source_signature(&a), source_signature(&b));
+        // A different sender is a different source.
+        let c = FlowKey::extract(
+            &PacketBuilder::tcp()
+                .ipv4_src([10, 0, 0, 2])
+                .tcp_dst(80)
+                .build(),
+        );
+        assert_ne!(source_signature(&a), source_signature(&c));
+    }
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn token_bucket_spends_burst_then_refills_at_rate() {
+        // 1000/s sustained, burst 4: four immediate tokens, then 1 per ms.
+        let bucket = TokenBucket::new(RateLimit {
+            per_sec: 1000,
+            burst: 4,
+        });
+        for _ in 0..4 {
+            assert!(bucket.try_acquire(0));
+        }
+        assert!(!bucket.try_acquire(0), "burst exhausted");
+        assert!(!bucket.try_acquire(MS / 2), "half a tick: nothing accrued");
+        assert!(bucket.try_acquire(MS), "one tick refills one token");
+        assert!(!bucket.try_acquire(MS));
+        // A long idle period refills to the burst cap, not beyond.
+        for _ in 0..4 {
+            assert!(bucket.try_acquire(10_000 * MS));
+        }
+        assert!(!bucket.try_acquire(10_000 * MS));
+    }
+
+    #[test]
+    fn token_bucket_banks_fractional_accrual() {
+        // 100/s: one token every 10 ticks; single-tick polls must still
+        // converge on the configured average instead of losing fractions.
+        let bucket = TokenBucket::new(RateLimit {
+            per_sec: 100,
+            burst: 1,
+        });
+        assert!(bucket.try_acquire(0));
+        let mut granted = 0;
+        for tick in 1..=100u64 {
+            if bucket.try_acquire(tick * MS) {
+                granted += 1;
+            }
+        }
+        assert!(
+            (9..=11).contains(&granted),
+            "100 ticks at 100/s should grant ~10, got {granted}"
+        );
+    }
+
+    #[test]
+    fn token_bucket_stale_clock_is_zero_elapsed() {
+        let bucket = TokenBucket::new(RateLimit {
+            per_sec: 1000,
+            burst: 1,
+        });
+        assert!(bucket.try_acquire(100 * MS));
+        // A thread with a slightly older clock read must not underflow into
+        // a 49-day refill.
+        assert!(!bucket.try_acquire(99 * MS));
+        assert!(bucket.try_acquire(101 * MS));
+    }
+
+    #[test]
+    fn admission_sheds_per_source_before_aggregate() {
+        // Source limit 2/s (burst 2), aggregate 100/s: an abusive source is
+        // stopped by its own bucket without touching the shared budget.
+        let admission = PuntAdmission::new(&PuntPolicy {
+            per_source: Some(RateLimit {
+                per_sec: 2,
+                burst: 2,
+            }),
+            source_buckets: 64,
+            aggregate: Some(RateLimit::per_sec(100)),
+        });
+        // Realistic signatures (hash outputs with high-bit entropy — the
+        // bucket index is a multiply-shift on the high bits); these two land
+        // in different buckets of the 64-wide table.
+        let attacker = 0x0bad_c0de_dead_beef_u64;
+        let victim = 0x600d_600d_1234_5678_u64;
+        assert_eq!(admission.admit(attacker, 0), PuntAdmit::Admitted);
+        assert_eq!(admission.admit(attacker, 0), PuntAdmit::Admitted);
+        for _ in 0..50 {
+            assert_eq!(admission.admit(attacker, 0), PuntAdmit::ShedSource);
+        }
+        // The victim's bucket and the aggregate are untouched by the sheds.
+        assert_eq!(admission.admit(victim, 0), PuntAdmit::Admitted);
+    }
+
+    #[test]
+    fn admission_aggregate_budget_backstops() {
+        let admission = PuntAdmission::new(&PuntPolicy {
+            per_source: Some(RateLimit::per_sec(1_000)),
+            source_buckets: 64,
+            aggregate: Some(RateLimit {
+                per_sec: 3,
+                burst: 3,
+            }),
+        });
+        // Many distinct sources, each within its own rate: the aggregate
+        // layer still bounds the total.
+        let mut admitted = 0;
+        let mut shed_aggregate = 0;
+        for source in 0..32u64 {
+            match admission.admit(source.wrapping_mul(0x9e37_79b9_7f4a_7c15), 0) {
+                PuntAdmit::Admitted => admitted += 1,
+                PuntAdmit::ShedAggregate => shed_aggregate += 1,
+                PuntAdmit::ShedSource => panic!("sources were within rate"),
+            }
+        }
+        assert_eq!(admitted, 3);
+        assert_eq!(shed_aggregate, 29);
+    }
+
+    #[test]
+    fn open_policy_admits_everything() {
+        let admission = PuntAdmission::new(&PuntPolicy::default());
+        for source in 0..10_000u64 {
+            assert_eq!(admission.admit(source, 0), PuntAdmit::Admitted);
+        }
     }
 
     #[test]

@@ -30,18 +30,21 @@
 //!   boundary: no worker ever blocks on recompilation, and a failed
 //!   compilation replays the flow-mod's undo log, leaving every shard on the
 //!   old epoch.
-//! * **Reactive slow path** ([`controller`]) — worker shards enqueue punted
-//!   packets (ingress frame + key + shard + epoch) onto per-shard SPSC punt
-//!   rings; a dedicated controller thread drains them into the
-//!   [`openflow::Controller`] application and routes the answers back:
-//!   flow-mods publish through the §3.4 planner as incremental epochs,
-//!   `OFPP_TABLE` packet-outs re-inject through an RSS dispatcher so the
-//!   triggering packet takes the fresh rule on the fast path. Per-shard
-//!   [`eswitch::reactive::PuntGate`]s suppress duplicate packet-ins while an
-//!   install is in flight; a full punt ring sheds the punt *copy* (counted
-//!   as overflow — that packet is not duplicated up, like a real switch's
-//!   bounded upcall queue, but its verdict stands) — workers never block
-//!   on the controller.
+//! * **Reactive slow path** ([`controller`]) — worker shards run punted
+//!   packets through a layered admission pipeline (per-flow
+//!   [`eswitch::reactive::PuntGate`], per-source and aggregate token
+//!   buckets — [`eswitch::reactive::PuntAdmission`]) and enqueue the
+//!   admitted punt copies (ingress frame + key + shard + epoch) onto a
+//!   matrix of SPSC punt rings; N controller workers, partitioned by flow
+//!   signature ([`controller::partition_of`]), each drain their own slice
+//!   into the shared [`openflow::Controller`] application and route the
+//!   answers back: flow-mods publish through the §3.4 planner as
+//!   incremental epochs, `OFPP_TABLE` packet-outs re-inject through each
+//!   worker's private RSS dispatcher so the triggering packet takes the
+//!   fresh rule on the fast path. A full punt ring or an over-rate source
+//!   sheds the punt *copy* (counted by reason — that packet is not
+//!   duplicated up, like a real switch's bounded upcall queue, but its
+//!   verdict stands) — workers never block on the controller.
 //! * **Stats & shutdown** — per-shard [`netdev::Counters`] aggregate into
 //!   switch-wide totals; shutdown flushes the dispatcher, lets every shard
 //!   drain its ring, runs the punt flow to a provable fixpoint (every punt
@@ -56,8 +59,12 @@ pub mod rss;
 pub mod runtime;
 
 pub use backend::{BackendSpec, CompiledState, ShardBackend};
-pub use controller::{Punt, ReactiveSnapshot, ReactiveStats};
+pub use controller::{
+    partition_of, ControllerWorkerSnapshot, Punt, ReactiveSnapshot, ReactiveStats,
+};
+// The admission-policy types callers need to configure a hardened launch.
 pub use epoch::EpochSlot;
+pub use eswitch::reactive::{PuntPolicy, RateLimit};
 pub use rss::{rss_hash, shard_of, RssDispatcher};
 pub use runtime::{
     ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,

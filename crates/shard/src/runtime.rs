@@ -32,7 +32,9 @@ use netdev::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use netdev::sync::Mutex;
 
 use eswitch::compile::CompileError;
-use eswitch::reactive::{punt_signature, IngressSnapshot, PuntGate};
+use eswitch::reactive::{
+    punt_signature, source_signature, IngressSnapshot, PuntAdmit, PuntGate, PuntPolicy,
+};
 use eswitch::update::{Absorbed, UpdateClass, UpdatePlanner};
 use netdev::{CounterSnapshot, Counters, SpscRing, BURST_SIZE};
 use openflow::flow_match::FlowMatch;
@@ -45,7 +47,7 @@ use ovsdp::datapath::delta_is_selective;
 use pkt::Packet;
 
 use crate::backend::{BackendSpec, CompiledState};
-use crate::controller::{ControllerThread, Punt, ReactiveShared, ReactiveSnapshot};
+use crate::controller::{partition_of, ControllerWorker, Punt, ReactiveShared, ReactiveSnapshot};
 use crate::epoch::EpochSlot;
 use crate::rss::RssDispatcher;
 
@@ -71,13 +73,25 @@ pub struct ShardedConfig {
     pub ring_capacity: usize,
     /// How flow-mods become epochs.
     pub update_strategy: UpdateStrategy,
-    /// Per-shard punt ring capacity (reactive launches only; rounded up to a
-    /// power of two). A full punt ring sheds the punt *copy* — counted as
-    /// `overflow`, never blocking the worker.
+    /// Per-(shard, controller-worker) punt ring capacity (reactive launches
+    /// only; rounded up to a power of two). A full punt ring sheds the punt
+    /// *copy* — counted as `overflow`, never blocking the worker.
     pub punt_ring_capacity: usize,
     /// Per-shard bound on flows tracked as punt-in-flight (the dedup gate's
-    /// capacity; beyond it the gate fails open to duplicates).
+    /// capacity; beyond it the gate fails open to duplicates). Launch
+    /// applies an eviction-resistance floor on top — see
+    /// [`ShardedConfig::effective_gate_capacity`].
     pub max_in_flight_punts: usize,
+    /// Controller workers draining the punt rings, partitioned by flow
+    /// signature (reactive launches only; clamped to at least 1). Each
+    /// worker exclusively owns its slice of the punt/inject ring matrices,
+    /// so reactive flow setup scales with cores without MPSC contention.
+    pub controller_workers: usize,
+    /// Layers 2 and 3 of the punt-admission pipeline: per-source and
+    /// aggregate token buckets ([`eswitch::reactive::PuntPolicy`]). The
+    /// default is fully open (no rate limits) — the hardened profiles are
+    /// opt-in per deployment.
+    pub punt_policy: PuntPolicy,
 }
 
 impl Default for ShardedConfig {
@@ -88,7 +102,27 @@ impl Default for ShardedConfig {
             update_strategy: UpdateStrategy::Planned,
             punt_ring_capacity: 256,
             max_in_flight_punts: PuntGate::DEFAULT_CAPACITY,
+            controller_workers: 1,
+            punt_policy: PuntPolicy::default(),
         }
+    }
+}
+
+impl ShardedConfig {
+    /// The per-shard [`PuntGate`] capacity a launch actually uses:
+    /// `max_in_flight_punts`, floored at the shard's total punt-ring slots
+    /// (one ring per controller worker, capacities rounded to powers of
+    /// two). The floor makes the gate *eviction-resistant by sizing*: every
+    /// punt that can physically sit in a ring has a tracked gate entry, so
+    /// an adversarial flow storm can fill the rings and the gate's spare
+    /// capacity but can never push a tracked compliant flow into the
+    /// fail-open (duplicate-producing) regime — the gate never evicts, it
+    /// only stops tracking *new* flows once full, and by then every one of
+    /// the adversary's punts is already bounded by the ring slots.
+    pub fn effective_gate_capacity(&self) -> usize {
+        let ring_slots =
+            self.punt_ring_capacity.max(1).next_power_of_two() * self.controller_workers.max(1);
+        self.max_in_flight_punts.max(ring_slots)
     }
 }
 
@@ -373,10 +407,12 @@ pub struct ShutdownReport {
     pub reactive: Option<ReactiveSnapshot>,
 }
 
-/// The reactive channel's switch-side handles: the controller thread plus
-/// everything shutdown needs to prove the punt flow quiescent.
+/// The reactive channel's switch-side handles: the controller workers plus
+/// everything shutdown needs to prove the punt flow quiescent. The ring
+/// vectors are the flattened matrices — shutdown only ever asks "are they
+/// all empty", so the [shard][worker] structure is not preserved here.
 struct ReactiveHandle {
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
     stop: Arc<AtomicBool>,
     shared: Arc<ReactiveShared>,
     punt_rings: Vec<Arc<SpscRing<Punt>>>,
@@ -470,20 +506,38 @@ impl ShardedSwitch {
         });
 
         // The reactive channel's shared plumbing, when a controller rides
-        // along: per-shard punt rings (worker → controller thread), per-shard
-        // inject rings (controller thread → worker, via an RSS dispatcher),
-        // and the dedup gates.
+        // along. Both ring families are matrices so every ring stays
+        // strictly SPSC with N controller workers:
+        //
+        // * `punt_rings[s][w]`: worker shard `s` is the only producer,
+        //   controller worker `w` the only consumer — the worker picks `w`
+        //   by flow signature ([`partition_of`]), so a flow's punts always
+        //   serialise through one controller worker;
+        // * `inject_rings[w][s]`: controller worker `w` is the only
+        //   producer (through its private RSS dispatcher), worker shard `s`
+        //   the only consumer.
+        let controller_workers = config.controller_workers.max(1);
         let shared = controller.as_ref().map(|_| {
             Arc::new(ReactiveShared::new(
                 workers_wanted,
-                config.max_in_flight_punts,
+                controller_workers,
+                config.effective_gate_capacity(),
+                &config.punt_policy,
             ))
         });
-        let punt_rings: Vec<Arc<SpscRing<Punt>>> = (0..workers_wanted)
-            .map(|_| Arc::new(SpscRing::new(config.punt_ring_capacity)))
+        let punt_rings: Vec<Vec<Arc<SpscRing<Punt>>>> = (0..workers_wanted)
+            .map(|_| {
+                (0..controller_workers)
+                    .map(|_| Arc::new(SpscRing::new(config.punt_ring_capacity)))
+                    .collect()
+            })
             .collect();
-        let inject_rings: Vec<Arc<SpscRing<Packet>>> = (0..workers_wanted)
-            .map(|_| Arc::new(SpscRing::new(config.ring_capacity)))
+        let inject_rings: Vec<Vec<Arc<SpscRing<Packet>>>> = (0..controller_workers)
+            .map(|_| {
+                (0..workers_wanted)
+                    .map(|_| Arc::new(SpscRing::new(config.ring_capacity)))
+                    .collect()
+            })
             .collect();
 
         let mut rings = Vec::with_capacity(workers_wanted);
@@ -494,8 +548,11 @@ impl ShardedSwitch {
             let shard_stats = Arc::new(ShardStats::default());
             let backend = control.spec.replica(&published.state);
             let reactive = shared.as_ref().map(|shared| WorkerReactive {
-                punt_ring: Arc::clone(&punt_rings[shard]),
-                inject_ring: Arc::clone(&inject_rings[shard]),
+                punt_rings: punt_rings[shard].clone(),
+                inject_rings: inject_rings
+                    .iter()
+                    .map(|row| Arc::clone(&row[shard]))
+                    .collect(),
                 gate: Arc::clone(&shared.gates[shard]),
                 shared: Arc::clone(shared),
             });
@@ -520,24 +577,34 @@ impl ShardedSwitch {
         let reactive = match (controller, shared) {
             (Some(controller), Some(shared)) => {
                 let stop = Arc::new(AtomicBool::new(false));
-                let thread = ControllerThread {
-                    control: Arc::clone(&control),
-                    controller,
-                    punt_rings: punt_rings.clone(),
-                    injector: RssDispatcher::new(inject_rings.clone()),
-                    shared: Arc::clone(&shared),
-                    stop: Arc::clone(&stop),
-                };
-                let handle = std::thread::Builder::new()
-                    .name("shard-controller".to_string())
-                    .spawn(move || thread.run())
-                    .expect("spawn controller thread");
+                let app: Arc<Mutex<Box<dyn Controller>>> = Arc::new(Mutex::new(controller));
+                let mut threads = Vec::with_capacity(controller_workers);
+                for index in 0..controller_workers {
+                    let worker = ControllerWorker {
+                        index,
+                        control: Arc::clone(&control),
+                        controller: Arc::clone(&app),
+                        punt_rings: punt_rings
+                            .iter()
+                            .map(|row| Arc::clone(&row[index]))
+                            .collect(),
+                        injector: RssDispatcher::new(inject_rings[index].clone()),
+                        shared: Arc::clone(&shared),
+                        stop: Arc::clone(&stop),
+                    };
+                    threads.push(
+                        std::thread::Builder::new()
+                            .name(format!("shard-controller-{index}"))
+                            .spawn(move || worker.run())
+                            .expect("spawn controller worker"),
+                    );
+                }
                 Some(ReactiveHandle {
-                    thread: Some(handle),
+                    threads,
                     stop,
                     shared,
-                    punt_rings,
-                    inject_rings,
+                    punt_rings: punt_rings.into_iter().flatten().collect(),
+                    inject_rings: inject_rings.into_iter().flatten().collect(),
                 })
             }
             _ => None,
@@ -677,8 +744,8 @@ impl ShardedSwitch {
             reactive.stop.store(true, Ordering::Release);
         }
         if let Some(reactive) = &mut self.reactive {
-            if let Some(thread) = reactive.thread.take() {
-                thread.join().expect("controller thread panicked");
+            for thread in reactive.threads.drain(..) {
+                thread.join().expect("controller worker panicked");
             }
         }
 
@@ -712,14 +779,14 @@ impl Drop for ShardedSwitch {
     /// owned) dispatcher are lost in this path — orderly code goes through
     /// `shutdown`, which flushes first.
     fn drop(&mut self) {
-        // Stop the controller thread first, while the workers still drain
-        // the inject rings it may be publishing to; punts the workers raise
-        // after it exits are shed as overflow once the punt rings fill —
-        // dirty teardown loses punts, never hangs. Orderly code goes through
-        // `shutdown`, which proves the punt flow quiescent first.
+        // Stop the controller workers first, while the worker shards still
+        // drain the inject rings they may be publishing to; punts the shards
+        // raise after they exit are shed as overflow once the punt rings
+        // fill — dirty teardown loses punts, never hangs. Orderly code goes
+        // through `shutdown`, which proves the punt flow quiescent first.
         if let Some(reactive) = &mut self.reactive {
             reactive.stop.store(true, Ordering::Release);
-            if let Some(thread) = reactive.thread.take() {
+            for thread in reactive.threads.drain(..) {
                 let _ = thread.join();
             }
         }
@@ -730,12 +797,13 @@ impl Drop for ShardedSwitch {
     }
 }
 
-/// A worker's side of the reactive channel: where its punts go, where its
-/// re-injected packets come from, and the dedup gate shared with the
-/// controller thread.
+/// A worker's side of the reactive channel: its row of punt rings (one per
+/// controller worker, picked by flow signature), its column of inject rings
+/// (one per controller worker, each an SPSC it exclusively consumes), and
+/// the dedup gate shared with the controller workers.
 struct WorkerReactive {
-    punt_ring: Arc<SpscRing<Punt>>,
-    inject_ring: Arc<SpscRing<Packet>>,
+    punt_rings: Vec<Arc<SpscRing<Punt>>>,
+    inject_rings: Vec<Arc<SpscRing<Packet>>>,
     gate: Arc<PuntGate>,
     shared: Arc<ReactiveShared>,
 }
@@ -764,9 +832,14 @@ impl WorkerHandle {
             // Re-injected packet-outs first: the controller publishes the
             // install *before* queueing the packet-out, so after re-syncing
             // the epoch the packet takes the fresh rule on the fast path.
+            // One ring per controller worker; each is SPSC with this shard
+            // as sole consumer.
             if let Some(reactive) = &self.reactive {
                 injected.clear();
-                let n = reactive.inject_ring.pop_burst(&mut injected, BURST_SIZE);
+                let mut n = 0;
+                for ring in &reactive.inject_rings {
+                    n += ring.pop_burst(&mut injected, BURST_SIZE);
+                }
                 if n > 0 {
                     // Injected work is work: keep the backoff at spin so the
                     // next re-injection is not penalised a scheduler quantum.
@@ -802,7 +875,7 @@ impl WorkerHandle {
                     && self
                         .reactive
                         .as_ref()
-                        .is_none_or(|r| r.inject_ring.is_empty())
+                        .is_none_or(|r| r.inject_rings.iter().all(|ring| ring.is_empty()))
                 {
                     break;
                 }
@@ -894,8 +967,12 @@ impl WorkerHandle {
         }
     }
 
-    /// Raises one punt copy: dedup-gate it, then enqueue — or shed it,
-    /// counted, if the punt ring is full. Never blocks.
+    /// Raises one punt copy through the layered admission pipeline:
+    /// dedup-gate it (layer 1), charge the per-source and aggregate token
+    /// buckets (layers 2–3), then enqueue onto the controller worker that
+    /// owns this flow's partition — or shed it, counted by layer, if any
+    /// layer refuses or the punt ring is full. Never blocks, never
+    /// allocates beyond the punted packet copy itself.
     fn punt(&self, reactive: &WorkerReactive, packet: Packet, reason: PacketInReason, epoch: u64) {
         let key = FlowKey::extract(&packet);
         let flow = punt_signature(&key);
@@ -904,8 +981,38 @@ impl WorkerHandle {
             // copy is suppressed (counted by the gate). The verdict the
             // worker already emitted stands — for a pure miss-to-controller
             // disposition that means this packet is not duplicated up, the
-            // lossy upcall-queue behaviour of a real switch.
+            // lossy upcall-queue behaviour of a real switch. The gate runs
+            // *before* the buckets so duplicates never burn tokens.
             return;
+        }
+        // Layers 2–3: per-source bucket first (an over-rate source is shed
+        // on its own budget and never drains the shared one), then the
+        // aggregate controller budget. A shed re-arms the gate so a later
+        // packet of the same flow retries once the source is compliant.
+        match reactive
+            .shared
+            .admission
+            .admit(source_signature(&key), reactive.shared.now_nanos())
+        {
+            PuntAdmit::Admitted => {}
+            PuntAdmit::ShedSource => {
+                reactive
+                    .shared
+                    .stats
+                    .shed_source
+                    .fetch_add(1, Ordering::Relaxed);
+                reactive.gate.complete(flow);
+                return;
+            }
+            PuntAdmit::ShedAggregate => {
+                reactive
+                    .shared
+                    .stats
+                    .shed_aggregate
+                    .fetch_add(1, Ordering::Relaxed);
+                reactive.gate.complete(flow);
+                return;
+            }
         }
         let punt = Punt {
             packet,
@@ -917,7 +1024,11 @@ impl WorkerHandle {
             table_id: 0,
             enqueued: Instant::now(),
         };
-        if reactive.punt_ring.push(punt).is_ok() {
+        // The flow signature — not the RSS hash — picks the owning
+        // controller worker, so partition placement is independent of
+        // shard placement.
+        let partition = partition_of(flow, reactive.punt_rings.len());
+        if reactive.punt_rings[partition].push(punt).is_ok() {
             reactive.shared.stats.punted.fetch_add(1, Ordering::Release);
         } else {
             // Lossless-by-policy backpressure: the punt *copy* is shed —
