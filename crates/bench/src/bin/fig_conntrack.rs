@@ -1,0 +1,404 @@
+//! fig_conntrack — throughput and capacity harness for the stateful
+//! datapath, recorded to `BENCH_conntrack.json`.
+//!
+//! Workloads (all burst-mode, engine ticked once per burst as the sharded
+//! worker loop does):
+//!
+//! * `stateless_baseline` — the OVS cache hierarchy in its EMC-hit regime
+//!   on the stateless twin of the ACL pipeline: the yardstick the
+//!   established path is measured against;
+//! * `ct_established`     — same traffic through the stateful-ACL pipeline:
+//!   every measured packet is an established-path conntrack hit (one index
+//!   probe + LRU touch + wheel re-arm). The headline number is this
+//!   workload's pps as a fraction of the baseline;
+//! * `ct_established_eswitch` — the compiled datapath on the same stateful
+//!   pipeline, as the ESWITCH-side comparison point;
+//! * `snat_established`   — the `snat_edge` use case: every hit also
+//!   source-rewrites the packet from the stored tuples;
+//! * `l4_lb_established`  — the `l4_lb` use case: maglev-pinned backend,
+//!   destination rewrite per packet.
+//!
+//! The workloads are measured **interleaved in short time slices** rather
+//! than one after another: on a shared machine the attainable packet rate
+//! drifts on timescales of seconds, which sequential measurement folds
+//! straight into the baseline ratio. Round-robining ~millisecond slices
+//! exposes every workload to the same drift, and the headline numbers use
+//! the **fastest single ring pass** per workload: interference only ever
+//! adds time, so the minimum over hundreds of short passes estimates the
+//! undisturbed cost (the `timeit` rationale). The mean is reported
+//! alongside for honesty about run conditions.
+//!
+//! `ct_scaffold_noct` is a control: the stateful-ACL pipeline executed
+//! with the null tracker. Its gap to `stateless_baseline` prices the ct
+//! *plumbing* (tuple extraction, the extra cached action) and its gap to
+//! `ct_established` prices the engine itself.
+//!
+//! The `capacity` section fills a 2²¹-slab engine with 1.5 M distinct UDP
+//! flows, proving ≥ 1 M concurrent tracked connections inside the engine's
+//! fixed memory envelope, then advances virtual time past the idle timeout
+//! and checks the timing wheel reclaims every one of them.
+//! `ESWITCH_BENCH_QUICK=1` shrinks packet counts and the fill for CI.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use bench_harness::conntrack::{
+    data_ring, run_capacity, stateless_pipeline, warm_established, CapacityReport, BURST,
+};
+use bench_harness::print_header;
+use conntrack::{CtEngine, CtStats};
+use netdev::sync::Arc;
+use openflow::ct::NoCt;
+use openflow::Verdict;
+use ovsdp::OvsDatapath;
+use pkt::Packet;
+use workloads::usecases::{PORT_NET, PORT_USER};
+use workloads::{l4_lb, snat_edge, stateful_acl_gateway as acl};
+
+fn measured_packets() -> usize {
+    if bench_harness::quick_mode() {
+        200_000
+    } else {
+        1_000_000
+    }
+}
+
+fn established_flows() -> usize {
+    // Comfortably inside the EMC so the stateless baseline is pure
+    // exact-match hits and the stateful runs isolate the conntrack cost.
+    std::env::var("CT_BENCH_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_024)
+}
+
+/// Ring passes per interleaving slice: big enough that per-slice cache
+/// re-warming amortises away, small enough that machine-load drift hits
+/// every workload equally.
+const PASSES_PER_SLICE: usize = 8;
+
+/// A burst-processing closure: chunk of packets in, verdicts out.
+type BurstFn = Box<dyn FnMut(&mut [Packet], &mut Vec<Verdict>)>;
+
+/// One workload being measured: its pristine packet ring, a scratch copy
+/// the bursts run over (translating pipelines rewrite packets in place),
+/// and the closure that processes one burst.
+struct Runner {
+    name: &'static str,
+    ring: Vec<Packet>,
+    work: Vec<Packet>,
+    process: BurstFn,
+    /// Engine counters for hit accounting, when the workload has an engine.
+    stats: Option<Arc<CtStats>>,
+    timer: Duration,
+    done: u64,
+    /// Fastest single ring pass observed (ns/packet). On a shared machine
+    /// interference only ever *adds* time, so the minimum over many short
+    /// passes estimates the undisturbed cost — the `timeit` rationale. The
+    /// headline ratios use this; the mean is reported alongside.
+    best_pass_ns: f64,
+    hits_at_start: u64,
+}
+
+impl Runner {
+    fn new(
+        name: &'static str,
+        ring: Vec<Packet>,
+        stats: Option<Arc<CtStats>>,
+        process: BurstFn,
+    ) -> Runner {
+        let hits_at_start = stats.as_ref().map_or(0, |s| s.snapshot().hits);
+        Runner {
+            name,
+            work: ring.clone(),
+            ring,
+            process,
+            stats,
+            timer: Duration::ZERO,
+            done: 0,
+            best_pass_ns: f64::INFINITY,
+            hits_at_start,
+        }
+    }
+
+    /// One measurement slice: [`PASSES_PER_SLICE`] replays of the ring,
+    /// restoring the pristine packets outside the timed region each pass.
+    fn slice(&mut self, verdicts: &mut Vec<Verdict>) {
+        for _ in 0..PASSES_PER_SLICE {
+            self.work.clone_from_slice(&self.ring);
+            let start = Instant::now();
+            for chunk in self.work.chunks_mut(BURST) {
+                (self.process)(chunk, verdicts);
+                std::hint::black_box(verdicts.len());
+            }
+            let elapsed = start.elapsed();
+            self.timer += elapsed;
+            self.done += self.work.len() as u64;
+            let pass_ns = elapsed.as_nanos() as f64 / self.work.len().max(1) as f64;
+            if pass_ns < self.best_pass_ns {
+                self.best_pass_ns = pass_ns;
+            }
+        }
+    }
+
+    /// Mean ns/packet over the whole run (includes interference).
+    fn mean_ns_per_packet(&self) -> f64 {
+        self.timer.as_nanos() as f64 / self.done.max(1) as f64
+    }
+
+    /// Best-pass ns/packet — the noise-robust estimate the ratios use.
+    fn ns_per_packet(&self) -> f64 {
+        self.best_pass_ns
+    }
+
+    fn ct_hits_per_packet(&self) -> Option<f64> {
+        let stats = self.stats.as_ref()?;
+        let hits = stats.snapshot().hits - self.hits_at_start;
+        Some(hits as f64 / self.done.max(1) as f64)
+    }
+}
+
+/// Builds the stateless EMC-hit baseline runner.
+fn stateless_runner(ring: &[Packet]) -> Runner {
+    let dp = OvsDatapath::new(stateless_pipeline());
+    let mut warm: Vec<Packet> = ring.to_vec();
+    let mut verdicts = Vec::with_capacity(BURST);
+    for chunk in warm.chunks_mut(BURST) {
+        dp.process_batch_into_ct(chunk, &mut verdicts, &mut NoCt);
+    }
+    Runner::new(
+        "stateless_baseline",
+        ring.to_vec(),
+        None,
+        Box::new(move |chunk, verdicts| dp.process_batch_into_ct(chunk, verdicts, &mut NoCt)),
+    )
+}
+
+/// Builds an OVS-backed stateful runner: datapath + engine, every ring
+/// connection warmed to established before measurement starts.
+fn ovs_ct_runner(
+    name: &'static str,
+    pipeline: openflow::Pipeline,
+    config: &conntrack::CtConfig,
+    ring: &[Packet],
+    reply_port: u32,
+) -> Runner {
+    let dp = OvsDatapath::new(pipeline);
+    let mut engine = CtEngine::new(config, 0, 1);
+    warm_established(&dp, &mut engine, ring, reply_port);
+    // Flush warm-up hits so the measured hits/packet starts from zero.
+    engine.advance_to(engine.now());
+    let stats = Arc::clone(engine.stats());
+    Runner::new(
+        name,
+        ring.to_vec(),
+        Some(stats),
+        Box::new(move |chunk, verdicts| {
+            engine.tick();
+            dp.process_batch_into_ct(chunk, verdicts, &mut engine);
+        }),
+    )
+}
+
+/// Builds the compiled-datapath stateful runner on the ACL pipeline.
+fn eswitch_ct_runner(ring: &[Packet]) -> Runner {
+    let pipeline = acl::build_pipeline(&acl::StatefulAclConfig::default());
+    let runtime = eswitch::runtime::EswitchRuntime::compile(pipeline).expect("pipeline compiles");
+    let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+    // The compiled path needs no cache fill, but the connections must exist
+    // and be established before the timed loop.
+    let mut verdicts = Vec::with_capacity(BURST);
+    for packet in ring {
+        let mut forward = packet.clone();
+        runtime.process_batch_into_ct(
+            std::slice::from_mut(&mut forward),
+            &mut verdicts,
+            &mut engine,
+        );
+        if let Some(mut reply) = workloads::reply_to(&forward, PORT_NET) {
+            runtime.process_batch_into_ct(
+                std::slice::from_mut(&mut reply),
+                &mut verdicts,
+                &mut engine,
+            );
+        }
+    }
+    engine.advance_to(engine.now());
+    let stats = Arc::clone(engine.stats());
+    Runner::new(
+        "ct_established_eswitch",
+        ring.to_vec(),
+        Some(stats),
+        Box::new(move |chunk, verdicts| {
+            engine.tick();
+            runtime.process_batch_into_ct(chunk, verdicts, &mut engine);
+        }),
+    )
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_conntrack.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out takes a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    print_header(
+        "fig_conntrack",
+        "stateful-datapath throughput and capacity (BENCH_conntrack.json)",
+    );
+
+    let flows = established_flows();
+    let ring_user = data_ring(flows, PORT_USER);
+    let lb_config = l4_lb::L4LbConfig::default();
+    // LB traffic arrives on the network port addressed to the VIP.
+    let ring_vip: Vec<Packet> = {
+        let requests = l4_lb::build_requests(&lb_config, flows);
+        (0..ring_user.len())
+            .map(|i| requests.packet(i % flows))
+            .collect()
+    };
+
+    // Control: the ct pipeline through the null tracker isolates the
+    // plumbing cost from the engine cost (see the module docs).
+    let noct_runner = {
+        let dp = OvsDatapath::new(acl::build_pipeline(&acl::StatefulAclConfig::default()));
+        let mut warm: Vec<Packet> = ring_user.to_vec();
+        let mut verdicts = Vec::with_capacity(BURST);
+        for chunk in warm.chunks_mut(BURST) {
+            dp.process_batch_into_ct(chunk, &mut verdicts, &mut NoCt);
+        }
+        Runner::new(
+            "ct_scaffold_noct",
+            ring_user.to_vec(),
+            None,
+            Box::new(move |chunk, verdicts| dp.process_batch_into_ct(chunk, verdicts, &mut NoCt)),
+        )
+    };
+    let mut runners = [
+        noct_runner,
+        stateless_runner(&ring_user),
+        ovs_ct_runner(
+            "ct_established",
+            acl::build_pipeline(&acl::StatefulAclConfig::default()),
+            &acl::ct_config(),
+            &ring_user,
+            PORT_NET,
+        ),
+        eswitch_ct_runner(&ring_user),
+        ovs_ct_runner(
+            "snat_established",
+            snat_edge::build_pipeline(&snat_edge::SnatEdgeConfig::default()),
+            &snat_edge::ct_config(),
+            &ring_user,
+            PORT_NET,
+        ),
+        ovs_ct_runner(
+            "l4_lb_established",
+            l4_lb::build_pipeline(&lb_config),
+            &l4_lb::ct_config(&lb_config),
+            &ring_vip,
+            PORT_USER,
+        ),
+    ];
+
+    // Interleave: round-robin millisecond-scale slices until every workload
+    // has processed its packet quota, so load drift cancels out of ratios.
+    let target = measured_packets() as u64;
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST);
+    while runners.iter().any(|r| r.done < target) {
+        for runner in &mut runners {
+            if runner.done < target {
+                runner.slice(&mut verdicts);
+            }
+        }
+    }
+
+    let baseline_ns = runners[1].ns_per_packet();
+    for r in &runners {
+        let ns = r.ns_per_packet();
+        print!(
+            "{:<22} {:>12.0} pps  {:>8.1} ns/pkt (mean {:>6.1})  ratio {:.3}",
+            r.name,
+            1e9 / ns,
+            ns,
+            r.mean_ns_per_packet(),
+            baseline_ns / ns
+        );
+        if let Some(hits) = r.ct_hits_per_packet() {
+            print!("  ct hits/pkt {hits:.3}");
+        }
+        println!();
+    }
+
+    let (capacity, offered) = if bench_harness::quick_mode() {
+        (1 << 16, 48 * 1024)
+    } else {
+        (1 << 21, 1_500_000)
+    };
+    println!("\nfilling {offered} flows into a {capacity}-slab engine…");
+    let cap: CapacityReport = run_capacity(capacity, offered);
+    println!(
+        "capacity: live_peak {} / {} slots, {:.1} MiB, after idle timeout {} live ({} reclaimed), identity {}",
+        cap.live_peak,
+        cap.capacity,
+        cap.memory_bytes as f64 / (1024.0 * 1024.0),
+        cap.live_after_timeout,
+        cap.evicted_idle,
+        cap.identity_holds
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"conntrack\",\n");
+    json.push_str("  \"schema_version\": 1,\n");
+    let _ = writeln!(json, "  \"burst_size\": {BURST},");
+    let _ = writeln!(json, "  \"measured_packets\": {},", measured_packets());
+    let _ = writeln!(json, "  \"established_flows\": {flows},");
+    let _ = writeln!(json, "  \"quick\": {},", bench_harness::quick_mode());
+    json.push_str("  \"established_path\": [\n");
+    let n = runners.len();
+    for (i, r) in runners.iter().enumerate() {
+        let ns = r.ns_per_packet();
+        let _ = write!(
+            json,
+            "    {{\"workload\": \"{}\", \"pps\": {:.0}, \"ns_per_packet\": {:.2}, \"mean_ns_per_packet\": {:.2}, \"ratio_vs_stateless\": {:.4}",
+            r.name,
+            1e9 / ns,
+            ns,
+            r.mean_ns_per_packet(),
+            baseline_ns / ns
+        );
+        if let Some(hits) = r.ct_hits_per_packet() {
+            let _ = write!(json, ", \"ct_hits_per_packet\": {hits:.4}");
+        }
+        json.push('}');
+        json.push_str(if i + 1 < n { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"capacity\": {\n");
+    let _ = writeln!(json, "    \"slab_capacity\": {},", cap.capacity);
+    let _ = writeln!(json, "    \"offered_flows\": {},", cap.offered);
+    let _ = writeln!(json, "    \"live_peak\": {},", cap.live_peak);
+    let _ = writeln!(
+        json,
+        "    \"live_after_idle_timeout\": {},",
+        cap.live_after_timeout
+    );
+    let _ = writeln!(json, "    \"idle_reclaimed\": {},", cap.evicted_idle);
+    let _ = writeln!(json, "    \"memory_bytes\": {},", cap.memory_bytes);
+    let _ = writeln!(
+        json,
+        "    \"bytes_per_slot\": {:.1},",
+        cap.memory_bytes as f64 / cap.capacity as f64
+    );
+    let _ = writeln!(json, "    \"stats_identity_holds\": {}", cap.identity_holds);
+    json.push_str("  }\n");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("\nwrote {out_path}");
+}

@@ -1,0 +1,242 @@
+//! Shared workload definitions for the conntrack throughput and capacity
+//! harness (the `fig_conntrack` binary).
+//!
+//! Three questions the committed `BENCH_conntrack.json` answers:
+//!
+//! 1. **What does statefulness cost on the fast path?** The stateless
+//!    baseline is the OVS cache hierarchy in its EMC-hit regime (active
+//!    flows ≪ EMC capacity) on a two-port forwarding pipeline; the stateful
+//!    runs are the same traffic through the conntrack-enabled twin — every
+//!    measured packet is an established-path hit (one index probe + LRU
+//!    touch + wheel re-arm). The headline metric is the established/
+//!    stateless pps ratio.
+//! 2. **Do NAT and LB rewrites stay cheap?** Same regime over the
+//!    `snat_edge` and `l4_lb` use cases, where every established-path hit
+//!    also rewrites the packet from the stored tuples.
+//! 3. **Does the table hold a million connections and reclaim them?** A
+//!    fill run against a ≥ 2²⁰-capacity engine: distinct UDP flows are
+//!    committed until well past one million are live at once, then virtual
+//!    time advances past the idle timeout and the wheel must hand every
+//!    one of them back. Memory is reported from the engine's own
+//!    fixed-at-construction accounting.
+
+use conntrack::{CtConfig, CtEngine, CtTimeouts};
+use openflow::ct::CtVerb;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, Pipeline, Verdict};
+use pkt::builder::PacketBuilder;
+use pkt::{Packet, TcpFlags};
+use workloads::usecases::{PORT_NET, PORT_USER};
+
+/// Burst size of the measurement loops (DPDK's conventional rx burst); the
+/// engine ticks once per burst, as the sharded worker loop does.
+pub const BURST: usize = 32;
+
+/// The stateless twin of the stateful-ACL pipeline: the same two-port
+/// forwarding shape with the ct verbs removed. Identical traffic, identical
+/// cache regime — the throughput delta against this is the cost of
+/// statefulness alone.
+pub fn stateless_pipeline() -> Pipeline {
+    let mut pipeline = Pipeline::with_tables(1);
+    let table = pipeline.table_mut(0).unwrap();
+    table.name = "stateless-acl".to_string();
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_USER)),
+        300,
+        terminal_actions(vec![Action::Output(PORT_NET)]),
+    ));
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_NET)),
+        200,
+        terminal_actions(vec![Action::Output(PORT_USER)]),
+    ));
+    table.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    pipeline
+}
+
+/// `flows` established-direction data packets (client → server, ACK set),
+/// one per connection, padded to a whole number of bursts. The same ring
+/// warms the table (each packet's first pass commits its connection) and is
+/// then replayed for the timed loop, so every measured packet is an
+/// established-path hit.
+pub fn data_ring(flows: usize, in_port: u32) -> Vec<Packet> {
+    let n = flows.max(BURST).div_ceil(BURST) * BURST;
+    (0..n)
+        .map(|f| {
+            let f = f % flows.max(1);
+            PacketBuilder::tcp()
+                .ipv4_src([10, 0, (f >> 8) as u8, f as u8])
+                .ipv4_dst([198, 51, 100, (f % 200) as u8 + 1])
+                .tcp_src(1024 + (f % 30_000) as u16)
+                .tcp_dst(80)
+                .tcp_flags(TcpFlags {
+                    ack: true,
+                    ..TcpFlags::default()
+                })
+                .in_port(in_port)
+                .build()
+        })
+        .collect()
+}
+
+/// Warms every connection of `ring` to the established state: one forward
+/// pass creates the connections, then each *forwarded* frame is answered
+/// (tuple-swapped, arriving on `reply_port`) so the reverse direction is
+/// seen too. Works for translating pipelines as well because the reply
+/// answers the frame as it left the datapath.
+pub fn warm_established(
+    dp: &ovsdp::OvsDatapath,
+    engine: &mut CtEngine,
+    ring: &[Packet],
+    reply_port: u32,
+) {
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST);
+    for packet in ring {
+        let mut forward = packet.clone();
+        dp.process_batch_into_ct(std::slice::from_mut(&mut forward), &mut verdicts, engine);
+        if let Some(mut reply) = workloads::reply_to(&forward, reply_port) {
+            dp.process_batch_into_ct(std::slice::from_mut(&mut reply), &mut verdicts, engine);
+        }
+    }
+}
+
+/// The engine configuration of the capacity fill: a slab of `capacity`
+/// connections, a wide wheel, and refuse-new admission so the run proves
+/// the table *holds* the load rather than churning through it.
+pub fn capacity_config(capacity: usize) -> CtConfig {
+    CtConfig {
+        capacity,
+        wheel_slots: 4096,
+        eviction: conntrack::EvictionPolicy::RefuseNew,
+        timeouts: CtTimeouts::default(),
+        lb_groups: Vec::new(),
+    }
+}
+
+/// The single-rule commit pipeline of the capacity fill.
+pub fn capacity_pipeline() -> Pipeline {
+    let mut pipeline = Pipeline::with_tables(1);
+    let table = pipeline.table_mut(0).unwrap();
+    table.name = "capacity-fill".to_string();
+    table.insert(FlowEntry::new(
+        FlowMatch::any(),
+        10,
+        terminal_actions(vec![Action::Ct(CtVerb::Commit), Action::Output(PORT_NET)]),
+    ));
+    pipeline
+}
+
+/// The `i`-th distinct UDP flow of the capacity fill (22 bits of address
+/// entropy plus the ports, so multi-million fills stay collision-free).
+pub fn capacity_packet(i: usize) -> Packet {
+    PacketBuilder::udp()
+        .ipv4_src([10, (i >> 14) as u8, (i >> 6) as u8, i as u8])
+        .ipv4_dst([192, 0, 2, 1])
+        .udp_src(1024 + (i % 4096) as u16)
+        .udp_dst(53)
+        .in_port(PORT_USER)
+        .build()
+}
+
+/// Outcome of the million-connection fill-and-reclaim run.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityReport {
+    /// Slab capacity of the engine under test.
+    pub capacity: usize,
+    /// Distinct flows offered.
+    pub offered: usize,
+    /// Live connections after the fill (the concurrency claim).
+    pub live_peak: usize,
+    /// Live connections after advancing past the idle timeout.
+    pub live_after_timeout: usize,
+    /// Engine memory in bytes — fixed at construction, load-independent.
+    pub memory_bytes: usize,
+    /// Idle-timeout reclamations the wheel performed.
+    pub evicted_idle: u64,
+    /// Whether the stats identity held at the end of the run.
+    pub identity_holds: bool,
+}
+
+/// Commits `offered` distinct UDP flows against a fresh engine of the given
+/// capacity (no ticks during the fill, so nothing idles out), then advances
+/// virtual time past the idle timeout and checks the wheel returned every
+/// connection.
+pub fn run_capacity(capacity: usize, offered: usize) -> CapacityReport {
+    let pipeline = capacity_pipeline();
+    let config = capacity_config(capacity);
+    let mut engine = CtEngine::new(&config, 0, 1);
+    for i in 0..offered {
+        let mut packet = capacity_packet(i);
+        std::hint::black_box(pipeline.process_ct(&mut packet, &mut engine));
+    }
+    let live_peak = engine.live();
+    // Idle reclamation: everything is UDP-new; one sweep past the timeout
+    // (plus the wheel's lazy re-arm slack) must return every connection.
+    let deadline = engine.now() + config.timeouts.udp_new + config.wheel_slots as u64 + 1;
+    engine.advance_to(deadline);
+    let snapshot = engine.stats().snapshot();
+    CapacityReport {
+        capacity,
+        offered,
+        live_peak,
+        live_after_timeout: engine.live(),
+        memory_bytes: engine.memory_bytes(),
+        evicted_idle: snapshot.evicted_idle,
+        identity_holds: snapshot.identity_holds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openflow::ct::NoCt;
+    use ovsdp::OvsDatapath;
+    use workloads::stateful_acl_gateway as acl;
+
+    #[test]
+    fn warmed_ring_replays_as_established_hits() {
+        let dp = OvsDatapath::new(acl::build_pipeline(&acl::StatefulAclConfig::default()));
+        let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+        let ring = data_ring(64, PORT_USER);
+        warm_established(&dp, &mut engine, &ring, PORT_NET);
+        // Hits are batched per tick; flush before snapshotting.
+        engine.advance_to(engine.now());
+        let created = engine.stats().snapshot().created;
+        assert_eq!(created, 64);
+
+        let before = engine.stats().snapshot().hits;
+        let mut replay: Vec<Packet> = ring.clone();
+        let mut verdicts = Vec::with_capacity(BURST);
+        for chunk in replay.chunks_mut(BURST) {
+            engine.tick();
+            dp.process_batch_into_ct(chunk, &mut verdicts, &mut engine);
+            assert!(verdicts.iter().all(|v| v.outputs == vec![PORT_NET]));
+        }
+        engine.advance_to(engine.now());
+        let hits = engine.stats().snapshot().hits - before;
+        assert_eq!(hits, ring.len() as u64);
+        assert_eq!(engine.stats().snapshot().created, created);
+    }
+
+    #[test]
+    fn stateless_twin_forwards_the_same_ring() {
+        let dp = OvsDatapath::new(stateless_pipeline());
+        let mut ring = data_ring(64, PORT_USER);
+        let mut verdicts = Vec::with_capacity(BURST);
+        for chunk in ring.chunks_mut(BURST) {
+            dp.process_batch_into_ct(chunk, &mut verdicts, &mut NoCt);
+            assert!(verdicts.iter().all(|v| v.outputs == vec![PORT_NET]));
+        }
+    }
+
+    #[test]
+    fn capacity_run_fills_and_reclaims() {
+        let report = run_capacity(1 << 12, 3 << 10);
+        assert_eq!(report.live_peak, 3 << 10);
+        assert_eq!(report.live_after_timeout, 0);
+        assert_eq!(report.evicted_idle, (3 << 10) as u64);
+        assert!(report.identity_holds);
+        assert!(report.memory_bytes > 0);
+    }
+}

@@ -11,6 +11,7 @@
 //! which shrinks packet counts and sweep ranges so the whole figure set can
 //! be regenerated in seconds (CI) instead of minutes (faithful runs).
 
+pub mod conntrack;
 pub mod datapath;
 pub mod fastpath;
 pub mod measure;

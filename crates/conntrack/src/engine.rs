@@ -1,0 +1,667 @@
+//! The per-shard connection-tracking engine.
+//!
+//! Owns the [`ConnTable`], the [`TimerWheel`], the NAT port allocators and
+//! the maglev LB state, and implements [`ConnCtx`] so datapath executors
+//! can thread it through ct actions. Exactly one engine exists per shard;
+//! nothing in here is shared across threads except the [`CtStats`]
+//! counters (facade atomics, `Arc`-shared for shutdown aggregation).
+//!
+//! Time is virtual: the worker loop calls [`CtEngine::tick`] once per
+//! processed burst, which advances the wheel and reclaims idle
+//! connections. All timeouts are expressed in ticks.
+
+use netdev::sync::Arc;
+use openflow::ct::{ConnCtx, CtOutcome, CtTuple, CtVerb, NatSpec};
+use openflow::Field;
+
+use crate::key::tuple_hash;
+use crate::maglev::{maglev_table, select};
+use crate::nat::PortAlloc;
+use crate::stats::CtStats;
+use crate::table::{ConnTable, Dir};
+use crate::tcp::ConnState;
+use crate::wheel::TimerWheel;
+
+/// What to do when a new connection arrives and the table is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Refuse the new connection (counted as `refused`). Commit verbs pass
+    /// the packet untracked; NAT/LB verbs — which cannot forward without
+    /// state — drop it.
+    RefuseNew,
+    /// Evict the least-recently-used connection to make room (counted as
+    /// `evicted_capacity`). Recency is approximate — second-chance (CLOCK)
+    /// order, so the established path pays one bit-store per hit instead
+    /// of list surgery.
+    Lru,
+}
+
+/// Idle timeouts in virtual ticks (one tick per processed burst), by state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtTimeouts {
+    /// TCP connection not yet answered.
+    pub tcp_syn: u64,
+    /// TCP connection with bidirectional traffic.
+    pub tcp_established: u64,
+    /// TCP connection after a FIN.
+    pub tcp_fin: u64,
+    /// UDP flow not yet answered.
+    pub udp_new: u64,
+    /// UDP flow with bidirectional traffic.
+    pub udp_established: u64,
+}
+
+impl Default for CtTimeouts {
+    fn default() -> Self {
+        CtTimeouts {
+            tcp_syn: 32,
+            tcp_established: 2048,
+            tcp_fin: 16,
+            udp_new: 64,
+            udp_established: 512,
+        }
+    }
+}
+
+impl CtTimeouts {
+    fn for_state(&self, state: ConnState) -> u64 {
+        match state {
+            ConnState::TcpSynSent => self.tcp_syn,
+            ConnState::TcpEstablished => self.tcp_established,
+            ConnState::TcpFin | ConnState::TcpClosed => self.tcp_fin,
+            ConnState::UdpNew => self.udp_new,
+            ConnState::UdpEstablished => self.udp_established,
+        }
+    }
+}
+
+/// One load-balancer backend group: a virtual IP fronting a backend set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LbGroup {
+    /// The virtual IP the group serves (informational; the pipeline's match
+    /// decides which traffic reaches the Lb verb).
+    pub vip: u32,
+    /// Backend addresses.
+    pub backends: Vec<u32>,
+    /// Maglev table size (rounded up to odd; ≥ 100× backends recommended).
+    pub table_size: usize,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtConfig {
+    /// Maximum live connections per shard (slab capacity; fixed).
+    pub capacity: usize,
+    /// Timer-wheel bucket count (rounded up to a power of two).
+    pub wheel_slots: usize,
+    /// Full-table admission policy.
+    pub eviction: EvictionPolicy,
+    /// Idle timeouts by state, in ticks.
+    pub timeouts: CtTimeouts,
+    /// LB groups, indexed by the `group` id of [`CtVerb::Lb`].
+    pub lb_groups: Vec<LbGroup>,
+}
+
+impl Default for CtConfig {
+    fn default() -> Self {
+        CtConfig {
+            capacity: 4096,
+            wheel_slots: 256,
+            eviction: EvictionPolicy::Lru,
+            timeouts: CtTimeouts::default(),
+            lb_groups: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LbState {
+    vip: u32,
+    backends: Vec<u32>,
+    table: Vec<u16>,
+}
+
+/// The per-shard connection-tracking engine. See the module docs.
+#[derive(Debug)]
+pub struct CtEngine {
+    table: ConnTable,
+    wheel: TimerWheel,
+    stats: Arc<CtStats>,
+    timeouts: CtTimeouts,
+    eviction: EvictionPolicy,
+    shard_index: u32,
+    shard_count: u32,
+    nat_allocs: Vec<(NatSpec, PortAlloc)>,
+    lb: Vec<LbState>,
+    /// Established-path hits since the last flush. Batched into the shared
+    /// atomic on every tick (and on drop) so the hot path pays a plain
+    /// increment instead of a locked read-modify-write per packet.
+    pending_hits: u64,
+}
+
+impl CtEngine {
+    /// Creates an engine for shard `shard_index` of `shard_count` with
+    /// fresh stats. Single-switch (unsharded) callers use `(0, 1)`.
+    pub fn new(config: &CtConfig, shard_index: u32, shard_count: u32) -> CtEngine {
+        Self::with_stats(config, shard_index, shard_count, Arc::new(CtStats::new()))
+    }
+
+    /// Like [`CtEngine::new`] but recording into caller-owned counters
+    /// (the sharded runtime creates them at launch so reports survive the
+    /// engine).
+    pub fn with_stats(
+        config: &CtConfig,
+        shard_index: u32,
+        shard_count: u32,
+        stats: Arc<CtStats>,
+    ) -> CtEngine {
+        let lb = config
+            .lb_groups
+            .iter()
+            .map(|g| LbState {
+                vip: g.vip,
+                backends: g.backends.clone(),
+                table: maglev_table(&g.backends, g.table_size),
+            })
+            .collect();
+        CtEngine {
+            table: ConnTable::new(config.capacity),
+            wheel: TimerWheel::new(config.capacity, config.wheel_slots),
+            stats,
+            timeouts: config.timeouts,
+            eviction: config.eviction,
+            shard_index,
+            shard_count,
+            nat_allocs: Vec::new(),
+            lb,
+            pending_hits: 0,
+        }
+    }
+
+    /// The shared counters.
+    pub fn stats(&self) -> &Arc<CtStats> {
+        &self.stats
+    }
+
+    /// Live connections right now.
+    pub fn live(&self) -> usize {
+        self.table.live()
+    }
+
+    /// Slab capacity (the memory bound: no load grows the table past it).
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Bytes held by the connection table and timer wheel. All of it is
+    /// allocated in the constructor; no packet load grows it.
+    pub fn memory_bytes(&self) -> usize {
+        self.table.memory_bytes() + self.wheel.memory_bytes()
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.wheel.now()
+    }
+
+    /// Advances one tick (call once per processed burst) and reclaims
+    /// idle connections.
+    pub fn tick(&mut self) {
+        self.advance_to(self.wheel.now() + 1);
+    }
+
+    /// Advances virtual time to `target`, reclaiming every connection whose
+    /// idle deadline passed, and flushes batched hit counts to the shared
+    /// stats.
+    pub fn advance_to(&mut self, target: u64) {
+        let CtEngine {
+            wheel,
+            table,
+            stats,
+            pending_hits,
+            ..
+        } = self;
+        if *pending_hits > 0 {
+            stats.record_hits(std::mem::take(pending_hits));
+        }
+        wheel.advance_to(target, |idx| {
+            let deadline = table.conn(idx).deadline;
+            if deadline <= target {
+                table.remove(idx);
+                stats.record_evicted_idle();
+                None
+            } else {
+                Some(deadline)
+            }
+        });
+    }
+
+    /// Replaces LB group `group`'s backend set and rebuilds its maglev
+    /// table. Established connections keep their pinned backend: the table
+    /// is consulted only on a connection's first packet.
+    pub fn set_lb_group(&mut self, group: u16, vip: u32, backends: Vec<u32>, table_size: usize) {
+        let g = group as usize;
+        while self.lb.len() <= g {
+            self.lb.push(LbState {
+                vip: 0,
+                backends: Vec::new(),
+                table: Vec::new(),
+            });
+        }
+        self.lb[g] = LbState {
+            vip,
+            backends: backends.clone(),
+            table: maglev_table(&backends, table_size),
+        };
+    }
+
+    /// The VIP configured for `group` (tests and workload generators).
+    pub fn lb_vip(&self, group: u16) -> Option<u32> {
+        self.lb.get(group as usize).map(|g| g.vip)
+    }
+
+    fn hit(&mut self, idx: u32, dir: Dir, tuple: &CtTuple, tcp_flags: u8) -> CtOutcome {
+        let reply_dir = dir == Dir::Reply;
+        let (want, closed) = {
+            let now = self.wheel.now();
+            let timeouts = self.timeouts;
+            let conn = self.table.conn_mut(idx);
+            conn.state = conn.state.advance(reply_dir, tcp_flags);
+            let want = if reply_dir {
+                conn.orig.reversed()
+            } else {
+                conn.reply.reversed()
+            };
+            let closed = conn.state == ConnState::TcpClosed;
+            if !closed {
+                // Re-arm in place: the wheel re-buckets from this field
+                // when the connection's bucket is next swept.
+                conn.deadline = now + timeouts.for_state(conn.state);
+            }
+            (want, closed)
+        };
+        self.pending_hits += 1;
+        if closed {
+            // RST: forward this packet (translated), then drop the state.
+            self.wheel.cancel(idx);
+            self.table.remove(idx);
+            self.stats.record_teardown();
+        } else {
+            self.table.touch(idx);
+        }
+        let mut out = CtOutcome::pass();
+        push_diffs(&mut out, tuple, &want);
+        out
+    }
+
+    /// Creates a connection (evicting per policy if full). Returns `false`
+    /// when nothing was created: table full under refuse-new, or the first
+    /// packet already carries RST (stillborn — nothing worth tracking).
+    fn create(&mut self, orig: CtTuple, reply: CtTuple, tcp_flags: u8) -> bool {
+        let state = ConnState::initial(orig.proto).advance(false, tcp_flags);
+        if state == ConnState::TcpClosed {
+            return false;
+        }
+        if self.table.is_full() {
+            match self.eviction {
+                EvictionPolicy::RefuseNew => {
+                    self.stats.record_refused();
+                    return false;
+                }
+                EvictionPolicy::Lru => {
+                    if let Some(victim) = self.table.clock_victim() {
+                        self.wheel.cancel(victim);
+                        self.table.remove(victim);
+                        self.stats.record_evicted_capacity();
+                    }
+                }
+            }
+        }
+        let idx = self
+            .table
+            .insert(orig, reply, state)
+            .expect("slot free after eviction");
+        let deadline = self.wheel.now() + self.timeouts.for_state(state);
+        self.table.conn_mut(idx).deadline = deadline;
+        self.wheel.schedule(idx, deadline);
+        self.stats.record_created();
+        true
+    }
+
+    fn miss(&mut self, verb: &CtVerb, tuple: &CtTuple, tcp_flags: u8) -> CtOutcome {
+        match verb {
+            CtVerb::Commit => {
+                // Admit-and-track; if untrackable (full, refuse-new) the
+                // packet still passes — commit polices nothing by itself.
+                self.create(*tuple, tuple.reversed(), tcp_flags);
+                CtOutcome::pass()
+            }
+            CtVerb::Established => {
+                self.stats.record_denied();
+                CtOutcome::halt()
+            }
+            CtVerb::Nat(spec) => {
+                let translated = self.translate_nat(spec, tuple);
+                if self.create(*tuple, translated.reversed(), tcp_flags) {
+                    let mut out = CtOutcome::pass();
+                    push_diffs(&mut out, tuple, &translated);
+                    out
+                } else {
+                    // NAT cannot forward without state.
+                    CtOutcome::halt()
+                }
+            }
+            CtVerb::Lb { group } => {
+                let Some(backend) = self.pick_backend(*group, tuple) else {
+                    self.stats.record_denied();
+                    return CtOutcome::halt();
+                };
+                let translated = CtTuple {
+                    dst_ip: backend,
+                    ..*tuple
+                };
+                if self.create(*tuple, translated.reversed(), tcp_flags) {
+                    let mut out = CtOutcome::pass();
+                    push_diffs(&mut out, tuple, &translated);
+                    out
+                } else {
+                    CtOutcome::halt()
+                }
+            }
+        }
+    }
+
+    fn translate_nat(&mut self, spec: &NatSpec, tuple: &CtTuple) -> CtTuple {
+        if spec.snat {
+            let port = self.alloc_port(spec);
+            CtTuple {
+                src_ip: spec.addr,
+                src_port: port,
+                ..*tuple
+            }
+        } else {
+            CtTuple {
+                dst_ip: spec.addr,
+                dst_port: spec.port_lo,
+                ..*tuple
+            }
+        }
+    }
+
+    fn alloc_port(&mut self, spec: &NatSpec) -> u16 {
+        if let Some((_, alloc)) = self.nat_allocs.iter_mut().find(|(s, _)| s == spec) {
+            return alloc.alloc();
+        }
+        let mut alloc = PortAlloc::new(
+            spec.port_lo,
+            spec.port_hi,
+            self.shard_index,
+            self.shard_count,
+        );
+        let port = alloc.alloc();
+        self.nat_allocs.push((*spec, alloc));
+        port
+    }
+
+    fn pick_backend(&self, group: u16, tuple: &CtTuple) -> Option<u32> {
+        let g = self.lb.get(group as usize)?;
+        if g.backends.is_empty() {
+            return None;
+        }
+        let slot = select(&g.table, tuple_hash(tuple));
+        g.backends.get(slot as usize).copied()
+    }
+}
+
+impl Drop for CtEngine {
+    /// Flushes hit counts batched since the last tick, so shutdown
+    /// aggregation (which reads the `Arc`-shared stats after the worker's
+    /// engine is gone) sees every hit.
+    fn drop(&mut self) {
+        if self.pending_hits > 0 {
+            self.stats
+                .record_hits(std::mem::take(&mut self.pending_hits));
+        }
+    }
+}
+
+impl ConnCtx for CtEngine {
+    fn ct_execute(&mut self, verb: &CtVerb, tuple: &CtTuple, tcp_flags: u8) -> CtOutcome {
+        match self.table.lookup(tuple) {
+            Some((idx, dir)) => self.hit(idx, dir, tuple, tcp_flags),
+            None => self.miss(verb, tuple, tcp_flags),
+        }
+    }
+}
+
+/// Pushes the field rewrites that turn `cur` into `want` (at most four:
+/// two addresses, two ports — exactly [`openflow::ct::CT_MAX_REWRITES`]).
+fn push_diffs(out: &mut CtOutcome, cur: &CtTuple, want: &CtTuple) {
+    if cur.src_ip != want.src_ip {
+        out.push_rewrite(Field::Ipv4Src, want.src_ip);
+    }
+    if cur.dst_ip != want.dst_ip {
+        out.push_rewrite(Field::Ipv4Dst, want.dst_ip);
+    }
+    let tcp = cur.proto == 6;
+    if cur.src_port != want.src_port {
+        let field = if tcp { Field::TcpSrc } else { Field::UdpSrc };
+        out.push_rewrite(field, u32::from(want.src_port));
+    }
+    if cur.dst_port != want.dst_port {
+        let field = if tcp { Field::TcpDst } else { Field::UdpDst };
+        out.push_rewrite(field, u32::from(want.dst_port));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::{ACK, RST, SYN};
+
+    fn tcp_tuple(src: u32, sport: u16, dst: u32, dport: u16) -> CtTuple {
+        CtTuple {
+            proto: 6,
+            src_ip: src,
+            dst_ip: dst,
+            src_port: sport,
+            dst_port: dport,
+        }
+    }
+
+    fn small_engine(eviction: EvictionPolicy, capacity: usize) -> CtEngine {
+        CtEngine::new(
+            &CtConfig {
+                capacity,
+                eviction,
+                ..CtConfig::default()
+            },
+            0,
+            1,
+        )
+    }
+
+    fn rewritten(tuple: &CtTuple, out: &CtOutcome) -> CtTuple {
+        let mut t = *tuple;
+        for (f, v) in out.rewrites() {
+            match f {
+                Field::Ipv4Src => t.src_ip = *v,
+                Field::Ipv4Dst => t.dst_ip = *v,
+                Field::TcpSrc | Field::UdpSrc => t.src_port = *v as u16,
+                Field::TcpDst | Field::UdpDst => t.dst_port = *v as u16,
+                other => panic!("unexpected rewrite field {other:?}"),
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn acl_commit_then_established_reply() {
+        let mut e = small_engine(EvictionPolicy::Lru, 16);
+        let fwd = tcp_tuple(0x0a000001, 1234, 0x0a000002, 80);
+        // Untracked reply direction is denied.
+        assert!(e
+            .ct_execute(&CtVerb::Established, &fwd.reversed(), SYN | ACK)
+            .halted());
+        // Commit the original direction, then the reply passes.
+        assert!(!e.ct_execute(&CtVerb::Commit, &fwd, SYN).halted());
+        let reply = e.ct_execute(&CtVerb::Established, &fwd.reversed(), SYN | ACK);
+        assert!(!reply.halted());
+        assert!(reply.rewrites().is_empty());
+        // The connection is now established.
+        let (idx, _) = e.table.lookup(&fwd).unwrap();
+        assert_eq!(e.table.conn(idx).state, ConnState::TcpEstablished);
+        // An unrelated tuple is still denied.
+        let other = tcp_tuple(0x0a000009, 999, 0x0a000002, 80);
+        assert!(e.ct_execute(&CtVerb::Established, &other, ACK).halted());
+        assert_eq!(e.stats().denied(), 2);
+    }
+
+    #[test]
+    fn snat_allocates_and_reverses() {
+        let mut e = small_engine(EvictionPolicy::Lru, 16);
+        let spec = NatSpec {
+            snat: true,
+            addr: 0xc0a80001,
+            port_lo: 40000,
+            port_hi: 40999,
+        };
+        let fwd = tcp_tuple(0x0a000001, 1234, 0x08080808, 443);
+        let out = e.ct_execute(&CtVerb::Nat(spec), &fwd, SYN);
+        assert!(!out.halted());
+        let translated = rewritten(&fwd, &out);
+        assert_eq!(translated.src_ip, spec.addr);
+        assert_eq!(translated.src_port, 40000);
+        assert_eq!(translated.dst_ip, fwd.dst_ip);
+        // Reply to the translated tuple maps back to the original client.
+        let reply_in = translated.reversed();
+        let back = e.ct_execute(&CtVerb::Established, &reply_in, SYN | ACK);
+        assert!(!back.halted());
+        let untranslated = rewritten(&reply_in, &back);
+        assert_eq!(untranslated, fwd.reversed());
+        // A second connection gets a distinct port.
+        let fwd2 = tcp_tuple(0x0a000002, 1234, 0x08080808, 443);
+        let out2 = e.ct_execute(&CtVerb::Nat(spec), &fwd2, SYN);
+        assert_eq!(rewritten(&fwd2, &out2).src_port, 40001);
+    }
+
+    #[test]
+    fn lb_pins_backend_across_reshuffle() {
+        let mut e = CtEngine::new(
+            &CtConfig {
+                capacity: 64,
+                lb_groups: vec![LbGroup {
+                    vip: 0x0a00ff01,
+                    backends: vec![0x0a000101, 0x0a000102, 0x0a000103],
+                    table_size: 101,
+                }],
+                ..CtConfig::default()
+            },
+            0,
+            1,
+        );
+        let fwd = tcp_tuple(0x0a000001, 5555, 0x0a00ff01, 80);
+        let out = e.ct_execute(&CtVerb::Lb { group: 0 }, &fwd, SYN);
+        let pinned = rewritten(&fwd, &out).dst_ip;
+        assert!([0x0a000101u32, 0x0a000102, 0x0a000103].contains(&pinned));
+        // Reply from the backend is un-rewritten to the VIP.
+        let reply_in = CtTuple {
+            dst_ip: pinned,
+            ..fwd
+        }
+        .reversed();
+        let back = e.ct_execute(&CtVerb::Established, &reply_in, SYN | ACK);
+        assert_eq!(rewritten(&reply_in, &back).src_ip, 0x0a00ff01);
+        // Shrink the backend set: the established flow keeps its backend.
+        e.set_lb_group(0, 0x0a00ff01, vec![0x0a000101], 101);
+        let again = e.ct_execute(&CtVerb::Lb { group: 0 }, &fwd, ACK);
+        assert_eq!(rewritten(&fwd, &again).dst_ip, pinned);
+    }
+
+    #[test]
+    fn rst_teardown_and_identity() {
+        let mut e = small_engine(EvictionPolicy::Lru, 16);
+        let fwd = tcp_tuple(1, 1, 2, 2);
+        e.ct_execute(&CtVerb::Commit, &fwd, SYN);
+        assert_eq!(e.live(), 1);
+        // RST passes (it informs the peer) but tears the state down.
+        assert!(!e.ct_execute(&CtVerb::Commit, &fwd, RST).halted());
+        assert_eq!(e.live(), 0);
+        let snap = e.stats().snapshot();
+        assert_eq!(snap.teardown, 1);
+        assert!(snap.identity_holds());
+    }
+
+    #[test]
+    fn idle_timeout_reclaims() {
+        let mut e = CtEngine::new(
+            &CtConfig {
+                capacity: 8,
+                timeouts: CtTimeouts {
+                    tcp_syn: 4,
+                    ..CtTimeouts::default()
+                },
+                wheel_slots: 8,
+                ..CtConfig::default()
+            },
+            0,
+            1,
+        );
+        let fwd = tcp_tuple(1, 1, 2, 2);
+        e.ct_execute(&CtVerb::Commit, &fwd, SYN);
+        // Activity at tick 3 re-arms the deadline lazily.
+        e.advance_to(3);
+        e.ct_execute(&CtVerb::Commit, &fwd, SYN);
+        e.advance_to(6);
+        assert_eq!(
+            e.live(),
+            1,
+            "re-armed connection survives original deadline"
+        );
+        // Long idle: reclaimed (allow a full wheel rotation of slack).
+        e.advance_to(6 + 4 + 8);
+        assert_eq!(e.live(), 0);
+        let snap = e.stats().snapshot();
+        assert_eq!(snap.evicted_idle, 1);
+        assert!(snap.identity_holds());
+    }
+
+    #[test]
+    fn capacity_policies() {
+        // Refuse-new: commits pass untracked, NAT drops.
+        let mut e = small_engine(EvictionPolicy::RefuseNew, 2);
+        for i in 0..2u32 {
+            e.ct_execute(&CtVerb::Commit, &tcp_tuple(i + 1, 1, 99, 2), SYN);
+        }
+        assert!(!e
+            .ct_execute(&CtVerb::Commit, &tcp_tuple(50, 1, 99, 2), SYN)
+            .halted());
+        let spec = NatSpec {
+            snat: true,
+            addr: 7,
+            port_lo: 1000,
+            port_hi: 2000,
+        };
+        assert!(e
+            .ct_execute(&CtVerb::Nat(spec), &tcp_tuple(51, 1, 99, 2), SYN)
+            .halted());
+        let snap = e.stats().snapshot();
+        assert_eq!(snap.refused, 2);
+        assert_eq!(snap.live, 2);
+        assert!(snap.identity_holds());
+
+        // LRU: the oldest connection is evicted to admit the new one.
+        let mut e = small_engine(EvictionPolicy::Lru, 2);
+        let a = tcp_tuple(1, 1, 99, 2);
+        let b = tcp_tuple(2, 1, 99, 2);
+        e.ct_execute(&CtVerb::Commit, &a, SYN);
+        e.ct_execute(&CtVerb::Commit, &b, SYN);
+        e.ct_execute(&CtVerb::Commit, &a, SYN); // touch a; b is now LRU
+        e.ct_execute(&CtVerb::Commit, &tcp_tuple(3, 1, 99, 2), SYN);
+        assert!(e.table.lookup(&a).is_some());
+        assert!(e.table.lookup(&b).is_none(), "LRU victim evicted");
+        let snap = e.stats().snapshot();
+        assert_eq!(snap.evicted_capacity, 1);
+        assert!(snap.identity_holds());
+    }
+}

@@ -1,0 +1,33 @@
+//! # conntrack — per-shard connection tracking for the sharded datapath
+//!
+//! Everything the stateless datapaths lack lives here: a slab-backed,
+//! index-linked [`ConnTable`] keyed by the 5-tuple (zero-alloc on the
+//! established path, fixed capacity with counted, policy-driven eviction), a
+//! TCP state machine plus a UDP pseudo-state ([`tcp`]), a hashed timing
+//! wheel for idle timeouts advanced at burst boundaries ([`wheel`]), NAT
+//! port allocation ([`nat`]), maglev-style consistent hashing ([`maglev`]),
+//! and the [`CtEngine`] tying them together behind the
+//! [`openflow::ct::ConnCtx`] contract the datapath executors thread.
+//!
+//! Ownership is strictly shard-local: each shard replica owns one
+//! `CtEngine`; nothing here is shared mutably across threads. The only
+//! cross-thread artifacts are the [`CtStats`] atomic counters (imported
+//! through the `netdev::sync` facade so the `cfg(loom)` suite models them),
+//! which the control plane aggregates into shutdown reports.
+
+pub mod engine;
+pub mod key;
+pub mod maglev;
+pub mod nat;
+pub mod stats;
+pub mod table;
+pub mod tcp;
+pub mod wheel;
+
+pub use engine::{CtConfig, CtEngine, CtTimeouts, EvictionPolicy, LbGroup};
+pub use key::ConnKey;
+pub use maglev::{maglev_table, select};
+pub use stats::{CtSnapshot, CtStats};
+pub use table::{Conn, ConnTable, Dir};
+pub use tcp::ConnState;
+pub use wheel::TimerWheel;

@@ -1,0 +1,149 @@
+//! Maglev-style consistent hashing for the stateful L4 load balancer.
+//!
+//! The lookup table is built with Maglev's permutation-fill: each backend
+//! owns a permutation of the table slots derived from two hashes of its
+//! identity, and backends claim slots round-robin along their permutations
+//! until the table is full. Properties the LB relies on: near-uniform slot
+//! shares, and minimal disruption — removing one backend reassigns only
+//! that backend's slots. Per-connection *pinning* (established flows keep
+//! their backend across table rebuilds) is layered on top by the engine,
+//! which stores the chosen backend in the connection record; the table is
+//! consulted only on a connection's first packet.
+
+use netdev::fx_mix;
+
+/// Builds a Maglev lookup table of `size` slots mapping to backend
+/// *indices* (`0..backends.len()`). `size` should comfortably exceed the
+/// backend count (Maglev uses ≥ 100×); it is rounded up to the next odd
+/// number so permutation skips stay coprime more often.
+pub fn maglev_table(backends: &[u32], size: usize) -> Vec<u16> {
+    assert!(
+        backends.len() <= u16::MAX as usize,
+        "too many backends for u16 table"
+    );
+    let m = if size.is_multiple_of(2) {
+        size + 1
+    } else {
+        size
+    };
+    let mut table = vec![u16::MAX; m];
+    if backends.is_empty() {
+        return table;
+    }
+    let m64 = m as u64;
+    // offset/skip per backend, as in the Maglev paper (§3.4).
+    let params: Vec<(u64, u64)> = backends
+        .iter()
+        .map(|b| {
+            let h1 = fx_mix(0x6d61_676c, u64::from(*b));
+            let h2 = fx_mix(0x6576_5f68, u64::from(*b));
+            (h1 % m64, (h2 % (m64 - 1)) + 1)
+        })
+        .collect();
+    let mut next = vec![0u64; backends.len()];
+    let mut filled = 0usize;
+    while filled < m {
+        for (i, (offset, skip)) in params.iter().enumerate() {
+            // Walk backend i's permutation until it finds a free slot. When
+            // `skip` shares a factor with a composite `m`, the walk is a
+            // sub-cycle that may be fully claimed already — bound it at `m`
+            // steps and claim the next free slot directly, so the fill
+            // terminates for every table size (the Maglev paper sidesteps
+            // this by requiring a prime `m`; we only round to odd).
+            let mut attempts = 0u64;
+            loop {
+                if attempts >= m64 {
+                    let pos = table
+                        .iter()
+                        .position(|s| *s == u16::MAX)
+                        .expect("free slot exists while filled < m");
+                    table[pos] = i as u16;
+                    filled += 1;
+                    break;
+                }
+                let pos = ((offset + next[i] * skip) % m64) as usize;
+                next[i] += 1;
+                attempts += 1;
+                if table[pos] == u16::MAX {
+                    table[pos] = i as u16;
+                    filled += 1;
+                    break;
+                }
+            }
+            if filled == m {
+                break;
+            }
+        }
+    }
+    table
+}
+
+/// Selects a backend index for a connection hash.
+#[inline]
+pub fn select(table: &[u16], hash: u64) -> u16 {
+    table[(hash % table.len() as u64) as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_near_uniform() {
+        let backends: Vec<u32> = (1..=8).collect();
+        let table = maglev_table(&backends, 1009);
+        let mut counts = vec![0usize; backends.len()];
+        for slot in &table {
+            counts[*slot as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(min > 0);
+        // Maglev guarantees tight balance; allow a generous 2x bound.
+        assert!(max <= min * 2, "min={min} max={max}");
+    }
+
+    #[test]
+    fn removal_is_minimally_disruptive() {
+        let full: Vec<u32> = (1..=8).collect();
+        let reduced: Vec<u32> = (1..=7).collect();
+        let t_full = maglev_table(&full, 1009);
+        let t_red = maglev_table(&reduced, 1009);
+        let mut moved = 0usize;
+        for (a, b) in t_full.iter().zip(t_red.iter()) {
+            // Slots owned by a surviving backend should mostly keep it.
+            if *a != 7 && a != b {
+                moved += 1;
+            }
+        }
+        // Fewer than 20% of surviving-backend slots may move.
+        assert!(
+            moved * 5 < t_full.len(),
+            "moved {moved} of {}",
+            t_full.len()
+        );
+    }
+
+    #[test]
+    fn composite_table_size_terminates_and_fills() {
+        // 513 = 27 * 19: skips sharing a factor with m walk sub-cycles.
+        // Regression: this exact backend set + size used to hang the fill.
+        let backends = [0x0a0a_0001u32, 0x0a0a_0002, 0x0a0a_0003, 0x0a0a_0004];
+        let table = maglev_table(&backends, 513);
+        assert_eq!(table.len(), 513);
+        assert!(table.iter().all(|s| (*s as usize) < backends.len()));
+        for b in 0..backends.len() as u16 {
+            assert!(table.contains(&b), "backend {b} owns no slot");
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_in_range() {
+        let table = maglev_table(&[10, 20, 30], 101);
+        for h in 0..1000u64 {
+            let b = select(&table, fx_mix(0, h));
+            assert!(b < 3);
+            assert_eq!(b, select(&table, fx_mix(0, h)));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! NAT port allocation.
+//!
+//! Ports are handed out sequentially from the configured range, partitioned
+//! across shards by stride: shard *k* of *n* allocates `lo + k`,
+//! `lo + k + n`, `lo + k + 2n`, … so concurrent shards never hand out the
+//! same source port for the same SNAT address without any cross-shard
+//! coordination — the shared-nothing discipline the rest of the runtime
+//! follows.
+//!
+//! Allocation wraps when the partition is exhausted; the engine bounds live
+//! connections well below the port span in practice, and a wrapped port
+//! whose previous connection is still live simply aliases the reply tuple
+//! (looked up first-come). Exhaustion accounting is the capacity
+//! eviction's job, not the allocator's.
+
+/// Sequential, shard-partitioned port allocator for one NAT range.
+#[derive(Debug, Clone)]
+pub struct PortAlloc {
+    lo: u16,
+    span: u32,
+    offset: u32,
+    stride: u32,
+    next: u32,
+}
+
+impl PortAlloc {
+    /// Creates an allocator over `[lo, hi]` for shard `shard_index` of
+    /// `shard_count`.
+    pub fn new(lo: u16, hi: u16, shard_index: u32, shard_count: u32) -> PortAlloc {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        PortAlloc {
+            lo,
+            span: u32::from(hi - lo) + 1,
+            offset: shard_index,
+            stride: shard_count.max(1),
+            next: 0,
+        }
+    }
+
+    /// Allocates the next port of this shard's partition.
+    #[inline]
+    pub fn alloc(&mut self) -> u16 {
+        let slot = (self.offset + self.next.wrapping_mul(self.stride)) % self.span;
+        self.next = self.next.wrapping_add(1);
+        self.lo + slot as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_within_a_shard() {
+        let mut a = PortAlloc::new(1000, 1009, 0, 1);
+        let got: Vec<u16> = (0..12).map(|_| a.alloc()).collect();
+        assert_eq!(got[..10], (1000..1010).collect::<Vec<u16>>()[..]);
+        // Wraps after the span.
+        assert_eq!(&got[10..], &[1000, 1001]);
+    }
+
+    #[test]
+    fn shards_partition_the_range() {
+        let mut s0 = PortAlloc::new(2000, 2009, 0, 2);
+        let mut s1 = PortAlloc::new(2000, 2009, 1, 2);
+        let p0: Vec<u16> = (0..5).map(|_| s0.alloc()).collect();
+        let p1: Vec<u16> = (0..5).map(|_| s1.alloc()).collect();
+        assert_eq!(p0, vec![2000, 2002, 2004, 2006, 2008]);
+        assert_eq!(p1, vec![2001, 2003, 2005, 2007, 2009]);
+        for p in &p0 {
+            assert!(!p1.contains(p));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-shard connection-tracking counters.
+//!
+//! One `CtStats` per shard engine, `Arc`-shared with the control plane so
+//! shutdown reports can aggregate without touching the engine itself.
+//! Orderings follow the `netdev::stats::Counters` discipline: increments
+//! are `Release`, reads `Acquire` — free on x86-TSO, and it makes the
+//! counters usable as progress signals (a reader that observes a count
+//! also observes the table mutations that preceded it). Imported through
+//! the `netdev::sync` facade so the `loom_conntrack` suite model-checks
+//! exactly this code.
+//!
+//! The counters satisfy a conservation identity the shutdown path asserts:
+//! `created == live + evicted_idle + evicted_capacity + teardown` — every
+//! connection ever created is either still live or was removed for exactly
+//! one counted reason. `refused` counts admissions declined *before*
+//! creation and is outside the identity by construction.
+
+use netdev::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic per-shard ct counters. All increments happen on the owning
+/// shard's worker; any thread may read.
+#[derive(Debug, Default)]
+pub struct CtStats {
+    created: AtomicU64,
+    hits: AtomicU64,
+    denied: AtomicU64,
+    refused: AtomicU64,
+    evicted_idle: AtomicU64,
+    evicted_capacity: AtomicU64,
+    teardown: AtomicU64,
+    live: AtomicU64,
+}
+
+impl CtStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A connection was created (any verb).
+    pub fn record_created(&self) {
+        self.created.fetch_add(1, Ordering::Release);
+        self.live.fetch_add(1, Ordering::Release);
+    }
+
+    /// A packet hit an existing connection.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Release);
+    }
+
+    /// `n` packets hit existing connections. The engine batches hits per
+    /// tick and flushes them here, keeping the per-packet path free of
+    /// locked read-modify-writes; `hits` therefore lags the truth by at
+    /// most one burst until the next tick (or engine drop) flushes.
+    pub fn record_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Release);
+    }
+
+    /// A packet was denied by a stateful verb (no matching connection).
+    pub fn record_denied(&self) {
+        self.denied.fetch_add(1, Ordering::Release);
+    }
+
+    /// An admission was refused because the table was full (refuse-new
+    /// policy). No connection was created.
+    pub fn record_refused(&self) {
+        self.refused.fetch_add(1, Ordering::Release);
+    }
+
+    /// A connection was reclaimed by the idle-timeout wheel.
+    pub fn record_evicted_idle(&self) {
+        self.evicted_idle.fetch_add(1, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Release);
+    }
+
+    /// A connection was evicted to make room (LRU policy).
+    pub fn record_evicted_capacity(&self) {
+        self.evicted_capacity.fetch_add(1, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Release);
+    }
+
+    /// A connection was torn down by protocol (TCP RST).
+    pub fn record_teardown(&self) {
+        self.teardown.fetch_add(1, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Connections created so far.
+    pub fn created(&self) -> u64 {
+        self.created.load(Ordering::Acquire)
+    }
+
+    /// Established-path hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Acquire)
+    }
+
+    /// Stateful denials so far.
+    pub fn denied(&self) -> u64 {
+        self.denied.load(Ordering::Acquire)
+    }
+
+    /// Refused admissions so far.
+    pub fn refused(&self) -> u64 {
+        self.refused.load(Ordering::Acquire)
+    }
+
+    /// Idle-timeout reclamations so far.
+    pub fn evicted_idle(&self) -> u64 {
+        self.evicted_idle.load(Ordering::Acquire)
+    }
+
+    /// Capacity evictions so far.
+    pub fn evicted_capacity(&self) -> u64 {
+        self.evicted_capacity.load(Ordering::Acquire)
+    }
+
+    /// Protocol teardowns so far.
+    pub fn teardown(&self) -> u64 {
+        self.teardown.load(Ordering::Acquire)
+    }
+
+    /// Currently live connections (gauge).
+    pub fn live(&self) -> u64 {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> CtSnapshot {
+        CtSnapshot {
+            created: self.created(),
+            hits: self.hits(),
+            denied: self.denied(),
+            refused: self.refused(),
+            evicted_idle: self.evicted_idle(),
+            evicted_capacity: self.evicted_capacity(),
+            teardown: self.teardown(),
+            live: self.live(),
+        }
+    }
+}
+
+/// Plain-data copy of [`CtStats`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CtSnapshot {
+    /// Connections created.
+    pub created: u64,
+    /// Established-path hits.
+    pub hits: u64,
+    /// Stateful denials.
+    pub denied: u64,
+    /// Refused admissions (table full, refuse-new policy).
+    pub refused: u64,
+    /// Idle-timeout reclamations.
+    pub evicted_idle: u64,
+    /// Capacity (LRU) evictions.
+    pub evicted_capacity: u64,
+    /// Protocol (RST) teardowns.
+    pub teardown: u64,
+    /// Live connections at snapshot time.
+    pub live: u64,
+}
+
+impl CtSnapshot {
+    /// The conservation identity: every created connection is live or was
+    /// removed for exactly one counted reason. Holds whenever the engine is
+    /// quiescent (between bursts / at shutdown).
+    pub fn identity_holds(&self) -> bool {
+        self.created == self.live + self.evicted_idle + self.evicted_capacity + self.teardown
+    }
+
+    /// Field-wise sum of two snapshots (cross-shard aggregation).
+    pub fn merged(&self, other: &CtSnapshot) -> CtSnapshot {
+        CtSnapshot {
+            created: self.created + other.created,
+            hits: self.hits + other.hits,
+            denied: self.denied + other.denied,
+            refused: self.refused + other.refused,
+            evicted_idle: self.evicted_idle + other.evicted_idle,
+            evicted_capacity: self.evicted_capacity + other.evicted_capacity,
+            teardown: self.teardown + other.teardown,
+            live: self.live + other.live,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_identity() {
+        let s = CtStats::new();
+        for _ in 0..10 {
+            s.record_created();
+        }
+        s.record_evicted_idle();
+        s.record_evicted_capacity();
+        s.record_teardown();
+        s.record_refused();
+        s.record_hit();
+        let snap = s.snapshot();
+        assert_eq!(snap.live, 7);
+        assert!(snap.identity_holds());
+        let double = snap.merged(&snap);
+        assert_eq!(double.created, 20);
+        assert!(double.identity_holds());
+    }
+}

@@ -1,0 +1,131 @@
+//! Connection state machine: TCP states plus a UDP pseudo-state.
+//!
+//! Deliberately lenient ("pickup" tracking, as conntrack implementations
+//! call it): any reply-direction packet promotes a new connection to
+//! established — the tracker polices *direction*, not sequence numbers.
+//! That is the property the stateful ACL gateway needs (only replies to
+//! committed connections pass) and it keeps the per-packet work to a
+//! two-branch table.
+
+/// TCP flag bits (byte 13 of the TCP header).
+pub const FIN: u8 = 0x01;
+/// SYN bit.
+pub const SYN: u8 = 0x02;
+/// RST bit.
+pub const RST: u8 = 0x04;
+/// ACK bit.
+pub const ACK: u8 = 0x10;
+
+/// Protocol state of a tracked connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConnState {
+    /// TCP connection seen in the original direction only.
+    TcpSynSent,
+    /// TCP connection with traffic in both directions.
+    TcpEstablished,
+    /// FIN observed (either direction); short teardown timeout.
+    TcpFin,
+    /// RST observed: the connection is dead and is removed immediately.
+    TcpClosed,
+    /// UDP flow seen in the original direction only.
+    UdpNew,
+    /// UDP flow with traffic in both directions.
+    UdpEstablished,
+}
+
+impl ConnState {
+    /// Initial state for a connection's first packet.
+    pub fn initial(proto: u8) -> ConnState {
+        if proto == 6 {
+            ConnState::TcpSynSent
+        } else {
+            ConnState::UdpNew
+        }
+    }
+
+    /// True for the states that carry bidirectional traffic.
+    pub fn is_established(self) -> bool {
+        matches!(self, ConnState::TcpEstablished | ConnState::UdpEstablished)
+    }
+
+    /// Advances the state for one packet. `reply_dir` is true when the
+    /// packet travels against the original direction.
+    #[inline]
+    pub fn advance(self, reply_dir: bool, tcp_flags: u8) -> ConnState {
+        match self {
+            ConnState::UdpNew => {
+                if reply_dir {
+                    ConnState::UdpEstablished
+                } else {
+                    ConnState::UdpNew
+                }
+            }
+            ConnState::UdpEstablished => ConnState::UdpEstablished,
+            tcp => {
+                if tcp_flags & RST != 0 {
+                    return ConnState::TcpClosed;
+                }
+                if tcp_flags & FIN != 0 {
+                    return ConnState::TcpFin;
+                }
+                match tcp {
+                    ConnState::TcpSynSent => {
+                        if reply_dir {
+                            ConnState::TcpEstablished
+                        } else {
+                            ConnState::TcpSynSent
+                        }
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_handshake_path() {
+        let s = ConnState::initial(6);
+        assert_eq!(s, ConnState::TcpSynSent);
+        // Retransmitted SYN stays new.
+        assert_eq!(s.advance(false, SYN), ConnState::TcpSynSent);
+        // SYN-ACK from the responder establishes.
+        let s = s.advance(true, SYN | ACK);
+        assert_eq!(s, ConnState::TcpEstablished);
+        assert!(s.is_established());
+        // Data in either direction keeps it established.
+        assert_eq!(s.advance(false, ACK), ConnState::TcpEstablished);
+        assert_eq!(s.advance(true, ACK), ConnState::TcpEstablished);
+    }
+
+    #[test]
+    fn fin_and_rst_teardown() {
+        let est = ConnState::TcpEstablished;
+        assert_eq!(est.advance(false, FIN | ACK), ConnState::TcpFin);
+        assert_eq!(
+            ConnState::TcpFin.advance(true, FIN | ACK),
+            ConnState::TcpFin
+        );
+        assert_eq!(est.advance(true, RST), ConnState::TcpClosed);
+        assert_eq!(
+            ConnState::TcpSynSent.advance(false, RST),
+            ConnState::TcpClosed
+        );
+        // RST wins over FIN if both are set.
+        assert_eq!(est.advance(false, FIN | RST), ConnState::TcpClosed);
+    }
+
+    #[test]
+    fn udp_pseudo_state() {
+        let s = ConnState::initial(17);
+        assert_eq!(s, ConnState::UdpNew);
+        assert_eq!(s.advance(false, 0), ConnState::UdpNew);
+        let s = s.advance(true, 0);
+        assert_eq!(s, ConnState::UdpEstablished);
+        assert!(s.is_established());
+    }
+}

@@ -1,0 +1,226 @@
+//! Hashed timing wheel for idle timeouts.
+//!
+//! Declared a fast-path module (`cargo xtask lint` bans allocation
+//! constructors here). One node per connection slab slot, intrusively
+//! doubly-linked into `slots` buckets by deadline tick. Time is virtual:
+//! the worker loop advances one tick per processed burst, so timeouts are
+//! deterministic and need no clock syscalls on the datapath.
+//!
+//! The wheel does not store deadlines: the owner keeps the authoritative
+//! deadline (the engine stores it in the connection record — a cache line
+//! the established path already writes, so a re-arm touches **zero**
+//! wheel memory). A node is scheduled into the bucket of its *initial*
+//! deadline; when that bucket is swept, [`TimerWheel::advance_to`] asks
+//! the owner whether the node is due — `None` expires it, `Some(later)`
+//! re-buckets it ("lazy re-arm"). Consequence: a deadline that was
+//! *shortened* after scheduling can fire up to `slots - 1` ticks late —
+//! idle timeouts are deliberately approximate, as in every hashed-wheel
+//! implementation.
+
+/// Sentinel for "no node"/"not linked".
+const NONE: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct WheelNode {
+    prev: u32,
+    next: u32,
+    /// Bucket the node is currently linked into, or `NONE`.
+    bucket: u32,
+}
+
+const EMPTY_NODE: WheelNode = WheelNode {
+    prev: NONE,
+    next: NONE,
+    bucket: NONE,
+};
+
+/// The wheel: per-slot bucket heads plus one node per connection slot.
+#[derive(Debug)]
+pub struct TimerWheel {
+    buckets: Vec<u32>,
+    nodes: Vec<WheelNode>,
+    now: u64,
+}
+
+impl TimerWheel {
+    /// Creates a wheel covering `capacity` connection slots with `slots`
+    /// buckets (rounded up to a power of two). The only allocations the
+    /// wheel ever performs happen here.
+    pub fn new(capacity: usize, slots: usize) -> TimerWheel {
+        let slots = slots.max(2).next_power_of_two();
+        let mut buckets = Vec::with_capacity(slots);
+        buckets.resize(slots, NONE);
+        let mut nodes = Vec::with_capacity(capacity);
+        nodes.resize(capacity, EMPTY_NODE);
+        TimerWheel {
+            buckets,
+            nodes,
+            now: 0,
+        }
+    }
+
+    /// Current virtual tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Bytes held by the buckets and nodes — fixed at construction.
+    pub fn memory_bytes(&self) -> usize {
+        self.buckets.capacity() * std::mem::size_of::<u32>()
+            + self.nodes.capacity() * std::mem::size_of::<WheelNode>()
+    }
+
+    /// Schedules (or re-schedules) node `idx` into the bucket of
+    /// `deadline`, linking it into the wheel. Connection-setup path; the
+    /// caller remains the authority on the actual deadline value.
+    pub fn schedule(&mut self, idx: u32, deadline: u64) {
+        if self.nodes[idx as usize].bucket != NONE {
+            self.unlink(idx);
+        }
+        self.link(idx, deadline);
+    }
+
+    /// Unlinks node `idx` (connection removed by teardown or eviction).
+    pub fn cancel(&mut self, idx: u32) {
+        if self.nodes[idx as usize].bucket != NONE {
+            self.unlink(idx);
+        }
+    }
+
+    /// Advances virtual time to `target`, sweeping due buckets. For every
+    /// node in a swept bucket, `decide` reports its fate: `None` means the
+    /// node is due — it stays unlinked (the caller reclaims it inside
+    /// `decide`); `Some(later)` means activity pushed its deadline out —
+    /// the node is re-bucketed for `later`. At most one full rotation is
+    /// swept regardless of how large the jump is.
+    pub fn advance_to(&mut self, target: u64, mut decide: impl FnMut(u32) -> Option<u64>) {
+        if target <= self.now {
+            return;
+        }
+        let slots = self.buckets.len() as u64;
+        let steps = (target - self.now).min(slots);
+        for t in self.now + 1..=self.now + steps {
+            let b = (t % slots) as usize;
+            // Detach the whole bucket, then re-link survivors, so the
+            // traversal never sees its own re-insertions.
+            let mut i = self.buckets[b];
+            self.buckets[b] = NONE;
+            while i != NONE {
+                let node = self.nodes[i as usize];
+                self.nodes[i as usize] = EMPTY_NODE;
+                if let Some(later) = decide(i) {
+                    self.link(i, later);
+                }
+                i = node.next;
+            }
+        }
+        self.now = target;
+    }
+
+    fn link(&mut self, idx: u32, deadline: u64) {
+        let slots = self.buckets.len() as u64;
+        let b = (deadline % slots) as usize;
+        let head = self.buckets[b];
+        {
+            let n = &mut self.nodes[idx as usize];
+            n.prev = NONE;
+            n.next = head;
+            n.bucket = b as u32;
+        }
+        if head != NONE {
+            self.nodes[head as usize].prev = idx;
+        }
+        self.buckets[b] = idx;
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let node = self.nodes[idx as usize];
+        if node.prev != NONE {
+            self.nodes[node.prev as usize].next = node.next;
+        } else {
+            self.buckets[node.bucket as usize] = node.next;
+        }
+        if node.next != NONE {
+            self.nodes[node.next as usize].prev = node.prev;
+        }
+        let n = &mut self.nodes[idx as usize];
+        n.prev = NONE;
+        n.next = NONE;
+        n.bucket = NONE;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Advances to `target` against an owner-side deadline table, returning
+    /// the nodes that expired — the engine's usage pattern in miniature.
+    fn drain(wheel: &mut TimerWheel, deadlines: &[u64], target: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        wheel.advance_to(target, |i| {
+            let d = deadlines[i as usize];
+            if d <= target {
+                out.push(i);
+                None
+            } else {
+                Some(d)
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn expires_at_deadline() {
+        let mut w = TimerWheel::new(8, 16);
+        let deadlines = [5u64, 7, 0, 0, 0, 0, 0, 0];
+        w.schedule(0, 5);
+        w.schedule(1, 7);
+        assert_eq!(drain(&mut w, &deadlines, 4), vec![]);
+        assert_eq!(drain(&mut w, &deadlines, 5), vec![0]);
+        assert_eq!(drain(&mut w, &deadlines, 10), vec![1]);
+        assert_eq!(w.now(), 10);
+    }
+
+    #[test]
+    fn lazy_rearm_defers_expiry() {
+        let mut w = TimerWheel::new(4, 8);
+        let mut deadlines = [0u64; 4];
+        deadlines[2] = 3;
+        w.schedule(2, 3);
+        deadlines[2] = 20; // activity: owner extends, wheel untouched
+        assert_eq!(drain(&mut w, &deadlines, 10), vec![]);
+        assert_eq!(drain(&mut w, &deadlines, 20), vec![2]);
+    }
+
+    #[test]
+    fn cancel_prevents_expiry() {
+        let mut w = TimerWheel::new(4, 8);
+        w.schedule(1, 2);
+        w.cancel(1);
+        assert_eq!(drain(&mut w, &[0, 2, 0, 0], 100), vec![]);
+    }
+
+    #[test]
+    fn large_jump_sweeps_whole_rotation_once() {
+        let mut w = TimerWheel::new(64, 8);
+        let deadlines: Vec<u64> = (0..64u64).map(|i| 1 + i).collect();
+        for i in 0..64u32 {
+            w.schedule(i, deadlines[i as usize]);
+        }
+        // Jump far past every deadline in one call.
+        let fired = drain(&mut w, &deadlines, 1_000_000);
+        assert_eq!(fired, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_rotation_survive_sweeps() {
+        let mut w = TimerWheel::new(2, 8);
+        w.schedule(0, 100); // 12+ rotations out
+        for t in (10..100).step_by(10) {
+            assert_eq!(drain(&mut w, &[100, 0], t), vec![], "tick {t}");
+        }
+        assert_eq!(drain(&mut w, &[100, 0], 100), vec![0]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Exhaustive model checking of the conntrack counters.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p conntrack --test loom_conntrack`.
+//!
+//! The ct engine itself is shard-local and never shared, so the only
+//! concurrency in the subsystem is the `CtStats` counters: the owning
+//! worker records, any thread (the shutdown aggregator) reads. These
+//! models pin down the two properties the shutdown report relies on:
+//! no lost updates, and the conservation identity holding at every
+//! quiescent observation point.
+
+#![cfg(all(loom, not(spsc_tail_relaxed_mutation)))]
+
+use loom::sync::Arc;
+use loom::thread;
+
+use conntrack::CtStats;
+
+/// Two shards recording into distinct stats objects, aggregated by a third
+/// thread after join: the merged snapshot is exact and the conservation
+/// identity holds in every schedule.
+#[test]
+fn merged_shutdown_report_is_exact() {
+    loom::model(|| {
+        let s0 = Arc::new(CtStats::new());
+        let s1 = Arc::new(CtStats::new());
+        let (a, b) = (Arc::clone(&s0), Arc::clone(&s1));
+        let t0 = thread::spawn(move || {
+            a.record_created();
+            a.record_created();
+            a.record_evicted_idle();
+        });
+        let t1 = thread::spawn(move || {
+            b.record_created();
+            b.record_hit();
+            b.record_teardown();
+        });
+        t0.join().unwrap();
+        t1.join().unwrap();
+        let merged = s0.snapshot().merged(&s1.snapshot());
+        assert_eq!(merged.created, 3);
+        assert_eq!(merged.hits, 1);
+        assert_eq!(merged.evicted_idle, 1);
+        assert_eq!(merged.teardown, 1);
+        assert_eq!(merged.live, 1);
+        assert!(merged.identity_holds());
+    });
+}
+
+/// A concurrent reader that observes the eviction count also observes the
+/// creation that preceded it (Release increments / Acquire reads): `live`
+/// never underflows from the reader's point of view.
+#[test]
+fn eviction_observed_implies_creation_observed() {
+    loom::model(|| {
+        let stats = Arc::new(CtStats::new());
+        let writer = Arc::clone(&stats);
+        let t = thread::spawn(move || {
+            writer.record_created();
+            writer.record_evicted_capacity();
+        });
+        // Acquire reads in program order: eviction read *first* so a stale
+        // creation count cannot pair with a fresh eviction count.
+        let evicted = stats.evicted_capacity();
+        if evicted == 1 {
+            assert_eq!(
+                stats.created(),
+                1,
+                "eviction visible before the creation that preceded it"
+            );
+        }
+        t.join().unwrap();
+        assert!(stats.snapshot().identity_holds());
+    });
+}

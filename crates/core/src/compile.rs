@@ -179,8 +179,18 @@ impl CompiledDatapath {
         out
     }
 
-    /// Processes one packet through the compiled fast path.
+    /// Processes one packet through the compiled fast path. Ct verbs run
+    /// against the no-op tracker; stateful pipelines use
+    /// [`CompiledDatapath::process_ct`].
     pub fn process(&self, packet: &mut Packet) -> Verdict {
+        self.process_ct(packet, &mut openflow::ct::NoCt)
+    }
+
+    /// Processes one packet with a live connection tracker. The datapath is
+    /// shared read-only across shards; each caller threads its own
+    /// shard-local engine, so the compiled program stays immutable while
+    /// connection state stays unshared.
+    pub fn process_ct(&self, packet: &mut Packet, ct: &mut dyn openflow::ct::ConnCtx) -> Verdict {
         self.stats.processed.record(packet.len());
         let mut verdict = Verdict::default();
         let mut regs = Regs {
@@ -209,7 +219,15 @@ impl CompiledDatapath {
                         let layout_sensitive = apply.actions().iter().any(|a| {
                             matches!(a, CompiledAction::PushVlan(_) | CompiledAction::PopVlan)
                         });
-                        apply.execute(packet, &headers, &mut verdict);
+                        if apply.execute_ct(packet, &headers, &mut verdict, ct) {
+                            // Stateful deny: drop, discarding any forwarding
+                            // decisions merged so far; keep the accounting.
+                            return Verdict {
+                                tables_visited: verdict.tables_visited,
+                                entries_examined: verdict.entries_examined,
+                                ..Verdict::default()
+                            };
+                        }
                         if layout_sensitive {
                             headers = self.parser.parse(packet.data());
                         }
@@ -429,6 +447,9 @@ fn action_touched_field(action: &Action) -> Option<Field> {
     match action {
         Action::SetField(field, _) => Some(*field),
         Action::DecNwTtl => Some(Field::Ipv4Src),
+        // Ct extracts the 5-tuple (and TCP flags), so the parser must reach
+        // L4 even if the pipeline matches nothing past L2.
+        Action::Ct(_) => Some(Field::TcpSrc),
         _ => None,
     }
 }

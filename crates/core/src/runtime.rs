@@ -137,12 +137,20 @@ impl EswitchRuntime {
     /// carries the *ingress* frame — apply-actions executed before the punt
     /// rewrite the forwarded packet, never the controller's copy.
     pub fn process(&self, packet: &mut Packet) -> Verdict {
+        self.process_ct(packet, &mut openflow::ct::NoCt)
+    }
+
+    /// Like [`EswitchRuntime::process`] but with a live connection tracker
+    /// for stateful (ct-action) pipelines. The tracker is the caller's —
+    /// shard-local by construction — so the runtime itself stays free of
+    /// connection state.
+    pub fn process_ct(&self, packet: &mut Packet, ct: &mut dyn openflow::ct::ConnCtx) -> Verdict {
         let datapath = self.datapath();
         let ingress = self
             .may_punt
             .load(Ordering::Relaxed)
             .then(|| packet.clone());
-        let verdict = datapath.process(packet);
+        let verdict = datapath.process_ct(packet, ct);
         if verdict.to_controller {
             // `may_punt` is a monotone over-approximation of the compiled
             // state, so a punting verdict implies the snapshot exists; fall
@@ -170,6 +178,17 @@ impl EswitchRuntime {
     /// anything processing did to the burst (its own rewrites included)
     /// after the frames were snapshotted.
     pub fn process_batch_into(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        self.process_batch_into_ct(packets, verdicts, &mut openflow::ct::NoCt);
+    }
+
+    /// Batched processing with a live connection tracker (see
+    /// [`EswitchRuntime::process_ct`]).
+    pub fn process_batch_into_ct(
+        &self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn openflow::ct::ConnCtx,
+    ) {
         verdicts.clear();
         verdicts.reserve(packets.len());
         let datapath = self.datapath();
@@ -194,7 +213,7 @@ impl EswitchRuntime {
         }
         let mut punted_any = false;
         for p in packets.iter_mut() {
-            let verdict = datapath.process(p);
+            let verdict = datapath.process_ct(p, ct);
             punted_any |= verdict.to_controller;
             verdicts.push(verdict);
         }

@@ -8,6 +8,7 @@
 //! shared action-set object.
 
 use openflow::action::OutputKind;
+use openflow::ct::{ConnCtx, CtVerb, NoCt};
 use openflow::{Action, Field, FieldValue, Verdict};
 use pkt::checksum;
 use pkt::ethernet::ETHERNET_HEADER_LEN;
@@ -51,6 +52,11 @@ pub enum CompiledAction {
     PushVlan(u16),
     /// Pop the outermost 802.1Q tag.
     PopVlan,
+    /// Connection-tracking verb, executed against the per-shard engine the
+    /// caller threads through [`CompiledActionSet::execute_ct`]. Compiled
+    /// programs keep the verb — connection state is live data, so the action
+    /// re-executes per packet rather than specialising away.
+    Ct(CtVerb),
     /// Actions the templates model as no-ops (queues, groups, unsupported
     /// set-fields); kept so compiled pipelines stay structurally faithful.
     Nop,
@@ -67,6 +73,7 @@ impl CompiledAction {
             Action::DecNwTtl => CompiledAction::DecNwTtl,
             Action::PushVlan(tpid) => CompiledAction::PushVlan(*tpid),
             Action::PopVlan => CompiledAction::PopVlan,
+            Action::Ct(verb) => CompiledAction::Ct(*verb),
             Action::SetQueue(_) | Action::Group(_) => CompiledAction::Nop,
             Action::SetField(field, value) => Self::from_set_field(*field, *value),
         }
@@ -106,7 +113,9 @@ impl CompiledAction {
                 verdict.punt_reason = openflow::PacketInReason::Action;
                 false
             }
-            CompiledAction::Drop | CompiledAction::Nop => false,
+            // Ct is executed at the set level (it needs the engine and can
+            // halt the pipeline); as a bare action it is a no-op.
+            CompiledAction::Drop | CompiledAction::Nop | CompiledAction::Ct(_) => false,
             CompiledAction::SetEthDst(mac) => {
                 packet.data_mut()[0..6].copy_from_slice(mac);
                 false
@@ -207,6 +216,7 @@ impl CompiledAction {
             CompiledAction::DecNwTtl => "DEC_NW_TTL".to_string(),
             CompiledAction::PushVlan(t) => format!("PUSH_VLAN({t:#x})"),
             CompiledAction::PopVlan => "POP_VLAN".to_string(),
+            CompiledAction::Ct(v) => format!("CT({v:?})"),
             CompiledAction::Nop => "NOP".to_string(),
         }
     }
@@ -254,13 +264,41 @@ impl CompiledActionSet {
 
     /// Executes the whole set against a packet, merging forwarding decisions
     /// into `verdict`. Re-parses the frame if an action changed its layout.
+    /// Ct verbs execute against the no-op tracker (Commit passes, stateful
+    /// verbs halt) — stateful pipelines use [`CompiledActionSet::execute_ct`].
     pub fn execute(&self, packet: &mut Packet, headers: &ParsedHeaders, verdict: &mut Verdict) {
+        self.execute_ct(packet, headers, verdict, &mut NoCt);
+    }
+
+    /// Like [`CompiledActionSet::execute`] but with a live connection
+    /// tracker. Returns `true` when a ct verb halted the pipeline (stateful
+    /// deny): the caller must discard the verdict's forwarding decisions and
+    /// stop processing the packet.
+    pub fn execute_ct(
+        &self,
+        packet: &mut Packet,
+        headers: &ParsedHeaders,
+        verdict: &mut Verdict,
+        ct: &mut dyn ConnCtx,
+    ) -> bool {
         let mut current = *headers;
         for action in &self.actions {
+            if let CompiledAction::Ct(verb) = action {
+                let outcome = openflow::ct::execute_ct(ct, verb, packet, &current);
+                if outcome.halted() {
+                    return true;
+                }
+                for &(field, value) in outcome.rewrites() {
+                    CompiledAction::from_set_field(field, FieldValue::from(value))
+                        .execute(packet, &current, verdict);
+                }
+                continue;
+            }
             if action.execute(packet, &current, verdict) {
                 current = parse(packet.data(), ParseDepth::L4);
             }
         }
+        false
     }
 
     /// Executes only the packet-modifying actions of the set, skipping the
@@ -278,6 +316,9 @@ impl CompiledActionSet {
                     | CompiledAction::Flood
                     | CompiledAction::ToController
                     | CompiledAction::Drop
+                    // Ct in a write-action set is a no-op everywhere (the
+                    // reference ActionSet ignores it too).
+                    | CompiledAction::Ct(_)
             ) {
                 continue;
             }

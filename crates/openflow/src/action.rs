@@ -6,6 +6,7 @@ use pkt::parser::{parse, ParseDepth, ParsedHeaders};
 use pkt::vlan::VLAN_TAG_LEN;
 use pkt::Packet;
 
+use crate::ct::{ConnCtx, CtVerb, NoCt};
 use crate::field::{Field, FieldValue};
 use crate::key::FlowKey;
 
@@ -40,6 +41,12 @@ pub enum Action {
     /// Apply a group (modelled as a no-op placeholder; none of the paper's
     /// use cases require groups).
     Group(u32),
+    /// Consult the connection tracker (commit / established-only / NAT /
+    /// LB). Executed by the list-level executors, which thread a
+    /// [`ConnCtx`]; a denying tracker halts the packet. In a write-actions
+    /// set this is a no-op on every datapath (ct state must be consulted
+    /// mid-pipeline, not at exit).
+    Ct(CtVerb),
 }
 
 impl Action {
@@ -56,7 +63,10 @@ impl Action {
             | Action::ToController
             | Action::Drop
             | Action::SetQueue(_)
-            | Action::Group(_) => false,
+            | Action::Group(_)
+            // Ct is executed by the list-level executors (which hold the
+            // tracker); as a bare frame rewrite it touches nothing.
+            | Action::Ct(_) => false,
             Action::SetField(field, value) => {
                 key.set(*field, *value);
                 write_field(packet, headers, *field, *value);
@@ -234,6 +244,10 @@ impl ActionSet {
             Action::Flood => self.output = Some(OutputKind::Flood),
             Action::ToController => self.output = Some(OutputKind::Controller),
             Action::Drop => self.output = Some(OutputKind::Drop),
+            // Ct in a write-actions set is a no-op on every datapath:
+            // connection state must be consulted while the packet traverses
+            // the pipeline, not at exit.
+            Action::Ct(_) => {}
         }
     }
 
@@ -297,8 +311,23 @@ pub fn apply_action_list_with(
     key: &mut FlowKey,
     sink: impl FnMut(OutputKind),
 ) {
+    apply_action_list_with_ct(actions, packet, key, sink, &mut NoCt);
+}
+
+/// [`apply_action_list_with`] with an explicit connection tracker. Returns
+/// `true` when a ct action denied the packet: the remaining actions were
+/// skipped and the caller must stop processing (no further tables, no
+/// action-set flush) and treat the packet as dropped.
+#[inline]
+pub fn apply_action_list_with_ct(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
+    sink: impl FnMut(OutputKind),
+    ct: &mut dyn ConnCtx,
+) -> bool {
     let headers = parse(packet.data(), ParseDepth::L4);
-    apply_action_list_parsed(actions, packet, key, headers, sink);
+    apply_action_list_parsed_ct(actions, packet, key, headers, sink, ct)
 }
 
 /// Like [`apply_action_list_with`] but resuming from an already-parsed
@@ -310,15 +339,40 @@ pub fn apply_action_list_parsed(
     actions: &[Action],
     packet: &mut Packet,
     key: &mut FlowKey,
+    headers: ParsedHeaders,
+    sink: impl FnMut(OutputKind),
+) {
+    apply_action_list_parsed_ct(actions, packet, key, headers, sink, &mut NoCt);
+}
+
+/// [`apply_action_list_parsed`] with an explicit connection tracker; see
+/// [`apply_action_list_with_ct`] for the halt contract.
+#[inline]
+pub fn apply_action_list_parsed_ct(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
     mut headers: ParsedHeaders,
     mut sink: impl FnMut(OutputKind),
-) {
+    ct: &mut dyn ConnCtx,
+) -> bool {
     for action in actions {
         match action {
             Action::Output(p) => sink(OutputKind::Port(*p)),
             Action::Flood => sink(OutputKind::Flood),
             Action::ToController => sink(OutputKind::Controller),
             Action::Drop => sink(OutputKind::Drop),
+            Action::Ct(verb) => {
+                let outcome = crate::ct::execute_ct(ct, verb, packet, &headers);
+                if outcome.halted() {
+                    return true;
+                }
+                for &(field, value) in outcome.rewrites() {
+                    let value = FieldValue::from(value);
+                    key.set(field, value);
+                    write_field(packet, &headers, field, value);
+                }
+            }
             other => {
                 if other.apply(packet, &headers, key) {
                     headers = parse(packet.data(), ParseDepth::L4);
@@ -326,6 +380,7 @@ pub fn apply_action_list_parsed(
             }
         }
     }
+    false
 }
 
 /// Applies an action list and merges the forwarding decisions straight into
@@ -338,6 +393,20 @@ pub fn apply_action_list_into(
     verdict: &mut crate::pipeline::Verdict,
 ) {
     apply_action_list_with(actions, packet, key, |out| verdict.add(out));
+}
+
+/// [`apply_action_list_into`] with an explicit connection tracker; returns
+/// `true` when a ct action denied the packet (see
+/// [`apply_action_list_with_ct`]).
+#[inline]
+pub fn apply_action_list_into_ct(
+    actions: &[Action],
+    packet: &mut Packet,
+    key: &mut FlowKey,
+    verdict: &mut crate::pipeline::Verdict,
+    ct: &mut dyn ConnCtx,
+) -> bool {
+    apply_action_list_with_ct(actions, packet, key, |out| verdict.add(out), ct)
 }
 
 /// Applies an ordered action list to a packet and returns the forwarding

@@ -1,0 +1,314 @@
+//! Connection-tracking contract between the pipeline and a ct engine.
+//!
+//! The openflow crate stays stateless: it defines *what* a ct action asks
+//! for ([`CtVerb`]), the canonical connection tuple ([`CtTuple`]), and the
+//! answer a tracker returns ([`CtOutcome`]), but owns no connection state.
+//! Executors (`Pipeline`, the compiled datapath, the OVS caches) thread a
+//! `&mut dyn ConnCtx` through their `_ct` entry points; the engine lives in
+//! `crates/conntrack` and is owned per shard. Callers without a tracker use
+//! [`NoCt`], which preserves the historical stateless semantics: commits
+//! pass through untracked and state-dependent verbs (established / NAT /
+//! LB) deny, because without state no reply can be recognised and no
+//! translation can be derived.
+
+use crate::field::Field;
+use pkt::{Packet, ParsedHeaders};
+
+/// Canonical IPv4/L4 5-tuple a connection is keyed by.
+///
+/// Only IPv4 TCP/UDP frames are trackable; everything else yields `None`
+/// from [`CtTuple::from_frame`] and ct verbs treat the packet as untracked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CtTuple {
+    /// IP protocol number (6 = TCP, 17 = UDP).
+    pub proto: u8,
+    /// IPv4 source address (host byte order).
+    pub src_ip: u32,
+    /// IPv4 destination address (host byte order).
+    pub dst_ip: u32,
+    /// L4 source port (host byte order).
+    pub src_port: u16,
+    /// L4 destination port (host byte order).
+    pub dst_port: u16,
+}
+
+const TCP: u8 = 6;
+const UDP: u8 = 17;
+
+impl CtTuple {
+    /// Extracts the connection tuple from a parsed frame. Returns `None`
+    /// for anything that is not IPv4 TCP/UDP with an intact L4 header.
+    pub fn from_frame(frame: &[u8], headers: &ParsedHeaders) -> Option<CtTuple> {
+        if !headers.has_ipv4() || !(headers.has_tcp() || headers.has_udp()) {
+            return None;
+        }
+        let l3 = usize::from(headers.l3_offset);
+        let l4 = usize::from(headers.l4_offset);
+        if frame.len() < l3 + 20 || frame.len() < l4 + 4 {
+            return None;
+        }
+        let proto = if headers.has_tcp() { TCP } else { UDP };
+        let be32 = |at: usize| {
+            u32::from_be_bytes([frame[at], frame[at + 1], frame[at + 2], frame[at + 3]])
+        };
+        let be16 = |at: usize| u16::from_be_bytes([frame[at], frame[at + 1]]);
+        Some(CtTuple {
+            proto,
+            src_ip: be32(l3 + 12),
+            dst_ip: be32(l3 + 16),
+            src_port: be16(l4),
+            dst_port: be16(l4 + 2),
+        })
+    }
+
+    /// The TCP flags byte of a parsed frame, or 0 for non-TCP frames.
+    pub fn tcp_flags(frame: &[u8], headers: &ParsedHeaders) -> u8 {
+        let l4 = usize::from(headers.l4_offset);
+        if headers.has_tcp() && frame.len() > l4 + 13 {
+            frame[l4 + 13]
+        } else {
+            0
+        }
+    }
+
+    /// The same connection seen from the opposite direction.
+    pub fn reversed(&self) -> CtTuple {
+        CtTuple {
+            proto: self.proto,
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+        }
+    }
+}
+
+/// Source/destination NAT parameters carried by [`CtVerb::Nat`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NatSpec {
+    /// `true` = SNAT (rewrite source), `false` = DNAT (rewrite destination).
+    pub snat: bool,
+    /// Translated address (host byte order).
+    pub addr: u32,
+    /// First port of the translation range (inclusive).
+    pub port_lo: u16,
+    /// Last port of the translation range (inclusive).
+    pub port_hi: u16,
+}
+
+/// What a ct action asks the tracker to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtVerb {
+    /// Admit the packet and create/refresh connection state (new
+    /// connections in the original direction create state; replies and
+    /// retransmissions refresh it).
+    Commit,
+    /// Pass only packets that belong to a committed connection (either
+    /// direction); everything else is denied. The stateful-ACL verb.
+    Established,
+    /// Commit + NAT: allocate a translation on the first packet, apply the
+    /// stored forward/reverse rewrite on every later packet.
+    Nat(NatSpec),
+    /// Commit + L4 load balance: pin a backend from `group` on the first
+    /// packet (consistent hashing), rewrite toward it forever after, and
+    /// un-rewrite replies.
+    Lb {
+        /// Backend group id, resolved by the engine's configuration.
+        group: u16,
+    },
+}
+
+/// Maximum number of field rewrites one ct verb can request (NAT/LB touch
+/// at most address + port per direction).
+pub const CT_MAX_REWRITES: usize = 4;
+
+/// Result of executing one ct verb against the tracker: whether the packet
+/// survives, plus up to [`CT_MAX_REWRITES`] field rewrites to apply.
+/// Fixed-capacity so the established path never allocates. Values are
+/// stored as `u32` — ct only ever rewrites IPv4 addresses and L4 ports —
+/// keeping the by-value return through the `dyn ConnCtx` call small.
+#[derive(Debug, Clone, Copy)]
+pub struct CtOutcome {
+    halted: bool,
+    rewrites: [(Field, u32); CT_MAX_REWRITES],
+    len: u8,
+}
+
+impl CtOutcome {
+    /// Packet continues through the pipeline, unmodified.
+    pub fn pass() -> CtOutcome {
+        CtOutcome {
+            halted: false,
+            rewrites: [(Field::InPort, 0); CT_MAX_REWRITES],
+            len: 0,
+        }
+    }
+
+    /// Packet is dropped: the action list, pipeline walk, and action-set
+    /// flush all stop.
+    pub fn halt() -> CtOutcome {
+        CtOutcome {
+            halted: true,
+            rewrites: [(Field::InPort, 0); CT_MAX_REWRITES],
+            len: 0,
+        }
+    }
+
+    /// Appends a field rewrite (panics if more than [`CT_MAX_REWRITES`]
+    /// are pushed — verbs are bounded by construction).
+    pub fn push_rewrite(&mut self, field: Field, value: u32) {
+        let at = self.len as usize;
+        self.rewrites[at] = (field, value);
+        self.len += 1;
+    }
+
+    /// True when the packet must be dropped.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The requested rewrites, in push order. Widen each value with
+    /// `FieldValue::from` when feeding a field writer.
+    pub fn rewrites(&self) -> &[(Field, u32)] {
+        &self.rewrites[..self.len as usize]
+    }
+}
+
+/// A connection-tracking engine, as seen by datapath executors.
+///
+/// One call per executed ct action. The tuple is extracted from the frame
+/// *at execution time* (after any earlier rewrites in the same action
+/// list), so chained NAT/LB verbs compose naturally.
+pub trait ConnCtx {
+    /// Executes `verb` for the connection identified by `tuple`.
+    fn ct_execute(&mut self, verb: &CtVerb, tuple: &CtTuple, tcp_flags: u8) -> CtOutcome;
+
+    /// Whether this tracker carries per-connection state, i.e. whether the
+    /// order of `ct_execute` calls is observable. Batching datapaths that
+    /// regroup packets (cache hits vs. slow-path misses) must preserve
+    /// arrival order when this is true — a teardown must not be outrun by
+    /// a later packet of the same connection.
+    fn is_stateful(&self) -> bool {
+        true
+    }
+}
+
+/// The null tracker: stateless semantics for callers without an engine.
+///
+/// `Commit` passes (admit untracked, as a stateless pipeline would);
+/// `Established`, `Nat`, and `Lb` halt, because without connection state
+/// there is no notion of a committed connection, a stored translation, or
+/// a pinned backend.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoCt;
+
+impl ConnCtx for NoCt {
+    fn ct_execute(&mut self, verb: &CtVerb, _tuple: &CtTuple, _flags: u8) -> CtOutcome {
+        match verb {
+            CtVerb::Commit => CtOutcome::pass(),
+            CtVerb::Established | CtVerb::Nat(_) | CtVerb::Lb { .. } => CtOutcome::halt(),
+        }
+    }
+
+    fn is_stateful(&self) -> bool {
+        false
+    }
+}
+
+/// Executes one ct verb against `ct` for the given frame: extracts the
+/// tuple, dispatches, and reports the outcome. Untrackable frames
+/// (non-IPv4, non-TCP/UDP) bypass tracking entirely: `Commit` passes them,
+/// stateful verbs halt them — mirroring [`NoCt`].
+pub fn execute_ct(
+    ct: &mut dyn ConnCtx,
+    verb: &CtVerb,
+    packet: &Packet,
+    headers: &ParsedHeaders,
+) -> CtOutcome {
+    let frame = packet.data();
+    match CtTuple::from_frame(frame, headers) {
+        Some(tuple) => {
+            let flags = CtTuple::tcp_flags(frame, headers);
+            ct.ct_execute(verb, &tuple, flags)
+        }
+        None => match verb {
+            CtVerb::Commit => CtOutcome::pass(),
+            _ => CtOutcome::halt(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    fn parse(packet: &Packet) -> ParsedHeaders {
+        pkt::parse(packet.data(), pkt::ParseDepth::L4)
+    }
+
+    #[test]
+    fn tuple_extraction_tcp() {
+        let p = PacketBuilder::tcp()
+            .ipv4_src([10, 0, 0, 1])
+            .ipv4_dst([10, 0, 0, 2])
+            .tcp_src(1234)
+            .tcp_dst(80)
+            .build();
+        let h = parse(&p);
+        let t = CtTuple::from_frame(p.data(), &h).expect("tcp frame is trackable");
+        assert_eq!(t.proto, 6);
+        assert_eq!(t.src_ip, u32::from_be_bytes([10, 0, 0, 1]));
+        assert_eq!(t.dst_ip, u32::from_be_bytes([10, 0, 0, 2]));
+        assert_eq!(t.src_port, 1234);
+        assert_eq!(t.dst_port, 80);
+        assert_eq!(t.reversed().src_port, 80);
+        assert_eq!(t.reversed().reversed(), t);
+    }
+
+    #[test]
+    fn non_ip_is_untrackable() {
+        let p = PacketBuilder::l2_only(0x88b5);
+        let h = parse(&p);
+        assert!(CtTuple::from_frame(p.data(), &h).is_none());
+    }
+
+    #[test]
+    fn noct_semantics() {
+        let mut no = NoCt;
+        let t = CtTuple {
+            proto: 6,
+            src_ip: 1,
+            dst_ip: 2,
+            src_port: 3,
+            dst_port: 4,
+        };
+        assert!(!no.ct_execute(&CtVerb::Commit, &t, 0).halted());
+        assert!(no.ct_execute(&CtVerb::Established, &t, 0).halted());
+        assert!(no
+            .ct_execute(
+                &CtVerb::Nat(NatSpec {
+                    snat: true,
+                    addr: 9,
+                    port_lo: 1,
+                    port_hi: 2
+                }),
+                &t,
+                0
+            )
+            .halted());
+        assert!(no.ct_execute(&CtVerb::Lb { group: 0 }, &t, 0).halted());
+    }
+
+    #[test]
+    fn outcome_rewrites_are_bounded_and_ordered() {
+        let mut o = CtOutcome::pass();
+        o.push_rewrite(Field::Ipv4Src, 7);
+        o.push_rewrite(Field::TcpSrc, 99);
+        assert!(!o.halted());
+        let rw = o.rewrites();
+        assert_eq!(rw.len(), 2);
+        assert_eq!(rw[0], (Field::Ipv4Src, 7));
+        assert_eq!(rw[1], (Field::TcpSrc, 99));
+    }
+}

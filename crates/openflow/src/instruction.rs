@@ -86,8 +86,21 @@ pub fn written_match_fields(instructions: &[Instruction]) -> u64 {
                             mark(Field::VlanVid);
                             mark(Field::VlanPcp);
                         }
+                        // NAT/LB rewrite addresses and ports mid-pipeline;
+                        // which of TCP/UDP depends on the packet, so both
+                        // port families are marked conservatively.
+                        Action::Ct(crate::ct::CtVerb::Nat(_))
+                        | Action::Ct(crate::ct::CtVerb::Lb { .. }) => {
+                            mark(Field::Ipv4Src);
+                            mark(Field::Ipv4Dst);
+                            mark(Field::TcpSrc);
+                            mark(Field::TcpDst);
+                            mark(Field::UdpSrc);
+                            mark(Field::UdpDst);
+                        }
                         // DecNwTtl touches no matchable field (TTL is not a
-                        // modelled match field).
+                        // modelled match field); Commit/Established rewrite
+                        // nothing.
                         _ => {}
                     }
                 }
@@ -121,6 +134,29 @@ pub fn instructions_can_punt(instructions: &[Instruction]) -> bool {
         }
         _ => false,
     })
+}
+
+/// True when these instructions contain a connection-tracking action (in
+/// apply- or write-actions position; write-position ct is a no-op but still
+/// marks the pipeline as stateful for configuration validation).
+pub fn instructions_have_ct(instructions: &[Instruction]) -> bool {
+    instructions.iter().any(|instruction| match instruction {
+        Instruction::ApplyActions(actions) | Instruction::WriteActions(actions) => {
+            actions.iter().any(|a| matches!(a, Action::Ct(_)))
+        }
+        _ => false,
+    })
+}
+
+/// True when any entry of the pipeline carries a ct action. Runtimes use
+/// this to switch on stateful behaviour: symmetric RSS (both directions of
+/// a connection must land on the same shard) and per-shard engine setup.
+pub fn pipeline_has_ct(pipeline: &crate::pipeline::Pipeline) -> bool {
+    pipeline
+        .tables()
+        .iter()
+        .flat_map(|t| t.entries())
+        .any(|e| instructions_have_ct(&e.instructions))
 }
 
 /// True when any path through the pipeline can punt a packet to the

@@ -19,6 +19,7 @@
 
 pub mod action;
 pub mod controller;
+pub mod ct;
 pub mod direct;
 pub mod entry;
 pub mod field;
@@ -33,6 +34,7 @@ pub mod table;
 
 pub use action::{Action, ActionSet};
 pub use controller::{Controller, ControllerDecision, NullController};
+pub use ct::{ConnCtx, CtOutcome, CtTuple, CtVerb, NatSpec, NoCt};
 pub use direct::DirectDatapath;
 pub use entry::FlowEntry;
 pub use field::{Field, FieldValue};

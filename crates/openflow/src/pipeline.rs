@@ -5,7 +5,8 @@ use std::fmt;
 
 use pkt::Packet;
 
-use crate::action::{apply_action_list_into, ActionSet, OutputKind};
+use crate::action::{apply_action_list_into, apply_action_list_into_ct, ActionSet, OutputKind};
+use crate::ct::{ConnCtx, NoCt};
 use crate::entry::FlowEntry;
 use crate::instruction::Instruction;
 use crate::key::FlowKey;
@@ -231,6 +232,25 @@ impl Pipeline {
     /// (the slow-path classifier of `ovsdp` extracts the key once and needs
     /// it afterwards to build the megaflow).
     pub fn process_with_key(&self, packet: &mut Packet, key: &mut FlowKey) -> Verdict {
+        self.process_with_key_ct(packet, key, &mut NoCt)
+    }
+
+    /// [`Pipeline::process`] with an explicit connection tracker threaded
+    /// through ct actions.
+    pub fn process_ct(&self, packet: &mut Packet, ct: &mut dyn ConnCtx) -> Verdict {
+        let mut key = FlowKey::extract(packet);
+        self.process_with_key_ct(packet, &mut key, ct)
+    }
+
+    /// [`Pipeline::process_with_key`] with an explicit connection tracker.
+    /// A ct deny halts processing entirely: no further instructions, no
+    /// later tables, no action-set flush — the verdict is a drop.
+    pub fn process_with_key_ct(
+        &self,
+        packet: &mut Packet,
+        key: &mut FlowKey,
+        ct: &mut dyn ConnCtx,
+    ) -> Verdict {
         let mut verdict = Verdict::default();
         let mut action_set = ActionSet::new();
         let mut table_id: TableId = 0;
@@ -245,13 +265,30 @@ impl Pipeline {
             match hit {
                 Some(entry) => {
                     entry.record(packet.len());
-                    match execute_instructions(entry, packet, key, &mut action_set, &mut verdict) {
-                        Some(next) => {
+                    match execute_instructions(
+                        entry,
+                        packet,
+                        key,
+                        &mut action_set,
+                        &mut verdict,
+                        ct,
+                    ) {
+                        ExecOutcome::Goto(next) => {
                             table_id = next;
                         }
-                        None => {
+                        ExecOutcome::Terminate => {
                             finish(&action_set, packet, key, &mut verdict);
                             return verdict;
+                        }
+                        ExecOutcome::CtHalt => {
+                            // A ct action denied the packet: drop, discarding
+                            // any decisions merged before the deny and
+                            // skipping the action-set flush.
+                            return Verdict {
+                                tables_visited: verdict.tables_visited,
+                                entries_examined: verdict.entries_examined,
+                                ..Verdict::default()
+                            };
                         }
                     }
                 }
@@ -274,20 +311,32 @@ impl Pipeline {
     }
 }
 
-/// Executes a matched entry's instructions. Returns the goto target if the
-/// pipeline continues, `None` if it terminates here.
+/// How a matched entry's instructions left the pipeline walk.
+enum ExecOutcome {
+    /// Continue at this table.
+    Goto(TableId),
+    /// Pipeline terminates normally (flush the action set).
+    Terminate,
+    /// A ct action denied the packet (drop, no action-set flush).
+    CtHalt,
+}
+
+/// Executes a matched entry's instructions.
 fn execute_instructions(
     entry: &FlowEntry,
     packet: &mut Packet,
     key: &mut FlowKey,
     action_set: &mut ActionSet,
     verdict: &mut Verdict,
-) -> Option<TableId> {
+    ct: &mut dyn ConnCtx,
+) -> ExecOutcome {
     let mut next = None;
     for instruction in &entry.instructions {
         match instruction {
             Instruction::ApplyActions(actions) => {
-                apply_action_list_into(actions, packet, key, verdict);
+                if apply_action_list_into_ct(actions, packet, key, verdict, ct) {
+                    return ExecOutcome::CtHalt;
+                }
             }
             Instruction::WriteActions(actions) => {
                 for a in actions {
@@ -302,7 +351,10 @@ fn execute_instructions(
             Instruction::Meter(_) => {}
         }
     }
-    next
+    match next {
+        Some(t) => ExecOutcome::Goto(t),
+        None => ExecOutcome::Terminate,
+    }
 }
 
 /// Runs the accumulated action set at pipeline exit.

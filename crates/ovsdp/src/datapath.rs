@@ -15,7 +15,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use netdev::{Counters, BURST_SIZE};
-use openflow::action::{apply_action_list, apply_action_list_parsed};
+use openflow::action::{apply_action_list, apply_action_list_parsed_ct};
+use openflow::ct::{ConnCtx, NoCt};
 use openflow::flow_match::FlowMatch;
 use openflow::flow_mod::{apply_flow_mod, FlowModEffect, FlowModError};
 use openflow::instruction::{pipeline_written_fields, written_match_fields};
@@ -302,8 +303,21 @@ impl OvsDatapath {
     }
 
     /// Processes one packet, returning the verdict and the level that
-    /// answered it.
+    /// answered it. Ct actions run against the no-op tracker; stateful
+    /// pipelines use [`OvsDatapath::process_traced_ct`].
     pub fn process_traced(&self, packet: &mut Packet) -> (Verdict, CacheLevel) {
+        self.process_traced_ct(packet, &mut NoCt)
+    }
+
+    /// Like [`OvsDatapath::process_traced`] but with a live connection
+    /// tracker. Cached action programs retain their ct ops, so cache hits
+    /// re-execute connection tracking per packet against `ct` — the caches
+    /// accelerate classification, never connection state.
+    pub fn process_traced_ct(
+        &self,
+        packet: &mut Packet,
+        ct: &mut dyn ConnCtx,
+    ) -> (Verdict, CacheLevel) {
         // Level 0 cost every packet pays in OVS: full key extraction. The
         // caches are keyed on this *original* key: the slow path may rewrite
         // the packet (and its working key) while classifying, but later
@@ -320,7 +334,7 @@ impl OvsDatapath {
             let cached = self.microflow.lock().lookup(&mini);
             if let Some(actions) = cached {
                 self.stats.microflow_hits.record(packet.len());
-                let verdict = replay(&actions, packet, &mut key, headers);
+                let verdict = replay(&actions, packet, &mut key, headers, ct);
                 return (verdict, CacheLevel::Microflow);
             }
             Some(mini)
@@ -335,7 +349,7 @@ impl OvsDatapath {
             if let Some(mini) = mini {
                 self.microflow.lock().insert(mini, Arc::clone(&actions));
             }
-            let verdict = replay(&actions, packet, &mut key, headers);
+            let verdict = replay(&actions, packet, &mut key, headers, ct);
             return (verdict, CacheLevel::Megaflow);
         }
 
@@ -343,17 +357,19 @@ impl OvsDatapath {
         self.stats.slowpath_hits.record(packet.len());
         let result = {
             let pipeline = self.pipeline.read();
-            self.slowpath.classify(&pipeline, packet, &mut key)
+            self.slowpath.classify_ct(&pipeline, packet, &mut key, ct)
         };
-        self.megaflow.lock().insert(
-            &original_key,
-            result.mask.clone(),
-            Arc::clone(&result.actions),
-        );
-        if let Some(mini) = mini {
-            self.microflow
-                .lock()
-                .insert(mini, Arc::clone(&result.actions));
+        if result.cacheable {
+            self.megaflow.lock().insert(
+                &original_key,
+                result.mask.clone(),
+                Arc::clone(&result.actions),
+            );
+            if let Some(mini) = mini {
+                self.microflow
+                    .lock()
+                    .insert(mini, Arc::clone(&result.actions));
+            }
         }
 
         // 4. Controller, if the pipeline punted.
@@ -367,6 +383,11 @@ impl OvsDatapath {
     /// Processes one packet, returning only the verdict.
     pub fn process(&self, packet: &mut Packet) -> Verdict {
         self.process_traced(packet).0
+    }
+
+    /// Processes one packet with a live connection tracker.
+    pub fn process_ct(&self, packet: &mut Packet, ct: &mut dyn ConnCtx) -> Verdict {
+        self.process_traced_ct(packet, ct).0
     }
 
     /// Processes a batch of packets burst-by-burst, appending one verdict per
@@ -383,10 +404,21 @@ impl OvsDatapath {
     /// path counts its followers as megaflow hits, which is where sequential
     /// processing would have answered them).
     pub fn process_batch_into(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+        self.process_batch_into_ct(packets, verdicts, &mut NoCt);
+    }
+
+    /// Batched processing with a live connection tracker (see
+    /// [`OvsDatapath::process_traced_ct`] for the cache semantics).
+    pub fn process_batch_into_ct(
+        &self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn ConnCtx,
+    ) {
         verdicts.clear();
         verdicts.reserve(packets.len());
         for chunk in packets.chunks_mut(BURST_SIZE) {
-            self.process_burst(chunk, verdicts);
+            self.process_burst(chunk, verdicts, ct);
         }
     }
 
@@ -398,7 +430,12 @@ impl OvsDatapath {
     }
 
     /// One burst (≤ [`BURST_SIZE`] packets) through the hierarchy.
-    fn process_burst(&self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+    fn process_burst(
+        &self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn ConnCtx,
+    ) {
         let n = packets.len();
         debug_assert!(n <= BURST_SIZE);
         if n == 0 {
@@ -488,6 +525,22 @@ impl OvsDatapath {
             }
         }
 
+        // A stateful tracker observes the *order* of ct executions, and the
+        // phase split below would reorder them: phase 3 runs the slow-path
+        // leaders' ct side effects before phase 4 replays the cache hits
+        // that arrived earlier in the burst (a slow-path reply must not
+        // outrun an already-cached teardown). Established-path bursts
+        // resolve entirely from the caches and never take this branch; a
+        // burst with misses degrades to arrival-order per-packet
+        // processing, which is where those packets were headed anyway.
+        if unresolved > 0 && ct.is_stateful() {
+            drop(scratch_guard);
+            for packet in packets.iter_mut() {
+                verdicts.push(self.process_ct(packet, ct));
+            }
+            return;
+        }
+
         // Phase 3: slow-path the leaders both caches missed. `classify`
         // applies the actions to the leader packet as it walks the pipeline,
         // so leaders need no replay afterwards.
@@ -499,9 +552,12 @@ impl OvsDatapath {
                     if s.group[i] == i && s.actions[i].is_none() {
                         self.stats.slowpath_hits.record(packets[i].len());
                         let mut working_key = s.keys[i];
-                        let result =
-                            self.slowpath
-                                .classify(&pipeline, &mut packets[i], &mut working_key);
+                        let result = self.slowpath.classify_ct(
+                            &pipeline,
+                            &mut packets[i],
+                            &mut working_key,
+                            ct,
+                        );
                         s.slow.push((i, result));
                     }
                 }
@@ -509,17 +565,21 @@ impl OvsDatapath {
             {
                 let mut mega = self.megaflow.lock();
                 for (i, result) in &s.slow {
-                    mega.insert(
-                        &s.keys[*i],
-                        result.mask.clone(),
-                        Arc::clone(&result.actions),
-                    );
+                    if result.cacheable {
+                        mega.insert(
+                            &s.keys[*i],
+                            result.mask.clone(),
+                            Arc::clone(&result.actions),
+                        );
+                    }
                 }
             }
             if use_microflow {
                 let mut micro = self.microflow.lock();
                 for (i, result) in &s.slow {
-                    micro.insert(s.minis[*i], Arc::clone(&result.actions));
+                    if result.cacheable {
+                        micro.insert(s.minis[*i], Arc::clone(&result.actions));
+                    }
                 }
             }
         }
@@ -555,6 +615,7 @@ impl OvsDatapath {
                         &mut packets[i],
                         &mut s.keys[i],
                         s.headers[i],
+                        ct,
                     ));
                     continue;
                 }
@@ -571,6 +632,7 @@ impl OvsDatapath {
                 &mut packets[i],
                 &mut s.keys[i],
                 s.headers[i],
+                ct,
             ));
         }
 
@@ -614,16 +676,21 @@ impl OvsDatapath {
 
 /// Replays a cached action program on a packet and converts the outputs into
 /// a [`Verdict`], resuming from the parse the key was extracted with.
-/// Allocation-free for inline-sized output lists.
+/// Allocation-free for inline-sized output lists. Ct ops in the program
+/// re-execute against `ct`; a stateful deny discards every decision the
+/// replay merged and drops the packet.
 #[inline]
 fn replay(
     actions: &[Action],
     packet: &mut Packet,
     key: &mut FlowKey,
     headers: ParsedHeaders,
+    ct: &mut dyn ConnCtx,
 ) -> Verdict {
     let mut verdict = Verdict::default();
-    apply_action_list_parsed(actions, packet, key, headers, |out| verdict.add(out));
+    if apply_action_list_parsed_ct(actions, packet, key, headers, |out| verdict.add(out), ct) {
+        return Verdict::default();
+    }
     verdict
 }
 

@@ -16,7 +16,8 @@
 
 use std::sync::Arc;
 
-use openflow::action::{apply_action_list, ActionSet};
+use openflow::action::{apply_action_list, apply_action_list_into_ct, ActionSet};
+use openflow::ct::{ConnCtx, NoCt};
 use openflow::table::TableMissBehavior;
 use openflow::{Action, Field, FieldValue, FlowEntry, FlowKey, Instruction, Pipeline, Verdict};
 use pkt::Packet;
@@ -56,6 +57,11 @@ pub struct SlowPathResult {
     pub mask: FieldMask,
     /// The forwarding verdict for this packet.
     pub verdict: Verdict,
+    /// False when a ct verb halted classification mid-pipeline: the program
+    /// is truncated at the deny, so it must not be installed in any cache —
+    /// the connection's state may change and a replay would then skip the
+    /// rest of the pipeline walk. Denied flows re-classify per packet.
+    pub cacheable: bool,
 }
 
 /// The slow-path classifier. Stateless apart from configuration; the pipeline
@@ -91,11 +97,30 @@ impl SlowPath {
 
     /// Classifies one packet against `pipeline`, applying actions to the
     /// packet, and returns the action program + megaflow mask + verdict.
+    /// Ct actions run against the no-op tracker; stateful datapaths use
+    /// [`SlowPath::classify_ct`].
     pub fn classify(
         &self,
         pipeline: &Pipeline,
         packet: &mut Packet,
         key: &mut FlowKey,
+    ) -> SlowPathResult {
+        self.classify_ct(pipeline, packet, key, &mut NoCt)
+    }
+
+    /// Like [`SlowPath::classify`] but with a live connection tracker.
+    ///
+    /// Two ct-specific rules keep the caches sound: the program *retains*
+    /// the ct action (connection state is live data — cached replays must
+    /// re-execute it per packet), and the megaflow mask un-wildcards the
+    /// full 5-tuple whenever a ct action executes, so no wildcard entry can
+    /// ever cover two connections whose tracked state may differ.
+    pub fn classify_ct(
+        &self,
+        pipeline: &Pipeline,
+        packet: &mut Packet,
+        key: &mut FlowKey,
+        ct: &mut dyn ConnCtx,
     ) -> SlowPathResult {
         let mut mask = FieldMask::wildcard_all();
         let mut program: Vec<Action> = Vec::new();
@@ -127,8 +152,26 @@ impl SlowPath {
                         match instruction {
                             Instruction::ApplyActions(actions) => {
                                 program.extend(actions.iter().cloned());
-                                for out in apply_action_list(actions, packet, key) {
-                                    verdict.add(out);
+                                if actions.iter().any(|a| matches!(a, Action::Ct(_))) {
+                                    unwildcard_ct_tuple(&mut mask);
+                                }
+                                if apply_action_list_into_ct(actions, packet, key, &mut verdict, ct)
+                                {
+                                    // Stateful deny: drop, discarding every
+                                    // forwarding decision merged so far and
+                                    // the accumulated write-action set; keep
+                                    // the accounting. The truncated program
+                                    // is marked non-cacheable.
+                                    return SlowPathResult {
+                                        actions: Arc::new(program),
+                                        mask,
+                                        verdict: Verdict {
+                                            tables_visited: verdict.tables_visited,
+                                            entries_examined: verdict.entries_examined,
+                                            ..Verdict::default()
+                                        },
+                                        cacheable: false,
+                                    };
                                 }
                             }
                             Instruction::WriteActions(actions) => {
@@ -186,6 +229,7 @@ impl SlowPath {
             actions: Arc::new(program),
             mask,
             verdict,
+            cacheable: true,
         }
     }
 
@@ -223,6 +267,23 @@ impl SlowPath {
                 }
             }
         }
+    }
+}
+
+/// Un-wildcards the full connection 5-tuple. Executing a ct action makes the
+/// decision depend on per-connection state, so the megaflow must be exact on
+/// everything that identifies the connection.
+fn unwildcard_ct_tuple(mask: &mut FieldMask) {
+    for field in [
+        Field::IpProto,
+        Field::Ipv4Src,
+        Field::Ipv4Dst,
+        Field::TcpSrc,
+        Field::TcpDst,
+        Field::UdpSrc,
+        Field::UdpDst,
+    ] {
+        mask.unwildcard(field, field.full_mask());
     }
 }
 

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use eswitch::analysis::CompilerConfig;
 use eswitch::compile::{compile, CompileError, CompiledDatapath};
+use openflow::ct::ConnCtx;
 use openflow::flow_match::FlowMatch;
 use openflow::{NullController, Pipeline, Verdict};
 use ovsdp::{OvsConfig, OvsDatapath};
@@ -102,7 +103,18 @@ pub trait ShardBackend: Send {
     /// are reported in the verdicts (`to_controller` + `punt_reason`); the
     /// worker loop turns them into punt copies on its shard's punt ring
     /// (`shard::controller`), never calling the controller itself.
-    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>);
+    ///
+    /// `ct` is the shard's connection-tracking context: the worker's private
+    /// [`conntrack::CtEngine`] when the launch configured one,
+    /// [`openflow::ct::NoCt`] otherwise. It is threaded per burst — never
+    /// owned by the replica — so connection state survives epoch swaps and
+    /// stays strictly shard-local.
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn ConnCtx,
+    );
 
     /// Swaps in a newly published compiled state (an epoch advance). Called
     /// by the owning worker between bursts, never concurrently with
@@ -128,11 +140,16 @@ struct EswitchShard {
 }
 
 impl ShardBackend for EswitchShard {
-    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn ConnCtx,
+    ) {
         verdicts.clear();
         verdicts.reserve(packets.len());
         for packet in packets.iter_mut() {
-            verdicts.push(self.datapath.process(packet));
+            verdicts.push(self.datapath.process_ct(packet, ct));
         }
     }
 
@@ -153,8 +170,13 @@ struct OvsShard {
 }
 
 impl ShardBackend for OvsShard {
-    fn process_batch_into(&mut self, packets: &mut [Packet], verdicts: &mut Vec<Verdict>) {
-        self.datapath.process_batch_into(packets, verdicts);
+    fn process_batch_into(
+        &mut self,
+        packets: &mut [Packet],
+        verdicts: &mut Vec<Verdict>,
+        ct: &mut dyn ConnCtx,
+    ) {
+        self.datapath.process_batch_into_ct(packets, verdicts, ct);
     }
 
     fn apply(&mut self, state: &CompiledState, deltas: Option<&[Arc<Vec<FlowMatch>>]>) {
@@ -181,6 +203,7 @@ impl ShardBackend for OvsShard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openflow::ct::NoCt;
     use openflow::flow_match::FlowMatch;
     use openflow::instruction::terminal_actions;
     use openflow::{Action, Field, FlowEntry};
@@ -205,13 +228,13 @@ mod tests {
             let mut replica = spec.replica(&state);
             let mut burst = vec![PacketBuilder::tcp().tcp_dst(80).build()];
             let mut verdicts = Vec::new();
-            replica.process_batch_into(&mut burst, &mut verdicts);
+            replica.process_batch_into(&mut burst, &mut verdicts, &mut NoCt);
             assert_eq!(verdicts[0].outputs, vec![1], "{}", spec.label());
 
             let next = spec.compile_state(&port_pipeline(9)).unwrap();
             replica.apply(&next, None);
             let mut burst = vec![PacketBuilder::tcp().tcp_dst(80).build()];
-            replica.process_batch_into(&mut burst, &mut verdicts);
+            replica.process_batch_into(&mut burst, &mut verdicts, &mut NoCt);
             assert_eq!(verdicts[0].outputs, vec![9], "{}", spec.label());
         }
     }
@@ -226,7 +249,7 @@ mod tests {
             PacketBuilder::tcp().tcp_dst(22).build(),
         ];
         let mut verdicts = Vec::new();
-        replica.process_batch_into(&mut burst, &mut verdicts);
+        replica.process_batch_into(&mut burst, &mut verdicts, &mut NoCt);
         let megaflows = replica.as_ovs().unwrap().megaflow_count();
         assert!(megaflows > 0);
 
@@ -246,7 +269,7 @@ mod tests {
         assert_eq!(replica.as_ovs().unwrap().megaflow_count(), megaflows);
 
         let mut burst = vec![PacketBuilder::tcp().tcp_dst(9999).build()];
-        replica.process_batch_into(&mut burst, &mut verdicts);
+        replica.process_batch_into(&mut burst, &mut verdicts, &mut NoCt);
         assert_eq!(verdicts[0].outputs, vec![5]);
     }
 }

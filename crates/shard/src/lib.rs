@@ -63,9 +63,10 @@ pub use controller::{
     partition_of, ControllerWorkerSnapshot, Punt, ReactiveSnapshot, ReactiveStats,
 };
 // The admission-policy types callers need to configure a hardened launch.
+pub use conntrack::{CtConfig, CtSnapshot, CtTimeouts, EvictionPolicy, LbGroup};
 pub use epoch::EpochSlot;
 pub use eswitch::reactive::{PuntPolicy, RateLimit};
-pub use rss::{rss_hash, shard_of, RssDispatcher};
+pub use rss::{rss_hash, rss_hash_symmetric, shard_of, RssDispatcher};
 pub use runtime::{
     ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,
     UpdateClassStats, UpdateStrategy, VerdictSink,

@@ -18,7 +18,8 @@
 
 use std::sync::Arc;
 
-use netdev::{SpscRing, BURST_SIZE};
+use netdev::{fx_mix, SpscRing, BURST_SIZE};
+use openflow::ct::CtTuple;
 use openflow::FlowKey;
 use ovsdp::MiniKey;
 use pkt::parser::{parse, ParseDepth};
@@ -30,6 +31,27 @@ pub fn rss_hash(packet: &Packet) -> u64 {
     let headers = parse(packet.data(), ParseDepth::L4);
     let key = FlowKey::from_parsed(packet, &headers);
     MiniKey::group_hash(&key)
+}
+
+/// Direction-insensitive RSS: both directions of one connection hash to the
+/// same value, so a stateful (conntrack) pipeline sees a flow's requests
+/// *and* replies on the same shard — the property that lets connection
+/// state stay strictly shard-local with no cross-shard locks. Mirrors NIC
+/// symmetric-RSS configurations (e.g. the symmetric Toeplitz key): the
+/// endpoints are ordered canonically before mixing, so `A→B` and `B→A`
+/// collapse to one input. Non-IP or non-TCP/UDP frames (which conntrack
+/// ignores) fall back to the ordinary [`rss_hash`].
+pub fn rss_hash_symmetric(packet: &Packet) -> u64 {
+    let headers = parse(packet.data(), ParseDepth::L4);
+    match CtTuple::from_frame(packet.data(), &headers) {
+        Some(t) => {
+            let a = (u64::from(t.src_ip) << 16) | u64::from(t.src_port);
+            let b = (u64::from(t.dst_ip) << 16) | u64::from(t.dst_port);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            fx_mix(fx_mix(fx_mix(0, lo), hi), u64::from(t.proto))
+        }
+        None => rss_hash(packet),
+    }
 }
 
 /// Maps an RSS hash onto one of `shards` indices. Multiply-shift on the high
@@ -51,6 +73,7 @@ pub struct RssDispatcher {
     rings: Vec<Arc<SpscRing<Packet>>>,
     staged: Vec<Vec<Packet>>,
     dispatched: u64,
+    symmetric: bool,
 }
 
 impl RssDispatcher {
@@ -63,7 +86,21 @@ impl RssDispatcher {
             rings,
             staged,
             dispatched: 0,
+            symmetric: false,
         }
+    }
+
+    /// Switches this dispatcher to [`rss_hash_symmetric`] steering. The
+    /// sharded launch enables it whenever the pipeline contains a conntrack
+    /// action, so both directions of every connection land on one shard.
+    pub(crate) fn with_symmetric(mut self, symmetric: bool) -> Self {
+        self.symmetric = symmetric;
+        self
+    }
+
+    /// Whether this dispatcher steers with the direction-insensitive hash.
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
     }
 
     /// Number of worker shards this dispatcher feeds.
@@ -79,7 +116,12 @@ impl RssDispatcher {
 
     /// The shard `packet` steers to under this dispatcher's shard count.
     pub fn shard_for(&self, packet: &Packet) -> usize {
-        shard_of(rss_hash(packet), self.rings.len())
+        let hash = if self.symmetric {
+            rss_hash_symmetric(packet)
+        } else {
+            rss_hash(packet)
+        };
+        shard_of(hash, self.rings.len())
     }
 
     /// Hashes `packet`'s flow tuple and stages it for its shard, publishing
@@ -153,6 +195,41 @@ mod tests {
                 assert_eq!(a, b, "flow affinity must be deterministic");
                 assert!(a < shards);
             }
+        }
+    }
+
+    #[test]
+    fn symmetric_hash_is_direction_insensitive() {
+        for src in 0..256u16 {
+            let forward = PacketBuilder::tcp()
+                .ipv4_src([10, 0, 0, 1])
+                .ipv4_dst([10, 0, 0, 2])
+                .tcp_src(src)
+                .tcp_dst(80)
+                .build();
+            let reply = PacketBuilder::tcp()
+                .ipv4_src([10, 0, 0, 2])
+                .ipv4_dst([10, 0, 0, 1])
+                .tcp_src(80)
+                .tcp_dst(src)
+                .build();
+            assert_eq!(
+                rss_hash_symmetric(&forward),
+                rss_hash_symmetric(&reply),
+                "src={src}"
+            );
+        }
+        // Distinct connections still spread.
+        let mut counts = [0usize; 4];
+        for src in 0..1024u16 {
+            let p = PacketBuilder::tcp().tcp_src(src).tcp_dst(80).build();
+            counts[shard_of(rss_hash_symmetric(&p), 4)] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                (128..=512).contains(count),
+                "shard {shard} got {count} of 1024 flows"
+            );
         }
     }
 

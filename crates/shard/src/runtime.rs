@@ -29,18 +29,22 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use netdev::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use netdev::sync::Arc as CtArc;
 use netdev::sync::Mutex;
 
+use conntrack::{CtConfig, CtEngine, CtSnapshot, CtStats};
 use eswitch::compile::CompileError;
 use eswitch::reactive::{
     punt_signature, source_signature, IngressSnapshot, PuntAdmit, PuntGate, PuntPolicy,
 };
 use eswitch::update::{Absorbed, UpdateClass, UpdatePlanner};
 use netdev::{CounterSnapshot, Counters, SpscRing, BURST_SIZE};
+use openflow::ct::{ConnCtx, NoCt};
 use openflow::flow_match::FlowMatch;
 use openflow::flow_mod::{apply_flow_mod_undoable, FlowModEffect, FlowModError};
 use openflow::instruction::{
-    instructions_can_punt, pipeline_can_punt, pipeline_written_fields, written_match_fields,
+    instructions_can_punt, pipeline_can_punt, pipeline_has_ct, pipeline_written_fields,
+    written_match_fields,
 };
 use openflow::{Controller, FlowKey, FlowMod, PacketInReason, Pipeline, Verdict};
 use ovsdp::datapath::delta_is_selective;
@@ -65,7 +69,7 @@ pub enum UpdateStrategy {
 }
 
 /// Sharded runtime configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ShardedConfig {
     /// Number of worker shards (clamped to at least 1).
     pub workers: usize,
@@ -92,6 +96,13 @@ pub struct ShardedConfig {
     /// default is fully open (no rate limits) — the hardened profiles are
     /// opt-in per deployment.
     pub punt_policy: PuntPolicy,
+    /// Per-shard connection tracking. `Some` gives every worker shard its
+    /// own private [`CtEngine`] (capacity, timeouts, eviction policy, and LB
+    /// groups from this config), threaded into the replica per burst and
+    /// ticked at every burst boundary. Launching with a ct-bearing pipeline
+    /// also switches the dispatcher to symmetric RSS so both directions of a
+    /// connection land on one shard — ct state never crosses shards.
+    pub ct: Option<CtConfig>,
 }
 
 impl Default for ShardedConfig {
@@ -104,6 +115,7 @@ impl Default for ShardedConfig {
             max_in_flight_punts: PuntGate::DEFAULT_CAPACITY,
             controller_workers: 1,
             punt_policy: PuntPolicy::default(),
+            ct: None,
         }
     }
 }
@@ -405,6 +417,22 @@ pub struct ShutdownReport {
     pub update_classes: UpdateClassCounts,
     /// Reactive slow-path accounting (reactive launches only).
     pub reactive: Option<ReactiveSnapshot>,
+    /// Per-shard connection-tracking snapshots, indexed by shard (ct
+    /// launches only). Every counter in a shard's snapshot was incremented
+    /// by that shard's worker alone — the aggregation here is the only
+    /// cross-shard touch ct state ever gets.
+    pub ct_per_shard: Option<Vec<CtSnapshot>>,
+}
+
+impl ShutdownReport {
+    /// Switch-wide ct totals: the field-wise sum of every shard's snapshot.
+    pub fn ct_merged(&self) -> Option<CtSnapshot> {
+        self.ct_per_shard.as_ref().map(|shards| {
+            shards
+                .iter()
+                .fold(CtSnapshot::default(), |a, s| a.merged(s))
+        })
+    }
 }
 
 /// The reactive channel's switch-side handles: the controller workers plus
@@ -424,6 +452,9 @@ struct ReactiveHandle {
 pub struct ShardedSwitch {
     control: Arc<Control>,
     stats: Vec<Arc<ShardStats>>,
+    /// Per-shard ct counters (ct launches only): each worker's engine
+    /// increments its own `Arc<CtStats>`; this side only ever reads.
+    ct_stats: Option<Vec<CtArc<CtStats>>>,
     workers: Vec<JoinHandle<()>>,
     reactive: Option<ReactiveHandle>,
 }
@@ -488,6 +519,10 @@ impl ShardedSwitch {
         let state = spec.compile_state(&pipeline)?;
         let written = pipeline_written_fields(&pipeline);
         let may_punt = pipeline_can_punt(&pipeline);
+        // A ct-bearing pipeline needs both directions of a connection on one
+        // shard: steer every dispatcher (ingress and the controller workers'
+        // re-injectors) with the direction-insensitive hash.
+        let symmetric = pipeline_has_ct(&pipeline);
         let published = Arc::new(Published {
             epoch: 0,
             class: UpdateClass::Full,
@@ -540,6 +575,16 @@ impl ShardedSwitch {
             })
             .collect();
 
+        // One private ct engine per worker shard, each over its own shared
+        // counter block: the engine moves into the worker thread (no lock
+        // ever guards connection state); the `Arc<CtStats>` stays behind for
+        // the shutdown report's aggregation.
+        let ct_stats: Option<Vec<CtArc<CtStats>>> = config.ct.as_ref().map(|_| {
+            (0..workers_wanted)
+                .map(|_| CtArc::new(CtStats::new()))
+                .collect()
+        });
+
         let mut rings = Vec::with_capacity(workers_wanted);
         let mut stats = Vec::with_capacity(workers_wanted);
         let mut workers = Vec::with_capacity(workers_wanted);
@@ -547,6 +592,14 @@ impl ShardedSwitch {
             let ring = Arc::new(SpscRing::new(config.ring_capacity));
             let shard_stats = Arc::new(ShardStats::default());
             let backend = control.spec.replica(&published.state);
+            let ct = config.ct.as_ref().map(|cfg| {
+                CtEngine::with_stats(
+                    cfg,
+                    shard as u32,
+                    workers_wanted as u32,
+                    CtArc::clone(&ct_stats.as_ref().expect("ct stats exist with ct config")[shard]),
+                )
+            });
             let reactive = shared.as_ref().map(|shared| WorkerReactive {
                 punt_rings: punt_rings[shard].clone(),
                 inject_rings: inject_rings
@@ -563,6 +616,7 @@ impl ShardedSwitch {
                 stats: Arc::clone(&shard_stats),
                 sink: sink.clone(),
                 reactive,
+                ct,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -588,7 +642,8 @@ impl ShardedSwitch {
                             .iter()
                             .map(|row| Arc::clone(&row[index]))
                             .collect(),
-                        injector: RssDispatcher::new(inject_rings[index].clone()),
+                        injector: RssDispatcher::new(inject_rings[index].clone())
+                            .with_symmetric(symmetric),
                         shared: Arc::clone(&shared),
                         stop: Arc::clone(&stop),
                     };
@@ -614,10 +669,11 @@ impl ShardedSwitch {
             ShardedSwitch {
                 control,
                 stats,
+                ct_stats,
                 workers,
                 reactive,
             },
-            RssDispatcher::new(rings),
+            RssDispatcher::new(rings).with_symmetric(symmetric),
         ))
     }
 
@@ -690,6 +746,16 @@ impl ShardedSwitch {
     /// Per-shard statistics handle (live; counters keep advancing).
     pub fn shard_stats(&self, shard: usize) -> &ShardStats {
         &self.stats[shard]
+    }
+
+    /// Live per-shard connection-tracking snapshots (ct launches only).
+    /// Counters keep advancing while the workers run; the conservation
+    /// identity is only guaranteed between bursts (use the shutdown report
+    /// for an exact read).
+    pub fn ct_snapshots(&self) -> Option<Vec<CtSnapshot>> {
+        self.ct_stats
+            .as_ref()
+            .map(|stats| stats.iter().map(|s| s.snapshot()).collect())
     }
 
     /// Switch-wide totals: the sum of every shard's counters at this instant.
@@ -768,6 +834,10 @@ impl ShardedSwitch {
             epoch: self.control.published.epoch(),
             update_classes: self.control.update_stats.snapshot(),
             reactive: self.reactive.as_ref().map(|r| r.shared.snapshot()),
+            ct_per_shard: self
+                .ct_stats
+                .as_ref()
+                .map(|stats| stats.iter().map(|s| s.snapshot()).collect()),
         }
     }
 }
@@ -816,10 +886,15 @@ struct WorkerHandle {
     stats: Arc<ShardStats>,
     sink: Option<VerdictSink>,
     reactive: Option<WorkerReactive>,
+    /// This shard's private connection-tracking engine (ct launches only).
+    /// Owned by the worker thread alone and threaded into the replica per
+    /// burst, so it survives every epoch swap and never needs a lock.
+    ct: Option<CtEngine>,
 }
 
 impl WorkerHandle {
-    fn run(self, mut backend: Box<dyn crate::backend::ShardBackend>) {
+    fn run(mut self, mut backend: Box<dyn crate::backend::ShardBackend>) {
+        let mut engine = self.ct.take();
         let mut burst: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
         let mut injected: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
         let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST_SIZE);
@@ -851,6 +926,7 @@ impl WorkerHandle {
                         &mut verdicts,
                         &mut ingress,
                         local_epoch,
+                        engine.as_mut(),
                     );
                     // Counted after the group's punts are enqueued, so
                     // `injected == reinjected` proves the inject flow
@@ -898,6 +974,7 @@ impl WorkerHandle {
                 &mut verdicts,
                 &mut ingress,
                 local_epoch,
+                engine.as_mut(),
             );
             // Processed is advanced only after the burst's punt copies are
             // enqueued: `processed == dispatched` then proves no punt is
@@ -935,6 +1012,10 @@ impl WorkerHandle {
     /// every punting verdict. When the pipeline can punt at all, the ingress
     /// frames are snapshotted first so the punt copy carries the frame as
     /// received — processing rewrites the burst in place.
+    ///
+    /// When this shard tracks connections, the engine's clock ticks once per
+    /// group here — the burst boundary — expiring idle connections before
+    /// the burst's packets consult the table.
     fn process_group(
         &self,
         backend: &mut Box<dyn crate::backend::ShardBackend>,
@@ -942,12 +1023,21 @@ impl WorkerHandle {
         verdicts: &mut Vec<Verdict>,
         ingress: &mut IngressSnapshot,
         epoch: u64,
+        engine: Option<&mut CtEngine>,
     ) {
         let snapshot = self.reactive.is_some() && self.control.may_punt.load(Ordering::Relaxed);
         if snapshot {
             ingress.capture(burst);
         }
-        backend.process_batch_into(burst, verdicts);
+        let mut no_ct = NoCt;
+        let ct: &mut dyn ConnCtx = match engine {
+            Some(engine) => {
+                engine.tick();
+                engine
+            }
+            None => &mut no_ct,
+        };
+        backend.process_batch_into(burst, verdicts, ct);
         let Some(reactive) = &self.reactive else {
             return;
         };
@@ -1358,6 +1448,111 @@ mod tests {
             .unwrap();
         assert_eq!(switch.update_classes().incremental, 1);
         switch.shutdown(dispatcher);
+    }
+
+    /// A stateful ACL pipeline: client→server traffic commits a connection,
+    /// server→client traffic passes only when established.
+    fn ct_acl_pipeline() -> Pipeline {
+        use openflow::ct::CtVerb;
+        let mut p = Pipeline::with_tables(1);
+        let t = p.table_mut(0).unwrap();
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, 80),
+            100,
+            terminal_actions(vec![Action::Ct(CtVerb::Commit), Action::Output(1)]),
+        ));
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpSrc, 80),
+            90,
+            terminal_actions(vec![Action::Ct(CtVerb::Established), Action::Output(2)]),
+        ));
+        t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+        p
+    }
+
+    /// The ct acceptance gate: bidirectional traffic over a multi-shard
+    /// launch tracks connections strictly shard-locally. Symmetric RSS puts
+    /// every reply on its request's shard (a miss would show up as a denied
+    /// Established verdict), and the per-shard counters — incremented by
+    /// each worker alone, no cross-shard locks — satisfy the conservation
+    /// identity and sum to exactly the offered load.
+    #[test]
+    fn ct_state_is_shard_local_and_identities_hold() {
+        for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+            let (switch, mut dispatcher) = ShardedSwitch::launch(
+                spec,
+                ct_acl_pipeline(),
+                ShardedConfig {
+                    workers: 4,
+                    ring_capacity: 256,
+                    ct: Some(conntrack::CtConfig::default()),
+                    ..ShardedConfig::default()
+                },
+            )
+            .unwrap();
+            assert!(dispatcher.is_symmetric(), "{}", spec.label());
+
+            let flows = 512u16;
+            for src in 0..flows {
+                dispatcher.dispatch(
+                    PacketBuilder::tcp()
+                        .ipv4_src([10, 0, 0, 1])
+                        .ipv4_dst([10, 0, 0, 2])
+                        .tcp_src(1024 + src)
+                        .tcp_dst(80)
+                        .build(),
+                );
+            }
+            dispatcher.flush();
+            // Replies only after every request is processed, so no reply can
+            // race its own commit through a still-staged request burst.
+            while switch.stats().packets < u64::from(flows) {
+                std::thread::yield_now();
+            }
+            for src in 0..flows {
+                dispatcher.dispatch(
+                    PacketBuilder::tcp()
+                        .ipv4_src([10, 0, 0, 2])
+                        .ipv4_dst([10, 0, 0, 1])
+                        .tcp_src(80)
+                        .tcp_dst(1024 + src)
+                        .build(),
+                );
+            }
+            // One unsolicited "reply" no request ever committed: denied.
+            dispatcher.dispatch(
+                PacketBuilder::tcp()
+                    .ipv4_src([10, 9, 9, 9])
+                    .ipv4_dst([10, 0, 0, 1])
+                    .tcp_src(80)
+                    .tcp_dst(9999)
+                    .build(),
+            );
+
+            let report = switch.shutdown(dispatcher);
+            assert_eq!(report.processed.packets, u64::from(flows) * 2 + 1);
+            let shards = report.ct_per_shard.as_ref().expect("ct launch");
+            for (shard, snap) in shards.iter().enumerate() {
+                assert!(
+                    snap.identity_holds(),
+                    "{}: shard {shard} identity: {snap:?}",
+                    spec.label()
+                );
+            }
+            let merged = report.ct_merged().unwrap();
+            assert!(merged.identity_holds(), "{}: {merged:?}", spec.label());
+            assert_eq!(merged.created, u64::from(flows), "{}", spec.label());
+            // Every reply found its connection on its own shard — symmetric
+            // RSS at work; any cross-shard reply would be denied instead.
+            assert_eq!(merged.hits, u64::from(flows), "{}", spec.label());
+            assert_eq!(merged.denied, 1, "{}", spec.label());
+            // The load spread: no shard tracked everything.
+            assert!(
+                shards.iter().filter(|s| s.created > 0).count() > 1,
+                "{}: all connections landed on one shard",
+                spec.label()
+            );
+        }
     }
 
     #[test]

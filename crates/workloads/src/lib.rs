@@ -17,8 +17,11 @@ pub mod usecases;
 
 pub use acl::{generate_acl_table, AclConfig};
 pub use prefixes::{sample_routing_table, PrefixTableConfig};
-pub use traffic::FlowSet;
+pub use traffic::{reply_to, FlowSet};
 pub use usecases::gateway::{self, GatewayConfig};
 pub use usecases::l2::{self, L2Config};
 pub use usecases::l3::{self, L3Config};
+pub use usecases::l4_lb::{self, L4LbConfig};
 pub use usecases::load_balancer::{self, LoadBalancerConfig};
+pub use usecases::snat_edge::{self, SnatEdgeConfig};
+pub use usecases::stateful_acl_gateway::{self, StatefulAclConfig};

@@ -6,7 +6,11 @@
 //! active flows remove that locality, which is exactly the regime where the
 //! flow-caching architecture degrades and the compiled datapath does not.
 
-use pkt::Packet;
+use openflow::ct::CtTuple;
+use pkt::builder::PacketBuilder;
+use pkt::ipv4::Ipv4Addr4;
+use pkt::parser::{parse, ParseDepth};
+use pkt::{Packet, TcpFlags};
 use rand::prelude::*;
 
 /// A pool of flow prototypes plus a replay order.
@@ -66,6 +70,41 @@ impl FlowSet {
     pub fn mean_frame_len(&self) -> f64 {
         self.prototypes.iter().map(|p| p.len() as f64).sum::<f64>() / self.prototypes.len() as f64
     }
+}
+
+/// Synthesizes the reply to a forwarded frame: same connection, opposite
+/// direction, arriving on `in_port`.
+///
+/// This is the responder half of the bidirectional (request/reply) traffic
+/// the stateful use cases need: the caller runs a request through the
+/// datapath, then answers *the frame as forwarded* — so NAT and LB rewrites
+/// are naturally reflected back, exactly as a real peer answers the packet
+/// it received, not the packet the client sent. TCP replies carry SYN+ACK
+/// (the handshake answer that moves the tracked connection to
+/// `ESTABLISHED`); UDP replies are plain datagrams. Returns `None` for
+/// frames conntrack cannot track (non-IPv4 or non-TCP/UDP).
+pub fn reply_to(frame: &Packet, in_port: u32) -> Option<Packet> {
+    let headers = parse(frame.data(), ParseDepth::L4);
+    let t = CtTuple::from_frame(frame.data(), &headers)?;
+    let builder = if t.proto == 6 {
+        PacketBuilder::tcp()
+            .tcp_src(t.dst_port)
+            .tcp_dst(t.src_port)
+            .tcp_flags(TcpFlags {
+                syn: true,
+                ack: true,
+                ..Default::default()
+            })
+    } else {
+        PacketBuilder::udp().udp_src(t.dst_port).udp_dst(t.src_port)
+    };
+    Some(
+        builder
+            .ipv4_src(Ipv4Addr4::from_u32(t.dst_ip))
+            .ipv4_dst(Ipv4Addr4::from_u32(t.src_ip))
+            .in_port(in_port)
+            .build(),
+    )
 }
 
 /// Standard sweep of active-flow counts used across the packet-rate figures

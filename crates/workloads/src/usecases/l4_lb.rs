@@ -1,0 +1,171 @@
+//! The stateful L4 load-balancer use case.
+//!
+//! The stateless load balancer of Fig. 7 ([`super::load_balancer`]) shards
+//! clients by one source-address bit — two rules per service, no state, and
+//! no stability under backend changes. This use case is its stateful
+//! counterpart: a maglev-style consistent hash picks the backend for each
+//! *connection* on its first packet, the choice is pinned in the conntrack
+//! table, and every later packet of the connection — in both directions —
+//! follows the pinned mapping, even after the backend set changes.
+//!
+//! Request traffic targets the VIP on the network port; the chosen backend
+//! answers on the user port and the reply is rewritten back to the VIP from
+//! the stored tuple.
+
+use conntrack::{CtConfig, LbGroup};
+use openflow::ct::CtVerb;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, Pipeline};
+use pkt::builder::PacketBuilder;
+use pkt::ipv4::Ipv4Addr4;
+use rand::prelude::*;
+
+use super::{PORT_NET, PORT_USER};
+use crate::traffic::FlowSet;
+
+/// Configuration of the stateful L4 load balancer.
+#[derive(Debug, Clone, Copy)]
+pub struct L4LbConfig {
+    /// Number of backend servers behind the VIP.
+    pub backends: usize,
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+}
+
+impl Default for L4LbConfig {
+    fn default() -> Self {
+        L4LbConfig {
+            backends: 4,
+            seed: 0x1b4,
+        }
+    }
+}
+
+/// The virtual IP the balancer fronts.
+pub fn vip() -> Ipv4Addr4 {
+    Ipv4Addr4::new(203, 0, 113, 80)
+}
+
+/// Backend `b`'s address.
+pub fn backend_ip(b: usize) -> Ipv4Addr4 {
+    Ipv4Addr4::new(10, 10, (b >> 8) as u8, (b & 0xff) as u8 + 1)
+}
+
+/// Builds the stateful LB pipeline: consistent-hash selection (pinned per
+/// connection) for VIP traffic, established-only reverse path, drop rest.
+pub fn build_pipeline(_config: &L4LbConfig) -> Pipeline {
+    let mut pipeline = Pipeline::with_tables(1);
+    let table = pipeline.table_mut(0).unwrap();
+    table.name = "l4-lb".to_string();
+    table.insert(FlowEntry::new(
+        FlowMatch::any()
+            .with_exact(Field::InPort, u128::from(PORT_NET))
+            .with_exact(Field::Ipv4Dst, u128::from(vip().to_u32()))
+            .with_exact(Field::TcpDst, 80),
+        300,
+        terminal_actions(vec![
+            Action::Ct(CtVerb::Lb { group: 0 }),
+            Action::Output(PORT_USER),
+        ]),
+    ));
+    table.insert(FlowEntry::new(
+        FlowMatch::any()
+            .with_exact(Field::InPort, u128::from(PORT_USER))
+            .with_exact(Field::TcpSrc, 80),
+        200,
+        terminal_actions(vec![
+            Action::Ct(CtVerb::Established),
+            Action::Output(PORT_NET),
+        ]),
+    ));
+    table.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    pipeline
+}
+
+/// The engine configuration this use case expects: LB group 0 is the VIP's
+/// backend set (maglev table sized ≥ 100× backends, rounded odd by the
+/// engine).
+pub fn ct_config(config: &L4LbConfig) -> CtConfig {
+    CtConfig {
+        lb_groups: vec![LbGroup {
+            vip: vip().to_u32(),
+            backends: (0..config.backends.max(1))
+                .map(|b| backend_ip(b).to_u32())
+                .collect(),
+            table_size: config.backends.max(1) * 128 + 1,
+        }],
+        ..CtConfig::default()
+    }
+}
+
+/// `active_flows` client connections to the VIP, arriving on the network
+/// port. Answer the forwarded (backend-addressed) frames with
+/// [`crate::traffic::reply_to`]`(frame, PORT_USER)`.
+pub fn build_requests(config: &L4LbConfig, active_flows: usize) -> FlowSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let prototypes = (0..active_flows.max(1))
+        .map(|_| {
+            PacketBuilder::tcp()
+                .ipv4_src(Ipv4Addr4::from_u32(rng.gen::<u32>() | 0x0100_0000))
+                .ipv4_dst(vip())
+                .tcp_src(rng.gen_range(1024..60_000))
+                .tcp_dst(80)
+                .in_port(PORT_NET)
+                .build()
+        })
+        .collect();
+    FlowSet::new(prototypes, config.seed ^ active_flows as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::reply_to;
+    use conntrack::CtEngine;
+    use openflow::FlowKey;
+
+    #[test]
+    fn connections_pin_to_a_backend_and_replies_unmap() {
+        let config = L4LbConfig::default();
+        let pipeline = build_pipeline(&config);
+        let mut engine = CtEngine::new(&ct_config(&config), 0, 1);
+        let backends: Vec<u32> = (0..config.backends)
+            .map(|b| backend_ip(b).to_u32())
+            .collect();
+
+        let requests = build_requests(&config, 64);
+        let mut chosen = std::collections::HashSet::new();
+        for i in 0..64 {
+            let mut request = requests.packet(i);
+            let client = FlowKey::extract(&request);
+            let verdict = pipeline.process_ct(&mut request, &mut engine);
+            assert_eq!(verdict.outputs, vec![PORT_USER]);
+
+            // Forwarded to a real backend, no longer the VIP.
+            let forwarded = FlowKey::extract(&request);
+            let backend = forwarded.ipv4_dst.unwrap();
+            assert!(backends.contains(&backend), "{backend:08x}");
+            chosen.insert(backend);
+
+            // A retransmit of the same connection hits the *same* backend.
+            let mut retransmit = requests.packet(i);
+            pipeline.process_ct(&mut retransmit, &mut engine);
+            assert_eq!(FlowKey::extract(&retransmit).ipv4_dst, forwarded.ipv4_dst);
+
+            // The backend's reply leaves re-sourced from the VIP.
+            let mut reply = reply_to(&request, PORT_USER).unwrap();
+            let verdict = pipeline.process_ct(&mut reply, &mut engine);
+            assert_eq!(verdict.outputs, vec![PORT_NET]);
+            let delivered = FlowKey::extract(&reply);
+            assert_eq!(delivered.ipv4_src, Some(vip().to_u32()));
+            assert_eq!(delivered.ipv4_dst, client.ipv4_src);
+        }
+        // 64 connections over 4 backends: the hash actually spreads.
+        assert!(chosen.len() > 1, "all connections picked one backend");
+
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.created, 64);
+        assert!(snap.identity_holds());
+    }
+}

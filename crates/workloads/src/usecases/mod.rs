@@ -11,11 +11,24 @@
 //! | [`l3`] | Layer-3 routing | single IP prefix table (LPM) |
 //! | [`load_balancer`] | web front-end | single heterogeneous table (Fig. 7a), decomposable into Fig. 7b |
 //! | [`gateway`] | telco access gateway (vPE) | multi-stage: port/VLAN demux → per-CE NAT tables → IP routing (Fig. 8) |
+//!
+//! The stateful use cases exercise the conntrack subsystem with
+//! bidirectional (request/reply) traffic — see [`crate::traffic::reply_to`]
+//! for the responder half:
+//!
+//! | module | function | pipeline shape |
+//! |---|---|---|
+//! | [`stateful_acl_gateway`] | stateful firewall | commit on egress, established-only ingress |
+//! | [`snat_edge`] | carrier-grade NAT edge | per-connection SNAT + reverse translation |
+//! | [`l4_lb`] | stateful L4 load balancer | maglev backend selection pinned per connection |
 
 pub mod gateway;
 pub mod l2;
 pub mod l3;
+pub mod l4_lb;
 pub mod load_balancer;
+pub mod snat_edge;
+pub mod stateful_acl_gateway;
 
 /// Conventional port numbering shared by the use cases: port 0 faces the
 /// users / internal side, port 1 faces the network / external side.

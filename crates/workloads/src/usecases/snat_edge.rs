@@ -1,0 +1,161 @@
+//! The SNAT edge use case.
+//!
+//! A carrier-grade-NAT-shaped edge: private clients behind the user port
+//! share one public address. Egress traffic is source-NATted (per-connection
+//! public port allocated from the pool and remembered in the conntrack
+//! table); ingress traffic is admitted only for established connections and
+//! is reverse-translated back to the private endpoint from the stored
+//! tuple. The gateway use case ([`super::gateway`]) models the *stateless*
+//! half of this with per-user rewrite rules the controller pre-installs;
+//! this use case is the stateful counterpart where the datapath itself owns
+//! the translation table.
+
+use conntrack::CtConfig;
+use openflow::ct::{CtVerb, NatSpec};
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, Pipeline};
+use pkt::builder::PacketBuilder;
+use pkt::ipv4::Ipv4Addr4;
+use rand::prelude::*;
+
+use super::{PORT_NET, PORT_USER};
+use crate::traffic::FlowSet;
+
+/// Configuration of the SNAT edge use case.
+#[derive(Debug, Clone, Copy)]
+pub struct SnatEdgeConfig {
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+}
+
+impl Default for SnatEdgeConfig {
+    fn default() -> Self {
+        SnatEdgeConfig { seed: 0x4a7 }
+    }
+}
+
+/// The shared public address of the edge.
+pub fn public_ip() -> Ipv4Addr4 {
+    Ipv4Addr4::new(203, 0, 113, 1)
+}
+
+/// The NAT pool: the public address plus the port range per-connection
+/// allocations come from. Shard-strided by the engine, so every shard
+/// allocates from a disjoint slice without coordination.
+pub fn nat_spec() -> NatSpec {
+    NatSpec {
+        snat: true,
+        addr: public_ip().to_u32(),
+        port_lo: 10_000,
+        port_hi: 60_000,
+    }
+}
+
+/// Builds the SNAT edge pipeline: source-NAT on egress, established-only
+/// (with reverse translation) on ingress, drop everything else.
+pub fn build_pipeline(_config: &SnatEdgeConfig) -> Pipeline {
+    let mut pipeline = Pipeline::with_tables(1);
+    let table = pipeline.table_mut(0).unwrap();
+    table.name = "snat-edge".to_string();
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_USER)),
+        300,
+        terminal_actions(vec![
+            Action::Ct(CtVerb::Nat(nat_spec())),
+            Action::Output(PORT_NET),
+        ]),
+    ));
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_NET)),
+        200,
+        terminal_actions(vec![
+            Action::Ct(CtVerb::Established),
+            Action::Output(PORT_USER),
+        ]),
+    ));
+    table.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    pipeline
+}
+
+/// The engine configuration this use case expects. The NAT pool itself
+/// travels in the pipeline's `Ct(Nat(..))` action; the engine only needs
+/// table capacity for the connection (and reverse-tuple) entries.
+pub fn ct_config() -> CtConfig {
+    CtConfig::default()
+}
+
+/// `active_flows` private-side TCP openers through the NAT, one connection
+/// each. Answer the forwarded (already-translated) frames with
+/// [`crate::traffic::reply_to`]`(frame, PORT_NET)`: the reply targets the
+/// allocated public endpoint, exactly as a real server answers what it saw.
+pub fn build_requests(config: &SnatEdgeConfig, active_flows: usize) -> FlowSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let prototypes = (0..active_flows.max(1))
+        .map(|f| {
+            PacketBuilder::tcp()
+                .ipv4_src([10, 1, (f >> 8) as u8, f as u8])
+                .ipv4_dst([198, 51, 100, (f % 200) as u8 + 1])
+                .tcp_src(rng.gen_range(1024..60_000))
+                .tcp_dst(80)
+                .in_port(PORT_USER)
+                .build()
+        })
+        .collect();
+    FlowSet::new(prototypes, config.seed ^ active_flows as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::reply_to;
+    use conntrack::CtEngine;
+    use openflow::FlowKey;
+
+    #[test]
+    fn egress_is_translated_and_replies_reverse_translate() {
+        let config = SnatEdgeConfig::default();
+        let pipeline = build_pipeline(&config);
+        let mut engine = CtEngine::new(&ct_config(), 0, 1);
+
+        let mut opener = build_requests(&config, 1).packet(0);
+        let original = FlowKey::extract(&opener);
+        let verdict = pipeline.process_ct(&mut opener, &mut engine);
+        assert_eq!(verdict.outputs, vec![PORT_NET]);
+
+        // The forwarded frame leaves with the public source endpoint.
+        let translated = FlowKey::extract(&opener);
+        assert_eq!(translated.ipv4_src, Some(public_ip().to_u32()));
+        assert_ne!(translated.tcp_src, original.tcp_src);
+        let spec = nat_spec();
+        let port = translated.tcp_src.unwrap();
+        assert!((spec.port_lo..=spec.port_hi).contains(&port));
+
+        // The server answers what it saw; the edge reverse-translates the
+        // reply back to the private endpoint.
+        let mut reply = reply_to(&opener, PORT_NET).unwrap();
+        let verdict = pipeline.process_ct(&mut reply, &mut engine);
+        assert_eq!(verdict.outputs, vec![PORT_USER]);
+        let delivered = FlowKey::extract(&reply);
+        assert_eq!(delivered.ipv4_dst, original.ipv4_src);
+        assert_eq!(delivered.tcp_dst, original.tcp_src);
+
+        // An unsolicited frame to the public address is denied.
+        let mut probe = PacketBuilder::tcp()
+            .ipv4_src([198, 51, 100, 7])
+            .ipv4_dst(public_ip())
+            .tcp_src(80)
+            .tcp_dst(10_000)
+            .in_port(PORT_NET)
+            .build();
+        assert!(pipeline.process_ct(&mut probe, &mut engine).is_drop());
+
+        // Hits are batched per tick; flush before snapshotting.
+        engine.advance_to(engine.now());
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.created, 1);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.denied, 1);
+        assert!(snap.identity_holds());
+    }
+}

@@ -1,0 +1,149 @@
+//! The stateful ACL gateway use case.
+//!
+//! The simplest stateful firewall: inside hosts may open connections to the
+//! outside world; outside traffic is admitted only when it belongs to a
+//! connection an inside host opened. A stateless OpenFlow pipeline cannot
+//! express this — any rule permissive enough to pass the replies also passes
+//! unsolicited probes — so the egress rule *commits* the connection to the
+//! shard's conntrack table and the ingress rule demands `ESTABLISHED`.
+//!
+//! Traffic is bidirectional by construction: [`build_requests`] generates
+//! the inside→outside openers and the harness answers each forwarded frame
+//! with [`crate::traffic::reply_to`]; [`build_unsolicited`] generates
+//! outside probes no inside host ever asked for, which the gateway must
+//! drop (counted as ct denials).
+
+use conntrack::CtConfig;
+use openflow::ct::CtVerb;
+use openflow::flow_match::FlowMatch;
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, Pipeline};
+use pkt::builder::PacketBuilder;
+use pkt::ipv4::Ipv4Addr4;
+use rand::prelude::*;
+
+use super::{PORT_NET, PORT_USER};
+use crate::traffic::FlowSet;
+
+/// Configuration of the stateful ACL gateway use case.
+#[derive(Debug, Clone, Copy)]
+pub struct StatefulAclConfig {
+    /// RNG seed for traffic generation.
+    pub seed: u64,
+}
+
+impl Default for StatefulAclConfig {
+    fn default() -> Self {
+        StatefulAclConfig { seed: 0x5a }
+    }
+}
+
+/// Builds the two-rule stateful ACL pipeline: commit on egress, demand
+/// `ESTABLISHED` on ingress, drop everything else.
+pub fn build_pipeline(_config: &StatefulAclConfig) -> Pipeline {
+    let mut pipeline = Pipeline::with_tables(1);
+    let table = pipeline.table_mut(0).unwrap();
+    table.name = "stateful-acl".to_string();
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_USER)),
+        300,
+        terminal_actions(vec![Action::Ct(CtVerb::Commit), Action::Output(PORT_NET)]),
+    ));
+    table.insert(FlowEntry::new(
+        FlowMatch::any().with_exact(Field::InPort, u128::from(PORT_NET)),
+        200,
+        terminal_actions(vec![
+            Action::Ct(CtVerb::Established),
+            Action::Output(PORT_USER),
+        ]),
+    ));
+    table.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    pipeline
+}
+
+/// The engine configuration this use case expects: defaults sized for the
+/// generated flow counts; no NAT pools or LB groups.
+pub fn ct_config() -> CtConfig {
+    CtConfig::default()
+}
+
+/// Inside client of flow `f`.
+fn client_ip(f: usize) -> Ipv4Addr4 {
+    Ipv4Addr4::new(10, 0, (f >> 8) as u8, f as u8)
+}
+
+/// Outside server of flow `f`.
+fn server_ip(f: usize) -> Ipv4Addr4 {
+    Ipv4Addr4::new(198, 51, 100, (f % 200) as u8 + 1)
+}
+
+/// `active_flows` inside→outside TCP openers (one connection each), arriving
+/// on the user port. Answer the forwarded frames with
+/// [`crate::traffic::reply_to`]`(frame, PORT_NET)` to drive the replies.
+pub fn build_requests(config: &StatefulAclConfig, active_flows: usize) -> FlowSet {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let prototypes = (0..active_flows.max(1))
+        .map(|f| {
+            PacketBuilder::tcp()
+                .ipv4_src(client_ip(f))
+                .ipv4_dst(server_ip(f))
+                .tcp_src(rng.gen_range(1024..60_000))
+                .tcp_dst(if f % 4 == 0 { 443 } else { 80 })
+                .in_port(PORT_USER)
+                .build()
+        })
+        .collect();
+    FlowSet::new(prototypes, config.seed ^ active_flows as u64)
+}
+
+/// `count` outside probes that belong to no committed connection: the
+/// gateway must deny every one of them.
+pub fn build_unsolicited(config: &StatefulAclConfig, count: usize) -> FlowSet {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xbad);
+    let prototypes = (0..count.max(1))
+        .map(|_| {
+            PacketBuilder::tcp()
+                .ipv4_src([192, 0, 2, rng.gen_range(1..250)])
+                .ipv4_dst(client_ip(rng.gen_range(0..1 << 16)).octets())
+                .tcp_src(80)
+                .tcp_dst(rng.gen_range(1024..60_000))
+                .in_port(PORT_NET)
+                .build()
+        })
+        .collect();
+    FlowSet::new(prototypes, config.seed ^ 0xbad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::reply_to;
+    use conntrack::CtEngine;
+
+    #[test]
+    fn replies_pass_only_after_commit() {
+        let config = StatefulAclConfig::default();
+        let pipeline = build_pipeline(&config);
+        let mut engine = CtEngine::new(&ct_config(), 0, 1);
+
+        // An unsolicited probe first: denied.
+        let mut probe = build_unsolicited(&config, 1).packet(0);
+        assert!(pipeline.process_ct(&mut probe, &mut engine).is_drop());
+
+        // Opener commits; the synthesized reply then passes.
+        let mut opener = build_requests(&config, 1).packet(0);
+        let verdict = pipeline.process_ct(&mut opener, &mut engine);
+        assert_eq!(verdict.outputs, vec![PORT_NET]);
+        let mut reply = reply_to(&opener, PORT_NET).unwrap();
+        let verdict = pipeline.process_ct(&mut reply, &mut engine);
+        assert_eq!(verdict.outputs, vec![PORT_USER]);
+
+        // Hits are batched per tick; flush before snapshotting.
+        engine.advance_to(engine.now());
+        let snap = engine.stats().snapshot();
+        assert_eq!(snap.created, 1);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.denied, 1);
+        assert!(snap.identity_holds());
+    }
+}

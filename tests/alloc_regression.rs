@@ -6,14 +6,24 @@
 //! This pins the tentpole property of the zero-allocation fast path: flat
 //! mask projection into stack buffers, slice-borrow subtable probes, inline
 //! miniflow keys, inline verdict port lists, and reused burst scratch.
+//!
+//! The conntrack tests extend the property to the stateful datapath: once a
+//! connection is established, per-packet tracking (table probe, TCP state
+//! advance, in-place timer re-arm, CLOCK recency bit, batched hit counters,
+//! fixed-capacity NAT rewrite outcomes) is heap-free too — the engine's
+//! slab, index, and wheel are all sized at construction.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use openflow::{Action, FlowEntry, FlowMatch, NullController, Pipeline};
+use bench_harness::conntrack::{data_ring, warm_established, BURST};
+use conntrack::CtEngine;
+use openflow::{Action, FlowEntry, FlowMatch, NullController, Pipeline, Verdict};
 use ovsdp::{OvsConfig, OvsDatapath};
 use pkt::builder::PacketBuilder;
 use pkt::Packet;
+use workloads::usecases::{PORT_NET, PORT_USER};
+use workloads::{snat_edge, stateful_acl_gateway as acl};
 
 /// Counts every allocation (alloc, alloc_zeroed, realloc) forwarded to the
 /// system allocator. Deallocations are free and not counted.
@@ -177,4 +187,76 @@ fn batched_hit_path_is_allocation_free_with_reused_buffers() {
         after - before,
         8 * packets.len()
     );
+}
+
+/// Runs `ring` through a warmed stateful datapath for eight passes —
+/// ticking the engine once per burst, exactly like the shard worker loop —
+/// and asserts the established path (conntrack lookup, state advance,
+/// in-place re-arm, CLOCK touch, batched hit counting, wheel sweeps, and
+/// any NAT rewrites from the stored tuples) never touches the heap.
+fn assert_established_path_allocation_free(
+    name: &str,
+    dp: &OvsDatapath,
+    engine: &mut CtEngine,
+    ring: &[Packet],
+) {
+    let mut work: Vec<Packet> = ring.to_vec();
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST);
+    // One unmeasured pass warms the burst scratch and verdict buffers.
+    work.clone_from_slice(ring);
+    for chunk in work.chunks_mut(BURST) {
+        engine.tick();
+        dp.process_batch_into_ct(chunk, &mut verdicts, engine);
+    }
+    let hits_before = {
+        engine.advance_to(engine.now());
+        engine.stats().snapshot().hits
+    };
+
+    // Restore the pristine ring *outside* the counted region each pass
+    // (cloning packets allocates; the datapath must not).
+    let mut allocated = 0;
+    for _ in 0..8 {
+        work.clone_from_slice(ring);
+        let before = allocations();
+        for chunk in work.chunks_mut(BURST) {
+            engine.tick();
+            dp.process_batch_into_ct(chunk, &mut verdicts, engine);
+            std::hint::black_box(verdicts.len());
+        }
+        allocated += allocations() - before;
+    }
+    assert_eq!(
+        allocated,
+        0,
+        "{name}: established path allocated {allocated} times over {} packets",
+        8 * ring.len()
+    );
+
+    engine.advance_to(engine.now());
+    assert_eq!(
+        engine.stats().snapshot().hits - hits_before,
+        8 * ring.len() as u64,
+        "{name}: every measured packet must be an established-path ct hit"
+    );
+}
+
+#[test]
+fn conntrack_established_path_is_allocation_free() {
+    let dp = OvsDatapath::new(acl::build_pipeline(&acl::StatefulAclConfig::default()));
+    let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+    let ring = data_ring(64, PORT_USER);
+    warm_established(&dp, &mut engine, &ring, PORT_NET);
+    assert_established_path_allocation_free("stateful_acl", &dp, &mut engine, &ring);
+}
+
+#[test]
+fn conntrack_nat_established_path_is_allocation_free() {
+    let dp = OvsDatapath::new(snat_edge::build_pipeline(
+        &snat_edge::SnatEdgeConfig::default(),
+    ));
+    let mut engine = CtEngine::new(&snat_edge::ct_config(), 0, 1);
+    let ring = data_ring(64, PORT_USER);
+    warm_established(&dp, &mut engine, &ring, PORT_NET);
+    assert_established_path_allocation_free("snat_edge", &dp, &mut engine, &ring);
 }

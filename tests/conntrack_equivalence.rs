@@ -1,0 +1,360 @@
+//! Conntrack equivalence: random bidirectional TCP/UDP traces must drive
+//! every datapath architecture to identical connection states, identical
+//! NAT rewrites, and identical verdicts.
+//!
+//! Single-switch: the openflow interpreter (`Pipeline::process_ct`) is the
+//! ground truth; the compiled datapath (`EswitchRuntime`), the OVS cache
+//! hierarchy (`process_ct`), and the OVS burst/replay path
+//! (`process_batch_into_ct`) each run the same trace against their own
+//! private engine. After every event the verdict **and the frame bytes**
+//! (NAT rewrites happen in place) must agree; after the trace the engines'
+//! counter snapshots and live-connection counts must agree.
+//!
+//! Sharded: the same trace is dispatched through the 1-, 2- and 4-shard
+//! runtime on both backends. With one shard the verdict *sequence* must
+//! equal the interpreter's; with more shards symmetric RSS keeps each
+//! connection's two directions on one shard, so the verdict *multiset*
+//! must still match and the merged per-shard counters must reproduce the
+//! single-engine totals and satisfy the conservation identity.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use conntrack::CtEngine;
+use eswitch::runtime::EswitchRuntime;
+use openflow::ct::CtTuple;
+use openflow::{Pipeline, Verdict};
+use ovsdp::OvsDatapath;
+use pkt::builder::PacketBuilder;
+use pkt::{parse, Ipv4Addr4, Packet, ParseDepth, TcpFlags};
+use proptest::prelude::*;
+use shard::{BackendSpec, ShardedConfig, ShardedSwitch, VerdictSink};
+use workloads::usecases::{PORT_NET, PORT_USER};
+use workloads::{snat_edge, stateful_acl_gateway as acl};
+
+/// One trace event: a packet of connection `conn`, in the original (client
+/// → net) or reply direction, carrying one of four TCP flag shapes
+/// (ignored for UDP connections).
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    conn: usize,
+    reply: bool,
+    flag_sel: u8,
+}
+
+fn flags_of(sel: u8) -> TcpFlags {
+    match sel % 4 {
+        0 => TcpFlags {
+            syn: true,
+            ..Default::default()
+        },
+        1 => TcpFlags {
+            ack: true,
+            ..Default::default()
+        },
+        2 => TcpFlags {
+            fin: true,
+            ack: true,
+            ..Default::default()
+        },
+        _ => TcpFlags {
+            rst: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// The client-side frame of connection `conn` (even ids are TCP, odd UDP).
+fn forward_packet(conn: usize, flag_sel: u8) -> Packet {
+    let tcp = conn.is_multiple_of(2);
+    let src = Ipv4Addr4::new(10, 0, (conn >> 8) as u8, conn as u8);
+    let dst = Ipv4Addr4::new(198, 51, 100, (conn % 200) as u8 + 1);
+    let sport = 1024 + (conn % 30000) as u16;
+    let builder = if tcp {
+        PacketBuilder::tcp()
+            .tcp_src(sport)
+            .tcp_dst(80)
+            .tcp_flags(flags_of(flag_sel))
+    } else {
+        PacketBuilder::udp().udp_src(sport).udp_dst(53)
+    };
+    builder
+        .ipv4_src(src)
+        .ipv4_dst(dst)
+        .in_port(PORT_USER)
+        .build()
+}
+
+/// A reply to `frame` *as it was forwarded* (so NAT translations are
+/// answered like a real peer answers them), carrying `flag_sel`'s flags.
+fn reply_packet(frame: &Packet, flag_sel: u8) -> Option<Packet> {
+    let headers = parse(frame.data(), ParseDepth::L4);
+    let t = CtTuple::from_frame(frame.data(), &headers)?;
+    let builder = if t.proto == 6 {
+        PacketBuilder::tcp()
+            .tcp_src(t.dst_port)
+            .tcp_dst(t.src_port)
+            .tcp_flags(flags_of(flag_sel))
+    } else {
+        PacketBuilder::udp().udp_src(t.dst_port).udp_dst(t.src_port)
+    };
+    Some(
+        builder
+            .ipv4_src(Ipv4Addr4::from_u32(t.dst_ip))
+            .ipv4_dst(Ipv4Addr4::from_u32(t.src_ip))
+            .in_port(PORT_NET)
+            .build(),
+    )
+}
+
+fn event_strategy(conns: usize) -> impl Strategy<Value = Vec<Event>> {
+    prop::collection::vec(
+        (0..conns, any::<bool>(), 0u8..4).prop_map(|(conn, reply, flag_sel)| Event {
+            conn,
+            reply,
+            flag_sel,
+        }),
+        1..96,
+    )
+}
+
+/// Materialises a trace into concrete input packets, interpreting reply
+/// events against the frame the *reference* datapath last forwarded for
+/// that connection (`last_forward`). Replies to connections that never
+/// forwarded anything probe the reverse of the original tuple —
+/// unsolicited traffic a stateful verb must deny.
+fn event_input(ev: &Event, last_forward: &HashMap<usize, Packet>) -> Packet {
+    if ev.reply {
+        let base = last_forward
+            .get(&ev.conn)
+            .cloned()
+            .unwrap_or_else(|| forward_packet(ev.conn, 0));
+        reply_packet(&base, ev.flag_sel).expect("ipv4 tcp/udp frame is replyable")
+    } else {
+        forward_packet(ev.conn, ev.flag_sel)
+    }
+}
+
+/// Runs `events` through all four single-switch architectures over the
+/// given stateful use case, asserting equivalence event by event.
+fn assert_single_switch_equivalence(
+    label: &str,
+    build: impl Fn() -> Pipeline,
+    ct_config: &conntrack::CtConfig,
+    events: &[Event],
+) {
+    let reference = build();
+    let mut ct_ref = CtEngine::new(ct_config, 0, 1);
+    let eswitch = EswitchRuntime::compile(build()).expect("pipeline compiles");
+    let mut ct_es = CtEngine::new(ct_config, 0, 1);
+    let ovs = OvsDatapath::new(build());
+    let mut ct_ovs = CtEngine::new(ct_config, 0, 1);
+    let ovs_burst = OvsDatapath::new(build());
+    let mut ct_burst = CtEngine::new(ct_config, 0, 1);
+
+    let mut last_forward: HashMap<usize, Packet> = HashMap::new();
+    let mut burst_verdicts: Vec<Verdict> = Vec::with_capacity(1);
+    for (i, ev) in events.iter().enumerate() {
+        let input = event_input(ev, &last_forward);
+        let mut p_ref = input.clone();
+        let mut p_es = input.clone();
+        let mut p_ovs = input.clone();
+        let mut p_burst = input;
+
+        let want = reference.process_ct(&mut p_ref, &mut ct_ref);
+        let got_es = eswitch.process_ct(&mut p_es, &mut ct_es);
+        let got_ovs = ovs.process_ct(&mut p_ovs, &mut ct_ovs);
+        burst_verdicts.clear();
+        ovs_burst.process_batch_into_ct(
+            std::slice::from_mut(&mut p_burst),
+            &mut burst_verdicts,
+            &mut ct_burst,
+        );
+
+        for (arch, got, frame) in [
+            ("eswitch", &got_es, &p_es),
+            ("ovs", &got_ovs, &p_ovs),
+            ("ovs-burst", &burst_verdicts[0], &p_burst),
+        ] {
+            assert_eq!(
+                got.outputs, want.outputs,
+                "{label}/{arch}: verdict diverged at event {i} ({ev:?})"
+            );
+            assert_eq!(
+                frame.data(),
+                p_ref.data(),
+                "{label}/{arch}: frame bytes (NAT rewrites) diverged at event {i} ({ev:?})"
+            );
+        }
+
+        if !ev.reply && !want.outputs.is_empty() {
+            last_forward.insert(ev.conn, p_ref.clone());
+        }
+    }
+
+    // Identical traces must leave identical connection state behind.
+    let mut snaps = Vec::new();
+    for (arch, engine) in [
+        ("reference", &mut ct_ref),
+        ("eswitch", &mut ct_es),
+        ("ovs", &mut ct_ovs),
+        ("ovs-burst", &mut ct_burst),
+    ] {
+        engine.advance_to(engine.now()); // flush batched hit counts
+        snaps.push((arch, engine.live(), engine.stats().snapshot()));
+    }
+    let (_, want_live, want_snap) = snaps[0];
+    for (arch, live, snap) in &snaps {
+        assert_eq!(
+            *live, want_live,
+            "{label}/{arch}: live connections diverged"
+        );
+        assert_eq!(*snap, want_snap, "{label}/{arch}: ct counters diverged");
+        assert!(snap.identity_holds(), "{label}/{arch}: identity violated");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stateful_acl_architectures_agree(events in event_strategy(24)) {
+        assert_single_switch_equivalence(
+            "acl",
+            || acl::build_pipeline(&acl::StatefulAclConfig::default()),
+            &acl::ct_config(),
+            &events,
+        );
+    }
+
+    #[test]
+    fn snat_architectures_agree(events in event_strategy(24)) {
+        assert_single_switch_equivalence(
+            "snat",
+            || snat_edge::build_pipeline(&snat_edge::SnatEdgeConfig::default()),
+            &snat_edge::ct_config(),
+            &events,
+        );
+    }
+}
+
+/// The ACL ct config with effectively infinite idle timeouts. The sharded
+/// workers tick their engines once per burst (real time passes), while the
+/// single-engine reference never ticks — equal timeouts would let a
+/// SYN-state connection idle out mid-trace in one world but not the other.
+/// Timeout behaviour has its own tests; this suite pins state equivalence.
+fn patient_ct_config() -> conntrack::CtConfig {
+    let mut config = acl::ct_config();
+    config.timeouts = conntrack::CtTimeouts {
+        tcp_syn: 1 << 40,
+        tcp_established: 1 << 40,
+        tcp_fin: 1 << 40,
+        udp_new: 1 << 40,
+        udp_established: 1 << 40,
+    };
+    config
+}
+
+/// The interpreter's verdicts for an ACL trace, with replies synthesised
+/// from original tuples (the ACL gateway never rewrites, so the sharded
+/// runs below can feed the byte-identical packet stream).
+fn reference_run(events: &[Event]) -> (Vec<Packet>, Vec<Verdict>, conntrack::CtSnapshot) {
+    let pipeline = acl::build_pipeline(&acl::StatefulAclConfig::default());
+    let mut engine = CtEngine::new(&patient_ct_config(), 0, 1);
+    let mut last_forward: HashMap<usize, Packet> = HashMap::new();
+    let mut inputs = Vec::with_capacity(events.len());
+    let mut verdicts = Vec::with_capacity(events.len());
+    for ev in events {
+        let input = event_input(ev, &last_forward);
+        let mut p = input.clone();
+        let v = pipeline.process_ct(&mut p, &mut engine);
+        if !ev.reply && !v.outputs.is_empty() {
+            last_forward.insert(ev.conn, p);
+        }
+        inputs.push(input);
+        verdicts.push(v);
+    }
+    engine.advance_to(engine.now());
+    (inputs, verdicts, engine.stats().snapshot())
+}
+
+fn multiset(outputs: impl Iterator<Item = Vec<u32>>) -> HashMap<Vec<u32>, usize> {
+    let mut m = HashMap::new();
+    for o in outputs {
+        *m.entry(o).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 1-/2-/4-shard runtime equivalence on both backends. Connection
+    /// state is strictly shard-local; symmetric RSS pins both directions
+    /// of a connection to one shard, so verdicts and aggregated counters
+    /// must reproduce the single-engine reference exactly.
+    #[test]
+    fn sharded_runtime_agrees_with_reference(events in event_strategy(16)) {
+        let (inputs, want_verdicts, want_snap) = reference_run(&events);
+        let want_multiset = multiset(want_verdicts.iter().map(|v| v.outputs.to_vec()));
+
+        for workers in [1usize, 2, 4] {
+            for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
+                let seen: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(Vec::new()));
+                let sink_seen = Arc::clone(&seen);
+                let sink: VerdictSink = Arc::new(move |_, verdict: &Verdict| {
+                    sink_seen.lock().unwrap().push(verdict.outputs.to_vec());
+                });
+                let (switch, mut dispatcher) = ShardedSwitch::launch_with_sink(
+                    spec,
+                    acl::build_pipeline(&acl::StatefulAclConfig::default()),
+                    ShardedConfig {
+                        workers,
+                        ct: Some(patient_ct_config()),
+                        ..ShardedConfig::default()
+                    },
+                    Some(sink),
+                )
+                .expect("pipeline compiles");
+                for input in &inputs {
+                    dispatcher.dispatch(input.clone());
+                }
+                dispatcher.flush();
+                let report = switch.shutdown(dispatcher);
+                let label = format!("{}x{workers}", spec.label());
+
+                let got = seen.lock().unwrap();
+                prop_assert_eq!(got.len(), inputs.len(), "{}: verdict count", &label);
+                if workers == 1 {
+                    // One shard processes in dispatch order: exact sequence.
+                    for (i, (g, w)) in got.iter().zip(want_verdicts.iter()).enumerate() {
+                        prop_assert_eq!(
+                            g,
+                            &w.outputs.to_vec(),
+                            "{}: verdict sequence diverged at {}", &label, i
+                        );
+                    }
+                } else {
+                    prop_assert_eq!(
+                        multiset(got.iter().cloned()),
+                        want_multiset.clone(),
+                        "{}: verdict multiset diverged", &label
+                    );
+                }
+
+                // Shard-local state must aggregate to the single-engine
+                // truth and satisfy the conservation identity per shard.
+                let per_shard = report.ct_per_shard.as_ref().expect("ct stats recorded");
+                prop_assert_eq!(per_shard.len(), workers, "{}", &label);
+                for (shard, snap) in per_shard.iter().enumerate() {
+                    prop_assert!(
+                        snap.identity_holds(),
+                        "{}: shard {} identity violated: {:?}", &label, shard, snap
+                    );
+                }
+                let merged = report.ct_merged().expect("ct stats recorded");
+                prop_assert_eq!(merged, want_snap, "{}: merged ct counters diverged", &label);
+            }
+        }
+    }
+}

@@ -34,6 +34,8 @@ const FAST_PATH_MODULES: &[&str] = &[
     "crates/netdev/src/ring.rs",
     "crates/netdev/src/stats.rs",
     "crates/ovsdp/src/minikey.rs",
+    "crates/conntrack/src/table.rs",
+    "crates/conntrack/src/wheel.rs",
 ];
 
 /// Crates whose source must route all atomics/`UnsafeCell` use through the
@@ -42,6 +44,7 @@ const FACADE_COVERED: &[&str] = &[
     "crates/netdev/src/",
     "crates/shard/src/",
     "crates/core/src/",
+    "crates/conntrack/src/",
 ];
 
 /// The one file allowed to name the raw primitives: the facade itself.
