@@ -184,7 +184,7 @@ fn ovs_ct_runner(
     reply_port: u32,
 ) -> Runner {
     let dp = OvsDatapath::new(pipeline);
-    let mut engine = CtEngine::new(config, 0, 1);
+    let mut engine = CtEngine::new(config);
     warm_established(&dp, &mut engine, ring, reply_port);
     // Flush warm-up hits so the measured hits/packet starts from zero.
     engine.advance_to(engine.now());
@@ -204,7 +204,7 @@ fn ovs_ct_runner(
 fn eswitch_ct_runner(ring: &[Packet]) -> Runner {
     let pipeline = acl::build_pipeline(&acl::StatefulAclConfig::default());
     let runtime = eswitch::runtime::EswitchRuntime::compile(pipeline).expect("pipeline compiles");
-    let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+    let mut engine = CtEngine::new(&acl::ct_config());
     // The compiled path needs no cache fill, but the connections must exist
     // and be established before the timed loop.
     let mut verdicts = Vec::with_capacity(BURST);

@@ -12,6 +12,14 @@
 //! * `tss_no_emc`    — OVS backend with the EMC disabled on every shard;
 //! * `eswitch_l2`    — compiled ESWITCH datapath replicas on the L2 use case.
 //!
+//! Schema v2 adds the `skew` section: a Zipfian elephant-flow workload with
+//! the heavy hitters pinned to shard 0's buckets, offered three ways —
+//! static indirection table, elastic rebalancer, and a uniform no-skew
+//! reference. Each entry reports wall pps, the *modeled* aggregate
+//! (packets over the busiest shard's busy time — the balance signal that
+//! stays valid on an undersubscribed host), the busiest shard's busy-time
+//! share, and the remap count.
+//!
 //! The JSON embeds the machine's logical CPU count: the scaling ratios are
 //! only meaningful when the host actually has more cores than shards (on a
 //! 1-CPU container the workers time-slice and ratios hover around 1.0).
@@ -21,7 +29,8 @@ use std::fmt::Write as _;
 
 use bench_harness::fastpath::{port_pipeline, port_traffic};
 use bench_harness::multicore::SHARD_RING_CAPACITY;
-use bench_harness::{measure_sharded_throughput, print_header};
+use bench_harness::{measure_sharded_throughput, measure_skewed_throughput, print_header};
+use bench_harness::{SkewConfig, SkewResult};
 use openflow::Pipeline;
 use ovsdp::OvsConfig;
 use shard::BackendSpec;
@@ -99,6 +108,59 @@ struct Point {
     pps: f64,
 }
 
+/// One skew-section entry: a backend × scheduling-mode cell.
+struct SkewPoint {
+    backend: &'static str,
+    mode: &'static str,
+    result: SkewResult,
+}
+
+/// The three scheduling modes of the skew experiment, per backend.
+fn skew_points() -> (SkewConfig, Vec<SkewPoint>) {
+    let base = SkewConfig {
+        workers: 2,
+        flows: 256,
+        zipf_s: 1.3,
+        elephants: 8,
+        warmup_packets: warmup_packets(),
+        duration_ms: duration_ms(),
+        rebalance: None,
+        uniform: false,
+    };
+    let modes: [(&'static str, Option<shard::RebalanceConfig>, bool); 3] = [
+        ("uniform", None, true),
+        ("static", None, false),
+        ("rebalanced", Some(SkewConfig::rebalance_profile()), false),
+    ];
+    let mut points = Vec::new();
+    for (backend, spec) in [
+        ("ovs", BackendSpec::ovs()),
+        ("eswitch", BackendSpec::eswitch()),
+    ] {
+        for (mode, rebalance, uniform) in modes {
+            let result = measure_skewed_throughput(
+                spec,
+                port_pipeline(),
+                &SkewConfig {
+                    rebalance,
+                    uniform,
+                    ..base
+                },
+            );
+            println!(
+                "skew {:<8} {:<10}  model {:>12.0} pps  busy-share {:.2}  remaps {:>3}",
+                backend, mode, result.pps_model, result.max_busy_share, result.remaps
+            );
+            points.push(SkewPoint {
+                backend,
+                mode,
+                result,
+            });
+        }
+    }
+    (base, points)
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_multicore.json");
     let mut args = std::env::args().skip(1);
@@ -142,11 +204,13 @@ fn main() {
         }
     }
 
+    let (skew_config, skew) = skew_points();
+
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"multicore\",\n");
-    json.push_str("  \"schema_version\": 1,\n");
+    json.push_str("  \"schema_version\": 2,\n");
     let _ = writeln!(json, "  \"burst_size\": {},", netdev::BURST_SIZE);
     let _ = writeln!(json, "  \"ring_capacity\": {},", SHARD_RING_CAPACITY);
     let _ = writeln!(json, "  \"duration_ms\": {},", duration_ms());
@@ -204,6 +268,62 @@ fn main() {
         json.push('}');
         json.push_str(if wi + 1 < names.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  },\n");
+    json.push_str("  \"skew\": {\n");
+    let profile = SkewConfig::rebalance_profile();
+    let _ = writeln!(
+        json,
+        "    \"workload\": {{\"workers\": {}, \"flows\": {}, \"zipf_s\": {}, \"elephants\": {}, \"elephant_placement\": \"pinned to shard 0 buckets\"}},",
+        skew_config.workers, skew_config.flows, skew_config.zipf_s, skew_config.elephants
+    );
+    let _ = writeln!(
+        json,
+        "    \"rebalance_profile\": {{\"check_packets\": {}, \"imbalance_ratio\": {}, \"sustain\": {}, \"max_moves\": {}}},",
+        profile.check_packets, profile.imbalance_ratio, profile.sustain, profile.max_moves
+    );
+    json.push_str(
+        "    \"note\": \"pps_model = packets / busiest shard's busy time: the aggregate a core-per-shard host would sustain; valid where wall pps only measures time-slicing\",\n",
+    );
+    json.push_str("    \"results\": [\n");
+    for (i, p) in skew.iter().enumerate() {
+        let busy: Vec<String> = p
+            .result
+            .per_shard_busy_ms
+            .iter()
+            .map(|ms| format!("{ms:.1}"))
+            .collect();
+        let _ = write!(
+            json,
+            "      {{\"backend\": \"{}\", \"mode\": \"{}\", \"pps_wall\": {:.0}, \"pps_model\": {:.0}, \"max_busy_share\": {:.3}, \"remaps\": {}, \"per_shard_busy_ms\": [{}]}}",
+            p.backend,
+            p.mode,
+            p.result.pps_wall,
+            p.result.pps_model,
+            p.result.max_busy_share,
+            p.result.remaps,
+            busy.join(", ")
+        );
+        json.push_str(if i + 1 < skew.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("    ],\n");
+    json.push_str("    \"model_recovery_vs_uniform\": {\n");
+    for (bi, backend) in ["ovs", "eswitch"].iter().enumerate() {
+        let of = |mode: &str| {
+            skew.iter()
+                .find(|p| p.backend == *backend && p.mode == mode)
+                .map(|p| p.result.pps_model)
+                .unwrap_or(0.0)
+        };
+        let uniform = of("uniform").max(1.0);
+        let _ = write!(
+            json,
+            "      \"{backend}\": {{\"static\": {:.2}, \"rebalanced\": {:.2}}}",
+            of("static") / uniform,
+            of("rebalanced") / uniform
+        );
+        json.push_str(if bi == 0 { ",\n" } else { "\n" });
+    }
+    json.push_str("    }\n");
     json.push_str("  }\n");
     json.push_str("}\n");
 

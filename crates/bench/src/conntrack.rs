@@ -165,7 +165,7 @@ pub struct CapacityReport {
 pub fn run_capacity(capacity: usize, offered: usize) -> CapacityReport {
     let pipeline = capacity_pipeline();
     let config = capacity_config(capacity);
-    let mut engine = CtEngine::new(&config, 0, 1);
+    let mut engine = CtEngine::new(&config);
     for i in 0..offered {
         let mut packet = capacity_packet(i);
         std::hint::black_box(pipeline.process_ct(&mut packet, &mut engine));
@@ -197,7 +197,7 @@ mod tests {
     #[test]
     fn warmed_ring_replays_as_established_hits() {
         let dp = OvsDatapath::new(acl::build_pipeline(&acl::StatefulAclConfig::default()));
-        let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+        let mut engine = CtEngine::new(&acl::ct_config());
         let ring = data_ring(64, PORT_USER);
         warm_established(&dp, &mut engine, &ring, PORT_NET);
         // Hits are batched per tick; flush before snapshotting.

@@ -22,7 +22,10 @@ pub mod updates;
 
 pub use datapath::{AnySwitch, SwitchKind};
 pub use measure::{measure_latency_cycles, measure_throughput, Measurement};
-pub use multicore::{measure_multicore_throughput, measure_sharded_throughput};
+pub use multicore::{
+    measure_multicore_throughput, measure_sharded_throughput, measure_skewed_throughput,
+    SkewConfig, SkewResult,
+};
 pub use reactive::{measure_reactive_load, ReactiveLoadConfig, ReactiveLoadPoint};
 pub use report::{render_series_table, Series};
 pub use updates::{measure_update_load, UpdateLoadConfig, UpdateLoadPoint};

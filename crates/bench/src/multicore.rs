@@ -27,8 +27,12 @@ use std::time::{Duration, Instant};
 
 use netdev::BURST_SIZE;
 use openflow::{Pipeline, Verdict};
+use pkt::builder::PacketBuilder;
 use pkt::Packet;
-use shard::{BackendSpec, ShardedConfig, ShardedSwitch};
+use shard::{
+    rss_hash, rss_hash_symmetric, BackendSpec, RebalanceConfig, RssDispatcher, ShardedConfig,
+    ShardedSwitch,
+};
 use workloads::FlowSet;
 
 use crate::datapath::AnySwitch;
@@ -180,6 +184,235 @@ pub fn measure_sharded_throughput(
     processed as f64 / elapsed.as_secs_f64()
 }
 
+/// How the elastic-scheduling (skew) harness offers load.
+#[derive(Debug, Clone, Copy)]
+pub struct SkewConfig {
+    /// Worker shards.
+    pub workers: usize,
+    /// Distinct flows in the set.
+    pub flows: usize,
+    /// Zipf exponent: per-packet flow rank `k` is drawn with probability
+    /// ∝ `k^-s`. At `s ≈ 1.3` the top flow carries ~25–30% of all packets —
+    /// the elephant-flow regime.
+    pub zipf_s: f64,
+    /// The top-`elephants` ranks are *pinned to shard 0* under the uniform
+    /// launch table (their flow tuples are chosen so their buckets start on
+    /// shard 0): the adversarial placement where static hashing concentrates
+    /// the elephants on one shard and only a remap can spread them.
+    pub elephants: usize,
+    /// Packets processed before the timed window opens.
+    pub warmup_packets: usize,
+    /// Timed window length.
+    pub duration_ms: u64,
+    /// `None` = static indirection table (the baseline that cannot adapt);
+    /// `Some` = the elastic rebalancer.
+    pub rebalance: Option<RebalanceConfig>,
+    /// Replace the Zipf draw with a uniform round-robin over the same flow
+    /// set — the no-skew upper-bound reference the rebalanced run is judged
+    /// against.
+    pub uniform: bool,
+}
+
+impl SkewConfig {
+    /// The skew benchmark's rebalancer profile. The imbalance cutoff must
+    /// sit *below* the acceptance bar: with 2 shards the rebalancer stops
+    /// acting once `max/avg < ratio`, i.e. at a max busy share of
+    /// `ratio / workers` — 1.15 bounds the converged share at 0.575, keeping
+    /// the modeled aggregate comfortably within 20% of uniform.
+    pub fn rebalance_profile() -> RebalanceConfig {
+        RebalanceConfig {
+            check_packets: 8 * 1024,
+            imbalance_ratio: 1.15,
+            sustain: 2,
+            max_moves: 8,
+        }
+    }
+}
+
+/// What one skew run measured.
+#[derive(Debug, Clone)]
+pub struct SkewResult {
+    /// Aggregate wall-clock packets/second over the timed window. Only
+    /// meaningful with real hardware parallelism; on an undersubscribed
+    /// host the shards time-slice and wall pps flattens regardless of
+    /// balance.
+    pub pps_wall: f64,
+    /// The *modeled* aggregate rate: packets processed over the window
+    /// divided by the **busiest shard's** busy time. This is what the
+    /// aggregate would sustain with a core per shard (every other shard
+    /// finishes its share inside the bottleneck's window) — the
+    /// load-balance signal that stays valid on a 1-CPU container.
+    pub pps_model: f64,
+    /// The busiest shard's fraction of total busy time (1/workers = ideal).
+    pub max_busy_share: f64,
+    /// Bucket remaps the dispatcher executed.
+    pub remaps: u64,
+    /// Per-shard busy milliseconds over the timed window.
+    pub per_shard_busy_ms: Vec<f64>,
+}
+
+/// Deterministic xorshift64 — the harness's only randomness source (seeded,
+/// reproducible, no external dependency).
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// A presampled Zipf(`s`) rank sequence over `flows` ranks.
+fn zipf_sequence(flows: usize, s: f64, len: usize, seed: u64) -> Vec<u32> {
+    let mut cdf = Vec::with_capacity(flows);
+    let mut total = 0.0f64;
+    for k in 1..=flows {
+        total += (k as f64).powf(-s);
+        cdf.push(total);
+    }
+    let mut rng = XorShift64(seed | 1);
+    (0..len)
+        .map(|_| {
+            let u = (rng.next() >> 11) as f64 / (1u64 << 53) as f64 * total;
+            cdf.partition_point(|c| *c < u).min(flows - 1) as u32
+        })
+        .collect()
+}
+
+/// Builds the flow prototypes, RSS hash precomputed per flow (the
+/// NIC-descriptor split: the timed loop pays one clone per dispatch, no
+/// parsing or hashing). The first `elephants` ranks are chosen so their
+/// buckets start on shard 0 under the launch table.
+fn skew_prototypes(
+    dispatcher: &RssDispatcher,
+    flows: usize,
+    elephants: usize,
+) -> Vec<(u64, Packet)> {
+    let mut protos = Vec::with_capacity(flows);
+    let mut src: u16 = 1;
+    while protos.len() < flows {
+        let packet = PacketBuilder::tcp()
+            .ipv4_src([10, 0, 0, 1])
+            .ipv4_dst([10, 0, 0, 2])
+            .tcp_src(src)
+            .tcp_dst(80)
+            .build();
+        src = src.checked_add(1).expect("flow-tuple space exhausted");
+        if protos.len() < elephants && dispatcher.shard_for(&packet) != 0 {
+            continue;
+        }
+        let hash = if dispatcher.is_symmetric() {
+            rss_hash_symmetric(&packet)
+        } else {
+            rss_hash(&packet)
+        };
+        protos.push((hash, packet));
+    }
+    protos
+}
+
+/// Runs the elephant-flow skew workload through the sharded runtime and
+/// reports both wall and modeled aggregate rates plus the busy-time balance
+/// (see [`SkewResult`]). The measurement protocol: warm up (caches fill,
+/// telemetry baseline taken after the warm-up fully drains), then dispatch
+/// the presampled sequence for `duration_ms`, flush, wait until every
+/// dispatched packet is processed, and read the exact per-shard busy deltas
+/// from the shutdown report (worker recorders flush their tails on exit).
+/// The telemetry baseline can lag the warm-up's last few bursts by one
+/// recorder flush window (64 bursts) — noise well under a percent of any
+/// realistic timed window.
+pub fn measure_skewed_throughput(
+    spec: BackendSpec,
+    pipeline: Pipeline,
+    config: &SkewConfig,
+) -> SkewResult {
+    let (switch, mut dispatcher) = ShardedSwitch::launch(
+        spec,
+        pipeline,
+        ShardedConfig {
+            workers: config.workers,
+            ring_capacity: SHARD_RING_CAPACITY,
+            rebalance: config.rebalance,
+            ..ShardedConfig::default()
+        },
+    )
+    .expect("pipeline compiles");
+
+    let protos = skew_prototypes(&dispatcher, config.flows, config.elephants);
+    let seq: Vec<u32> = if config.uniform {
+        (0..8192u32).map(|i| i % config.flows as u32).collect()
+    } else {
+        zipf_sequence(config.flows, config.zipf_s, 8192, 0x5eed_cafe)
+    };
+
+    let mut sent = 0u64;
+    while sent < config.warmup_packets as u64 {
+        for &f in &seq {
+            let (hash, proto) = &protos[f as usize];
+            dispatcher.dispatch_hashed(*hash, proto.clone());
+        }
+        sent += seq.len() as u64;
+    }
+    dispatcher.flush();
+    while switch.stats().packets < sent {
+        std::thread::yield_now();
+    }
+
+    let busy_base: Vec<u64> = switch
+        .load_snapshots()
+        .iter()
+        .map(|s| s.busy_nanos)
+        .collect();
+    let base = switch.stats().packets;
+    let window = Duration::from_millis(config.duration_ms);
+    let start = Instant::now();
+    loop {
+        for &f in &seq {
+            let (hash, proto) = &protos[f as usize];
+            dispatcher.dispatch_hashed(*hash, proto.clone());
+        }
+        if start.elapsed() >= window {
+            break;
+        }
+    }
+    dispatcher.flush();
+    let dispatched = dispatcher.dispatched();
+    while switch.stats().packets < dispatched {
+        std::thread::yield_now();
+    }
+    let wall = start.elapsed();
+    let processed = switch.stats().packets - base;
+    let report = switch.shutdown(dispatcher);
+
+    let busy: Vec<u64> = report
+        .load_per_shard
+        .iter()
+        .zip(&busy_base)
+        .map(|(snap, base)| snap.busy_nanos.saturating_sub(*base))
+        .collect();
+    let total_busy: u64 = busy.iter().sum();
+    let max_busy = busy.iter().copied().max().unwrap_or(0);
+    SkewResult {
+        pps_wall: processed as f64 / wall.as_secs_f64(),
+        pps_model: if max_busy == 0 {
+            0.0
+        } else {
+            processed as f64 / (max_busy as f64 / 1e9)
+        },
+        max_busy_share: if total_busy == 0 {
+            0.0
+        } else {
+            max_busy as f64 / total_busy as f64
+        },
+        remaps: report.remaps,
+        per_shard_busy_ms: busy.iter().map(|n| *n as f64 / 1e6).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +477,92 @@ mod tests {
         sa.sort();
         sb.sort();
         assert_eq!(sa, sb);
+    }
+
+    /// The elastic-scheduling acceptance gate. An adversarial Zipf workload
+    /// (elephant buckets pinned to shard 0 at launch) is offered three ways:
+    /// static table, elastic rebalancer, and a uniform no-skew reference.
+    /// The criterion is asserted on busy *shares* rather than on the two
+    /// runs' absolute `pps_model` values: the modeled rate relative to a
+    /// perfectly balanced run is `(1 / workers) / max_busy_share` (both have
+    /// the same per-packet cost; only the bottleneck's share of the busy
+    /// time differs), so "within 20% of uniform" is exactly
+    /// `max_busy_share < 0.625` at two workers — and a share is an
+    /// intra-run ratio, immune to the preemption noise that pollutes
+    /// wall-clock busy time when the whole test suite shares one CPU. The
+    /// committed BENCH_multicore.json reports the measured `pps_model`
+    /// ratios from a quiet release run.
+    #[test]
+    fn rebalancer_recovers_skewed_throughput() {
+        let skew = SkewConfig {
+            workers: 2,
+            flows: 256,
+            zipf_s: 1.3,
+            elephants: 8,
+            warmup_packets: 16_384,
+            duration_ms: 250,
+            rebalance: None,
+            uniform: false,
+        };
+        let run = |rebalance, uniform| {
+            measure_skewed_throughput(
+                BackendSpec::ovs(),
+                fastpath::port_pipeline(),
+                &SkewConfig {
+                    rebalance,
+                    uniform,
+                    ..skew
+                },
+            )
+        };
+        let uniform = run(None, true);
+        let stat = run(None, false);
+        let elastic = run(Some(SkewConfig::rebalance_profile()), false);
+
+        assert_eq!(stat.remaps, 0, "static run must not remap");
+        assert!(
+            elastic.remaps > 0,
+            "rebalancer never acted on a sustained elephant skew"
+        );
+        // The no-skew reference spreads; the pinned elephants concentrate.
+        assert!(
+            uniform.max_busy_share < stat.max_busy_share,
+            "uniform reference as concentrated as the skewed run: {:.2} vs {:.2}",
+            uniform.max_busy_share,
+            stat.max_busy_share
+        );
+        assert!(
+            elastic.max_busy_share < stat.max_busy_share,
+            "rebalancing did not reduce the busy concentration: {:.2} -> {:.2}",
+            stat.max_busy_share,
+            elastic.max_busy_share
+        );
+        // The headline criterion in share form (see the doc comment): at two
+        // workers the modeled rate is within 20% of a balanced run exactly
+        // when the bottleneck's busy share is below 0.5 / 0.8 = 0.625.
+        assert!(
+            stat.max_busy_share > 0.625,
+            "static table unexpectedly held the balanced rate: share {:.2}",
+            stat.max_busy_share
+        );
+        assert!(
+            elastic.max_busy_share < 0.625,
+            "rebalancer did not recover to within 20% of balanced: share {:.2}",
+            elastic.max_busy_share
+        );
+    }
+
+    #[test]
+    fn zipf_sequence_is_deterministic_and_skewed() {
+        let a = zipf_sequence(256, 1.3, 8192, 42);
+        let b = zipf_sequence(256, 1.3, 8192, 42);
+        assert_eq!(a, b, "same seed must reproduce the sequence");
+        let top = a.iter().filter(|r| **r == 0).count() as f64 / a.len() as f64;
+        assert!(
+            (0.2..0.4).contains(&top),
+            "rank-0 mass {top:.2} out of the Zipf(1.3) envelope"
+        );
+        assert!(a.iter().all(|r| (*r as usize) < 256));
     }
 
     /// The PR-3 acceptance gate: on real hardware parallelism two shards

@@ -1,0 +1,112 @@
+//! Flow buckets: the unit of elastic shard scheduling.
+//!
+//! The sharded runtime steers packets through a NIC-style RSS *indirection
+//! table*: the flow hash indexes a fixed power-of-two array of
+//! [`FLOW_BUCKETS`] buckets and the table entry names the owning shard.
+//! Remapping a bucket moves every flow that hashes into it — and, for
+//! stateful pipelines, every connection and NAT allocator the bucket owns —
+//! so the bucket id must be computable from *both* a frame (dispatch time)
+//! and a stored connection tuple (migration time). That is why the canonical
+//! hash lives here, in the conntrack crate, below both users: the shard
+//! crate's `rss_hash_symmetric` delegates to [`symmetric_tuple_hash`], and
+//! [`CtEngine::export_bucket`](crate::CtEngine::export_bucket) applies the
+//! same function to each connection's original tuple.
+//!
+//! NAT port allocation is striped by bucket (not by shard) for the same
+//! reason: a port must remain a pure function of the connection's bucket and
+//! its creation order within that bucket, so a connection keeps — and a
+//! replayed trace reproduces — the exact same translation no matter which
+//! shard the bucket happens to live on.
+
+use netdev::fx_mix;
+use openflow::ct::CtTuple;
+
+/// Number of indirection-table buckets. A power of two, comfortably larger
+/// than any realistic shard count (NIC RETAs are 128–512 entries), so the
+/// rebalancer has fine-grained units to move while the table stays one cache
+/// line per 32 entries.
+pub const FLOW_BUCKETS: usize = 256;
+
+/// Direction-insensitive hash of a connection tuple: both directions of one
+/// connection collapse to the same value (endpoints are ordered canonically
+/// before mixing, mirroring symmetric-Toeplitz NIC configurations). This is
+/// the canonical definition; `shard::rss_hash_symmetric` must produce
+/// exactly this value for a parsed frame so that dispatch-time steering and
+/// migration-time bucket membership agree.
+pub fn symmetric_tuple_hash(t: &CtTuple) -> u64 {
+    let a = (u64::from(t.src_ip) << 16) | u64::from(t.src_port);
+    let b = (u64::from(t.dst_ip) << 16) | u64::from(t.dst_port);
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    fx_mix(fx_mix(fx_mix(0, lo), hi), u64::from(t.proto))
+}
+
+/// Maps an RSS hash onto a bucket index. Multiply-shift on the high bits,
+/// like the hash→shard reduction it replaces: the grouping hash mixes its
+/// entropy into the high word, and the reduction stays bias-free.
+#[inline]
+pub fn bucket_of(hash: u64) -> usize {
+    ((u128::from(hash) * FLOW_BUCKETS as u128) >> 64) as usize
+}
+
+/// The bucket a connection belongs to: the bucket of its original-direction
+/// tuple's symmetric hash. Replies of untranslated connections hash to the
+/// same value; NAT'd replies carry a rewritten tuple and may hash elsewhere
+/// (the documented symmetric-RSS limitation), so bucket membership is always
+/// defined by `orig`.
+#[inline]
+pub fn bucket_of_tuple(t: &CtTuple) -> usize {
+    bucket_of(symmetric_tuple_hash(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(proto: u8, s: u32, d: u32, sp: u16, dp: u16) -> CtTuple {
+        CtTuple {
+            proto,
+            src_ip: s,
+            dst_ip: d,
+            src_port: sp,
+            dst_port: dp,
+        }
+    }
+
+    #[test]
+    fn both_directions_share_a_bucket() {
+        for i in 0..512u32 {
+            let fwd = t(6, 0x0a000001 + i, 0x0a00ff01, 1024 + (i % 1000) as u16, 80);
+            assert_eq!(
+                symmetric_tuple_hash(&fwd),
+                symmetric_tuple_hash(&fwd.reversed()),
+                "i={i}"
+            );
+            assert_eq!(bucket_of_tuple(&fwd), bucket_of_tuple(&fwd.reversed()));
+        }
+    }
+
+    #[test]
+    fn buckets_spread() {
+        let mut counts = [0usize; FLOW_BUCKETS];
+        for i in 0..8192u32 {
+            let tuple = t(
+                6,
+                0x0a000000 + i,
+                0x0b000000 + (i % 7),
+                1024 + (i % 60000) as u16,
+                443,
+            );
+            let b = bucket_of_tuple(&tuple);
+            assert!(b < FLOW_BUCKETS);
+            counts[b] += 1;
+        }
+        let occupied = counts.iter().filter(|&&c| c > 0).count();
+        // 8192 flows over 256 buckets: essentially every bucket is hit.
+        assert!(
+            occupied > FLOW_BUCKETS * 9 / 10,
+            "only {occupied} buckets hit"
+        );
+        let max = counts.iter().max().copied().unwrap_or(0);
+        assert!(max < 8192 / FLOW_BUCKETS * 4, "hottest bucket holds {max}");
+    }
+}

@@ -14,6 +14,7 @@ use netdev::sync::Arc;
 use openflow::ct::{ConnCtx, CtOutcome, CtTuple, CtVerb, NatSpec};
 use openflow::Field;
 
+use crate::bucket::{bucket_of_tuple, FLOW_BUCKETS};
 use crate::key::tuple_hash;
 use crate::maglev::{maglev_table, select};
 use crate::nat::PortAlloc;
@@ -129,9 +130,12 @@ pub struct CtEngine {
     stats: Arc<CtStats>,
     timeouts: CtTimeouts,
     eviction: EvictionPolicy,
-    shard_index: u32,
-    shard_count: u32,
-    nat_allocs: Vec<(NatSpec, PortAlloc)>,
+    /// One allocator per (SNAT spec, flow bucket) pair, created lazily.
+    /// Bucket-striped (not shard-striped) so a connection's translation is a
+    /// pure function of its bucket and creation order — independent of
+    /// which shard the bucket currently lives on — and so the allocator
+    /// state can travel with the bucket on migration.
+    nat_allocs: Vec<(NatSpec, usize, PortAlloc)>,
     lb: Vec<LbState>,
     /// Established-path hits since the last flush. Batched into the shared
     /// atomic on every tick (and on drop) so the hot path pays a plain
@@ -140,21 +144,17 @@ pub struct CtEngine {
 }
 
 impl CtEngine {
-    /// Creates an engine for shard `shard_index` of `shard_count` with
-    /// fresh stats. Single-switch (unsharded) callers use `(0, 1)`.
-    pub fn new(config: &CtConfig, shard_index: u32, shard_count: u32) -> CtEngine {
-        Self::with_stats(config, shard_index, shard_count, Arc::new(CtStats::new()))
+    /// Creates an engine with fresh stats. Engines carry no shard identity:
+    /// NAT striping is per flow bucket, so any shard can own any bucket and
+    /// produce identical translations.
+    pub fn new(config: &CtConfig) -> CtEngine {
+        Self::with_stats(config, Arc::new(CtStats::new()))
     }
 
     /// Like [`CtEngine::new`] but recording into caller-owned counters
     /// (the sharded runtime creates them at launch so reports survive the
     /// engine).
-    pub fn with_stats(
-        config: &CtConfig,
-        shard_index: u32,
-        shard_count: u32,
-        stats: Arc<CtStats>,
-    ) -> CtEngine {
+    pub fn with_stats(config: &CtConfig, stats: Arc<CtStats>) -> CtEngine {
         let lb = config
             .lb_groups
             .iter()
@@ -170,8 +170,6 @@ impl CtEngine {
             stats,
             timeouts: config.timeouts,
             eviction: config.eviction,
-            shard_index,
-            shard_count,
             nat_allocs: Vec::new(),
             lb,
             pending_hits: 0,
@@ -373,7 +371,7 @@ impl CtEngine {
 
     fn translate_nat(&mut self, spec: &NatSpec, tuple: &CtTuple) -> CtTuple {
         if spec.snat {
-            let port = self.alloc_port(spec);
+            let port = self.alloc_port(spec, bucket_of_tuple(tuple));
             CtTuple {
                 src_ip: spec.addr,
                 src_port: port,
@@ -388,18 +386,22 @@ impl CtEngine {
         }
     }
 
-    fn alloc_port(&mut self, spec: &NatSpec) -> u16 {
-        if let Some((_, alloc)) = self.nat_allocs.iter_mut().find(|(s, _)| s == spec) {
+    fn alloc_port(&mut self, spec: &NatSpec, bucket: usize) -> u16 {
+        if let Some((_, _, alloc)) = self
+            .nat_allocs
+            .iter_mut()
+            .find(|(s, b, _)| s == spec && *b == bucket)
+        {
             return alloc.alloc();
         }
         let mut alloc = PortAlloc::new(
             spec.port_lo,
             spec.port_hi,
-            self.shard_index,
-            self.shard_count,
+            bucket as u32,
+            FLOW_BUCKETS as u32,
         );
         let port = alloc.alloc();
-        self.nat_allocs.push((*spec, alloc));
+        self.nat_allocs.push((*spec, bucket, alloc));
         port
     }
 
@@ -410,6 +412,117 @@ impl CtEngine {
         }
         let slot = select(&g.table, tuple_hash(tuple));
         g.backends.get(slot as usize).copied()
+    }
+
+    /// Drains every connection (and NAT allocator) belonging to flow bucket
+    /// `bucket` out of this engine, for transfer to the shard that now owns
+    /// the bucket. Deadlines are exported as *remaining* idle ticks because
+    /// each shard's virtual clock is independent; the importer re-arms
+    /// relative to its own clock. Control-plane cost: one walk of the slab.
+    ///
+    /// The caller (the dispatcher's quiesce handshake) guarantees no packet
+    /// of this bucket is in flight to this shard when it runs.
+    pub fn export_bucket(&mut self, bucket: usize) -> BucketExport {
+        let now = self.wheel.now();
+        let slots: Vec<u32> = self
+            .table
+            .live_slots()
+            .filter(|(_, c)| bucket_of_tuple(&c.orig) == bucket)
+            .map(|(i, _)| i)
+            .collect();
+        let mut conns = Vec::with_capacity(slots.len());
+        for idx in slots {
+            self.wheel.cancel(idx);
+            let c = self.table.remove(idx);
+            self.stats.record_migrated_out();
+            conns.push(ConnExport {
+                orig: c.orig,
+                reply: c.reply,
+                state: c.state,
+                ticks_left: c.deadline.saturating_sub(now),
+            });
+        }
+        let mut nat = Vec::new();
+        let mut i = 0;
+        while i < self.nat_allocs.len() {
+            if self.nat_allocs[i].1 == bucket {
+                let (spec, _, alloc) = self.nat_allocs.swap_remove(i);
+                nat.push((spec, alloc));
+            } else {
+                i += 1;
+            }
+        }
+        BucketExport { bucket, conns, nat }
+    }
+
+    /// Installs a [`BucketExport`] drained from the bucket's previous owner.
+    /// Admission evicts LRU victims if the table is full *regardless of the
+    /// eviction policy*: the imported connections already exist — refusing
+    /// them would silently drop established state, which is exactly what a
+    /// migration must not do.
+    pub fn import_bucket(&mut self, export: BucketExport) {
+        let now = self.wheel.now();
+        for ce in export.conns {
+            debug_assert!(
+                self.table.lookup(&ce.orig).is_none(),
+                "bucket {} imported while this shard still tracks it",
+                export.bucket
+            );
+            while self.table.is_full() {
+                let Some(victim) = self.table.clock_victim() else {
+                    break;
+                };
+                self.wheel.cancel(victim);
+                self.table.remove(victim);
+                self.stats.record_evicted_capacity();
+            }
+            let Some(idx) = self.table.insert(ce.orig, ce.reply, ce.state) else {
+                continue;
+            };
+            let deadline = now + ce.ticks_left;
+            self.table.conn_mut(idx).deadline = deadline;
+            self.wheel.schedule(idx, deadline);
+            self.stats.record_migrated_in();
+        }
+        for (spec, alloc) in export.nat {
+            self.nat_allocs
+                .retain(|(s, b, _)| !(*b == export.bucket && s == &spec));
+            self.nat_allocs.push((spec, export.bucket, alloc));
+        }
+    }
+}
+
+/// One connection's transferable state (see [`CtEngine::export_bucket`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ConnExport {
+    /// Tuple of the connection's first packet.
+    pub orig: CtTuple,
+    /// Tuple reply packets carry (post-translation).
+    pub reply: CtTuple,
+    /// Protocol state at export.
+    pub state: ConnState,
+    /// Idle ticks remaining at export, re-armed against the importer's
+    /// clock.
+    pub ticks_left: u64,
+}
+
+/// Everything shard-local that one flow bucket owns: its tracked
+/// connections and its NAT allocators (whose `next` cursors must travel with
+/// the bucket so ports stay a pure function of allocation order).
+#[derive(Debug, Clone, Default)]
+pub struct BucketExport {
+    /// The bucket this state belongs to.
+    pub bucket: usize,
+    /// Drained connections.
+    pub conns: Vec<ConnExport>,
+    /// Drained NAT allocators, one per SNAT spec the bucket has used.
+    pub nat: Vec<(NatSpec, PortAlloc)>,
+}
+
+impl BucketExport {
+    /// True when the bucket owned no state at all (nothing to transfer).
+    pub fn is_empty(&self) -> bool {
+        self.conns.is_empty() && self.nat.is_empty()
     }
 }
 
@@ -470,15 +583,11 @@ mod tests {
     }
 
     fn small_engine(eviction: EvictionPolicy, capacity: usize) -> CtEngine {
-        CtEngine::new(
-            &CtConfig {
-                capacity,
-                eviction,
-                ..CtConfig::default()
-            },
-            0,
-            1,
-        )
+        CtEngine::new(&CtConfig {
+            capacity,
+            eviction,
+            ..CtConfig::default()
+        })
     }
 
     fn rewritten(tuple: &CtTuple, out: &CtOutcome) -> CtTuple {
@@ -531,7 +640,11 @@ mod tests {
         assert!(!out.halted());
         let translated = rewritten(&fwd, &out);
         assert_eq!(translated.src_ip, spec.addr);
-        assert_eq!(translated.src_port, 40000);
+        // Bucket-striped allocation: the first port of a connection's bucket
+        // is `lo + (bucket % span)` — a pure function of the tuple, not of
+        // any shard identity.
+        let bucket = bucket_of_tuple(&fwd) as u16;
+        assert_eq!(translated.src_port, 40000 + bucket % 1000);
         assert_eq!(translated.dst_ip, fwd.dst_ip);
         // Reply to the translated tuple maps back to the original client.
         let reply_in = translated.reversed();
@@ -539,27 +652,30 @@ mod tests {
         assert!(!back.halted());
         let untranslated = rewritten(&reply_in, &back);
         assert_eq!(untranslated, fwd.reversed());
-        // A second connection gets a distinct port.
+        // A second connection gets a distinct port, wherever its bucket
+        // starts the stride.
         let fwd2 = tcp_tuple(0x0a000002, 1234, 0x08080808, 443);
         let out2 = e.ct_execute(&CtVerb::Nat(spec), &fwd2, SYN);
-        assert_eq!(rewritten(&fwd2, &out2).src_port, 40001);
+        let port2 = rewritten(&fwd2, &out2).src_port;
+        assert_ne!(port2, translated.src_port);
+        assert!((40000..=40999).contains(&port2));
+        // A fresh engine replays the identical allocation sequence.
+        let mut e2 = small_engine(EvictionPolicy::Lru, 16);
+        let replay = e2.ct_execute(&CtVerb::Nat(spec), &fwd, SYN);
+        assert_eq!(rewritten(&fwd, &replay).src_port, translated.src_port);
     }
 
     #[test]
     fn lb_pins_backend_across_reshuffle() {
-        let mut e = CtEngine::new(
-            &CtConfig {
-                capacity: 64,
-                lb_groups: vec![LbGroup {
-                    vip: 0x0a00ff01,
-                    backends: vec![0x0a000101, 0x0a000102, 0x0a000103],
-                    table_size: 101,
-                }],
-                ..CtConfig::default()
-            },
-            0,
-            1,
-        );
+        let mut e = CtEngine::new(&CtConfig {
+            capacity: 64,
+            lb_groups: vec![LbGroup {
+                vip: 0x0a00ff01,
+                backends: vec![0x0a000101, 0x0a000102, 0x0a000103],
+                table_size: 101,
+            }],
+            ..CtConfig::default()
+        });
         let fwd = tcp_tuple(0x0a000001, 5555, 0x0a00ff01, 80);
         let out = e.ct_execute(&CtVerb::Lb { group: 0 }, &fwd, SYN);
         let pinned = rewritten(&fwd, &out).dst_ip;
@@ -594,19 +710,15 @@ mod tests {
 
     #[test]
     fn idle_timeout_reclaims() {
-        let mut e = CtEngine::new(
-            &CtConfig {
-                capacity: 8,
-                timeouts: CtTimeouts {
-                    tcp_syn: 4,
-                    ..CtTimeouts::default()
-                },
-                wheel_slots: 8,
-                ..CtConfig::default()
+        let mut e = CtEngine::new(&CtConfig {
+            capacity: 8,
+            timeouts: CtTimeouts {
+                tcp_syn: 4,
+                ..CtTimeouts::default()
             },
-            0,
-            1,
-        );
+            wheel_slots: 8,
+            ..CtConfig::default()
+        });
         let fwd = tcp_tuple(1, 1, 2, 2);
         e.ct_execute(&CtVerb::Commit, &fwd, SYN);
         // Activity at tick 3 re-arms the deadline lazily.
@@ -624,6 +736,64 @@ mod tests {
         let snap = e.stats().snapshot();
         assert_eq!(snap.evicted_idle, 1);
         assert!(snap.identity_holds());
+    }
+
+    #[test]
+    fn bucket_migration_preserves_nat_and_identity() {
+        let stats_a = Arc::new(CtStats::new());
+        let stats_b = Arc::new(CtStats::new());
+        let cfg = CtConfig {
+            capacity: 32,
+            ..CtConfig::default()
+        };
+        let mut a = CtEngine::with_stats(&cfg, Arc::clone(&stats_a));
+        let mut b = CtEngine::with_stats(&cfg, Arc::clone(&stats_b));
+        let spec = NatSpec {
+            snat: true,
+            addr: 0xc0a80001,
+            port_lo: 40000,
+            port_hi: 40999,
+        };
+        let fwd = tcp_tuple(0x0a000001, 1234, 0x08080808, 443);
+        let out = a.ct_execute(&CtVerb::Nat(spec), &fwd, SYN);
+        let translated = rewritten(&fwd, &out);
+        // Advance the exporter's clock so the relative-deadline transfer is
+        // exercised (the importer's clock is still at zero).
+        a.advance_to(5);
+        let bucket = bucket_of_tuple(&fwd);
+        let export = a.export_bucket(bucket);
+        assert_eq!(export.conns.len(), 1);
+        assert_eq!(export.nat.len(), 1, "allocator travels with the bucket");
+        assert_eq!(a.live(), 0);
+        b.import_bucket(export);
+        assert_eq!(b.live(), 1);
+        // The established reply un-rewrites to the client on the new owner.
+        let reply_in = translated.reversed();
+        let back = b.ct_execute(&CtVerb::Established, &reply_in, SYN | ACK);
+        assert!(!back.halted());
+        assert_eq!(rewritten(&reply_in, &back), fwd.reversed());
+        // The migrated allocator continues the bucket's stride: the next
+        // connection in this bucket gets the port it would have gotten had
+        // the bucket never moved.
+        let mut src = 2u32;
+        let fwd2 = loop {
+            let t = tcp_tuple(0x0a000000 + src, 1234, 0x08080808, 443);
+            if bucket_of_tuple(&t) == bucket {
+                break t;
+            }
+            src += 1;
+        };
+        let out2 = b.ct_execute(&CtVerb::Nat(spec), &fwd2, SYN);
+        let expected = 40000 + ((bucket + FLOW_BUCKETS) % 1000) as u16;
+        assert_eq!(rewritten(&fwd2, &out2).src_port, expected);
+        drop(a);
+        drop(b);
+        let (sa, sb) = (stats_a.snapshot(), stats_b.snapshot());
+        assert_eq!(sa.migrated_out, 1);
+        assert_eq!(sb.migrated_in, 1);
+        assert!(sa.identity_holds(), "exporter identity");
+        assert!(sb.identity_holds(), "importer identity");
+        assert!(sa.merged(&sb).identity_holds(), "merged identity");
     }
 
     #[test]

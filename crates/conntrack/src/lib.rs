@@ -6,8 +6,12 @@
 //! TCP state machine plus a UDP pseudo-state ([`tcp`]), a hashed timing
 //! wheel for idle timeouts advanced at burst boundaries ([`wheel`]), NAT
 //! port allocation ([`nat`]), maglev-style consistent hashing ([`maglev`]),
-//! and the [`CtEngine`] tying them together behind the
-//! [`openflow::ct::ConnCtx`] contract the datapath executors thread.
+//! the canonical flow-bucket hash that defines the elastic-scheduling
+//! migration unit ([`bucket`]), and the [`CtEngine`] tying them together
+//! behind the [`openflow::ct::ConnCtx`] contract the datapath executors
+//! thread. Whole buckets of connection state (plus their NAT allocators)
+//! move between engines via [`CtEngine::export_bucket`] /
+//! [`CtEngine::import_bucket`] when the sharded runtime rebalances.
 //!
 //! Ownership is strictly shard-local: each shard replica owns one
 //! `CtEngine`; nothing here is shared mutably across threads. The only
@@ -15,6 +19,7 @@
 //! through the `netdev::sync` facade so the `cfg(loom)` suite models them),
 //! which the control plane aggregates into shutdown reports.
 
+pub mod bucket;
 pub mod engine;
 pub mod key;
 pub mod maglev;
@@ -24,9 +29,13 @@ pub mod table;
 pub mod tcp;
 pub mod wheel;
 
-pub use engine::{CtConfig, CtEngine, CtTimeouts, EvictionPolicy, LbGroup};
+pub use bucket::{bucket_of, bucket_of_tuple, symmetric_tuple_hash, FLOW_BUCKETS};
+pub use engine::{
+    BucketExport, ConnExport, CtConfig, CtEngine, CtTimeouts, EvictionPolicy, LbGroup,
+};
 pub use key::ConnKey;
 pub use maglev::{maglev_table, select};
+pub use nat::PortAlloc;
 pub use stats::{CtSnapshot, CtStats};
 pub use table::{Conn, ConnTable, Dir};
 pub use tcp::ConnState;

@@ -1,11 +1,15 @@
 //! NAT port allocation.
 //!
 //! Ports are handed out sequentially from the configured range, partitioned
-//! across shards by stride: shard *k* of *n* allocates `lo + k`,
-//! `lo + k + n`, `lo + k + 2n`, … so concurrent shards never hand out the
-//! same source port for the same SNAT address without any cross-shard
-//! coordination — the shared-nothing discipline the rest of the runtime
-//! follows.
+//! by stride: partition *k* of *n* allocates `lo + k`, `lo + k + n`,
+//! `lo + k + 2n`, … so disjoint partitions never hand out the same source
+//! port for the same SNAT address without any coordination — the
+//! shared-nothing discipline the rest of the runtime follows. The engine
+//! keys partitions by *flow bucket* (the elastic-scheduling unit), not by
+//! shard: a port is then a pure function of the connection's bucket and its
+//! creation order within it, so migrating the bucket — allocator state and
+//! all — to another shard reproduces the exact translation sequence the old
+//! owner would have produced.
 //!
 //! Allocation wraps when the partition is exhausted; the engine bounds live
 //! connections well below the port span in practice, and a wrapped port
@@ -13,7 +17,7 @@
 //! (looked up first-come). Exhaustion accounting is the capacity
 //! eviction's job, not the allocator's.
 
-/// Sequential, shard-partitioned port allocator for one NAT range.
+/// Sequential, stride-partitioned port allocator for one NAT range.
 #[derive(Debug, Clone)]
 pub struct PortAlloc {
     lo: u16,
@@ -24,20 +28,20 @@ pub struct PortAlloc {
 }
 
 impl PortAlloc {
-    /// Creates an allocator over `[lo, hi]` for shard `shard_index` of
-    /// `shard_count`.
-    pub fn new(lo: u16, hi: u16, shard_index: u32, shard_count: u32) -> PortAlloc {
+    /// Creates an allocator over `[lo, hi]` for partition `index` of
+    /// `count` (the engine passes the flow bucket and the bucket count).
+    pub fn new(lo: u16, hi: u16, index: u32, count: u32) -> PortAlloc {
         let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
         PortAlloc {
             lo,
             span: u32::from(hi - lo) + 1,
-            offset: shard_index,
-            stride: shard_count.max(1),
+            offset: index,
+            stride: count.max(1),
             next: 0,
         }
     }
 
-    /// Allocates the next port of this shard's partition.
+    /// Allocates the next port of this partition.
     #[inline]
     pub fn alloc(&mut self) -> u16 {
         let slot = (self.offset + self.next.wrapping_mul(self.stride)) % self.span;

@@ -10,10 +10,14 @@
 //! exactly this code.
 //!
 //! The counters satisfy a conservation identity the shutdown path asserts:
-//! `created == live + evicted_idle + evicted_capacity + teardown` — every
-//! connection ever created is either still live or was removed for exactly
-//! one counted reason. `refused` counts admissions declined *before*
-//! creation and is outside the identity by construction.
+//! `created + migrated_in == live + evicted_idle + evicted_capacity +
+//! teardown + migrated_out` — every connection this shard ever admitted
+//! (created here, or imported by a bucket migration) is either still live or
+//! left for exactly one counted reason. `refused` counts admissions declined
+//! *before* creation and is outside the identity by construction. Merged
+//! across shards, `migrated_in` and `migrated_out` cancel (every export has
+//! exactly one import), so the aggregate identity reduces to the original
+//! created-based form.
 
 use netdev::sync::atomic::{AtomicU64, Ordering};
 
@@ -28,6 +32,8 @@ pub struct CtStats {
     evicted_idle: AtomicU64,
     evicted_capacity: AtomicU64,
     teardown: AtomicU64,
+    migrated_in: AtomicU64,
+    migrated_out: AtomicU64,
     live: AtomicU64,
 }
 
@@ -85,6 +91,19 @@ impl CtStats {
         self.live.fetch_sub(1, Ordering::Release);
     }
 
+    /// A connection arrived via bucket migration (imported from another
+    /// shard).
+    pub fn record_migrated_in(&self) {
+        self.migrated_in.fetch_add(1, Ordering::Release);
+        self.live.fetch_add(1, Ordering::Release);
+    }
+
+    /// A connection left via bucket migration (exported to another shard).
+    pub fn record_migrated_out(&self) {
+        self.migrated_out.fetch_add(1, Ordering::Release);
+        self.live.fetch_sub(1, Ordering::Release);
+    }
+
     /// Connections created so far.
     pub fn created(&self) -> u64 {
         self.created.load(Ordering::Acquire)
@@ -120,6 +139,16 @@ impl CtStats {
         self.teardown.load(Ordering::Acquire)
     }
 
+    /// Connections imported by bucket migration so far.
+    pub fn migrated_in(&self) -> u64 {
+        self.migrated_in.load(Ordering::Acquire)
+    }
+
+    /// Connections exported by bucket migration so far.
+    pub fn migrated_out(&self) -> u64 {
+        self.migrated_out.load(Ordering::Acquire)
+    }
+
     /// Currently live connections (gauge).
     pub fn live(&self) -> u64 {
         self.live.load(Ordering::Acquire)
@@ -135,6 +164,8 @@ impl CtStats {
             evicted_idle: self.evicted_idle(),
             evicted_capacity: self.evicted_capacity(),
             teardown: self.teardown(),
+            migrated_in: self.migrated_in(),
+            migrated_out: self.migrated_out(),
             live: self.live(),
         }
     }
@@ -157,16 +188,27 @@ pub struct CtSnapshot {
     pub evicted_capacity: u64,
     /// Protocol (RST) teardowns.
     pub teardown: u64,
+    /// Connections imported by bucket migration.
+    pub migrated_in: u64,
+    /// Connections exported by bucket migration.
+    pub migrated_out: u64,
     /// Live connections at snapshot time.
     pub live: u64,
 }
 
 impl CtSnapshot {
-    /// The conservation identity: every created connection is live or was
-    /// removed for exactly one counted reason. Holds whenever the engine is
-    /// quiescent (between bursts / at shutdown).
+    /// The conservation identity: every connection this shard admitted
+    /// (created or migrated in) is live or left for exactly one counted
+    /// reason. Holds whenever the engine is quiescent (between bursts / at
+    /// shutdown). Merged across shards the migration terms cancel, so the
+    /// aggregate identity matches the single-shard created-based form.
     pub fn identity_holds(&self) -> bool {
-        self.created == self.live + self.evicted_idle + self.evicted_capacity + self.teardown
+        self.created + self.migrated_in
+            == self.live
+                + self.evicted_idle
+                + self.evicted_capacity
+                + self.teardown
+                + self.migrated_out
     }
 
     /// Field-wise sum of two snapshots (cross-shard aggregation).
@@ -179,6 +221,8 @@ impl CtSnapshot {
             evicted_idle: self.evicted_idle + other.evicted_idle,
             evicted_capacity: self.evicted_capacity + other.evicted_capacity,
             teardown: self.teardown + other.teardown,
+            migrated_in: self.migrated_in + other.migrated_in,
+            migrated_out: self.migrated_out + other.migrated_out,
             live: self.live + other.live,
         }
     }
@@ -205,5 +249,29 @@ mod tests {
         let double = snap.merged(&snap);
         assert_eq!(double.created, 20);
         assert!(double.identity_holds());
+    }
+
+    #[test]
+    fn migration_balances_the_identity() {
+        let src = CtStats::new();
+        let dst = CtStats::new();
+        for _ in 0..4 {
+            src.record_created();
+        }
+        // Two connections migrate src → dst.
+        for _ in 0..2 {
+            src.record_migrated_out();
+            dst.record_migrated_in();
+        }
+        dst.record_teardown();
+        let (s, d) = (src.snapshot(), dst.snapshot());
+        assert_eq!(s.live, 2);
+        assert_eq!(d.live, 1);
+        assert!(s.identity_holds(), "exporter identity");
+        assert!(d.identity_holds(), "importer identity");
+        let merged = s.merged(&d);
+        assert!(merged.identity_holds());
+        // Merged, the migration terms cancel against each other.
+        assert_eq!(merged.created, merged.live + merged.teardown);
     }
 }

@@ -265,6 +265,17 @@ impl ConnTable {
         }
     }
 
+    /// Iterates every live connection with its slab slot, in slab order.
+    /// Control-plane only: bucket export walks the whole slab once per
+    /// migration; the datapath never calls this. Allocation-free.
+    pub fn live_slots(&self) -> impl Iterator<Item = (u32, &Conn)> + '_ {
+        self.slab
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.live)
+            .map(|(i, c)| (i as u32, c))
+    }
+
     fn index_insert(&mut self, hash: u64, conn: u32, dir: Dir) {
         let mut i = (hash as usize) & self.mask;
         loop {

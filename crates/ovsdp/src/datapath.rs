@@ -250,8 +250,13 @@ impl OvsDatapath {
         }
     }
 
-    /// Selective invalidation for a known-good list of changed matches.
-    fn invalidate_matches(&self, matches: &[FlowMatch]) {
+    /// Selective invalidation for a known-good list of matches: flushes the
+    /// overlapping megaflow entries and the matching EMC entries, leaving
+    /// every disjoint cache entry alive. Used internally for selective-safe
+    /// flow-mod deltas, and by the sharded runtime's elastic scheduler to
+    /// evict exactly a migrated flow bucket's connections from this
+    /// replica's caches.
+    pub fn invalidate_matches(&self, matches: &[FlowMatch]) {
         self.megaflow.lock().invalidate_overlapping(matches);
         self.microflow.lock().invalidate_matching(matches);
     }
@@ -462,12 +467,18 @@ impl OvsDatapath {
             let headers = parse(p.data(), ParseDepth::L4);
             s.keys.push(FlowKey::from_parsed(p, &headers));
             let key = s.keys.last().expect("just pushed");
+            // The grouping hash is a pure prefilter — every pairwise match
+            // below is confirmed by full mini/key equality — so any value
+            // that is deterministic per flow works. A packet that arrived
+            // through the sharded dispatcher already carries its RSS hash
+            // (the NIC-descriptor pattern): reuse it and skip the mix.
             if use_microflow {
                 let mini = MiniKey::from_flow(key);
-                s.hashes.push(mini.hash());
+                s.hashes.push(p.rss_hash().unwrap_or_else(|| mini.hash()));
                 s.minis.push(mini);
             } else {
-                s.hashes.push(MiniKey::group_hash(key));
+                s.hashes
+                    .push(p.rss_hash().unwrap_or_else(|| MiniKey::group_hash(key)));
             }
             s.headers.push(headers);
             let leader = (0..i)

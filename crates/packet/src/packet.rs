@@ -11,12 +11,29 @@ use crate::MAX_FRAME_LEN;
 /// [`BytesMut`] so that action implementations can rewrite header fields in
 /// place (set-field, NAT, TTL decrement) without reallocating, and cheap
 /// cloning is available for flooding.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Packet {
     data: BytesMut,
     /// Ingress port the packet was received on (OpenFlow `in_port`).
     pub in_port: u32,
+    /// RSS hash stamped by the dispatch stage (a NIC delivers this in the RX
+    /// descriptor; the software dispatcher is that stage here). `None` until
+    /// stamped. Advisory: consumers must confirm with full-key equality, so
+    /// a stamp left stale by a header rewrite can cost an optimization but
+    /// never change a verdict.
+    rss_hash: Option<u64>,
 }
+
+/// Packet identity is the frame bytes plus the ingress port; the carried RSS
+/// stamp is transport metadata (like a NIC RX-descriptor field), not part of
+/// what the packet *is*.
+impl PartialEq for Packet {
+    fn eq(&self, other: &Self) -> bool {
+        self.in_port == other.in_port && self.data == other.data
+    }
+}
+
+impl Eq for Packet {}
 
 impl Packet {
     /// Wraps the given frame bytes, received on `in_port`.
@@ -35,6 +52,7 @@ impl Packet {
         Packet {
             data: BytesMut::from(data),
             in_port,
+            rss_hash: None,
         }
     }
 
@@ -46,6 +64,16 @@ impl Packet {
     /// The frame contents.
     pub fn data(&self) -> &[u8] {
         &self.data
+    }
+
+    /// Stamps the receive-side RSS hash (dispatch stage only).
+    pub fn set_rss_hash(&mut self, hash: u64) {
+        self.rss_hash = Some(hash);
+    }
+
+    /// The carried RSS hash, if the dispatch stage stamped one.
+    pub fn rss_hash(&self) -> Option<u64> {
+        self.rss_hash
     }
 
     /// Mutable access to the frame contents, used by packet-rewriting actions.
@@ -127,6 +155,17 @@ mod tests {
     #[should_panic(expected = "exceeds MAX_FRAME_LEN")]
     fn oversized_frame_panics() {
         let _ = Packet::zeroed(crate::MAX_FRAME_LEN + 1, 0);
+    }
+
+    #[test]
+    fn rss_stamp_is_metadata_not_identity() {
+        let mut a = Packet::from_bytes([1u8, 2, 3], 0);
+        let b = Packet::from_bytes([1u8, 2, 3], 0);
+        assert_eq!(a.rss_hash(), None);
+        a.set_rss_hash(0xdead_beef);
+        assert_eq!(a.rss_hash(), Some(0xdead_beef));
+        assert_eq!(a, b, "the stamp does not change packet identity");
+        assert_eq!(a.clone().rss_hash(), Some(0xdead_beef), "clones carry it");
     }
 
     #[test]

@@ -128,6 +128,16 @@ pub trait ShardBackend: Send {
     /// brute-force invalidation.
     fn apply(&mut self, state: &CompiledState, deltas: Option<&[Arc<Vec<FlowMatch>>]>);
 
+    /// Invalidates the replica's cached entries for exactly the given flow
+    /// matches — the elastic scheduler calls this when a flow bucket
+    /// migrates off this shard, with one exact-5-tuple match per moved
+    /// connection direction. The default is a no-op: the ESWITCH replica
+    /// has no per-shard caches (verdicts are recomputed from the shared
+    /// compiled state, placement-independently). The OVS replica flushes
+    /// the overlapping megaflow entries and the matching EMC entries, so a
+    /// moved flow that later migrates *back* can never hit a stale verdict.
+    fn invalidate_flows(&mut self, _matches: &[FlowMatch]) {}
+
     /// The OVS replica, when this shard runs one (per-shard cache stats).
     fn as_ovs(&self) -> Option<&OvsDatapath> {
         None
@@ -193,6 +203,10 @@ impl ShardBackend for OvsShard {
                 None => self.datapath.replace_pipeline(Pipeline::clone(pipeline)),
             }
         }
+    }
+
+    fn invalidate_flows(&mut self, matches: &[FlowMatch]) {
+        self.datapath.invalidate_matches(matches);
     }
 
     fn as_ovs(&self) -> Option<&OvsDatapath> {

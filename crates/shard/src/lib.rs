@@ -6,11 +6,23 @@
 //! makes both real, mirroring the deployment shape of OVS's per-PMD-thread
 //! datapath (and of a DPDK ESWITCH instance):
 //!
-//! * **RSS dispatch** ([`rss`]) — each packet's flow tuple is hashed with the
-//!   extraction-time miniflow hash and the hash picks a worker shard, so one
-//!   flow always lands on one shard (per-shard caches stay warm, no
-//!   cross-shard flow state). Packets travel over per-shard
-//!   [`netdev::SpscRing`]s, published burst-at-a-time.
+//! * **RSS dispatch** ([`rss`], [`remap`]) — each packet's flow tuple is
+//!   hashed with the extraction-time miniflow hash and the hash steers
+//!   through a NIC-style 256-entry *indirection table*
+//!   ([`remap::RemapTable`]) whose entries name worker shards, so one flow
+//!   always lands on one shard (per-shard caches stay warm, no cross-shard
+//!   flow state) and the hash rides the packet for downstream reuse.
+//!   Packets travel over per-shard [`netdev::SpscRing`]s, published
+//!   burst-at-a-time.
+//! * **Elastic scheduling** ([`telemetry`], [`remap`],
+//!   [`rss::RssDispatcher::remap_bucket`]) — workers flush batched load
+//!   telemetry (busy time, pps, ring high-water); on sustained imbalance the
+//!   dispatcher's rebalancer re-homes the hottest flow buckets away from the
+//!   overloaded shard through a quiesce/export/import handshake that drains
+//!   the old owner, migrates the bucket's conntrack and NAT state,
+//!   invalidates the old replica's cached entries for exactly the moved
+//!   flows, and publishes the new table epoch — no reordering within any
+//!   flow, no lost connection state, no locks on the dispatch path.
 //! * **Worker shards** ([`backend`], [`runtime`]) — each shard owns a
 //!   datapath replica behind the [`ShardBackend`] trait: the compiled ESWITCH
 //!   datapath (shared read-only, as compiled code is) or an OVS replica with
@@ -55,8 +67,10 @@
 pub mod backend;
 pub mod controller;
 pub mod epoch;
+pub mod remap;
 pub mod rss;
 pub mod runtime;
+pub mod telemetry;
 
 pub use backend::{BackendSpec, CompiledState, ShardBackend};
 pub use controller::{
@@ -66,8 +80,10 @@ pub use controller::{
 pub use conntrack::{CtConfig, CtSnapshot, CtTimeouts, EvictionPolicy, LbGroup};
 pub use epoch::EpochSlot;
 pub use eswitch::reactive::{PuntPolicy, RateLimit};
+pub use remap::{RebalanceConfig, RemapShared, RemapTable};
 pub use rss::{rss_hash, rss_hash_symmetric, shard_of, RssDispatcher};
 pub use runtime::{
     ShardError, ShardStats, ShardedConfig, ShardedSwitch, ShutdownReport, UpdateClassCounts,
     UpdateClassStats, UpdateStrategy, VerdictSink,
 };
+pub use telemetry::{LoadSnapshot, ShardLoad};

@@ -1,29 +1,48 @@
-//! RSS-style dispatch: hash a packet's flow tuple onto a worker shard.
+//! RSS-style dispatch: hash a packet's flow tuple through the indirection
+//! table onto a worker shard.
 //!
 //! A NIC with receive-side scaling hashes each packet's 5-tuple in hardware
-//! and steers it to a per-core RX queue; the host CPU never pays for the
-//! hash. This module is that stage in software: [`rss_hash`] reuses the
-//! extraction-time miniflow grouping hash (the same multiply-rotate mix the
-//! cache hot paths key on), [`shard_of`] maps it onto a shard index, and
-//! [`RssDispatcher`] stages packets per shard and publishes them to the
-//! worker rings burst-at-a-time via [`netdev::SpscRing::push_burst`] — one
-//! tail release per burst, not one per packet.
+//! and steers it through a small indirection table (Intel's RETA) to a
+//! per-core RX queue; the host CPU never pays for the hash, and the host
+//! can re-spread load by rewriting table entries. This module is that stage
+//! in software: [`rss_hash`] reuses the extraction-time miniflow grouping
+//! hash (the same multiply-rotate mix the cache hot paths key on), the
+//! hash indexes a [`crate::remap::RemapTable`] bucket whose entry names the
+//! shard, and [`RssDispatcher`] stages packets per shard and publishes them
+//! to the worker rings burst-at-a-time via [`netdev::SpscRing::push_burst`]
+//! — one tail release per burst, not one per packet.
+//!
+//! The computed hash is not discarded: the dispatcher stamps it onto the
+//! packet ([`pkt::Packet::set_rss_hash`]) so downstream stages that need a
+//! flow-grouping hash (the OVS burst path's phase-1 grouping) reuse it
+//! instead of re-deriving one from a second parse — the software analogue
+//! of a NIC delivering its RSS hash in the RX descriptor.
 //!
 //! Hashing the flow tuple (not round-robin) is what keeps one flow on one
 //! shard: per-shard EMC/megaflow caches stay warm and no flow ever needs
-//! cross-shard state. Harnesses that replay a fixed flow set can precompute
-//! each prototype's shard once ([`RssDispatcher::shard_for`]) and use
-//! [`RssDispatcher::dispatch_to`], mirroring the hardware split where the
-//! hash costs the host nothing.
+//! cross-shard state. A *bucket remap* moves that ownership deliberately:
+//! [`RssDispatcher::remap_bucket`] runs the quiesce handshake — flush and
+//! drain the old owner, export the bucket's connection state, publish the
+//! new table, import on the new owner — so a flow's packets are never in
+//! flight to two shards at once (no reordering) and its conntrack/NAT state
+//! arrives before its first packet does. Harnesses that replay a fixed flow
+//! set can precompute each prototype's hash once and use
+//! [`RssDispatcher::dispatch_hashed`], mirroring the hardware split where
+//! the hash costs the host nothing.
 
 use std::sync::Arc;
 
-use netdev::{fx_mix, SpscRing, BURST_SIZE};
+use conntrack::{bucket_of, FLOW_BUCKETS};
+use netdev::{SpscRing, BURST_SIZE};
 use openflow::ct::CtTuple;
 use openflow::FlowKey;
 use ovsdp::MiniKey;
 use pkt::parser::{parse, ParseDepth};
 use pkt::Packet;
+
+use crate::remap::{BucketAck, RebalanceConfig, Rebalancer, RemapShared, RemapTable, ShardCmd};
+use crate::runtime::ShardStats;
+use crate::telemetry::ShardLoad;
 
 /// The RSS hash of a packet: the extraction-time miniflow grouping hash over
 /// the packet's flow tuple.
@@ -37,29 +56,45 @@ pub fn rss_hash(packet: &Packet) -> u64 {
 /// same value, so a stateful (conntrack) pipeline sees a flow's requests
 /// *and* replies on the same shard — the property that lets connection
 /// state stay strictly shard-local with no cross-shard locks. Mirrors NIC
-/// symmetric-RSS configurations (e.g. the symmetric Toeplitz key): the
-/// endpoints are ordered canonically before mixing, so `A→B` and `B→A`
-/// collapse to one input. Non-IP or non-TCP/UDP frames (which conntrack
-/// ignores) fall back to the ordinary [`rss_hash`].
+/// symmetric-RSS configurations (e.g. the symmetric Toeplitz key). The mix
+/// itself is [`conntrack::symmetric_tuple_hash`] — the *same* function that
+/// defines the flow-bucket migration unit, so a connection's dispatch
+/// bucket and its conntrack bucket agree by construction and a bucket
+/// export moves exactly the connections the table steers. Non-IP or
+/// non-TCP/UDP frames (which conntrack ignores) fall back to the ordinary
+/// [`rss_hash`].
 pub fn rss_hash_symmetric(packet: &Packet) -> u64 {
     let headers = parse(packet.data(), ParseDepth::L4);
     match CtTuple::from_frame(packet.data(), &headers) {
-        Some(t) => {
-            let a = (u64::from(t.src_ip) << 16) | u64::from(t.src_port);
-            let b = (u64::from(t.dst_ip) << 16) | u64::from(t.dst_port);
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            fx_mix(fx_mix(fx_mix(0, lo), hi), u64::from(t.proto))
-        }
+        Some(t) => conntrack::symmetric_tuple_hash(&t),
         None => rss_hash(packet),
     }
 }
 
-/// Maps an RSS hash onto one of `shards` indices. Multiply-shift on the high
-/// bits instead of a modulo: the grouping hash mixes its entropy into the
-/// high word, and the reduction stays bias-free for any shard count.
+/// Maps an RSS hash directly onto one of `shards` indices. Multiply-shift
+/// on the high bits instead of a modulo: the grouping hash mixes its
+/// entropy into the high word, and the reduction stays bias-free for any
+/// shard count. The *dispatcher* steers through the indirection table
+/// instead; this direct reduction remains for hash-partitioning jobs with
+/// no table (controller-worker partitioning, tests).
 pub fn shard_of(hash: u64, shards: usize) -> usize {
     debug_assert!(shards > 0);
     ((u128::from(hash) * shards as u128) >> 64) as usize
+}
+
+/// The elastic-scheduling side of a launched main dispatcher: the shared
+/// table slot it publishes remaps through, the per-shard command/ack rings
+/// the quiesce handshake rides on, the per-shard stats (the quiesce
+/// progress signal) and load telemetry (the rebalance trigger), and the
+/// optional rebalancer.
+pub(crate) struct Elastic {
+    pub(crate) shared: Arc<RemapShared>,
+    pub(crate) cmd: Vec<Arc<SpscRing<ShardCmd>>>,
+    pub(crate) ack: Vec<Arc<SpscRing<BucketAck>>>,
+    pub(crate) stats: Vec<Arc<ShardStats>>,
+    pub(crate) loads: Vec<Arc<ShardLoad>>,
+    pub(crate) rebalancer: Option<Rebalancer>,
+    pub(crate) remaps: u64,
 }
 
 /// The single producer feeding every worker ring.
@@ -73,7 +108,22 @@ pub struct RssDispatcher {
     rings: Vec<Arc<SpscRing<Packet>>>,
     staged: Vec<Vec<Packet>>,
     dispatched: u64,
+    /// Packets handed to each shard (staged or published) — the quiesce
+    /// handshake's per-shard progress target.
+    dispatched_to: Vec<u64>,
     symmetric: bool,
+    /// The current indirection table (bucket → owning shard).
+    table: Arc<RemapTable>,
+    table_epoch: u64,
+    /// Reader role: refresh `table` from this slot when its epoch advances
+    /// (the controller workers' re-inject dispatchers).
+    reader: Option<Arc<RemapShared>>,
+    /// Writer role: the elastic machinery of a launched main dispatcher.
+    elastic: Option<Elastic>,
+    /// Per-bucket packets dispatched in the current observation window.
+    bucket_counts: Vec<u64>,
+    /// Packets since the last rebalance check.
+    since_check: u64,
 }
 
 impl RssDispatcher {
@@ -82,11 +132,19 @@ impl RssDispatcher {
             .iter()
             .map(|_| Vec::with_capacity(BURST_SIZE))
             .collect();
+        let shards = rings.len();
         RssDispatcher {
             rings,
             staged,
             dispatched: 0,
+            dispatched_to: vec![0; shards],
             symmetric: false,
+            table: Arc::new(RemapTable::uniform(shards)),
+            table_epoch: 0,
+            reader: None,
+            elastic: None,
+            bucket_counts: vec![0; FLOW_BUCKETS],
+            since_check: 0,
         }
     }
 
@@ -95,6 +153,43 @@ impl RssDispatcher {
     /// action, so both directions of every connection land on one shard.
     pub(crate) fn with_symmetric(mut self, symmetric: bool) -> Self {
         self.symmetric = symmetric;
+        self
+    }
+
+    /// Reader role: follow `shared`'s table publications (re-inject
+    /// dispatchers). The epoch is polled at dispatch and flush boundaries —
+    /// one `Acquire` load; the table itself is only reloaded on a change.
+    pub(crate) fn with_reader(mut self, shared: Arc<RemapShared>) -> Self {
+        self.table = shared.load();
+        self.table_epoch = shared.epoch();
+        self.reader = Some(shared);
+        self
+    }
+
+    /// Writer role: arm the elastic machinery (the launched main
+    /// dispatcher). `rebalance` enables the automatic rebalancer;
+    /// [`RssDispatcher::remap_bucket`] works either way.
+    pub(crate) fn with_elastic(
+        mut self,
+        shared: Arc<RemapShared>,
+        cmd: Vec<Arc<SpscRing<ShardCmd>>>,
+        ack: Vec<Arc<SpscRing<BucketAck>>>,
+        stats: Vec<Arc<ShardStats>>,
+        loads: Vec<Arc<ShardLoad>>,
+        rebalance: Option<RebalanceConfig>,
+    ) -> Self {
+        self.table = shared.load();
+        self.table_epoch = shared.epoch();
+        let shards = self.rings.len();
+        self.elastic = Some(Elastic {
+            shared,
+            cmd,
+            ack,
+            stats,
+            loads,
+            rebalancer: rebalance.map(|config| Rebalancer::new(config, shards)),
+            remaps: 0,
+        });
         self
     }
 
@@ -114,29 +209,62 @@ impl RssDispatcher {
         self.dispatched
     }
 
-    /// The shard `packet` steers to under this dispatcher's shard count.
+    /// Bucket remaps executed so far (manual and rebalancer-driven).
+    pub fn remaps(&self) -> u64 {
+        self.elastic.as_ref().map_or(0, |e| e.remaps)
+    }
+
+    /// The current indirection-table epoch this dispatcher steers by.
+    pub fn table_epoch(&self) -> u64 {
+        self.table_epoch
+    }
+
+    /// The indirection table currently steering dispatch.
+    pub fn table(&self) -> &RemapTable {
+        &self.table
+    }
+
+    /// The shard `packet` steers to under the current indirection table.
     pub fn shard_for(&self, packet: &Packet) -> usize {
         let hash = if self.symmetric {
             rss_hash_symmetric(packet)
         } else {
             rss_hash(packet)
         };
-        shard_of(hash, self.rings.len())
+        self.table.shard_of_hash(hash)
     }
 
     /// Hashes `packet`'s flow tuple and stages it for its shard, publishing
     /// the shard's staging buffer when it reaches a full burst.
     pub fn dispatch(&mut self, packet: Packet) {
-        let shard = self.shard_for(&packet);
-        self.dispatch_to(shard, packet);
+        let hash = if self.symmetric {
+            rss_hash_symmetric(&packet)
+        } else {
+            rss_hash(&packet)
+        };
+        self.dispatch_hashed(hash, packet);
     }
 
-    /// Stages `packet` for an explicitly chosen shard — the precomputed-RSS
-    /// path for harnesses replaying a fixed flow set (hardware RSS computes
-    /// the hash off the host CPU; precomputing it per prototype is the
-    /// software equivalent).
+    /// Dispatches with a precomputed RSS hash — the replay path for
+    /// harnesses with a fixed flow set (hardware RSS computes the hash off
+    /// the host CPU; precomputing it per prototype is the software
+    /// equivalent). The hash is stamped on the packet and the indirection
+    /// table picks the shard, so replayed traffic follows live remaps.
+    pub fn dispatch_hashed(&mut self, hash: u64, mut packet: Packet) {
+        packet.set_rss_hash(hash);
+        self.refresh_table();
+        let bucket = bucket_of(hash);
+        self.bucket_counts[bucket] += 1;
+        let shard = self.table.owner(bucket);
+        self.dispatch_to(shard, packet);
+        self.maybe_rebalance();
+    }
+
+    /// Stages `packet` for an explicitly chosen shard, bypassing the hash
+    /// and the indirection table entirely (fixed-placement harnesses).
     pub fn dispatch_to(&mut self, shard: usize, packet: Packet) {
         self.dispatched += 1;
+        self.dispatched_to[shard] += 1;
         self.staged[shard].push(packet);
         if self.staged[shard].len() >= BURST_SIZE {
             Self::publish(&self.rings[shard], &mut self.staged[shard]);
@@ -146,8 +274,167 @@ impl RssDispatcher {
     /// Publishes every staged packet to its ring, blocking (spin, then
     /// yield) on full rings until the workers drain them.
     pub fn flush(&mut self) {
+        self.refresh_table();
         for shard in 0..self.rings.len() {
             Self::publish(&self.rings[shard], &mut self.staged[shard]);
+        }
+    }
+
+    /// Moves flow bucket `bucket` to shard `to`, running the full quiesce
+    /// handshake so the move is invisible to every flow it carries:
+    ///
+    /// 1. **Flush + quiesce the old owner** — its staged packets are
+    ///    published and the dispatcher waits until the shard's processed
+    ///    counter reaches everything dispatched to it. The counter is
+    ///    advanced `Release` *after* the worker's sink calls and punt
+    ///    enqueues, so reaching the target proves every pre-move packet is
+    ///    fully observed — no packet of the bucket is left in the ring or
+    ///    mid-burst (in-flow ordering across the move).
+    /// 2. **Export** — the old owner, strictly between bursts, drains the
+    ///    bucket's connections and NAT allocators out of its engine,
+    ///    invalidates its backend's cached entries for the moved flows
+    ///    (EMC/megaflow on OVS), and acks with the state.
+    /// 3. **Publish** — the new table (differing in exactly this bucket)
+    ///    is published through the shared epoch slot; this dispatcher and
+    ///    every reader now steer the bucket to `to`.
+    /// 4. **Import** — the state lands in the new owner's engine, and the
+    ///    dispatcher waits for the ack *before dispatching anything more*,
+    ///    so the bucket's first post-move packet finds its connections (and
+    ///    its NAT allocator's exact continuation) already resident.
+    ///
+    /// Established flows keep their verdicts and translations across the
+    /// move; only the moved bucket changes owner.
+    pub fn remap_bucket(&mut self, bucket: usize, to: usize) {
+        assert!(bucket < FLOW_BUCKETS, "bucket out of range");
+        assert!(to < self.rings.len(), "target shard out of range");
+        assert!(
+            self.elastic.is_some(),
+            "remap_bucket on a dispatcher without the elastic machinery"
+        );
+        let from = self.table.owner(bucket);
+        if from == to {
+            return;
+        }
+        // 1. Quiesce the old owner.
+        Self::publish(&self.rings[from], &mut self.staged[from]);
+        self.wait_processed(from);
+        // 2. Export the bucket's state.
+        let state = {
+            let elastic = self.elastic.as_ref().expect("asserted above");
+            Self::command(&elastic.cmd[from], ShardCmd::Export { bucket });
+            let ack = Self::await_ack(&elastic.ack[from]);
+            debug_assert_eq!(ack.bucket, bucket);
+            ack.state.expect("export ack carries the bucket state")
+        };
+        // 3. Publish the remap.
+        let next = Arc::new(self.table.with_owner(bucket, to));
+        self.table_epoch += 1;
+        self.table = Arc::clone(&next);
+        let elastic = self.elastic.as_mut().expect("asserted above");
+        elastic.shared.publish(self.table_epoch, next);
+        // 4. Import on the new owner; only after its ack may the bucket's
+        //    packets flow again (this method returns, dispatch resumes).
+        Self::command(&elastic.cmd[to], ShardCmd::Import { state });
+        let ack = Self::await_ack(&elastic.ack[to]);
+        debug_assert_eq!(ack.bucket, bucket);
+        elastic.remaps += 1;
+    }
+
+    /// Reader-role staleness check: one `Acquire` load; reload the table
+    /// only when the epoch moved.
+    fn refresh_table(&mut self) {
+        if let Some(shared) = &self.reader {
+            let epoch = shared.epoch();
+            if epoch != self.table_epoch {
+                self.table = shared.load();
+                self.table_epoch = epoch;
+            }
+        }
+    }
+
+    /// Closes an observation window every `check_packets` dispatches:
+    /// reads the busy-time telemetry, lets the rebalancer plan, and
+    /// executes the plan's moves.
+    fn maybe_rebalance(&mut self) {
+        self.since_check += 1;
+        let Some(elastic) = &mut self.elastic else {
+            return;
+        };
+        let Some(rebalancer) = &mut elastic.rebalancer else {
+            return;
+        };
+        if self.since_check < rebalancer.config.check_packets {
+            return;
+        }
+        self.since_check = 0;
+        let mut busy = Vec::with_capacity(elastic.loads.len());
+        for load in &elastic.loads {
+            busy.push(load.busy_nanos());
+        }
+        let moves = rebalancer.plan(&self.table, &busy, &self.bucket_counts);
+        for count in self.bucket_counts.iter_mut() {
+            *count = 0;
+        }
+        for (bucket, to) in moves {
+            self.remap_bucket(bucket, to);
+        }
+    }
+
+    /// Blocks until `shard`'s processed counter covers everything this
+    /// dispatcher handed it. `Counters::record_batch` is `Release` and the
+    /// read here `Acquire`, so covering the count implies observing every
+    /// side effect (sink calls, punt enqueues) of every covered packet.
+    fn wait_processed(&self, shard: usize) {
+        let elastic = self.elastic.as_ref().expect("elastic dispatcher");
+        let target = self.dispatched_to[shard];
+        let mut idle = 0u32;
+        while elastic.stats[shard].processed.packets() < target {
+            // Mirror `publish`'s escape hatch: if the worker is gone, the
+            // counter will never advance — fail loudly instead of hanging.
+            if idle > 64 && Arc::strong_count(&self.rings[shard]) == 1 {
+                panic!("shard worker is gone; quiescing would hang");
+            }
+            idle += 1;
+            if idle < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Pushes one command onto a shard's command ring. The handshake keeps
+    /// at most one command in flight per shard, and the ring holds more, so
+    /// a full ring means the worker died mid-handshake.
+    fn command(ring: &Arc<SpscRing<ShardCmd>>, cmd: ShardCmd) {
+        let mut slot = Some(cmd);
+        let mut idle = 0u32;
+        while let Err(returned) = ring.push(slot.take().expect("command present")) {
+            slot = Some(returned);
+            if idle > 64 && Arc::strong_count(ring) == 1 {
+                panic!("shard worker is gone; command ring will never drain");
+            }
+            idle += 1;
+            std::thread::yield_now();
+        }
+    }
+
+    /// Waits for a worker's command ack.
+    fn await_ack(ring: &Arc<SpscRing<BucketAck>>) -> BucketAck {
+        let mut idle = 0u32;
+        loop {
+            if let Some(ack) = ring.pop() {
+                return ack;
+            }
+            if idle > 64 && Arc::strong_count(ring) == 1 {
+                panic!("shard worker is gone; ack will never arrive");
+            }
+            idle += 1;
+            if idle < 16 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
     }
 
@@ -187,13 +474,25 @@ mod tests {
     }
 
     #[test]
-    fn same_flow_same_shard() {
+    fn same_flow_same_shard_across_instances() {
+        // Determinism must hold across *independently built* packets of the
+        // same flow AND across dispatcher instances — a restarted (or
+        // parallel) dispatcher must agree on placement, or a flow's packets
+        // would straddle shards after a failover.
         for shards in [1usize, 2, 3, 4, 7] {
+            let d1 = RssDispatcher::new((0..shards).map(|_| Arc::new(SpscRing::new(64))).collect());
+            let d2 = RssDispatcher::new((0..shards).map(|_| Arc::new(SpscRing::new(64))).collect());
             for src in 0..64u16 {
                 let a = shard_of(rss_hash(&tcp(src)), shards);
                 let b = shard_of(rss_hash(&tcp(src)), shards);
                 assert_eq!(a, b, "flow affinity must be deterministic");
                 assert!(a < shards);
+                let p = tcp(src);
+                assert_eq!(
+                    d1.shard_for(&p),
+                    d2.shard_for(&p),
+                    "placement must agree across dispatcher instances"
+                );
             }
         }
     }
@@ -247,6 +546,71 @@ mod tests {
                 "shard {shard} got {count} of 1024 flows"
             );
         }
+    }
+
+    #[test]
+    fn table_steering_spreads_and_follows_the_table() {
+        let rings: Vec<_> = (0..4).map(|_| Arc::new(SpscRing::new(2048))).collect();
+        let mut d = RssDispatcher::new(rings.clone());
+        let mut counts = [0usize; 4];
+        for src in 0..1024u16 {
+            counts[d.shard_for(&tcp(src))] += 1;
+        }
+        for (shard, count) in counts.iter().enumerate() {
+            assert!(
+                (128..=512).contains(count),
+                "shard {shard} got {count} of 1024 flows through the table"
+            );
+        }
+        // Steering actually consults the table: after rewriting it so one
+        // shard owns everything, every packet lands there.
+        d.table = Arc::new(RemapTable::uniform(1));
+        for src in 0..64u16 {
+            assert_eq!(d.shard_for(&tcp(src)), 0);
+            d.dispatch(tcp(src));
+        }
+        d.flush();
+        assert_eq!(rings[0].len(), 64);
+        assert!(rings[1..].iter().all(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn dispatch_stamps_the_rss_hash() {
+        let rings: Vec<_> = (0..2).map(|_| Arc::new(SpscRing::new(256))).collect();
+        let mut d = RssDispatcher::new(rings.clone());
+        let p = tcp(42);
+        let expected = rss_hash(&p);
+        assert_eq!(p.rss_hash(), None, "fresh packets carry no stamp");
+        let shard = d.shard_for(&p);
+        d.dispatch(p);
+        d.flush();
+        let got = rings[shard].pop().expect("dispatched packet");
+        assert_eq!(
+            got.rss_hash(),
+            Some(expected),
+            "the dispatch hash rides the packet"
+        );
+    }
+
+    #[test]
+    fn reader_follows_published_remaps() {
+        let shared = Arc::new(RemapShared::new(2));
+        let rings: Vec<_> = (0..2).map(|_| Arc::new(SpscRing::new(256))).collect();
+        let mut d = RssDispatcher::new(rings.clone()).with_reader(Arc::clone(&shared));
+        let p = tcp(1);
+        let before = d.shard_for(&p);
+        // Move every bucket to the other shard and publish.
+        let mut table = RemapTable::uniform(2);
+        for b in 0..FLOW_BUCKETS {
+            table = table.with_owner(b, 1 - before);
+        }
+        shared.publish(1, Arc::new(table));
+        // The reader refreshes at the next dispatch boundary.
+        d.dispatch(p.clone());
+        d.flush();
+        assert_eq!(d.table_epoch(), 1);
+        assert_eq!(rings[1 - before].len(), 1);
+        assert!(rings[before].is_empty());
     }
 
     #[test]

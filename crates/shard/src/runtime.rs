@@ -53,7 +53,9 @@ use pkt::Packet;
 use crate::backend::{BackendSpec, CompiledState};
 use crate::controller::{partition_of, ControllerWorker, Punt, ReactiveShared, ReactiveSnapshot};
 use crate::epoch::EpochSlot;
+use crate::remap::{exact_tuple_match, BucketAck, RebalanceConfig, RemapShared, ShardCmd};
 use crate::rss::RssDispatcher;
+use crate::telemetry::{LoadRecorder, LoadSnapshot, ShardLoad};
 
 /// How the control plane turns an applied flow-mod into the next epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -103,6 +105,14 @@ pub struct ShardedConfig {
     /// also switches the dispatcher to symmetric RSS so both directions of a
     /// connection land on one shard — ct state never crosses shards.
     pub ct: Option<CtConfig>,
+    /// Elastic rebalancing. `None` (the default) keeps the launch-time
+    /// uniform indirection table static — the pre-elastic behaviour, and the
+    /// skew benchmark's baseline. `Some` arms the dispatcher's rebalancer:
+    /// every `check_packets` dispatched packets it closes an observation
+    /// window over the per-shard busy-time telemetry and, on sustained
+    /// imbalance, re-homes the hottest flow buckets away from the overloaded
+    /// shard through the full quiesce/export/import handshake.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for ShardedConfig {
@@ -116,6 +126,7 @@ impl Default for ShardedConfig {
             controller_workers: 1,
             punt_policy: PuntPolicy::default(),
             ct: None,
+            rebalance: None,
         }
     }
 }
@@ -396,9 +407,12 @@ pub struct ShardStats {
 }
 
 /// Observer invoked by a worker for every verdict it produces, with the
-/// shard index. Used by the update-consistency tests; `None` in production
-/// and in the benchmarks.
-pub type VerdictSink = Arc<dyn Fn(usize, &Verdict) + Send + Sync>;
+/// shard index and the processed (post-action) frame. Used by the update-
+/// and rebalance-consistency tests; `None` in production and in the
+/// benchmarks. Sink calls happen *before* the shard's processed counter
+/// advances past the burst, so the dispatcher's quiesce wait observes every
+/// sink effect of every pre-quiesce packet.
+pub type VerdictSink = Arc<dyn Fn(usize, &Packet, &Verdict) + Send + Sync>;
 
 /// Aggregate report returned by [`ShardedSwitch::shutdown`].
 #[derive(Debug, Clone)]
@@ -422,6 +436,11 @@ pub struct ShutdownReport {
     /// by that shard's worker alone — the aggregation here is the only
     /// cross-shard touch ct state ever gets.
     pub ct_per_shard: Option<Vec<CtSnapshot>>,
+    /// Per-shard load telemetry, indexed by shard. Exact at shutdown: each
+    /// worker's recorder flushes its tail on exit, before the join.
+    pub load_per_shard: Vec<LoadSnapshot>,
+    /// Bucket remaps the dispatcher executed (manual and rebalancer-driven).
+    pub remaps: u64,
 }
 
 impl ShutdownReport {
@@ -455,6 +474,9 @@ pub struct ShardedSwitch {
     /// Per-shard ct counters (ct launches only): each worker's engine
     /// increments its own `Arc<CtStats>`; this side only ever reads.
     ct_stats: Option<Vec<CtArc<CtStats>>>,
+    /// Per-shard load telemetry: each worker's recorder flushes into its
+    /// own slot; this side (and the dispatcher's rebalancer) only reads.
+    loads: Vec<Arc<ShardLoad>>,
     workers: Vec<JoinHandle<()>>,
     reactive: Option<ReactiveHandle>,
 }
@@ -585,18 +607,28 @@ impl ShardedSwitch {
                 .collect()
         });
 
+        // The elastic-scheduling plumbing: the shared indirection-table slot
+        // every dispatcher steers by, plus per-shard command/ack rings (each
+        // strictly SPSC: main dispatcher <-> one worker) and the load
+        // telemetry slots the rebalancer reads.
+        let remap = Arc::new(RemapShared::new(workers_wanted));
+        let mut cmd_rings = Vec::with_capacity(workers_wanted);
+        let mut ack_rings = Vec::with_capacity(workers_wanted);
+        let mut loads = Vec::with_capacity(workers_wanted);
+
         let mut rings = Vec::with_capacity(workers_wanted);
         let mut stats = Vec::with_capacity(workers_wanted);
         let mut workers = Vec::with_capacity(workers_wanted);
         for shard in 0..workers_wanted {
             let ring = Arc::new(SpscRing::new(config.ring_capacity));
             let shard_stats = Arc::new(ShardStats::default());
+            let cmd: Arc<SpscRing<ShardCmd>> = Arc::new(SpscRing::new(16));
+            let ack: Arc<SpscRing<BucketAck>> = Arc::new(SpscRing::new(16));
+            let load = Arc::new(ShardLoad::default());
             let backend = control.spec.replica(&published.state);
             let ct = config.ct.as_ref().map(|cfg| {
                 CtEngine::with_stats(
                     cfg,
-                    shard as u32,
-                    workers_wanted as u32,
                     CtArc::clone(&ct_stats.as_ref().expect("ct stats exist with ct config")[shard]),
                 )
             });
@@ -614,6 +646,9 @@ impl ShardedSwitch {
                 control: Arc::clone(&control),
                 ring: Arc::clone(&ring),
                 stats: Arc::clone(&shard_stats),
+                cmd: Arc::clone(&cmd),
+                ack: Arc::clone(&ack),
+                load: Arc::clone(&load),
                 sink: sink.clone(),
                 reactive,
                 ct,
@@ -626,6 +661,9 @@ impl ShardedSwitch {
             );
             rings.push(ring);
             stats.push(shard_stats);
+            cmd_rings.push(cmd);
+            ack_rings.push(ack);
+            loads.push(load);
         }
 
         let reactive = match (controller, shared) {
@@ -643,7 +681,8 @@ impl ShardedSwitch {
                             .map(|row| Arc::clone(&row[index]))
                             .collect(),
                         injector: RssDispatcher::new(inject_rings[index].clone())
-                            .with_symmetric(symmetric),
+                            .with_symmetric(symmetric)
+                            .with_reader(Arc::clone(&remap)),
                         shared: Arc::clone(&shared),
                         stop: Arc::clone(&stop),
                     };
@@ -665,15 +704,26 @@ impl ShardedSwitch {
             _ => None,
         };
 
+        let dispatcher = RssDispatcher::new(rings)
+            .with_symmetric(symmetric)
+            .with_elastic(
+                remap,
+                cmd_rings,
+                ack_rings,
+                stats.clone(),
+                loads.clone(),
+                config.rebalance,
+            );
         Ok((
             ShardedSwitch {
                 control,
                 stats,
                 ct_stats,
+                loads,
                 workers,
                 reactive,
             },
-            RssDispatcher::new(rings).with_symmetric(symmetric),
+            dispatcher,
         ))
     }
 
@@ -758,6 +808,14 @@ impl ShardedSwitch {
             .map(|stats| stats.iter().map(|s| s.snapshot()).collect())
     }
 
+    /// Live per-shard load telemetry snapshots, indexed by shard. The shared
+    /// side lags each worker's local window by at most
+    /// [`LoadRecorder::FLUSH_BURSTS`] bursts; use the shutdown report for an
+    /// exact read.
+    pub fn load_snapshots(&self) -> Vec<LoadSnapshot> {
+        self.loads.iter().map(|l| l.snapshot()).collect()
+    }
+
     /// Switch-wide totals: the sum of every shard's counters at this instant.
     pub fn stats(&self) -> CounterSnapshot {
         let mut total = CounterSnapshot::default();
@@ -838,6 +896,8 @@ impl ShardedSwitch {
                 .ct_stats
                 .as_ref()
                 .map(|stats| stats.iter().map(|s| s.snapshot()).collect()),
+            load_per_shard: self.loads.iter().map(|l| l.snapshot()).collect(),
+            remaps: dispatcher.remaps(),
         }
     }
 }
@@ -884,6 +944,14 @@ struct WorkerHandle {
     control: Arc<Control>,
     ring: Arc<SpscRing<Packet>>,
     stats: Arc<ShardStats>,
+    /// Bucket-migration commands from the main dispatcher (SPSC, this shard
+    /// the sole consumer); handled strictly between bursts.
+    cmd: Arc<SpscRing<ShardCmd>>,
+    /// Command acks back to the main dispatcher (SPSC, this shard the sole
+    /// producer).
+    ack: Arc<SpscRing<BucketAck>>,
+    /// Shared load-telemetry slot this worker's recorder flushes into.
+    load: Arc<ShardLoad>,
     sink: Option<VerdictSink>,
     reactive: Option<WorkerReactive>,
     /// This shard's private connection-tracking engine (ct launches only).
@@ -895,6 +963,7 @@ struct WorkerHandle {
 impl WorkerHandle {
     fn run(mut self, mut backend: Box<dyn crate::backend::ShardBackend>) {
         let mut engine = self.ct.take();
+        let mut recorder = LoadRecorder::new(Arc::clone(&self.load));
         let mut burst: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
         let mut injected: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
         let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST_SIZE);
@@ -903,6 +972,12 @@ impl WorkerHandle {
         let mut idle = 0u32;
         loop {
             self.sync_epoch(&mut backend, &mut local_epoch);
+
+            // Bucket-migration commands, strictly between bursts: an export
+            // can never split a burst, so every packet of a moved bucket the
+            // dispatcher quiesced is fully processed before its connections
+            // leave this engine.
+            self.handle_commands(&mut backend, engine.as_mut());
 
             // Re-injected packet-outs first: the controller publishes the
             // install *before* queueing the packet-out, so after re-syncing
@@ -920,6 +995,7 @@ impl WorkerHandle {
                     // next re-injection is not penalised a scheduler quantum.
                     idle = 0;
                     self.sync_epoch(&mut backend, &mut local_epoch);
+                    let started = Instant::now();
                     self.process_group(
                         &mut backend,
                         &mut injected,
@@ -928,6 +1004,8 @@ impl WorkerHandle {
                         local_epoch,
                         engine.as_mut(),
                     );
+                    // Injected bursts drain no main-ring backlog: occupancy 0.
+                    recorder.record_burst(started.elapsed().as_nanos() as u64, n as u64, 0);
                     // Counted after the group's punts are enqueued, so
                     // `injected == reinjected` proves the inject flow
                     // quiescent at shutdown.
@@ -965,9 +1043,13 @@ impl WorkerHandle {
             }
             idle = 0;
 
+            // Ring occupancy at this drain: the popped burst plus whatever
+            // queued behind it — the telemetry high-water signal.
+            let depth = (n + self.ring.len()) as u64;
             // Ingress byte accounting: before processing, which may grow or
             // shrink frames (push-VLAN and friends).
             let bytes: u64 = burst.iter().map(|p| p.len() as u64).sum();
+            let started = Instant::now();
             self.process_group(
                 &mut backend,
                 &mut burst,
@@ -976,14 +1058,77 @@ impl WorkerHandle {
                 local_epoch,
                 engine.as_mut(),
             );
-            // Processed is advanced only after the burst's punt copies are
-            // enqueued: `processed == dispatched` then proves no punt is
-            // still unborn (the shutdown fixpoint's phase 1).
-            self.stats.processed.record_batch(n as u64, bytes);
+            let busy = started.elapsed().as_nanos() as u64;
             if let Some(sink) = &self.sink {
-                for verdict in &verdicts {
-                    sink(self.shard, verdict);
+                for (packet, verdict) in burst.iter().zip(verdicts.iter()) {
+                    sink(self.shard, packet, verdict);
                 }
+            }
+            // Processed is advanced (`Release`) only after the burst's punt
+            // copies are enqueued *and* the sink observed every verdict:
+            // `processed == dispatched` then proves no punt is still unborn
+            // (the shutdown fixpoint's phase 1), and the dispatcher's
+            // quiesce wait proves every pre-remap packet fully observed.
+            self.stats.processed.record_batch(n as u64, bytes);
+            recorder.record_burst(busy, n as u64, depth);
+        }
+    }
+
+    /// Drains this shard's command ring — bucket exports and imports from
+    /// the main dispatcher's remap handshake. Called strictly between
+    /// bursts. An export drains the bucket's connections (and NAT
+    /// allocators) from the private engine and invalidates the backend's
+    /// cached entries for every moved flow (both directions), so post-move
+    /// packets of those flows can never hit a stale EMC/megaflow verdict on
+    /// this shard; the state travels back on the ack ring. An import
+    /// installs a previously exported bucket. Launches without ct still ack
+    /// (with empty state): stateless verdicts are placement-independent.
+    fn handle_commands(
+        &self,
+        backend: &mut Box<dyn crate::backend::ShardBackend>,
+        mut engine: Option<&mut CtEngine>,
+    ) {
+        while let Some(cmd) = self.cmd.pop() {
+            let ack = match cmd {
+                ShardCmd::Export { bucket } => {
+                    let state = match engine.as_deref_mut() {
+                        Some(engine) => engine.export_bucket(bucket),
+                        None => conntrack::BucketExport {
+                            bucket,
+                            ..Default::default()
+                        },
+                    };
+                    let mut matches = Vec::with_capacity(state.conns.len() * 2);
+                    for conn in &state.conns {
+                        matches.push(exact_tuple_match(&conn.orig));
+                        matches.push(exact_tuple_match(&conn.reply));
+                    }
+                    if !matches.is_empty() {
+                        backend.invalidate_flows(&matches);
+                    }
+                    BucketAck {
+                        bucket,
+                        state: Some(Box::new(state)),
+                    }
+                }
+                ShardCmd::Import { state } => {
+                    let bucket = state.bucket;
+                    if let Some(engine) = engine.as_deref_mut() {
+                        engine.import_bucket(*state);
+                    }
+                    BucketAck {
+                        bucket,
+                        state: None,
+                    }
+                }
+            };
+            // The handshake keeps one command in flight per shard and the
+            // ack ring holds more, so this push cannot starve; retry
+            // defensively rather than assert.
+            let mut slot = Some(ack);
+            while let Err(returned) = self.ack.push(slot.take().expect("ack present")) {
+                slot = Some(returned);
+                std::thread::yield_now();
             }
         }
     }
@@ -1219,7 +1364,7 @@ mod tests {
             type Decisions = Arc<PlMutex<Vec<(Vec<u32>, bool, bool)>>>;
             let seen: Decisions = Arc::new(PlMutex::new(Vec::new()));
             let sink_seen = Arc::clone(&seen);
-            let sink: VerdictSink = Arc::new(move |_shard, verdict: &Verdict| {
+            let sink: VerdictSink = Arc::new(move |_shard, _packet: &Packet, verdict: &Verdict| {
                 sink_seen.lock().push(verdict.decision());
             });
             let (switch, mut dispatcher) = ShardedSwitch::launch_with_sink(

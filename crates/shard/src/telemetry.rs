@@ -1,0 +1,226 @@
+//! Per-shard load telemetry: the signal the elastic rebalancer steers by.
+//!
+//! Each worker owns a [`LoadRecorder`] — plain local counters bumped once
+//! per burst — and flushes it into the shared [`ShardLoad`] atomics every
+//! [`LoadRecorder::FLUSH_BURSTS`] bursts, the same batched-flush discipline
+//! `CtStats` uses for hit counts: the per-burst path pays local integer
+//! adds, and the cross-core traffic is one cache-line handoff per flush.
+//! The shared side therefore lags the truth by at most one flush window,
+//! which the rebalancer tolerates by construction (it compares *deltas
+//! between observation windows* that span many flush windows).
+//!
+//! What is recorded, and what it answers:
+//!
+//! * **busy nanos** — wall time spent inside `process_group` (parse,
+//!   lookup, actions, ct). The rebalancer's imbalance metric: unlike packet
+//!   counts, busy time weighs an elephant flow's per-packet cost correctly.
+//! * **bursts / packets** — burst count and packet sum, so mean drain
+//!   latency (`busy_nanos / bursts`) and per-packet cost
+//!   (`busy_nanos / packets`) fall out of a snapshot; pps over an interval
+//!   is a delta of `packets` over wall time.
+//! * **ring high-water** — the deepest ring occupancy observed at a drain
+//!   (popped burst + what remained queued behind it): the early congestion
+//!   signal — a shard can hold line rate with a rising high-water mark long
+//!   before it drops.
+//!
+//! Orderings follow the `netdev::stats::Counters` discipline (`Release`
+//! writes, `Acquire` reads — free on x86-TSO); everything goes through the
+//! `netdev::sync` facade so the loom suites model exactly this code.
+
+use std::sync::Arc;
+
+use netdev::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-shard load counters: the worker's recorder flushes in, the
+/// rebalancer and diagnostics read out. One per shard, `Arc`-shared.
+#[derive(Debug, Default)]
+pub struct ShardLoad {
+    busy_nanos: AtomicU64,
+    bursts: AtomicU64,
+    packets: AtomicU64,
+    ring_high_water: AtomicU64,
+}
+
+impl ShardLoad {
+    /// Folds one flush window in (worker side).
+    pub(crate) fn flush(&self, busy_nanos: u64, bursts: u64, packets: u64, high_water: u64) {
+        self.busy_nanos.fetch_add(busy_nanos, Ordering::Release);
+        self.bursts.fetch_add(bursts, Ordering::Release);
+        self.packets.fetch_add(packets, Ordering::Release);
+        self.ring_high_water
+            .fetch_max(high_water, Ordering::Release);
+    }
+
+    /// Cumulative nanoseconds this shard spent processing bursts.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Acquire)
+    }
+
+    /// Bursts processed.
+    pub fn bursts(&self) -> u64 {
+        self.bursts.load(Ordering::Acquire)
+    }
+
+    /// Packets processed (through the telemetry path).
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Acquire)
+    }
+
+    /// Deepest observed ring occupancy at a drain.
+    pub fn ring_high_water(&self) -> u64 {
+        self.ring_high_water.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time copy of every counter.
+    pub fn snapshot(&self) -> LoadSnapshot {
+        LoadSnapshot {
+            busy_nanos: self.busy_nanos(),
+            bursts: self.bursts(),
+            packets: self.packets(),
+            ring_high_water: self.ring_high_water(),
+        }
+    }
+}
+
+/// Plain-data copy of one shard's [`ShardLoad`] at one instant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadSnapshot {
+    /// Cumulative nanoseconds spent processing bursts.
+    pub busy_nanos: u64,
+    /// Bursts processed.
+    pub bursts: u64,
+    /// Packets processed.
+    pub packets: u64,
+    /// Deepest observed ring occupancy at a drain.
+    pub ring_high_water: u64,
+}
+
+impl LoadSnapshot {
+    /// Mean burst drain latency in nanoseconds.
+    pub fn mean_burst_nanos(&self) -> f64 {
+        if self.bursts == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.bursts as f64
+        }
+    }
+
+    /// Mean per-packet processing cost in nanoseconds.
+    pub fn nanos_per_packet(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.busy_nanos as f64 / self.packets as f64
+        }
+    }
+}
+
+/// The worker-local accumulator: bumped once per burst, flushed to the
+/// shared [`ShardLoad`] every [`LoadRecorder::FLUSH_BURSTS`] bursts and on
+/// drop (worker exit), so shutdown reads are exact.
+pub struct LoadRecorder {
+    shared: Arc<ShardLoad>,
+    busy_nanos: u64,
+    bursts: u64,
+    packets: u64,
+    high_water: u64,
+}
+
+impl LoadRecorder {
+    /// Bursts accumulated locally between flushes of the shared atomics.
+    pub const FLUSH_BURSTS: u64 = 64;
+
+    /// A recorder flushing into `shared`.
+    pub fn new(shared: Arc<ShardLoad>) -> LoadRecorder {
+        LoadRecorder {
+            shared,
+            busy_nanos: 0,
+            bursts: 0,
+            packets: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Records one processed burst: its processing time, packet count, and
+    /// the ring occupancy observed at the drain.
+    #[inline]
+    pub fn record_burst(&mut self, busy_nanos: u64, packets: u64, occupancy: u64) {
+        self.busy_nanos += busy_nanos;
+        self.bursts += 1;
+        self.packets += packets;
+        if occupancy > self.high_water {
+            self.high_water = occupancy;
+        }
+        if self.bursts >= Self::FLUSH_BURSTS {
+            self.flush();
+        }
+    }
+
+    /// Publishes the local window into the shared counters.
+    pub fn flush(&mut self) {
+        if self.bursts == 0 {
+            return;
+        }
+        self.shared
+            .flush(self.busy_nanos, self.bursts, self.packets, self.high_water);
+        self.busy_nanos = 0;
+        self.bursts = 0;
+        self.packets = 0;
+        self.high_water = 0;
+    }
+}
+
+impl Drop for LoadRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_batches_then_flushes() {
+        let shared = Arc::new(ShardLoad::default());
+        let mut rec = LoadRecorder::new(Arc::clone(&shared));
+        for _ in 0..LoadRecorder::FLUSH_BURSTS - 1 {
+            rec.record_burst(100, 32, 40);
+        }
+        // Still local: the shared side lags by design.
+        assert_eq!(shared.bursts(), 0);
+        rec.record_burst(100, 32, 512);
+        let snap = shared.snapshot();
+        assert_eq!(snap.bursts, LoadRecorder::FLUSH_BURSTS);
+        assert_eq!(snap.packets, LoadRecorder::FLUSH_BURSTS * 32);
+        assert_eq!(snap.busy_nanos, LoadRecorder::FLUSH_BURSTS * 100);
+        assert_eq!(snap.ring_high_water, 512);
+        assert_eq!(snap.mean_burst_nanos(), 100.0);
+        assert!((snap.nanos_per_packet() - 100.0 / 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let shared = Arc::new(ShardLoad::default());
+        {
+            let mut rec = LoadRecorder::new(Arc::clone(&shared));
+            rec.record_burst(7, 3, 5);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.bursts, 1);
+        assert_eq!(snap.packets, 3);
+        assert_eq!(snap.busy_nanos, 7);
+        assert_eq!(snap.ring_high_water, 5);
+    }
+
+    #[test]
+    fn high_water_is_a_max_across_flushes() {
+        let shared = Arc::new(ShardLoad::default());
+        let mut rec = LoadRecorder::new(Arc::clone(&shared));
+        rec.record_burst(1, 1, 100);
+        rec.flush();
+        rec.record_burst(1, 1, 50);
+        rec.flush();
+        assert_eq!(shared.ring_high_water(), 100);
+    }
+}

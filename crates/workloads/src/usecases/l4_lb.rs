@@ -129,7 +129,7 @@ mod tests {
     fn connections_pin_to_a_backend_and_replies_unmap() {
         let config = L4LbConfig::default();
         let pipeline = build_pipeline(&config);
-        let mut engine = CtEngine::new(&ct_config(&config), 0, 1);
+        let mut engine = CtEngine::new(&ct_config(&config));
         let backends: Vec<u32> = (0..config.backends)
             .map(|b| backend_ip(b).to_u32())
             .collect();

@@ -116,7 +116,7 @@ mod tests {
     fn egress_is_translated_and_replies_reverse_translate() {
         let config = SnatEdgeConfig::default();
         let pipeline = build_pipeline(&config);
-        let mut engine = CtEngine::new(&ct_config(), 0, 1);
+        let mut engine = CtEngine::new(&ct_config());
 
         let mut opener = build_requests(&config, 1).packet(0);
         let original = FlowKey::extract(&opener);

@@ -124,7 +124,7 @@ mod tests {
     fn replies_pass_only_after_commit() {
         let config = StatefulAclConfig::default();
         let pipeline = build_pipeline(&config);
-        let mut engine = CtEngine::new(&ct_config(), 0, 1);
+        let mut engine = CtEngine::new(&ct_config());
 
         // An unsolicited probe first: denied.
         let mut probe = build_unsolicited(&config, 1).packet(0);

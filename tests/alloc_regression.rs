@@ -244,7 +244,7 @@ fn assert_established_path_allocation_free(
 #[test]
 fn conntrack_established_path_is_allocation_free() {
     let dp = OvsDatapath::new(acl::build_pipeline(&acl::StatefulAclConfig::default()));
-    let mut engine = CtEngine::new(&acl::ct_config(), 0, 1);
+    let mut engine = CtEngine::new(&acl::ct_config());
     let ring = data_ring(64, PORT_USER);
     warm_established(&dp, &mut engine, &ring, PORT_NET);
     assert_established_path_allocation_free("stateful_acl", &dp, &mut engine, &ring);
@@ -255,7 +255,7 @@ fn conntrack_nat_established_path_is_allocation_free() {
     let dp = OvsDatapath::new(snat_edge::build_pipeline(
         &snat_edge::SnatEdgeConfig::default(),
     ));
-    let mut engine = CtEngine::new(&snat_edge::ct_config(), 0, 1);
+    let mut engine = CtEngine::new(&snat_edge::ct_config());
     let ring = data_ring(64, PORT_USER);
     warm_established(&dp, &mut engine, &ring, PORT_NET);
     assert_established_path_allocation_free("snat_edge", &dp, &mut engine, &ring);

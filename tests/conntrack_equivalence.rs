@@ -144,13 +144,13 @@ fn assert_single_switch_equivalence(
     events: &[Event],
 ) {
     let reference = build();
-    let mut ct_ref = CtEngine::new(ct_config, 0, 1);
+    let mut ct_ref = CtEngine::new(ct_config);
     let eswitch = EswitchRuntime::compile(build()).expect("pipeline compiles");
-    let mut ct_es = CtEngine::new(ct_config, 0, 1);
+    let mut ct_es = CtEngine::new(ct_config);
     let ovs = OvsDatapath::new(build());
-    let mut ct_ovs = CtEngine::new(ct_config, 0, 1);
+    let mut ct_ovs = CtEngine::new(ct_config);
     let ovs_burst = OvsDatapath::new(build());
-    let mut ct_burst = CtEngine::new(ct_config, 0, 1);
+    let mut ct_burst = CtEngine::new(ct_config);
 
     let mut last_forward: HashMap<usize, Packet> = HashMap::new();
     let mut burst_verdicts: Vec<Verdict> = Vec::with_capacity(1);
@@ -260,7 +260,7 @@ fn patient_ct_config() -> conntrack::CtConfig {
 /// runs below can feed the byte-identical packet stream).
 fn reference_run(events: &[Event]) -> (Vec<Packet>, Vec<Verdict>, conntrack::CtSnapshot) {
     let pipeline = acl::build_pipeline(&acl::StatefulAclConfig::default());
-    let mut engine = CtEngine::new(&patient_ct_config(), 0, 1);
+    let mut engine = CtEngine::new(&patient_ct_config());
     let mut last_forward: HashMap<usize, Packet> = HashMap::new();
     let mut inputs = Vec::with_capacity(events.len());
     let mut verdicts = Vec::with_capacity(events.len());
@@ -302,7 +302,7 @@ proptest! {
             for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
                 let seen: Arc<Mutex<Vec<Vec<u32>>>> = Arc::new(Mutex::new(Vec::new()));
                 let sink_seen = Arc::clone(&seen);
-                let sink: VerdictSink = Arc::new(move |_, verdict: &Verdict| {
+                let sink: VerdictSink = Arc::new(move |_, _packet, verdict: &Verdict| {
                     sink_seen.lock().unwrap().push(verdict.outputs.to_vec());
                 });
                 let (switch, mut dispatcher) = ShardedSwitch::launch_with_sink(

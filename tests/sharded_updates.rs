@@ -65,7 +65,7 @@ fn flow_mods_under_load_are_per_packet_atomic_and_lossless() {
     for spec in [BackendSpec::eswitch(), BackendSpec::ovs()] {
         let seen: SeenVerdicts = Arc::new(Mutex::new(Vec::new()));
         let sink_seen = Arc::clone(&seen);
-        let sink: VerdictSink = Arc::new(move |shard, verdict: &Verdict| {
+        let sink: VerdictSink = Arc::new(move |shard, _packet, verdict: &Verdict| {
             sink_seen
                 .lock()
                 .unwrap()

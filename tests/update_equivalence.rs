@@ -168,7 +168,7 @@ fn sharded_decisions(
 
     let seen: Arc<Mutex<Vec<Decision>>> = Arc::new(Mutex::new(Vec::new()));
     let sink_seen = Arc::clone(&seen);
-    let sink: VerdictSink = Arc::new(move |_shard, verdict| {
+    let sink: VerdictSink = Arc::new(move |_shard, _packet, verdict| {
         sink_seen.lock().unwrap().push(verdict.decision());
     });
     let (switch, mut dispatcher) = ShardedSwitch::launch_with_sink(

@@ -36,6 +36,7 @@ const FAST_PATH_MODULES: &[&str] = &[
     "crates/ovsdp/src/minikey.rs",
     "crates/conntrack/src/table.rs",
     "crates/conntrack/src/wheel.rs",
+    "crates/shard/src/telemetry.rs",
 ];
 
 /// Crates whose source must route all atomics/`UnsafeCell` use through the
