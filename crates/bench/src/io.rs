@@ -1,0 +1,242 @@
+//! Multi-port I/O measurement for `fig_io` / `BENCH_io.json`.
+//!
+//! Three experiments over the [`shard::MultiPortSwitch`] front end:
+//!
+//! * **Port × shard matrix** — wall throughput of the full runtime (per-port
+//!   dispatchers → per-(port, shard) SPSC ring matrix → worker shards →
+//!   vectored egress) with feeder and drainer threads emulating the wire on
+//!   every port. On a host with fewer cores than threads the absolute pps
+//!   time-slices; the committed JSON records the machine so readers can
+//!   judge the ratios.
+//! * **Egress TX styles** — the same frame stream pushed through a port's
+//!   TX ring per-packet (`Port::tx`, one reservation + one publication +
+//!   one counter RMW per frame) versus vectored (`Port::tx_burst`, one of
+//!   each per burst). Single-threaded move-cycle, no clones: this isolates
+//!   the ring-protocol cost that egress batching amortises and is the
+//!   artifact's batching-speedup evidence.
+//! * **Classifier steering** — hash-only dispatch versus a classifier
+//!   program pinning a traffic slice to one shard, measuring what the
+//!   pre-shard match program costs (or saves) end to end.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use netdev::classify::Classifier;
+use netdev::{Port, PortSet, BURST_SIZE};
+use openflow::instruction::terminal_actions;
+use openflow::{Action, Field, FlowEntry, FlowMatch, Pipeline};
+use pkt::builder::PacketBuilder;
+use pkt::Packet;
+use shard::{BackendSpec, MultiPortConfig, MultiPortSwitch};
+
+/// Distinct TCP destination ports (= pipeline entries) in the workload.
+pub const IO_DSTS: u16 = 16;
+
+/// One experiment cell: a port/shard/egress-mode/classifier combination.
+#[derive(Clone)]
+pub struct IoConfig {
+    /// Ingress (and egress) port count.
+    pub ports: u32,
+    /// Worker shard count.
+    pub shards: usize,
+    /// Vectored egress flush (`true`) or per-packet TX baseline.
+    pub egress_batching: bool,
+    /// Pre-shard classifier program (empty = hash-only).
+    pub classifier: Classifier,
+    /// Active flow count, spread over the ingress ports.
+    pub flows: u16,
+    /// Unmeasured settle time before the window opens.
+    pub warmup_ms: u64,
+    /// Measured window length.
+    pub duration_ms: u64,
+}
+
+/// What one cell measured.
+pub struct IoResult {
+    /// Wall packets per second through the shards during the window.
+    pub pps: f64,
+    /// Packets processed inside the window.
+    pub processed: u64,
+    /// Egress frames per vectored flush over the whole run (0 when egress
+    /// batching is off — that mode never flushes).
+    pub egress_batch_factor: f64,
+}
+
+/// The matrix workload: `IO_DSTS` TCP destination ports round-robined over
+/// the switch's egress ports, `in_port`-independent (the differential suite
+/// proves the front end is invisible; here we just need cache-friendly
+/// steady state on every backend).
+pub fn io_pipeline(ports: u32) -> Pipeline {
+    let mut p = Pipeline::with_tables(1);
+    let t = p.table_mut(0).unwrap();
+    for i in 0..IO_DSTS {
+        t.insert(FlowEntry::new(
+            FlowMatch::any().with_exact(Field::TcpDst, u128::from(1000 + i)),
+            100,
+            terminal_actions(vec![Action::Output(u32::from(i) % ports)]),
+        ));
+    }
+    t.insert(FlowEntry::new(FlowMatch::any(), 1, vec![]));
+    p
+}
+
+/// Flow `f`'s template frame.
+fn io_packet(f: u16) -> Packet {
+    PacketBuilder::tcp()
+        .tcp_dst(1000 + (f % IO_DSTS))
+        .tcp_src(3000 + f)
+        .build()
+}
+
+/// Runs one cell: launches the switch over `cfg.ports` ports, surrounds it
+/// with one feeder and one drainer thread per port (the "wire"), and
+/// measures processed packets over the window.
+pub fn measure_io_throughput(spec: BackendSpec, cfg: &IoConfig) -> IoResult {
+    let ports = Arc::new(PortSet::with_ports(cfg.ports));
+    let switch = MultiPortSwitch::launch(
+        spec,
+        io_pipeline(cfg.ports),
+        MultiPortConfig {
+            shards: cfg.shards,
+            egress_batching: cfg.egress_batching,
+            classifier: cfg.classifier.clone(),
+            ..MultiPortConfig::default()
+        },
+        Arc::clone(&ports),
+    )
+    .expect("io pipeline compiles");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut wire = Vec::new();
+    for pid in 0..cfg.ports {
+        // Feeder: offers this port's flow slice in bursts, cloning from
+        // templates (load generation is allowed to allocate; the switch
+        // under test is not).
+        let templates: Vec<Packet> = (0..cfg.flows)
+            .filter(|f| u32::from(*f) % cfg.ports == pid)
+            .map(io_packet)
+            .collect();
+        let port = Arc::clone(ports.get(pid).expect("port exists"));
+        let feeder_stop = Arc::clone(&stop);
+        wire.push(thread::spawn(move || {
+            let mut staging: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
+            let mut next = 0usize;
+            while !feeder_stop.load(Ordering::Relaxed) {
+                while staging.len() < BURST_SIZE {
+                    staging.push(templates[next % templates.len()].clone());
+                    next += 1;
+                }
+                port.inject_burst(&mut staging);
+                if !staging.is_empty() {
+                    thread::yield_now();
+                }
+            }
+        }));
+        // Drainer: empties the port's TX ring so egress never backpressures.
+        let port = Arc::clone(ports.get(pid).expect("port exists"));
+        let drainer_stop = Arc::clone(&stop);
+        wire.push(thread::spawn(move || {
+            let mut sink: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
+            while !drainer_stop.load(Ordering::Relaxed) {
+                if port.tx_drain_into(&mut sink, BURST_SIZE) == 0 {
+                    thread::yield_now();
+                }
+                sink.clear();
+            }
+        }));
+    }
+
+    thread::sleep(Duration::from_millis(cfg.warmup_ms));
+    let processed_before = switch.processed();
+    let window_start = Instant::now();
+    thread::sleep(Duration::from_millis(cfg.duration_ms));
+    let processed = switch.processed() - processed_before;
+    let elapsed = window_start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    for handle in wire {
+        handle.join().expect("wire thread");
+    }
+    let report = switch.shutdown();
+    let flushes: u64 = report.load_per_shard.iter().map(|l| l.egress_flushes).sum();
+    let frames: u64 = report.load_per_shard.iter().map(|l| l.egress_frames).sum();
+    IoResult {
+        pps: processed as f64 / elapsed,
+        processed,
+        egress_batch_factor: if flushes == 0 {
+            0.0
+        } else {
+            frames as f64 / flushes as f64
+        },
+    }
+}
+
+/// The TX-style comparison.
+pub struct TxStyles {
+    /// Nanoseconds per frame pushing one packet at a time (`Port::tx`).
+    pub per_packet_ns: f64,
+    /// Nanoseconds per frame with one vectored `tx_burst` per burst.
+    pub vectored_ns: f64,
+    /// `per_packet_ns / vectored_ns` — the egress-batching speedup.
+    pub speedup: f64,
+}
+
+/// Times `frames` frames through a port's TX ring in both styles. The same
+/// `BURST_SIZE` packets cycle by move (push → drain → push), so neither
+/// style allocates inside its timed loop; the difference is purely the ring
+/// reservation/publication and counter traffic per frame versus per burst.
+pub fn measure_tx_styles(frames: usize) -> TxStyles {
+    let port = Port::with_depth(0, 2 * BURST_SIZE);
+    let mut burst: Vec<Packet> = (0..BURST_SIZE as u16).map(io_packet).collect();
+    let mut drained: Vec<Packet> = Vec::with_capacity(BURST_SIZE);
+    let rounds = frames / BURST_SIZE;
+
+    // Warm both paths once outside timing.
+    for style in 0..2 {
+        for _ in 0..2 {
+            if style == 0 {
+                for packet in burst.drain(..) {
+                    assert!(port.tx(packet));
+                }
+            } else {
+                port.tx_burst(&mut burst);
+            }
+            while port.tx_drain_into(&mut burst, BURST_SIZE) > 0 {}
+        }
+    }
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for packet in burst.drain(..) {
+            assert!(port.tx(packet));
+        }
+        while port.tx_drain_into(&mut burst, BURST_SIZE) > 0 {}
+    }
+    let per_packet_ns = start.elapsed().as_nanos() as f64 / (rounds * BURST_SIZE) as f64;
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        port.tx_burst(&mut burst);
+        while port.tx_drain_into(&mut drained, BURST_SIZE) > 0 {}
+        std::mem::swap(&mut burst, &mut drained);
+    }
+    let vectored_ns = start.elapsed().as_nanos() as f64 / (rounds * BURST_SIZE) as f64;
+
+    TxStyles {
+        per_packet_ns,
+        vectored_ns,
+        speedup: per_packet_ns / vectored_ns,
+    }
+}
+
+/// A classifier program steering one destination port's traffic (1/16th of
+/// the flows) to shard 0 — the "controller traffic pinned off the data
+/// shards" deployment the README describes.
+pub fn steering_classifier() -> Classifier {
+    Classifier::new().rule(
+        netdev::MatchSpec::any().ip_proto(6).l4_dst(1000),
+        netdev::ClassifyAction::Steer(0),
+    )
+}

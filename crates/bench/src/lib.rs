@@ -14,6 +14,7 @@
 pub mod conntrack;
 pub mod datapath;
 pub mod fastpath;
+pub mod io;
 pub mod measure;
 pub mod multicore;
 pub mod reactive;
@@ -21,6 +22,7 @@ pub mod report;
 pub mod updates;
 
 pub use datapath::{AnySwitch, SwitchKind};
+pub use io::{measure_io_throughput, measure_tx_styles, IoConfig, IoResult, TxStyles};
 pub use measure::{measure_latency_cycles, measure_throughput, Measurement};
 pub use multicore::{
     measure_multicore_throughput, measure_sharded_throughput, measure_skewed_throughput,

@@ -1,0 +1,220 @@
+//! Pre-shard packet classifier — the software `SO_REUSEPORT` + eBPF analogue.
+//!
+//! A hardware NIC lets a small program inspect each frame *before* RSS picks
+//! a queue, so special traffic (control-plane punts, load-balancer VIPs) can
+//! be steered to a designated core without waking the rest. [`Classifier`] is
+//! that program for our polled ports: per-port dispatchers run it on every
+//! received frame and either honour a [`ClassifyAction::Steer`] decision
+//! (bypassing the RSS indirection table) or fall through to
+//! [`ClassifyAction::Hash`] for the normal 5-tuple path.
+//!
+//! The match program is a first-match-wins rule list over a handful of
+//! header fields — ingress port, EtherType, IP protocol, IPv4 destination,
+//! L4 destination port — parsed with the same allocation-free
+//! [`pkt::parser`] the RSS hash uses, so classification never touches the
+//! heap and stays on the fast path. This module is covered by the xtask
+//! fast-path lint.
+
+use pkt::parser::{parse, ParseDepth};
+
+use crate::port::PortId;
+
+/// Decision produced by [`Classifier::classify`] for one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClassifyAction {
+    /// Bypass RSS and deliver the frame to this shard.
+    Steer(usize),
+    /// Fall through to normal RSS hashing over the indirection table.
+    Hash,
+}
+
+/// Field predicates for one classifier rule. `None` means wildcard; all
+/// present fields must match (a conjunction, like an OpenFlow match minus
+/// the priorities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatchSpec {
+    in_port: Option<PortId>,
+    ethertype: Option<u16>,
+    ip_proto: Option<u8>,
+    ipv4_dst: Option<u32>,
+    l4_dst: Option<u16>,
+}
+
+impl MatchSpec {
+    /// A fully wildcarded spec (matches every frame).
+    pub fn any() -> Self {
+        MatchSpec::default()
+    }
+
+    /// Require a specific ingress port.
+    pub fn in_port(mut self, port: PortId) -> Self {
+        self.in_port = Some(port);
+        self
+    }
+
+    /// Require a specific EtherType (after any VLAN tags), e.g. 0x0806 (ARP).
+    pub fn ethertype(mut self, ethertype: u16) -> Self {
+        self.ethertype = Some(ethertype);
+        self
+    }
+
+    /// Require a specific IP protocol number (6 = TCP, 17 = UDP).
+    pub fn ip_proto(mut self, proto: u8) -> Self {
+        self.ip_proto = Some(proto);
+        self
+    }
+
+    /// Require a specific IPv4 destination address (big-endian `u32`, as
+    /// [`pkt::Ipv4Addr4::to_u32`] yields) — the LB-VIP case.
+    pub fn ipv4_dst(mut self, addr: u32) -> Self {
+        self.ipv4_dst = Some(addr);
+        self
+    }
+
+    /// Require a specific TCP/UDP destination port — the control-plane case.
+    pub fn l4_dst(mut self, port: u16) -> Self {
+        self.l4_dst = Some(port);
+        self
+    }
+
+    /// True when every present predicate matches the parsed frame.
+    fn matches(&self, in_port: PortId, frame: &[u8], hdrs: &pkt::ParsedHeaders) -> bool {
+        if let Some(want) = self.in_port {
+            if in_port != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.ethertype {
+            if hdrs.ethertype != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.ip_proto {
+            if !hdrs.has_ipv4() || hdrs.ip_proto != want {
+                return false;
+            }
+        }
+        if let Some(want) = self.ipv4_dst {
+            match hdrs.ipv4_dst(frame) {
+                Some(dst) if dst.to_u32() == want => {}
+                _ => return false,
+            }
+        }
+        if let Some(want) = self.l4_dst {
+            match hdrs.l4_dst(frame) {
+                Some(dst) if dst == want => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// One classifier rule: a [`MatchSpec`] and the action taken when it matches.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassifyRule {
+    /// Field predicates; all present fields must match.
+    pub spec: MatchSpec,
+    /// Action applied on match.
+    pub action: ClassifyAction,
+}
+
+/// A first-match-wins rule program run before RSS on every received frame.
+///
+/// The rule list is built once at configuration time and then only read on
+/// the fast path; [`Classifier::classify`] itself performs no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Classifier {
+    rules: Vec<ClassifyRule>,
+}
+
+impl Classifier {
+    /// An empty program: every frame hashes normally.
+    pub fn new() -> Self {
+        Classifier::default()
+    }
+
+    /// Appends a rule (builder style). Earlier rules win.
+    pub fn rule(mut self, spec: MatchSpec, action: ClassifyAction) -> Self {
+        self.rules.push(ClassifyRule { spec, action });
+        self
+    }
+
+    /// Number of rules in the program.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the program has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Runs the program over one frame: the first matching rule's action, or
+    /// [`ClassifyAction::Hash`] when nothing matches.
+    pub fn classify(&self, in_port: PortId, frame: &[u8]) -> ClassifyAction {
+        if self.rules.is_empty() {
+            return ClassifyAction::Hash;
+        }
+        let hdrs = parse(frame, ParseDepth::L4);
+        for rule in &self.rules {
+            if rule.spec.matches(in_port, frame, &hdrs) {
+                return rule.action;
+            }
+        }
+        ClassifyAction::Hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::builder::PacketBuilder;
+
+    #[test]
+    fn empty_program_hashes() {
+        let c = Classifier::new();
+        assert!(c.is_empty());
+        let p = PacketBuilder::udp().build();
+        assert_eq!(c.classify(0, p.data()), ClassifyAction::Hash);
+    }
+
+    #[test]
+    fn l4_dst_steers_controller_traffic() {
+        let c = Classifier::new().rule(
+            MatchSpec::any().ip_proto(6).l4_dst(6653),
+            ClassifyAction::Steer(3),
+        );
+        let ctrl = PacketBuilder::tcp().tcp_dst(6653).build();
+        let data = PacketBuilder::tcp().tcp_dst(80).build();
+        let udp = PacketBuilder::udp().udp_dst(6653).build();
+        assert_eq!(c.classify(0, ctrl.data()), ClassifyAction::Steer(3));
+        assert_eq!(c.classify(0, data.data()), ClassifyAction::Hash);
+        assert_eq!(
+            c.classify(0, udp.data()),
+            ClassifyAction::Hash,
+            "ip_proto=6 excludes UDP"
+        );
+    }
+
+    #[test]
+    fn first_match_wins_and_in_port_filters() {
+        let c = Classifier::new()
+            .rule(MatchSpec::any().in_port(2), ClassifyAction::Steer(0))
+            .rule(MatchSpec::any(), ClassifyAction::Steer(1));
+        assert_eq!(c.len(), 2);
+        let p = PacketBuilder::udp().build();
+        assert_eq!(c.classify(2, p.data()), ClassifyAction::Steer(0));
+        assert_eq!(c.classify(5, p.data()), ClassifyAction::Steer(1));
+    }
+
+    #[test]
+    fn ipv4_dst_matches_vip() {
+        let vip = u32::from_be_bytes([10, 0, 0, 80]);
+        let c = Classifier::new().rule(MatchSpec::any().ipv4_dst(vip), ClassifyAction::Steer(2));
+        let hit = PacketBuilder::udp().ipv4_dst([10, 0, 0, 80]).build();
+        let miss = PacketBuilder::udp().ipv4_dst([10, 0, 0, 81]).build();
+        assert_eq!(c.classify(0, hit.data()), ClassifyAction::Steer(2));
+        assert_eq!(c.classify(0, miss.data()), ClassifyAction::Hash);
+    }
+}

@@ -6,6 +6,12 @@
 //! them and pushes the results into the TX side of the chosen output port.
 //! Port 0xffff_fffd and friends are reserved, mirroring OpenFlow's reserved
 //! port numbers.
+//!
+//! All burst paths are allocation-free: the `_into` receive APIs and the
+//! vectored [`Port::tx_burst`] write into caller-owned buffers (the
+//! `recvmmsg`/`sendmmsg` shape), and the rings underneath import their
+//! atomics through the [`crate::sync`] facade so `tests/loom_port.rs` can
+//! model the inject/rx and burst-TX protocols under loom.
 
 use std::sync::Arc;
 
@@ -13,7 +19,6 @@ use pkt::Packet;
 
 use crate::ring::MpmcRing;
 use crate::stats::Counters;
-use crate::BURST_SIZE;
 
 /// Numeric port identifier (OpenFlow port numbers are 32 bit).
 pub type PortId = u32;
@@ -91,16 +96,32 @@ impl Port {
         }
     }
 
-    /// Receives up to `max` frames from the RX queue (datapath side).
-    pub fn rx_burst(&self, max: usize) -> Vec<Packet> {
-        let mut out = Vec::with_capacity(max.min(BURST_SIZE));
-        while out.len() < max {
-            match self.rx.pop() {
-                Some(p) => out.push(p),
-                None => break,
-            }
+    /// Injects a burst of frames on the wire side with one ring reservation.
+    /// Each packet's `in_port` is stamped with this port's id. Frames that do
+    /// not fit are left in `frames` (the accepted prefix is drained); the
+    /// number accepted is returned. Statistics are recorded once per burst.
+    pub fn inject_burst(&self, frames: &mut Vec<Packet>) -> usize {
+        let mut bytes = 0usize;
+        for packet in frames.iter_mut() {
+            packet.in_port = self.id;
+            bytes += packet.len();
         }
-        out
+        let n = self.rx.push_burst(frames);
+        for packet in frames.iter() {
+            bytes -= packet.len();
+        }
+        if n > 0 {
+            self.stats.rx.record_batch(n as u64, bytes as u64);
+        }
+        n
+    }
+
+    /// Receives up to `max` frames from the RX queue into `out`, appending
+    /// (datapath side). The caller owns — and reuses — the buffer; nothing is
+    /// allocated per burst once the buffer has warmed to capacity. Returns
+    /// the number of frames received.
+    pub fn rx_burst_into(&self, out: &mut Vec<Packet>, max: usize) -> usize {
+        self.rx.pop_burst(out, max)
     }
 
     /// Transmits one frame out of this port (datapath side). Returns `false`
@@ -119,17 +140,34 @@ impl Port {
         }
     }
 
-    /// Drains up to `max` frames from the TX queue (wire side), e.g. to loop
-    /// them back into a peer port or to let the harness verify outputs.
-    pub fn tx_drain(&self, max: usize) -> Vec<Packet> {
-        let mut out = Vec::with_capacity(max.min(BURST_SIZE));
-        while out.len() < max {
-            match self.tx.pop() {
-                Some(p) => out.push(p),
-                None => break,
-            }
+    /// Transmits a burst of frames with one ring reservation — the `sendmmsg`
+    /// analogue. Frames that do not fit in the TX queue are dropped and
+    /// counted as TX drops; `frames` is left empty either way. Statistics for
+    /// the accepted frames are recorded once per burst, not per packet.
+    /// Returns the number of frames accepted onto the queue.
+    pub fn tx_burst(&self, frames: &mut Vec<Packet>) -> usize {
+        let mut bytes = 0usize;
+        for packet in frames.iter() {
+            bytes += packet.len();
         }
-        out
+        let n = self.tx.push_burst(frames);
+        for packet in frames.iter() {
+            bytes -= packet.len();
+        }
+        if n > 0 {
+            self.stats.tx.record_batch(n as u64, bytes as u64);
+        }
+        for _ in frames.drain(..) {
+            self.stats.tx.record_drop();
+        }
+        n
+    }
+
+    /// Drains up to `max` frames from the TX queue into `out`, appending
+    /// (wire side), e.g. to loop them back into a peer port or to let the
+    /// harness verify outputs. Returns the number of frames drained.
+    pub fn tx_drain_into(&self, out: &mut Vec<Packet>, max: usize) -> usize {
+        self.tx.pop_burst(out, max)
     }
 
     /// Number of frames waiting in the RX queue.
@@ -141,12 +179,43 @@ impl Port {
     pub fn tx_pending(&self) -> usize {
         self.tx.len()
     }
+
+    /// Allocating convenience wrapper over [`Port::rx_burst_into`], kept for
+    /// tests and harnesses only — the datapath uses the `_into` form.
+    pub fn rx_burst(&self, max: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(max);
+        self.rx_burst_into(&mut out, max);
+        out
+    }
+
+    /// Allocating convenience wrapper over [`Port::tx_drain_into`], kept for
+    /// tests and harnesses only — the datapath uses the `_into` form.
+    pub fn tx_drain(&self, max: usize) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(max);
+        self.tx_drain_into(&mut out, max);
+        out
+    }
 }
 
+/// Port ids at or below this bound get a dense direct-index slot in
+/// [`PortSet`]; anything larger (e.g. OpenFlow reserved ids) falls back to a
+/// short sparse list.
+const DENSE_LIMIT: usize = 4096;
+
 /// A set of ports indexed by [`PortId`], as owned by one switch instance.
+///
+/// Lookups are O(1): small ids (the common case — switches number ports from
+/// zero) index directly into a dense table, while large ids (reserved ranges)
+/// use a sparse fallback whose length is bounded by the number of such ports,
+/// not by the id space.
 #[derive(Default)]
 pub struct PortSet {
+    /// Insertion-ordered list backing `iter`/`len`.
     ports: Vec<Arc<Port>>,
+    /// Direct index for ids < `DENSE_LIMIT`, grown on demand.
+    dense: Vec<Option<Arc<Port>>>,
+    /// Fallback for ids ≥ `DENSE_LIMIT` (reserved / sparse numbering).
+    sparse: Vec<(PortId, Arc<Port>)>,
 }
 
 impl PortSet {
@@ -169,22 +238,34 @@ impl PortSet {
     /// # Panics
     /// Panics if a port with the same id is already present.
     pub fn add(&mut self, port: Port) -> Arc<Port> {
-        assert!(
-            self.get(port.id()).is_none(),
-            "duplicate port id {}",
-            port.id()
-        );
+        let id = port.id();
+        assert!(self.get(id).is_none(), "duplicate port id {id}");
         let port = Arc::new(port);
+        if (id as usize) < DENSE_LIMIT {
+            if self.dense.len() <= id as usize {
+                self.dense.resize(id as usize + 1, None);
+            }
+            self.dense[id as usize] = Some(Arc::clone(&port));
+        } else {
+            self.sparse.push((id, Arc::clone(&port)));
+        }
         self.ports.push(Arc::clone(&port));
         port
     }
 
-    /// Looks up a port by id.
+    /// Looks up a port by id in O(1) for densely numbered ports.
     pub fn get(&self, id: PortId) -> Option<&Arc<Port>> {
-        self.ports.iter().find(|p| p.id() == id)
+        if (id as usize) < DENSE_LIMIT {
+            self.dense.get(id as usize)?.as_ref()
+        } else {
+            self.sparse
+                .iter()
+                .find(|(pid, _)| *pid == id)
+                .map(|(_, p)| p)
+        }
     }
 
-    /// All ports in the set.
+    /// All ports in the set, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &Arc<Port>> {
         self.ports.iter()
     }
@@ -242,6 +323,50 @@ mod tests {
     }
 
     #[test]
+    fn rx_burst_into_appends_without_realloc() {
+        let port = Port::new(0);
+        for _ in 0..8 {
+            port.inject(PacketBuilder::udp().build());
+        }
+        let mut out = Vec::with_capacity(8);
+        let cap = out.capacity();
+        assert_eq!(port.rx_burst_into(&mut out, 5), 5);
+        assert_eq!(port.rx_burst_into(&mut out, 5), 3);
+        assert_eq!(out.len(), 8);
+        assert_eq!(out.capacity(), cap, "burst receive must not reallocate");
+    }
+
+    #[test]
+    fn inject_burst_stamps_and_counts_once() {
+        let port = Port::with_depth(7, 4);
+        let mut frames: Vec<_> = (0..6)
+            .map(|_| PacketBuilder::udp().in_port(99).build())
+            .collect();
+        let total_bytes: u64 = frames.iter().map(|p| p.len() as u64).sum();
+        let per_frame = total_bytes / 6;
+        assert_eq!(port.inject_burst(&mut frames), 4);
+        assert_eq!(frames.len(), 2, "overflow frames stay with the caller");
+        assert_eq!(port.stats().rx.packets(), 4);
+        assert_eq!(port.stats().rx.bytes(), per_frame * 4);
+        let mut out = Vec::new();
+        port.rx_burst_into(&mut out, 32);
+        assert!(out.iter().all(|p| p.in_port == 7));
+    }
+
+    #[test]
+    fn tx_burst_drops_and_counts_overflow() {
+        let port = Port::with_depth(0, 4);
+        let mut frames: Vec<_> = (0..6).map(|_| PacketBuilder::udp().build()).collect();
+        assert_eq!(port.tx_burst(&mut frames), 4);
+        assert!(frames.is_empty(), "tx_burst consumes the whole buffer");
+        assert_eq!(port.stats().tx.packets(), 4);
+        assert_eq!(port.stats().tx.drops(), 2);
+        assert_eq!(port.tx_pending(), 4);
+        let mut out = Vec::new();
+        assert_eq!(port.tx_drain_into(&mut out, 32), 4);
+    }
+
+    #[test]
     fn port_set_lookup() {
         let set = PortSet::with_ports(4);
         assert_eq!(set.len(), 4);
@@ -250,9 +375,30 @@ mod tests {
     }
 
     #[test]
+    fn port_set_sparse_ids() {
+        let mut set = PortSet::new();
+        set.add(Port::new(0));
+        set.add(Port::new(0x0001_0000));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get(0x0001_0000).unwrap().id(), 0x0001_0000);
+        assert!(set.get(0x0002_0000).is_none());
+        assert!(set.get(1).is_none());
+        let ids: Vec<_> = set.iter().map(|p| p.id()).collect();
+        assert_eq!(ids, vec![0, 0x0001_0000]);
+    }
+
+    #[test]
     #[should_panic(expected = "duplicate port id")]
     fn duplicate_port_rejected() {
         let mut set = PortSet::with_ports(2);
         set.add(Port::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate port id")]
+    fn duplicate_sparse_port_rejected() {
+        let mut set = PortSet::new();
+        set.add(Port::new(0x0001_0000));
+        set.add(Port::new(0x0001_0000));
     }
 }

@@ -1,0 +1,71 @@
+//! Regression: `PortSet::get` must not scale with the number of ports.
+//!
+//! The original implementation was a linear `iter().find()` per lookup —
+//! O(ports) on every egress packet once workers resolve output ports. The
+//! dense direct-index replacement makes the lookup one bounds check and one
+//! slot load whatever the port count; this test pins that by comparing the
+//! measured cost of the same lookup workload against small and large sets.
+
+use std::time::Instant;
+
+use netdev::{Port, PortSet};
+
+/// Time `iters` lookups spread over `set`'s id space, returning nanos.
+fn lookup_cost(set: &PortSet, ids: u32, iters: u32) -> u128 {
+    let start = Instant::now();
+    let mut found = 0u32;
+    for i in 0..iters {
+        if set.get(i % ids).is_some() {
+            found += 1;
+        }
+    }
+    assert_eq!(found, iters);
+    start.elapsed().as_nanos()
+}
+
+#[test]
+fn lookup_cost_does_not_scale_with_port_count() {
+    const SMALL: u32 = 4;
+    const LARGE: u32 = 1024;
+    const ITERS: u32 = 1_000_000;
+
+    let small = PortSet::with_ports(SMALL);
+    let large = PortSet::with_ports(LARGE);
+
+    // Warm up both paths, then take the best of several runs to shake out
+    // scheduler noise — this is a ratio test, not a benchmark.
+    let mut small_best = u128::MAX;
+    let mut large_best = u128::MAX;
+    for _ in 0..3 {
+        small_best = small_best.min(lookup_cost(&small, SMALL, ITERS));
+        large_best = large_best.min(lookup_cost(&large, LARGE, ITERS));
+    }
+
+    // A linear scan would make the 1024-port set ~256x the 4-port set
+    // (average scan depth 512 vs 2). The dense index should be flat; allow
+    // a generous 8x for cache effects before calling it a regression.
+    assert!(
+        large_best < small_best.saturating_mul(8),
+        "1024-port lookups cost {large_best}ns vs {small_best}ns for 4 ports \
+         — lookup is scaling with port count"
+    );
+}
+
+#[test]
+fn sparse_ids_resolve_alongside_dense_ones() {
+    let mut set = PortSet::new();
+    for id in 0..8 {
+        set.add(Port::new(id));
+    }
+    // Reserved-range ids land in the sparse fallback.
+    set.add(Port::new(0xffff_0001));
+    set.add(Port::new(0xffff_0002));
+    assert_eq!(set.len(), 10);
+    for id in 0..8 {
+        assert_eq!(set.get(id).unwrap().id(), id);
+    }
+    assert_eq!(set.get(0xffff_0001).unwrap().id(), 0xffff_0001);
+    assert_eq!(set.get(0xffff_0002).unwrap().id(), 0xffff_0002);
+    assert!(set.get(8).is_none());
+    assert!(set.get(0xffff_0003).is_none());
+}

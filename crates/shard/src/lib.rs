@@ -67,6 +67,7 @@
 pub mod backend;
 pub mod controller;
 pub mod epoch;
+pub mod multiport;
 pub mod remap;
 pub mod rss;
 pub mod runtime;
@@ -76,6 +77,7 @@ pub use backend::{BackendSpec, CompiledState, ShardBackend};
 pub use controller::{
     partition_of, ControllerWorkerSnapshot, Punt, ReactiveSnapshot, ReactiveStats,
 };
+pub use multiport::{MultiPortConfig, MultiPortReport, MultiPortSwitch};
 // The admission-policy types callers need to configure a hardened launch.
 pub use conntrack::{CtConfig, CtSnapshot, CtTimeouts, EvictionPolicy, LbGroup};
 pub use epoch::EpochSlot;

@@ -260,6 +260,24 @@ impl RssDispatcher {
         self.maybe_rebalance();
     }
 
+    /// Dispatches to an explicitly chosen shard while still stamping the
+    /// packet's RSS hash — the classifier-steered path. A
+    /// [`netdev::classify::ClassifyAction::Steer`] decision overrides the
+    /// indirection table for shard *placement*, but downstream consumers
+    /// (per-flow telemetry, differential harnesses keyed by hash) still need
+    /// the flow hash on the packet, so it is computed and stamped exactly as
+    /// [`RssDispatcher::dispatch`] would.
+    pub fn dispatch_steered(&mut self, shard: usize, mut packet: Packet) {
+        let hash = if self.symmetric {
+            rss_hash_symmetric(&packet)
+        } else {
+            rss_hash(&packet)
+        };
+        packet.set_rss_hash(hash);
+        self.refresh_table();
+        self.dispatch_to(shard, packet);
+    }
+
     /// Stages `packet` for an explicitly chosen shard, bypassing the hash
     /// and the indirection table entirely (fixed-placement harnesses).
     pub fn dispatch_to(&mut self, shard: usize, packet: Packet) {
@@ -589,6 +607,25 @@ mod tests {
             got.rss_hash(),
             Some(expected),
             "the dispatch hash rides the packet"
+        );
+    }
+
+    #[test]
+    fn dispatch_steered_overrides_placement_but_stamps_the_hash() {
+        let rings: Vec<_> = (0..4).map(|_| Arc::new(SpscRing::new(256))).collect();
+        let mut d = RssDispatcher::new(rings.clone());
+        let p = tcp(42);
+        let expected = rss_hash(&p);
+        let natural = d.shard_for(&p);
+        let steered = (natural + 1) % 4;
+        d.dispatch_steered(steered, p);
+        d.flush();
+        assert!(rings[natural].is_empty() || natural == steered);
+        let got = rings[steered].pop().expect("steered packet");
+        assert_eq!(
+            got.rss_hash(),
+            Some(expected),
+            "steering must not lose the flow hash"
         );
     }
 

@@ -22,6 +22,11 @@
 //!   (popped burst + what remained queued behind it): the early congestion
 //!   signal — a shard can hold line rate with a rising high-water mark long
 //!   before it drops.
+//! * **egress flushes / frames** — vectored TX flushes issued and frames
+//!   carried by them, so the realised egress batch factor
+//!   (`egress_frames / egress_flushes`) is observable: the multi-port
+//!   runtime's per-output-port staging only pays off while this stays well
+//!   above one.
 //!
 //! Orderings follow the `netdev::stats::Counters` discipline (`Release`
 //! writes, `Acquire` reads — free on x86-TSO); everything goes through the
@@ -39,6 +44,8 @@ pub struct ShardLoad {
     bursts: AtomicU64,
     packets: AtomicU64,
     ring_high_water: AtomicU64,
+    egress_flushes: AtomicU64,
+    egress_frames: AtomicU64,
 }
 
 impl ShardLoad {
@@ -49,6 +56,12 @@ impl ShardLoad {
         self.packets.fetch_add(packets, Ordering::Release);
         self.ring_high_water
             .fetch_max(high_water, Ordering::Release);
+    }
+
+    /// Folds one window of egress-batching counters in (worker side).
+    pub(crate) fn flush_egress(&self, flushes: u64, frames: u64) {
+        self.egress_flushes.fetch_add(flushes, Ordering::Release);
+        self.egress_frames.fetch_add(frames, Ordering::Release);
     }
 
     /// Cumulative nanoseconds this shard spent processing bursts.
@@ -71,6 +84,16 @@ impl ShardLoad {
         self.ring_high_water.load(Ordering::Acquire)
     }
 
+    /// Vectored TX flushes issued by this shard's egress staging.
+    pub fn egress_flushes(&self) -> u64 {
+        self.egress_flushes.load(Ordering::Acquire)
+    }
+
+    /// Frames carried by those vectored TX flushes.
+    pub fn egress_frames(&self) -> u64 {
+        self.egress_frames.load(Ordering::Acquire)
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> LoadSnapshot {
         LoadSnapshot {
@@ -78,6 +101,8 @@ impl ShardLoad {
             bursts: self.bursts(),
             packets: self.packets(),
             ring_high_water: self.ring_high_water(),
+            egress_flushes: self.egress_flushes(),
+            egress_frames: self.egress_frames(),
         }
     }
 }
@@ -93,6 +118,10 @@ pub struct LoadSnapshot {
     pub packets: u64,
     /// Deepest observed ring occupancy at a drain.
     pub ring_high_water: u64,
+    /// Vectored TX flushes issued by the egress staging.
+    pub egress_flushes: u64,
+    /// Frames carried by those flushes.
+    pub egress_frames: u64,
 }
 
 impl LoadSnapshot {
@@ -113,6 +142,15 @@ impl LoadSnapshot {
             self.busy_nanos as f64 / self.packets as f64
         }
     }
+
+    /// Realised egress batch factor: frames per vectored TX flush.
+    pub fn egress_batch_factor(&self) -> f64 {
+        if self.egress_flushes == 0 {
+            0.0
+        } else {
+            self.egress_frames as f64 / self.egress_flushes as f64
+        }
+    }
 }
 
 /// The worker-local accumulator: bumped once per burst, flushed to the
@@ -124,6 +162,8 @@ pub struct LoadRecorder {
     bursts: u64,
     packets: u64,
     high_water: u64,
+    egress_flushes: u64,
+    egress_frames: u64,
 }
 
 impl LoadRecorder {
@@ -138,6 +178,8 @@ impl LoadRecorder {
             bursts: 0,
             packets: 0,
             high_water: 0,
+            egress_flushes: 0,
+            egress_frames: 0,
         }
     }
 
@@ -156,8 +198,22 @@ impl LoadRecorder {
         }
     }
 
+    /// Records one vectored egress flush carrying `frames` frames. Batched
+    /// locally and published together with the burst counters.
+    #[inline]
+    pub fn record_egress(&mut self, frames: u64) {
+        self.egress_flushes += 1;
+        self.egress_frames += frames;
+    }
+
     /// Publishes the local window into the shared counters.
     pub fn flush(&mut self) {
+        if self.egress_flushes > 0 {
+            self.shared
+                .flush_egress(self.egress_flushes, self.egress_frames);
+            self.egress_flushes = 0;
+            self.egress_frames = 0;
+        }
         if self.bursts == 0 {
             return;
         }
@@ -211,6 +267,20 @@ mod tests {
         assert_eq!(snap.packets, 3);
         assert_eq!(snap.busy_nanos, 7);
         assert_eq!(snap.ring_high_water, 5);
+    }
+
+    #[test]
+    fn egress_counters_ride_the_flush() {
+        let shared = Arc::new(ShardLoad::default());
+        let mut rec = LoadRecorder::new(Arc::clone(&shared));
+        rec.record_egress(32);
+        rec.record_egress(7);
+        assert_eq!(shared.egress_flushes(), 0, "egress counters batch locally");
+        rec.flush();
+        let snap = shared.snapshot();
+        assert_eq!(snap.egress_flushes, 2);
+        assert_eq!(snap.egress_frames, 39);
+        assert!((snap.egress_batch_factor() - 19.5).abs() < 1e-9);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use bench_harness::conntrack::{data_ring, warm_established, BURST};
 use conntrack::CtEngine;
+use netdev::Port;
 use openflow::{Action, FlowEntry, FlowMatch, NullController, Pipeline, Verdict};
 use ovsdp::{OvsConfig, OvsDatapath};
 use pkt::builder::PacketBuilder;
@@ -239,6 +240,61 @@ fn assert_established_path_allocation_free(
         8 * ring.len() as u64,
         "{name}: every measured packet must be an established-path ct hit"
     );
+}
+
+/// The full port I/O loop — burst RX out of an ingress port's ring into a
+/// reused buffer, cache-hit processing, egress staging, one vectored
+/// `tx_burst`, and wire-side drain/re-injection — is heap-free in steady
+/// state. Packets circulate by move the whole way (no clones), so after the
+/// warm-up pass sizes every scratch buffer, eight full laps of 64 packets
+/// must leave the allocation counter untouched. This is the regression for
+/// the old `rx_burst`/`tx_drain` per-burst `Vec` allocations.
+#[test]
+fn port_rx_process_tx_loop_is_allocation_free() {
+    let dp = OvsDatapath::new(port_pipeline());
+    let ingress = Port::with_depth(1, 256);
+    let egress = Port::with_depth(2, 256);
+
+    let mut staged = flow_packets(64);
+    let mut batch: Vec<Packet> = Vec::with_capacity(BURST);
+    let mut verdicts: Vec<Verdict> = Vec::with_capacity(BURST);
+
+    // One lap moves a burst all the way around the loop and back into the
+    // ingress ring, warming caches and every reusable buffer on the way.
+    let lap = |staged: &mut Vec<Packet>, batch: &mut Vec<Packet>, verdicts: &mut Vec<Verdict>| {
+        assert_eq!(ingress.inject_burst(staged), 64);
+        loop {
+            if ingress.rx_burst_into(batch, BURST) == 0 {
+                break;
+            }
+            dp.process_batch_into(batch, verdicts);
+            std::hint::black_box(verdicts.len());
+            // Stage the whole burst for one vectored flush (the pipeline's
+            // verdicts all name ports; routing fan-out is covered by the
+            // multiport suite — here the property under test is the I/O).
+            let frames = batch.len();
+            assert_eq!(egress.tx_burst(batch), frames);
+        }
+        while egress.tx_drain_into(staged, BURST) > 0 {}
+        assert_eq!(staged.len(), 64, "a lap lost frames");
+    };
+    lap(&mut staged, &mut batch, &mut verdicts);
+    lap(&mut staged, &mut batch, &mut verdicts);
+
+    let before = allocations();
+    for _ in 0..8 {
+        lap(&mut staged, &mut batch, &mut verdicts);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "port RX→process→TX loop allocated {} times over {} packets",
+        after - before,
+        8 * 64
+    );
+    assert_eq!(ingress.stats().rx.drops(), 0);
+    assert_eq!(egress.stats().tx.drops(), 0);
 }
 
 #[test]

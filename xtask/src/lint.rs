@@ -32,6 +32,8 @@ use std::process::ExitCode;
 /// workspace-relative with `/` separators.
 const FAST_PATH_MODULES: &[&str] = &[
     "crates/netdev/src/ring.rs",
+    "crates/netdev/src/port.rs",
+    "crates/netdev/src/classify.rs",
     "crates/netdev/src/stats.rs",
     "crates/ovsdp/src/minikey.rs",
     "crates/conntrack/src/table.rs",
@@ -571,6 +573,14 @@ mod tests {
             rules(&check_fastpath_alloc("crates/ovsdp/src/minikey.rs", src)),
             ["fastpath-alloc"]
         );
+    }
+
+    #[test]
+    fn port_and_classifier_modules_are_covered() {
+        for file in ["crates/netdev/src/port.rs", "crates/netdev/src/classify.rs"] {
+            let src = "pub fn hot() -> Vec<u8> { Vec::new() }\n";
+            assert_eq!(rules(&check_fastpath_alloc(file, src)), ["fastpath-alloc"]);
+        }
     }
 
     #[test]
